@@ -1,0 +1,60 @@
+"""E10 -- ablation: strict read synchronization for rfd-linked files.
+
+Paper context (Section 5): the rfd read/write window could be closed by
+upcalling on every read open and recording Sync-table entries, but the
+authors reject that because of the per-open cost.  These benchmarks measure
+the wall-clock cost of a read open/close with and without the strict path.
+"""
+
+import pytest
+
+from repro.api.system import DataLinksSystem
+from repro.datalinks.control_modes import ControlMode
+from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
+from repro.fs.vfs import OpenFlags
+from repro.storage.schema import Column, TableSchema
+from repro.storage.values import DataType
+from repro.workloads.generator import make_content
+
+
+def _build(strict: bool):
+    system = DataLinksSystem()
+    system.add_file_server("fs1", strict_read_upcalls=strict)
+    system.create_table(TableSchema("docs", [
+        Column("doc_id", DataType.INTEGER, nullable=False),
+        datalink_column("body", DatalinkOptions(control_mode=ControlMode.RFD,
+                                                strict_read_sync=strict)),
+    ], primary_key=("doc_id",)))
+    owner = system.session("owner", uid=1001)
+    url = owner.put_file("fs1", "/data/page.html", make_content(8192, tag="e10"))
+    owner.insert("docs", {"doc_id": 0, "body": url})
+    system.run_archiver()
+    return system, owner
+
+
+@pytest.fixture(scope="module")
+def default_rfd():
+    return _build(strict=False)
+
+
+@pytest.fixture(scope="module")
+def strict_rfd():
+    return _build(strict=True)
+
+
+def _open_close(system, owner):
+    lfs = system.file_server("fs1").lfs
+    fd = lfs.open("/data/page.html", OpenFlags.READ, owner.cred)
+    lfs.close(fd)
+
+
+def test_read_open_close_default_rfd(benchmark, default_rfd):
+    system, owner = default_rfd
+    benchmark(lambda: _open_close(system, owner))
+
+
+def test_read_open_close_strict_rfd(benchmark, strict_rfd):
+    """The same open/close paying the upcall and Sync-table entries."""
+
+    system, owner = strict_rfd
+    benchmark(lambda: _open_close(system, owner))

@@ -1,0 +1,26 @@
+"""E1 -- DATALINK column retrieval at the host database.
+
+Paper claim (Section 3.2): retrieving a DATALINK column, including access
+token generation, costs less than 3 ms at the host database.  The simulated
+table is produced by ``python -m repro.bench E1``; these benchmarks measure
+the wall-clock cost of the same statements in this implementation.
+"""
+
+from repro.bench.experiments import FILES_TABLE
+
+
+def test_select_row_without_token(benchmark, rdb_setup):
+    system, _, _ = rdb_setup
+    benchmark(lambda: system.engine.select(FILES_TABLE, {"file_id": 3}, lock=False))
+
+
+def test_select_datalink_with_read_token(benchmark, rdb_setup):
+    system, _, _ = rdb_setup
+    benchmark(lambda: system.engine.get_datalink(
+        FILES_TABLE, {"file_id": 3}, "doc", access="read"))
+
+
+def test_select_datalink_with_write_token(benchmark, rfd_setup):
+    system, _, _ = rfd_setup
+    benchmark(lambda: system.engine.get_datalink(
+        FILES_TABLE, {"file_id": 0}, "doc", access="write"))

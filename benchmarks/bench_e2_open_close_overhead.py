@@ -1,0 +1,39 @@
+"""E2 -- DLFS and token-validation overhead on open/close.
+
+Paper claim (Section 3.2): the DLFS layer plus token validation add roughly
+1 ms to open/read/close; reads of files not under full database control never
+reach the DLFM.
+"""
+
+from conftest import read_token_url
+
+from repro.datalinks.uip import tokenized_path
+from repro.fs.vfs import OpenFlags
+
+
+def _open_close(lfs, path, cred):
+    fd = lfs.open(path, OpenFlags.READ, cred)
+    lfs.close(fd)
+
+
+def test_open_close_unlinked_file(benchmark, plain_setup):
+    system, owner, paths = plain_setup
+    lfs = system.file_server("fs1").lfs
+    benchmark(lambda: _open_close(lfs, paths[0], owner.cred))
+
+
+def test_open_close_rfd_linked_read(benchmark, rfd_setup):
+    """rfd reads go straight to the native file system (no upcall)."""
+
+    system, owner, paths = rfd_setup
+    lfs = system.file_server("fs1").lfs
+    benchmark(lambda: _open_close(lfs, paths[0], owner.cred))
+
+
+def test_open_close_rdd_linked_with_token(benchmark, rdd_setup):
+    """Full-control reads pay token validation plus the Sync-table upcalls."""
+
+    system, owner, _ = rdd_setup
+    lfs = system.file_server("fs1").lfs
+    path = tokenized_path(read_token_url(rdd_setup))
+    benchmark(lambda: _open_close(lfs, path, owner.cred))

@@ -1,0 +1,46 @@
+"""E4 -- cost of maintaining file-update status at the DLFM.
+
+Paper claim (Section 5): opening a DataLinks-managed file differs only
+marginally from opening a plain file; the update-status bookkeeping at the
+DLFM is insignificant.
+"""
+
+from repro.bench.experiments import FILES_TABLE
+from repro.fs.vfs import OpenFlags
+
+
+def test_write_open_close_plain_file(benchmark, plain_setup):
+    system, owner, paths = plain_setup
+    lfs = system.file_server("fs1").lfs
+
+    def open_close():
+        fd = lfs.open(paths[0], OpenFlags.READ | OpenFlags.WRITE, owner.cred)
+        lfs.close(fd)
+
+    benchmark(open_close)
+
+
+def test_write_open_close_rfd_managed(benchmark, rfd_setup):
+    """Token handout, lookup/open/close upcalls, Sync + tracking rows, take-over."""
+
+    system, owner, _ = rfd_setup
+
+    def managed_open_close():
+        url = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+        update = owner.update_file(url)
+        update.begin()
+        update.commit()
+
+    benchmark(managed_open_close)
+
+
+def test_write_open_close_rdd_managed(benchmark, rdd_setup):
+    system, owner, _ = rdd_setup
+
+    def managed_open_close():
+        url = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+        update = owner.update_file(url)
+        update.begin()
+        update.commit()
+
+    benchmark(managed_open_close)

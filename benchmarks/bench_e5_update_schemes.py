@@ -1,0 +1,63 @@
+"""E5 -- update schemes compared: UIP vs CICO vs CAU.
+
+Paper claim (Section 3): CICO holds database locks across the whole edit
+session and needs two extra database updates per edit; CAU avoids locks but
+admits lost updates; update-in-place serializes writers at open/close.
+These benchmarks time one complete edit under each scheme; the comparative
+counters (conflicts, lost updates) come from ``python -m repro.bench E5``.
+"""
+
+import itertools
+
+import pytest
+
+from repro.bench.experiments import FILES_TABLE
+from repro.datalinks.baselines.cau import CopyAndUpdateManager
+from repro.datalinks.baselines.cico import CheckInCheckOutManager
+from repro.workloads.generator import make_content
+
+
+def test_one_edit_update_in_place(benchmark, rfd_setup):
+    system, owner, _ = rfd_setup
+    counter = itertools.count()
+
+    def one_edit():
+        url = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+        with owner.update_file(url, truncate=True) as update:
+            update.replace(make_content(8192, tag="uip", version=next(counter)))
+        system.run_archiver()
+
+    benchmark(one_edit)
+
+
+def test_one_edit_check_in_check_out(benchmark, plain_setup):
+    system, owner, paths = plain_setup
+    manager = CheckInCheckOutManager(system.host_db, system.clock)
+    lfs = system.file_server("fs1").lfs
+    counter = itertools.count()
+
+    def one_edit():
+        manager.check_out("fs1", paths[0], owner.cred.uid)
+        lfs.write_file(paths[0], make_content(8192, tag="cico", version=next(counter)),
+                       owner.cred, create=False)
+        manager.check_in("fs1", paths[0], owner.cred.uid)
+
+    benchmark(one_edit)
+
+
+@pytest.fixture(scope="module")
+def cau_manager(plain_setup):
+    system, _, _ = plain_setup
+    return CopyAndUpdateManager({"fs1": system.file_server("fs1").files})
+
+
+def test_one_edit_copy_and_update(benchmark, plain_setup, cau_manager):
+    _, owner, paths = plain_setup
+    counter = itertools.count()
+
+    def one_edit():
+        copy = cau_manager.make_copy("fs1", paths[0], owner.cred.uid)
+        cau_manager.write_copy(copy, make_content(8192, tag="cau", version=next(counter)))
+        cau_manager.check_in(copy, policy="overwrite")
+
+    benchmark(one_edit)

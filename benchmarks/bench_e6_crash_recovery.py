@@ -1,0 +1,38 @@
+"""E6 -- atomicity: rollback of a failed update and crash recovery.
+
+Paper claim (Section 4.2): if the update transaction aborts or a failure
+occurs, the in-progress version is discarded and the last committed version
+is restored from the archive automatically.
+"""
+
+from repro.bench.experiments import FILES_TABLE
+
+
+def test_rollback_of_in_progress_update(benchmark, rfd_setup):
+    """Restore the last committed version after an abandoned update."""
+
+    system, owner, paths = rfd_setup
+    dlfm = system.file_server("fs1").dlfm
+
+    def update_then_abort():
+        url = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+        update = owner.update_file(url, truncate=True)
+        update.begin()
+        update.write(b"doomed partial content")
+        update.abort()
+
+    benchmark(update_then_abort)
+    # The rollback must leave no tracking state behind.
+    assert dlfm.repository.all_tracking() == []
+
+
+def test_dlfm_crash_recovery(benchmark, rdd_setup):
+    """Crash the file server and run DLFM recovery (repository + file rollback)."""
+
+    system, _, _ = rdd_setup
+
+    def crash_and_recover():
+        system.crash_file_server("fs1")
+        system.recover_file_server("fs1")
+
+    benchmark(crash_and_recover)

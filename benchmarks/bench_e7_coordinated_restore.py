@@ -1,0 +1,37 @@
+"""E7 -- coordinated backup and point-in-time restore.
+
+Paper claim (Section 4.4): backup and restore of the database and the linked
+files are executed in synchronization, keyed by the database state identifier
+associated with every archived file version.
+"""
+
+import pytest
+
+from repro.bench.experiments import FILES_TABLE, build_microsystem
+from repro.datalinks.control_modes import ControlMode
+from repro.workloads.generator import make_content
+
+
+@pytest.fixture(scope="module")
+def system_with_versions():
+    """A system with three committed versions and one coordinated backup."""
+
+    setup = build_microsystem(ControlMode.RFD, size=16 * 1024)
+    system, owner, _ = setup
+    for version in range(1, 4):
+        url = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+        with owner.update_file(url, truncate=True) as update:
+            update.replace(make_content(16 * 1024, tag="v", version=version))
+        system.run_archiver()
+    backup = system.backup("benchmark-point")
+    return system, backup
+
+
+def test_coordinated_backup(benchmark, system_with_versions):
+    system, _ = system_with_versions
+    benchmark(lambda: system.backup("bench"))
+
+
+def test_coordinated_restore(benchmark, system_with_versions):
+    system, backup = system_with_versions
+    benchmark(lambda: system.restore(backup))

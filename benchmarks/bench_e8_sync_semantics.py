@@ -1,0 +1,46 @@
+"""E8 -- synchronization of file access with link/unlink via the Sync table.
+
+Paper claim (Section 4.5): every open of a managed file records a Sync-table
+entry; unlink is rejected while entries exist; full-control modes serialize
+readers and writers at open time.  These benchmarks time the Sync-table hot
+paths (the open-time conflict check and the unlink-time rejection check).
+"""
+
+import pytest
+
+from conftest import read_token_url
+
+from repro.bench.experiments import FILES_TABLE
+from repro.datalinks.uip import tokenized_path
+from repro.errors import DataLinksError
+from repro.fs.vfs import OpenFlags
+
+
+def test_sync_entry_create_and_remove(benchmark, rdd_setup):
+    """Tokenized read open/close of a full-control file (two Sync operations)."""
+
+    system, owner, _ = rdd_setup
+    lfs = system.file_server("fs1").lfs
+    path = tokenized_path(read_token_url(rdd_setup))
+
+    def open_close():
+        fd = lfs.open(path, OpenFlags.READ, owner.cred)
+        lfs.close(fd)
+
+    benchmark(open_close)
+
+
+def test_unlink_rejection_while_open(benchmark, rdd_setup):
+    """The unlink-time Sync-table check that protects open files."""
+
+    system, owner, _ = rdd_setup
+    lfs = system.file_server("fs1").lfs
+    path = tokenized_path(read_token_url(rdd_setup))
+    fd = lfs.open(path, OpenFlags.READ, owner.cred)
+
+    def attempt_unlink():
+        with pytest.raises(DataLinksError):
+            owner.delete(FILES_TABLE, {"file_id": 0})
+
+    benchmark(attempt_unlink)
+    lfs.close(fd)

@@ -1,0 +1,62 @@
+"""E9 -- read-mostly web workload: DataLinks vs BLOB-in-database.
+
+Paper claim (Section 1): DataLinks keeps the database out of the read data
+path and lets content be distributed over multiple file servers; LOB/BLOB
+approaches funnel every byte through the database.
+"""
+
+import pytest
+
+from repro.datalinks.control_modes import ControlMode
+from repro.workloads.webserver import (
+    BlobWebSiteWorkload,
+    PAGES_TABLE,
+    WebServerWorkload,
+    WebSiteConfig,
+)
+
+PAGE_SIZE = 32 * 1024
+
+
+@pytest.fixture(scope="module")
+def datalinks_site():
+    config = WebSiteConfig(pages=16, page_size=PAGE_SIZE, operations=0,
+                           control_mode=ControlMode.RFD)
+    return WebServerWorkload(config).setup()
+
+
+@pytest.fixture(scope="module")
+def blob_site():
+    config = WebSiteConfig(pages=16, page_size=PAGE_SIZE, operations=0)
+    return BlobWebSiteWorkload(config).setup()
+
+
+def test_page_read_datalinks(benchmark, datalinks_site):
+    workload = datalinks_site
+    visitor = workload.system.session("visitor", uid=3001)
+
+    def read_page():
+        url = visitor.get_datalink(PAGES_TABLE, {"page_id": 3}, "body", access="read")
+        visitor.read_url(url)
+
+    benchmark(read_page)
+
+
+def test_page_read_blob_in_db(benchmark, blob_site):
+    workload = blob_site
+    benchmark(lambda: workload.store.read("/site/page00003.html"))
+
+
+def test_page_update_in_place(benchmark, datalinks_site):
+    workload = datalinks_site
+    webmaster = workload.system.session("webmaster", uid=2001)
+    state = {"version": 1}
+
+    def update_page():
+        url = webmaster.get_datalink(PAGES_TABLE, {"page_id": 5}, "body", access="write")
+        with webmaster.update_file(url, truncate=True) as update:
+            update.replace(b"<html>" + str(state["version"]).encode() + b"</html>")
+        state["version"] += 1
+        workload.system.run_archiver()
+
+    benchmark(update_page)

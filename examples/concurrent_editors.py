@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Concurrent editors: update-in-place vs check-in/check-out vs copy-and-update.
+
+Section 3 of the paper discusses three ways to let applications update
+database-managed files.  This example simulates a small team repeatedly
+editing a shared set of documents under each scheme and prints what the paper
+predicts: CICO and UIP never lose updates but turn concurrent writers away,
+while copy-and-update either silently loses work (blind overwrite) or bounces
+check-ins back to the user (conflict detection).
+
+Run with:  python examples/concurrent_editors.py
+"""
+
+from repro.workloads.editors import ALL_SCHEMES, EditorConfig, compare_schemes
+
+
+def main() -> None:
+    config = EditorConfig(
+        editors=6,
+        files=3,
+        edits_per_editor=4,
+        think_ticks=3,
+        think_seconds=0.5,
+        file_size=8 * 1024,
+    )
+    print(f"simulating {config.editors} editors x {config.edits_per_editor} edits "
+          f"over {config.files} shared files...\n")
+    results = compare_schemes(config)
+
+    header = (f"{'scheme':<15} {'completed':>9} {'conflicts':>9} {'lost':>5} "
+              f"{'rejected':>8} {'busy s':>7} {'edits/min':>10}")
+    print(header)
+    print("-" * len(header))
+    for scheme in ALL_SCHEMES:
+        metrics = results[scheme]
+        completed = metrics.counters.get("completed_edits", 0)
+        per_minute = 60.0 * completed / metrics.elapsed if metrics.elapsed else 0.0
+        print(f"{scheme:<15} {completed:>9} "
+              f"{metrics.counters.get('conflicts', 0):>9} "
+              f"{metrics.counters.get('lost_updates', 0):>5} "
+              f"{metrics.counters.get('rejected_checkins', 0):>8} "
+              f"{metrics.stats('edit_session').mean:>7.2f} {per_minute:>10.1f}")
+
+    print("\nreading the table:")
+    print(" * uip / cico refuse a second writer up front (conflicts) and lose nothing;")
+    print(" * cau-overwrite accepts every edit but silently loses the overwritten ones;")
+    print(" * cau-detect converts those losses into rejected check-ins the user redoes.")
+
+
+if __name__ == "__main__":
+    main()

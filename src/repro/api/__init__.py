@@ -1,0 +1,6 @@
+"""Public facade: assemble a DataLinks system and use it from application code."""
+
+from repro.api.system import DataLinksSystem, FileServer
+from repro.api.session import Session, BoundFileSystem
+
+__all__ = ["DataLinksSystem", "FileServer", "Session", "BoundFileSystem"]

@@ -1,0 +1,215 @@
+"""Application sessions: the two access paths the paper describes.
+
+A :class:`Session` binds a user (credentials) to a
+:class:`~repro.api.system.DataLinksSystem` and exposes
+
+* the *SQL path*: insert/update/delete/select against the host database with
+  automatic link/unlink of DATALINK values, plus ``get_datalink`` to obtain a
+  tokenized URL;
+* the *file-system path*: the ordinary open/read/write/close API against a
+  file server's logical file system, including
+  :meth:`Session.update_file`, the update-in-place transaction of Section 4.
+"""
+
+from __future__ import annotations
+
+from repro.datalinks.engine import HostTransaction
+from repro.datalinks.uip import (
+    FileUpdateTransaction,
+    MultiFileUpdate,
+    open_for_read,
+    tokenized_path,
+)
+from repro.errors import DataLinksError
+from repro.fs.inode import FileAttributes
+from repro.fs.logical import LogicalFileSystem
+from repro.fs.vfs import Credentials, OpenFlags
+
+
+class BoundFileSystem:
+    """The file-system API of one file server bound to one user's credentials."""
+
+    def __init__(self, lfs: LogicalFileSystem, cred: Credentials):
+        self._lfs = lfs
+        self.cred = cred
+
+    # Thin, credential-carrying wrappers over the LFS system calls.
+    def open(self, path: str, flags: OpenFlags, mode: int = 0o644) -> int:
+        return self._lfs.open(path, flags, self.cred, mode)
+
+    def close(self, fd: int) -> None:
+        self._lfs.close(fd)
+
+    def read(self, fd: int, length: int = -1) -> bytes:
+        return self._lfs.read(fd, length)
+
+    def write(self, fd: int, data: bytes) -> int:
+        return self._lfs.write(fd, data)
+
+    def lseek(self, fd: int, offset: int) -> int:
+        return self._lfs.lseek(fd, offset)
+
+    def stat(self, path: str) -> FileAttributes:
+        return self._lfs.stat(path, self.cred)
+
+    def exists(self, path: str) -> bool:
+        return self._lfs.exists(path, self.cred)
+
+    def read_file(self, path: str) -> bytes:
+        return self._lfs.read_file(path, self.cred)
+
+    def write_file(self, path: str, data: bytes, create: bool = True) -> int:
+        return self._lfs.write_file(path, data, self.cred, create=create)
+
+    def unlink(self, path: str) -> None:
+        self._lfs.unlink(path, self.cred)
+
+    def rename(self, old: str, new: str) -> None:
+        self._lfs.rename(old, new, self.cred)
+
+    def mkdir(self, path: str) -> None:
+        self._lfs.mkdir(path, self.cred)
+
+    def makedirs(self, path: str) -> None:
+        self._lfs.makedirs(path, self.cred)
+
+    def listdir(self, path: str) -> list[str]:
+        return self._lfs.listdir(path, self.cred)
+
+    def chmod(self, path: str, mode: int) -> None:
+        self._lfs.chmod(path, mode, self.cred)
+
+    @property
+    def lfs(self) -> LogicalFileSystem:
+        return self._lfs
+
+
+class Session:
+    """One application's view of the system."""
+
+    def __init__(self, system, cred: Credentials):
+        self.system = system
+        self.cred = cred
+        self._txn: HostTransaction | None = None
+
+    # -------------------------------------------------------------- transactions --
+    def begin(self) -> HostTransaction:
+        if self._txn is not None:
+            raise DataLinksError("a transaction is already active in this session")
+        self._txn = self.system.engine.begin()
+        return self._txn
+
+    def commit(self) -> None:
+        if self._txn is None:
+            raise DataLinksError("no active transaction")
+        self.system.engine.commit(self._txn)
+        self._txn = None
+
+    def abort(self) -> None:
+        if self._txn is None:
+            raise DataLinksError("no active transaction")
+        self.system.engine.abort(self._txn)
+        self._txn = None
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    # ---------------------------------------------------------------- SQL path --
+    def sql(self, statement: str):
+        """Execute a SQL statement against the host database.
+
+        DML routes through the DataLinks engine, so INSERT/UPDATE/DELETE of
+        DATALINK columns link and unlink files exactly like the typed API.
+        Returns rows for SELECT and an affected-row count otherwise.
+        """
+
+        from repro.storage.sql import SQLExecutor
+
+        executor = SQLExecutor(self.system.host_db, engine=self.system.engine)
+        return executor.execute(statement, self._txn)
+
+    def insert(self, table: str, row: dict) -> int:
+        return self.system.engine.insert(table, row, self._txn)
+
+    def update(self, table: str, where, changes: dict) -> int:
+        return self.system.engine.update(table, where, changes, self._txn)
+
+    def delete(self, table: str, where) -> int:
+        return self.system.engine.delete(table, where, self._txn)
+
+    def select(self, table: str, where=None, **kwargs) -> list[dict]:
+        return self.system.engine.select(table, where, self._txn, **kwargs)
+
+    def get_datalink(self, table: str, where, column: str, *,
+                     access: str = "read", ttl: float | None = None) -> str | None:
+        """Retrieve a DATALINK URL with an embedded access token."""
+
+        return self.system.engine.get_datalink(table, where, column, access=access,
+                                               host_txn=self._txn, ttl=ttl)
+
+    # --------------------------------------------------------------- file path --
+    def fs(self, server: str) -> BoundFileSystem:
+        """The ordinary file-system API of *server*, as this session's user."""
+
+        return BoundFileSystem(self.system.file_server(server).lfs, self.cred)
+
+    def put_file(self, server: str, path: str, content: bytes) -> str:
+        """Create *path* on *server* with *content* (before linking it).
+
+        Returns the bare DATALINK URL to store in the database.  Parent
+        directories are created with superuser credentials so examples and
+        workloads do not need to pre-create a directory tree.
+        """
+
+        file_server = self.system.file_server(server)
+        directory = path.rsplit("/", 1)[0] or "/"
+        root_cred = Credentials(uid=0, gid=0, username="root")
+        if directory != "/":
+            file_server.lfs.makedirs(directory, root_cred)
+            file_server.lfs.chown(directory, self.cred.uid, self.cred.gid, root_cred)
+        file_server.lfs.write_file(path, content, self.cred)
+        return self.system.engine.make_url(server, path)
+
+    def read_url(self, url: str) -> bytes:
+        """Open a (tokenized) DATALINK URL for read and return its content."""
+
+        server = self._server_of(url)
+        lfs = self.system.file_server(server).lfs
+        fd = open_for_read(lfs, url, self.cred)
+        try:
+            return lfs.read(fd)
+        finally:
+            lfs.close(fd)
+
+    def update_file(self, url: str, truncate: bool = False) -> FileUpdateTransaction:
+        """Start an update-in-place transaction on a write-tokenized URL."""
+
+        server = self._server_of(url)
+        lfs = self.system.file_server(server).lfs
+        return FileUpdateTransaction(
+            lfs, url, self.cred, truncate=truncate,
+            abort_callback=lambda srv, path: self.system.abort_file_update(server, path))
+
+    def update_files(self, urls: list[str], truncate: bool = False) -> MultiFileUpdate:
+        """Update several write-tokenized URLs as one all-or-nothing unit.
+
+        This is the "nested transaction" usage of Section 3.1: each file's
+        open/close remains its own sub-transaction, and the returned
+        :class:`MultiFileUpdate` commits or rolls back all of them together.
+        """
+
+        return MultiFileUpdate([self.update_file(url, truncate=truncate)
+                                for url in urls])
+
+    def open_url(self, url: str, flags: OpenFlags) -> int:
+        """Open a tokenized URL with explicit flags; returns the fd."""
+
+        server = self._server_of(url)
+        lfs = self.system.file_server(server).lfs
+        return lfs.open(tokenized_path(url), flags, self.cred)
+
+    def _server_of(self, url: str) -> str:
+        from repro.util.urls import parse_url
+
+        return parse_url(url).server

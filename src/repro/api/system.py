@@ -1,0 +1,175 @@
+"""System assembly: host database, DataLinks engine, file servers, archive.
+
+:class:`DataLinksSystem` is the top-level object users construct.  It owns
+the simulated clock, the host database with its DataLinks engine, the shared
+archive server, and any number of file servers, each of which stacks
+physical FS -> DLFS -> logical FS and runs its own DLFM daemons -- the
+architecture of Figure 1 in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.datalinks.backup_coordinator import BackupCoordinator, SystemBackup
+from repro.datalinks.dlfm.archive import ArchiveServer
+from repro.datalinks.dlfm.daemons import MainDaemon, UpcallDaemon
+from repro.datalinks.dlfm.files import DEFAULT_DBMS_UID, FileServerFiles
+from repro.datalinks.dlfm.manager import DataLinksFileManager
+from repro.datalinks.dlfs.layer import DataLinksFileSystem
+from repro.datalinks.dlfs.upcall_client import UpcallClient
+from repro.datalinks.engine import DataLinksEngine
+from repro.errors import DataLinksError
+from repro.fs.logical import LogicalFileSystem
+from repro.fs.physical import PhysicalFileSystem
+from repro.fs.vfs import Credentials
+from repro.simclock import CostModel, SimClock
+from repro.storage.database import Database
+from repro.storage.schema import TableSchema
+
+
+class FileServer:
+    """One file server node: native FS, DLFS layer, DLFM daemons, LFS."""
+
+    def __init__(self, name: str, clock: SimClock, archive: ArchiveServer,
+                 dbms_uid: int = DEFAULT_DBMS_UID,
+                 strict_read_upcalls: bool = False):
+        self.name = name
+        self.clock = clock
+        self.dbms_uid = dbms_uid
+        self.strict_read_upcalls = strict_read_upcalls
+        self.physical = PhysicalFileSystem(name, clock=clock)
+
+        # The DLFM's privileged path to the native file system (below DLFS).
+        self.raw_lfs = LogicalFileSystem(clock=clock)
+        self.raw_lfs.mount("/", self.physical)
+        self.files = FileServerFiles(
+            lfs=self.raw_lfs,
+            dlfm_cred=Credentials(uid=0, gid=0, username="dlfm"),
+            dbms_uid=dbms_uid,
+            dbms_gid=dbms_uid,
+        )
+
+        self.dlfm = DataLinksFileManager(name, self.files, archive, clock)
+        self.upcall_daemon = UpcallDaemon(self.dlfm, clock)
+        self.main_daemon = MainDaemon(self.dlfm, clock)
+
+        # The application path: LFS on top of DLFS on top of the native FS.
+        self.upcall_client = UpcallClient(self.upcall_daemon, clock)
+        self.dlfs = DataLinksFileSystem(self.physical, self.upcall_client,
+                                        dbms_uid=dbms_uid, clock=clock,
+                                        strict_read_upcalls=strict_read_upcalls)
+        self.lfs = LogicalFileSystem(clock=clock)
+        self.lfs.mount("/", self.dlfs)
+
+    # -- operations -----------------------------------------------------------------
+    def process_archive_jobs(self) -> int:
+        return self.dlfm.process_archive_jobs()
+
+    def crash(self) -> None:
+        """Simulate a crash of the file server node (DLFM state is volatile)."""
+
+        self.dlfm.crash()
+        self.upcall_daemon.stop()
+        self.main_daemon.stop_all()
+
+    def recover(self) -> dict:
+        """Restart the node: DLFM recovery plus daemon restart."""
+
+        summary = self.dlfm.recover()
+        self.upcall_daemon.start()
+        self.main_daemon.start_all()
+        return summary
+
+
+class DataLinksSystem:
+    """A complete DataLinks installation."""
+
+    def __init__(self, cost_model: CostModel | None = None,
+                 clock: SimClock | None = None):
+        self.clock = clock if clock is not None else SimClock(cost_model)
+        self.host_db = Database("host", self.clock)
+        self.engine = DataLinksEngine(self.host_db, self.clock)
+        self.archive = ArchiveServer(self.clock)
+        self.file_servers: dict[str, FileServer] = {}
+        self._backup_coordinator = BackupCoordinator(self.host_db, {})
+
+    # ------------------------------------------------------------------ topology --
+    def add_file_server(self, name: str, dbms_uid: int = DEFAULT_DBMS_UID,
+                        strict_read_upcalls: bool = False) -> FileServer:
+        """Create a file server node and register it with the DataLinks engine.
+
+        ``strict_read_upcalls`` enables the paper's future-work extension:
+        every read open is reported to the DLFM so files linked with
+        ``strict_read_sync`` close the rfd read/write window (at a per-open
+        cost; see experiment E10).
+        """
+
+        if name in self.file_servers:
+            raise DataLinksError(f"file server {name!r} already exists")
+        server = FileServer(name, self.clock, self.archive, dbms_uid=dbms_uid,
+                            strict_read_upcalls=strict_read_upcalls)
+        self.file_servers[name] = server
+        self.engine.register_file_server(name, server.dlfm, server.main_daemon)
+        self._backup_coordinator.register_manager(name, server.dlfm)
+        return server
+
+    def file_server(self, name: str) -> FileServer:
+        try:
+            return self.file_servers[name]
+        except KeyError:
+            raise DataLinksError(f"no file server named {name!r}") from None
+
+    # ------------------------------------------------------------------- schema --
+    def create_table(self, schema: TableSchema) -> None:
+        self.host_db.create_table(schema)
+
+    def register_metadata_columns(self, table: str, column: str,
+                                  size_column: str | None = None,
+                                  mtime_column: str | None = None) -> None:
+        self.engine.register_metadata_columns(table, column, size_column, mtime_column)
+
+    # ------------------------------------------------------------------ sessions --
+    def session(self, username: str, uid: int, gid: int = 100) -> "Session":
+        from repro.api.session import Session
+
+        return Session(self, Credentials(uid=uid, gid=gid, username=username))
+
+    # ----------------------------------------------------------------- background --
+    def run_archiver(self) -> int:
+        """Process pending asynchronous archive jobs on every file server."""
+
+        return sum(server.process_archive_jobs()
+                   for server in self.file_servers.values())
+
+    def run_housekeeping(self, keep_versions: int | None = None) -> dict:
+        """Run DLFM housekeeping on every file server.
+
+        Purges expired token-registry entries and, when *keep_versions* is
+        given, prunes each linked file's version chain down to its newest
+        *keep_versions* entries.  Returns per-server counts.
+        """
+
+        return {name: server.dlfm.run_housekeeping(keep_versions=keep_versions)
+                for name, server in sorted(self.file_servers.items())}
+
+    def abort_file_update(self, server: str, path: str) -> bool:
+        """Administrative rollback of an in-progress file update (Section 4.2)."""
+
+        return self.file_server(server).dlfm.abort_file_update(path)
+
+    # ------------------------------------------------------------ backup / restore --
+    def backup(self, label: str = "") -> SystemBackup:
+        """Take a coordinated backup of the host database and every file server."""
+
+        return self._backup_coordinator.backup(label)
+
+    def restore(self, backup: SystemBackup) -> dict:
+        """Restore a coordinated backup; returns the per-server restored paths."""
+
+        return self._backup_coordinator.restore(backup)
+
+    # ------------------------------------------------------------ fault injection --
+    def crash_file_server(self, name: str) -> None:
+        self.file_server(name).crash()
+
+    def recover_file_server(self, name: str) -> dict:
+        return self.file_server(name).recover()

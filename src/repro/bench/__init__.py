@@ -1,0 +1,11 @@
+"""Benchmark harness reproducing the paper's evaluation claims (E1..E9).
+
+``python -m repro.bench`` runs every experiment and prints the tables that
+EXPERIMENTS.md records; ``benchmarks/`` contains the pytest-benchmark wrappers
+that measure the wall-clock cost of the same code paths.
+"""
+
+from repro.bench.metrics import ExperimentResult, format_table
+from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentResult", "format_table", "ALL_EXPERIMENTS", "run_experiment"]

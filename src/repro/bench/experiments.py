@@ -1,0 +1,753 @@
+"""The reproduced experiments (E1..E9).
+
+The paper's evaluation (Sections 3.2 and 5) is narrative rather than a set of
+numbered tables, so each quantitative or comparative claim becomes one
+experiment here.  Every experiment builds a fresh simulated system, drives it
+through the public API, and reports *simulated* milliseconds (comparable in
+shape to the paper's 200 MHz-era measurements) plus whatever counts the claim
+is about.  ``python -m repro.bench`` prints all tables; EXPERIMENTS.md records
+paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from repro.api.system import DataLinksSystem
+from repro.bench.metrics import ExperimentResult
+from repro.datalinks.baselines.blob_store import BlobFileStore
+from repro.datalinks.control_modes import ControlMode
+from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
+from repro.errors import DataLinksError, FileSystemError
+from repro.fs.vfs import OpenFlags
+from repro.storage.schema import Column, TableSchema
+from repro.storage.values import DataType
+from repro.util.urls import parse_url
+from repro.workloads.editors import ALL_SCHEMES, EditorConfig, compare_schemes
+from repro.workloads.generator import make_content
+from repro.workloads.webserver import (
+    BlobWebSiteWorkload,
+    WebServerWorkload,
+    WebSiteConfig,
+)
+
+FILES_TABLE = "managed_files"
+OWNER_UID = 1001
+
+
+# ---------------------------------------------------------------------------
+# shared scaffolding
+# ---------------------------------------------------------------------------
+
+def _build_system(mode: ControlMode | None, *, size: int = 64 * 1024,
+                  server: str = "fs1", path: str = "/data/file0.bin",
+                  files: int = 1):
+    """Build a system with *files* files; link them when *mode* is given.
+
+    Returns ``(system, owner_session, [paths])``.
+    """
+
+    system = DataLinksSystem()
+    system.add_file_server(server)
+    system.create_table(TableSchema(FILES_TABLE, [
+        Column("file_id", DataType.INTEGER, nullable=False),
+        datalink_column("doc", DatalinkOptions(control_mode=mode)
+                        if mode is not None else DatalinkOptions()),
+        Column("doc_size", DataType.INTEGER),
+        Column("doc_mtime", DataType.TIMESTAMP),
+    ], primary_key=("file_id",)))
+    system.register_metadata_columns(FILES_TABLE, "doc", "doc_size", "doc_mtime")
+    owner = system.session("owner", uid=OWNER_UID)
+    paths = []
+    for index in range(files):
+        file_path = path if files == 1 else f"/data/file{index}.bin"
+        content = make_content(size, tag=f"file{index}", version=0)
+        url = owner.put_file(server, file_path, content)
+        if mode is not None:
+            owner.insert(FILES_TABLE, {"file_id": index, "doc": url,
+                                       "doc_size": len(content), "doc_mtime": 0.0})
+        paths.append(file_path)
+    if mode is not None:
+        system.run_archiver()
+    return system, owner, paths
+
+
+def _measure(system: DataLinksSystem, operation, repeats: int = 20) -> float:
+    """Mean simulated milliseconds of *operation* over *repeats* runs."""
+
+    total = 0.0
+    for _ in range(repeats):
+        with system.clock.measure() as timer:
+            operation()
+        total += timer.elapsed_ms
+    return total / repeats
+
+
+# ---------------------------------------------------------------------------
+# E1 -- DATALINK column retrieval cost at the host database
+# ---------------------------------------------------------------------------
+
+def experiment_e1(repeats: int = 50) -> ExperimentResult:
+    """SELECT of a DATALINK column with and without token generation."""
+
+    system, owner, _ = _build_system(ControlMode.RDB, size=4096, files=10)
+    engine = system.engine
+
+    def select_plain():
+        engine.select(FILES_TABLE, {"file_id": 3}, lock=False)
+
+    def select_read_token():
+        engine.get_datalink(FILES_TABLE, {"file_id": 3}, "doc", access="read")
+
+    rows = [
+        {"statement": "SELECT row (no DATALINK processing)",
+         "mean_ms": _measure(system, select_plain, repeats)},
+        {"statement": "SELECT DATALINK with read-token generation",
+         "mean_ms": _measure(system, select_read_token, repeats)},
+    ]
+
+    # Write tokens require an update mode; measure on a second system.
+    system_w, _, _ = _build_system(ControlMode.RFD, size=4096, files=10)
+
+    def select_write_token():
+        system_w.engine.get_datalink(FILES_TABLE, {"file_id": 3}, "doc", access="write")
+
+    rows.append({"statement": "SELECT DATALINK with write-token generation",
+                 "mean_ms": _measure(system_w, select_write_token, repeats)})
+    for row in rows:
+        row["within_3ms"] = "yes" if row["mean_ms"] < 3.0 else "no"
+    return ExperimentResult(
+        experiment_id="E1",
+        title="DATALINK column retrieval overhead at the host database",
+        paper_claim="Retrieving a DATALINK column, including access token "
+                    "generation, costs less than 3 ms at the host database "
+                    "(Section 3.2).",
+        headers=["statement", "mean_ms", "within_3ms"],
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E2 -- DLFS + token validation overhead at open/close, per control mode
+# ---------------------------------------------------------------------------
+
+def experiment_e2(repeats: int = 20) -> ExperimentResult:
+    """open+close latency and upcall counts across control modes."""
+
+    rows = []
+    baseline_ms = None
+    scenarios = [("unlinked", None), ("rff", ControlMode.RFF),
+                 ("rfb", ControlMode.RFB), ("rdb", ControlMode.RDB),
+                 ("rfd", ControlMode.RFD), ("rdd", ControlMode.RDD)]
+    for label, mode in scenarios:
+        system, owner, paths = _build_system(mode, size=4096)
+        path = paths[0]
+        lfs = system.file_server("fs1").lfs
+        needs_token = mode is not None and mode.requires_read_token
+        url = None
+        if needs_token:
+            url = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc",
+                                     access="read", ttl=10_000.0)
+
+        def open_close():
+            if needs_token:
+                parsed = parse_url(url)
+                open_path = f"{parsed.directory}/{parsed.filename};token={parsed.token}"
+            else:
+                open_path = path
+            fd = lfs.open(open_path, OpenFlags.READ, owner.cred)
+            lfs.close(fd)
+
+        before_upcalls = system.clock.stats.count("upcall_round_trip")
+        mean_ms = _measure(system, open_close, repeats)
+        upcalls = (system.clock.stats.count("upcall_round_trip") - before_upcalls) / repeats
+        if label == "unlinked":
+            baseline_ms = mean_ms
+        rows.append({
+            "mode": label,
+            "read_open_close_ms": mean_ms,
+            "added_vs_unlinked_ms": mean_ms - (baseline_ms or 0.0),
+            "upcalls_per_open": upcalls,
+        })
+    return ExperimentResult(
+        experiment_id="E2",
+        title="DLFS and token-validation overhead on the open/close path",
+        paper_claim="The DLFS layer plus token validation add roughly 1 ms to "
+                    "open, read and close at the file server (Section 3.2); "
+                    "modes not under full control avoid upcalls on read opens.",
+        headers=["mode", "read_open_close_ms", "added_vs_unlinked_ms", "upcalls_per_open"],
+        rows=rows,
+        notes="Full-control modes (rdb, rdd) pay two upcalls per tokenized read "
+              "open (token validation at lookup, Sync-table check at open); "
+              "rff/rfb/rfd reads bypass the DLFM entirely.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E3 -- end-to-end read overhead vs file size; DataLinks vs plain FS vs BLOB
+# ---------------------------------------------------------------------------
+
+def experiment_e3(sizes: tuple = (64 * 1024, 1024 * 1024, 4 * 1024 * 1024),
+                  repeats: int = 5) -> ExperimentResult:
+    rows = []
+    for size in sizes:
+        # plain file system (file not linked)
+        system_plain, owner_plain, paths_plain = _build_system(None, size=size)
+        lfs_plain = system_plain.file_server("fs1").lfs
+
+        def read_plain():
+            lfs_plain.read_file(paths_plain[0], owner_plain.cred)
+
+        plain_ms = _measure(system_plain, read_plain, repeats)
+
+        # DataLinks full control: the DB-side token retrieval and the FS-side
+        # tokenized read are measured separately so the paper's "<1 % at the
+        # file system side" claim can be checked on its own terms.
+        system_dl, owner_dl, _ = _build_system(ControlMode.RDB, size=size)
+        url_holder = {}
+
+        def retrieve_token():
+            url_holder["url"] = owner_dl.get_datalink(FILES_TABLE, {"file_id": 0},
+                                                      "doc", access="read")
+
+        def read_datalinks_fs():
+            owner_dl.read_url(url_holder["url"])
+
+        token_ms = _measure(system_dl, retrieve_token, repeats)
+        datalinks_fs_ms = _measure(system_dl, read_datalinks_fs, repeats)
+
+        # BLOB in the database (iFS / IXFS style)
+        system_blob = DataLinksSystem()
+        store = BlobFileStore(system_blob.host_db, system_blob.clock)
+        store.write("/data/file0.bin", make_content(size, tag="blob", version=0))
+
+        def read_blob():
+            store.read("/data/file0.bin")
+
+        blob_ms = _measure(system_blob, read_blob, repeats)
+
+        rows.append({
+            "size_kb": size // 1024,
+            "plain_fs_ms": plain_ms,
+            "datalinks_fs_ms": datalinks_fs_ms,
+            "fs_overhead_pct": 100.0 * (datalinks_fs_ms - plain_ms) / plain_ms,
+            "db_token_ms": token_ms,
+            "total_overhead_pct": 100.0 * (datalinks_fs_ms + token_ms - plain_ms) / plain_ms,
+            "blob_in_db_ms": blob_ms,
+            "blob_overhead_pct": 100.0 * (blob_ms - plain_ms) / plain_ms,
+        })
+    return ExperimentResult(
+        experiment_id="E3",
+        title="End-to-end read cost: DataLinks vs plain file system vs BLOB-in-DB",
+        paper_claim="The DLFS layer and token validation add about 1 ms, i.e. "
+                    "under 1 % of the time to read a 1 MB file (Section 3.2); "
+                    "LOB/BLOB approaches pay database processing on every read "
+                    "byte (Section 1).",
+        headers=["size_kb", "plain_fs_ms", "datalinks_fs_ms", "fs_overhead_pct",
+                 "db_token_ms", "total_overhead_pct", "blob_in_db_ms",
+                 "blob_overhead_pct"],
+        rows=rows,
+        notes="fs_overhead_pct isolates the file-server side (DLFS + upcalls + "
+              "token validation), which is what the paper's <1 % figure covers; "
+              "total_overhead_pct additionally counts the DATALINK retrieval at "
+              "the host database.  Both are fixed per open, so they shrink as "
+              "the file grows, while the BLOB penalty is per byte.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E4 -- update-status bookkeeping overhead (the paper's Section 5 claim)
+# ---------------------------------------------------------------------------
+
+def experiment_e4(repeats: int = 20) -> ExperimentResult:
+    rows = []
+
+    # Plain file owned by the application: open for write, close.
+    system_plain, owner_plain, paths_plain = _build_system(None, size=8192)
+    lfs_plain = system_plain.file_server("fs1").lfs
+
+    def plain_write_open_close():
+        fd = lfs_plain.open(paths_plain[0], OpenFlags.READ | OpenFlags.WRITE,
+                            owner_plain.cred)
+        lfs_plain.close(fd)
+
+    plain_ms = _measure(system_plain, plain_write_open_close, repeats)
+    rows.append({"case": "plain file, write open/close (no DataLinks)",
+                 "mean_ms": plain_ms, "added_ms": 0.0})
+
+    for mode in (ControlMode.RFD, ControlMode.RDD):
+        system, owner, paths = _build_system(mode, size=8192)
+
+        def managed_write_open_close():
+            url = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+            update = owner.update_file(url)
+            update.begin()
+            update.commit()
+            system.run_archiver()
+
+        mean_ms = _measure(system, managed_write_open_close, repeats)
+        rows.append({"case": f"{mode.value}-linked file, write open/close "
+                             f"(token + Sync + tracking)",
+                     "mean_ms": mean_ms, "added_ms": mean_ms - plain_ms})
+    return ExperimentResult(
+        experiment_id="E4",
+        title="Cost of maintaining file-update status at the DLFM",
+        paper_claim="'There is only minor difference in the response time between "
+                    "opening a DataLinks managed file and opening a file system "
+                    "managed file'; the update-status bookkeeping at DLFM is "
+                    "insignificant (Section 5).",
+        headers=["case", "mean_ms", "added_ms"],
+        rows=rows,
+        notes="The managed cases include write-token generation at the host DB, "
+              "the lookup/open/close upcalls and the Sync-table and "
+              "update-tracking rows -- everything Section 4 adds to an update.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E5 -- update schemes compared: UIP vs CICO vs CAU
+# ---------------------------------------------------------------------------
+
+def experiment_e5(config: EditorConfig | None = None) -> ExperimentResult:
+    base = config if config is not None else EditorConfig(
+        editors=6, files=3, edits_per_editor=4)
+    results = compare_schemes(base)
+    rows = []
+    for scheme in ALL_SCHEMES:
+        metrics = results[scheme]
+        completed = metrics.counters.get("completed_edits", 0)
+        rows.append({
+            "scheme": scheme,
+            "completed_edits": completed,
+            "acquire_conflicts": metrics.counters.get("conflicts", 0),
+            "lost_updates": metrics.counters.get("lost_updates", 0),
+            "rejected_checkins": metrics.counters.get("rejected_checkins", 0),
+            "mean_busy_s": metrics.stats("edit_session").mean,
+            "elapsed_s": metrics.elapsed,
+            "edits_per_min": 60.0 * completed / metrics.elapsed if metrics.elapsed else 0.0,
+        })
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Update schemes under concurrent editing",
+        paper_claim="CICO holds database locks across whole edit sessions and "
+                    "needs two extra database updates per edit; CAU avoids locks "
+                    "but admits lost updates; UIP serializes writers at open/close "
+                    "without losing updates (Section 3).",
+        headers=["scheme", "completed_edits", "acquire_conflicts", "lost_updates",
+                 "rejected_checkins", "mean_busy_s", "elapsed_s", "edits_per_min"],
+        rows=[{key: (round(value, 3) if isinstance(value, float) else value)
+               for key, value in row.items()} for row in rows],
+        notes="cau-overwrite publishes every edit but silently loses intervening "
+              "ones; cau-detect refuses them instead; uip and cico both refuse "
+              "concurrent writers up front and never lose an update.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E6 -- atomicity of file update under aborts and crashes
+# ---------------------------------------------------------------------------
+
+def experiment_e6() -> ExperimentResult:
+    rows = []
+
+    def scenario(name: str, expected: str, run) -> None:
+        observed = run()
+        rows.append({"scenario": name, "expected": expected, "observed": observed,
+                     "pass": "yes" if observed == expected else "NO"})
+
+    # 1. explicit abort in the middle of an update
+    def run_abort():
+        system, owner, paths = _build_system(ControlMode.RFD, size=4096)
+        before = system.file_server("fs1").files.read(paths[0])
+        url = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+        try:
+            with owner.update_file(url, truncate=True) as update:
+                update.write(b"partial garbage")
+                raise RuntimeError("application failure")
+        except RuntimeError:
+            pass
+        after = system.file_server("fs1").files.read(paths[0])
+        return "last committed version restored" if after == before \
+            else "partial update survived"
+
+    scenario("application fails mid-update (rfd)",
+             "last committed version restored", run_abort)
+
+    # 2. file-server crash while an update is open
+    def run_crash():
+        system, owner, paths = _build_system(ControlMode.RDD, size=4096)
+        before = system.file_server("fs1").files.read(paths[0])
+        url = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+        update = owner.update_file(url, truncate=True)
+        update.begin()
+        update.write(b"in flight")
+        system.crash_file_server("fs1")
+        system.recover_file_server("fs1")
+        after = system.file_server("fs1").files.read(paths[0])
+        return "last committed version restored" if after == before \
+            else "partial update survived"
+
+    scenario("file server crashes mid-update (rdd)",
+             "last committed version restored", run_crash)
+
+    # 3. crash after commit but before asynchronous archiving
+    def run_crash_after_commit():
+        system, owner, paths = _build_system(ControlMode.RFD, size=4096)
+        new_content = make_content(4096, tag="committed", version=1)
+        url = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+        with owner.update_file(url, truncate=True) as update:
+            update.replace(new_content)
+        # crash before the archiver has run
+        system.crash_file_server("fs1")
+        system.recover_file_server("fs1")
+        after = system.file_server("fs1").files.read(paths[0])
+        return "committed update survived" if after == new_content \
+            else "committed update lost"
+
+    scenario("crash after close/commit, before archiving",
+             "committed update survived", run_crash_after_commit)
+
+    # 4. SQL transaction that links a file rolls back
+    def run_link_rollback():
+        system, owner, paths = _build_system(None, size=4096)
+        url = system.engine.make_url("fs1", paths[0])
+        owner.begin()
+        owner.insert(FILES_TABLE, {"file_id": 99, "doc": url,
+                                   "doc_size": 0, "doc_mtime": 0.0})
+        owner.abort()
+        linked = system.file_server("fs1").dlfm.repository.linked_file(paths[0])
+        attrs = system.file_server("fs1").files.stat(paths[0])
+        writable = bool(attrs.mode & 0o200)
+        if linked is None and writable:
+            return "link undone, file permissions restored"
+        return "link or permissions leaked"
+
+    scenario("SQL transaction with link rolls back",
+             "link undone, file permissions restored", run_link_rollback)
+
+    return ExperimentResult(
+        experiment_id="E6",
+        title="Atomicity of in-place file update",
+        paper_claim="'This ensures that either all changes to a file between open "
+                    "and close calls complete successfully or none of the changes "
+                    "survive the failure' (Section 4.2); DLFM changes roll back "
+                    "with the SQL transaction (Section 2.2).",
+        headers=["scenario", "expected", "observed", "pass"],
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E7 -- coordinated backup and point-in-time restore
+# ---------------------------------------------------------------------------
+
+def experiment_e7() -> ExperimentResult:
+    system, owner, paths = _build_system(ControlMode.RFD, size=4096)
+    path = paths[0]
+    files = system.file_server("fs1").files
+    contents = {0: files.read(path)}
+    backups = {}
+
+    def update_to(version: int) -> None:
+        content = make_content(4096, tag="v", version=version)
+        url = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+        with owner.update_file(url, truncate=True) as update:
+            update.replace(content)
+        system.run_archiver()
+        contents[version] = content
+
+    backups[0] = system.backup("v0")
+    update_to(1)
+    backups[1] = system.backup("v1")
+    update_to(2)
+    backups[2] = system.backup("v2")
+    update_to(3)
+
+    rows = []
+    for version in (1, 0, 2):
+        system.restore(backups[version])
+        file_content = files.read(path)
+        metadata = system.host_db.select_one(FILES_TABLE, {"file_id": 0}, lock=False)
+        content_ok = file_content == contents[version]
+        metadata_ok = metadata is not None and metadata["doc_size"] == len(contents[version])
+        rows.append({
+            "restore_to": f"backup taken after v{version}",
+            "state_id": backups[version].state_id,
+            "file_content_matches": "yes" if content_ok else "NO",
+            "metadata_matches": "yes" if metadata_ok else "NO",
+        })
+    return ExperimentResult(
+        experiment_id="E7",
+        title="Coordinated backup and point-in-time restore",
+        paper_claim="Each file version carries the database state identifier; "
+                    "restoring the database to a previous point also restores the "
+                    "corresponding file versions from the archive (Section 4.4).",
+        headers=["restore_to", "state_id", "file_content_matches", "metadata_matches"],
+        rows=rows,
+        notes="Restores are exercised out of order (v1, then back to v0, then "
+              "forward to v2) to show the restore picks versions by state id, "
+              "not by recency.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E8 -- synchronization of file access with link/unlink; the rfd window
+# ---------------------------------------------------------------------------
+
+def experiment_e8() -> ExperimentResult:
+    rows = []
+
+    def record(name: str, paper_expectation: str, observed: str, matches: bool) -> None:
+        rows.append({"scenario": name, "paper": paper_expectation,
+                     "observed": observed, "matches_paper": "yes" if matches else "NO"})
+
+    # a. unlink rejected while the file is open (rdd read)
+    system, owner, paths = _build_system(ControlMode.RDD, size=4096)
+    url = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="read")
+    fd = owner.open_url(url, OpenFlags.READ)
+    try:
+        owner.delete(FILES_TABLE, {"file_id": 0})
+        record("unlink while file open (rdd)", "unlink rejected via Sync table",
+               "unlink succeeded", False)
+    except (DataLinksError, FileSystemError) as error:
+        record("unlink while file open (rdd)", "unlink rejected via Sync table",
+               f"rejected: {type(error).__name__}", True)
+    system.file_server("fs1").lfs.close(fd)
+
+    # b. rfd: a reader holds the file open while a writer updates it
+    system, owner, paths = _build_system(ControlMode.RFD, size=4096)
+    reader = system.session("reader", uid=3002)
+    reader_fd = system.file_server("fs1").lfs.open(paths[0], OpenFlags.READ, reader.cred)
+    wurl = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+    try:
+        with owner.update_file(wurl, truncate=True) as update:
+            update.replace(b"new data visible to the concurrent reader")
+        observed = "writer allowed while reader has the file open"
+        matches = True
+    except FileSystemError:
+        observed = "writer blocked by existing reader"
+        matches = False
+    record("rfd: write open while another application reads",
+           "allowed -- the documented read/write inconsistency window", observed, matches)
+    data_after = system.file_server("fs1").lfs.read(reader_fd)
+    record("rfd: reader's next read during/after the update",
+           "may observe the new (or mixed) content",
+           "reader saw updated content" if b"new data" in data_after
+           else "reader saw original content", b"new data" in data_after)
+    system.file_server("fs1").lfs.close(reader_fd)
+
+    # c. rdd: reader open blocks a writer (serialized at open time)
+    system, owner, paths = _build_system(ControlMode.RDD, size=4096)
+    rurl = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="read")
+    reader_fd = owner.open_url(rurl, OpenFlags.READ)
+    wurl = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+    try:
+        owner.update_file(wurl).begin()
+        record("rdd: write open while a reader holds the file",
+               "rejected -- reads and writes serialized at open", "writer allowed", False)
+    except FileSystemError:
+        record("rdd: write open while a reader holds the file",
+               "rejected -- reads and writes serialized at open", "writer rejected", True)
+    system.file_server("fs1").lfs.close(reader_fd)
+
+    # d. rdd: writer open blocks a reader
+    wurl = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+    update = owner.update_file(wurl)
+    update.begin()
+    rurl = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="read")
+    try:
+        owner.open_url(rurl, OpenFlags.READ)
+        record("rdd: read open while a writer holds the file",
+               "rejected -- reads and writes serialized at open", "reader allowed", False)
+    except FileSystemError:
+        record("rdd: read open while a writer holds the file",
+               "rejected -- reads and writes serialized at open", "reader rejected", True)
+    update.commit()
+
+    # e. link succeeds while the file is already open (acknowledged window)
+    system, owner, paths = _build_system(None, size=4096)
+    lfs = system.file_server("fs1").lfs
+    open_fd = lfs.open(paths[0], OpenFlags.READ, owner.cred)
+    url = system.engine.make_url("fs1", paths[0])
+    try:
+        owner.insert(FILES_TABLE, {"file_id": 0, "doc": url,
+                                   "doc_size": 0, "doc_mtime": 0.0})
+        record("link while the file is open by an application",
+               "link succeeds (window of inconsistency left as future work)",
+               "link succeeded", True)
+    except (DataLinksError, FileSystemError):
+        record("link while the file is open by an application",
+               "link succeeds (window of inconsistency left as future work)",
+               "link rejected", False)
+    lfs.close(open_fd)
+
+    return ExperimentResult(
+        experiment_id="E8",
+        title="Synchronization of file access with link/unlink; rfd consistency window",
+        paper_claim="Unlink is rejected while a Sync-table entry exists; rdd "
+                    "serializes readers and writers at open time; rfd leaves a "
+                    "read/write window; a link can succeed while the file is open "
+                    "(Sections 4.5 and 5).",
+        headers=["scenario", "paper", "observed", "matches_paper"],
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E9 -- read-mostly web workload; scale-out and the BLOB comparison
+# ---------------------------------------------------------------------------
+
+def experiment_e9(pages: int = 24, operations: int = 200,
+                  page_size: int = 64 * 1024) -> ExperimentResult:
+    rows = []
+    for servers in (1, 2, 4):
+        config = WebSiteConfig(pages=pages, operations=operations, page_size=page_size,
+                               file_servers=servers, control_mode=ControlMode.RFD)
+        workload = WebServerWorkload(config).setup()
+        metrics = workload.run()
+        per_server_mb = [
+            workload.system.file_server(f"web{index}").physical.device.stats.bytes_read
+            / (1024 * 1024)
+            for index in range(servers)
+        ]
+        rows.append({
+            "configuration": f"DataLinks rfd, {servers} file server(s)",
+            "reads": metrics.stats("read_page").count,
+            "mean_read_ms": round(metrics.stats("read_page").mean * 1000, 3),
+            "mean_update_ms": round(metrics.stats("update_page").mean * 1000, 3),
+            "ops_per_sim_s": round(metrics.throughput(), 1),
+            "max_mb_read_per_server": round(max(per_server_mb), 1),
+            "host_db_read_mb": 0.0,
+        })
+    blob_config = WebSiteConfig(pages=pages, operations=operations, page_size=page_size)
+    blob = BlobWebSiteWorkload(blob_config).setup()
+    metrics = blob.run()
+    blob_bytes = sum(stats.count for stats in metrics.operations.values()) * page_size
+    rows.append({
+        "configuration": "BLOB-in-database (iFS/IXFS style)",
+        "reads": metrics.stats("read_page").count,
+        "mean_read_ms": round(metrics.stats("read_page").mean * 1000, 3),
+        "mean_update_ms": round(metrics.stats("update_page").mean * 1000, 3),
+        "ops_per_sim_s": round(metrics.throughput(), 1),
+        "max_mb_read_per_server": 0.0,
+        "host_db_read_mb": round(blob_bytes / (1024 * 1024), 1),
+    })
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Read-mostly web workload: DataLinks scale-out vs BLOB-in-DB",
+        paper_claim="DataLinks keeps the read path almost free of database "
+                    "involvement and lets files be spread over multiple file "
+                    "servers, unlike LOB/BLOB storage which funnels every byte "
+                    "through the database server (Section 1).",
+        headers=["configuration", "reads", "mean_read_ms", "mean_update_ms",
+                 "ops_per_sim_s", "max_mb_read_per_server", "host_db_read_mb"],
+        rows=rows,
+        notes="max_mb_read_per_server shows how the data-path load spreads as "
+              "file servers are added; the BLOB configuration moves that entire "
+              "volume through the host database instead.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E10 -- ablation: strict read synchronization (the paper's future-work fix)
+# ---------------------------------------------------------------------------
+
+def experiment_e10(repeats: int = 20) -> ExperimentResult:
+    """Cost and effect of closing the rfd read/write window with Sync entries."""
+
+    from repro.fs.vfs import OpenFlags as _OpenFlags
+
+    rows = []
+    for label, strict in (("rfd (default, window open)", False),
+                          ("rfd + strict read sync (window closed)", True)):
+        system = DataLinksSystem()
+        system.add_file_server("fs1", strict_read_upcalls=strict)
+        system.create_table(TableSchema(FILES_TABLE, [
+            Column("file_id", DataType.INTEGER, nullable=False),
+            datalink_column("doc", DatalinkOptions(control_mode=ControlMode.RFD,
+                                                   strict_read_sync=strict)),
+            Column("doc_size", DataType.INTEGER),
+            Column("doc_mtime", DataType.TIMESTAMP),
+        ], primary_key=("file_id",)))
+        system.register_metadata_columns(FILES_TABLE, "doc", "doc_size", "doc_mtime")
+        owner = system.session("owner", uid=OWNER_UID)
+        path = "/data/file0.bin"
+        url = owner.put_file("fs1", path, make_content(8192, tag="e10"))
+        owner.insert(FILES_TABLE, {"file_id": 0, "doc": url,
+                                   "doc_size": 0, "doc_mtime": 0.0})
+        system.run_archiver()
+        lfs = system.file_server("fs1").lfs
+
+        def open_close():
+            fd = lfs.open(path, _OpenFlags.READ, owner.cred)
+            lfs.close(fd)
+
+        before_upcalls = system.clock.stats.count("upcall_round_trip")
+        mean_ms = _measure(system, open_close, repeats)
+        upcalls = (system.clock.stats.count("upcall_round_trip") - before_upcalls) / repeats
+
+        # Semantic probe: does a writer get in while a reader holds the file?
+        reader = system.session("reader", uid=3002)
+        reader_fd = lfs.open(path, _OpenFlags.READ, reader.cred)
+        write_url = owner.get_datalink(FILES_TABLE, {"file_id": 0}, "doc", access="write")
+        try:
+            update = owner.update_file(write_url)
+            update.begin()
+            update.commit()
+            writer_outcome = "allowed (window open)"
+        except FileSystemError:
+            writer_outcome = "rejected (window closed)"
+        lfs.close(reader_fd)
+
+        rows.append({
+            "configuration": label,
+            "read_open_close_ms": mean_ms,
+            "upcalls_per_read_open": upcalls,
+            "writer_while_reader_open": writer_outcome,
+        })
+    return ExperimentResult(
+        experiment_id="E10",
+        title="Ablation: strict read synchronization for rfd-linked files",
+        paper_claim="'Making an upcall to DLFM from DLFS and adding an entry in "
+                    "the Sync table will eliminate the problem' but 'would incur "
+                    "additional overhead ... for every open call', which is why "
+                    "the paper does not recommend it (Section 5).",
+        headers=["configuration", "read_open_close_ms", "upcalls_per_read_open",
+                 "writer_while_reader_open"],
+        rows=rows,
+        notes="The ablation quantifies the trade-off the authors describe: strict "
+              "synchronization closes the rfd read/write window at the price of an "
+              "upcall plus two Sync-table updates on every read open.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+ALL_EXPERIMENTS = {
+    "E1": experiment_e1,
+    "E2": experiment_e2,
+    "E3": experiment_e3,
+    "E4": experiment_e4,
+    "E5": experiment_e5,
+    "E6": experiment_e6,
+    "E7": experiment_e7,
+    "E8": experiment_e8,
+    "E9": experiment_e9,
+    "E10": experiment_e10,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id (``"E1"`` .. ``"E9"``)."""
+
+    try:
+        factory = ALL_EXPERIMENTS[experiment_id.upper()]
+    except KeyError:
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"known: {sorted(ALL_EXPERIMENTS)}") from None
+    return factory()
+
+
+# Public aliases used by the pytest-benchmark wrappers in ``benchmarks/``.
+build_microsystem = _build_system
+measure_simulated = _measure

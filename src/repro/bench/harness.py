@@ -1,0 +1,43 @@
+"""Run every experiment and render the results (text or markdown)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.metrics import ExperimentResult
+
+
+def run_all(experiment_ids: list[str] | None = None, *,
+            markdown: bool = False, stream=None) -> list[ExperimentResult]:
+    """Run the selected experiments (all by default), printing each table."""
+
+    stream = stream if stream is not None else sys.stdout
+    ids = [identifier.upper() for identifier in (experiment_ids or sorted(ALL_EXPERIMENTS))]
+    results = []
+    for identifier in ids:
+        factory = ALL_EXPERIMENTS[identifier]
+        started = time.time()
+        result = factory()
+        elapsed = time.time() - started
+        results.append(result)
+        rendered = result.as_markdown() if markdown else result.as_text()
+        print(rendered, file=stream)
+        print(f"(wall clock: {elapsed:.1f} s)", file=stream)
+        print("", file=stream)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's evaluation claims (experiments E1..E9).")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids to run (default: all)")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit markdown tables (for EXPERIMENTS.md)")
+    args = parser.parse_args(argv)
+    run_all(args.experiments or None, markdown=args.markdown)
+    return 0

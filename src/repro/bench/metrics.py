@@ -1,0 +1,76 @@
+"""Result containers and plain-text/markdown table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one reproduced experiment."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    headers: list
+    rows: list
+    notes: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def as_text(self) -> str:
+        lines = [
+            f"{self.experiment_id}: {self.title}",
+            f"paper claim: {self.paper_claim}",
+            format_table(self.headers, self.rows),
+        ]
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+    def as_markdown(self) -> str:
+        lines = [
+            f"### {self.experiment_id} — {self.title}",
+            "",
+            f"**Paper claim.** {self.paper_claim}",
+            "",
+            format_table(self.headers, self.rows, markdown=True),
+        ]
+        if self.notes:
+            lines.extend(["", f"**Notes.** {self.notes}"])
+        return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: list, rows: list, markdown: bool = False) -> str:
+    """Format *rows* (sequences or dicts) under *headers* as an aligned table."""
+
+    normalized = []
+    for row in rows:
+        if isinstance(row, dict):
+            normalized.append([_cell(row.get(header, "")) for header in headers])
+        else:
+            normalized.append([_cell(value) for value in row])
+    header_cells = [str(header) for header in headers]
+    widths = [len(cell) for cell in header_cells]
+    for row in normalized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render(cells: list[str]) -> str:
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(cells)]
+        if markdown:
+            return "| " + " | ".join(padded) + " |"
+        return "  ".join(padded)
+
+    lines = [render(header_cells)]
+    if markdown:
+        lines.append("|" + "|".join("-" * (width + 2) for width in widths) + "|")
+    else:
+        lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render(row) for row in normalized)
+    return "\n".join(lines)

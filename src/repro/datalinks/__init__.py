@@ -1,0 +1,31 @@
+"""The paper's contribution: DataLinks with database-managed file update.
+
+Layout mirrors the system architecture (Figure 1 of the paper):
+
+* :mod:`repro.datalinks.control_modes` -- the DATALINK column control modes
+  (``nff``/``rff``/``rfb``/``rdb`` plus the new update modes ``rfd``/``rdd``);
+* :mod:`repro.datalinks.tokens` -- read/write access tokens embedded in file
+  names;
+* :mod:`repro.datalinks.engine` -- the DataLinks engine inside the host DBMS
+  (link/unlink on SQL operations, token generation, two-phase commit);
+* :mod:`repro.datalinks.dlfm` -- the DataLinks File Manager on each file
+  server (repository, daemons, Sync table, versioning, archive, backup);
+* :mod:`repro.datalinks.dlfs` -- the stackable DataLinks File System layer;
+* :mod:`repro.datalinks.uip` -- the update-in-place file-update session;
+* :mod:`repro.datalinks.baselines` -- CICO, CAU, unlink/relink and
+  BLOB-in-database comparators from Section 3.
+"""
+
+from repro.datalinks.control_modes import AccessControl, ControlMode
+from repro.datalinks.tokens import AccessToken, TokenManager, TokenType
+from repro.datalinks.datalink_type import DatalinkOptions, OnUnlink
+
+__all__ = [
+    "AccessControl",
+    "ControlMode",
+    "AccessToken",
+    "TokenManager",
+    "TokenType",
+    "DatalinkOptions",
+    "OnUnlink",
+]

@@ -1,0 +1,83 @@
+"""Coordinated backup and restore of the host database and its file servers.
+
+Section 4.4: every committed file version carries the database state
+identifier current at its commit; when the database is restored to an earlier
+point in time, each file server restores its linked files to the newest
+archived version whose state identifier does not exceed the restored one, so
+database metadata and external files come back mutually consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.backup import BackupImage
+from repro.storage.database import Database
+
+
+@dataclass
+class SystemBackup:
+    """One coordinated backup: the host image plus one image per file server."""
+
+    backup_id: int
+    state_id: int
+    taken_at: float
+    host_image: BackupImage
+    dlfm_images: dict[str, BackupImage] = field(default_factory=dict)
+    label: str = ""
+
+
+class BackupCoordinator:
+    """Drives coordinated backup/restore across the host DB and all DLFMs."""
+
+    def __init__(self, host_db: Database, managers: dict):
+        self._host_db = host_db
+        self._managers = dict(managers)
+        self._backups: list[SystemBackup] = []
+        self._next_id = 1
+
+    def register_manager(self, name: str, manager) -> None:
+        self._managers[name] = manager
+
+    # ------------------------------------------------------------------- backup --
+    def backup(self, label: str = "") -> SystemBackup:
+        """Quiesce archiving, back up every DLFM repository and the host DB."""
+
+        dlfm_images = {}
+        for name, manager in sorted(self._managers.items()):
+            dlfm_images[name] = manager.backup(label=f"{label}:{name}" if label else name)
+        host_image = self._host_db.backup(label)
+        backup = SystemBackup(
+            backup_id=self._next_id,
+            state_id=int(host_image.state_id),
+            taken_at=host_image.taken_at,
+            host_image=host_image,
+            dlfm_images=dlfm_images,
+            label=label,
+        )
+        self._next_id += 1
+        self._backups.append(backup)
+        return backup
+
+    # ------------------------------------------------------------------ restore --
+    def restore(self, backup: SystemBackup) -> dict:
+        """Restore the host DB and every file server to *backup*.
+
+        Returns a mapping of file-server name to the list of file paths whose
+        content was rolled back to match the restored database state.
+        """
+
+        self._host_db.restore(backup.host_image)
+        restored: dict[str, list[str]] = {}
+        for name, manager in sorted(self._managers.items()):
+            image = backup.dlfm_images.get(name)
+            if image is None:
+                continue
+            restored[name] = manager.restore(image, host_state_id=backup.state_id)
+        return restored
+
+    def backups(self) -> list[SystemBackup]:
+        return list(self._backups)
+
+    def latest(self) -> SystemBackup | None:
+        return self._backups[-1] if self._backups else None

@@ -1,0 +1,67 @@
+"""The pre-paper workaround: unlink, update, relink.
+
+"Currently, when write access to an external file is controlled by DBMS, the
+file becomes read-only and any update to the file by an application is
+rejected.  To update such a file, an application has to first unlink the
+file, update it and finally link it again.  Clearly, this approach is quite
+inefficient" (Section 1) -- and it opens a window during which the database
+holds no reference to (and no control over) the file.
+
+The updater measures both costs: the number of SQL statements / link
+operations spent per update, and the length of the unprotected window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api.session import Session
+from repro.util.urls import parse_url
+
+
+@dataclass
+class UnlinkRelinkStats:
+    updates: int = 0
+    sql_statements: int = 0
+    window_seconds: list = field(default_factory=list)
+
+    @property
+    def mean_window(self) -> float:
+        if not self.window_seconds:
+            return 0.0
+        return sum(self.window_seconds) / len(self.window_seconds)
+
+
+class UnlinkRelinkUpdater:
+    """Performs updates the only way the original DataLinks allowed."""
+
+    def __init__(self, system):
+        self._system = system
+        self.stats = UnlinkRelinkStats()
+
+    def update(self, session: Session, table: str, where, column: str,
+               new_content: bytes) -> None:
+        """Update the file referenced by (table, where, column) via unlink/relink."""
+
+        engine = self._system.engine
+        clock = self._system.clock
+        row = engine.select(table, where)[0]
+        url = row[column]
+        parsed = parse_url(url)
+        server = self._system.file_server(parsed.server)
+
+        # 1. Unlink: clear the DATALINK column (one SQL transaction).
+        engine.update(table, where, {column: None})
+        window_start = clock.now()
+        self.stats.sql_statements += 1
+
+        # 2. The file now belongs to the application again; update it through
+        #    the ordinary file system API (no database involvement, and no
+        #    database protection either).
+        server.lfs.write_file(parsed.path, new_content, session.cred, create=False)
+
+        # 3. Relink: restore the reference (a second SQL transaction).
+        engine.update(table, where, {column: url})
+        self.stats.sql_statements += 1
+        self.stats.window_seconds.append(clock.now() - window_start)
+        self.stats.updates += 1

@@ -1,0 +1,118 @@
+"""DATALINK control modes (Table 1 of the paper, plus the new update modes).
+
+A control mode is written as three letters: referential integrity
+(``n``/``r``), read access control and write access control (``f`` file
+system, ``b`` blocked, ``d`` DBMS).  The pre-existing technology offers
+``nff``, ``rff``, ``rfb`` and ``rdb``; the paper's contribution adds ``rfd``
+and ``rdd``, in which the DBMS manages *write* access so files can be updated
+in place under transaction control.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ControlModeError
+
+
+class AccessControl(enum.Enum):
+    """Who controls a particular kind of access to a linked file."""
+
+    FILE_SYSTEM = "f"
+    BLOCKED = "b"
+    DBMS = "d"
+
+
+class ControlMode(enum.Enum):
+    """The six control modes, named by their three-letter code."""
+
+    NFF = "nff"
+    RFF = "rff"
+    RFB = "rfb"
+    RDB = "rdb"
+    RFD = "rfd"   # new: write access managed by the DBMS, reads through the FS
+    RDD = "rdd"   # new: both read and write access managed by the DBMS
+
+    # -- parsing -----------------------------------------------------------------
+    @classmethod
+    def from_string(cls, text: str) -> "ControlMode":
+        try:
+            return cls(text.lower())
+        except ValueError:
+            raise ControlModeError(f"unknown control mode {text!r}") from None
+
+    # -- attribute decomposition ---------------------------------------------------
+    @property
+    def referential_integrity(self) -> bool:
+        """Does the DBMS guarantee the reference stays valid (no dangling URL)?"""
+
+        return self.value[0] == "r"
+
+    @property
+    def read_control(self) -> AccessControl:
+        return AccessControl(self.value[1])
+
+    @property
+    def write_control(self) -> AccessControl:
+        return AccessControl(self.value[2])
+
+    # -- derived predicates -----------------------------------------------------------
+    @property
+    def full_control(self) -> bool:
+        """Under full control, neither read nor write access is left to the FS."""
+
+        return (self.read_control is not AccessControl.FILE_SYSTEM
+                and self.write_control is not AccessControl.FILE_SYSTEM)
+
+    @property
+    def supports_update(self) -> bool:
+        """True for the paper's new modes where the DBMS manages write access."""
+
+        return self.write_control is AccessControl.DBMS
+
+    @property
+    def write_blocked(self) -> bool:
+        return self.write_control is AccessControl.BLOCKED
+
+    @property
+    def requires_read_token(self) -> bool:
+        """Reads need a token only when the DBMS controls read access."""
+
+        return self.read_control is AccessControl.DBMS
+
+    @property
+    def requires_write_token(self) -> bool:
+        """Writes need a token exactly in the update modes (rfd, rdd)."""
+
+        return self.supports_update
+
+    @property
+    def takes_over_on_link(self) -> bool:
+        """Full-control files are taken over (ownership change) at link time."""
+
+        return self.full_control
+
+    @property
+    def made_read_only_on_link(self) -> bool:
+        """Modes whose linked file is marked read-only at the file system.
+
+        ``rfb`` blocks writes permanently; ``rfd`` keeps the file read-only
+        between updates so a write open fails and triggers the DLFM take-over
+        path (Section 4.2); full-control modes rely on the ownership change.
+        """
+
+        return self in (ControlMode.RFB, ControlMode.RFD)
+
+    @property
+    def reads_serialized_with_writes(self) -> bool:
+        """Only full-control modes serialize readers against writers.
+
+        The paper accepts that ``rfd`` readers may observe a concurrent
+        update (Section 5): read opens of files not under full control never
+        reach the DLFM, so no read-write synchronization is possible.
+        """
+
+        return self.full_control
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.value

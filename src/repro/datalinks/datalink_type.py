@@ -1,0 +1,80 @@
+"""The DATALINK column options and value helpers.
+
+A DATALINK column is declared with options that tell the DLFM how to manage
+the files referenced from it (Section 2.1): the control mode, whether
+recovery (archiving of versions) is enabled, and what happens to the file
+when it is unlinked.  The storage engine keeps these options opaque in
+``Column.options``; :class:`DatalinkOptions` is the typed view used by the
+DataLinks engine and the DLFM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.datalinks.control_modes import ControlMode
+from repro.storage.schema import Column
+from repro.storage.values import DataType
+
+
+class OnUnlink(enum.Enum):
+    """What the DLFM does with the file when its reference is removed."""
+
+    RESTORE = "RESTORE"    # give the file back to its original owner/permissions
+    DELETE = "DELETE"      # remove the file from the file system
+
+
+@dataclass(frozen=True)
+class DatalinkOptions:
+    """Per-column DATALINK management options.
+
+    ``strict_read_sync`` implements the extension the paper sketches in its
+    closing discussion ("making an upcall to DLFM from DLFS and adding an
+    entry in the Sync table will eliminate the problem"): when enabled, read
+    opens of rfd-linked files are also registered in the Sync table, closing
+    the rfd read/write inconsistency window at the cost of one upcall and two
+    repository updates per read open.  The file server must also be created
+    with ``strict_read_upcalls=True`` so DLFS makes the upcall at all.
+    """
+
+    control_mode: ControlMode = ControlMode.RFF
+    recovery: bool = True
+    on_unlink: OnUnlink = OnUnlink.RESTORE
+    token_ttl: float = 60.0
+    strict_read_sync: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "control_mode": self.control_mode.value,
+            "recovery": self.recovery,
+            "on_unlink": self.on_unlink.value,
+            "token_ttl": self.token_ttl,
+            "strict_read_sync": self.strict_read_sync,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DatalinkOptions":
+        return cls(
+            control_mode=ControlMode.from_string(data.get("control_mode", "rff")),
+            recovery=bool(data.get("recovery", True)),
+            on_unlink=OnUnlink(data.get("on_unlink", "RESTORE")),
+            token_ttl=float(data.get("token_ttl", 60.0)),
+            strict_read_sync=bool(data.get("strict_read_sync", False)),
+        )
+
+
+def datalink_column(name: str, options: DatalinkOptions | None = None,
+                    nullable: bool = True) -> Column:
+    """Build a DATALINK :class:`~repro.storage.schema.Column` with *options*."""
+
+    options = options if options is not None else DatalinkOptions()
+    return Column(name=name, dtype=DataType.DATALINK, nullable=nullable,
+                  options={"datalink": options.to_dict()})
+
+
+def options_of_column(column: Column) -> DatalinkOptions:
+    """Extract the :class:`DatalinkOptions` declared on *column*."""
+
+    data = column.options.get("datalink", {})
+    return DatalinkOptions.from_dict(data)

@@ -1,0 +1,6 @@
+"""DataLinks File Manager (DLFM): the transactional resource manager on each file server."""
+
+from repro.datalinks.dlfm.manager import DataLinksFileManager
+from repro.datalinks.dlfm.archive import ArchiveServer
+
+__all__ = ["DataLinksFileManager", "ArchiveServer"]

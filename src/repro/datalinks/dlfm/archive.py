@@ -1,0 +1,69 @@
+"""The archive server and asynchronous archive jobs.
+
+"A copy of the file is saved to an archive device/server after update to a
+file has completed and committed ... Any new update request to the file is
+blocked until the archiving completes" (Sections 4.2 and 4.4).  The archive
+server is shared by all file servers of a system (an ADSM-style store); each
+archived object is immutable and addressed by an integer archive id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simclock import SimClock
+
+
+@dataclass
+class ArchiveObject:
+    """One immutable archived file version."""
+
+    archive_id: int
+    server: str
+    path: str
+    content: bytes
+    created_at: float
+
+
+@dataclass
+class ArchiveServer:
+    """Stores archived file versions and accounts for archive bandwidth."""
+
+    clock: SimClock | None = None
+    _objects: dict[int, ArchiveObject] = field(default_factory=dict)
+    _next_id: int = 1
+
+    def store(self, server: str, path: str, content: bytes) -> int:
+        """Archive *content*; returns the archive id."""
+
+        if self.clock is not None:
+            self.clock.charge("archive_job_overhead")
+            self.clock.charge("archive_per_byte", nbytes=len(content))
+        obj = ArchiveObject(
+            archive_id=self._next_id,
+            server=server,
+            path=path,
+            content=bytes(content),
+            created_at=self.clock.now() if self.clock is not None else 0.0,
+        )
+        self._objects[obj.archive_id] = obj
+        self._next_id += 1
+        return obj.archive_id
+
+    def retrieve(self, archive_id: int) -> bytes:
+        """Fetch the archived content for *archive_id*."""
+
+        obj = self._objects[archive_id]
+        if self.clock is not None:
+            self.clock.charge("archive_per_byte", nbytes=len(obj.content))
+        return obj.content
+
+    def exists(self, archive_id: int) -> bool:
+        return archive_id in self._objects
+
+    def objects_for(self, server: str, path: str | None = None) -> list[ArchiveObject]:
+        return [obj for obj in self._objects.values()
+                if obj.server == server and (path is None or obj.path == path)]
+
+    def __len__(self) -> int:
+        return len(self._objects)

@@ -1,0 +1,85 @@
+"""Resource-manager branches: DLFM sub-transactions of host transactions.
+
+"The operations done in DLFM are treated as a sub-transaction of the host
+database transaction" (Section 2.2).  A *branch* pairs a host transaction id
+with a local transaction in the DLFM repository; the DataLinks engine drives
+the branch through prepare/commit/abort as the two-phase-commit coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TransactionNotActive
+from repro.storage.database import Database
+from repro.storage.transaction import Transaction
+
+
+@dataclass
+class Branch:
+    """One DLFM sub-transaction."""
+
+    host_txn_id: int
+    local_txn: Transaction
+
+
+class BranchManager:
+    """Tracks the branches the DLFM holds for host transactions."""
+
+    def __init__(self, database: Database):
+        self._db = database
+        self._branches: dict[int, Branch] = {}
+
+    def branch_for(self, host_txn_id: int) -> Branch:
+        """Return the branch for *host_txn_id*, starting one when needed."""
+
+        branch = self._branches.get(host_txn_id)
+        if branch is None:
+            branch = Branch(host_txn_id=host_txn_id, local_txn=self._db.begin())
+            self._branches[host_txn_id] = branch
+        return branch
+
+    def has_branch(self, host_txn_id: int) -> bool:
+        return host_txn_id in self._branches
+
+    def get(self, host_txn_id: int) -> Branch:
+        try:
+            return self._branches[host_txn_id]
+        except KeyError:
+            raise TransactionNotActive(
+                f"no DLFM branch for host transaction {host_txn_id}") from None
+
+    def prepare(self, host_txn_id: int) -> bool:
+        """Vote on the branch; returns ``False`` when there is nothing to prepare."""
+
+        if host_txn_id not in self._branches:
+            return False
+        branch = self._branches[host_txn_id]
+        self._db.prepare(branch.local_txn)
+        return True
+
+    def commit(self, host_txn_id: int) -> None:
+        if host_txn_id not in self._branches:
+            return
+        branch = self._branches.pop(host_txn_id)
+        if branch.local_txn.state.name == "PREPARED":
+            self._db.commit_prepared(branch.local_txn)
+        else:
+            self._db.commit(branch.local_txn)
+
+    def abort(self, host_txn_id: int) -> None:
+        if host_txn_id not in self._branches:
+            return
+        branch = self._branches.pop(host_txn_id)
+        if branch.local_txn.state.name == "PREPARED":
+            self._db.abort_prepared(branch.local_txn)
+        elif not branch.local_txn.is_finished:
+            self._db.abort(branch.local_txn)
+
+    def clear(self) -> None:
+        """Forget all in-memory branch state (after a crash)."""
+
+        self._branches.clear()
+
+    def active_host_transactions(self) -> list[int]:
+        return sorted(self._branches)

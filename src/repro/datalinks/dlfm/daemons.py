@@ -1,0 +1,153 @@
+"""The DLFM daemon processes: main daemon, child agents and the upcall daemon.
+
+"DLFM is implemented as a main daemon with several child daemons and child
+agent processes coordinating with each other ... When a connect request from
+a database agent is received, the main daemon spawns a child agent which then
+establishes a connection with the requesting database agent.  All subsequent
+requests (link/unlink operations) from the same connection are served by this
+child agent.  The upcall daemon, on the other hand, services requests from
+DLFS to check the control mode and verify access permissions of linked
+files." (Section 2.2)
+
+Each daemon is a request demultiplexer over the shared
+:class:`~repro.datalinks.dlfm.manager.DataLinksFileManager` logic; crossing a
+daemon boundary costs simulated IPC latency through a channel.
+"""
+
+from __future__ import annotations
+
+from repro.datalinks.datalink_type import DatalinkOptions
+from repro.ipc.channel import Channel
+from repro.ipc.daemon import Daemon
+
+
+class UpcallDaemon(Daemon):
+    """Services upcalls from DLFS."""
+
+    def __init__(self, manager, clock=None):
+        super().__init__(name=f"dlfm-upcall-{manager.server_name}", clock=clock)
+        self._manager = manager
+        self.register("validate_token", self._validate_token)
+        self.register("check_open", self._check_open)
+        self.register("write_open_fallback", self._write_open_fallback)
+        self.register("file_closed", self._file_closed)
+        self.register("is_linked", self._is_linked)
+
+    def _validate_token(self, ino: int, token: str, userid: int) -> dict:
+        return self._manager.upcall_validate_token(ino, token, userid)
+
+    def _check_open(self, ino: int, wants_write: bool, userid: int) -> dict:
+        return self._manager.upcall_check_open(ino, wants_write, userid)
+
+    def _write_open_fallback(self, ino: int, userid: int) -> dict:
+        return self._manager.upcall_write_open_fallback(ino, userid)
+
+    def _file_closed(self, ino: int, was_write: bool, userid: int) -> dict:
+        return self._manager.upcall_file_closed(ino, was_write, userid)
+
+    def _is_linked(self, ino: int) -> dict:
+        return self._manager.upcall_is_linked(ino)
+
+
+class ChildAgent(Daemon):
+    """Serves link/unlink and transaction-control requests for one connection."""
+
+    def __init__(self, manager, connection_id: int, clock=None):
+        super().__init__(name=f"dlfm-agent-{manager.server_name}-{connection_id}",
+                         clock=clock)
+        self._manager = manager
+        self.register("link_file", self._link_file)
+        self.register("unlink_file", self._unlink_file)
+        self.register("begin_branch", self._begin_branch)
+        self.register("prepare", self._prepare)
+        self.register("commit", self._commit)
+        self.register("abort", self._abort)
+
+    def _link_file(self, host_txn_id: int, path: str, options: dict) -> dict:
+        parsed = DatalinkOptions.from_dict(options)
+        row = self._manager.link_file(host_txn_id, path, parsed)
+        return {"path": row["path"], "ino": row["ino"]}
+
+    def _unlink_file(self, host_txn_id: int, path: str) -> dict:
+        row = self._manager.unlink_file(host_txn_id, path)
+        return {"path": row["path"]}
+
+    def _begin_branch(self, host_txn_id: int) -> dict:
+        self._manager.begin_branch(host_txn_id)
+        return {}
+
+    def _prepare(self, host_txn_id: int) -> dict:
+        prepared = self._manager.prepare_branch(host_txn_id)
+        return {"prepared": prepared}
+
+    def _commit(self, host_txn_id: int) -> dict:
+        self._manager.commit_branch(host_txn_id)
+        return {}
+
+    def _abort(self, host_txn_id: int) -> dict:
+        self._manager.abort_branch(host_txn_id)
+        return {}
+
+
+class MainDaemon(Daemon):
+    """Accepts connections from database agents and spawns child agents."""
+
+    def __init__(self, manager, clock=None):
+        super().__init__(name=f"dlfm-main-{manager.server_name}", clock=clock)
+        self._manager = manager
+        self._next_connection = 1
+        self.child_agents: list[ChildAgent] = []
+        self.register("connect", self._connect)
+
+    def _connect(self, client_name: str = "") -> dict:
+        agent = ChildAgent(self._manager, self._next_connection, clock=self.clock)
+        self._next_connection += 1
+        self.child_agents.append(agent)
+        return {"agent": agent}
+
+    def stop_all(self) -> None:
+        self.stop()
+        for agent in self.child_agents:
+            agent.stop()
+
+    def start_all(self) -> None:
+        self.start()
+        for agent in self.child_agents:
+            agent.start()
+
+
+class DLFMConnection:
+    """A typed wrapper over the channel between a database agent and its child agent.
+
+    The DataLinks engine holds one connection per file server and issues all
+    link/unlink and two-phase-commit traffic through it, paying the simulated
+    DBMS-to-DLFM message latency per request.
+    """
+
+    def __init__(self, main_daemon: MainDaemon, clock=None, client_name: str = "engine"):
+        connect_channel = Channel(main_daemon, clock,
+                                  latency_primitive="db_dlfm_message",
+                                  sender=client_name)
+        agent = connect_channel.request("connect", client_name=client_name)["agent"]
+        self.agent = agent
+        self._channel = Channel(agent, clock, latency_primitive="db_dlfm_message",
+                                sender=client_name)
+
+    def link_file(self, host_txn_id: int, path: str, options: DatalinkOptions) -> dict:
+        return self._channel.request("link_file", host_txn_id=host_txn_id,
+                                     path=path, options=options.to_dict())
+
+    def unlink_file(self, host_txn_id: int, path: str) -> dict:
+        return self._channel.request("unlink_file", host_txn_id=host_txn_id, path=path)
+
+    def begin_branch(self, host_txn_id: int) -> None:
+        self._channel.request("begin_branch", host_txn_id=host_txn_id)
+
+    def prepare(self, host_txn_id: int) -> bool:
+        return self._channel.request("prepare", host_txn_id=host_txn_id)["prepared"]
+
+    def commit(self, host_txn_id: int) -> None:
+        self._channel.request("commit", host_txn_id=host_txn_id)
+
+    def abort(self, host_txn_id: int) -> None:
+        self._channel.request("abort", host_txn_id=host_txn_id)

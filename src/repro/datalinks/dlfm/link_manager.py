@@ -1,0 +1,128 @@
+"""Link and unlink processing.
+
+"When a file is linked to the database, DLFM applies the constraints for
+referential integrity, access control, and backup and recovery as specified
+in the DATALINK column definition ... All these changes to the DLFM
+repository and file system are applied as part of the same DBMS transaction
+as the initiating SQL statement.  Later, if the SQL transaction is rolled
+back, the changes made by the DLFM are undone as well." (Section 2.2)
+
+Repository changes are undone automatically because they run inside the
+branch's local transaction; file-system changes (ownership take-over,
+read-only marking) are compensated through the transaction's ``on_abort``
+callbacks, and deferred effects (deleting or restoring an unlinked file,
+archiving the initial version) run from ``on_commit`` callbacks.
+"""
+
+from __future__ import annotations
+
+from repro.datalinks.control_modes import ControlMode
+from repro.datalinks.datalink_type import DatalinkOptions, OnUnlink
+from repro.datalinks.dlfm.files import FileServerFiles
+from repro.datalinks.dlfm.repository import DLFMRepository
+from repro.errors import (
+    FileAlreadyLinkedError,
+    FileNotLinkedError,
+    LinkConflictError,
+    ReferentialIntegrityError,
+)
+from repro.storage.transaction import Transaction
+
+#: Write-permission bits cleared when a file is marked read-only.
+_WRITE_BITS = 0o222
+
+
+class LinkManager:
+    """Implements the link/unlink operations of one DLFM."""
+
+    def __init__(self, repository: DLFMRepository, files: FileServerFiles,
+                 state_id_provider=None):
+        self._repository = repository
+        self._files = files
+        # Returns the host database state identifier; set by the manager once
+        # the DataLinks engine registers this file server.
+        self._state_id_provider = state_id_provider or (lambda: 0)
+
+    def set_state_id_provider(self, provider) -> None:
+        self._state_id_provider = provider
+
+    # ---------------------------------------------------------------------- link --
+    def link_file(self, txn: Transaction, path: str, options: DatalinkOptions) -> dict:
+        """Put *path* under database control within the branch transaction *txn*."""
+
+        if not self._files.exists(path):
+            raise ReferentialIntegrityError(
+                f"cannot link {path!r}: the file does not exist")
+        if self._repository.linked_file(path) is not None:
+            raise FileAlreadyLinkedError(f"{path!r} is already linked")
+
+        attrs = self._files.stat(path)
+        mode = options.control_mode
+        row = {
+            "path": path,
+            "ino": attrs.ino,
+            "control_mode": mode.value,
+            "recovery": options.recovery,
+            "on_unlink": options.on_unlink.value,
+            "taken_over": mode.takes_over_on_link,
+            "strict_read_sync": options.strict_read_sync,
+            "original_uid": attrs.uid,
+            "original_gid": attrs.gid,
+            "original_mode": attrs.mode,
+            "linked_at": self._repository.db.now(),
+            "last_size": attrs.size,
+            "last_mtime": attrs.mtime,
+        }
+        self._repository.insert_linked_file(row, txn)
+        self._apply_link_constraints(txn, path, attrs, mode)
+        if options.recovery:
+            state_provider = self._state_id_provider
+            repository = self._repository
+            txn.on_commit.append(
+                lambda: repository.enqueue_archive_job(path, int(state_provider())))
+        return row
+
+    def _apply_link_constraints(self, txn: Transaction, path: str, attrs,
+                                mode: ControlMode) -> None:
+        files = self._files
+        original = (attrs.uid, attrs.gid, attrs.mode)
+        if mode.takes_over_on_link:
+            # Full-control modes: the DBMS takes over the file by changing its
+            # ownership and marking it read-only (Section 2.2, rdb; extended
+            # to rdd by the paper).
+            files.take_over(path, mode=0o400)
+            txn.on_abort.append(lambda: files.restore_ownership(path, *original))
+        elif mode.made_read_only_on_link:
+            # rfb / rfd: ownership is unchanged but write permission is
+            # disabled, "effectively making it read-only".
+            files.chmod(path, attrs.mode & ~_WRITE_BITS)
+            txn.on_abort.append(lambda: files.chmod(path, attrs.mode))
+
+    # --------------------------------------------------------------------- unlink --
+    def unlink_file(self, txn: Transaction, path: str) -> dict:
+        """Remove *path* from database control within the branch transaction."""
+
+        row = self._repository.linked_file(path)
+        if row is None:
+            raise FileNotLinkedError(f"{path!r} is not linked")
+        open_entries = self._repository.sync_entries(path)
+        if open_entries:
+            raise LinkConflictError(
+                f"cannot unlink {path!r}: {len(open_entries)} application(s) "
+                f"currently have it open")
+        self._repository.delete_linked_file(path, txn)
+
+        files = self._files
+        mode = ControlMode.from_string(row["control_mode"])
+        on_unlink = OnUnlink(row["on_unlink"])
+        original = (row["original_uid"], row["original_gid"], row["original_mode"])
+
+        def _finalize() -> None:
+            if on_unlink is OnUnlink.DELETE:
+                files.unlink(path)
+                return
+            if mode.takes_over_on_link or mode.made_read_only_on_link:
+                files.restore_ownership(path, *original)
+
+        txn.on_commit.append(_finalize)
+        return row

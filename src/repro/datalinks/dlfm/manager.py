@@ -1,0 +1,438 @@
+"""The DataLinks File Manager.
+
+One :class:`DataLinksFileManager` runs on each file server.  It owns the
+repository, the link/unlink logic, the token registry, the Sync table, update
+tracking, versioning/archiving and coordinated backup/restore, and it exposes
+
+* a *connection* interface used by the DataLinks engine in the host DBMS
+  (link/unlink inside host transactions, two-phase commit), and
+* an *upcall* interface used by DLFS (token validation at lookup, access
+  checks at open, close processing).
+
+This module is the heart of the paper's Section 4 (update in-place).
+"""
+
+from __future__ import annotations
+
+from repro.datalinks.control_modes import ControlMode
+from repro.datalinks.datalink_type import DatalinkOptions
+from repro.datalinks.dlfm.archive import ArchiveServer
+from repro.datalinks.dlfm.branches import BranchManager
+from repro.datalinks.dlfm.files import DEFAULT_DBMS_UID, FileServerFiles
+from repro.datalinks.dlfm.link_manager import LinkManager
+from repro.datalinks.dlfm.repository import DLFMRepository
+from repro.datalinks.tokens import TokenManager, TokenType
+from repro.errors import (
+    AccessDeniedError,
+    ControlModeError,
+    UpdateInProgressError,
+)
+from repro.simclock import SimClock
+from repro.storage.backup import BackupImage
+from repro.storage.database import Database
+from repro.storage.transaction import Transaction
+
+#: Permission given to a taken-over file while an rfd update is in progress.
+_TAKEOVER_WRITE_MODE = 0o600
+_WRITE_BITS = 0o222
+
+
+class DataLinksFileManager:
+    """DLFM for one file server."""
+
+    def __init__(self, server_name: str, files: FileServerFiles,
+                 archive: ArchiveServer, clock: SimClock | None = None,
+                 token_secret: str | None = None):
+        self.server_name = server_name
+        self.clock = clock
+        self.files = files
+        self.archive = archive
+        self.token_secret = token_secret or f"dlfm-secret-{server_name}"
+        self.tokens = TokenManager(self.token_secret, clock)
+        repository_scale = clock.costs.dlfm_repository_scale if clock is not None else 1.0
+        self.repository = DLFMRepository(
+            Database(f"dlfm-{server_name}", clock, cost_scale=repository_scale))
+        self.branches = BranchManager(self.repository.db)
+        self.links = LinkManager(self.repository, files,
+                                 state_id_provider=self._host_state_id)
+        self._engine = None
+        self._engine_name: str | None = None
+        self.running = True
+
+    # ---------------------------------------------------------------- wiring -----
+    def attach_engine(self, engine) -> None:
+        """Called by the DataLinks engine when this file server is registered."""
+
+        self._engine = engine
+        self.links.set_state_id_provider(self._host_state_id)
+
+    def _host_state_id(self) -> int:
+        if self._engine is None:
+            return int(self.repository.db.state_identifier())
+        return int(self._engine.state_identifier())
+
+    @property
+    def dbms_uid(self) -> int:
+        return self.files.dbms_uid if self.files is not None else DEFAULT_DBMS_UID
+
+    def _now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
+    # ------------------------------------------------- engine-facing operations --
+    def begin_branch(self, host_txn_id: int) -> None:
+        self.branches.branch_for(host_txn_id)
+
+    def has_branch(self, host_txn_id: int) -> bool:
+        return self.branches.has_branch(host_txn_id)
+
+    def prepare_branch(self, host_txn_id: int) -> bool:
+        return self.branches.prepare(host_txn_id)
+
+    def commit_branch(self, host_txn_id: int) -> None:
+        self.branches.commit(host_txn_id)
+
+    def abort_branch(self, host_txn_id: int) -> None:
+        self.branches.abort(host_txn_id)
+
+    def link_file(self, host_txn_id: int, path: str,
+                  options: DatalinkOptions) -> dict:
+        """Link *path* as part of the host transaction *host_txn_id*."""
+
+        branch = self.branches.branch_for(host_txn_id)
+        return self.links.link_file(branch.local_txn, path, options)
+
+    def unlink_file(self, host_txn_id: int, path: str) -> dict:
+        """Unlink *path* as part of the host transaction *host_txn_id*."""
+
+        branch = self.branches.branch_for(host_txn_id)
+        return self.links.unlink_file(branch.local_txn, path)
+
+    # -------------------------------------------------- upcall-facing operations --
+    def upcall_validate_token(self, ino: int, token_text: str, userid: int) -> dict:
+        """fs_lookup-time token validation; creates a token registry entry.
+
+        The entry is keyed by *user id* (not process id) so that a process-id
+        reuse cannot leak access, exactly as argued in Section 4.1.
+        """
+
+        row = self.repository.linked_file_by_ino(ino)
+        if row is None:
+            return {"linked": False}
+        token = self.tokens.validate(token_text, row["path"])
+        self.repository.add_token_entry(row["path"], userid, token.token_type.value,
+                                        token.expires_at)
+        return {"linked": True, "token_type": token.token_type.value,
+                "expires_at": token.expires_at}
+
+    def upcall_check_open(self, ino: int, wants_write: bool, userid: int) -> dict:
+        """fs_open-time access check.
+
+        Invoked for files under full database control (owned by the DBMS) and,
+        when the file server runs with strict read upcalls, for read opens of
+        any file.  Non-full-control reads without strict synchronization are
+        reported as unlinked so DLFS stays out of the data path.
+        """
+
+        row = self.repository.linked_file_by_ino(ino)
+        if row is None:
+            return {"linked": False}
+        mode = ControlMode.from_string(row["control_mode"])
+        if wants_write:
+            self._begin_file_update(row, mode, userid)
+            return {"linked": True, "open_as_dbms": True, "mode": mode.value}
+        if mode.full_control:
+            self._begin_read(row, mode, userid)
+            return {"linked": True, "open_as_dbms": True, "mode": mode.value}
+        if row.get("strict_read_sync"):
+            self._begin_strict_read(row, userid)
+            return {"linked": True, "open_as_dbms": False, "mode": mode.value}
+        return {"linked": False}
+
+    def upcall_write_open_fallback(self, ino: int, userid: int) -> dict:
+        """Handles the rfd path: a write open failed because the file is read-only.
+
+        DLFM verifies the file is linked in an update mode, checks the write
+        token, takes the file over to grant write permission, and approves the
+        retry (Section 4.2).
+        """
+
+        row = self.repository.linked_file_by_ino(ino)
+        if row is None:
+            return {"linked": False}
+        mode = ControlMode.from_string(row["control_mode"])
+        if not mode.supports_update:
+            raise ControlModeError(
+                f"{row['path']!r} is linked in {mode.value} mode; "
+                f"updates are not managed by the database")
+        self._begin_file_update(row, mode, userid)
+        return {"linked": True, "open_as_dbms": True, "mode": mode.value}
+
+    def upcall_file_closed(self, ino: int, was_write: bool, userid: int) -> dict:
+        """fs_close-time processing: Sync cleanup, metadata update, archiving."""
+
+        row = self.repository.linked_file_by_ino(ino)
+        if row is None:
+            return {"linked": False, "modified": False}
+        path = row["path"]
+        mode = ControlMode.from_string(row["control_mode"])
+        if was_write:
+            self.repository.remove_sync_entry(path, "write", userid)
+        elif mode.full_control or row.get("strict_read_sync"):
+            self.repository.remove_sync_entry(path, "read", userid)
+        if not was_write:
+            return {"linked": True, "modified": False}
+
+        tracking = self.repository.tracking(path)
+        attrs = self.files.stat(path)
+        modified = tracking is not None and (
+            attrs.mtime > tracking["pre_mtime"] or attrs.size != tracking["pre_size"])
+        if modified:
+            self._commit_file_update(row, path, attrs)
+        elif tracking is not None:
+            self.repository.remove_tracking(path)
+        if mode is ControlMode.RFD:
+            self._release_takeover(row)
+        return {"linked": True, "modified": modified}
+
+    def upcall_is_linked(self, ino: int) -> dict:
+        row = self.repository.linked_file_by_ino(ino)
+        if row is None:
+            return {"linked": False}
+        return {"linked": True, "mode": row["control_mode"], "path": row["path"]}
+
+    # ------------------------------------------------------- update-in-place core --
+    def _begin_read(self, row: dict, mode: ControlMode, userid: int) -> None:
+        path = row["path"]
+        if mode.requires_read_token:
+            entry = self.repository.find_token_entry(path, userid, for_write=False,
+                                                     now=self._now())
+            if entry is None:
+                raise AccessDeniedError(
+                    f"no valid read token registered for user {userid} on {path!r}")
+        writers = [entry for entry in self.repository.sync_entries(path)
+                   if entry["access"] == "write"]
+        if writers:
+            raise UpdateInProgressError(
+                f"{path!r} is being updated; read access is serialized at open time")
+        self.repository.add_sync_entry(path, "read", userid)
+
+    def _begin_strict_read(self, row: dict, userid: int) -> None:
+        """Strict read synchronization for non-full-control files.
+
+        This is the paper's sketched fix for the rfd window: record a read
+        entry in the Sync table (so writers and unlink are serialized against
+        this reader) without requiring a read token, since read access itself
+        remains file-system controlled.
+        """
+
+        path = row["path"]
+        writers = [entry for entry in self.repository.sync_entries(path)
+                   if entry["access"] == "write"]
+        if writers:
+            raise UpdateInProgressError(
+                f"{path!r} is being updated; strict read synchronization rejects "
+                f"the open")
+        self.repository.add_sync_entry(path, "read", userid)
+
+    def _begin_file_update(self, row: dict, mode: ControlMode, userid: int) -> None:
+        path = row["path"]
+        if not mode.supports_update:
+            raise AccessDeniedError(
+                f"write access to {path!r} is not managed by the database "
+                f"(mode {mode.value})")
+        entry = self.repository.find_token_entry(path, userid, for_write=True,
+                                                 now=self._now())
+        if entry is None:
+            raise AccessDeniedError(
+                f"no valid write token registered for user {userid} on {path!r}")
+        existing = self.repository.sync_entries(path)
+        writers = [item for item in existing if item["access"] == "write"]
+        if writers:
+            raise UpdateInProgressError(
+                f"{path!r} is already being updated by user {writers[0]['userid']}")
+        if mode.full_control or row.get("strict_read_sync"):
+            readers = [item for item in existing if item["access"] == "read"]
+            if readers:
+                raise UpdateInProgressError(
+                    f"{path!r} is open for read by {len(readers)} application(s); "
+                    f"write access is serialized at open time")
+        if self.repository.pending_archive_jobs(path):
+            raise UpdateInProgressError(
+                f"the previous update of {path!r} is still being archived")
+
+        attrs = self.files.stat(path)
+        self.repository.add_sync_entry(path, "write", userid)
+        self.repository.add_tracking({
+            "path": path,
+            "userid": userid,
+            "started_at": self._now(),
+            "pre_mtime": attrs.mtime,
+            "pre_size": attrs.size,
+            "restore_version": self.repository.latest_version_no(path),
+        })
+        if mode is ControlMode.RFD and not row["taken_over"]:
+            # Temporarily take the file over so concurrent readers are kept
+            # out by the file system's own access control (Section 4.2).
+            self.files.take_over(path, mode=_TAKEOVER_WRITE_MODE)
+            self.repository.update_linked_file(path, {"taken_over": True})
+
+    def _commit_file_update(self, row: dict, path: str, attrs) -> None:
+        """Commit a completed file update: metadata + repository in one transaction."""
+
+        if self._engine is not None:
+            host_txn = self._engine.begin()
+            host_txn.servers.add(self.server_name)
+            branch = self.branches.branch_for(host_txn.txn_id)
+            local_txn = branch.local_txn
+        else:
+            host_txn = None
+            local_txn = self.repository.db.begin()
+        self.repository.update_linked_file(
+            path, {"last_size": attrs.size, "last_mtime": attrs.mtime}, local_txn)
+        self.repository.remove_tracking(path, local_txn)
+        if self._engine is not None:
+            self._engine.update_file_metadata(self.server_name, path,
+                                              attrs.size, attrs.mtime, host_txn)
+            self._engine.commit(host_txn)
+        else:
+            self.repository.db.commit(local_txn)
+        if row["recovery"]:
+            self.repository.enqueue_archive_job(path, self._host_state_id())
+
+    def _release_takeover(self, row: dict) -> None:
+        """Give an rfd file back to its owner, read-only, after the update."""
+
+        path = row["path"]
+        self.files.restore_ownership(path, row["original_uid"], row["original_gid"],
+                                     row["original_mode"] & ~_WRITE_BITS)
+        self.repository.update_linked_file(path, {"taken_over": False})
+
+    # ----------------------------------------------------------- abort / restore --
+    def abort_file_update(self, path: str) -> bool:
+        """Roll back an in-progress (or just-closed, uncommitted) file update.
+
+        Restores the last committed version from the archive and parks the
+        in-flight content in the temporary directory, as Section 4.2 requires
+        for transaction or system failure.
+        """
+
+        tracking = self.repository.tracking(path)
+        row = self.repository.linked_file(path)
+        restored = self.restore_last_committed(path, park_in_flight=True)
+        if tracking is not None:
+            self.repository.remove_tracking(path)
+        self.repository.clear_sync_entries(path)
+        if row is not None and ControlMode.from_string(row["control_mode"]) is ControlMode.RFD:
+            self._release_takeover(row)
+        return restored
+
+    def restore_last_committed(self, path: str, *, max_state_id: int | None = None,
+                               park_in_flight: bool = False) -> bool:
+        """Overwrite *path* with its most recent committed (archived) version."""
+
+        version = self.repository.latest_version(path, max_state_id=max_state_id)
+        if version is None:
+            return False
+        if park_in_flight:
+            current = self.files.read(path)
+            self.files.park_in_flight(path, current, suffix=version["version_no"] + 1)
+        content = self.archive.retrieve(version["archive_id"])
+        self.files.overwrite(path, content)
+        return True
+
+    # ------------------------------------------------------------------ archiving --
+    def process_archive_jobs(self) -> int:
+        """Run pending asynchronous archive jobs; returns how many completed."""
+
+        completed = 0
+        for job in self.repository.pending_archive_jobs():
+            path = job["path"]
+            if not self.files.exists(path):
+                self.repository.complete_archive_job(job["job_id"])
+                continue
+            content = self.files.read(path)
+            archive_id = self.archive.store(self.server_name, path, content)
+            self.repository.add_version(path, archive_id, job["state_id"])
+            self.repository.complete_archive_job(job["job_id"])
+            completed += 1
+        return completed
+
+    def has_pending_archives(self, path: str | None = None) -> bool:
+        return bool(self.repository.pending_archive_jobs(path))
+
+    def run_housekeeping(self, keep_versions: int | None = None) -> dict:
+        """Periodic DLFM maintenance.
+
+        * purge token-registry entries whose expiry has passed (the paper's
+          token entries are valid "till time t");
+        * optionally prune each file's committed-version chain to its newest
+          *keep_versions* entries so the archive metadata stays bounded; the
+          newest version is always retained because rollback needs it.
+        """
+
+        purged_tokens = self.repository.purge_expired_tokens(self._now())
+        pruned_versions = 0
+        if keep_versions is not None and keep_versions >= 1:
+            for row in self.repository.linked_files():
+                versions = self.repository.versions(row["path"])
+                for stale in versions[:-keep_versions]:
+                    self.repository.db.delete(
+                        "file_versions", {"version_id": stale["version_id"]})
+                    pruned_versions += 1
+        return {"purged_tokens": purged_tokens, "pruned_versions": pruned_versions}
+
+    # --------------------------------------------------------------- crash/recover --
+    def crash(self) -> None:
+        """Simulate a DLFM / file-server crash: volatile state is lost."""
+
+        self.repository.db.crash()
+        self.branches.clear()
+        self.running = False
+
+    def recover(self) -> dict:
+        """Restart after a crash: repository recovery plus file-update rollback."""
+
+        summary = self.repository.db.recover()
+        # Presumed abort for branches left in doubt: the engine re-drives any
+        # transaction it actually committed.
+        for txn in list(self.repository.db.in_doubt_transactions()):
+            self.repository.db.abort_prepared(txn)
+        rolled_back = []
+        for tracking in self.repository.all_tracking():
+            path = tracking["path"]
+            self.restore_last_committed(path, park_in_flight=True)
+            self.repository.remove_tracking(path)
+            row = self.repository.linked_file(path)
+            if row is not None and ControlMode.from_string(row["control_mode"]) is ControlMode.RFD:
+                self._release_takeover(row)
+            rolled_back.append(path)
+        self.repository.clear_sync_entries()
+        self.running = True
+        return {"repository": summary, "rolled_back_updates": rolled_back}
+
+    # -------------------------------------------------------------------- backup --
+    def backup(self, label: str = "") -> BackupImage:
+        """Back up the DLFM repository (archives already hold file versions)."""
+
+        self.process_archive_jobs()
+        return self.repository.db.backup(label)
+
+    def restore(self, image: BackupImage, host_state_id: int) -> list[str]:
+        """Restore repository and files to the given host database state."""
+
+        self.repository.db.restore(image)
+        restored = []
+        for row in self.repository.linked_files():
+            path = row["path"]
+            if self.restore_last_committed(path, max_state_id=host_state_id):
+                restored.append(path)
+        self.repository.clear_sync_entries()
+        for tracking in self.repository.all_tracking():
+            self.repository.remove_tracking(tracking["path"])
+        return restored
+
+    # -------------------------------------------------------------------- helpers --
+    def generate_token(self, path: str, token_type: TokenType, ttl: float | None = None) -> str:
+        """Generate a token locally (normally the engine's token manager does this)."""
+
+        return self.tokens.generate(path, token_type, ttl)

@@ -1,0 +1,272 @@
+"""The DLFM repository: its private tables and typed accessors.
+
+"The DLFM maintains its own repository about the transaction state and about
+files that are linked to the database" (Section 2.2).  The repository is a
+:class:`repro.storage.Database` of its own, so it gets WAL, locking, crash
+recovery and backup for free and can act as a prepared (in-doubt) participant
+in the host database's two-phase commit.
+
+Tables
+------
+``linked_files``    one row per linked file (control mode, take-over state,
+                    original ownership, last known size/mtime).
+``sync_entries``    the Sync table of Section 4.5: one row per open of a
+                    managed file, used to reject conflicting opens and
+                    unlink operations.
+``token_entries``   token registry of Section 4.1: one row per validated
+                    token, keyed by user id (not process id).
+``update_tracking`` files with an update in progress (Section 4.4) and the
+                    pre-update attributes needed to detect modification.
+``file_versions``   committed versions with their archive object and the
+                    database state identifier they belong to.
+``archive_queue``   pending asynchronous archive jobs; a pending job blocks
+                    further updates of the same file.
+"""
+
+from __future__ import annotations
+
+from repro.storage.database import Database
+from repro.storage.schema import Column, TableSchema
+from repro.storage.transaction import Transaction
+from repro.storage.values import DataType
+
+
+def _table(name: str, columns: list[Column], pk: tuple[str, ...]) -> TableSchema:
+    return TableSchema(name, columns, primary_key=pk)
+
+
+class DLFMRepository:
+    """Typed accessors over the DLFM's private database."""
+
+    def __init__(self, database: Database):
+        self.db = database
+        self._create_tables()
+
+    # ------------------------------------------------------------------ schema --
+    def _create_tables(self) -> None:
+        db = self.db
+        db.create_table(_table("linked_files", [
+            Column("path", DataType.TEXT, nullable=False),
+            Column("ino", DataType.INTEGER, nullable=False),
+            Column("control_mode", DataType.TEXT, nullable=False),
+            Column("recovery", DataType.BOOLEAN, nullable=False, default=True),
+            Column("on_unlink", DataType.TEXT, nullable=False, default="RESTORE"),
+            Column("taken_over", DataType.BOOLEAN, nullable=False, default=False),
+            Column("strict_read_sync", DataType.BOOLEAN, nullable=False, default=False),
+            Column("original_uid", DataType.INTEGER, nullable=False),
+            Column("original_gid", DataType.INTEGER, nullable=False),
+            Column("original_mode", DataType.INTEGER, nullable=False),
+            Column("linked_at", DataType.TIMESTAMP, nullable=False, default=0.0),
+            Column("last_size", DataType.INTEGER, nullable=False, default=0),
+            Column("last_mtime", DataType.TIMESTAMP, nullable=False, default=0.0),
+        ], ("path",)))
+        db.create_index("linked_files_ino", "linked_files", ("ino",), unique=True)
+
+        db.create_table(_table("sync_entries", [
+            Column("entry_id", DataType.INTEGER, nullable=False),
+            Column("path", DataType.TEXT, nullable=False),
+            Column("access", DataType.TEXT, nullable=False),          # "read" | "write"
+            Column("userid", DataType.INTEGER, nullable=False),
+            Column("opened_at", DataType.TIMESTAMP, nullable=False, default=0.0),
+        ], ("entry_id",)))
+        db.create_index("sync_entries_path", "sync_entries", ("path",))
+
+        db.create_table(_table("token_entries", [
+            Column("entry_id", DataType.INTEGER, nullable=False),
+            Column("path", DataType.TEXT, nullable=False),
+            Column("userid", DataType.INTEGER, nullable=False),
+            Column("token_type", DataType.TEXT, nullable=False),      # "R" | "W"
+            Column("expires_at", DataType.TIMESTAMP, nullable=False),
+        ], ("entry_id",)))
+        db.create_index("token_entries_path", "token_entries", ("path",))
+
+        db.create_table(_table("update_tracking", [
+            Column("path", DataType.TEXT, nullable=False),
+            Column("userid", DataType.INTEGER, nullable=False),
+            Column("started_at", DataType.TIMESTAMP, nullable=False, default=0.0),
+            Column("pre_mtime", DataType.TIMESTAMP, nullable=False, default=0.0),
+            Column("pre_size", DataType.INTEGER, nullable=False, default=0),
+            Column("restore_version", DataType.INTEGER, nullable=True),
+        ], ("path",)))
+
+        db.create_table(_table("file_versions", [
+            Column("version_id", DataType.INTEGER, nullable=False),
+            Column("path", DataType.TEXT, nullable=False),
+            Column("version_no", DataType.INTEGER, nullable=False),
+            Column("archive_id", DataType.INTEGER, nullable=False),
+            Column("state_id", DataType.INTEGER, nullable=False, default=0),
+            Column("created_at", DataType.TIMESTAMP, nullable=False, default=0.0),
+        ], ("version_id",)))
+        db.create_index("file_versions_path", "file_versions", ("path",))
+
+        db.create_table(_table("archive_queue", [
+            Column("job_id", DataType.INTEGER, nullable=False),
+            Column("path", DataType.TEXT, nullable=False),
+            Column("state", DataType.TEXT, nullable=False, default="PENDING"),
+            Column("state_id", DataType.INTEGER, nullable=False, default=0),
+            Column("created_at", DataType.TIMESTAMP, nullable=False, default=0.0),
+        ], ("job_id",)))
+        db.create_index("archive_queue_path", "archive_queue", ("path",))
+
+    # ------------------------------------------------------------------ helpers --
+    def _next_id(self, table: str, column: str) -> int:
+        rows = self.db.select(table, lock=False)
+        if not rows:
+            return 1
+        return max(row[column] for row in rows) + 1
+
+    # ------------------------------------------------------------ linked files --
+    def insert_linked_file(self, row: dict, txn: Transaction | None = None) -> None:
+        self.db.insert("linked_files", row, txn)
+
+    def delete_linked_file(self, path: str, txn: Transaction | None = None) -> int:
+        return self.db.delete("linked_files", {"path": path}, txn)
+
+    def linked_file(self, path: str) -> dict | None:
+        return self.db.select_one("linked_files", {"path": path}, lock=False)
+
+    def linked_file_by_ino(self, ino: int) -> dict | None:
+        return self.db.select_one("linked_files", {"ino": ino}, lock=False)
+
+    def linked_files(self) -> list[dict]:
+        return self.db.select("linked_files", lock=False)
+
+    def update_linked_file(self, path: str, changes: dict,
+                           txn: Transaction | None = None) -> int:
+        return self.db.update("linked_files", {"path": path}, changes, txn)
+
+    # ------------------------------------------------------------- sync entries --
+    def add_sync_entry(self, path: str, access: str, userid: int,
+                       txn: Transaction | None = None) -> int:
+        entry_id = self._next_id("sync_entries", "entry_id")
+        self.db.insert("sync_entries", {
+            "entry_id": entry_id,
+            "path": path,
+            "access": access,
+            "userid": userid,
+            "opened_at": self.db.now(),
+        }, txn)
+        return entry_id
+
+    def remove_sync_entry(self, path: str, access: str, userid: int,
+                          txn: Transaction | None = None) -> int:
+        """Remove one matching Sync-table entry (opens and closes pair up)."""
+
+        rows = self.db.select("sync_entries",
+                              {"path": path, "access": access, "userid": userid},
+                              lock=False)
+        if not rows:
+            return 0
+        entry_id = rows[0]["entry_id"]
+        return self.db.delete("sync_entries", {"entry_id": entry_id}, txn)
+
+    def sync_entries(self, path: str) -> list[dict]:
+        return self.db.select("sync_entries", {"path": path}, lock=False)
+
+    def clear_sync_entries(self, path: str | None = None) -> int:
+        where = {"path": path} if path is not None else None
+        return self.db.delete("sync_entries", where)
+
+    # ------------------------------------------------------------ token entries --
+    def add_token_entry(self, path: str, userid: int, token_type: str,
+                        expires_at: float) -> int:
+        entry_id = self._next_id("token_entries", "entry_id")
+        self.db.insert("token_entries", {
+            "entry_id": entry_id,
+            "path": path,
+            "userid": userid,
+            "token_type": token_type,
+            "expires_at": expires_at,
+        })
+        return entry_id
+
+    def find_token_entry(self, path: str, userid: int, *, for_write: bool,
+                         now: float) -> dict | None:
+        """Find a live token entry authorizing the requested kind of access."""
+
+        rows = self.db.select("token_entries", {"path": path, "userid": userid},
+                              lock=False)
+        for row in rows:
+            if row["expires_at"] < now:
+                continue
+            if for_write and row["token_type"] != "W":
+                continue
+            return row
+        return None
+
+    def purge_expired_tokens(self, now: float) -> int:
+        return self.db.delete("token_entries", lambda row: row["expires_at"] < now)
+
+    # ---------------------------------------------------------- update tracking --
+    def add_tracking(self, row: dict, txn: Transaction | None = None) -> None:
+        self.db.insert("update_tracking", row, txn)
+
+    def tracking(self, path: str) -> dict | None:
+        return self.db.select_one("update_tracking", {"path": path}, lock=False)
+
+    def all_tracking(self) -> list[dict]:
+        return self.db.select("update_tracking", lock=False)
+
+    def remove_tracking(self, path: str, txn: Transaction | None = None) -> int:
+        return self.db.delete("update_tracking", {"path": path}, txn)
+
+    # ------------------------------------------------------------ file versions --
+    def add_version(self, path: str, archive_id: int, state_id: int,
+                    txn: Transaction | None = None) -> dict:
+        version_no = self.latest_version_no(path) + 1
+        row = {
+            "version_id": self._next_id("file_versions", "version_id"),
+            "path": path,
+            "version_no": version_no,
+            "archive_id": archive_id,
+            "state_id": state_id,
+            "created_at": self.db.now(),
+        }
+        self.db.insert("file_versions", row, txn)
+        return row
+
+    def latest_version_no(self, path: str) -> int:
+        versions = self.versions(path)
+        if not versions:
+            return 0
+        return max(row["version_no"] for row in versions)
+
+    def versions(self, path: str) -> list[dict]:
+        rows = self.db.select("file_versions", {"path": path}, lock=False)
+        return sorted(rows, key=lambda row: row["version_no"])
+
+    def latest_version(self, path: str, *, max_state_id: int | None = None) -> dict | None:
+        candidates = self.versions(path)
+        if max_state_id is not None:
+            candidates = [row for row in candidates if row["state_id"] <= max_state_id]
+        return candidates[-1] if candidates else None
+
+    def delete_versions(self, path: str, txn: Transaction | None = None) -> int:
+        return self.db.delete("file_versions", {"path": path}, txn)
+
+    # ------------------------------------------------------------ archive queue --
+    def enqueue_archive_job(self, path: str, state_id: int,
+                            txn: Transaction | None = None) -> int:
+        job_id = self._next_id("archive_queue", "job_id")
+        self.db.insert("archive_queue", {
+            "job_id": job_id,
+            "path": path,
+            "state": "PENDING",
+            "state_id": state_id,
+            "created_at": self.db.now(),
+        }, txn)
+        return job_id
+
+    def pending_archive_jobs(self, path: str | None = None) -> list[dict]:
+        where = {"state": "PENDING"}
+        if path is not None:
+            where["path"] = path
+        rows = self.db.select("archive_queue", where, lock=False)
+        return sorted(rows, key=lambda row: row["job_id"])
+
+    def complete_archive_job(self, job_id: int) -> int:
+        return self.db.update("archive_queue", {"job_id": job_id}, {"state": "DONE"})
+
+    def cancel_archive_jobs(self, path: str) -> int:
+        return self.db.delete("archive_queue",
+                              lambda row: row["path"] == path and row["state"] == "PENDING")

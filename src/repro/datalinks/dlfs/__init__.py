@@ -1,0 +1,6 @@
+"""DataLinks File System (DLFS): the stackable interposition layer."""
+
+from repro.datalinks.dlfs.layer import DataLinksFileSystem
+from repro.datalinks.dlfs.upcall_client import UpcallClient
+
+__all__ = ["DataLinksFileSystem", "UpcallClient"]

@@ -1,0 +1,280 @@
+"""The DataLinks engine: the host-DBMS side of DataLinks.
+
+The engine extends the host database with DATALINK awareness:
+
+* INSERT/UPDATE/DELETE statements that touch DATALINK columns drive link and
+  unlink operations at the responsible file server's DLFM *inside the same
+  transaction* (the DLFM branch is a sub-transaction, committed through
+  two-phase commit with the host database as coordinator);
+* SELECTing a DATALINK value can embed a read or write access token in the
+  returned URL (Section 4.1);
+* when a managed file update commits, the engine updates registered metadata
+  columns (size, modification time) of the rows referencing that file in the
+  same transaction as the DLFM's close processing (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from repro.datalinks.control_modes import ControlMode
+from repro.datalinks.datalink_type import DatalinkOptions, options_of_column
+from repro.datalinks.dlfm.daemons import DLFMConnection, MainDaemon
+from repro.datalinks.tokens import TokenManager, TokenType
+from repro.errors import ControlModeError, DataLinksError
+from repro.simclock import SimClock
+from repro.storage.database import Database
+from repro.storage.transaction import Transaction
+from repro.storage.values import DataType
+from repro.util.lsn import LSN
+from repro.util.urls import format_url, parse_url
+
+
+@dataclass
+class HostTransaction:
+    """A host transaction plus the set of file servers enlisted in it."""
+
+    txn: Transaction
+    servers: set[str] = field(default_factory=set)
+
+    @property
+    def txn_id(self) -> int:
+        return self.txn.txn_id
+
+
+@dataclass
+class _FileServerEntry:
+    name: str
+    manager: object
+    connection: DLFMConnection
+    tokens: TokenManager
+
+
+@dataclass
+class _MetadataRule:
+    table: str
+    column: str
+    size_column: str | None
+    mtime_column: str | None
+
+
+class DataLinksEngine:
+    """DATALINK processing inside the host database."""
+
+    def __init__(self, host_db: Database, clock: SimClock | None = None,
+                 default_token_ttl: float = 60.0):
+        self.db = host_db
+        self.clock = clock
+        self.default_token_ttl = default_token_ttl
+        self._servers: dict[str, _FileServerEntry] = {}
+        self._metadata_rules: list[_MetadataRule] = []
+
+    # ------------------------------------------------------------------ wiring --
+    def register_file_server(self, name: str, manager, main_daemon: MainDaemon) -> None:
+        """Register a file server: open a connection to its DLFM and share keys."""
+
+        connection = DLFMConnection(main_daemon, self.clock, client_name=f"engine:{name}")
+        tokens = TokenManager(manager.token_secret, self.clock,
+                              default_ttl=self.default_token_ttl)
+        self._servers[name] = _FileServerEntry(name=name, manager=manager,
+                                               connection=connection, tokens=tokens)
+        manager.attach_engine(self)
+
+    def file_server_names(self) -> list[str]:
+        return sorted(self._servers)
+
+    def _entry(self, server: str) -> _FileServerEntry:
+        try:
+            return self._servers[server]
+        except KeyError:
+            raise DataLinksError(f"no file server registered under {server!r}") from None
+
+    def state_identifier(self) -> LSN:
+        return self.db.state_identifier()
+
+    def register_metadata_columns(self, table: str, column: str,
+                                  size_column: str | None = None,
+                                  mtime_column: str | None = None) -> None:
+        """Declare which columns hold the auto-maintained file metadata."""
+
+        self._metadata_rules.append(_MetadataRule(table, column, size_column, mtime_column))
+
+    # ------------------------------------------------------------- transactions --
+    def begin(self) -> HostTransaction:
+        return HostTransaction(txn=self.db.begin())
+
+    def commit(self, host_txn: HostTransaction) -> LSN:
+        """Two-phase commit across the host database and every enlisted DLFM."""
+
+        if self.clock is not None and host_txn.servers:
+            self.clock.charge("datalink_engine_dispatch")
+        for server in sorted(host_txn.servers):
+            self._entry(server).connection.prepare(host_txn.txn_id)
+        state_id = self.db.commit(host_txn.txn)
+        for server in sorted(host_txn.servers):
+            self._entry(server).connection.commit(host_txn.txn_id)
+        return state_id
+
+    def abort(self, host_txn: HostTransaction) -> None:
+        for server in sorted(host_txn.servers):
+            self._entry(server).connection.abort(host_txn.txn_id)
+        if not host_txn.txn.is_finished:
+            self.db.abort(host_txn.txn)
+
+    @contextlib.contextmanager
+    def _auto(self, host_txn: HostTransaction | None):
+        if host_txn is not None:
+            yield host_txn
+            return
+        auto = self.begin()
+        try:
+            yield auto
+        except Exception:
+            self.abort(auto)
+            raise
+        else:
+            self.commit(auto)
+
+    # --------------------------------------------------------------------- DML --
+    def insert(self, table: str, row: dict, host_txn: HostTransaction | None = None) -> int:
+        """INSERT with link processing for every non-null DATALINK value."""
+
+        with self._auto(host_txn) as active:
+            rid = self.db.insert(table, row, active.txn)
+            for column in self.db.catalog.schema(table).datalink_columns():
+                url = row.get(column.name)
+                if url:
+                    self._link(active, column, url)
+            return rid
+
+    def delete(self, table: str, where, host_txn: HostTransaction | None = None) -> int:
+        """DELETE with unlink processing for every referenced file."""
+
+        with self._auto(host_txn) as active:
+            schema = self.db.catalog.schema(table)
+            doomed = self.db.select(table, where, active.txn, for_update=True)
+            count = self.db.delete(table, where, active.txn)
+            for row in doomed:
+                for column in schema.datalink_columns():
+                    url = row.get(column.name)
+                    if url:
+                        self._unlink(active, url)
+            return count
+
+    def update(self, table: str, where, changes: dict,
+               host_txn: HostTransaction | None = None) -> int:
+        """UPDATE; changing a DATALINK value unlinks the old file and links the new."""
+
+        with self._auto(host_txn) as active:
+            schema = self.db.catalog.schema(table)
+            datalink_changes = [column for column in schema.datalink_columns()
+                                if column.name in changes]
+            before = []
+            if datalink_changes:
+                before = self.db.select(table, where, active.txn, for_update=True)
+            count = self.db.update(table, where, changes, active.txn)
+            for column in datalink_changes:
+                new_url = changes.get(column.name)
+                for row in before:
+                    old_url = row.get(column.name)
+                    if old_url == new_url:
+                        continue
+                    if old_url:
+                        self._unlink(active, old_url)
+                    if new_url:
+                        self._link(active, column, new_url)
+            return count
+
+    def select(self, table: str, where=None, host_txn: HostTransaction | None = None,
+               **kwargs) -> list[dict]:
+        txn = host_txn.txn if host_txn is not None else None
+        return self.db.select(table, where, txn, **kwargs)
+
+    # ------------------------------------------------------------ token handout --
+    def get_datalink(self, table: str, where, column: str, *, access: str = "read",
+                     host_txn: HostTransaction | None = None,
+                     ttl: float | None = None) -> str | None:
+        """Retrieve a DATALINK value, embedding an access token when required.
+
+        ``access`` is ``"read"`` or ``"write"``; requesting write access on a
+        column whose control mode does not manage updates raises
+        :class:`ControlModeError`, mirroring SQL errors in the prototype.
+        """
+
+        if self.clock is not None:
+            self.clock.charge("datalink_engine_dispatch")
+        txn = host_txn.txn if host_txn is not None else None
+        row = self.db.select_one(table, where, txn)
+        if row is None:
+            return None
+        schema_column = self.db.catalog.schema(table).column(column)
+        if schema_column.dtype is not DataType.DATALINK:
+            raise ControlModeError(f"column {column!r} is not a DATALINK column")
+        url_text = row.get(column)
+        if not url_text:
+            return None
+        options = options_of_column(schema_column)
+        mode = options.control_mode
+        parsed = parse_url(url_text)
+        token = self._token_for(parsed.server, parsed.path, mode, access,
+                                ttl if ttl is not None else options.token_ttl)
+        return parsed.with_token(token).render()
+
+    def _token_for(self, server: str, path: str, mode: ControlMode, access: str,
+                   ttl: float) -> str | None:
+        entry = self._entry(server)
+        if access == "write":
+            if not mode.supports_update:
+                raise ControlModeError(
+                    f"files linked in {mode.value} mode cannot be updated through "
+                    f"the database (write access is "
+                    f"{'blocked' if mode.write_blocked else 'file-system controlled'})")
+            return entry.tokens.generate(path, TokenType.WRITE, ttl)
+        if access != "read":
+            raise ControlModeError(f"unknown access kind {access!r}")
+        if mode.requires_read_token:
+            return entry.tokens.generate(path, TokenType.READ, ttl)
+        return None
+
+    # ------------------------------------------------------- metadata maintenance --
+    def update_file_metadata(self, server: str, path: str, size: int, mtime: float,
+                             host_txn: HostTransaction) -> int:
+        """Update registered size/mtime columns of rows referencing this file."""
+
+        url = format_url(server, path)
+        touched = 0
+        for rule in self._metadata_rules:
+            changes = {}
+            if rule.size_column:
+                changes[rule.size_column] = int(size)
+            if rule.mtime_column:
+                changes[rule.mtime_column] = float(mtime)
+            if not changes:
+                continue
+            touched += self.db.update(rule.table, {rule.column: url}, changes,
+                                      host_txn.txn)
+        return touched
+
+    # ------------------------------------------------------------- link plumbing --
+    def _link(self, host_txn: HostTransaction, column, url: str) -> None:
+        parsed = parse_url(url)
+        entry = self._entry(parsed.server)
+        options = options_of_column(column)
+        host_txn.servers.add(parsed.server)
+        entry.connection.link_file(host_txn.txn_id, parsed.path, options)
+
+    def _unlink(self, host_txn: HostTransaction, url: str) -> None:
+        parsed = parse_url(url)
+        entry = self._entry(parsed.server)
+        host_txn.servers.add(parsed.server)
+        entry.connection.unlink_file(host_txn.txn_id, parsed.path)
+
+    # --------------------------------------------------------------- convenience --
+    def make_url(self, server: str, path: str) -> str:
+        """Format a bare DATALINK URL for *path* on *server*."""
+
+        return format_url(server, path)
+
+    def options_for(self, table: str, column: str) -> DatalinkOptions:
+        return options_of_column(self.db.catalog.schema(table).column(column))

@@ -1,0 +1,114 @@
+"""Access tokens.
+
+The host database hands out tokens when a DATALINK column is retrieved; the
+token is embedded in the file name so applications keep using the plain file
+system API, and DLFS validates it (through the upcall daemon) during
+``fs_lookup``.  The paper's extension introduces *multiple token types* --
+read tokens and write (update) tokens -- and requires the type used to be
+consistent with the mode in which the file is later opened (Section 4.1).
+
+Tokens are HMAC-SHA256 signatures over (path, type, expiry) truncated to 16
+hex characters, plus the type letter and the expiry timestamp, e.g.
+``W-125.000000-1a2b3c...``.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.errors import InvalidTokenError, TokenExpiredError
+from repro.simclock import SimClock
+
+_SIGNATURE_HEX_CHARS = 16
+DEFAULT_TOKEN_TTL = 60.0
+
+
+class TokenType(enum.Enum):
+    READ = "R"
+    WRITE = "W"
+
+    @property
+    def allows_write(self) -> bool:
+        return self is TokenType.WRITE
+
+    @property
+    def allows_read(self) -> bool:
+        # A write token subsumes read permission, as in the prototype.
+        return True
+
+
+@dataclass(frozen=True)
+class AccessToken:
+    """A parsed access token."""
+
+    token_type: TokenType
+    expires_at: float
+    signature: str
+
+    def render(self) -> str:
+        return f"{self.token_type.value}-{self.expires_at:.6f}-{self.signature}"
+
+    @classmethod
+    def parse(cls, text: str) -> "AccessToken":
+        parts = text.split("-", 2)
+        if len(parts) != 3:
+            raise InvalidTokenError(f"malformed token {text!r}")
+        type_code, expiry_text, signature = parts
+        try:
+            token_type = TokenType(type_code)
+            expires_at = float(expiry_text)
+        except ValueError:
+            raise InvalidTokenError(f"malformed token {text!r}") from None
+        return cls(token_type=token_type, expires_at=expires_at, signature=signature)
+
+
+class TokenManager:
+    """Generates and validates access tokens for one file server.
+
+    The host-side DataLinks engine and the file server's DLFM each hold a
+    :class:`TokenManager` configured with the same shared secret, mirroring
+    the key shared between DB2 and the DLFM in the real system.
+    """
+
+    def __init__(self, secret: str, clock: SimClock | None = None,
+                 default_ttl: float = DEFAULT_TOKEN_TTL):
+        self._secret = secret.encode("utf-8")
+        self._clock = clock
+        self.default_ttl = default_ttl
+
+    def _now(self) -> float:
+        return self._clock.now() if self._clock is not None else 0.0
+
+    def _sign(self, path: str, token_type: TokenType, expires_at: float) -> str:
+        message = f"{path}|{token_type.value}|{expires_at:.6f}".encode("utf-8")
+        digest = hmac.new(self._secret, message, hashlib.sha256).hexdigest()
+        return digest[:_SIGNATURE_HEX_CHARS]
+
+    # -- generation -----------------------------------------------------------------
+    def generate(self, path: str, token_type: TokenType,
+                 ttl: float | None = None) -> str:
+        """Create a token string for *path* valid for *ttl* simulated seconds."""
+
+        if self._clock is not None:
+            self._clock.charge("token_generate")
+        expires_at = self._now() + (ttl if ttl is not None else self.default_ttl)
+        signature = self._sign(path, token_type, expires_at)
+        return AccessToken(token_type, expires_at, signature).render()
+
+    # -- validation -------------------------------------------------------------------
+    def validate(self, token_text: str, path: str) -> AccessToken:
+        """Check signature and expiry; returns the parsed token or raises."""
+
+        if self._clock is not None:
+            self._clock.charge("token_validate")
+        token = AccessToken.parse(token_text)
+        expected = self._sign(path, token.token_type, token.expires_at)
+        if not hmac.compare_digest(expected, token.signature):
+            raise InvalidTokenError(f"bad token signature for {path!r}")
+        if self._now() > token.expires_at:
+            raise TokenExpiredError(
+                f"token for {path!r} expired at {token.expires_at:.3f}")
+        return token

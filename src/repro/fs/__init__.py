@@ -1,0 +1,32 @@
+"""A simulated UNIX file system stack.
+
+The stack mirrors the architecture the paper assumes on AIX:
+
+* a :class:`~repro.fs.blockdev.BlockDevice` (the disk);
+* a :class:`~repro.fs.physical.PhysicalFileSystem` (JFS/UFS stand-in) that
+  implements the VFS entry points over inodes and blocks;
+* an optional stack of :class:`~repro.fs.vfs.FilterVFS` layers -- DLFS is one;
+* a :class:`~repro.fs.logical.LogicalFileSystem` (LFS) that resolves paths,
+  manages file descriptors and exposes the system-call API applications use.
+
+Crucially, ``open()`` is decoupled into ``fs_lookup`` followed by ``fs_open``
+exactly as described in Section 4.1 of the paper, because that decoupling is
+what makes DataLinks token handling non-trivial.
+"""
+
+from repro.fs.vfs import Credentials, OpenFlags, FileAttributes, Vnode, VFSOperations, FilterVFS
+from repro.fs.blockdev import BlockDevice
+from repro.fs.physical import PhysicalFileSystem
+from repro.fs.logical import LogicalFileSystem
+
+__all__ = [
+    "Credentials",
+    "OpenFlags",
+    "FileAttributes",
+    "Vnode",
+    "VFSOperations",
+    "FilterVFS",
+    "BlockDevice",
+    "PhysicalFileSystem",
+    "LogicalFileSystem",
+]

@@ -1,0 +1,101 @@
+"""Inodes and file attribute snapshots."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FileType(enum.Enum):
+    REGULAR = "REGULAR"
+    DIRECTORY = "DIRECTORY"
+
+
+# Permission bit helpers (standard UNIX rwxrwxrwx layout).
+R_OWNER, W_OWNER, X_OWNER = 0o400, 0o200, 0o100
+R_GROUP, W_GROUP, X_GROUP = 0o040, 0o020, 0o010
+R_OTHER, W_OTHER, X_OTHER = 0o004, 0o002, 0o001
+
+DEFAULT_FILE_MODE = 0o644
+DEFAULT_DIR_MODE = 0o755
+
+
+@dataclass
+class Inode:
+    """One on-"disk" inode."""
+
+    ino: int
+    ftype: FileType
+    mode: int
+    uid: int
+    gid: int
+    size: int = 0
+    nlink: int = 1
+    atime: float = 0.0
+    mtime: float = 0.0
+    ctime: float = 0.0
+    blocks: list[int] = field(default_factory=list)
+    entries: dict[str, int] = field(default_factory=dict)   # directories only
+
+    @property
+    def is_directory(self) -> bool:
+        return self.ftype is FileType.DIRECTORY
+
+    def attributes(self) -> "FileAttributes":
+        return FileAttributes(
+            ino=self.ino,
+            ftype=self.ftype,
+            mode=self.mode,
+            uid=self.uid,
+            gid=self.gid,
+            size=self.size,
+            nlink=self.nlink,
+            atime=self.atime,
+            mtime=self.mtime,
+            ctime=self.ctime,
+        )
+
+
+@dataclass(frozen=True)
+class FileAttributes:
+    """An immutable snapshot of an inode's metadata (what ``stat`` returns)."""
+
+    ino: int
+    ftype: FileType
+    mode: int
+    uid: int
+    gid: int
+    size: int
+    nlink: int
+    atime: float
+    mtime: float
+    ctime: float
+
+    @property
+    def is_directory(self) -> bool:
+        return self.ftype is FileType.DIRECTORY
+
+    @property
+    def is_regular(self) -> bool:
+        return self.ftype is FileType.REGULAR
+
+
+def permission_granted(mode: int, uid: int, gid: int, cred_uid: int, cred_gids,
+                       want_read: bool, want_write: bool, want_exec: bool = False) -> bool:
+    """Standard UNIX owner/group/other permission check (uid 0 bypasses)."""
+
+    if cred_uid == 0:
+        return True
+    if cred_uid == uid:
+        read_bit, write_bit, exec_bit = R_OWNER, W_OWNER, X_OWNER
+    elif gid in cred_gids:
+        read_bit, write_bit, exec_bit = R_GROUP, W_GROUP, X_GROUP
+    else:
+        read_bit, write_bit, exec_bit = R_OTHER, W_OTHER, X_OTHER
+    if want_read and not mode & read_bit:
+        return False
+    if want_write and not mode & write_bit:
+        return False
+    if want_exec and not mode & exec_bit:
+        return False
+    return True

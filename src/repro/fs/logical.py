@@ -1,0 +1,327 @@
+"""The logical file system (LFS): path resolution, file descriptors, syscalls.
+
+Applications use this layer exactly like the POSIX API: ``open`` returns a
+file descriptor, ``read``/``write`` move an offset, ``close`` releases it.
+Internally ``open`` is decoupled into ``fs_lookup`` followed by ``fs_open``
+against the mounted VFS stack, which is the structural property DataLinks
+token handling has to work around (Section 4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import Errno, FileSystemError, fs_error
+from repro.fs.inode import DEFAULT_DIR_MODE, DEFAULT_FILE_MODE, FileAttributes
+from repro.fs.vfs import (
+    Credentials,
+    LockKind,
+    LockRequest,
+    OpenFlags,
+    OpenHandle,
+    VFSOperations,
+    Vnode,
+)
+
+
+@dataclass
+class OpenFile:
+    """One entry of the system open-file table."""
+
+    fd: int
+    path: str
+    vfs: VFSOperations
+    vnode: Vnode
+    handle: OpenHandle
+    flags: OpenFlags
+    cred: Credentials
+    offset: int = 0
+
+
+@dataclass
+class _Mount:
+    prefix: str
+    vfs: VFSOperations
+
+
+def _normalize(path: str) -> str:
+    if not path.startswith("/"):
+        raise fs_error(Errno.EINVAL, f"path must be absolute: {path!r}")
+    parts = [part for part in path.split("/") if part not in ("", ".")]
+    return "/" + "/".join(parts)
+
+
+def _split(path: str) -> tuple[str, str]:
+    """Split into (parent directory, final component)."""
+
+    normalized = _normalize(path)
+    if normalized == "/":
+        raise fs_error(Errno.EINVAL, "cannot split the root path")
+    parent, _, name = normalized.rpartition("/")
+    return (parent or "/", name)
+
+
+class LogicalFileSystem:
+    """Mount table + open-file table + the system-call API."""
+
+    def __init__(self, clock=None):
+        self.clock = clock
+        self._mounts: list[_Mount] = []
+        self._open_files: dict[int, OpenFile] = {}
+        self._next_fd = 3          # 0..2 are conventionally reserved
+
+    # ------------------------------------------------------------------ mounts --
+    def mount(self, prefix: str, vfs: VFSOperations) -> None:
+        """Mount *vfs* at *prefix* (longest-prefix match wins at resolution)."""
+
+        prefix = _normalize(prefix)
+        self._mounts.append(_Mount(prefix=prefix, vfs=vfs))
+        self._mounts.sort(key=lambda mount: len(mount.prefix), reverse=True)
+
+    def mounted_vfs(self, path: str) -> tuple[VFSOperations, str]:
+        """Return ``(vfs, path relative to the mount root)`` for *path*."""
+
+        normalized = _normalize(path)
+        for mount in self._mounts:
+            if normalized == mount.prefix or normalized.startswith(
+                    mount.prefix.rstrip("/") + "/") or mount.prefix == "/":
+                if mount.prefix == "/":
+                    relative = normalized
+                else:
+                    relative = normalized[len(mount.prefix.rstrip("/")):] or "/"
+                return mount.vfs, relative
+        raise fs_error(Errno.ENOENT, f"no file system mounted for {path!r}")
+
+    # -------------------------------------------------------------- resolution --
+    def _charge(self, primitive: str, *, times: int = 1) -> None:
+        if self.clock is not None:
+            self.clock.charge(primitive, times=times)
+
+    def _walk(self, vfs: VFSOperations, relative: str, cred: Credentials,
+              stop_before_last: bool) -> tuple[Vnode, str | None]:
+        """Walk *relative* inside *vfs*; optionally stop at the parent."""
+
+        parts = [part for part in relative.split("/") if part]
+        vnode = vfs.root_vnode()
+        if not parts:
+            return vnode, None
+        walk_parts = parts[:-1] if stop_before_last else parts
+        for part in walk_parts:
+            vnode = vfs.fs_lookup(vnode, part, cred)
+        return vnode, (parts[-1] if stop_before_last else None)
+
+    def _resolve_parent(self, path: str, cred: Credentials):
+        vfs, relative = self.mounted_vfs(path)
+        parent, name = self._walk(vfs, relative, cred, stop_before_last=True)
+        if name is None:
+            raise fs_error(Errno.EINVAL, f"path {path!r} has no final component")
+        return vfs, parent, name
+
+    def _resolve(self, path: str, cred: Credentials) -> tuple[VFSOperations, Vnode]:
+        vfs, relative = self.mounted_vfs(path)
+        vnode, _ = self._walk(vfs, relative, cred, stop_before_last=False)
+        return vfs, vnode
+
+    # ----------------------------------------------------------------- syscalls --
+    def open(self, path: str, flags: OpenFlags, cred: Credentials,
+             mode: int = DEFAULT_FILE_MODE) -> int:
+        """Open *path* and return a file descriptor.
+
+        The final path component may carry an embedded DataLinks access token
+        (``name;token=...``); it is passed verbatim to ``fs_lookup`` so a DLFS
+        layer can validate it.
+        """
+
+        self._charge("syscall_base")
+        vfs, parent, name = self._resolve_parent(path, cred)
+        try:
+            vnode = vfs.fs_lookup(parent, name, cred)
+        except FileSystemError as error:
+            if error.errno is not Errno.ENOENT or not (flags & OpenFlags.CREATE):
+                raise
+            vnode = vfs.fs_create(parent, name, mode, cred)
+        handle = vfs.fs_open(vnode, flags, cred)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._open_files[fd] = OpenFile(fd=fd, path=_normalize_path_for_table(path),
+                                        vfs=vfs, vnode=vnode, handle=handle,
+                                        flags=flags, cred=cred)
+        return fd
+
+    def close(self, fd: int) -> None:
+        self._charge("syscall_base")
+        open_file = self._require_fd(fd)
+        open_file.vfs.fs_close(open_file.handle, open_file.cred)
+        del self._open_files[fd]
+
+    def read(self, fd: int, length: int = -1) -> bytes:
+        self._charge("syscall_base")
+        open_file = self._require_fd(fd)
+        if not open_file.flags.wants_read:
+            raise fs_error(Errno.EBADF, f"fd {fd} is not open for reading")
+        if length < 0:
+            attrs = open_file.vfs.fs_getattr(open_file.vnode, open_file.cred)
+            length = max(0, attrs.size - open_file.offset)
+        data = open_file.vfs.fs_readwrite(open_file.vnode, open_file.offset,
+                                          length=length, write=False,
+                                          cred=open_file.cred)
+        open_file.offset += len(data)
+        return data
+
+    def write(self, fd: int, data: bytes) -> int:
+        self._charge("syscall_base")
+        open_file = self._require_fd(fd)
+        if not open_file.flags.wants_write:
+            raise fs_error(Errno.EBADF, f"fd {fd} is not open for writing")
+        if open_file.flags & OpenFlags.APPEND:
+            attrs = open_file.vfs.fs_getattr(open_file.vnode, open_file.cred)
+            open_file.offset = attrs.size
+        written = open_file.vfs.fs_readwrite(open_file.vnode, open_file.offset,
+                                             data=data, write=True,
+                                             cred=open_file.cred)
+        open_file.offset += written
+        return written
+
+    def lseek(self, fd: int, offset: int) -> int:
+        self._charge("syscall_base")
+        open_file = self._require_fd(fd)
+        if offset < 0:
+            raise fs_error(Errno.EINVAL, "negative seek offset")
+        open_file.offset = offset
+        return offset
+
+    def stat(self, path: str, cred: Credentials) -> FileAttributes:
+        self._charge("syscall_base")
+        vfs, vnode = self._resolve(path, cred)
+        return vfs.fs_getattr(vnode, cred)
+
+    def fstat(self, fd: int) -> FileAttributes:
+        open_file = self._require_fd(fd)
+        return open_file.vfs.fs_getattr(open_file.vnode, open_file.cred)
+
+    def exists(self, path: str, cred: Credentials) -> bool:
+        try:
+            self.stat(path, cred)
+            return True
+        except FileSystemError:
+            return False
+
+    def unlink(self, path: str, cred: Credentials) -> None:
+        self._charge("syscall_base")
+        vfs, parent, name = self._resolve_parent(path, cred)
+        vfs.fs_remove(parent, name, cred)
+
+    def rename(self, old_path: str, new_path: str, cred: Credentials) -> None:
+        self._charge("syscall_base")
+        old_vfs, old_parent, old_name = self._resolve_parent(old_path, cred)
+        new_vfs, new_parent, new_name = self._resolve_parent(new_path, cred)
+        if old_vfs is not new_vfs:
+            raise fs_error(Errno.EXDEV, "rename across file systems")
+        old_vfs.fs_rename(old_parent, old_name, new_parent, new_name, cred)
+
+    def mkdir(self, path: str, cred: Credentials, mode: int = DEFAULT_DIR_MODE) -> None:
+        self._charge("syscall_base")
+        vfs, parent, name = self._resolve_parent(path, cred)
+        vfs.fs_mkdir(parent, name, mode, cred)
+
+    def makedirs(self, path: str, cred: Credentials, mode: int = DEFAULT_DIR_MODE) -> None:
+        """Create *path* and any missing ancestors (no error when they exist)."""
+
+        normalized = _normalize(path)
+        parts = [part for part in normalized.split("/") if part]
+        current = ""
+        for part in parts:
+            current = f"{current}/{part}"
+            try:
+                self.mkdir(current, cred, mode)
+            except FileSystemError as error:
+                if error.errno is not Errno.EEXIST:
+                    raise
+
+    def rmdir(self, path: str, cred: Credentials) -> None:
+        self._charge("syscall_base")
+        vfs, parent, name = self._resolve_parent(path, cred)
+        vfs.fs_rmdir(parent, name, cred)
+
+    def listdir(self, path: str, cred: Credentials) -> list[str]:
+        self._charge("syscall_base")
+        vfs, vnode = self._resolve(path, cred)
+        return vfs.fs_readdir(vnode, cred)
+
+    def chmod(self, path: str, mode: int, cred: Credentials) -> None:
+        self._charge("syscall_base")
+        vfs, vnode = self._resolve(path, cred)
+        vfs.fs_setattr(vnode, cred, mode=mode)
+
+    def chown(self, path: str, uid: int, gid: int, cred: Credentials) -> None:
+        self._charge("syscall_base")
+        vfs, vnode = self._resolve(path, cred)
+        vfs.fs_setattr(vnode, cred, uid=uid, gid=gid)
+
+    def truncate(self, path: str, size: int, cred: Credentials) -> None:
+        self._charge("syscall_base")
+        vfs, vnode = self._resolve(path, cred)
+        vfs.fs_setattr(vnode, cred, size=size)
+
+    def lock_file(self, fd: int, exclusive: bool = True) -> bool:
+        """Take a whole-file advisory lock on behalf of this descriptor."""
+
+        self._charge("syscall_base")
+        open_file = self._require_fd(fd)
+        kind = LockKind.EXCLUSIVE if exclusive else LockKind.SHARED
+        request = LockRequest(kind=kind, owner=("fd", fd))
+        return open_file.vfs.fs_lockctl(open_file.vnode, request, open_file.cred)
+
+    def unlock_file(self, fd: int) -> None:
+        self._charge("syscall_base")
+        open_file = self._require_fd(fd)
+        request = LockRequest(kind=LockKind.UNLOCK, owner=("fd", fd))
+        open_file.vfs.fs_lockctl(open_file.vnode, request, open_file.cred)
+
+    # --------------------------------------------------------------- convenience --
+    def read_file(self, path: str, cred: Credentials) -> bytes:
+        """Open, fully read, and close *path*."""
+
+        fd = self.open(path, OpenFlags.READ, cred)
+        try:
+            return self.read(fd)
+        finally:
+            self.close(fd)
+
+    def write_file(self, path: str, data: bytes, cred: Credentials,
+                   create: bool = True) -> int:
+        """Open (creating/truncating), write *data*, and close *path*."""
+
+        flags = OpenFlags.WRITE | OpenFlags.TRUNCATE
+        if create:
+            flags |= OpenFlags.CREATE
+        fd = self.open(path, flags, cred)
+        try:
+            return self.write(fd, data)
+        finally:
+            self.close(fd)
+
+    def open_file_entry(self, fd: int) -> OpenFile:
+        """Expose an open-file-table entry (used by tests and the DataLinks API)."""
+
+        return self._require_fd(fd)
+
+    def open_descriptors(self) -> list[int]:
+        return sorted(self._open_files)
+
+    def _require_fd(self, fd: int) -> OpenFile:
+        try:
+            return self._open_files[fd]
+        except KeyError:
+            raise fs_error(Errno.EBADF, f"bad file descriptor {fd}") from None
+
+
+def _normalize_path_for_table(path: str) -> str:
+    """Strip an embedded token from the final component for bookkeeping."""
+
+    from repro.util.urls import split_token_from_name
+
+    normalized = _normalize(path)
+    parent, _, name = normalized.rpartition("/")
+    bare, _ = split_token_from_name(name)
+    return f"{parent}/{bare}" if parent else f"/{bare}"

@@ -1,0 +1,332 @@
+"""The physical (native) file system -- the JFS/UFS stand-in.
+
+Implements every VFS entry point over inodes and a block device, with
+standard UNIX permission checks.  This is the layer DLFS sits on top of; it
+knows nothing about DataLinks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import Errno, fs_error
+from repro.fs.blockdev import BlockDevice
+from repro.fs.inode import (
+    DEFAULT_DIR_MODE,
+    DEFAULT_FILE_MODE,
+    FileType,
+    Inode,
+    permission_granted,
+)
+from repro.fs.locks import FileLockTable
+from repro.fs.vfs import (
+    Credentials,
+    LockRequest,
+    OpenFlags,
+    OpenHandle,
+    VFSOperations,
+    Vnode,
+)
+
+ROOT_INO = 1
+
+
+class PhysicalFileSystem(VFSOperations):
+    """An inode-based file system on a simulated block device."""
+
+    def __init__(self, name: str = "pfs0", device: BlockDevice | None = None,
+                 clock=None, root_uid: int = 0, root_gid: int = 0):
+        self.fs_id = name
+        self.device = device if device is not None else BlockDevice(name=f"{name}-disk")
+        self.clock = clock
+        self.locks = FileLockTable()
+        self._inodes: dict[int, Inode] = {}
+        self._next_ino = ROOT_INO
+        root = self._new_inode(FileType.DIRECTORY, DEFAULT_DIR_MODE, root_uid, root_gid)
+        assert root.ino == ROOT_INO
+
+    # ------------------------------------------------------------------ helpers --
+    def _now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
+    def _charge(self, primitive: str, *, times: int = 1, nbytes: int = 0) -> None:
+        if self.clock is not None:
+            self.clock.charge(primitive, times=times, nbytes=nbytes)
+
+    def _new_inode(self, ftype: FileType, mode: int, uid: int, gid: int) -> Inode:
+        inode = Inode(ino=self._next_ino, ftype=ftype, mode=mode, uid=uid, gid=gid,
+                      atime=self._now(), mtime=self._now(), ctime=self._now())
+        self._inodes[inode.ino] = inode
+        self._next_ino += 1
+        return inode
+
+    def inode(self, ino: int) -> Inode:
+        try:
+            return self._inodes[ino]
+        except KeyError:
+            raise fs_error(Errno.ENOENT, f"stale inode {ino}") from None
+
+    def _inode_of(self, vnode: Vnode) -> Inode:
+        return self.inode(vnode.ino)
+
+    def _vnode_of(self, inode: Inode) -> Vnode:
+        return Vnode(fs_id=self.fs_id, ino=inode.ino)
+
+    def _check(self, inode: Inode, cred: Credentials, *, read: bool = False,
+               write: bool = False, exec_: bool = False) -> None:
+        if not permission_granted(inode.mode, inode.uid, inode.gid, cred.uid,
+                                  cred.all_groups, read, write, exec_):
+            raise fs_error(Errno.EACCES,
+                           f"uid {cred.uid} denied on inode {inode.ino} "
+                           f"(mode {oct(inode.mode)}, owner {inode.uid})")
+
+    def _require_dir(self, inode: Inode) -> None:
+        if not inode.is_directory:
+            raise fs_error(Errno.ENOTDIR, f"inode {inode.ino} is not a directory")
+
+    # ------------------------------------------------------------ directory ops --
+    def root_vnode(self) -> Vnode:
+        return Vnode(fs_id=self.fs_id, ino=ROOT_INO)
+
+    def fs_lookup(self, dir_vnode: Vnode, name: str, cred: Credentials) -> Vnode:
+        self._charge("vfs_op")
+        self._charge("directory_lookup")
+        directory = self._inode_of(dir_vnode)
+        self._require_dir(directory)
+        self._check(directory, cred, exec_=True)
+        if name in (".", ""):
+            return dir_vnode
+        if name not in directory.entries:
+            raise fs_error(Errno.ENOENT, f"no entry {name!r} in inode {directory.ino}")
+        return Vnode(fs_id=self.fs_id, ino=directory.entries[name])
+
+    def fs_create(self, dir_vnode: Vnode, name: str, mode: int,
+                  cred: Credentials) -> Vnode:
+        self._charge("vfs_op")
+        directory = self._inode_of(dir_vnode)
+        self._require_dir(directory)
+        if name in directory.entries:
+            # POSIX reports an existing entry before parent write permission.
+            raise fs_error(Errno.EEXIST, f"entry {name!r} already exists")
+        self._check(directory, cred, write=True, exec_=True)
+        inode = self._new_inode(FileType.REGULAR, mode or DEFAULT_FILE_MODE,
+                                cred.uid, cred.gid)
+        directory.entries[name] = inode.ino
+        directory.mtime = self._now()
+        self._charge("fs_metadata_update")
+        return self._vnode_of(inode)
+
+    def fs_mkdir(self, dir_vnode: Vnode, name: str, mode: int,
+                 cred: Credentials) -> Vnode:
+        self._charge("vfs_op")
+        directory = self._inode_of(dir_vnode)
+        self._require_dir(directory)
+        if name in directory.entries:
+            # POSIX reports an existing entry before parent write permission.
+            raise fs_error(Errno.EEXIST, f"entry {name!r} already exists")
+        self._check(directory, cred, write=True, exec_=True)
+        inode = self._new_inode(FileType.DIRECTORY, mode or DEFAULT_DIR_MODE,
+                                cred.uid, cred.gid)
+        directory.entries[name] = inode.ino
+        directory.mtime = self._now()
+        self._charge("fs_metadata_update")
+        return self._vnode_of(inode)
+
+    def fs_remove(self, dir_vnode: Vnode, name: str, cred: Credentials) -> None:
+        self._charge("vfs_op")
+        directory = self._inode_of(dir_vnode)
+        self._require_dir(directory)
+        self._check(directory, cred, write=True, exec_=True)
+        if name not in directory.entries:
+            raise fs_error(Errno.ENOENT, f"no entry {name!r}")
+        inode = self.inode(directory.entries[name])
+        if inode.is_directory:
+            raise fs_error(Errno.EISDIR, f"{name!r} is a directory")
+        del directory.entries[name]
+        directory.mtime = self._now()
+        inode.nlink -= 1
+        if inode.nlink <= 0:
+            for block in inode.blocks:
+                self.device.free_block(block)
+            del self._inodes[inode.ino]
+        self._charge("fs_metadata_update")
+
+    def fs_rmdir(self, dir_vnode: Vnode, name: str, cred: Credentials) -> None:
+        self._charge("vfs_op")
+        directory = self._inode_of(dir_vnode)
+        self._require_dir(directory)
+        self._check(directory, cred, write=True, exec_=True)
+        if name not in directory.entries:
+            raise fs_error(Errno.ENOENT, f"no entry {name!r}")
+        target = self.inode(directory.entries[name])
+        self._require_dir(target)
+        if target.entries:
+            raise fs_error(Errno.ENOTEMPTY, f"directory {name!r} is not empty")
+        del directory.entries[name]
+        del self._inodes[target.ino]
+        directory.mtime = self._now()
+        self._charge("fs_metadata_update")
+
+    def fs_rename(self, src_dir: Vnode, src_name: str, dst_dir: Vnode,
+                  dst_name: str, cred: Credentials) -> None:
+        self._charge("vfs_op")
+        source = self._inode_of(src_dir)
+        destination = self._inode_of(dst_dir)
+        self._require_dir(source)
+        self._require_dir(destination)
+        self._check(source, cred, write=True, exec_=True)
+        self._check(destination, cred, write=True, exec_=True)
+        if src_name not in source.entries:
+            raise fs_error(Errno.ENOENT, f"no entry {src_name!r}")
+        if dst_name in destination.entries:
+            raise fs_error(Errno.EEXIST, f"entry {dst_name!r} already exists")
+        destination.entries[dst_name] = source.entries.pop(src_name)
+        source.mtime = self._now()
+        destination.mtime = self._now()
+        self._charge("fs_metadata_update")
+
+    def fs_readdir(self, dir_vnode: Vnode, cred: Credentials) -> list[str]:
+        self._charge("vfs_op")
+        directory = self._inode_of(dir_vnode)
+        self._require_dir(directory)
+        self._check(directory, cred, read=True)
+        return sorted(directory.entries)
+
+    # ------------------------------------------------------------------ file ops --
+    def fs_open(self, vnode: Vnode, flags: OpenFlags, cred: Credentials) -> OpenHandle:
+        self._charge("vfs_op")
+        inode = self._inode_of(vnode)
+        if inode.is_directory and flags.wants_write:
+            raise fs_error(Errno.EISDIR, f"inode {inode.ino} is a directory")
+        self._check(inode, cred, read=flags.wants_read, write=flags.wants_write)
+        if flags & OpenFlags.TRUNCATE:
+            self._truncate(inode, 0)
+        inode.atime = self._now()
+        return OpenHandle(vnode=vnode, flags=flags)
+
+    def fs_close(self, handle: OpenHandle, cred: Credentials) -> None:
+        self._charge("vfs_op")
+        # The native file system has no per-open state beyond the handle.
+
+    def fs_readwrite(self, vnode: Vnode, offset: int, *, data: bytes | None = None,
+                     length: int = 0, write: bool, cred: Credentials) -> bytes | int:
+        self._charge("vfs_op")
+        inode = self._inode_of(vnode)
+        if inode.is_directory:
+            raise fs_error(Errno.EISDIR, f"inode {inode.ino} is a directory")
+        if write:
+            if data is None:
+                raise fs_error(Errno.EINVAL, "write without data")
+            self._charge("disk_seek")
+            self._charge("disk_transfer_per_byte", nbytes=len(data))
+            self._write_range(inode, offset, data)
+            inode.mtime = self._now()
+            inode.ctime = inode.mtime
+            return len(data)
+        self._charge("disk_seek")
+        content = self._read_range(inode, offset, length)
+        self._charge("disk_transfer_per_byte", nbytes=len(content))
+        inode.atime = self._now()
+        return content
+
+    def fs_getattr(self, vnode: Vnode, cred: Credentials):
+        self._charge("vfs_op")
+        return self._inode_of(vnode).attributes()
+
+    def fs_setattr(self, vnode: Vnode, cred: Credentials, **attrs):
+        """Change inode metadata: mode, uid, gid, size (truncate), mtime, atime.
+
+        Only the owner or the superuser may change mode/ownership, matching
+        the checks DataLinks relies on when it "takes over" a file.
+        """
+
+        self._charge("vfs_op")
+        inode = self._inode_of(vnode)
+        changing_identity = any(key in attrs for key in ("mode", "uid", "gid"))
+        if changing_identity and not (cred.is_superuser or cred.uid == inode.uid):
+            raise fs_error(Errno.EPERM,
+                           f"uid {cred.uid} may not change attributes of inode {inode.ino}")
+        if "size" in attrs:
+            self._check(inode, cred, write=True)
+            self._truncate(inode, int(attrs["size"]))
+        if "mode" in attrs:
+            inode.mode = int(attrs["mode"])
+        if "uid" in attrs:
+            inode.uid = int(attrs["uid"])
+        if "gid" in attrs:
+            inode.gid = int(attrs["gid"])
+        if "mtime" in attrs:
+            inode.mtime = float(attrs["mtime"])
+        if "atime" in attrs:
+            inode.atime = float(attrs["atime"])
+        inode.ctime = self._now()
+        self._charge("fs_metadata_update")
+        return inode.attributes()
+
+    def fs_lockctl(self, vnode: Vnode, request: LockRequest, cred: Credentials) -> bool:
+        self._charge("vfs_op")
+        return self.locks.apply(vnode.ino, request)
+
+    # ------------------------------------------------------------- block helpers --
+    def _read_range(self, inode: Inode, offset: int, length: int) -> bytes:
+        if offset >= inode.size:
+            return b""
+        end = inode.size if length <= 0 else min(inode.size, offset + length)
+        block_size = self.device.block_size
+        chunks = []
+        position = offset
+        while position < end:
+            block_index = position // block_size
+            block_offset = position % block_size
+            take = min(block_size - block_offset, end - position)
+            block_no = inode.blocks[block_index]
+            block = self.device.read_block(block_no)
+            chunks.append(block[block_offset: block_offset + take])
+            position += take
+        return b"".join(chunks)
+
+    def _write_range(self, inode: Inode, offset: int, data: bytes) -> None:
+        block_size = self.device.block_size
+        end = offset + len(data)
+        needed_blocks = (max(end, inode.size) + block_size - 1) // block_size
+        while len(inode.blocks) < needed_blocks:
+            inode.blocks.append(self.device.allocate_block())
+        position = offset
+        written = 0
+        while written < len(data):
+            block_index = position // block_size
+            block_offset = position % block_size
+            take = min(block_size - block_offset, len(data) - written)
+            block_no = inode.blocks[block_index]
+            block = bytearray(self.device.read_block(block_no))
+            block[block_offset: block_offset + take] = data[written: written + take]
+            self.device.write_block(block_no, bytes(block))
+            position += take
+            written += take
+        inode.size = max(inode.size, end)
+
+    def _truncate(self, inode: Inode, size: int) -> None:
+        block_size = self.device.block_size
+        needed_blocks = (size + block_size - 1) // block_size
+        for block_no in inode.blocks[needed_blocks:]:
+            self.device.free_block(block_no)
+        del inode.blocks[needed_blocks:]
+        while len(inode.blocks) < needed_blocks:
+            inode.blocks.append(self.device.allocate_block())
+        inode.size = size
+        inode.mtime = self._now()
+
+    # ------------------------------------------------------------------- utility --
+    def read_whole_file(self, ino: int) -> bytes:
+        """Read a file's full contents directly (archive/version helpers)."""
+
+        inode = self.inode(ino)
+        return self._read_range(inode, 0, inode.size)
+
+    def write_whole_file(self, ino: int, data: bytes) -> None:
+        """Replace a file's contents directly (restore helpers)."""
+
+        inode = self.inode(ino)
+        self._truncate(inode, 0)
+        if data:
+            self._write_range(inode, 0, data)
+        inode.size = len(data)
+        inode.mtime = self._now()

@@ -1,0 +1,39 @@
+"""Channels: the cost-charging path between two simulated processes."""
+
+from __future__ import annotations
+
+from repro.errors import DaemonUnavailableError
+from repro.ipc.message import Message, Reply
+from repro.simclock import SimClock
+
+
+class Channel:
+    """A synchronous request/reply channel to one daemon.
+
+    ``latency_primitive`` names the :class:`~repro.simclock.CostModel` entry
+    charged per round trip (``upcall_round_trip`` for DLFS-to-DLFM upcalls,
+    ``db_dlfm_message`` for DBMS-agent-to-child-agent traffic).
+    """
+
+    def __init__(self, daemon, clock: SimClock | None,
+                 latency_primitive: str = "upcall_round_trip", sender: str = ""):
+        self._daemon = daemon
+        self._clock = clock
+        self._latency_primitive = latency_primitive
+        self._sender = sender
+
+    def request(self, kind: str, **payload) -> dict:
+        """Send a request and return the reply payload (raising its error)."""
+
+        if self._clock is not None:
+            self._clock.charge(self._latency_primitive)
+        if not self._daemon.running:
+            raise DaemonUnavailableError(
+                f"daemon {self._daemon.name!r} is not running")
+        message = Message(kind=kind, payload=payload, sender=self._sender)
+        reply = self._daemon.handle(message)
+        return reply.unwrap()
+
+    @property
+    def daemon_name(self) -> str:
+        return self._daemon.name

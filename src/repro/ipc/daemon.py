@@ -1,0 +1,50 @@
+"""Daemon framework: request demultiplexing with start/stop semantics."""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError, ReproError
+from repro.ipc.message import Message, Reply
+from repro.simclock import SimClock
+
+
+class Daemon:
+    """A simulated daemon process.
+
+    Subclasses register handlers with :meth:`register` (or by defining
+    ``handle_<kind>`` methods).  A stopped daemon refuses requests, which is
+    how DLFM crashes are simulated.
+    """
+
+    def __init__(self, name: str, clock: SimClock | None = None):
+        self.name = name
+        self.clock = clock
+        self.running = True
+        self._handlers: dict[str, callable] = {}
+        self.requests_served = 0
+
+    def register(self, kind: str, handler) -> None:
+        self._handlers[kind] = handler
+
+    def start(self) -> None:
+        self.running = True
+
+    def stop(self) -> None:
+        self.running = False
+
+    def handle(self, message: Message) -> Reply:
+        """Dispatch *message* to its handler, wrapping errors in the reply."""
+
+        if self.clock is not None:
+            self.clock.charge("daemon_dispatch")
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            handler = getattr(self, f"handle_{message.kind}", None)
+        if handler is None:
+            return Reply.failure(ProtocolError(
+                f"daemon {self.name!r} does not understand {message.kind!r}"))
+        self.requests_served += 1
+        try:
+            payload = handler(**message.payload)
+        except ReproError as error:
+            return Reply.failure(error)
+        return Reply.success(**(payload or {}))

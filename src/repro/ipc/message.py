@@ -1,0 +1,39 @@
+"""Request/response message types for the simulated IPC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Message:
+    """A request sent to a daemon."""
+
+    kind: str
+    payload: dict = field(default_factory=dict)
+    sender: str = ""
+
+
+@dataclass
+class Reply:
+    """A daemon's response to a :class:`Message`."""
+
+    ok: bool
+    payload: dict = field(default_factory=dict)
+    error: Exception | None = None
+
+    @classmethod
+    def success(cls, **payload) -> "Reply":
+        return cls(ok=True, payload=payload)
+
+    @classmethod
+    def failure(cls, error: Exception) -> "Reply":
+        return cls(ok=False, error=error)
+
+    def unwrap(self) -> dict:
+        """Return the payload, re-raising the carried error when not ok."""
+
+        if not self.ok:
+            assert self.error is not None
+            raise self.error
+        return self.payload

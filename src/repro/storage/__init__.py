@@ -1,0 +1,26 @@
+"""A small relational storage engine used as the host DBMS and DLFM repository.
+
+This package provides everything the DataLinks reproduction needs from a
+relational database: typed tables (including the ``DATALINK`` column type),
+strict two-phase locking, write-ahead logging, ARIES-style crash recovery,
+savepoints, two-phase-commit participation, and point-in-time backup/restore
+keyed by a log sequence number (the paper's "database state identifier").
+
+The public entry point is :class:`repro.storage.database.Database`.
+"""
+
+from repro.storage.values import DataType
+from repro.storage.schema import Column, TableSchema
+from repro.storage.database import Database
+from repro.storage.transaction import Transaction, TxnState
+from repro.storage.backup import BackupImage
+
+__all__ = [
+    "DataType",
+    "Column",
+    "TableSchema",
+    "Database",
+    "Transaction",
+    "TxnState",
+    "BackupImage",
+]

@@ -1,0 +1,133 @@
+"""The catalog: table schemas, heaps, and their indexes."""
+
+from __future__ import annotations
+
+from repro.errors import NoSuchTableError, TableExistsError
+from repro.storage.heap import HeapTable
+from repro.storage.index import HashIndex, OrderedIndex
+from repro.storage.schema import TableSchema
+
+
+class Catalog:
+    """Owns every table's schema, heap storage and index set."""
+
+    def __init__(self):
+        self._schemas: dict[str, TableSchema] = {}
+        self._heaps: dict[str, HeapTable] = {}
+        self._indexes: dict[str, list] = {}
+
+    # -- tables -----------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> HeapTable:
+        if schema.name in self._schemas:
+            raise TableExistsError(f"table {schema.name!r} already exists")
+        self._schemas[schema.name] = schema
+        heap = HeapTable(schema)
+        self._heaps[schema.name] = heap
+        self._indexes[schema.name] = []
+        if schema.primary_key:
+            self.create_index(f"{schema.name}_pk", schema.name,
+                              schema.primary_key, unique=True)
+        return heap
+
+    def drop_table(self, name: str) -> None:
+        self._require(name)
+        del self._schemas[name]
+        del self._heaps[name]
+        del self._indexes[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._schemas
+
+    def schema(self, name: str) -> TableSchema:
+        self._require(name)
+        return self._schemas[name]
+
+    def heap(self, name: str) -> HeapTable:
+        self._require(name)
+        return self._heaps[name]
+
+    def table_names(self) -> list[str]:
+        return sorted(self._schemas)
+
+    def _require(self, name: str) -> None:
+        if name not in self._schemas:
+            raise NoSuchTableError(f"no such table: {name!r}")
+
+    # -- indexes ------------------------------------------------------------------
+    def create_index(self, index_name: str, table: str, columns, *,
+                     unique: bool = False, ordered: bool = False):
+        self._require(table)
+        index_cls = OrderedIndex if ordered else HashIndex
+        index = index_cls(index_name, table, tuple(columns), unique=unique)
+        for rid, row in self._heaps[table].scan():
+            index.insert(row, rid)
+        self._indexes[table].append(index)
+        return index
+
+    def indexes_of(self, table: str) -> list:
+        self._require(table)
+        return list(self._indexes[table])
+
+    def index_by_name(self, table: str, index_name: str):
+        for index in self.indexes_of(table):
+            if index.name == index_name:
+                return index
+        return None
+
+    # -- maintenance hooks ----------------------------------------------------------
+    def index_insert(self, table: str, row: dict, rid: int) -> None:
+        for index in self._indexes.get(table, ()):
+            index.insert(row, rid)
+
+    def index_remove(self, table: str, row: dict, rid: int) -> None:
+        for index in self._indexes.get(table, ()):
+            index.remove(row, rid)
+
+    def rebuild_indexes(self, table: str | None = None) -> None:
+        """Rebuild indexes from heap contents (after restore or recovery)."""
+
+        tables = [table] if table else list(self._schemas)
+        for name in tables:
+            for index in self._indexes.get(name, ()):
+                index.clear()
+                for rid, row in self._heaps[name].scan():
+                    index.insert(row, rid)
+
+    # -- checkpoint / backup ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep snapshot of schemas and heap contents (indexes are derivable)."""
+
+        return {
+            "schemas": {name: schema.copy() for name, schema in self._schemas.items()},
+            "heaps": {name: heap.snapshot() for name, heap in self._heaps.items()},
+            "index_defs": {
+                name: [
+                    {
+                        "name": index.name,
+                        "columns": index.columns,
+                        "unique": index.unique,
+                        "ordered": isinstance(index, OrderedIndex),
+                    }
+                    for index in indexes
+                ]
+                for name, indexes in self._indexes.items()
+            },
+        }
+
+    def load_snapshot(self, snapshot: dict) -> None:
+        """Replace the whole catalog with *snapshot* (restore / recovery)."""
+
+        self._schemas = {}
+        self._heaps = {}
+        self._indexes = {}
+        for name, schema in snapshot["schemas"].items():
+            self._schemas[name] = schema.copy()
+            heap = HeapTable(self._schemas[name])
+            heap.load_snapshot(snapshot["heaps"][name])
+            self._heaps[name] = heap
+            self._indexes[name] = []
+        for name, definitions in snapshot["index_defs"].items():
+            for definition in definitions:
+                self.create_index(definition["name"], name, definition["columns"],
+                                  unique=definition["unique"],
+                                  ordered=definition["ordered"])

@@ -1,0 +1,476 @@
+"""The database facade: transactions, DML, checkpoints, crash and backup.
+
+One :class:`Database` instance plays the role of DB2 for the host database
+and of the DLFM's private repository on each file server.  It provides:
+
+* typed tables with primary keys and secondary indexes;
+* strict two-phase locking at row granularity;
+* write-ahead logging with explicit flush, ARIES-style recovery after a
+  simulated crash, savepoints, and two-phase-commit participation
+  (``prepare`` / ``commit_prepared`` / ``abort_prepared``);
+* full backups tagged with the tail LSN -- the *database state identifier*
+  the paper uses to coordinate file and database restore.
+
+All costs are charged to the shared :class:`~repro.simclock.SimClock` when
+one is supplied, so benchmarks can attribute latency to SQL work.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.errors import (
+    DuplicateKeyError,
+    NoSuchTableError,
+    PreparedStateError,
+    TransactionNotActive,
+)
+from repro.simclock import SimClock
+from repro.storage.backup import BackupImage, BackupManager
+from repro.storage.catalog import Catalog
+from repro.storage.lock_manager import LockManager, LockMode
+from repro.storage.query import compile_where
+from repro.storage.recovery import RecoveryManager
+from repro.storage.schema import TableSchema
+from repro.storage.transaction import Transaction, TxnState
+from repro.storage.wal import LogRecordType, WriteAheadLog
+from repro.util.lsn import LSN
+
+SYSTEM_TXN_ID = 0
+
+
+class Database:
+    """A single-node relational database with WAL, 2PL and recovery."""
+
+    def __init__(self, name: str, clock: SimClock | None = None,
+                 cost_scale: float = 1.0):
+        self.name = name
+        self.clock = clock
+        self.cost_scale = cost_scale
+        self.catalog = Catalog()
+        self.wal = WriteAheadLog()
+        self.locks = LockManager()
+        self.backups = BackupManager(self)
+        self._transactions: dict[int, Transaction] = {}
+        self._next_txn_id = 1
+        self._checkpoint: dict | None = None
+        self._restored_to: LSN | None = None
+        self._crashed = False
+
+    # ------------------------------------------------------------------ utils --
+    def now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
+    def _charge(self, primitive: str, *, times: int = 1, nbytes: int = 0) -> None:
+        if self.clock is not None:
+            self.clock.charge(primitive, times=times, nbytes=nbytes,
+                              scale=self.cost_scale)
+
+    def total_rows(self) -> int:
+        return sum(len(self.catalog.heap(name)) for name in self.catalog.table_names())
+
+    def state_identifier(self) -> LSN:
+        """The current database state identifier (tail LSN)."""
+
+        return self.wal.tail_lsn()
+
+    def note_restored_to(self, state_id: LSN) -> None:
+        self._restored_to = state_id
+
+    @property
+    def restored_to(self) -> LSN | None:
+        return self._restored_to
+
+    # ----------------------------------------------------------- transactions --
+    def begin(self) -> Transaction:
+        """Start a new transaction."""
+
+        if self._crashed:
+            raise TransactionNotActive(f"database {self.name} crashed; run recover() first")
+        transaction = Transaction(txn_id=self._next_txn_id)
+        self._next_txn_id += 1
+        self._transactions[transaction.txn_id] = transaction
+        self.wal.append(transaction.txn_id, LogRecordType.BEGIN)
+        self._charge("sql_statement_base")
+        return transaction
+
+    def transaction(self, txn_id: int) -> Transaction:
+        try:
+            return self._transactions[txn_id]
+        except KeyError:
+            raise TransactionNotActive(f"unknown transaction {txn_id}") from None
+
+    def active_transactions(self) -> list[Transaction]:
+        return [t for t in self._transactions.values() if t.state is TxnState.ACTIVE]
+
+    def register_recovered_transaction(self, transaction: Transaction) -> None:
+        """Used by recovery to reinstate an in-doubt (prepared) transaction."""
+
+        self._transactions[transaction.txn_id] = transaction
+        self._next_txn_id = max(self._next_txn_id, transaction.txn_id + 1)
+
+    def commit(self, txn: Transaction) -> LSN:
+        """Commit *txn*: force the log, run callbacks, release locks."""
+
+        txn.require_active_or_prepared()
+        self.wal.append(txn.txn_id, LogRecordType.COMMIT)
+        self.wal.flush()
+        self._charge("log_write")
+        txn.state = TxnState.COMMITTED
+        self._finish(txn, txn.on_commit)
+        return self.wal.tail_lsn()
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll back *txn*: undo its effects, force the log, release locks."""
+
+        if txn.state in (TxnState.COMMITTED, TxnState.ABORTED):
+            raise TransactionNotActive(f"transaction {txn.txn_id} already finished")
+        for record in reversed(txn.records):
+            self.apply_undo(record)
+        self.wal.append(txn.txn_id, LogRecordType.ABORT)
+        self.wal.flush()
+        self._charge("log_write")
+        txn.state = TxnState.ABORTED
+        self._finish(txn, txn.on_abort)
+
+    def _finish(self, txn: Transaction, callbacks: list) -> None:
+        self.locks.release_all(txn.txn_id)
+        for callback in callbacks:
+            callback()
+        callbacks.clear()
+
+    # two-phase commit -----------------------------------------------------------
+    def prepare(self, txn: Transaction) -> None:
+        """First phase of 2PC: make the transaction's effects durable, keep locks."""
+
+        txn.require_active()
+        self.wal.append(txn.txn_id, LogRecordType.PREPARE)
+        self.wal.flush()
+        self._charge("log_write")
+        txn.state = TxnState.PREPARED
+
+    def commit_prepared(self, txn: Transaction) -> LSN:
+        if txn.state is not TxnState.PREPARED:
+            raise PreparedStateError(f"transaction {txn.txn_id} is not prepared")
+        return self.commit(txn)
+
+    def abort_prepared(self, txn: Transaction) -> None:
+        if txn.state is not TxnState.PREPARED:
+            raise PreparedStateError(f"transaction {txn.txn_id} is not prepared")
+        # A prepared transaction recovered after a crash carries durable log
+        # records; an in-memory one carries the same records list.  Both undo
+        # identically.
+        txn.state = TxnState.ACTIVE
+        self.abort(txn)
+
+    def in_doubt_transactions(self) -> list[Transaction]:
+        return [t for t in self._transactions.values() if t.state is TxnState.PREPARED]
+
+    # savepoints -------------------------------------------------------------------
+    def savepoint(self, txn: Transaction, name: str) -> None:
+        txn.require_active()
+        self.wal.append(txn.txn_id, LogRecordType.SAVEPOINT, extra={"name": name})
+        txn.add_savepoint(name)
+
+    def rollback_to_savepoint(self, txn: Transaction, name: str) -> None:
+        """Undo every change made after the named savepoint."""
+
+        txn.require_active()
+        savepoint = txn.find_savepoint(name)
+        if savepoint is None:
+            raise TransactionNotActive(
+                f"transaction {txn.txn_id}: no savepoint named {name!r}")
+        while len(txn.records) > savepoint.record_count:
+            record = txn.records.pop()
+            self.apply_undo(record)
+        txn.drop_savepoints_after(savepoint)
+
+    # ------------------------------------------------------------------- DDL --
+    def create_table(self, schema: TableSchema, txn: Transaction | None = None):
+        """Create a table (auto-committed when no transaction is supplied)."""
+
+        with self._autotxn(txn) as active:
+            self._charge("sql_statement_base")
+            heap = self.catalog.create_table(schema)
+            self.wal.append(active.txn_id, LogRecordType.CREATE_TABLE,
+                            table=schema.name, extra={"schema": schema.copy()})
+            return heap
+
+    def drop_table(self, name: str, txn: Transaction | None = None) -> None:
+        with self._autotxn(txn) as active:
+            self._charge("sql_statement_base")
+            schema = self.catalog.schema(name)
+            self.catalog.drop_table(name)
+            self.wal.append(active.txn_id, LogRecordType.DROP_TABLE,
+                            table=name, extra={"schema": schema.copy()})
+
+    def create_index(self, index_name: str, table: str, columns, *,
+                     unique: bool = False, ordered: bool = False):
+        self._charge("sql_statement_base")
+        return self.catalog.create_index(index_name, table, columns,
+                                         unique=unique, ordered=ordered)
+
+    # ------------------------------------------------------------------- DML --
+    def insert(self, table: str, row: dict, txn: Transaction | None = None) -> int:
+        """Insert *row* into *table*; returns the new row id."""
+
+        with self._autotxn(txn) as active:
+            active.require_active()
+            self._charge("sql_statement_base")
+            schema = self.catalog.schema(table)
+            normalized = schema.validate_row(self._strip_internal(row))
+            heap = self.catalog.heap(table)
+            self._check_unique(table, normalized, exclude_rid=None)
+            if schema.primary_key:
+                key = schema.primary_key_of(normalized)
+                self.locks.acquire(active.txn_id, ("key", table, key), LockMode.EXCLUSIVE)
+                self._charge("lock_acquire")
+            rid = heap.insert(normalized)
+            self.locks.acquire(active.txn_id, ("row", table, rid), LockMode.EXCLUSIVE)
+            self._charge("lock_acquire")
+            self.catalog.index_insert(table, normalized, rid)
+            record = self.wal.append(active.txn_id, LogRecordType.INSERT, table=table,
+                                     rid=rid, after=dict(normalized))
+            active.note_record(record)
+            self._charge("row_write")
+            return rid
+
+    def select(self, table: str, where=None, txn: Transaction | None = None, *,
+               for_update: bool = False, lock: bool = True) -> list[dict]:
+        """Return matching rows (each carries its row id under ``"_rid"``).
+
+        When called inside a transaction with ``lock=True`` the matched rows
+        are locked shared (or exclusive with ``for_update=True``) following
+        strict two-phase locking.
+        """
+
+        self._charge("sql_statement_base")
+        predicate, bindings = compile_where(where)
+        rows = []
+        for rid, row in self._candidate_rows(table, bindings):
+            if not predicate(row):
+                continue
+            if txn is not None and lock:
+                mode = LockMode.EXCLUSIVE if for_update else LockMode.SHARED
+                self.locks.acquire(txn.txn_id, ("row", table, rid), mode)
+                self._charge("lock_acquire")
+            self._charge("row_read")
+            row["_rid"] = rid
+            rows.append(row)
+        return rows
+
+    def select_one(self, table: str, where=None, txn: Transaction | None = None,
+                   **kwargs) -> dict | None:
+        rows = self.select(table, where, txn, **kwargs)
+        return rows[0] if rows else None
+
+    def update(self, table: str, where, changes: dict,
+               txn: Transaction | None = None) -> int:
+        """Update matching rows with *changes*; returns the number touched."""
+
+        with self._autotxn(txn) as active:
+            active.require_active()
+            self._charge("sql_statement_base")
+            schema = self.catalog.schema(table)
+            heap = self.catalog.heap(table)
+            predicate, bindings = compile_where(where)
+            changes = self._strip_internal(changes)
+            touched = 0
+            for rid, row in list(self._candidate_rows(table, bindings)):
+                if not predicate(row):
+                    continue
+                self.locks.acquire(active.txn_id, ("row", table, rid), LockMode.EXCLUSIVE)
+                self._charge("lock_acquire")
+                new_row = dict(row)
+                new_row.update(changes)
+                normalized = schema.validate_row(new_row)
+                self._check_unique(table, normalized, exclude_rid=rid)
+                self.catalog.index_remove(table, row, rid)
+                heap.update(rid, normalized)
+                self.catalog.index_insert(table, normalized, rid)
+                record = self.wal.append(active.txn_id, LogRecordType.UPDATE, table=table,
+                                         rid=rid, before=dict(row), after=dict(normalized))
+                active.note_record(record)
+                self._charge("row_write")
+                touched += 1
+            return touched
+
+    def delete(self, table: str, where, txn: Transaction | None = None) -> int:
+        """Delete matching rows; returns the number removed."""
+
+        with self._autotxn(txn) as active:
+            active.require_active()
+            self._charge("sql_statement_base")
+            heap = self.catalog.heap(table)
+            predicate, bindings = compile_where(where)
+            removed = 0
+            for rid, row in list(self._candidate_rows(table, bindings)):
+                if not predicate(row):
+                    continue
+                self.locks.acquire(active.txn_id, ("row", table, rid), LockMode.EXCLUSIVE)
+                self._charge("lock_acquire")
+                self.catalog.index_remove(table, row, rid)
+                heap.delete(rid)
+                record = self.wal.append(active.txn_id, LogRecordType.DELETE, table=table,
+                                         rid=rid, before=dict(row))
+                active.note_record(record)
+                self._charge("row_write")
+                removed += 1
+            return removed
+
+    def count(self, table: str, where=None) -> int:
+        return len(self.select(table, where, txn=None, lock=False))
+
+    # ------------------------------------------------------------ DML helpers --
+    @staticmethod
+    def _strip_internal(row: dict) -> dict:
+        return {key: value for key, value in row.items() if not key.startswith("_")}
+
+    def _candidate_rows(self, table: str, bindings: dict):
+        """Yield (rid, row) candidates, using the primary-key index when possible."""
+
+        schema = self.catalog.schema(table)
+        heap = self.catalog.heap(table)
+        if schema.primary_key and bindings and all(c in bindings for c in schema.primary_key):
+            index = self.catalog.index_by_name(table, f"{table}_pk")
+            if index is not None:
+                key = tuple(bindings[c] for c in schema.primary_key)
+                self._charge("index_probe")
+                for rid in sorted(index.lookup(key)):
+                    if heap.exists(rid):
+                        yield rid, heap.get(rid)
+                return
+        yield from heap.scan()
+
+    def _check_unique(self, table: str, row: dict, exclude_rid: int | None) -> None:
+        for index in self.catalog.indexes_of(table):
+            if not index.unique:
+                continue
+            key = index.key_of(row)
+            existing = index.lookup(key)
+            existing.discard(exclude_rid)
+            if existing:
+                raise DuplicateKeyError(
+                    f"table {table}: duplicate key {key!r} for index {index.name}")
+
+    @contextlib.contextmanager
+    def _autotxn(self, txn: Transaction | None):
+        if txn is not None:
+            yield txn
+            return
+        auto = self.begin()
+        try:
+            yield auto
+        except Exception:
+            if not auto.is_finished:
+                self.abort(auto)
+            raise
+        else:
+            self.commit(auto)
+
+    # ---------------------------------------------------------------- undo ----
+    def apply_undo(self, record, during_recovery: bool = False) -> None:
+        """Apply the inverse of a data log record and write a CLR."""
+
+        if record.table is None or not self.catalog.has_table(record.table):
+            return
+        heap = self.catalog.heap(record.table)
+        if record.type is LogRecordType.INSERT:
+            if heap.exists(record.rid):
+                row = heap.get(record.rid)
+                self.catalog.index_remove(record.table, row, record.rid)
+                heap.delete(record.rid)
+            redo_as, before, after = LogRecordType.DELETE, record.after, None
+        elif record.type is LogRecordType.DELETE:
+            if not heap.exists(record.rid):
+                heap.insert(record.before, rid=record.rid)
+                self.catalog.index_insert(record.table, record.before, record.rid)
+            redo_as, before, after = LogRecordType.INSERT, None, record.before
+        elif record.type is LogRecordType.UPDATE:
+            if heap.exists(record.rid):
+                current = heap.get(record.rid)
+                self.catalog.index_remove(record.table, current, record.rid)
+                heap.update(record.rid, record.before)
+            else:
+                heap.insert(record.before, rid=record.rid)
+            self.catalog.index_insert(record.table, record.before, record.rid)
+            redo_as, before, after = LogRecordType.UPDATE, record.after, record.before
+        else:
+            return
+        self.wal.append(record.txn_id, LogRecordType.CLR, table=record.table,
+                        rid=record.rid, before=before, after=after,
+                        extra={"undone_lsn": record.lsn.value, "redo_as": redo_as.value})
+        self._charge("row_write")
+
+    # ------------------------------------------------------- checkpoint/crash --
+    def checkpoint(self) -> LSN:
+        """Force the log and snapshot volatile state (a fuzzy checkpoint)."""
+
+        self.wal.flush()
+        self._charge("log_write")
+        record = self.wal.append(SYSTEM_TXN_ID, LogRecordType.CHECKPOINT)
+        self.wal.flush()
+        self._checkpoint = {
+            "lsn": record.lsn,
+            "snapshot": self.catalog.snapshot(),
+            "next_txn_id": self._next_txn_id,
+        }
+        return record.lsn
+
+    def last_checkpoint(self) -> dict | None:
+        return self._checkpoint
+
+    def reset_catalog(self) -> None:
+        self.catalog = Catalog()
+
+    def crash(self) -> None:
+        """Simulate a crash: volatile state and unflushed log records are lost."""
+
+        self.wal.lose_unflushed()
+        self.reset_catalog()
+        self._transactions.clear()
+        self.locks.clear()
+        self._crashed = True
+
+    def recover(self) -> dict:
+        """Run crash recovery; returns the recovery summary."""
+
+        summary = RecoveryManager(self).recover()
+        checkpoint = self._checkpoint
+        if checkpoint is not None:
+            self._next_txn_id = max(self._next_txn_id, checkpoint["next_txn_id"])
+        for record in self.wal.records(durable_only=True):
+            self._next_txn_id = max(self._next_txn_id, record.txn_id + 1)
+        self._crashed = False
+        return summary
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    # -------------------------------------------------------------------- SQL --
+    def execute(self, sql: str, txn: Transaction | None = None):
+        """Execute one SQL statement (see :mod:`repro.storage.sql` for the dialect)."""
+
+        from repro.storage.sql import SQLExecutor
+
+        return SQLExecutor(self).execute(sql, txn)
+
+    # ----------------------------------------------------------------- backup --
+    def backup(self, label: str = "") -> BackupImage:
+        """Take a full backup tagged with the current state identifier."""
+
+        self.wal.flush()
+        return self.backups.create_backup(label)
+
+    def restore(self, image: BackupImage) -> LSN:
+        """Restore from *image*; returns the database state identifier restored to.
+
+        A checkpoint is taken immediately after the restore so that a later
+        crash recovers to the restored state rather than replaying log
+        records that describe the pre-restore history.
+        """
+
+        state_id = self.backups.restore(image)
+        self.checkpoint()
+        return state_id

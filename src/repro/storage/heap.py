@@ -1,0 +1,95 @@
+"""Heap tables: unordered row storage addressed by row id."""
+
+from __future__ import annotations
+
+import copy
+
+from repro.errors import NoSuchRowError
+from repro.storage.schema import TableSchema
+
+
+class HeapTable:
+    """In-memory heap of rows for one table.
+
+    Rows are plain dicts keyed by column name; the heap hands out
+    monotonically increasing integer row ids.  The heap itself is *volatile*:
+    durability comes from the write-ahead log and checkpoints managed by the
+    database, which call :meth:`snapshot` / :meth:`load_snapshot`.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: dict[int, dict] = {}
+        self._next_rid = 1
+
+    # -- basic operations ------------------------------------------------------
+    def insert(self, row: dict, rid: int | None = None) -> int:
+        """Store *row*; returns its row id.
+
+        ``rid`` may be forced by recovery/undo so that row ids are stable
+        across redo and rollback.
+        """
+
+        if rid is None:
+            rid = self._next_rid
+            self._next_rid += 1
+        else:
+            self._next_rid = max(self._next_rid, rid + 1)
+        self._rows[rid] = dict(row)
+        return rid
+
+    def get(self, rid: int) -> dict:
+        """Return a copy of the row stored under *rid*."""
+
+        try:
+            return dict(self._rows[rid])
+        except KeyError:
+            raise NoSuchRowError(f"table {self.schema.name}: no row {rid}") from None
+
+    def exists(self, rid: int) -> bool:
+        return rid in self._rows
+
+    def update(self, rid: int, row: dict) -> None:
+        """Replace the row stored under *rid*."""
+
+        if rid not in self._rows:
+            raise NoSuchRowError(f"table {self.schema.name}: no row {rid}")
+        self._rows[rid] = dict(row)
+
+    def delete(self, rid: int) -> dict:
+        """Remove and return the row stored under *rid*."""
+
+        try:
+            return self._rows.pop(rid)
+        except KeyError:
+            raise NoSuchRowError(f"table {self.schema.name}: no row {rid}") from None
+
+    def scan(self):
+        """Iterate ``(rid, row copy)`` over all live rows (stable order)."""
+
+        for rid in sorted(self._rows):
+            yield rid, dict(self._rows[rid])
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- checkpoint / backup support -------------------------------------------
+    def snapshot(self) -> dict:
+        """A deep copy of the heap contents, for checkpoints and backups."""
+
+        return {
+            "rows": copy.deepcopy(self._rows),
+            "next_rid": self._next_rid,
+        }
+
+    def load_snapshot(self, snapshot: dict) -> None:
+        """Replace the heap contents with a previously taken snapshot."""
+
+        self._rows = copy.deepcopy(snapshot["rows"])
+        self._next_rid = snapshot["next_rid"]
+
+    def clear(self) -> None:
+        """Drop all rows (used to simulate loss of volatile state)."""
+
+        self._rows.clear()
+        self._next_rid = 1

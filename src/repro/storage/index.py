@@ -1,0 +1,126 @@
+"""Secondary indexes: hash indexes for equality and an ordered index for ranges."""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import DuplicateKeyError
+
+
+class HashIndex:
+    """Equality index mapping a key tuple to the set of row ids holding it."""
+
+    def __init__(self, name: str, table: str, columns: tuple[str, ...], unique: bool = False):
+        self.name = name
+        self.table = table
+        self.columns = tuple(columns)
+        self.unique = unique
+        self._entries: dict[tuple, set[int]] = {}
+
+    def key_of(self, row: dict) -> tuple:
+        return tuple(row[column] for column in self.columns)
+
+    def insert(self, row: dict, rid: int) -> None:
+        key = self.key_of(row)
+        bucket = self._entries.setdefault(key, set())
+        if self.unique and bucket and rid not in bucket:
+            raise DuplicateKeyError(
+                f"index {self.name}: duplicate key {key!r} on table {self.table}")
+        bucket.add(rid)
+
+    def remove(self, row: dict, rid: int) -> None:
+        key = self.key_of(row)
+        bucket = self._entries.get(key)
+        if bucket is None:
+            return
+        bucket.discard(rid)
+        if not bucket:
+            del self._entries[key]
+
+    def lookup(self, key: tuple) -> set[int]:
+        return set(self._entries.get(tuple(key), ()))
+
+    def contains(self, key: tuple) -> bool:
+        return tuple(key) in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._entries.values())
+
+
+class OrderedIndex:
+    """A sorted (key, rid) index supporting range scans.
+
+    Backed by a sorted list with binary search -- adequate for the table
+    sizes the reproduction works with and entirely deterministic.
+    """
+
+    def __init__(self, name: str, table: str, columns: tuple[str, ...], unique: bool = False):
+        self.name = name
+        self.table = table
+        self.columns = tuple(columns)
+        self.unique = unique
+        self._keys: list[tuple] = []
+        self._rids: list[int] = []
+
+    def key_of(self, row: dict) -> tuple:
+        return tuple(row[column] for column in self.columns)
+
+    def insert(self, row: dict, rid: int) -> None:
+        key = self.key_of(row)
+        position = bisect.bisect_left(self._keys, key)
+        if self.unique:
+            if position < len(self._keys) and self._keys[position] == key \
+                    and self._rids[position] != rid:
+                raise DuplicateKeyError(
+                    f"index {self.name}: duplicate key {key!r} on table {self.table}")
+        self._keys.insert(position, key)
+        self._rids.insert(position, rid)
+
+    def remove(self, row: dict, rid: int) -> None:
+        key = self.key_of(row)
+        position = bisect.bisect_left(self._keys, key)
+        while position < len(self._keys) and self._keys[position] == key:
+            if self._rids[position] == rid:
+                del self._keys[position]
+                del self._rids[position]
+                return
+            position += 1
+
+    def lookup(self, key: tuple) -> set[int]:
+        key = tuple(key)
+        result: set[int] = set()
+        position = bisect.bisect_left(self._keys, key)
+        while position < len(self._keys) and self._keys[position] == key:
+            result.add(self._rids[position])
+            position += 1
+        return result
+
+    def range_scan(self, low: tuple | None = None, high: tuple | None = None,
+                   include_low: bool = True, include_high: bool = True):
+        """Iterate ``(key, rid)`` pairs with keys in ``[low, high]``."""
+
+        if low is None:
+            start = 0
+        else:
+            low = tuple(low)
+            start = bisect.bisect_left(self._keys, low) if include_low \
+                else bisect.bisect_right(self._keys, low)
+        for position in range(start, len(self._keys)):
+            key = self._keys[position]
+            if high is not None:
+                high_t = tuple(high)
+                if include_high and key > high_t:
+                    break
+                if not include_high and key >= high_t:
+                    break
+            yield key, self._rids[position]
+
+    def clear(self) -> None:
+        self._keys.clear()
+        self._rids.clear()
+
+    def __len__(self) -> int:
+        return len(self._keys)

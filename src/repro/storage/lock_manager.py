@@ -1,0 +1,137 @@
+"""Strict two-phase locking with deadlock detection.
+
+The reproduction runs in a single Python thread: "concurrency" is simulated
+by workload drivers that interleave operations of several logical
+transactions.  Consequently the lock manager never blocks; an acquisition
+that cannot be granted raises :class:`LockConflictError` (carrying the
+current holders) and the caller decides whether to retry later, abort or
+escalate.  Wait-for edges are recorded on conflict so cycles are detected and
+reported as :class:`DeadlockError`, mirroring a conventional detector.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+
+from repro.errors import DeadlockError, LockConflictError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible_with(self, other: "LockMode") -> bool:
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+class LockManager:
+    """Tracks which transaction holds which resource in which mode."""
+
+    def __init__(self):
+        # resource -> {txn_id: LockMode}
+        self._holders: dict[object, dict[int, LockMode]] = defaultdict(dict)
+        # txn_id -> set of resources
+        self._owned: dict[int, set[object]] = defaultdict(set)
+        # waits-for edges recorded on conflict: waiter -> set of holders
+        self._waits_for: dict[int, set[int]] = defaultdict(set)
+
+    # -- acquisition -----------------------------------------------------------
+    def acquire(self, txn_id: int, resource: object, mode: LockMode) -> bool:
+        """Grant *resource* to *txn_id* in *mode* or raise.
+
+        Returns ``True`` on success.  Raises :class:`DeadlockError` when the
+        implied wait would close a cycle and :class:`LockConflictError` when
+        the lock is simply unavailable.
+        """
+
+        holders = self._holders[resource]
+        current = holders.get(txn_id)
+        if current is not None:
+            if current is LockMode.EXCLUSIVE or current is mode:
+                return True
+            # upgrade S -> X: allowed only if we are the sole holder
+            others = [other for other in holders if other != txn_id]
+            if not others:
+                holders[txn_id] = LockMode.EXCLUSIVE
+                return True
+            self._record_wait(txn_id, others)
+            raise LockConflictError(resource, mode, others)
+
+        conflicting = [other for other, held in holders.items()
+                       if other != txn_id and not held.compatible_with(mode)]
+        if conflicting:
+            self._record_wait(txn_id, conflicting)
+            raise LockConflictError(resource, mode, conflicting)
+
+        holders[txn_id] = mode
+        self._owned[txn_id].add(resource)
+        self._waits_for.pop(txn_id, None)
+        return True
+
+    def try_acquire(self, txn_id: int, resource: object, mode: LockMode) -> bool:
+        """Like :meth:`acquire` but returns ``False`` instead of raising on conflict."""
+
+        try:
+            return self.acquire(txn_id, resource, mode)
+        except (LockConflictError, DeadlockError):
+            return False
+
+    def _record_wait(self, waiter: int, holders: list[int]) -> None:
+        self._waits_for[waiter].update(holders)
+        if self._has_cycle(waiter):
+            self._waits_for.pop(waiter, None)
+            raise DeadlockError(
+                f"transaction {waiter} would deadlock waiting for {sorted(holders)}")
+
+    def _has_cycle(self, start: int) -> bool:
+        seen: set[int] = set()
+        stack = list(self._waits_for.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node == start:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._waits_for.get(node, ()))
+        return False
+
+    # -- release ----------------------------------------------------------------
+    def release(self, txn_id: int, resource: object) -> None:
+        holders = self._holders.get(resource)
+        if holders and txn_id in holders:
+            del holders[txn_id]
+            if not holders:
+                self._holders.pop(resource, None)
+        self._owned.get(txn_id, set()).discard(resource)
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock held by *txn_id* (end of strict 2PL)."""
+
+        for resource in list(self._owned.get(txn_id, ())):
+            self.release(txn_id, resource)
+        self._owned.pop(txn_id, None)
+        self._waits_for.pop(txn_id, None)
+        for waiters in self._waits_for.values():
+            waiters.discard(txn_id)
+
+    # -- inspection ---------------------------------------------------------------
+    def holders_of(self, resource: object) -> dict[int, LockMode]:
+        return dict(self._holders.get(resource, {}))
+
+    def locks_of(self, txn_id: int) -> set[object]:
+        return set(self._owned.get(txn_id, ()))
+
+    def holds(self, txn_id: int, resource: object, mode: LockMode | None = None) -> bool:
+        held = self._holders.get(resource, {}).get(txn_id)
+        if held is None:
+            return False
+        if mode is None:
+            return True
+        return held is mode or held is LockMode.EXCLUSIVE
+
+    def clear(self) -> None:
+        self._holders.clear()
+        self._owned.clear()
+        self._waits_for.clear()

@@ -1,0 +1,106 @@
+"""Table schemas: column definitions, defaults and row validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NoSuchColumnError, NullViolationError, SchemaError
+from repro.storage.values import DataType, validate_value
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table.
+
+    ``options`` is an opaque mapping used by higher layers; the DataLinks
+    engine stores the per-column DATALINK control options (control mode,
+    recovery, on-unlink behaviour) here.
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    default: object = None
+    options: dict = field(default_factory=dict)
+
+
+class TableSchema:
+    """An ordered collection of columns plus an optional primary key."""
+
+    def __init__(self, name: str, columns: list[Column],
+                 primary_key: tuple[str, ...] | list[str] = ()):
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        if not columns:
+            raise SchemaError(f"table {name}: at least one column is required")
+        seen: set[str] = set()
+        for column in columns:
+            if column.name in seen:
+                raise SchemaError(f"table {name}: duplicate column {column.name!r}")
+            seen.add(column.name)
+        self.name = name
+        self.columns = list(columns)
+        self._by_name = {column.name: column for column in columns}
+        self.primary_key = tuple(primary_key)
+        for key_column in self.primary_key:
+            if key_column not in self._by_name:
+                raise SchemaError(
+                    f"table {name}: primary key column {key_column!r} is not defined")
+
+    # -- lookup ---------------------------------------------------------------
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise NoSuchColumnError(f"table {self.name}: no column {name!r}") from None
+
+    def datalink_columns(self) -> list[Column]:
+        """Columns declared with the DATALINK type."""
+
+        return [column for column in self.columns if column.dtype is DataType.DATALINK]
+
+    # -- validation -----------------------------------------------------------
+    def validate_row(self, row: dict) -> dict:
+        """Validate and normalize *row*.
+
+        Unknown keys are rejected, missing columns receive their default,
+        values are type-checked, and NOT NULL constraints are enforced.
+        Returns a new dict laid out in column order.
+        """
+
+        for key in row:
+            if key not in self._by_name:
+                raise NoSuchColumnError(f"table {self.name}: no column {key!r}")
+        normalized: dict = {}
+        for column in self.columns:
+            if column.name in row:
+                value = row[column.name]
+            else:
+                value = column.default
+            value = validate_value(column.dtype, value, column.name)
+            if value is None and not column.nullable:
+                raise NullViolationError(
+                    f"table {self.name}: column {column.name!r} may not be null")
+            normalized[column.name] = value
+        return normalized
+
+    def primary_key_of(self, row: dict) -> tuple:
+        """Extract the primary-key tuple of a (validated) row."""
+
+        return tuple(row[name] for name in self.primary_key)
+
+    def copy(self) -> "TableSchema":
+        """A structural copy of this schema (columns are immutable)."""
+
+        return TableSchema(self.name, list(self.columns), self.primary_key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.dtype.value}" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"

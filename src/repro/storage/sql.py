@@ -1,0 +1,361 @@
+"""A small SQL text front-end for the storage engine.
+
+The host database in the paper is DB2, so applications speak SQL.  The
+programmatic API of :class:`~repro.storage.database.Database` (and of the
+DataLinks engine) stays the primary interface of this reproduction, but this
+module adds a compact SQL dialect on top of it so examples and tests can be
+written the way the paper's applications would:
+
+* ``CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, body DATALINK MODE RFD, ...)``
+* ``INSERT INTO t (id, body) VALUES (1, 'dlfs://fs1/f.dat')``
+* ``SELECT id, body FROM t WHERE id = 1 AND title LIKE 'Welcome'``
+* ``UPDATE t SET title = 'new' WHERE id = 1``
+* ``DELETE FROM t WHERE id = 1``
+
+Literals are integers, floats, single-quoted strings, TRUE/FALSE and NULL.
+WHERE supports comparisons (=, <>, !=, <, <=, >, >=), LIKE (substring) and
+AND/OR with the usual precedence.  When an executor is built with a DataLinks
+engine, DML statements route through it so DATALINK columns get their
+link/unlink and token processing.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.datalinks.control_modes import ControlMode
+from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
+from repro.errors import StorageError
+from repro.storage.query import And, Condition, Eq, Ge, Gt, Le, Like, Lt, Ne, Or
+from repro.storage.schema import Column, TableSchema
+from repro.storage.values import DataType
+
+
+class SQLSyntaxError(StorageError):
+    """The statement text could not be parsed."""
+
+
+# ---------------------------------------------------------------------------
+# tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')        |
+        (?P<number>\d+\.\d+|\d+)          |
+        (?P<word>[A-Za-z_][A-Za-z_0-9]*)  |
+        (?P<op><=|>=|<>|!=|=|<|>|\(|\)|,|\*)
+    )""", re.VERBOSE)
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    text = sql.strip().rstrip(";")
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            raise SQLSyntaxError(f"cannot tokenize SQL near: {text[position:position + 20]!r}")
+        position = match.end()
+        for kind in ("string", "number", "word", "op"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value))
+                break
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of statement")
+        self._index += 1
+        return token
+
+    def expect_word(self, *words: str) -> str:
+        token = self.next()
+        if token.kind != "word" or token.text.upper() not in words:
+            raise SQLSyntaxError(f"expected {' or '.join(words)}, found {token.text!r}")
+        return token.text.upper()
+
+    def expect_op(self, op: str) -> None:
+        token = self.next()
+        if token.kind != "op" or token.text != op:
+            raise SQLSyntaxError(f"expected {op!r}, found {token.text!r}")
+
+    def accept_word(self, *words: str) -> str | None:
+        token = self.peek()
+        if token is not None and token.kind == "word" and token.text.upper() in words:
+            self._index += 1
+            return token.text.upper()
+        return None
+
+    def accept_op(self, op: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "op" and token.text == op:
+            self._index += 1
+            return True
+        return False
+
+    def identifier(self) -> str:
+        token = self.next()
+        if token.kind != "word":
+            raise SQLSyntaxError(f"expected an identifier, found {token.text!r}")
+        return token.text
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+# ---------------------------------------------------------------------------
+# literals and expressions
+# ---------------------------------------------------------------------------
+
+def _literal(token: _Token):
+    if token.kind == "string":
+        return token.text[1:-1].replace("''", "'")
+    if token.kind == "number":
+        return float(token.text) if "." in token.text else int(token.text)
+    if token.kind == "word":
+        upper = token.text.upper()
+        if upper == "NULL":
+            return None
+        if upper == "TRUE":
+            return True
+        if upper == "FALSE":
+            return False
+    raise SQLSyntaxError(f"expected a literal value, found {token.text!r}")
+
+
+def _parse_comparison(stream: _TokenStream) -> Condition:
+    column = stream.identifier()
+    token = stream.next()
+    if token.kind == "word" and token.text.upper() == "LIKE":
+        needle = _literal(stream.next())
+        return Like(column, str(needle).replace("%", ""))
+    if token.kind != "op":
+        raise SQLSyntaxError(f"expected a comparison operator, found {token.text!r}")
+    value = _literal(stream.next())
+    operators = {"=": Eq, "<>": Ne, "!=": Ne, "<": Lt, "<=": Le, ">": Gt, ">=": Ge}
+    try:
+        return operators[token.text](column, value)
+    except KeyError:
+        raise SQLSyntaxError(f"unsupported operator {token.text!r}") from None
+
+
+def _parse_condition(stream: _TokenStream) -> Condition:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: _TokenStream) -> Condition:
+    left = _parse_and(stream)
+    while stream.accept_word("OR"):
+        left = Or(left, _parse_and(stream))
+    return left
+
+
+def _parse_and(stream: _TokenStream) -> Condition:
+    left = _parse_primary(stream)
+    while stream.accept_word("AND"):
+        left = And(left, _parse_primary(stream))
+    return left
+
+
+def _parse_primary(stream: _TokenStream) -> Condition:
+    if stream.accept_op("("):
+        condition = _parse_or(stream)
+        stream.expect_op(")")
+        return condition
+    return _parse_comparison(stream)
+
+
+# ---------------------------------------------------------------------------
+# statement parsing + execution
+# ---------------------------------------------------------------------------
+
+_TYPE_NAMES = {
+    "INTEGER": DataType.INTEGER,
+    "INT": DataType.INTEGER,
+    "REAL": DataType.REAL,
+    "FLOAT": DataType.REAL,
+    "TEXT": DataType.TEXT,
+    "VARCHAR": DataType.TEXT,
+    "BOOLEAN": DataType.BOOLEAN,
+    "TIMESTAMP": DataType.TIMESTAMP,
+    "BLOB": DataType.BLOB,
+    "DATALINK": DataType.DATALINK,
+}
+
+
+class SQLExecutor:
+    """Parses and executes the supported SQL dialect.
+
+    ``database`` handles DDL and is the fallback DML target; when ``engine``
+    (a :class:`~repro.datalinks.engine.DataLinksEngine`) is supplied, INSERT,
+    UPDATE and DELETE route through it so DATALINK values are linked and
+    unlinked as part of the statement, exactly as in the paper's host DBMS.
+    """
+
+    def __init__(self, database, engine=None):
+        self.database = database
+        self.engine = engine
+
+    # -- public entry point ------------------------------------------------------
+    def execute(self, sql: str, txn=None):
+        """Execute one statement; returns rows for SELECT, a count otherwise."""
+
+        stream = _TokenStream(_tokenize(sql))
+        keyword = stream.expect_word("CREATE", "INSERT", "SELECT", "UPDATE", "DELETE", "DROP")
+        handler = {
+            "CREATE": self._create_table,
+            "DROP": self._drop_table,
+            "INSERT": self._insert,
+            "SELECT": self._select,
+            "UPDATE": self._update,
+            "DELETE": self._delete,
+        }[keyword]
+        result = handler(stream, txn)
+        if not stream.at_end():
+            raise SQLSyntaxError(f"unexpected trailing input: {stream.next().text!r}")
+        return result
+
+    # -- DDL ------------------------------------------------------------------------
+    def _create_table(self, stream: _TokenStream, txn):
+        stream.expect_word("TABLE")
+        table = stream.identifier()
+        stream.expect_op("(")
+        columns: list[Column] = []
+        primary_key: list[str] = []
+        while True:
+            name = stream.identifier()
+            type_word = stream.identifier().upper()
+            if type_word not in _TYPE_NAMES:
+                raise SQLSyntaxError(f"unknown column type {type_word!r}")
+            dtype = _TYPE_NAMES[type_word]
+            if type_word == "VARCHAR" and stream.accept_op("("):
+                stream.next()
+                stream.expect_op(")")
+            options: DatalinkOptions | None = None
+            if dtype is DataType.DATALINK:
+                options = self._datalink_options(stream)
+            nullable = True
+            while True:
+                if stream.accept_word("NOT"):
+                    stream.expect_word("NULL")
+                    nullable = False
+                    continue
+                if stream.accept_word("PRIMARY"):
+                    stream.expect_word("KEY")
+                    primary_key.append(name)
+                    nullable = False
+                    continue
+                break
+            if dtype is DataType.DATALINK:
+                columns.append(datalink_column(name, options, nullable=nullable))
+            else:
+                columns.append(Column(name, dtype, nullable=nullable))
+            if stream.accept_op(","):
+                continue
+            stream.expect_op(")")
+            break
+        schema = TableSchema(table, columns, primary_key=tuple(primary_key))
+        self.database.create_table(schema, txn)
+        return 0
+
+    def _datalink_options(self, stream: _TokenStream) -> DatalinkOptions:
+        """Parse the non-standard but convenient ``MODE <code>`` suffix."""
+
+        mode = ControlMode.RFF
+        if stream.accept_word("MODE"):
+            mode = ControlMode.from_string(stream.identifier())
+        return DatalinkOptions(control_mode=mode)
+
+    def _drop_table(self, stream: _TokenStream, txn):
+        stream.expect_word("TABLE")
+        self.database.drop_table(stream.identifier(), txn)
+        return 0
+
+    # -- DML ------------------------------------------------------------------------
+    def _dml_target(self):
+        return self.engine if self.engine is not None else self.database
+
+    def _insert(self, stream: _TokenStream, txn):
+        stream.expect_word("INTO")
+        table = stream.identifier()
+        stream.expect_op("(")
+        columns = [stream.identifier()]
+        while stream.accept_op(","):
+            columns.append(stream.identifier())
+        stream.expect_op(")")
+        stream.expect_word("VALUES")
+        count = 0
+        while True:
+            stream.expect_op("(")
+            values = [_literal(stream.next())]
+            while stream.accept_op(","):
+                values.append(_literal(stream.next()))
+            stream.expect_op(")")
+            if len(values) != len(columns):
+                raise SQLSyntaxError(
+                    f"INSERT has {len(columns)} columns but {len(values)} values")
+            self._dml_target().insert(table, dict(zip(columns, values)), txn)
+            count += 1
+            if not stream.accept_op(","):
+                break
+        return count
+
+    def _where(self, stream: _TokenStream):
+        if stream.accept_word("WHERE"):
+            return _parse_condition(stream)
+        return None
+
+    def _select(self, stream: _TokenStream, txn):
+        if stream.accept_op("*"):
+            projection = None
+        else:
+            projection = [stream.identifier()]
+            while stream.accept_op(","):
+                projection.append(stream.identifier())
+        stream.expect_word("FROM")
+        table = stream.identifier()
+        where = self._where(stream)
+        rows = self._dml_target().select(table, where, txn)
+        if projection is None:
+            return [{k: v for k, v in row.items() if not k.startswith("_")} for row in rows]
+        return [{name: row.get(name) for name in projection} for row in rows]
+
+    def _update(self, stream: _TokenStream, txn):
+        table = stream.identifier()
+        stream.expect_word("SET")
+        changes = {}
+        while True:
+            column = stream.identifier()
+            stream.expect_op("=")
+            changes[column] = _literal(stream.next())
+            if not stream.accept_op(","):
+                break
+        where = self._where(stream)
+        return self._dml_target().update(table, where, changes, txn)
+
+    def _delete(self, stream: _TokenStream, txn):
+        stream.expect_word("FROM")
+        table = stream.identifier()
+        where = self._where(stream)
+        return self._dml_target().delete(table, where, txn)

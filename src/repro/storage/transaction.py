@@ -1,0 +1,86 @@
+"""Transaction objects and their state machine.
+
+The database (see :mod:`repro.storage.database`) owns the transaction life
+cycle; this module defines the per-transaction bookkeeping: state, the chain
+of log records written on its behalf (used for rollback), and savepoints.
+Two-phase commit is supported through the PREPARED state so a DLFM can act as
+a transactional resource manager for the host database, exactly as the paper
+describes ("the operations done in DLFM are treated as a sub-transaction of
+the host database transaction").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import TransactionNotActive
+from repro.storage.wal import LogRecord
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "ACTIVE"
+    PREPARED = "PREPARED"
+    COMMITTED = "COMMITTED"
+    ABORTED = "ABORTED"
+
+
+@dataclass
+class Savepoint:
+    """Marks a position in the transaction's undo chain."""
+
+    name: str
+    record_count: int
+
+
+@dataclass
+class Transaction:
+    """One database transaction."""
+
+    txn_id: int
+    state: TxnState = TxnState.ACTIVE
+    records: list[LogRecord] = field(default_factory=list)
+    savepoints: list[Savepoint] = field(default_factory=list)
+    # Callbacks run after commit / after abort (used by higher layers to
+    # release external resources such as file ownership).
+    on_commit: list = field(default_factory=list)
+    on_abort: list = field(default_factory=list)
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state in (TxnState.COMMITTED, TxnState.ABORTED)
+
+    def require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionNotActive(
+                f"transaction {self.txn_id} is {self.state.value}, not ACTIVE")
+
+    def require_active_or_prepared(self) -> None:
+        if self.state not in (TxnState.ACTIVE, TxnState.PREPARED):
+            raise TransactionNotActive(
+                f"transaction {self.txn_id} is {self.state.value}")
+
+    # -- undo chain -------------------------------------------------------------
+    def note_record(self, record: LogRecord) -> None:
+        """Remember a data log record for potential rollback."""
+
+        self.records.append(record)
+
+    def add_savepoint(self, name: str) -> Savepoint:
+        savepoint = Savepoint(name=name, record_count=len(self.records))
+        self.savepoints.append(savepoint)
+        return savepoint
+
+    def find_savepoint(self, name: str) -> Savepoint | None:
+        for savepoint in reversed(self.savepoints):
+            if savepoint.name == name:
+                return savepoint
+        return None
+
+    def drop_savepoints_after(self, savepoint: Savepoint) -> None:
+        while self.savepoints and self.savepoints[-1] is not savepoint:
+            self.savepoints.pop()

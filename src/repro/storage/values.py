@@ -1,0 +1,80 @@
+"""Column data types and value validation/coercion.
+
+The engine supports the handful of SQL types the DataLinks schemas need,
+plus ``DATALINK`` itself: a URL-valued type whose semantics (linking,
+tokens, control modes) are implemented by :mod:`repro.datalinks`; at the
+storage layer a DATALINK is validated only for URL well-formedness.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import TypeMismatchError
+from repro.util.urls import parse_url
+
+
+class DataType(enum.Enum):
+    """Supported column types."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    TIMESTAMP = "TIMESTAMP"   # stored as float seconds (simulated time)
+    BLOB = "BLOB"             # stored as bytes
+    DATALINK = "DATALINK"     # stored as URL text
+
+
+def validate_value(dtype: DataType, value: object, column: str = "?") -> object:
+    """Validate *value* against *dtype*, coercing where it is unambiguous.
+
+    Returns the normalized value or raises :class:`TypeMismatchError`.
+    ``None`` is always accepted here; NOT NULL enforcement happens in the
+    schema layer which knows the column's nullability.
+    """
+
+    if value is None:
+        return None
+
+    if dtype is DataType.INTEGER:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeMismatchError(f"column {column}: expected INTEGER, got {value!r}")
+        return value
+
+    if dtype is DataType.REAL:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(f"column {column}: expected REAL, got {value!r}")
+        return float(value)
+
+    if dtype is DataType.TEXT:
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"column {column}: expected TEXT, got {value!r}")
+        return value
+
+    if dtype is DataType.BOOLEAN:
+        if not isinstance(value, bool):
+            raise TypeMismatchError(f"column {column}: expected BOOLEAN, got {value!r}")
+        return value
+
+    if dtype is DataType.TIMESTAMP:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(
+                f"column {column}: expected TIMESTAMP (seconds), got {value!r}")
+        return float(value)
+
+    if dtype is DataType.BLOB:
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeMismatchError(f"column {column}: expected BLOB, got {value!r}")
+        return bytes(value)
+
+    if dtype is DataType.DATALINK:
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"column {column}: expected DATALINK URL, got {value!r}")
+        try:
+            parse_url(value)
+        except ValueError as exc:
+            raise TypeMismatchError(f"column {column}: malformed DATALINK URL: {exc}") from exc
+        return value
+
+    raise TypeMismatchError(f"column {column}: unsupported data type {dtype!r}")

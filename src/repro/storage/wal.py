@@ -1,0 +1,118 @@
+"""Write-ahead log.
+
+The log is the durability boundary of the simulated database: records appended
+but not yet flushed are lost on :meth:`~repro.storage.database.Database.crash`,
+while flushed records survive and drive redo during recovery.  Commit and
+prepare force a flush, mirroring the usual WAL protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.lsn import LSN
+
+
+class LogRecordType(enum.Enum):
+    BEGIN = "BEGIN"
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+    PREPARE = "PREPARE"            # two-phase-commit vote
+    INSERT = "INSERT"
+    UPDATE = "UPDATE"
+    DELETE = "DELETE"
+    CREATE_TABLE = "CREATE_TABLE"
+    DROP_TABLE = "DROP_TABLE"
+    CLR = "CLR"                    # compensation record written during undo
+    CHECKPOINT = "CHECKPOINT"
+    SAVEPOINT = "SAVEPOINT"
+
+
+@dataclass
+class LogRecord:
+    """One WAL record.
+
+    ``before``/``after`` carry full row images for data records, keeping undo
+    and redo trivially idempotent.  ``extra`` carries record-type specific
+    payload (schema for CREATE_TABLE, undone LSN for CLR, ...).
+    """
+
+    lsn: LSN
+    txn_id: int
+    type: LogRecordType
+    table: str | None = None
+    rid: int | None = None
+    before: dict | None = None
+    after: dict | None = None
+    prev_lsn: LSN | None = None
+    extra: dict = field(default_factory=dict)
+
+
+class WriteAheadLog:
+    """An append-only sequence of :class:`LogRecord` with an explicit flush point."""
+
+    def __init__(self):
+        self._records: list[LogRecord] = []
+        self._next_lsn = 1
+        self._flushed_count = 0
+
+    # -- append / flush --------------------------------------------------------
+    def append(self, txn_id: int, type: LogRecordType, **fields_) -> LogRecord:
+        """Append a record, assigning the next LSN; does not flush."""
+
+        record = LogRecord(lsn=LSN(self._next_lsn), txn_id=txn_id, type=type, **fields_)
+        self._next_lsn += 1
+        self._records.append(record)
+        return record
+
+    def flush(self) -> LSN:
+        """Make every appended record durable; returns the tail LSN."""
+
+        self._flushed_count = len(self._records)
+        return self.tail_lsn()
+
+    @property
+    def flushed_lsn(self) -> LSN:
+        """LSN of the last durable record (0 when nothing is durable)."""
+
+        if self._flushed_count == 0:
+            return LSN(0)
+        return self._records[self._flushed_count - 1].lsn
+
+    def tail_lsn(self) -> LSN:
+        """LSN of the last appended record (0 when the log is empty)."""
+
+        if not self._records:
+            return LSN(0)
+        return self._records[-1].lsn
+
+    # -- reading ----------------------------------------------------------------
+    def records(self, durable_only: bool = False) -> list[LogRecord]:
+        """All records (or only the durable prefix)."""
+
+        if durable_only:
+            return list(self._records[: self._flushed_count])
+        return list(self._records)
+
+    def records_from(self, lsn: LSN, durable_only: bool = True) -> list[LogRecord]:
+        """Records with LSN strictly greater than *lsn*."""
+
+        source = self.records(durable_only)
+        return [record for record in source if record.lsn > lsn]
+
+    def records_of(self, txn_id: int, durable_only: bool = False) -> list[LogRecord]:
+        source = self.records(durable_only)
+        return [record for record in source if record.txn_id == txn_id]
+
+    # -- crash simulation --------------------------------------------------------
+    def lose_unflushed(self) -> int:
+        """Discard records that were never flushed; returns how many were lost."""
+
+        lost = len(self._records) - self._flushed_count
+        del self._records[self._flushed_count:]
+        self._next_lsn = (self._records[-1].lsn.value + 1) if self._records else 1
+        return lost
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,53 @@
+"""Log sequence numbers.
+
+The paper keys every archived file version to a *database state identifier*
+("for example tail LSN", Section 4.4) so that a point-in-time restore of the
+database can bring the external files back to the matching versions.  We use
+a total-ordered integer LSN for both the write-ahead log of the storage
+engine and those state identifiers.
+"""
+
+from __future__ import annotations
+
+import functools
+
+
+@functools.total_ordering
+class LSN:
+    """A totally ordered log sequence number."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = int(value)
+
+    def next(self) -> "LSN":
+        """The LSN immediately following this one."""
+
+        return LSN(self.value + 1)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LSN):
+            return self.value == other.value
+        if isinstance(other, int):
+            return self.value == other
+        return NotImplemented
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, LSN):
+            return self.value < other.value
+        if isinstance(other, int):
+            return self.value < other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"LSN({self.value})"
+
+
+NULL_LSN = LSN(0)

@@ -1,0 +1,102 @@
+"""DATALINK URL parsing and formatting.
+
+A DATALINK value "contains a pointer to the external file in the format of a
+URL: protocol://server-name/pathname/filename" (Section 2.1).  Access tokens
+handed out by the host database are embedded in the file name so that
+applications keep using the ordinary file-system API; DLFS strips and
+validates the token during ``fs_lookup``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+TOKEN_SEPARATOR = ";token="
+DEFAULT_SCHEME = "dlfs"
+
+
+@dataclass(frozen=True)
+class DatalinkURL:
+    """A parsed DATALINK reference.
+
+    ``path`` is always absolute (leading ``/``) and never carries a token;
+    the token, if any, is held separately in ``token``.
+    """
+
+    scheme: str
+    server: str
+    path: str
+    token: str | None = None
+
+    def with_token(self, token: str | None) -> "DatalinkURL":
+        """Return a copy of this URL carrying *token* (or none)."""
+
+        return DatalinkURL(self.scheme, self.server, self.path, token)
+
+    @property
+    def filename(self) -> str:
+        """The final path component."""
+
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def directory(self) -> str:
+        """The directory part of the path (always at least ``/``)."""
+
+        head = self.path.rsplit("/", 1)[0]
+        return head if head else "/"
+
+    def render(self) -> str:
+        """Format back into URL text, embedding the token if present."""
+
+        path = self.path
+        if self.token:
+            path = f"{path}{TOKEN_SEPARATOR}{self.token}"
+        return f"{self.scheme}://{self.server}{path}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def parse_url(text: str) -> DatalinkURL:
+    """Parse ``scheme://server/path[;token=...]`` into a :class:`DatalinkURL`."""
+
+    if "://" not in text:
+        raise ValueError(f"not a DATALINK URL: {text!r}")
+    scheme, rest = text.split("://", 1)
+    if "/" not in rest:
+        raise ValueError(f"DATALINK URL is missing a path: {text!r}")
+    server, path = rest.split("/", 1)
+    path = "/" + path
+    token = None
+    if TOKEN_SEPARATOR in path:
+        path, token = path.split(TOKEN_SEPARATOR, 1)
+    if not server:
+        raise ValueError(f"DATALINK URL is missing a server: {text!r}")
+    return DatalinkURL(scheme=scheme, server=server, path=path, token=token)
+
+
+def format_url(server: str, path: str, *, scheme: str = DEFAULT_SCHEME,
+               token: str | None = None) -> str:
+    """Build DATALINK URL text from components."""
+
+    if not path.startswith("/"):
+        path = "/" + path
+    return DatalinkURL(scheme=scheme, server=server, path=path, token=token).render()
+
+
+def split_token_from_name(name: str) -> tuple[str, str | None]:
+    """Split a (possibly token-carrying) file name into (name, token)."""
+
+    if TOKEN_SEPARATOR in name:
+        bare, token = name.split(TOKEN_SEPARATOR, 1)
+        return bare, token
+    return name, None
+
+
+def embed_token_in_name(name: str, token: str | None) -> str:
+    """Append *token* to a bare file name (no-op when token is ``None``)."""
+
+    if token is None:
+        return name
+    return f"{name}{TOKEN_SEPARATOR}{token}"

@@ -1,0 +1,23 @@
+"""Workload generators driving the benchmark experiments.
+
+Each workload exercises the public API (:class:`repro.api.DataLinksSystem` /
+:class:`repro.api.Session`) the way the paper's motivating applications
+would: a read-mostly static web site, the video merchant of the introduction,
+and a team of concurrent editors comparing the Section 3 update schemes.
+"""
+
+from repro.workloads.generator import WorkloadMetrics, ZipfChooser
+from repro.workloads.webserver import WebSiteConfig, WebServerWorkload
+from repro.workloads.videostore import VideoStoreConfig, VideoStoreWorkload
+from repro.workloads.editors import EditorConfig, ConcurrentEditorsWorkload
+
+__all__ = [
+    "WorkloadMetrics",
+    "ZipfChooser",
+    "WebSiteConfig",
+    "WebServerWorkload",
+    "VideoStoreConfig",
+    "VideoStoreWorkload",
+    "EditorConfig",
+    "ConcurrentEditorsWorkload",
+]

@@ -1,0 +1,128 @@
+"""Workload building blocks: metrics collection and access-skew generators."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class OperationStats:
+    """Latency samples (simulated seconds) for one kind of operation."""
+
+    samples: list = field(default_factory=list)
+
+    def record(self, elapsed: float) -> None:
+        self.samples.append(elapsed)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    @property
+    def p50(self) -> float:
+        return float(np.percentile(self.samples, 50)) if self.samples else 0.0
+
+    @property
+    def p95(self) -> float:
+        return float(np.percentile(self.samples, 95)) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return float(max(self.samples)) if self.samples else 0.0
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.samples))
+
+
+@dataclass
+class WorkloadMetrics:
+    """Aggregated results of one workload run."""
+
+    operations: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    def record(self, kind: str, elapsed: float) -> None:
+        self.operations.setdefault(kind, OperationStats()).record(elapsed)
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def stats(self, kind: str) -> OperationStats:
+        return self.operations.get(kind, OperationStats())
+
+    @property
+    def elapsed(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+    def throughput(self) -> float:
+        """Operations per simulated second across all kinds."""
+
+        total_ops = sum(stats.count for stats in self.operations.values())
+        if self.elapsed <= 0:
+            return 0.0
+        return total_ops / self.elapsed
+
+    def summary_rows(self) -> list[dict]:
+        """One row per operation kind, in milliseconds, for table printing."""
+
+        rows = []
+        for kind in sorted(self.operations):
+            stats = self.operations[kind]
+            rows.append({
+                "operation": kind,
+                "count": stats.count,
+                "mean_ms": round(stats.mean * 1000, 3),
+                "p95_ms": round(stats.p95 * 1000, 3),
+                "max_ms": round(stats.maximum * 1000, 3),
+            })
+        return rows
+
+
+class ZipfChooser:
+    """Zipf-skewed choice over ``n`` items (item 0 is the most popular)."""
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 42):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self._n = n
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = 1.0 / np.power(ranks, theta)
+        self._probabilities = weights / weights.sum()
+        self._rng = np.random.default_rng(seed)
+
+    def choose(self) -> int:
+        return int(self._rng.choice(self._n, p=self._probabilities))
+
+    def choose_many(self, count: int) -> list[int]:
+        return [self.choose() for _ in range(count)]
+
+
+class UniformChooser:
+    """Uniform choice over ``n`` items (kept API-compatible with ZipfChooser)."""
+
+    def __init__(self, n: int, seed: int = 42):
+        self._n = n
+        self._rng = random.Random(seed)
+
+    def choose(self) -> int:
+        return self._rng.randrange(self._n)
+
+
+def make_content(size: int, tag: str = "x", version: int = 0) -> bytes:
+    """Deterministic file content of exactly *size* bytes."""
+
+    header = f"[{tag} v{version}] ".encode("utf-8")
+    if size <= len(header):
+        return header[:size]
+    body = (tag.encode("utf-8") or b"x") * ((size - len(header)) // max(1, len(tag)) + 1)
+    return (header + body)[:size]

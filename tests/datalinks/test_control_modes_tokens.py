@@ -1,0 +1,162 @@
+"""Unit tests for control modes, DATALINK URLs/options and access tokens."""
+
+import pytest
+
+from repro.datalinks.control_modes import AccessControl, ControlMode
+from repro.datalinks.datalink_type import (
+    DatalinkOptions,
+    OnUnlink,
+    datalink_column,
+    options_of_column,
+)
+from repro.datalinks.tokens import AccessToken, TokenManager, TokenType
+from repro.errors import ControlModeError, InvalidTokenError, TokenExpiredError
+from repro.simclock import SimClock
+from repro.storage.values import DataType
+from repro.util.urls import (
+    embed_token_in_name,
+    format_url,
+    parse_url,
+    split_token_from_name,
+)
+
+
+class TestControlModes:
+    def test_parse_from_string(self):
+        assert ControlMode.from_string("RFD") is ControlMode.RFD
+        with pytest.raises(ControlModeError):
+            ControlMode.from_string("zzz")
+
+    # This table mirrors Table 1 of the paper plus the two new modes.
+    @pytest.mark.parametrize("mode, integrity, read_ctl, write_ctl", [
+        (ControlMode.NFF, False, AccessControl.FILE_SYSTEM, AccessControl.FILE_SYSTEM),
+        (ControlMode.RFF, True, AccessControl.FILE_SYSTEM, AccessControl.FILE_SYSTEM),
+        (ControlMode.RFB, True, AccessControl.FILE_SYSTEM, AccessControl.BLOCKED),
+        (ControlMode.RDB, True, AccessControl.DBMS, AccessControl.BLOCKED),
+        (ControlMode.RFD, True, AccessControl.FILE_SYSTEM, AccessControl.DBMS),
+        (ControlMode.RDD, True, AccessControl.DBMS, AccessControl.DBMS),
+    ])
+    def test_attribute_decomposition(self, mode, integrity, read_ctl, write_ctl):
+        assert mode.referential_integrity is integrity
+        assert mode.read_control is read_ctl
+        assert mode.write_control is write_ctl
+
+    def test_full_control_modes(self):
+        assert {m for m in ControlMode if m.full_control} == \
+            {ControlMode.RDB, ControlMode.RDD}
+
+    def test_update_modes_are_the_papers_new_ones(self):
+        assert {m for m in ControlMode if m.supports_update} == \
+            {ControlMode.RFD, ControlMode.RDD}
+
+    def test_token_requirements(self):
+        assert ControlMode.RDD.requires_read_token
+        assert ControlMode.RDB.requires_read_token
+        assert not ControlMode.RFD.requires_read_token
+        assert ControlMode.RFD.requires_write_token
+        assert not ControlMode.RFB.requires_write_token
+
+    def test_read_write_serialization_only_under_full_control(self):
+        assert ControlMode.RDD.reads_serialized_with_writes
+        assert not ControlMode.RFD.reads_serialized_with_writes
+
+
+class TestDatalinkURLs:
+    def test_parse_and_render_roundtrip(self):
+        url = parse_url("dlfs://fs1/movies/clip.mpg")
+        assert url.server == "fs1"
+        assert url.path == "/movies/clip.mpg"
+        assert url.filename == "clip.mpg"
+        assert url.directory == "/movies"
+        assert url.render() == "dlfs://fs1/movies/clip.mpg"
+
+    def test_token_embedding(self):
+        url = parse_url("dlfs://fs1/a/b.txt").with_token("R-1-abc")
+        assert url.render() == "dlfs://fs1/a/b.txt;token=R-1-abc"
+        parsed = parse_url(url.render())
+        assert parsed.token == "R-1-abc"
+        assert parsed.path == "/a/b.txt"
+
+    def test_format_url_normalizes_leading_slash(self):
+        assert format_url("srv", "x/y.txt") == "dlfs://srv/x/y.txt"
+
+    @pytest.mark.parametrize("bad", ["no-scheme", "dlfs://", "dlfs://serveronly"])
+    def test_malformed_urls_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_url(bad)
+
+    def test_name_token_split_and_embed(self):
+        assert split_token_from_name("f.txt;token=abc") == ("f.txt", "abc")
+        assert split_token_from_name("f.txt") == ("f.txt", None)
+        assert embed_token_in_name("f.txt", "abc") == "f.txt;token=abc"
+        assert embed_token_in_name("f.txt", None) == "f.txt"
+
+
+class TestDatalinkOptions:
+    def test_roundtrip_through_column_options(self):
+        options = DatalinkOptions(control_mode=ControlMode.RDD, recovery=False,
+                                  on_unlink=OnUnlink.DELETE, token_ttl=5.0)
+        column = datalink_column("clip", options, nullable=False)
+        assert column.dtype is DataType.DATALINK
+        assert not column.nullable
+        recovered = options_of_column(column)
+        assert recovered == options
+
+    def test_defaults(self):
+        column = datalink_column("clip")
+        options = options_of_column(column)
+        assert options.control_mode is ControlMode.RFF
+        assert options.recovery is True
+        assert options.on_unlink is OnUnlink.RESTORE
+
+
+class TestTokens:
+    def test_generate_validate_roundtrip(self):
+        clock = SimClock()
+        manager = TokenManager("secret", clock)
+        token = manager.generate("/a/b.txt", TokenType.WRITE)
+        parsed = manager.validate(token, "/a/b.txt")
+        assert parsed.token_type is TokenType.WRITE
+
+    def test_token_bound_to_path(self):
+        manager = TokenManager("secret", SimClock())
+        token = manager.generate("/a/b.txt", TokenType.READ)
+        with pytest.raises(InvalidTokenError):
+            manager.validate(token, "/a/OTHER.txt")
+
+    def test_token_expires(self):
+        clock = SimClock()
+        manager = TokenManager("secret", clock, default_ttl=1.0)
+        token = manager.generate("/f", TokenType.READ)
+        clock.advance(2.0)
+        with pytest.raises(TokenExpiredError):
+            manager.validate(token, "/f")
+
+    def test_tampered_token_rejected(self):
+        manager = TokenManager("secret", SimClock())
+        token = manager.generate("/f", TokenType.READ)
+        tampered = token.replace("R-", "W-")
+        with pytest.raises(InvalidTokenError):
+            manager.validate(tampered, "/f")
+
+    def test_different_secrets_do_not_validate(self):
+        clock = SimClock()
+        token = TokenManager("secret-a", clock).generate("/f", TokenType.READ)
+        with pytest.raises(InvalidTokenError):
+            TokenManager("secret-b", clock).validate(token, "/f")
+
+    def test_malformed_token_text(self):
+        with pytest.raises(InvalidTokenError):
+            AccessToken.parse("garbage")
+        with pytest.raises(InvalidTokenError):
+            AccessToken.parse("X-notanumber-sig")
+
+    def test_write_token_subsumes_read(self):
+        assert TokenType.WRITE.allows_read and TokenType.WRITE.allows_write
+        assert TokenType.READ.allows_read and not TokenType.READ.allows_write
+
+    def test_generation_charges_clock(self):
+        clock = SimClock()
+        manager = TokenManager("s", clock)
+        manager.generate("/f", TokenType.READ)
+        assert clock.stats.count("token_generate") == 1

@@ -1,0 +1,173 @@
+"""The optional extensions: strict read synchronization, multi-file updates,
+and DLFM housekeeping."""
+
+import pytest
+
+from repro.api.system import DataLinksSystem
+from repro.datalinks.control_modes import ControlMode
+from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
+from repro.errors import Errno, FileSystemError
+from repro.fs.vfs import OpenFlags
+from repro.storage.schema import Column, TableSchema
+from repro.storage.values import DataType
+from tests.conftest import BOB_UID, FILES_TABLE, build_system
+from repro.workloads.generator import make_content
+
+
+def build_strict_rfd_system(files: int = 1):
+    """An rfd system with strict read synchronization switched on."""
+
+    system = DataLinksSystem()
+    system.add_file_server("fs1", strict_read_upcalls=True)
+    system.create_table(TableSchema(FILES_TABLE, [
+        Column("doc_id", DataType.INTEGER, nullable=False),
+        datalink_column("body", DatalinkOptions(control_mode=ControlMode.RFD,
+                                                strict_read_sync=True)),
+        Column("body_size", DataType.INTEGER),
+        Column("body_mtime", DataType.TIMESTAMP),
+    ], primary_key=("doc_id",)))
+    system.register_metadata_columns(FILES_TABLE, "body", "body_size", "body_mtime")
+    alice = system.session("alice", uid=1001)
+    paths = []
+    for index in range(files):
+        path = f"/library/doc{index:03d}.dat"
+        url = alice.put_file("fs1", path, make_content(4096, tag=f"doc{index}"))
+        alice.insert(FILES_TABLE, {"doc_id": index, "body": url,
+                                   "body_size": 0, "body_mtime": 0.0})
+        paths.append(path)
+    system.run_archiver()
+    return system, alice, paths
+
+
+class TestStrictReadSync:
+    def test_reader_blocks_writer_when_strict(self):
+        system, alice, paths = build_strict_rfd_system()
+        bob = system.session("bob", uid=BOB_UID)
+        fd = system.file_server("fs1").lfs.open(paths[0], OpenFlags.READ, bob.cred)
+        url = alice.get_datalink(FILES_TABLE, {"doc_id": 0}, "body", access="write")
+        with pytest.raises(FileSystemError) as info:
+            alice.update_file(url).begin()
+        assert info.value.errno is Errno.EBUSY
+        system.file_server("fs1").lfs.close(fd)
+        # once the reader is gone the update proceeds
+        with alice.update_file(url, truncate=True) as update:
+            update.replace(b"after the reader left")
+
+    def test_writer_blocks_new_reader_when_strict(self):
+        system, alice, paths = build_strict_rfd_system()
+        bob = system.session("bob", uid=BOB_UID)
+        url = alice.get_datalink(FILES_TABLE, {"doc_id": 0}, "body", access="write")
+        update = alice.update_file(url)
+        update.begin()
+        with pytest.raises(FileSystemError):
+            system.file_server("fs1").lfs.open(paths[0], OpenFlags.READ, bob.cred)
+        update.commit()
+
+    def test_strict_reads_record_and_remove_sync_entries(self):
+        system, alice, paths = build_strict_rfd_system()
+        dlfm = system.file_server("fs1").dlfm
+        fd = system.file_server("fs1").lfs.open(paths[0], OpenFlags.READ, alice.cred)
+        entries = dlfm.repository.sync_entries(paths[0])
+        assert [entry["access"] for entry in entries] == ["read"]
+        system.file_server("fs1").lfs.close(fd)
+        assert dlfm.repository.sync_entries(paths[0]) == []
+
+    def test_strict_read_blocks_unlink_of_open_file(self):
+        system, alice, paths = build_strict_rfd_system()
+        fd = system.file_server("fs1").lfs.open(paths[0], OpenFlags.READ, alice.cred)
+        with pytest.raises(Exception):
+            alice.delete(FILES_TABLE, {"doc_id": 0})
+        system.file_server("fs1").lfs.close(fd)
+        assert alice.delete(FILES_TABLE, {"doc_id": 0}) == 1
+
+    def test_default_mode_keeps_reads_upcall_free(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        before = system.clock.stats.count("upcall_round_trip")
+        alice.fs("fs1").read_file(paths[0])
+        assert system.clock.stats.count("upcall_round_trip") == before
+
+    def test_strict_reads_of_unlinked_files_pass_through(self):
+        system, alice, _ = build_strict_rfd_system()
+        alice.fs("fs1").write_file("/library/unlinked.txt", b"free")
+        assert alice.fs("fs1").read_file("/library/unlinked.txt") == b"free"
+        dlfm = system.file_server("fs1").dlfm
+        assert dlfm.repository.sync_entries("/library/unlinked.txt") == []
+
+
+class TestMultiFileUpdate:
+    def _urls(self, alice, count):
+        return [alice.get_datalink(FILES_TABLE, {"doc_id": i}, "body", access="write")
+                for i in range(count)]
+
+    def test_all_members_commit_together(self):
+        system, alice, paths, _ = build_system(ControlMode.RFD, files=3)
+        with alice.update_files(self._urls(alice, 3), truncate=True) as updates:
+            for index, update in enumerate(updates):
+                update.replace(f"coordinated {index}".encode())
+        for index, path in enumerate(paths):
+            assert alice.fs("fs1").read_file(path) == f"coordinated {index}".encode()
+
+    def test_failure_rolls_back_every_member(self):
+        system, alice, paths, _ = build_system(ControlMode.RFD, files=3)
+        before = [alice.fs("fs1").read_file(path) for path in paths]
+        try:
+            with alice.update_files(self._urls(alice, 3), truncate=True) as updates:
+                updates[0].replace(b"changed first file")
+                updates[1].replace(b"changed second file")
+                raise RuntimeError("fails before the third file is written")
+        except RuntimeError:
+            pass
+        after = [alice.fs("fs1").read_file(path) for path in paths]
+        assert after == before
+
+    def test_failed_begin_leaves_nothing_open(self):
+        system, alice, paths, _ = build_system(ControlMode.RFD, files=2)
+        urls = self._urls(alice, 2)
+        # Occupy the second file so the group open fails part-way through.
+        blocker_url = alice.get_datalink(FILES_TABLE, {"doc_id": 1}, "body",
+                                         access="write")
+        blocker = alice.update_file(blocker_url)
+        blocker.begin()
+        with pytest.raises(FileSystemError):
+            alice.update_files(urls).begin()
+        dlfm = system.file_server("fs1").dlfm
+        # the first file's speculative open was rolled back
+        assert dlfm.repository.sync_entries(paths[0]) == []
+        blocker.commit()
+
+
+class TestHousekeeping:
+    def test_expired_tokens_are_purged(self, rdd_system):
+        system, alice, _, _ = rdd_system
+        url = alice.get_datalink(FILES_TABLE, {"doc_id": 0}, "body",
+                                 access="read", ttl=0.5)
+        alice.read_url(url)
+        dlfm = system.file_server("fs1").dlfm
+        assert dlfm.repository.db.count("token_entries") >= 1
+        system.clock.advance(5.0)
+        counts = system.run_housekeeping()
+        assert counts["fs1"]["purged_tokens"] >= 1
+        assert dlfm.repository.db.count("token_entries") == 0
+
+    def test_version_chain_pruned_but_newest_kept(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        for version in range(4):
+            url = alice.get_datalink(FILES_TABLE, {"doc_id": 0}, "body", access="write")
+            with alice.update_file(url, truncate=True) as update:
+                update.replace(f"v{version}".encode())
+            system.run_archiver()
+        dlfm = system.file_server("fs1").dlfm
+        assert len(dlfm.repository.versions(paths[0])) == 5    # initial + 4 updates
+        counts = system.run_housekeeping(keep_versions=2)
+        assert counts["fs1"]["pruned_versions"] == 3
+        versions = dlfm.repository.versions(paths[0])
+        assert len(versions) == 2
+        # rollback still works from the retained newest version
+        assert dlfm.restore_last_committed(paths[0]) is True
+        assert alice.fs("fs1").read_file(paths[0]) == b"v3"
+
+    def test_housekeeping_without_pruning_keeps_versions(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        counts = system.run_housekeeping()
+        assert counts["fs1"]["pruned_versions"] == 0
+        assert len(system.file_server("fs1").dlfm.repository.versions(paths[0])) == 1

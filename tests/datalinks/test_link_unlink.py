@@ -1,0 +1,155 @@
+"""Link/unlink semantics: constraints applied, transactionality, integrity."""
+
+import pytest
+
+from repro.datalinks.control_modes import ControlMode
+from repro.datalinks.datalink_type import OnUnlink
+from repro.errors import (
+    DataLinksError,
+    Errno,
+    FileAlreadyLinkedError,
+    FileSystemError,
+    LinkConflictError,
+    ReferentialIntegrityError,
+)
+from repro.fs.vfs import OpenFlags
+from tests.conftest import FILES_TABLE, build_system
+
+
+class TestLinkConstraints:
+    def test_rfd_link_marks_file_read_only(self):
+        system, alice, paths, _ = build_system(ControlMode.RFD)
+        attrs = system.file_server("fs1").files.stat(paths[0])
+        assert attrs.mode & 0o222 == 0              # write bits cleared
+        assert attrs.uid == alice.cred.uid           # ownership unchanged
+
+    def test_rdd_link_takes_over_ownership(self):
+        system, _, paths, _ = build_system(ControlMode.RDD)
+        server = system.file_server("fs1")
+        attrs = server.files.stat(paths[0])
+        assert attrs.uid == server.dbms_uid
+        assert attrs.mode == 0o400
+
+    def test_rff_link_leaves_file_untouched(self):
+        system, alice, paths, _ = build_system(ControlMode.RFF)
+        attrs = system.file_server("fs1").files.stat(paths[0])
+        assert attrs.uid == alice.cred.uid
+        assert attrs.mode & 0o200                   # still writable by owner
+
+    def test_linking_missing_file_fails_and_aborts_insert(self):
+        system, alice, _, _ = build_system(None)
+        url = system.engine.make_url("fs1", "/library/ghost.dat")
+        with pytest.raises(ReferentialIntegrityError):
+            alice.insert(FILES_TABLE, {"doc_id": 7, "body": url,
+                                       "body_size": 0, "body_mtime": 0.0})
+        # the SQL insert was rolled back together with the failed link
+        assert system.host_db.select(FILES_TABLE, {"doc_id": 7}) == []
+
+    def test_double_link_rejected(self):
+        system, alice, _, urls = build_system(ControlMode.RFD)
+        with pytest.raises(FileAlreadyLinkedError):
+            alice.insert(FILES_TABLE, {"doc_id": 50, "body": urls[0],
+                                       "body_size": 0, "body_mtime": 0.0})
+
+    def test_link_rollback_restores_permissions(self):
+        system, alice, paths, _ = build_system(ControlMode.RFD, link=False)
+        before = system.file_server("fs1").files.stat(paths[0])
+        url = system.engine.make_url("fs1", paths[0])
+        alice.begin()
+        alice.insert(FILES_TABLE, {"doc_id": 0, "body": url,
+                                   "body_size": 0, "body_mtime": 0.0})
+        # while the transaction is open the constraints are already applied
+        during = system.file_server("fs1").files.stat(paths[0])
+        assert during.mode & 0o222 == 0
+        alice.abort()
+        after = system.file_server("fs1").files.stat(paths[0])
+        assert after.mode == before.mode
+        assert system.file_server("fs1").dlfm.repository.linked_file(paths[0]) is None
+
+    def test_link_commit_schedules_initial_archive(self):
+        system, _, paths, _ = build_system(ControlMode.RFD, recovery=True)
+        dlfm = system.file_server("fs1").dlfm
+        assert dlfm.repository.versions(paths[0]) != []
+
+    def test_link_without_recovery_archives_nothing(self):
+        system, _, paths, _ = build_system(ControlMode.RFD, recovery=False)
+        dlfm = system.file_server("fs1").dlfm
+        assert dlfm.repository.versions(paths[0]) == []
+        assert not dlfm.has_pending_archives(paths[0])
+
+
+class TestReferentialIntegrity:
+    def test_remove_of_linked_file_rejected(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        with pytest.raises(FileSystemError) as info:
+            alice.fs("fs1").unlink(paths[0])
+        assert info.value.errno is Errno.EBUSY
+
+    def test_rename_of_linked_file_rejected(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        with pytest.raises(FileSystemError) as info:
+            alice.fs("fs1").rename(paths[0], "/library/renamed.dat")
+        assert info.value.errno is Errno.EBUSY
+
+    def test_unlinked_files_can_still_be_removed(self, rfd_system):
+        system, alice, _, _ = rfd_system
+        alice.fs("fs1").write_file("/library/scratch.txt", b"temporary")
+        alice.fs("fs1").unlink("/library/scratch.txt")
+        assert not alice.fs("fs1").exists("/library/scratch.txt")
+
+    def test_nff_mode_does_not_guarantee_integrity(self):
+        system, alice, paths, _ = build_system(ControlMode.NFF)
+        # nff: no referential integrity, the file system may remove the file
+        alice.fs("fs1").unlink(paths[0])
+        assert not alice.fs("fs1").exists(paths[0])
+
+
+class TestUnlink:
+    def test_delete_row_unlinks_and_restores_ownership(self, rdd_system):
+        system, alice, paths, _ = rdd_system
+        alice.delete(FILES_TABLE, {"doc_id": 0})
+        dlfm = system.file_server("fs1").dlfm
+        assert dlfm.repository.linked_file(paths[0]) is None
+        attrs = system.file_server("fs1").files.stat(paths[0])
+        assert attrs.uid == alice.cred.uid
+        # the owner can write to the file again
+        alice.fs("fs1").write_file(paths[0], b"mine again", create=False)
+
+    def test_unlink_with_delete_option_removes_file(self):
+        system, alice, paths, _ = build_system(ControlMode.RFD,
+                                               on_unlink=OnUnlink.DELETE)
+        alice.delete(FILES_TABLE, {"doc_id": 0})
+        assert not system.file_server("fs1").files.exists(paths[0])
+
+    def test_unlink_rejected_while_file_open(self, rdd_system):
+        system, alice, _, _ = rdd_system
+        url = alice.get_datalink(FILES_TABLE, {"doc_id": 0}, "body", access="read")
+        fd = alice.open_url(url, OpenFlags.READ)
+        with pytest.raises((LinkConflictError, DataLinksError)):
+            alice.delete(FILES_TABLE, {"doc_id": 0})
+        system.file_server("fs1").lfs.close(fd)
+        # once closed, the unlink goes through
+        assert alice.delete(FILES_TABLE, {"doc_id": 0}) == 1
+
+    def test_unlink_rollback_keeps_file_linked(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        alice.begin()
+        alice.delete(FILES_TABLE, {"doc_id": 0})
+        alice.abort()
+        assert system.file_server("fs1").dlfm.repository.linked_file(paths[0]) is not None
+        # constraints still in force after the rollback
+        with pytest.raises(FileSystemError):
+            alice.fs("fs1").unlink(paths[0])
+
+    def test_update_of_datalink_column_relinks(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        new_url = alice.put_file("fs1", "/library/replacement.dat", b"new file body")
+        alice.update(FILES_TABLE, {"doc_id": 0}, {"body": new_url})
+        dlfm = system.file_server("fs1").dlfm
+        assert dlfm.repository.linked_file(paths[0]) is None
+        assert dlfm.repository.linked_file("/library/replacement.dat") is not None
+
+    def test_update_to_same_url_is_a_noop_for_linking(self, rfd_system):
+        system, alice, paths, urls = rfd_system
+        alice.update(FILES_TABLE, {"doc_id": 0}, {"body": urls[0], "title": "same"})
+        assert system.file_server("fs1").dlfm.repository.linked_file(paths[0]) is not None

@@ -1,0 +1,151 @@
+"""File-server crash recovery and coordinated backup/restore."""
+
+import pytest
+
+from repro.datalinks.control_modes import ControlMode
+from repro.errors import FileSystemError
+from tests.conftest import FILES_TABLE, build_system
+
+
+def _update(system, session, doc_id, content, archive=True):
+    url = session.get_datalink(FILES_TABLE, {"doc_id": doc_id}, "body", access="write")
+    with session.update_file(url, truncate=True) as update:
+        update.replace(content)
+    if archive:
+        system.run_archiver()
+
+
+class TestCrashRecovery:
+    def test_in_flight_update_rolled_back_on_recovery(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        before = system.file_server("fs1").files.read(paths[0])
+        url = alice.get_datalink(FILES_TABLE, {"doc_id": 0}, "body", access="write")
+        update = alice.update_file(url, truncate=True)
+        update.begin()
+        update.write(b"doomed")
+        system.crash_file_server("fs1")
+        summary = system.recover_file_server("fs1")
+        assert paths[0] in summary["rolled_back_updates"]
+        assert system.file_server("fs1").files.read(paths[0]) == before
+
+    def test_committed_update_survives_crash_before_archiving(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        _update(system, alice, 0, b"committed content", archive=False)
+        system.crash_file_server("fs1")
+        system.recover_file_server("fs1")
+        assert system.file_server("fs1").files.read(paths[0]) == b"committed content"
+        # the pending archive job survived the crash and can still run
+        assert system.run_archiver() >= 1
+
+    def test_recovery_clears_sync_entries_and_allows_new_updates(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        url = alice.get_datalink(FILES_TABLE, {"doc_id": 0}, "body", access="write")
+        update = alice.update_file(url, truncate=True)
+        update.begin()
+        system.crash_file_server("fs1")
+        system.recover_file_server("fs1")
+        dlfm = system.file_server("fs1").dlfm
+        assert dlfm.repository.sync_entries(paths[0]) == []
+        assert dlfm.repository.all_tracking() == []
+        # the writer slot is free again
+        url2 = alice.get_datalink(FILES_TABLE, {"doc_id": 0}, "body", access="write")
+        with alice.update_file(url2, truncate=True) as retry:
+            retry.replace(b"after recovery")
+
+    def test_rfd_takeover_released_by_recovery(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        url = alice.get_datalink(FILES_TABLE, {"doc_id": 0}, "body", access="write")
+        update = alice.update_file(url)
+        update.begin()
+        system.crash_file_server("fs1")
+        system.recover_file_server("fs1")
+        attrs = system.file_server("fs1").files.stat(paths[0])
+        assert attrs.uid == alice.cred.uid
+        assert attrs.mode & 0o222 == 0
+
+    def test_upcalls_rejected_while_file_server_down(self, rdd_system):
+        system, alice, _, _ = rdd_system
+        system.crash_file_server("fs1")
+        url_ok = False
+        try:
+            url = alice.get_datalink(FILES_TABLE, {"doc_id": 0}, "body", access="read")
+            alice.read_url(url)
+            url_ok = True
+        except (FileSystemError, Exception):
+            pass
+        assert not url_ok
+        system.recover_file_server("fs1")
+
+    def test_link_state_survives_crash(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        system.crash_file_server("fs1")
+        system.recover_file_server("fs1")
+        dlfm = system.file_server("fs1").dlfm
+        row = dlfm.repository.linked_file(paths[0])
+        assert row is not None and row["control_mode"] == "rfd"
+        # integrity still enforced after recovery
+        with pytest.raises(FileSystemError):
+            alice.fs("fs1").unlink(paths[0])
+
+
+class TestCoordinatedBackupRestore:
+    def test_restore_brings_metadata_and_content_back_in_sync(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        original = system.file_server("fs1").files.read(paths[0])
+        backup = system.backup("baseline")
+        _update(system, alice, 0, b"post-backup content " * 10)
+        restored = system.restore(backup)
+        assert paths[0] in restored["fs1"]
+        assert system.file_server("fs1").files.read(paths[0]) == original
+        row = system.host_db.select_one(FILES_TABLE, {"doc_id": 0}, lock=False)
+        assert row["body_size"] == len(original)
+
+    def test_point_in_time_restore_selects_version_by_state_id(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        contents = {}
+        backups = {}
+        for version in (1, 2, 3):
+            content = f"version {version}".encode() * 100
+            _update(system, alice, 0, content)
+            contents[version] = content
+            backups[version] = system.backup(f"v{version}")
+        for version in (2, 1, 3):
+            system.restore(backups[version])
+            assert system.file_server("fs1").files.read(paths[0]) == contents[version]
+
+    def test_restore_covers_multiple_files_and_servers(self):
+        system, alice, paths, _ = build_system(ControlMode.RFD, files=3)
+        system.add_file_server("fs2")
+        extra_url = alice.put_file("fs2", "/other/file.bin", b"fs2 original")
+        alice.insert(FILES_TABLE, {"doc_id": 10, "body": extra_url,
+                                   "body_size": 12, "body_mtime": 0.0})
+        system.run_archiver()
+        backup = system.backup("two-servers")
+        _update(system, alice, 1, b"changed on fs1")
+        url = alice.get_datalink(FILES_TABLE, {"doc_id": 10}, "body", access="write")
+        with alice.update_file(url, truncate=True) as update:
+            update.replace(b"changed on fs2")
+        system.run_archiver()
+        restored = system.restore(backup)
+        assert paths[1] in restored["fs1"]
+        assert "/other/file.bin" in restored["fs2"]
+        assert system.file_server("fs2").files.read("/other/file.bin") == b"fs2 original"
+
+    def test_rows_inserted_after_backup_disappear_on_restore(self, rfd_system):
+        system, alice, _, _ = rfd_system
+        backup = system.backup()
+        new_url = alice.put_file("fs1", "/library/late.dat", b"late arrival")
+        alice.insert(FILES_TABLE, {"doc_id": 99, "body": new_url,
+                                   "body_size": 12, "body_mtime": 0.0})
+        system.restore(backup)
+        assert system.host_db.select(FILES_TABLE, {"doc_id": 99}) == []
+        assert system.file_server("fs1").dlfm.repository.linked_file(
+            "/library/late.dat") is None
+
+    def test_backup_drains_pending_archive_jobs(self, rfd_system):
+        system, alice, paths, _ = rfd_system
+        _update(system, alice, 0, b"not yet archived", archive=False)
+        dlfm = system.file_server("fs1").dlfm
+        assert dlfm.has_pending_archives(paths[0])
+        system.backup("drain")
+        assert not dlfm.has_pending_archives(paths[0])

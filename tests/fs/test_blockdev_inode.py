@@ -1,0 +1,81 @@
+"""Unit tests for the block device and inode permission helpers."""
+
+import pytest
+
+from repro.errors import Errno, FileSystemError
+from repro.fs.blockdev import BlockDevice
+from repro.fs.inode import FileType, Inode, permission_granted
+
+
+class TestBlockDevice:
+    def test_allocate_read_write_roundtrip(self):
+        device = BlockDevice(block_size=16)
+        block = device.allocate_block()
+        device.write_block(block, b"hello")
+        data = device.read_block(block)
+        assert data.startswith(b"hello")
+        assert len(data) == 16
+
+    def test_short_writes_are_zero_padded(self):
+        device = BlockDevice(block_size=8)
+        block = device.allocate_block()
+        device.write_block(block, b"ab")
+        assert device.read_block(block) == b"ab" + bytes(6)
+
+    def test_oversized_write_rejected(self):
+        device = BlockDevice(block_size=4)
+        block = device.allocate_block()
+        with pytest.raises(FileSystemError):
+            device.write_block(block, b"too long")
+
+    def test_bad_block_number_rejected(self):
+        device = BlockDevice()
+        with pytest.raises(FileSystemError):
+            device.read_block(999)
+
+    def test_free_block_is_reused(self):
+        device = BlockDevice()
+        block = device.allocate_block()
+        device.free_block(block)
+        assert device.allocate_block() == block
+
+    def test_capacity_enforced(self):
+        device = BlockDevice(capacity_blocks=2)
+        device.allocate_block()
+        device.allocate_block()
+        with pytest.raises(FileSystemError) as info:
+            device.allocate_block()
+        assert info.value.errno is Errno.ENOSPC
+
+    def test_stats_accumulate(self):
+        device = BlockDevice(block_size=4)
+        block = device.allocate_block()
+        device.write_block(block, b"x")
+        device.read_block(block)
+        assert device.stats.writes == 1
+        assert device.stats.reads == 1
+        assert device.stats.bytes_written == 4
+
+
+class TestPermissionCheck:
+    def test_owner_uses_owner_bits(self):
+        assert permission_granted(0o600, 10, 20, 10, (20,), True, True)
+        assert not permission_granted(0o600, 10, 20, 10, (20,), False, False, want_exec=True)
+
+    def test_group_uses_group_bits(self):
+        assert permission_granted(0o640, 10, 20, 11, (20,), True, False)
+        assert not permission_granted(0o640, 10, 20, 11, (20,), False, True)
+
+    def test_other_uses_other_bits(self):
+        assert permission_granted(0o604, 10, 20, 99, (77,), True, False)
+        assert not permission_granted(0o600, 10, 20, 99, (77,), True, False)
+
+    def test_superuser_bypasses_checks(self):
+        assert permission_granted(0o000, 10, 20, 0, (), True, True, True)
+
+    def test_inode_attribute_snapshot(self):
+        inode = Inode(ino=5, ftype=FileType.REGULAR, mode=0o644, uid=1, gid=2, size=10)
+        attrs = inode.attributes()
+        assert attrs.ino == 5 and attrs.size == 10 and attrs.is_regular
+        inode.size = 99
+        assert attrs.size == 10    # snapshot is immutable

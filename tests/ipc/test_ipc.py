@@ -1,0 +1,90 @@
+"""Unit tests for the simulated IPC layer (daemons and channels)."""
+
+import pytest
+
+from repro.errors import DaemonUnavailableError, DataLinksError, ProtocolError
+from repro.ipc.channel import Channel
+from repro.ipc.daemon import Daemon
+from repro.ipc.message import Message, Reply
+from repro.simclock import SimClock
+
+
+class EchoDaemon(Daemon):
+    def __init__(self, clock=None):
+        super().__init__("echo", clock)
+        self.register("echo", self._echo)
+        self.register("fail", self._fail)
+
+    def _echo(self, text: str) -> dict:
+        return {"text": text}
+
+    def _fail(self) -> dict:
+        raise DataLinksError("boom")
+
+
+class TestDaemon:
+    def test_dispatch_to_registered_handler(self):
+        daemon = EchoDaemon()
+        reply = daemon.handle(Message(kind="echo", payload={"text": "hi"}))
+        assert reply.ok and reply.payload == {"text": "hi"}
+
+    def test_unknown_request_kind(self):
+        daemon = EchoDaemon()
+        reply = daemon.handle(Message(kind="nonsense"))
+        assert not reply.ok
+        with pytest.raises(ProtocolError):
+            reply.unwrap()
+
+    def test_errors_are_wrapped_in_reply(self):
+        daemon = EchoDaemon()
+        reply = daemon.handle(Message(kind="fail"))
+        assert not reply.ok
+        with pytest.raises(DataLinksError):
+            reply.unwrap()
+
+    def test_request_counter(self):
+        daemon = EchoDaemon()
+        daemon.handle(Message(kind="echo", payload={"text": "a"}))
+        daemon.handle(Message(kind="echo", payload={"text": "b"}))
+        assert daemon.requests_served == 2
+
+    def test_handle_method_fallback(self):
+        class WithMethod(Daemon):
+            def handle_ping(self) -> dict:
+                return {"pong": True}
+
+        reply = WithMethod("m").handle(Message(kind="ping"))
+        assert reply.payload == {"pong": True}
+
+
+class TestChannel:
+    def test_request_charges_latency(self):
+        clock = SimClock()
+        daemon = EchoDaemon(clock)
+        channel = Channel(daemon, clock, latency_primitive="upcall_round_trip")
+        before = clock.now()
+        payload = channel.request("echo", text="hello")
+        assert payload == {"text": "hello"}
+        assert clock.now() > before
+        assert clock.stats.count("upcall_round_trip") == 1
+
+    def test_request_to_stopped_daemon_fails(self):
+        clock = SimClock()
+        daemon = EchoDaemon(clock)
+        daemon.stop()
+        channel = Channel(daemon, clock)
+        with pytest.raises(DaemonUnavailableError):
+            channel.request("echo", text="x")
+        daemon.start()
+        assert channel.request("echo", text="x") == {"text": "x"}
+
+    def test_request_propagates_daemon_error(self):
+        channel = Channel(EchoDaemon(), None)
+        with pytest.raises(DataLinksError):
+            channel.request("fail")
+
+    def test_reply_helpers(self):
+        assert Reply.success(a=1).unwrap() == {"a": 1}
+        failure = Reply.failure(DataLinksError("nope"))
+        with pytest.raises(DataLinksError):
+            failure.unwrap()

@@ -1,0 +1,96 @@
+"""Unit tests for table schemas and row validation."""
+
+import pytest
+
+from repro.errors import (
+    NoSuchColumnError,
+    NullViolationError,
+    SchemaError,
+    TypeMismatchError,
+)
+from repro.storage.schema import Column, TableSchema
+from repro.storage.values import DataType
+
+
+def people_schema() -> TableSchema:
+    return TableSchema("people", [
+        Column("person_id", DataType.INTEGER, nullable=False),
+        Column("name", DataType.TEXT, nullable=False),
+        Column("age", DataType.INTEGER),
+        Column("active", DataType.BOOLEAN, default=True),
+    ], primary_key=("person_id",))
+
+
+class TestSchemaConstruction:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", DataType.INTEGER),
+                              Column("a", DataType.TEXT)])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("", [Column("a", DataType.INTEGER)])
+
+    def test_primary_key_must_reference_existing_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", DataType.INTEGER)], primary_key=("b",))
+
+    def test_column_lookup(self):
+        schema = people_schema()
+        assert schema.column("age").dtype is DataType.INTEGER
+        assert schema.has_column("name")
+        assert not schema.has_column("salary")
+        with pytest.raises(NoSuchColumnError):
+            schema.column("salary")
+
+    def test_column_names_preserve_order(self):
+        assert people_schema().column_names == ["person_id", "name", "age", "active"]
+
+    def test_datalink_columns_listed(self):
+        schema = TableSchema("t", [
+            Column("a", DataType.INTEGER),
+            Column("doc", DataType.DATALINK),
+            Column("img", DataType.DATALINK),
+        ])
+        assert [c.name for c in schema.datalink_columns()] == ["doc", "img"]
+
+
+class TestRowValidation:
+    def test_defaults_are_applied(self):
+        row = people_schema().validate_row({"person_id": 1, "name": "ada"})
+        assert row["active"] is True
+        assert row["age"] is None
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(NoSuchColumnError):
+            people_schema().validate_row({"person_id": 1, "name": "x", "salary": 10})
+
+    def test_not_null_enforced(self):
+        with pytest.raises(NullViolationError):
+            people_schema().validate_row({"person_id": 1})
+
+    def test_type_mismatch_reported_with_column(self):
+        with pytest.raises(TypeMismatchError):
+            people_schema().validate_row({"person_id": 1, "name": "ada", "age": "old"})
+
+    def test_primary_key_extraction(self):
+        schema = people_schema()
+        row = schema.validate_row({"person_id": 7, "name": "alan"})
+        assert schema.primary_key_of(row) == (7,)
+
+    def test_validation_returns_new_dict_in_column_order(self):
+        original = {"name": "ada", "person_id": 1}
+        row = people_schema().validate_row(original)
+        assert list(row) == ["person_id", "name", "age", "active"]
+        assert original == {"name": "ada", "person_id": 1}
+
+    def test_copy_is_independent(self):
+        schema = people_schema()
+        copy = schema.copy()
+        assert copy is not schema
+        assert copy.column_names == schema.column_names
+        assert copy.primary_key == schema.primary_key

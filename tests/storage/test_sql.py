@@ -1,0 +1,122 @@
+"""The SQL text front-end: parsing, execution, and DataLinks routing."""
+
+import pytest
+
+from repro.storage.sql import SQLExecutor, SQLSyntaxError
+from repro.storage.values import DataType
+from tests.conftest import build_system
+from repro.datalinks.control_modes import ControlMode
+
+
+@pytest.fixture
+def sql_db(db):
+    db.execute("CREATE TABLE people (person_id INTEGER NOT NULL PRIMARY KEY, "
+               "name TEXT NOT NULL, age INTEGER, active BOOLEAN)")
+    db.execute("INSERT INTO people (person_id, name, age, active) VALUES "
+               "(1, 'ada', 36, TRUE), (2, 'grace', 45, TRUE), (3, 'edsger', 72, FALSE)")
+    return db
+
+
+class TestDDL:
+    def test_create_table_with_types_and_pk(self, db):
+        db.execute("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, "
+                   "score REAL, label VARCHAR(20), payload BLOB, seen TIMESTAMP)")
+        schema = db.catalog.schema("t")
+        assert schema.primary_key == ("id",)
+        assert schema.column("score").dtype is DataType.REAL
+        assert schema.column("label").dtype is DataType.TEXT
+        assert not schema.column("id").nullable
+
+    def test_create_table_with_datalink_mode(self, db):
+        from repro.datalinks.datalink_type import options_of_column
+
+        db.execute("CREATE TABLE docs (doc_id INTEGER NOT NULL PRIMARY KEY, "
+                   "body DATALINK MODE RFD)")
+        column = db.catalog.schema("docs").column("body")
+        assert column.dtype is DataType.DATALINK
+        assert options_of_column(column).control_mode is ControlMode.RFD
+
+    def test_drop_table(self, sql_db):
+        sql_db.execute("DROP TABLE people")
+        assert not sql_db.catalog.has_table("people")
+
+    def test_unknown_type_rejected(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.execute("CREATE TABLE t (id UUID)")
+
+
+class TestDML:
+    def test_select_star_and_projection(self, sql_db):
+        rows = sql_db.execute("SELECT * FROM people WHERE person_id = 2")
+        assert rows == [{"person_id": 2, "name": "grace", "age": 45, "active": True}]
+        names = sql_db.execute("SELECT name FROM people WHERE age >= 45")
+        assert sorted(row["name"] for row in names) == ["edsger", "grace"]
+
+    def test_where_combinators_and_like(self, sql_db):
+        rows = sql_db.execute(
+            "SELECT name FROM people WHERE (age < 40 OR age > 70) AND active = TRUE")
+        assert [row["name"] for row in rows] == ["ada"]
+        rows = sql_db.execute("SELECT name FROM people WHERE name LIKE 'ds'")
+        assert [row["name"] for row in rows] == ["edsger"]
+
+    def test_string_escaping(self, sql_db):
+        sql_db.execute("INSERT INTO people (person_id, name) VALUES (9, 'o''brien')")
+        rows = sql_db.execute("SELECT name FROM people WHERE person_id = 9")
+        assert rows[0]["name"] == "o'brien"
+
+    def test_update_and_delete_return_counts(self, sql_db):
+        assert sql_db.execute("UPDATE people SET age = 37 WHERE name = 'ada'") == 1
+        assert sql_db.execute("SELECT age FROM people WHERE name = 'ada'")[0]["age"] == 37
+        assert sql_db.execute("DELETE FROM people WHERE age > 40") == 2
+        assert len(sql_db.execute("SELECT * FROM people")) == 1
+
+    def test_multi_row_insert_returns_count(self, sql_db):
+        count = sql_db.execute("INSERT INTO people (person_id, name) VALUES "
+                               "(10, 'a'), (11, 'b'), (12, 'c')")
+        assert count == 3
+
+    def test_null_literal(self, sql_db):
+        sql_db.execute("INSERT INTO people (person_id, name, age) VALUES (20, 'x', NULL)")
+        assert sql_db.execute("SELECT age FROM people WHERE person_id = 20")[0]["age"] is None
+
+    def test_inside_transaction(self, sql_db):
+        txn = sql_db.begin()
+        sql_db.execute("INSERT INTO people (person_id, name) VALUES (30, 'temp')", txn)
+        sql_db.abort(txn)
+        assert sql_db.execute("SELECT * FROM people WHERE person_id = 30") == []
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("statement", [
+        "SELECT FROM people",
+        "INSERT INTO people (a, b) VALUES (1)",
+        "UPDATE people age = 1",
+        "DELETE people",
+        "SELECT * FROM people WHERE age ~ 3",
+        "SELECT * FROM people WHERE",
+        "EXPLAIN SELECT * FROM people",
+        "SELECT * FROM people trailing garbage",
+    ])
+    def test_malformed_statements_raise(self, sql_db, statement):
+        with pytest.raises(SQLSyntaxError):
+            sql_db.execute(statement)
+
+
+class TestDataLinksRouting:
+    def test_sql_insert_links_and_delete_unlinks(self):
+        system, alice, paths, _ = build_system(ControlMode.RFD, link=False)
+        url = system.engine.make_url("fs1", paths[0])
+        alice.sql(f"INSERT INTO docs (doc_id, body) VALUES (0, '{url}')")
+        dlfm = system.file_server("fs1").dlfm
+        assert dlfm.repository.linked_file(paths[0]) is not None
+        alice.sql("DELETE FROM docs WHERE doc_id = 0")
+        assert dlfm.repository.linked_file(paths[0]) is None
+
+    def test_sql_select_through_session(self):
+        system, alice, _, urls = build_system(ControlMode.RFD, files=2)
+        rows = alice.sql("SELECT doc_id, body FROM docs WHERE doc_id = 1")
+        assert rows == [{"doc_id": 1, "body": urls[1]}]
+
+    def test_executor_without_engine_skips_link_processing(self, sql_db):
+        executor = SQLExecutor(sql_db)
+        assert executor.engine is None

@@ -1,0 +1,105 @@
+"""Unit tests for column value validation and coercion."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.storage.values import DataType, validate_value
+
+
+class TestIntegerValidation:
+    def test_accepts_int(self):
+        assert validate_value(DataType.INTEGER, 42) == 42
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            validate_value(DataType.INTEGER, True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeMismatchError):
+            validate_value(DataType.INTEGER, 4.2)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            validate_value(DataType.INTEGER, "42")
+
+
+class TestRealValidation:
+    def test_accepts_float(self):
+        assert validate_value(DataType.REAL, 2.5) == 2.5
+
+    def test_coerces_int_to_float(self):
+        value = validate_value(DataType.REAL, 3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            validate_value(DataType.REAL, False)
+
+
+class TestTextValidation:
+    def test_accepts_str(self):
+        assert validate_value(DataType.TEXT, "hello") == "hello"
+
+    def test_rejects_bytes(self):
+        with pytest.raises(TypeMismatchError):
+            validate_value(DataType.TEXT, b"hello")
+
+
+class TestBooleanValidation:
+    def test_accepts_bool(self):
+        assert validate_value(DataType.BOOLEAN, True) is True
+
+    def test_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            validate_value(DataType.BOOLEAN, 1)
+
+
+class TestTimestampValidation:
+    def test_accepts_float_seconds(self):
+        assert validate_value(DataType.TIMESTAMP, 12.5) == 12.5
+
+    def test_coerces_int(self):
+        assert validate_value(DataType.TIMESTAMP, 3) == 3.0
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            validate_value(DataType.TIMESTAMP, "noon")
+
+
+class TestBlobValidation:
+    def test_accepts_bytes(self):
+        assert validate_value(DataType.BLOB, b"\x00\x01") == b"\x00\x01"
+
+    def test_coerces_bytearray(self):
+        value = validate_value(DataType.BLOB, bytearray(b"abc"))
+        assert value == b"abc"
+        assert isinstance(value, bytes)
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeMismatchError):
+            validate_value(DataType.BLOB, "abc")
+
+
+class TestDatalinkValidation:
+    def test_accepts_well_formed_url(self):
+        url = "dlfs://fs1/movies/clip.mpg"
+        assert validate_value(DataType.DATALINK, url) == url
+
+    def test_rejects_non_url_text(self):
+        with pytest.raises(TypeMismatchError):
+            validate_value(DataType.DATALINK, "not a url")
+
+    def test_rejects_url_without_server(self):
+        with pytest.raises(TypeMismatchError):
+            validate_value(DataType.DATALINK, "dlfs:///movies/clip.mpg")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeMismatchError):
+            validate_value(DataType.DATALINK, 17)
+
+
+class TestNullHandling:
+    @pytest.mark.parametrize("dtype", list(DataType))
+    def test_none_passes_through_for_every_type(self, dtype):
+        assert validate_value(dtype, None) is None

@@ -1,0 +1,89 @@
+"""The reproduced experiments must run and reproduce the paper's qualitative claims."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    experiment_e1,
+    experiment_e2,
+    experiment_e3,
+    experiment_e5,
+    experiment_e6,
+    experiment_e7,
+    experiment_e8,
+    run_experiment,
+)
+from repro.bench.metrics import ExperimentResult, format_table
+from repro.workloads.editors import EditorConfig
+
+
+class TestHarness:
+    def test_registry_covers_all_experiments(self):
+        expected = {f"E{i}" for i in range(1, 11)}
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_run_experiment_by_id_case_insensitive(self):
+        result = run_experiment("e1")
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "E1"
+
+    def test_unknown_experiment_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("E42")
+
+    def test_table_formatting_text_and_markdown(self):
+        headers = ["name", "value"]
+        rows = [{"name": "a", "value": 1.5}, ["b", 2]]
+        text = format_table(headers, rows)
+        assert "name" in text and "1.500" in text
+        markdown = format_table(headers, rows, markdown=True)
+        assert markdown.count("|") > 4
+        result = ExperimentResult("EX", "t", "claim", headers, rows, notes="n")
+        assert "claim" in result.as_text()
+        assert "### EX" in result.as_markdown()
+
+
+class TestExperimentClaims:
+    def test_e1_datalink_retrieval_under_three_ms(self):
+        result = experiment_e1(repeats=10)
+        token_rows = [row for row in result.rows if "token" in row["statement"]]
+        assert token_rows and all(row["within_3ms"] == "yes" for row in token_rows)
+
+    def test_e2_reads_outside_full_control_avoid_upcalls(self):
+        result = experiment_e2(repeats=5)
+        by_mode = {row["mode"]: row for row in result.rows}
+        for mode in ("rff", "rfb", "rfd"):
+            assert by_mode[mode]["upcalls_per_open"] == 0
+            assert by_mode[mode]["added_vs_unlinked_ms"] == pytest.approx(0.0, abs=1e-6)
+        for mode in ("rdb", "rdd"):
+            assert by_mode[mode]["upcalls_per_open"] >= 2
+            assert 0.0 < by_mode[mode]["added_vs_unlinked_ms"] < 5.0
+
+    def test_e3_overhead_shrinks_with_file_size_and_blob_does_not(self):
+        result = experiment_e3(sizes=(64 * 1024, 1024 * 1024), repeats=2)
+        small, large = result.rows
+        assert large["fs_overhead_pct"] < small["fs_overhead_pct"]
+        assert large["fs_overhead_pct"] < 3.0
+        assert large["blob_overhead_pct"] > 10 * large["fs_overhead_pct"]
+
+    def test_e5_scheme_comparison_shape(self):
+        result = experiment_e5(EditorConfig(editors=4, files=2, edits_per_editor=2))
+        by_scheme = {row["scheme"]: row for row in result.rows}
+        assert by_scheme["uip"]["lost_updates"] == 0
+        assert by_scheme["cico"]["lost_updates"] == 0
+        assert by_scheme["cau-overwrite"]["lost_updates"] > 0
+        assert by_scheme["cau-detect"]["lost_updates"] == 0
+        assert by_scheme["cau-detect"]["rejected_checkins"] > 0
+
+    def test_e6_atomicity_scenarios_all_pass(self):
+        result = experiment_e6()
+        assert all(row["pass"] == "yes" for row in result.rows)
+
+    def test_e7_coordinated_restore_consistency(self):
+        result = experiment_e7()
+        assert all(row["file_content_matches"] == "yes" for row in result.rows)
+        assert all(row["metadata_matches"] == "yes" for row in result.rows)
+
+    def test_e8_sync_semantics_match_paper(self):
+        result = experiment_e8()
+        assert all(row["matches_paper"] == "yes" for row in result.rows)
