@@ -1,0 +1,98 @@
+"""E11 -- sharded multi-DLFM scale-out with group commit and batched pipelines.
+
+Beyond the paper: the scale-out layer hash-partitions linked files over N
+file servers, ships one batched link message per enlisted shard per
+multi-row statement, and resolves commits in groups (one host log force and
+one prepare/commit message per shard per batch).
+
+The headline claim, asserted in :func:`test_scaleout_speedup_at_8_shards`:
+at 8 shards with group commit + batched links, link throughput (in simulated
+time) is at least **1.5x** the single-server per-row baseline.
+"""
+
+import pytest
+
+from repro.workloads.scaleout import ScaleOutConfig, ScaleOutWorkload
+
+
+def _throughput(**overrides) -> float:
+    config = ScaleOutConfig(clients=4, transactions_per_client=3,
+                            rows_per_transaction=16, file_size=512, **overrides)
+    workload = ScaleOutWorkload(config).setup()
+    metrics = workload.run()
+    return workload.link_throughput(metrics)
+
+
+BASELINE = dict(shards=1, batch_links=False, flush_policy="immediate",
+                group_commit_window=1)
+SCALED = dict(shards=8, batch_links=True, flush_policy="group",
+              group_commit_window=8)
+
+
+def test_scaleout_speedup_at_8_shards():
+    """8 shards + group commit + batched links >= 1.5x the per-row baseline."""
+
+    baseline = _throughput(**BASELINE)
+    scaled = _throughput(**SCALED)
+    assert baseline > 0
+    speedup = scaled / baseline
+    assert speedup >= 1.5, (
+        f"scale-out speedup {speedup:.2f}x below the 1.5x claim "
+        f"(baseline {baseline:.1f} links/s, scaled {scaled:.1f} links/s)")
+
+
+@pytest.fixture(scope="module")
+def baseline_workload():
+    config = ScaleOutConfig(clients=2, transactions_per_client=2,
+                            rows_per_transaction=8, file_size=512, **BASELINE)
+    return ScaleOutWorkload(config).setup()
+
+
+@pytest.fixture(scope="module")
+def scaled_workload():
+    config = ScaleOutConfig(clients=2, transactions_per_client=2,
+                            rows_per_transaction=8, file_size=512, **SCALED)
+    return ScaleOutWorkload(config).setup()
+
+
+def test_ingest_single_server_per_row(benchmark, baseline_workload):
+    """Wall-clock cost of the per-row single-server ingest path."""
+
+    deployment = baseline_workload.deployment
+    session = deployment.session("bench-base", uid=6001)
+    state = {"doc_id": 1_000_000}
+
+    def ingest_one():
+        path = f"/bench/base{state['doc_id']}.dat"
+        url = deployment.put_file(session, path, b"x" * 256)
+        host_txn = deployment.begin()
+        deployment.engine.insert(
+            "ingested_docs",
+            {"doc_id": state["doc_id"], "body": url, "body_size": 256}, host_txn)
+        deployment.engine.commit(host_txn)
+        state["doc_id"] += 1
+
+    benchmark(ingest_one)
+
+
+def test_ingest_sharded_batched_group(benchmark, scaled_workload):
+    """Wall-clock cost of a batched 8-row ingest through the commit queue."""
+
+    deployment = scaled_workload.deployment
+    session = deployment.session("bench-scaled", uid=6002)
+    state = {"doc_id": 2_000_000}
+
+    def ingest_batch():
+        rows = []
+        for _ in range(8):
+            path = f"/bench{state['doc_id'] % 32}/doc{state['doc_id']}.dat"
+            url = deployment.put_file(session, path, b"x" * 256)
+            rows.append({"doc_id": state["doc_id"], "body": url,
+                         "body_size": 256})
+            state["doc_id"] += 1
+        host_txn = deployment.begin()
+        deployment.engine.insert_many("ingested_docs", rows, host_txn)
+        deployment.commit(host_txn)
+
+    benchmark(ingest_batch)
+    deployment.drain()

@@ -9,6 +9,12 @@ A :class:`Session` binds a user (credentials) to a
 * the *file-system path*: the ordinary open/read/write/close API against a
   file server's logical file system, including
   :meth:`Session.update_file`, the update-in-place transaction of Section 4.
+
+Scale-out knobs: :meth:`Session.insert_many` ships one batched link message
+per file server for a multi-row INSERT, and
+:meth:`Session.set_flush_policy` switches the system-wide WAL commit flush
+policy between ``"immediate"`` (one log force per commit) and ``"group"``
+(one force covers a window of commits).
 """
 
 from __future__ import annotations
@@ -115,6 +121,27 @@ class Session:
     def in_transaction(self) -> bool:
         return self._txn is not None
 
+    # ---------------------------------------------------------- durability knob --
+    @property
+    def flush_policy(self) -> str:
+        """The system-wide WAL commit flush policy (``immediate``/``group``)."""
+
+        return self.system.flush_policy
+
+    def set_flush_policy(self, policy: str,
+                         group_commit_window: int | None = None) -> None:
+        """Switch WAL group commit on (``"group"``) or off (``"immediate"``).
+
+        With group commit a single log force covers up to
+        ``group_commit_window`` commits.  A crash can lose the last
+        unflushed window of *host-only* commits; a transaction that
+        touched a DLFM always forces the log before the DLFMs commit (the
+        two-phase-commit rule), and any branch left in doubt is resolved
+        from the host's durable outcome during recovery.
+        """
+
+        self.system.set_flush_policy(policy, group_commit_window)
+
     # ---------------------------------------------------------------- SQL path --
     def sql(self, statement: str):
         """Execute a SQL statement against the host database.
@@ -131,6 +158,11 @@ class Session:
 
     def insert(self, table: str, row: dict) -> int:
         return self.system.engine.insert(table, row, self._txn)
+
+    def insert_many(self, table: str, rows: list[dict]) -> list[int]:
+        """Multi-row INSERT with batched (pipelined) link processing."""
+
+        return self.system.engine.insert_many(table, rows, self._txn)
 
     def update(self, table: str, where, changes: dict) -> int:
         return self.system.engine.update(table, where, changes, self._txn)

@@ -81,12 +81,25 @@ class FileServer:
 
 
 class DataLinksSystem:
-    """A complete DataLinks installation."""
+    """A complete DataLinks installation.
+
+    ``flush_policy`` / ``group_commit_window`` configure WAL group commit for
+    the host database *and* every file server's DLFM repository:
+    ``"immediate"`` forces the log on every commit (default), ``"group"``
+    lets one log force cover up to ``group_commit_window`` commits.  The knob
+    can also be flipped at runtime through :meth:`set_flush_policy` or
+    :meth:`repro.api.session.Session.set_flush_policy`.
+    """
 
     def __init__(self, cost_model: CostModel | None = None,
-                 clock: SimClock | None = None):
+                 clock: SimClock | None = None, *,
+                 flush_policy: str = "immediate",
+                 group_commit_window: int = 8):
         self.clock = clock if clock is not None else SimClock(cost_model)
-        self.host_db = Database("host", self.clock)
+        self._flush_policy = flush_policy
+        self._group_commit_window = group_commit_window
+        self.host_db = Database("host", self.clock, flush_policy=flush_policy,
+                                group_commit_window=group_commit_window)
         self.engine = DataLinksEngine(self.host_db, self.clock)
         self.archive = ArchiveServer(self.clock)
         self.file_servers: dict[str, FileServer] = {}
@@ -107,6 +120,8 @@ class DataLinksSystem:
             raise DataLinksError(f"file server {name!r} already exists")
         server = FileServer(name, self.clock, self.archive, dbms_uid=dbms_uid,
                             strict_read_upcalls=strict_read_upcalls)
+        server.dlfm.repository.db.set_flush_policy(self._flush_policy,
+                                                   self._group_commit_window)
         self.file_servers[name] = server
         self.engine.register_file_server(name, server.dlfm, server.main_daemon)
         self._backup_coordinator.register_manager(name, server.dlfm)
@@ -132,6 +147,36 @@ class DataLinksSystem:
         from repro.api.session import Session
 
         return Session(self, Credentials(uid=uid, gid=gid, username=username))
+
+    # -------------------------------------------------------------- durability knobs --
+    @property
+    def flush_policy(self) -> str:
+        return self.host_db.wal.flush_policy.value
+
+    def set_flush_policy(self, policy: str,
+                         group_commit_window: int | None = None) -> None:
+        """Change the WAL commit flush policy system-wide at runtime.
+
+        Applies to the host database and every file server's DLFM
+        repository; servers added later inherit the new setting.
+        """
+
+        from repro.storage.wal import FlushPolicy
+
+        policy = FlushPolicy.from_string(policy).value  # validate before mutating
+        self._flush_policy = policy
+        if group_commit_window is not None:
+            self._group_commit_window = group_commit_window
+        self.host_db.set_flush_policy(policy, group_commit_window)
+        for server in self.file_servers.values():
+            server.dlfm.repository.db.set_flush_policy(policy, group_commit_window)
+
+    def flush_logs(self) -> None:
+        """Force every WAL in the system (drains pending group commits)."""
+
+        self.host_db.wal.flush()
+        for server in self.file_servers.values():
+            server.dlfm.repository.db.wal.flush()
 
     # ----------------------------------------------------------------- background --
     def run_archiver(self) -> int:
@@ -173,3 +218,13 @@ class DataLinksSystem:
 
     def recover_file_server(self, name: str) -> dict:
         return self.file_server(name).recover()
+
+    def resolve_in_doubt(self) -> dict:
+        """Drive prepared DLFM branches to the host's durable outcome.
+
+        Use after recovering the host database from a crash that interrupted
+        a two-phase commit (coordinator failure); file-server crashes resolve
+        their own in-doubt branches during :meth:`recover_file_server`.
+        """
+
+        return self.engine.resolve_in_doubt()

@@ -1,4 +1,4 @@
-"""The reproduced experiments (E1..E9).
+"""The reproduced experiments (E1..E11).
 
 The paper's evaluation (Sections 3.2 and 5) is narrative rather than a set of
 numbered tables, so each quantitative or comparative claim becomes one
@@ -6,7 +6,12 @@ experiment here.  Every experiment builds a fresh simulated system, drives it
 through the public API, and reports *simulated* milliseconds (comparable in
 shape to the paper's 200 MHz-era measurements) plus whatever counts the claim
 is about.  ``python -m repro.bench`` prints all tables; EXPERIMENTS.md records
-paper-vs-measured.
+paper-vs-measured.  E11 goes beyond the paper: it measures the scale-out
+layer (sharded multi-DLFM deployments, WAL group commit, batched link
+pipelines).
+
+``python -m repro.bench --smoke`` runs every experiment with tiny
+configurations (:data:`SMOKE_PARAMS`) as a fast CI sanity pass.
 """
 
 from __future__ import annotations
@@ -720,6 +725,70 @@ def experiment_e10(repeats: int = 20) -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
+# E11 -- scale-out: sharded multi-DLFM, WAL group commit, batched pipelines
+# ---------------------------------------------------------------------------
+
+def experiment_e11(shards: int = 8, clients: int = 4,
+                   transactions_per_client: int = 3,
+                   rows_per_transaction: int = 16,
+                   file_size: int = 512) -> ExperimentResult:
+    """Link throughput of the scale-out layer versus the per-row baseline."""
+
+    from repro.workloads.scaleout import ScaleOutConfig, ScaleOutWorkload
+
+    def run(label, **overrides):
+        config = ScaleOutConfig(clients=clients,
+                                transactions_per_client=transactions_per_client,
+                                rows_per_transaction=rows_per_transaction,
+                                file_size=file_size, **overrides)
+        workload = ScaleOutWorkload(config).setup()
+        metrics = workload.run()
+        stats = workload.deployment.stats()
+        per_shard = stats["linked_files_per_shard"].values()
+        return {
+            "configuration": label,
+            "links": metrics.counters.get("links", 0),
+            "links_per_sim_s": round(workload.link_throughput(metrics), 1),
+            "mean_txn_ms": round(metrics.stats("link_txn").mean * 1000, 3),
+            "host_log_flushes": stats["host_log_flushes"],
+            "max_links_per_shard": max(per_shard) if per_shard else 0,
+        }
+
+    rows = [
+        run("1 server, per-row links, immediate flush",
+            shards=1, batch_links=False, flush_policy="immediate",
+            group_commit_window=1),
+        run(f"{shards} shards, per-row links, immediate flush",
+            shards=shards, batch_links=False, flush_policy="immediate",
+            group_commit_window=1),
+        run(f"{shards} shards, batched links, group commit",
+            shards=shards, batch_links=True, flush_policy="group",
+            group_commit_window=8),
+    ]
+    baseline = rows[0]["links_per_sim_s"] or 1.0
+    for row in rows:
+        row["speedup_vs_baseline"] = round(row["links_per_sim_s"] / baseline, 2)
+    return ExperimentResult(
+        experiment_id="E11",
+        title="Scale-out: sharded DLFMs with group commit and batched pipelines",
+        paper_claim="Beyond the paper: hash-sharding linked files over many "
+                    "DLFMs, shipping one batched link message per enlisted "
+                    "shard and resolving commits in groups (one log force and "
+                    "one prepare/commit message per shard per batch) should "
+                    "raise link throughput well above the per-row, "
+                    "per-commit-flush baseline.",
+        headers=["configuration", "links", "links_per_sim_s", "mean_txn_ms",
+                 "host_log_flushes", "max_links_per_shard", "speedup_vs_baseline"],
+        rows=rows,
+        notes="The simulated clock is serial, so adding shards *without* "
+              "batching only adds two-phase-commit fan-out cost (the second "
+              "row); the win comes from the batched pipelines and WAL group "
+              "commit, while sharding spreads the linked files "
+              "(max_links_per_shard) and with them the data-path load.",
+    )
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -734,17 +803,43 @@ ALL_EXPERIMENTS = {
     "E8": experiment_e8,
     "E9": experiment_e9,
     "E10": experiment_e10,
+    "E11": experiment_e11,
+}
+
+#: Tiny per-experiment overrides for the ``--smoke`` CI mode: every
+#: experiment must complete in a fraction of a second, exercising the full
+#: code path with minimal repeats/sizes.
+SMOKE_PARAMS = {
+    "E1": {"repeats": 2},
+    "E2": {"repeats": 2},
+    "E3": {"sizes": (16 * 1024,), "repeats": 1},
+    "E4": {"repeats": 2},
+    "E5": {"config": EditorConfig(editors=2, files=1, edits_per_editor=1)},
+    "E6": {},
+    "E7": {},
+    "E8": {},
+    "E9": {"pages": 4, "operations": 10, "page_size": 4 * 1024},
+    "E10": {"repeats": 2},
+    "E11": {"shards": 2, "clients": 2, "transactions_per_client": 1,
+            "rows_per_transaction": 4, "file_size": 256},
 }
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by id (``"E1"`` .. ``"E9"``)."""
+def run_experiment(experiment_id: str, smoke: bool = False) -> ExperimentResult:
+    """Run one experiment by id (``"E1"`` .. ``"E11"``).
 
+    ``smoke=True`` substitutes the tiny :data:`SMOKE_PARAMS` configuration --
+    the fast sanity mode behind ``python -m repro.bench --smoke``.
+    """
+
+    identifier = experiment_id.upper()
     try:
-        factory = ALL_EXPERIMENTS[experiment_id.upper()]
+        factory = ALL_EXPERIMENTS[identifier]
     except KeyError:
         raise KeyError(f"unknown experiment {experiment_id!r}; "
                        f"known: {sorted(ALL_EXPERIMENTS)}") from None
+    if smoke:
+        return factory(**SMOKE_PARAMS.get(identifier, {}))
     return factory()
 
 

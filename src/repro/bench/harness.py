@@ -6,21 +6,25 @@ import argparse
 import sys
 import time
 
-from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.bench.metrics import ExperimentResult
 
 
 def run_all(experiment_ids: list[str] | None = None, *,
-            markdown: bool = False, stream=None) -> list[ExperimentResult]:
-    """Run the selected experiments (all by default), printing each table."""
+            markdown: bool = False, smoke: bool = False,
+            stream=None) -> list[ExperimentResult]:
+    """Run the selected experiments (all by default), printing each table.
+
+    ``smoke=True`` uses the tiny per-experiment configurations -- a fast
+    sanity pass over every experiment's full code path.
+    """
 
     stream = stream if stream is not None else sys.stdout
     ids = [identifier.upper() for identifier in (experiment_ids or sorted(ALL_EXPERIMENTS))]
     results = []
     for identifier in ids:
-        factory = ALL_EXPERIMENTS[identifier]
         started = time.time()
-        result = factory()
+        result = run_experiment(identifier, smoke=smoke)
         elapsed = time.time() - started
         results.append(result)
         rendered = result.as_markdown() if markdown else result.as_text()
@@ -33,11 +37,15 @@ def run_all(experiment_ids: list[str] | None = None, *,
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Reproduce the paper's evaluation claims (experiments E1..E9).")
+        description="Reproduce the paper's evaluation claims (experiments "
+                    "E1..E10) plus the scale-out study (E11).")
     parser.add_argument("experiments", nargs="*",
                         help="experiment ids to run (default: all)")
     parser.add_argument("--markdown", action="store_true",
                         help="emit markdown tables (for EXPERIMENTS.md)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run every experiment with a tiny configuration "
+                             "(fast CI sanity mode)")
     args = parser.parse_args(argv)
-    run_all(args.experiments or None, markdown=args.markdown)
+    run_all(args.experiments or None, markdown=args.markdown, smoke=args.smoke)
     return 0

@@ -13,12 +13,25 @@ Layout mirrors the system architecture (Figure 1 of the paper):
 * :mod:`repro.datalinks.dlfs` -- the stackable DataLinks File System layer;
 * :mod:`repro.datalinks.uip` -- the update-in-place file-update session;
 * :mod:`repro.datalinks.baselines` -- CICO, CAU, unlink/relink and
-  BLOB-in-database comparators from Section 3.
+  BLOB-in-database comparators from Section 3;
+* :mod:`repro.datalinks.sharding` -- the scale-out layer: hash-partitioned
+  multi-DLFM deployments with a group-commit queue and batched link
+  pipelines.
 """
 
 from repro.datalinks.control_modes import AccessControl, ControlMode
 from repro.datalinks.tokens import AccessToken, TokenManager, TokenType
 from repro.datalinks.datalink_type import DatalinkOptions, OnUnlink
+
+
+def __getattr__(name: str):
+    # Lazy: sharding builds on repro.api, which imports this package.
+    if name in ("ShardedDataLinksDeployment", "ShardRouter"):
+        from repro.datalinks import sharding
+
+        return getattr(sharding, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AccessControl",
@@ -28,4 +41,6 @@ __all__ = [
     "TokenType",
     "DatalinkOptions",
     "OnUnlink",
+    "ShardedDataLinksDeployment",
+    "ShardRouter",
 ]

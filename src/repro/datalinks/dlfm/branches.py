@@ -50,12 +50,17 @@ class BranchManager:
                 f"no DLFM branch for host transaction {host_txn_id}") from None
 
     def prepare(self, host_txn_id: int) -> bool:
-        """Vote on the branch; returns ``False`` when there is nothing to prepare."""
+        """Vote on the branch; returns ``False`` when there is nothing to prepare.
+
+        The host transaction id is written into the durable PREPARE record so
+        an in-doubt branch found after a crash can be mapped back to its host
+        transaction and resolved from the coordinator's durable outcome.
+        """
 
         if host_txn_id not in self._branches:
             return False
         branch = self._branches[host_txn_id]
-        self._db.prepare(branch.local_txn)
+        self._db.prepare(branch.local_txn, extra={"host_txn_id": host_txn_id})
         return True
 
     def commit(self, host_txn_id: int) -> None:
@@ -83,3 +88,9 @@ class BranchManager:
 
     def active_host_transactions(self) -> list[int]:
         return sorted(self._branches)
+
+    def prepared_host_transactions(self) -> list[int]:
+        """Host transaction ids whose live branch has voted PREPARE."""
+
+        return sorted(host_txn_id for host_txn_id, branch in self._branches.items()
+                      if branch.local_txn.state.name == "PREPARED")

@@ -58,10 +58,21 @@ class ChildAgent(Daemon):
         self._manager = manager
         self.register("link_file", self._link_file)
         self.register("unlink_file", self._unlink_file)
+        self.register("link_batch", self._link_batch)
+        self.register("unlink_batch", self._unlink_batch)
         self.register("begin_branch", self._begin_branch)
         self.register("prepare", self._prepare)
         self.register("commit", self._commit)
         self.register("abort", self._abort)
+        self.register("prepare_many", self._prepare_many)
+        self.register("commit_many", self._commit_many)
+        self.register("abort_many", self._abort_many)
+
+    def _charge_per_item(self, count: int) -> None:
+        # A batch crosses the process boundary once but is still demultiplexed
+        # item by item inside the agent.
+        if self.clock is not None and count > 1:
+            self.clock.charge("daemon_dispatch", times=count - 1)
 
     def _link_file(self, host_txn_id: int, path: str, options: dict) -> dict:
         parsed = DatalinkOptions.from_dict(options)
@@ -71,6 +82,30 @@ class ChildAgent(Daemon):
     def _unlink_file(self, host_txn_id: int, path: str) -> dict:
         row = self._manager.unlink_file(host_txn_id, path)
         return {"path": row["path"]}
+
+    def _link_batch(self, host_txn_id: int, items: list) -> dict:
+        """Link several files in one IPC round trip (pipelined multi-row DML).
+
+        Items are processed in order; the first failure aborts the batch by
+        raising through the reply, leaving the branch's uncommitted changes to
+        be rolled back by the coordinator's abort.
+        """
+
+        self._charge_per_item(len(items))
+        results = []
+        for item in items:
+            parsed = DatalinkOptions.from_dict(item["options"])
+            row = self._manager.link_file(host_txn_id, item["path"], parsed)
+            results.append({"path": row["path"], "ino": row["ino"]})
+        return {"results": results}
+
+    def _unlink_batch(self, host_txn_id: int, paths: list) -> dict:
+        """Unlink several files in one IPC round trip."""
+
+        self._charge_per_item(len(paths))
+        results = [{"path": self._manager.unlink_file(host_txn_id, path)["path"]}
+                   for path in paths]
+        return {"results": results}
 
     def _begin_branch(self, host_txn_id: int) -> dict:
         self._manager.begin_branch(host_txn_id)
@@ -86,6 +121,25 @@ class ChildAgent(Daemon):
 
     def _abort(self, host_txn_id: int) -> dict:
         self._manager.abort_branch(host_txn_id)
+        return {}
+
+    def _prepare_many(self, host_txn_ids: list) -> dict:
+        """Vote on a batch of branches in one round trip (group commit)."""
+
+        self._charge_per_item(len(host_txn_ids))
+        return {"prepared": [self._manager.prepare_branch(txn_id)
+                             for txn_id in host_txn_ids]}
+
+    def _commit_many(self, host_txn_ids: list) -> dict:
+        self._charge_per_item(len(host_txn_ids))
+        for txn_id in host_txn_ids:
+            self._manager.commit_branch(txn_id)
+        return {}
+
+    def _abort_many(self, host_txn_ids: list) -> dict:
+        self._charge_per_item(len(host_txn_ids))
+        for txn_id in host_txn_ids:
+            self._manager.abort_branch(txn_id)
         return {}
 
 
@@ -140,6 +194,24 @@ class DLFMConnection:
     def unlink_file(self, host_txn_id: int, path: str) -> dict:
         return self._channel.request("unlink_file", host_txn_id=host_txn_id, path=path)
 
+    # Batched pipelines: a multi-row statement ships one message per file
+    # server instead of one round trip per row.
+    def link_files(self, host_txn_id: int,
+                   items: list[tuple[str, DatalinkOptions]]) -> list[dict]:
+        if len(items) == 1:
+            path, options = items[0]
+            return [self.link_file(host_txn_id, path, options)]
+        payload = [{"path": path, "options": options.to_dict()}
+                   for path, options in items]
+        return self._channel.request("link_batch", host_txn_id=host_txn_id,
+                                     items=payload)["results"]
+
+    def unlink_files(self, host_txn_id: int, paths: list[str]) -> list[dict]:
+        if len(paths) == 1:
+            return [self.unlink_file(host_txn_id, paths[0])]
+        return self._channel.request("unlink_batch", host_txn_id=host_txn_id,
+                                     paths=list(paths))["results"]
+
     def begin_branch(self, host_txn_id: int) -> None:
         self._channel.request("begin_branch", host_txn_id=host_txn_id)
 
@@ -151,3 +223,15 @@ class DLFMConnection:
 
     def abort(self, host_txn_id: int) -> None:
         self._channel.request("abort", host_txn_id=host_txn_id)
+
+    # Batched two-phase commit: the group-commit queue resolves a whole batch
+    # of host transactions with one prepare and one commit message per server.
+    def prepare_many(self, host_txn_ids: list[int]) -> list[bool]:
+        return self._channel.request("prepare_many",
+                                     host_txn_ids=list(host_txn_ids))["prepared"]
+
+    def commit_many(self, host_txn_ids: list[int]) -> None:
+        self._channel.request("commit_many", host_txn_ids=list(host_txn_ids))
+
+    def abort_many(self, host_txn_ids: list[int]) -> None:
+        self._channel.request("abort_many", host_txn_ids=list(host_txn_ids))

@@ -390,13 +390,19 @@ class DataLinksFileManager:
         self.running = False
 
     def recover(self) -> dict:
-        """Restart after a crash: repository recovery plus file-update rollback."""
+        """Restart after a crash: repository recovery plus file-update rollback.
+
+        In-doubt branches (durable PREPARE, no durable outcome) are resolved
+        from the coordinator: the durable PREPARE record carries the host
+        transaction id, and the host database's log says whether that
+        transaction committed.  Without a reachable coordinator the branch is
+        presumed aborted.
+        """
 
         summary = self.repository.db.recover()
-        # Presumed abort for branches left in doubt: the engine re-drives any
-        # transaction it actually committed.
-        for txn in list(self.repository.db.in_doubt_transactions()):
-            self.repository.db.abort_prepared(txn)
+        resolved = self._resolve_recovered_in_doubt()
+        summary["in_doubt_committed"] = resolved["committed"]
+        summary["in_doubt_aborted"] = resolved["aborted"]
         rolled_back = []
         for tracking in self.repository.all_tracking():
             path = tracking["path"]
@@ -409,6 +415,66 @@ class DataLinksFileManager:
         self.repository.clear_sync_entries()
         self.running = True
         return {"repository": summary, "rolled_back_updates": rolled_back}
+
+    # ------------------------------------------------- in-doubt branch resolution --
+    def _host_txn_id_of(self, local_txn_id: int) -> int | None:
+        """Map a repository transaction back to its host transaction id.
+
+        Reads the durable PREPARE record the branch wrote when it voted.
+        """
+
+        from repro.storage.wal import LogRecordType
+
+        for record in self.repository.db.wal.records_of(local_txn_id,
+                                                        durable_only=True):
+            if record.type is LogRecordType.PREPARE:
+                host_txn_id = record.extra.get("host_txn_id")
+                if host_txn_id is not None:
+                    return int(host_txn_id)
+        return None
+
+    def _host_outcome(self, host_txn_id: int | None) -> str:
+        if host_txn_id is None or self._engine is None:
+            return "unknown"
+        return self._engine.host_transaction_outcome(host_txn_id)
+
+    def _resolve_recovered_in_doubt(self) -> dict:
+        """Commit or abort the in-doubt transactions reinstated by recovery."""
+
+        committed, aborted = [], []
+        for txn in list(self.repository.db.in_doubt_transactions()):
+            host_txn_id = self._host_txn_id_of(txn.txn_id)
+            if self._host_outcome(host_txn_id) == "committed":
+                self.repository.db.commit_prepared(txn)
+                committed.append(host_txn_id)
+            else:
+                # Presumed abort: no durable COMMIT at the coordinator.
+                self.repository.db.abort_prepared(txn)
+                aborted.append(host_txn_id if host_txn_id is not None else txn.txn_id)
+        return {"committed": committed, "aborted": aborted}
+
+    def resolve_in_doubt(self) -> dict:
+        """Resolve live branches after a *coordinator* failure.
+
+        When the host database (the 2PC coordinator) crashes mid-protocol,
+        this file server is left with branches and no instruction.  Once the
+        host has recovered, prepared branches are driven to the
+        coordinator's durable outcome; branches that never voted cannot have
+        committed anywhere (prepare precedes the host commit) and are
+        presumed aborted.
+        """
+
+        committed, aborted = [], []
+        prepared = set(self.branches.prepared_host_transactions())
+        for host_txn_id in list(self.branches.active_host_transactions()):
+            if host_txn_id in prepared and \
+                    self._host_outcome(host_txn_id) == "committed":
+                self.branches.commit(host_txn_id)
+                committed.append(host_txn_id)
+            else:
+                self.branches.abort(host_txn_id)
+                aborted.append(host_txn_id)
+        return {"committed": committed, "aborted": aborted}
 
     # -------------------------------------------------------------------- backup --
     def backup(self, label: str = "") -> BackupImage:

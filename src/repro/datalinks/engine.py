@@ -11,6 +11,20 @@ The engine extends the host database with DATALINK awareness:
 * when a managed file update commits, the engine updates registered metadata
   columns (size, modification time) of the rows referencing that file in the
   same transaction as the DLFM's close processing (Section 4.3).
+
+Scale-out additions (beyond the paper):
+
+* **batched link pipelines** -- multi-row DML collects link/unlink work per
+  file server and ships it as one IPC message per server
+  (:meth:`DataLinksEngine.insert_many`, and batched unlinks inside
+  ``update``/``delete``) instead of one round trip per row;
+* **group commit** -- :meth:`DataLinksEngine.commit_group` resolves a batch
+  of host transactions with one prepare and one commit message per enlisted
+  server and a single host log force
+  (:meth:`~repro.storage.database.Database.commit_many`);
+* **failpoints** -- named crash-injection hooks inside the two-phase commit
+  so the crash-matrix tests can stop the coordinator at every protocol step
+  (:attr:`DataLinksEngine.failpoints`).
 """
 
 from __future__ import annotations
@@ -22,7 +36,7 @@ from repro.datalinks.control_modes import ControlMode
 from repro.datalinks.datalink_type import DatalinkOptions, options_of_column
 from repro.datalinks.dlfm.daemons import DLFMConnection, MainDaemon
 from repro.datalinks.tokens import TokenManager, TokenType
-from repro.errors import ControlModeError, DataLinksError
+from repro.errors import ControlModeError, DataLinksError, IPCError
 from repro.simclock import SimClock
 from repro.storage.database import Database
 from repro.storage.transaction import Transaction
@@ -69,6 +83,19 @@ class DataLinksEngine:
         self.default_token_ttl = default_token_ttl
         self._servers: dict[str, _FileServerEntry] = {}
         self._metadata_rules: list[_MetadataRule] = []
+        #: Fault-injection hooks: ``{point_name: callable}``.  The commit
+        #: protocol fires points named ``commit:begin``,
+        #: ``commit:prepared:<server>``, ``commit:before_host_commit``,
+        #: ``commit:mid_flush`` (COMMIT appended, log not yet forced),
+        #: ``commit:after_host_commit`` and ``commit:committed:<server>``
+        #: (``group:*`` equivalents for group commit); a hook that raises
+        #: simulates a coordinator crash at that step.
+        self.failpoints: dict = {}
+
+    def _fire(self, point: str) -> None:
+        hook = self.failpoints.get(point)
+        if hook is not None:
+            hook()
 
     # ------------------------------------------------------------------ wiring --
     def register_file_server(self, name: str, manager, main_daemon: MainDaemon) -> None:
@@ -109,18 +136,115 @@ class DataLinksEngine:
 
         if self.clock is not None and host_txn.servers:
             self.clock.charge("datalink_engine_dispatch")
+        self._fire("commit:begin")
         for server in sorted(host_txn.servers):
-            self._entry(server).connection.prepare(host_txn.txn_id)
+            if not self._entry(server).connection.prepare(host_txn.txn_id):
+                # The server is enlisted, so it once held a branch; a missing
+                # branch means the DLFM crashed and lost it.  Refuse to
+                # commit a transaction whose file-side effects are gone.
+                raise DataLinksError(
+                    f"file server {server!r} lost the branch of transaction "
+                    f"{host_txn.txn_id} (restarted?); the transaction must abort")
+            self._fire(f"commit:prepared:{server}")
+        self._fire("commit:before_host_commit")
         state_id = self.db.commit(host_txn.txn)
+        self._fire("commit:mid_flush")
+        if host_txn.servers:
+            # The coordinator's COMMIT record must be durable before any
+            # participant commits; under group commit this force piggybacks
+            # every pending commit in the window.
+            self.db.force_log()
+        self._fire("commit:after_host_commit")
         for server in sorted(host_txn.servers):
             self._entry(server).connection.commit(host_txn.txn_id)
+            self._fire(f"commit:committed:{server}")
         return state_id
 
-    def abort(self, host_txn: HostTransaction) -> None:
+    def commit_group(self, host_txns: list[HostTransaction]) -> LSN:
+        """Group commit: resolve a whole batch of host transactions at once.
+
+        One ``prepare_many`` and one ``commit_many`` message go to each
+        enlisted file server (covering every transaction in the batch that
+        touched it), and a single host log force covers all the COMMIT
+        records -- the WAL group commit of the sharded deployment.
+        """
+
+        if not host_txns:
+            return self.db.state_identifier()
+        if self.clock is not None:
+            self.clock.charge("datalink_engine_dispatch")
+        by_server: dict[str, list[int]] = {}
+        for host_txn in host_txns:
+            for server in host_txn.servers:
+                by_server.setdefault(server, []).append(host_txn.txn_id)
+        self._fire("group:begin")
+        for server in sorted(by_server):
+            votes = self._entry(server).connection.prepare_many(by_server[server])
+            if not all(votes):
+                lost = [txn_id for txn_id, vote in zip(by_server[server], votes)
+                        if not vote]
+                raise DataLinksError(
+                    f"file server {server!r} lost the branches of transactions "
+                    f"{lost} (restarted?); the commit group must abort")
+            self._fire(f"group:prepared:{server}")
+        self._fire("group:before_host_commit")
+        state_id = self.db.commit_many([host_txn.txn for host_txn in host_txns])
+        self._fire("group:after_host_commit")
+        for server in sorted(by_server):
+            self._entry(server).connection.commit_many(by_server[server])
+            self._fire(f"group:committed:{server}")
+        return state_id
+
+    def redrive_commit(self, host_txn: HostTransaction) -> None:
+        """Re-send participant commits for a durably committed transaction.
+
+        Used when a commit batch failed partway through its participant
+        commits: the host outcome is already durable, so the surviving
+        servers must commit (a missing branch is ignored -- it already
+        committed) and unreachable servers are left to resolve their
+        in-doubt branches from the host outcome during recovery.
+        """
+
         for server in sorted(host_txn.servers):
-            self._entry(server).connection.abort(host_txn.txn_id)
+            try:
+                self._entry(server).connection.commit(host_txn.txn_id)
+            except IPCError:
+                pass
+
+    def abort(self, host_txn: HostTransaction) -> None:
+        """Abort everywhere.  Unreachable file servers are tolerated: a
+        crashed DLFM lost its volatile branch anyway, and a prepared branch
+        it persisted is resolved by presumed abort during its recovery."""
+
+        for server in sorted(host_txn.servers):
+            try:
+                self._entry(server).connection.abort(host_txn.txn_id)
+            except IPCError:
+                pass
         if not host_txn.txn.is_finished:
             self.db.abort(host_txn.txn)
+
+    # ------------------------------------------------- in-doubt resolution --
+    def host_transaction_outcome(self, host_txn_id: int) -> str:
+        """Durable outcome of a host transaction: committed/aborted/unknown.
+
+        File servers call this (conceptually over the DBMS-DLFM connection)
+        to resolve in-doubt branches after a crash.
+        """
+
+        return self.db.txn_outcome(host_txn_id)
+
+    def resolve_in_doubt(self) -> dict:
+        """Resolve prepared DLFM branches after a coordinator failure.
+
+        Call after the host database has recovered from a crash that
+        interrupted a two-phase commit: every file server drives its prepared
+        branches to the host's durable outcome (presumed abort when the host
+        log has no COMMIT).  Returns per-server resolution summaries.
+        """
+
+        return {name: entry.manager.resolve_in_doubt()
+                for name, entry in sorted(self._servers.items())}
 
     @contextlib.contextmanager
     def _auto(self, host_txn: HostTransaction | None):
@@ -148,23 +272,59 @@ class DataLinksEngine:
                     self._link(active, column, url)
             return rid
 
+    def insert_many(self, table: str, rows: list[dict],
+                    host_txn: HostTransaction | None = None) -> list[int]:
+        """Multi-row INSERT with pipelined link processing.
+
+        The host rows are inserted as one multi-row statement and the link
+        operations are collected per file server, then shipped as **one
+        batched IPC message per enlisted server** instead of one round trip
+        per row -- the batched link pipeline of the scale-out design.
+        """
+
+        with self._auto(host_txn) as active:
+            rids = self.db.insert_many(table, rows, active.txn)
+            links: dict[str, list[tuple[str, DatalinkOptions]]] = {}
+            for column in self.db.catalog.schema(table).datalink_columns():
+                options = options_of_column(column)
+                for row in rows:
+                    url = row.get(column.name)
+                    if url:
+                        parsed = parse_url(url)
+                        links.setdefault(parsed.server, []).append(
+                            (parsed.path, options))
+            self._ship_batches(active, {}, links)
+            return rids
+
     def delete(self, table: str, where, host_txn: HostTransaction | None = None) -> int:
-        """DELETE with unlink processing for every referenced file."""
+        """DELETE with unlink processing for every referenced file.
+
+        Unlinks are batched per file server: a multi-row DELETE pays one IPC
+        round trip per enlisted server, not one per row.
+        """
 
         with self._auto(host_txn) as active:
             schema = self.db.catalog.schema(table)
             doomed = self.db.select(table, where, active.txn, for_update=True)
             count = self.db.delete(table, where, active.txn)
+            unlinks: dict[str, list[str]] = {}
             for row in doomed:
                 for column in schema.datalink_columns():
                     url = row.get(column.name)
                     if url:
-                        self._unlink(active, url)
+                        parsed = parse_url(url)
+                        unlinks.setdefault(parsed.server, []).append(parsed.path)
+            self._ship_batches(active, unlinks, {})
             return count
 
     def update(self, table: str, where, changes: dict,
                host_txn: HostTransaction | None = None) -> int:
-        """UPDATE; changing a DATALINK value unlinks the old file and links the new."""
+        """UPDATE; changing a DATALINK value unlinks the old file and links the new.
+
+        Link/unlink work is batched per file server (unlinks shipped before
+        links, statement-at-a-time), so a multi-row UPDATE costs at most two
+        IPC round trips per enlisted server.
+        """
 
         with self._auto(host_txn) as active:
             schema = self.db.catalog.schema(table)
@@ -174,17 +334,37 @@ class DataLinksEngine:
             if datalink_changes:
                 before = self.db.select(table, where, active.txn, for_update=True)
             count = self.db.update(table, where, changes, active.txn)
+            unlinks: dict[str, list[str]] = {}
+            links: dict[str, list[tuple[str, DatalinkOptions]]] = {}
             for column in datalink_changes:
                 new_url = changes.get(column.name)
+                options = options_of_column(column)
                 for row in before:
                     old_url = row.get(column.name)
                     if old_url == new_url:
                         continue
                     if old_url:
-                        self._unlink(active, old_url)
+                        parsed = parse_url(old_url)
+                        unlinks.setdefault(parsed.server, []).append(parsed.path)
                     if new_url:
-                        self._link(active, column, new_url)
+                        parsed = parse_url(new_url)
+                        links.setdefault(parsed.server, []).append(
+                            (parsed.path, options))
+            self._ship_batches(active, unlinks, links)
             return count
+
+    def _ship_batches(self, active: HostTransaction,
+                      unlinks: dict[str, list[str]],
+                      links: dict[str, list[tuple[str, DatalinkOptions]]]) -> None:
+        """Enlist each server and ship its unlink batch, then its link batch."""
+
+        for server in sorted(set(unlinks) | set(links)):
+            entry = self._entry(server)
+            active.servers.add(server)
+            if unlinks.get(server):
+                entry.connection.unlink_files(active.txn_id, unlinks[server])
+            if links.get(server):
+                entry.connection.link_files(active.txn_id, links[server])
 
     def select(self, table: str, where=None, host_txn: HostTransaction | None = None,
                **kwargs) -> list[dict]:

@@ -1,0 +1,219 @@
+"""Sharded multi-DLFM scale-out deployment.
+
+The paper's architecture already allows "files [to] be spread over multiple
+file servers"; this module turns that into an operational scale-out layer:
+
+* :class:`ShardRouter` hash-partitions linked files across N file servers by
+  **URL path prefix** (the first ``prefix_depth`` path components), so whole
+  directories co-locate on one shard and placement is stable and
+  deterministic;
+* :class:`ShardedDataLinksDeployment` builds a
+  :class:`~repro.api.system.DataLinksSystem` with N file-server shards,
+  routes file placement through the router, and runs a **group-commit
+  queue**: transactions enqueue at commit time and a whole batch is resolved
+  with one ``prepare_many``/``commit_many`` message per enlisted shard plus a
+  single host log force (:meth:`~repro.datalinks.engine.DataLinksEngine.commit_group`).
+
+Knobs
+-----
+``shards``                number of file servers (``shard0`` .. ``shardN-1``)
+``prefix_depth``          how many leading path components the router hashes
+``flush_policy``          WAL commit flush policy for host + shard
+                          repositories (``"group"`` by default here)
+``group_commit_window``   commits buffered before the queue auto-drains;
+                          ``1`` disables the queue (classic per-transaction
+                          two-phase commit)
+
+Because enqueued transactions stay ACTIVE (locks held) until the batch
+drains, callers that need a transaction's effects visible immediately should
+call :meth:`ShardedDataLinksDeployment.drain` (reads of *other* rows are
+unaffected).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.api.system import DataLinksSystem, FileServer
+from repro.datalinks.engine import HostTransaction
+from repro.errors import DataLinksError, ReproError
+from repro.simclock import CostModel, SimClock
+from repro.storage.schema import TableSchema
+from repro.util.lsn import LSN
+from repro.util.urls import format_url
+
+
+class ShardRouter:
+    """Stable hash placement of file paths onto named shards.
+
+    Paths are keyed by their first ``prefix_depth`` components, so files in
+    the same directory subtree land on the same shard (cheap directory
+    listings, one enlisted shard for subtree-local transactions).
+    """
+
+    def __init__(self, shard_names: list[str], prefix_depth: int = 1):
+        if not shard_names:
+            raise DataLinksError("a shard router needs at least one shard")
+        self.shard_names = list(shard_names)
+        self.prefix_depth = max(1, int(prefix_depth))
+
+    def prefix_of(self, path: str) -> str:
+        components = [part for part in path.split("/") if part]
+        return "/" + "/".join(components[: self.prefix_depth])
+
+    def shard_of(self, path: str) -> str:
+        """The shard responsible for *path* (stable across runs/processes)."""
+
+        digest = hashlib.sha1(self.prefix_of(path).encode("utf-8")).digest()
+        index = int.from_bytes(digest[:8], "big") % len(self.shard_names)
+        return self.shard_names[index]
+
+
+class ShardedDataLinksDeployment:
+    """A DataLinks installation scaled out over N file-server shards."""
+
+    def __init__(self, shards: int = 4, *,
+                 cost_model: CostModel | None = None,
+                 clock: SimClock | None = None,
+                 shard_prefix: str = "shard",
+                 prefix_depth: int = 1,
+                 flush_policy: str = "group",
+                 group_commit_window: int = 8,
+                 strict_read_upcalls: bool = False):
+        if shards < 1:
+            raise DataLinksError("a sharded deployment needs at least one shard")
+        self.system = DataLinksSystem(cost_model, clock,
+                                      flush_policy=flush_policy,
+                                      group_commit_window=group_commit_window)
+        self.shard_names = [f"{shard_prefix}{index}" for index in range(shards)]
+        for name in self.shard_names:
+            self.system.add_file_server(name,
+                                        strict_read_upcalls=strict_read_upcalls)
+        self.router = ShardRouter(self.shard_names, prefix_depth)
+        self.group_commit_window = max(1, int(group_commit_window))
+        self._pending: list[HostTransaction] = []
+
+    # ----------------------------------------------------------------- accessors --
+    @property
+    def engine(self):
+        return self.system.engine
+
+    @property
+    def clock(self) -> SimClock:
+        return self.system.clock
+
+    @property
+    def host_db(self):
+        return self.system.host_db
+
+    def shard(self, name: str) -> FileServer:
+        return self.system.file_server(name)
+
+    def session(self, username: str, uid: int, gid: int = 100):
+        return self.system.session(username, uid, gid=gid)
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.system.create_table(schema)
+
+    def register_metadata_columns(self, table: str, column: str,
+                                  size_column: str | None = None,
+                                  mtime_column: str | None = None) -> None:
+        self.system.register_metadata_columns(table, column, size_column,
+                                              mtime_column)
+
+    # ------------------------------------------------------------------ placement --
+    def shard_of(self, path: str) -> str:
+        return self.router.shard_of(path)
+
+    def url_for(self, path: str) -> str:
+        """The DATALINK URL for *path*, on the shard the router assigns."""
+
+        return format_url(self.shard_of(path), path)
+
+    def put_file(self, session, path: str, content: bytes) -> str:
+        """Create *path* on its responsible shard; returns the DATALINK URL."""
+
+        return session.put_file(self.shard_of(path), path, content)
+
+    # --------------------------------------------------------- group-commit queue --
+    def begin(self) -> HostTransaction:
+        return self.engine.begin()
+
+    def commit(self, host_txn: HostTransaction) -> LSN | None:
+        """Commit through the group-commit queue.
+
+        With a window of 1 this is a plain per-transaction two-phase commit.
+        Otherwise the transaction enqueues; once the window fills the whole
+        batch is resolved with one prepare and one commit message per
+        enlisted shard and a single host log force.  Returns the commit LSN
+        when a batch was driven to disk, ``None`` while enqueued.
+        """
+
+        if self.group_commit_window <= 1:
+            return self.engine.commit(host_txn)
+        self._pending.append(host_txn)
+        if len(self._pending) >= self.group_commit_window:
+            return self.drain()
+        return None
+
+    def abort(self, host_txn: HostTransaction) -> None:
+        if host_txn in self._pending:
+            self._pending.remove(host_txn)
+        self.engine.abort(host_txn)
+
+    def drain(self) -> LSN | None:
+        """Force the pending commit group.
+
+        If a shard fails before the host commit is durable, every
+        transaction of the batch is aborted (group commit is
+        all-or-nothing at the batch level) and the failure re-raised.  If
+        the failure strikes *after* the host commit -- mid participant
+        commits -- the batch's transactions are already durably committed
+        and must not be rolled back: their participant commits are
+        re-driven on the surviving shards, and a crashed shard resolves its
+        in-doubt branches from the host outcome when it recovers.
+        """
+
+        batch, self._pending = self._pending, []
+        if not batch:
+            return None
+        try:
+            return self.engine.commit_group(batch)
+        except ReproError:
+            for host_txn in batch:
+                if self.host_db.txn_outcome(host_txn.txn_id) == "committed":
+                    self.engine.redrive_commit(host_txn)
+                    continue
+                try:
+                    self.engine.abort(host_txn)
+                except ReproError:
+                    pass
+            raise
+
+    @property
+    def pending_commits(self) -> int:
+        return len(self._pending)
+
+    # -------------------------------------------------------------- fault injection --
+    def crash_shard(self, name: str) -> None:
+        self.system.crash_file_server(name)
+
+    def recover_shard(self, name: str) -> dict:
+        return self.system.recover_file_server(name)
+
+    # ------------------------------------------------------------------- statistics --
+    def linked_paths(self, shard: str) -> set:
+        repository = self.shard(shard).dlfm.repository
+        return {row["path"] for row in repository.linked_files()}
+
+    def stats(self) -> dict:
+        """Per-shard link counts plus host WAL flush statistics."""
+
+        return {
+            "shards": len(self.shard_names),
+            "flush_policy": self.system.flush_policy,
+            "pending_commits": self.pending_commits,
+            "host_log_flushes": self.system.host_db.wal.flush_count,
+            "linked_files_per_shard": {
+                name: len(self.linked_paths(name)) for name in self.shard_names},
+        }

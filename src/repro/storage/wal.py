@@ -2,8 +2,22 @@
 
 The log is the durability boundary of the simulated database: records appended
 but not yet flushed are lost on :meth:`~repro.storage.database.Database.crash`,
-while flushed records survive and drive redo during recovery.  Commit and
-prepare force a flush, mirroring the usual WAL protocol.
+while flushed records survive and drive redo during recovery.  Prepare always
+forces a flush (a two-phase-commit vote must be durable); commit flushes
+according to the log's *flush policy*:
+
+``FlushPolicy.IMMEDIATE``
+    every commit forces its own flush -- the classic WAL protocol and the
+    default;
+``FlushPolicy.GROUP``
+    commits enqueue and a single flush covers a batch of up to
+    ``group_window`` commits (group commit).  A transaction whose COMMIT
+    record has not yet been flushed can still be lost by a crash; recovery
+    then treats it as a loser, and a prepared two-phase-commit branch of it
+    is resolved from the coordinator's durable outcome.
+
+Explicit :meth:`WriteAheadLog.flush` calls (checkpoint, backup, prepare)
+always drain the pending group.
 """
 
 from __future__ import annotations
@@ -12,6 +26,24 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.util.lsn import LSN
+
+
+class FlushPolicy(enum.Enum):
+    """When COMMIT records are forced to the durable log."""
+
+    IMMEDIATE = "immediate"
+    GROUP = "group"
+
+    @classmethod
+    def from_string(cls, value: "FlushPolicy | str") -> "FlushPolicy":
+        if isinstance(value, FlushPolicy):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown flush policy {value!r}; "
+                f"expected one of {[p.value for p in cls]}") from None
 
 
 class LogRecordType(enum.Enum):
@@ -52,10 +84,36 @@ class LogRecord:
 class WriteAheadLog:
     """An append-only sequence of :class:`LogRecord` with an explicit flush point."""
 
-    def __init__(self):
+    def __init__(self, flush_policy: FlushPolicy | str = FlushPolicy.IMMEDIATE,
+                 group_window: int = 8):
         self._records: list[LogRecord] = []
         self._next_lsn = 1
         self._flushed_count = 0
+        self.flush_policy = FlushPolicy.from_string(flush_policy)
+        self.group_window = max(1, int(group_window))
+        self._pending_commits = 0
+        self.flush_count = 0
+
+    # -- flush policy ----------------------------------------------------------
+    def set_flush_policy(self, policy: FlushPolicy | str,
+                         group_window: int | None = None) -> None:
+        """Change the commit flush policy (and optionally the group window).
+
+        Switching back to IMMEDIATE drains any pending group so no committed
+        transaction stays non-durable longer than requested.
+        """
+
+        self.flush_policy = FlushPolicy.from_string(policy)
+        if group_window is not None:
+            self.group_window = max(1, int(group_window))
+        if self.flush_policy is FlushPolicy.IMMEDIATE and self._pending_commits:
+            self.flush()
+
+    @property
+    def pending_commits(self) -> int:
+        """Commits appended since the last flush (0 under IMMEDIATE policy)."""
+
+        return self._pending_commits
 
     # -- append / flush --------------------------------------------------------
     def append(self, txn_id: int, type: LogRecordType, **fields_) -> LogRecord:
@@ -66,10 +124,28 @@ class WriteAheadLog:
         self._records.append(record)
         return record
 
+    def note_commit(self) -> bool:
+        """Apply the flush policy after a COMMIT record was appended.
+
+        Returns ``True`` when the log was actually forced (so the caller can
+        charge the flush cost once per physical flush, not once per commit).
+        """
+
+        if self.flush_policy is FlushPolicy.IMMEDIATE:
+            self.flush()
+            return True
+        self._pending_commits += 1
+        if self._pending_commits >= self.group_window:
+            self.flush()
+            return True
+        return False
+
     def flush(self) -> LSN:
         """Make every appended record durable; returns the tail LSN."""
 
         self._flushed_count = len(self._records)
+        self._pending_commits = 0
+        self.flush_count += 1
         return self.tail_lsn()
 
     @property
@@ -112,6 +188,7 @@ class WriteAheadLog:
         lost = len(self._records) - self._flushed_count
         del self._records[self._flushed_count:]
         self._next_lsn = (self._records[-1].lsn.value + 1) if self._records else 1
+        self._pending_commits = 0
         return lost
 
     def __len__(self) -> int:

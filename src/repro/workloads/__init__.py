@@ -10,6 +10,7 @@ from repro.workloads.generator import WorkloadMetrics, ZipfChooser
 from repro.workloads.webserver import WebSiteConfig, WebServerWorkload
 from repro.workloads.videostore import VideoStoreConfig, VideoStoreWorkload
 from repro.workloads.editors import EditorConfig, ConcurrentEditorsWorkload
+from repro.workloads.scaleout import ScaleOutConfig, ScaleOutWorkload
 
 __all__ = [
     "WorkloadMetrics",
@@ -20,4 +21,6 @@ __all__ = [
     "VideoStoreWorkload",
     "EditorConfig",
     "ConcurrentEditorsWorkload",
+    "ScaleOutConfig",
+    "ScaleOutWorkload",
 ]

@@ -10,7 +10,12 @@ from repro.datalinks.datalink_type import (
     options_of_column,
 )
 from repro.datalinks.tokens import AccessToken, TokenManager, TokenType
-from repro.errors import ControlModeError, InvalidTokenError, TokenExpiredError
+from repro.errors import (
+    ControlModeError,
+    FileSystemError,
+    InvalidTokenError,
+    TokenExpiredError,
+)
 from repro.simclock import SimClock
 from repro.storage.values import DataType
 from repro.util.urls import (
@@ -160,3 +165,92 @@ class TestTokens:
         manager = TokenManager("s", clock)
         manager.generate("/f", TokenType.READ)
         assert clock.stats.count("token_generate") == 1
+
+
+class TestTokenExpiryEdges:
+    """TTL boundary semantics under :class:`SimClock`.
+
+    A token is valid up to and *including* its expiry instant (the paper's
+    "valid till time t"); one simulated instant later it is rejected, and
+    the DLFM's token registry applies the same closed-interval rule.
+    """
+
+    def test_token_valid_at_exact_ttl_boundary(self):
+        # A zero-cost model keeps validation from advancing the clock, so
+        # the boundary instant can be hit exactly.
+        from repro.simclock import CostModel
+
+        clock = SimClock(CostModel().scaled(0.0))
+        manager = TokenManager("secret", clock, default_ttl=5.0)
+        token = manager.generate("/f", TokenType.READ)
+        clock.advance(5.0)  # now == expires_at exactly
+        parsed = manager.validate(token, "/f")
+        assert parsed.expires_at == pytest.approx(clock.now())
+        clock.advance(1e-9)
+        with pytest.raises(TokenExpiredError):
+            manager.validate(token, "/f")
+
+    def test_token_reusable_while_live_but_dead_after_expiry(self):
+        clock = SimClock()
+        manager = TokenManager("secret", clock, default_ttl=2.0)
+        token = manager.generate("/f", TokenType.WRITE)
+        # tokens are capabilities, not nonces: reuse before expiry is fine
+        manager.validate(token, "/f")
+        manager.validate(token, "/f")
+        clock.advance(3.0)
+        with pytest.raises(TokenExpiredError):
+            manager.validate(token, "/f")
+
+    def test_registry_entry_boundary_matches_token_boundary(self):
+        from repro.datalinks.dlfm.repository import DLFMRepository
+        from repro.storage.database import Database
+
+        repository = DLFMRepository(Database("dlfm-test"))
+        repository.add_token_entry("/f", 1001, "R", expires_at=5.0)
+        assert repository.find_token_entry("/f", 1001, for_write=False,
+                                           now=5.0) is not None
+        assert repository.find_token_entry("/f", 1001, for_write=False,
+                                           now=5.0 + 1e-9) is None
+        # housekeeping purges only strictly-expired entries
+        assert repository.purge_expired_tokens(now=5.0) == 0
+        assert repository.purge_expired_tokens(now=5.0 + 1e-9) == 1
+
+    def test_clock_shared_across_shards_expires_tokens_everywhere(self):
+        """One SimClock drives every shard: tokens minted against files on
+        different shards all die when the shared clock passes their TTL."""
+
+        from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
+        from repro.datalinks.sharding import ShardedDataLinksDeployment
+        from repro.storage.schema import Column, TableSchema
+
+        deployment = ShardedDataLinksDeployment(
+            4, flush_policy="immediate", group_commit_window=1)
+        deployment.create_table(TableSchema("vault", [
+            Column("doc_id", DataType.INTEGER, nullable=False),
+            datalink_column("body", DatalinkOptions(
+                control_mode=ControlMode.RDB, token_ttl=1000.0)),
+        ], primary_key=("doc_id",)))
+        user = deployment.session("user", uid=1001)
+        paths = [f"/area{letter}/doc.dat" for letter in "ABCDEF"]
+        assert len({deployment.shard_of(path) for path in paths}) >= 2
+        for doc_id, path in enumerate(paths):
+            url = deployment.put_file(user, path, b"secret")
+            user.insert("vault", {"doc_id": doc_id, "body": url})
+
+        urls = [user.get_datalink("vault", {"doc_id": doc_id}, "body",
+                                  access="read", ttl=1000.0)
+                for doc_id in range(len(paths))]
+        for url in urls:
+            assert user.read_url(url) == b"secret"
+
+        # The DLFS layer surfaces the expired token as EACCES at the
+        # file-system boundary, with the DLFM's expiry detail chained.
+        deployment.clock.advance(2000.0)
+        for url in urls:
+            with pytest.raises(FileSystemError, match="expired"):
+                user.read_url(url)
+
+        # a token minted after the advance is valid again on every shard
+        fresh = user.get_datalink("vault", {"doc_id": 0}, "body",
+                                  access="read", ttl=1000.0)
+        assert user.read_url(fresh) == b"secret"

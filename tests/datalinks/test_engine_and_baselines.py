@@ -49,8 +49,8 @@ class TestEngineTransactions:
         observed_states = []
         original_prepare = dlfm.repository.db.prepare
 
-        def spying_prepare(txn):
-            original_prepare(txn)
+        def spying_prepare(txn, extra=None):
+            original_prepare(txn, extra)
             observed_states.append(txn.state)
 
         dlfm.repository.db.prepare = spying_prepare

@@ -1,9 +1,10 @@
-"""File-server crash recovery and coordinated backup/restore."""
+"""File-server crash recovery, the 2PC crash matrix, and backup/restore."""
 
 import pytest
 
 from repro.datalinks.control_modes import ControlMode
 from repro.errors import FileSystemError
+from repro.util.urls import parse_url
 from tests.conftest import FILES_TABLE, build_system
 
 
@@ -86,6 +87,180 @@ class TestCrashRecovery:
         # integrity still enforced after recovery
         with pytest.raises(FileSystemError):
             alice.fs("fs1").unlink(paths[0])
+
+
+class InjectedCrash(Exception):
+    """Raised by a failpoint to stop the coordinator mid-protocol."""
+
+
+def _boom():
+    raise InjectedCrash()
+
+
+def assert_host_dlfm_agreement(system, table=FILES_TABLE, column="body"):
+    """The linked files on every DLFM equal the DATALINK column contents."""
+
+    expected = {name: set() for name in system.file_servers}
+    for row in system.host_db.select(table, lock=False):
+        url = row.get(column)
+        if url:
+            parsed = parse_url(url)
+            expected[parsed.server].add(parsed.path)
+    for name, server in system.file_servers.items():
+        linked = {row["path"] for row in server.dlfm.repository.linked_files()}
+        assert linked == expected[name], (
+            f"{name}: DLFM has {sorted(linked)}, host says {sorted(expected[name])}")
+
+
+def _two_server_setup():
+    """A system with fs1+fs2, one unlinked file on each; returns the URLs."""
+
+    system, alice, paths, urls = build_system(None, files=1)
+    system.add_file_server("fs2")
+    url2 = alice.put_file("fs2", "/mirror/doc.dat", b"mirror copy")
+    return system, alice, urls[0], url2
+
+
+def _start_linking_txn(system, url1, url2):
+    host_txn = system.engine.begin()
+    system.engine.insert_many(FILES_TABLE, [
+        {"doc_id": 0, "title": "a", "body": url1, "body_size": 0, "body_mtime": 0.0},
+        {"doc_id": 1, "title": "b", "body": url2, "body_size": 0, "body_mtime": 0.0},
+    ], host_txn)
+    return host_txn
+
+
+class TestCrashMatrix:
+    """Sweep a coordinator crash through every step of a linking 2PC.
+
+    Each case injects a crash at one protocol point, crashes and recovers
+    the affected components, resolves in-doubt branches, and asserts that
+    the host database and every DLFM agree on the set of linked files.
+    """
+
+    # (failpoint, also crash+recover fs1, expected durable outcome)
+    CRASH_POINTS = [
+        ("commit:begin", False, "aborted"),
+        ("commit:begin", True, "aborted"),
+        ("commit:prepared:fs1", False, "aborted"),
+        ("commit:prepared:fs1", True, "aborted"),
+        ("commit:before_host_commit", False, "aborted"),
+        ("commit:before_host_commit", True, "aborted"),
+        ("commit:after_host_commit", False, "committed"),
+        ("commit:after_host_commit", True, "committed"),
+        ("commit:committed:fs1", False, "committed"),
+        ("commit:committed:fs1", True, "committed"),
+    ]
+
+    @pytest.mark.parametrize("point,crash_fs1,expected", CRASH_POINTS)
+    def test_coordinator_crash_at_every_2pc_step(self, point, crash_fs1, expected):
+        system, alice, url1, url2 = _two_server_setup()
+        host_txn = _start_linking_txn(system, url1, url2)
+        system.engine.failpoints[point] = _boom
+        with pytest.raises(InjectedCrash):
+            system.engine.commit(host_txn)
+        system.engine.failpoints.clear()
+
+        # The coordinator (host database) crashes and recovers; optionally a
+        # participant crashes too, exercising durable in-doubt resolution.
+        system.host_db.crash()
+        system.host_db.recover()
+        if crash_fs1:
+            system.crash_file_server("fs1")
+            system.recover_file_server("fs1")
+        system.resolve_in_doubt()
+
+        assert_host_dlfm_agreement(system)
+        rows = system.host_db.select(FILES_TABLE, lock=False)
+        outcome = system.host_db.txn_outcome(host_txn.txn_id)
+        if expected == "committed":
+            assert {row["doc_id"] for row in rows} == {0, 1}
+            assert outcome == "committed"
+        else:
+            assert rows == []
+            # "unknown" when no record of the transaction survived the crash:
+            # presumed abort, the same resolution as a durable ABORT.
+            assert outcome in ("aborted", "unknown")
+
+    def test_crash_mid_flush_loses_group_committed_txn(self):
+        """Group commit: host crashes after COMMIT is appended but before the
+        group flush -- the commit is lost and every branch rolls back."""
+
+        system, alice, url1, url2 = _two_server_setup()
+        system.set_flush_policy("group", group_commit_window=8)
+        host_txn = _start_linking_txn(system, url1, url2)
+        system.engine.failpoints["commit:mid_flush"] = _boom
+        with pytest.raises(InjectedCrash):
+            system.engine.commit(host_txn)
+        system.engine.failpoints.clear()
+        assert system.host_db.wal.pending_commits == 1
+
+        system.host_db.crash()
+        system.host_db.recover()
+        system.resolve_in_doubt()
+
+        assert_host_dlfm_agreement(system)
+        assert system.host_db.select(FILES_TABLE, lock=False) == []
+        assert system.host_db.txn_outcome(host_txn.txn_id) != "committed"
+
+    def test_group_commit_forces_log_before_participant_commits(self):
+        """The positive control for the mid-flush point: a completed commit
+        forced the host log before any DLFM committed, so the same crash
+        preserves the transaction everywhere."""
+
+        system, alice, url1, url2 = _two_server_setup()
+        system.set_flush_policy("group", group_commit_window=8)
+        host_txn = _start_linking_txn(system, url1, url2)
+        system.engine.commit(host_txn)
+        assert system.host_db.wal.pending_commits == 0  # forced by the 2PC rule
+
+        system.host_db.crash()
+        system.host_db.recover()
+        system.resolve_in_doubt()
+
+        assert_host_dlfm_agreement(system)
+        assert len(system.host_db.select(FILES_TABLE, lock=False)) == 2
+        assert system.host_db.txn_outcome(host_txn.txn_id) == "committed"
+
+    @pytest.mark.parametrize("point,expected", [
+        ("group:begin", "aborted"),
+        ("group:prepared:fs1", "aborted"),
+        ("group:before_host_commit", "aborted"),
+        ("group:after_host_commit", "committed"),
+        ("group:committed:fs1", "committed"),
+    ])
+    def test_coordinator_crash_during_group_commit(self, point, expected):
+        system, alice, url1, url2 = _two_server_setup()
+        host_txn = _start_linking_txn(system, url1, url2)
+        system.engine.failpoints[point] = _boom
+        with pytest.raises(InjectedCrash):
+            system.engine.commit_group([host_txn])
+        system.engine.failpoints.clear()
+
+        system.host_db.crash()
+        system.host_db.recover()
+        system.crash_file_server("fs2")
+        system.recover_file_server("fs2")
+        system.resolve_in_doubt()
+
+        assert_host_dlfm_agreement(system)
+        rows = system.host_db.select(FILES_TABLE, lock=False)
+        assert bool(rows) == (expected == "committed")
+
+    def test_participant_crash_before_prepare_rolls_branch_back(self):
+        """A file server that crashes before voting loses its volatile
+        branch; the coordinator's commit fails and aborts cleanly."""
+
+        system, alice, url1, url2 = _two_server_setup()
+        host_txn = _start_linking_txn(system, url1, url2)
+        system.crash_file_server("fs1")
+        with pytest.raises(Exception):
+            system.engine.commit(host_txn)
+        system.engine.abort(host_txn)
+        system.recover_file_server("fs1")
+        system.resolve_in_doubt()
+        assert_host_dlfm_agreement(system)
+        assert system.host_db.select(FILES_TABLE, lock=False) == []
 
 
 class TestCoordinatedBackupRestore:

@@ -4,6 +4,7 @@ import pytest
 
 from repro.bench.experiments import (
     ALL_EXPERIMENTS,
+    SMOKE_PARAMS,
     experiment_e1,
     experiment_e2,
     experiment_e3,
@@ -11,6 +12,7 @@ from repro.bench.experiments import (
     experiment_e6,
     experiment_e7,
     experiment_e8,
+    experiment_e11,
     run_experiment,
 )
 from repro.bench.metrics import ExperimentResult, format_table
@@ -19,8 +21,20 @@ from repro.workloads.editors import EditorConfig
 
 class TestHarness:
     def test_registry_covers_all_experiments(self):
-        expected = {f"E{i}" for i in range(1, 11)}
+        expected = {f"E{i}" for i in range(1, 12)}
         assert set(ALL_EXPERIMENTS) == expected
+
+    def test_smoke_params_cover_every_experiment(self):
+        assert set(SMOKE_PARAMS) == set(ALL_EXPERIMENTS)
+
+    @pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+    def test_every_experiment_completes_in_smoke_mode(self, experiment_id):
+        """CI gate: ``python -m repro.bench --smoke`` must cover E1..E11."""
+
+        result = run_experiment(experiment_id, smoke=True)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == experiment_id
+        assert result.rows
 
     def test_run_experiment_by_id_case_insensitive(self):
         result = run_experiment("e1")
@@ -87,3 +101,15 @@ class TestExperimentClaims:
     def test_e8_sync_semantics_match_paper(self):
         result = experiment_e8()
         assert all(row["matches_paper"] == "yes" for row in result.rows)
+
+    def test_e11_scaleout_beats_baseline_by_1_5x(self):
+        result = experiment_e11(shards=8, clients=4, transactions_per_client=3,
+                                rows_per_transaction=16, file_size=512)
+        by_config = {row["configuration"]: row for row in result.rows}
+        scaled = by_config["8 shards, batched links, group commit"]
+        baseline = by_config["1 server, per-row links, immediate flush"]
+        assert scaled["speedup_vs_baseline"] >= 1.5
+        # group commit visibly reduces host log forces
+        assert scaled["host_log_flushes"] < baseline["host_log_flushes"]
+        # sharding spreads the linked files across servers
+        assert scaled["max_links_per_shard"] < baseline["max_links_per_shard"]
