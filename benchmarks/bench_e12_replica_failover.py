@@ -1,0 +1,94 @@
+"""E12 -- shard replication: WAL shipping, witness promotion, read availability.
+
+Beyond the paper: each shard's primary DLFM ships its repository WAL stream
+to a witness replica; when the primary crashes, the deployment promotes the
+witness so token validation and reads keep flowing for that shard's URL
+prefix, fenced by a per-shard epoch.
+
+The headline claims, asserted in :func:`test_replica_failover_availability`:
+
+* with replication, **every** read of the crashed shard's prefix succeeds
+  after promotion (zero read unavailability window);
+* without replication, **every** read of that prefix fails until recovery.
+"""
+
+import pytest
+
+from repro.workloads.failover import FailoverConfig, FailoverWorkload
+from repro.workloads.generator import WorkloadMetrics
+
+
+def _run(replication: bool):
+    config = FailoverConfig(shards=4, files=24, reads_per_phase=24,
+                            file_size=1024, replication=replication)
+    workload = FailoverWorkload(config).setup()
+    return workload, workload.run()
+
+
+def test_replica_failover_availability():
+    """Replicated: 100% victim-prefix availability; baseline: 0%."""
+
+    baseline, baseline_metrics = _run(replication=False)
+    attempts = (baseline_metrics.counters.get("victim_reads_ok_after", 0)
+                + baseline_metrics.counters.get("victim_reads_failed_after", 0))
+    assert attempts > 0
+    assert baseline.availability(baseline_metrics) == 0.0
+
+    replicated, replicated_metrics = _run(replication=True)
+    assert replicated_metrics.counters.get("victim_reads_failed_after", 0) == 0
+    assert replicated.availability(replicated_metrics) == 1.0
+    # promotion actually ran and was timed
+    assert replicated_metrics.stats("promotion").count == 1
+
+
+def test_replication_costs_link_throughput_but_not_reads():
+    """The replication tax lands on the write path, not the read path."""
+
+    baseline, baseline_metrics = _run(replication=False)
+    replicated, replicated_metrics = _run(replication=True)
+    assert replicated.link_throughput(replicated_metrics) < \
+        baseline.link_throughput(baseline_metrics)
+    # pre-crash reads on healthy primaries cost about the same
+    assert replicated_metrics.stats("read").mean == pytest.approx(
+        baseline_metrics.stats("read").mean, rel=0.25)
+
+
+@pytest.fixture(scope="module")
+def replicated_workload():
+    config = FailoverConfig(shards=2, files=8, reads_per_phase=8,
+                            file_size=512, replication=True)
+    workload = FailoverWorkload(config).setup()
+    workload.run()
+    return workload
+
+
+def test_read_through_promoted_witness(benchmark, replicated_workload):
+    """Wall-clock cost of a token-validated read served by the witness."""
+
+    deployment = replicated_workload.deployment
+    session = deployment.session("bench-read", uid=7100)
+    url = session.get_datalink("replicated_docs", {"doc_id": 0}, "body",
+                               access="read", ttl=1e9)
+
+    def read_via_replica():
+        deployment.read_url(session, url)
+
+    benchmark(read_via_replica)
+
+
+def test_failover_roundtrip(benchmark):
+    """Wall-clock cost of a full crash -> promote -> fail-back cycle."""
+
+    config = FailoverConfig(shards=2, files=4, reads_per_phase=0,
+                            file_size=256, replication=True)
+    workload = FailoverWorkload(config).setup()
+    deployment = workload.deployment
+    workload._ingest(WorkloadMetrics())
+    victim = workload.victim
+
+    def cycle():
+        deployment.crash_shard(victim)
+        deployment.fail_over(victim)
+        deployment.fail_back(victim)
+
+    benchmark(cycle)

@@ -11,7 +11,10 @@ This walks through the core loop of the paper:
 5. update it *in place* with a write token -- no unlink/relink needed;
 6. watch the automatically maintained metadata and version history;
 7. scale out: shard linked files over several DLFMs with WAL group commit
-   and batched link pipelines.
+   and batched link pipelines;
+8. replicate: give every shard a witness replica fed by the primary's
+   repository WAL stream, crash a primary, and keep reading through the
+   promoted witness.
 
 Scale-out knobs (step 7):
 
@@ -22,7 +25,11 @@ Scale-out knobs (step 7):
   link message per enlisted shard for a multi-row INSERT;
 * ``Session.set_flush_policy("group", n)`` turns WAL group commit on for an
   existing system (``"immediate"`` restores the classic one-force-per-commit
-  protocol).
+  protocol);
+* ``ShardedDataLinksDeployment(..., replication=True)`` adds a witness
+  replica per shard; ``fail_over(shard)`` promotes it (epoch-fenced, so the
+  recovered ex-primary cannot serve stale tokens) and ``fail_back(shard)``
+  resyncs and returns service to the primary.
 
 Run with:  python examples/quickstart.py
 """
@@ -111,6 +118,35 @@ def main() -> None:
     stats = deployment.stats()
     print(f"sharded deployment: {stats['linked_files_per_shard']} "
           f"with only {stats['host_log_flushes']} host log flushes")
+
+    # 8. Replicate: witness replicas consume each primary's WAL stream, so a
+    #    shard crash no longer makes its URL prefix unreadable.
+    replicated = ShardedDataLinksDeployment(shards=2, replication=True)
+    replicated.create_table(TableSchema("articles", [
+        Column("article_id", DataType.INTEGER, nullable=False),
+        datalink_column("body", DatalinkOptions(control_mode=ControlMode.RDB)),
+    ], primary_key=("article_id",)))
+    carol = replicated.session("carol", uid=1003)
+    path = "/news/today.html"
+    url = replicated.put_file(carol, path, b"<html>breaking news</html>")
+    carol.insert("articles", {"article_id": 1, "body": url})
+    replicated.system.run_archiver()
+
+    shard = replicated.shard_of(path)
+    read_url = carol.get_datalink("articles", {"article_id": 1}, "body",
+                                  access="read", ttl=1e9)
+    print(f"reading {path} from primary {shard}: "
+          f"{replicated.read_url(carol, read_url)!r}")
+
+    replicated.crash_shard(shard)            # primary dies mid-traffic...
+    promotion = replicated.fail_over(shard)  # ...witness takes over
+    print(f"primary {shard} crashed; witness {promotion['serving']} promoted "
+          f"at epoch {promotion['epoch']}")
+    print(f"same token, same URL, read via the witness: "
+          f"{replicated.read_url(carol, read_url)!r}")
+    replicated.fail_back(shard)              # recover + resync + fail back
+    print(f"failed back to {shard}: "
+          f"{replicated.read_url(carol, read_url)!r}")
 
 
 if __name__ == "__main__":

@@ -203,11 +203,17 @@ class Session:
         file_server.lfs.write_file(path, content, self.cred)
         return self.system.engine.make_url(server, path)
 
-    def read_url(self, url: str) -> bytes:
-        """Open a (tokenized) DATALINK URL for read and return its content."""
+    def read_url(self, url: str, *, server: str | None = None) -> bytes:
+        """Open a (tokenized) DATALINK URL for read and return its content.
 
-        server = self._server_of(url)
-        lfs = self.system.file_server(server).lfs
+        ``server`` overrides the node the URL names: during a shard
+        failover the URL still points at the (crashed) primary, and the
+        sharded deployment's router passes the serving replica here.  The
+        token embedded in the URL stays valid because a witness shares its
+        primary's signing secret.
+        """
+
+        lfs = self.system.file_server(server or self._server_of(url)).lfs
         fd = open_for_read(lfs, url, self.cred)
         try:
             return lfs.read(fd)
@@ -237,8 +243,7 @@ class Session:
     def open_url(self, url: str, flags: OpenFlags) -> int:
         """Open a tokenized URL with explicit flags; returns the fd."""
 
-        server = self._server_of(url)
-        lfs = self.system.file_server(server).lfs
+        lfs = self.system.file_server(self._server_of(url)).lfs
         return lfs.open(tokenized_path(url), flags, self.cred)
 
     def _server_of(self, url: str) -> str:

@@ -31,11 +31,13 @@ class FileServer:
 
     def __init__(self, name: str, clock: SimClock, archive: ArchiveServer,
                  dbms_uid: int = DEFAULT_DBMS_UID,
-                 strict_read_upcalls: bool = False):
+                 strict_read_upcalls: bool = False,
+                 token_secret: str | None = None):
         self.name = name
         self.clock = clock
         self.dbms_uid = dbms_uid
         self.strict_read_upcalls = strict_read_upcalls
+        self.running = True
         self.physical = PhysicalFileSystem(name, clock=clock)
 
         # The DLFM's privileged path to the native file system (below DLFS).
@@ -48,7 +50,8 @@ class FileServer:
             dbms_gid=dbms_uid,
         )
 
-        self.dlfm = DataLinksFileManager(name, self.files, archive, clock)
+        self.dlfm = DataLinksFileManager(name, self.files, archive, clock,
+                                         token_secret=token_secret)
         self.upcall_daemon = UpcallDaemon(self.dlfm, clock)
         self.main_daemon = MainDaemon(self.dlfm, clock)
 
@@ -67,16 +70,23 @@ class FileServer:
     def crash(self) -> None:
         """Simulate a crash of the file server node (DLFM state is volatile)."""
 
+        self.running = False
         self.dlfm.crash()
         self.upcall_daemon.stop()
         self.main_daemon.stop_all()
 
     def recover(self) -> dict:
-        """Restart the node: DLFM recovery plus daemon restart."""
+        """Restart the node: DLFM recovery plus daemon restart.
+
+        Note that recovering does *not* return a fenced node to service: a
+        replicated shard's ex-primary stays fenced until the shard fails
+        back to it.
+        """
 
         summary = self.dlfm.recover()
         self.upcall_daemon.start()
         self.main_daemon.start_all()
+        self.running = True
         return summary
 
 
@@ -107,19 +117,24 @@ class DataLinksSystem:
 
     # ------------------------------------------------------------------ topology --
     def add_file_server(self, name: str, dbms_uid: int = DEFAULT_DBMS_UID,
-                        strict_read_upcalls: bool = False) -> FileServer:
+                        strict_read_upcalls: bool = False,
+                        token_secret: str | None = None) -> FileServer:
         """Create a file server node and register it with the DataLinks engine.
 
         ``strict_read_upcalls`` enables the paper's future-work extension:
         every read open is reported to the DLFM so files linked with
         ``strict_read_sync`` close the rfd read/write window (at a per-open
-        cost; see experiment E10).
+        cost; see experiment E10).  ``token_secret`` overrides the DLFM's
+        token-signing key; a witness replica is created with its primary's
+        secret so tokens issued by the host database stay valid across a
+        failover.
         """
 
         if name in self.file_servers:
             raise DataLinksError(f"file server {name!r} already exists")
         server = FileServer(name, self.clock, self.archive, dbms_uid=dbms_uid,
-                            strict_read_upcalls=strict_read_upcalls)
+                            strict_read_upcalls=strict_read_upcalls,
+                            token_secret=token_secret)
         server.dlfm.repository.db.set_flush_policy(self._flush_policy,
                                                    self._group_commit_window)
         self.file_servers[name] = server

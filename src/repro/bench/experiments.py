@@ -1,4 +1,4 @@
-"""The reproduced experiments (E1..E11).
+"""The reproduced experiments (E1..E12).
 
 The paper's evaluation (Sections 3.2 and 5) is narrative rather than a set of
 numbered tables, so each quantitative or comparative claim becomes one
@@ -6,9 +6,10 @@ experiment here.  Every experiment builds a fresh simulated system, drives it
 through the public API, and reports *simulated* milliseconds (comparable in
 shape to the paper's 200 MHz-era measurements) plus whatever counts the claim
 is about.  ``python -m repro.bench`` prints all tables; EXPERIMENTS.md records
-paper-vs-measured.  E11 goes beyond the paper: it measures the scale-out
-layer (sharded multi-DLFM deployments, WAL group commit, batched link
-pipelines).
+paper-vs-measured.  E11 and E12 go beyond the paper: E11 measures the
+scale-out layer (sharded multi-DLFM deployments, WAL group commit, batched
+link pipelines) and E12 measures shard replication (WAL-stream shipping to
+witness replicas, read availability across a primary crash and failover).
 
 ``python -m repro.bench --smoke`` runs every experiment with tiny
 configurations (:data:`SMOKE_PARAMS`) as a fast CI sanity pass.
@@ -789,6 +790,68 @@ def experiment_e11(shards: int = 8, clients: int = 4,
 
 
 # ---------------------------------------------------------------------------
+# E12 -- replication: witness replicas, WAL shipping, replica failover
+# ---------------------------------------------------------------------------
+
+def experiment_e12(shards: int = 4, files: int = 32, reads_per_phase: int = 48,
+                   file_size: int = 2048,
+                   rows_per_transaction: int = 8) -> ExperimentResult:
+    """Read availability across a shard primary crash, replication on vs off."""
+
+    from repro.workloads.failover import FailoverConfig, FailoverWorkload
+
+    def run(label: str, replication: bool) -> dict:
+        config = FailoverConfig(shards=shards, files=files,
+                                reads_per_phase=reads_per_phase,
+                                file_size=file_size,
+                                rows_per_transaction=rows_per_transaction,
+                                replication=replication)
+        workload = FailoverWorkload(config).setup()
+        metrics = workload.run()
+        counters = metrics.counters
+        return {
+            "configuration": label,
+            "links_per_sim_s": round(workload.link_throughput(metrics), 1),
+            "reads_before_crash": counters.get("reads_ok", 0),
+            "victim_reads_after": (
+                counters.get("victim_reads_ok_after", 0)
+                + counters.get("victim_reads_failed_after", 0)),
+            "victim_failures_after": counters.get("victim_reads_failed_after", 0),
+            "victim_availability_pct": round(
+                100.0 * workload.availability(metrics), 1),
+            "mean_read_ms_after": round(
+                metrics.stats("read_after").mean * 1000, 3),
+            "failover_ms": round(metrics.stats("promotion").mean * 1000, 3),
+        }
+
+    rows = [
+        run(f"{shards} shards, no replication (crash = outage)", False),
+        run(f"{shards} shards, witness replicas + failover", True),
+    ]
+    return ExperimentResult(
+        experiment_id="E12",
+        title="Shard replication: WAL shipping, witness promotion, read availability",
+        paper_claim="Beyond the paper: shipping each shard's repository WAL "
+                    "stream to a witness replica and failing token validation "
+                    "and reads over to it should keep a crashed shard's URL "
+                    "prefix fully readable (zero failed reads after "
+                    "promotion), where the unreplicated deployment fails "
+                    "every read of that prefix; the cost is a lower link "
+                    "ingest rate (content mirroring plus WAL shipping).",
+        headers=["configuration", "links_per_sim_s", "reads_before_crash",
+                 "victim_reads_after", "victim_failures_after",
+                 "victim_availability_pct", "mean_read_ms_after", "failover_ms"],
+        rows=rows,
+        notes="Reads use rdb-linked files, so every read needs its token "
+              "validated by the serving DLFM -- failover covers the upcall "
+              "path, not just raw file content.  The witness shares its "
+              "primary's token secret, so tokens issued before the crash stay "
+              "valid, and an epoch fence keeps the recovered ex-primary from "
+              "validating anything until fail-back.",
+    )
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -804,6 +867,7 @@ ALL_EXPERIMENTS = {
     "E9": experiment_e9,
     "E10": experiment_e10,
     "E11": experiment_e11,
+    "E12": experiment_e12,
 }
 
 #: Tiny per-experiment overrides for the ``--smoke`` CI mode: every
@@ -822,11 +886,13 @@ SMOKE_PARAMS = {
     "E10": {"repeats": 2},
     "E11": {"shards": 2, "clients": 2, "transactions_per_client": 1,
             "rows_per_transaction": 4, "file_size": 256},
+    "E12": {"shards": 2, "files": 8, "reads_per_phase": 8, "file_size": 256,
+            "rows_per_transaction": 4},
 }
 
 
 def run_experiment(experiment_id: str, smoke: bool = False) -> ExperimentResult:
-    """Run one experiment by id (``"E1"`` .. ``"E11"``).
+    """Run one experiment by id (``"E1"`` .. ``"E12"``).
 
     ``smoke=True`` substitutes the tiny :data:`SMOKE_PARAMS` configuration --
     the fast sanity mode behind ``python -m repro.bench --smoke``.

@@ -38,7 +38,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Reproduce the paper's evaluation claims (experiments "
-                    "E1..E10) plus the scale-out study (E11).")
+                    "E1..E10) plus the scale-out study (E11) and the "
+                    "replica-failover study (E12).")
     parser.add_argument("experiments", nargs="*",
                         help="experiment ids to run (default: all)")
     parser.add_argument("--markdown", action="store_true",

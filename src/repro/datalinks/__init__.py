@@ -16,7 +16,9 @@ Layout mirrors the system architecture (Figure 1 of the paper):
   BLOB-in-database comparators from Section 3;
 * :mod:`repro.datalinks.sharding` -- the scale-out layer: hash-partitioned
   multi-DLFM deployments with a group-commit queue and batched link
-  pipelines.
+  pipelines;
+* :mod:`repro.datalinks.replication` -- per-shard witness replicas fed by
+  the primary's repository WAL stream, with epoch-fenced failover.
 """
 
 from repro.datalinks.control_modes import AccessControl, ControlMode
@@ -30,6 +32,11 @@ def __getattr__(name: str):
         from repro.datalinks import sharding
 
         return getattr(sharding, name)
+    if name in ("EpochRegistry", "EpochGuard", "ReplicatedShard",
+                "ReplicaApplier", "WalShipper"):
+        from repro.datalinks import replication
+
+        return getattr(replication, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -43,4 +50,9 @@ __all__ = [
     "OnUnlink",
     "ShardedDataLinksDeployment",
     "ShardRouter",
+    "EpochRegistry",
+    "EpochGuard",
+    "ReplicatedShard",
+    "ReplicaApplier",
+    "WalShipper",
 ]

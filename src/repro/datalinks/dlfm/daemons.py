@@ -143,6 +143,30 @@ class ChildAgent(Daemon):
         return {}
 
 
+class ReplicaDaemon(Daemon):
+    """Receives the primary's shipped repository WAL stream on the witness.
+
+    The witness's replication endpoint: the primary's
+    :class:`~repro.datalinks.replication.WalShipper` sends ``apply_wal``
+    batches through a channel to this daemon, which hands them to the
+    witness DLFM's replica applier.  Because it is a daemon, a crashed
+    witness refuses shipments (the shipper accumulates lag) exactly the way
+    a crashed DLFM refuses link traffic.
+    """
+
+    def __init__(self, manager, clock=None):
+        super().__init__(name=f"dlfm-replica-{manager.server_name}", clock=clock)
+        self._manager = manager
+        self.register("apply_wal", self._apply_wal)
+        self.register("replica_status", self._replica_status)
+
+    def _apply_wal(self, records: list) -> dict:
+        return self._manager.replica_apply(records)
+
+    def _replica_status(self) -> dict:
+        return self._manager.replica_status()
+
+
 class MainDaemon(Daemon):
     """Accepts connections from database agents and spawns child agents."""
 

@@ -58,6 +58,10 @@ class DataLinksFileManager:
         self._engine = None
         self._engine_name: str | None = None
         self.running = True
+        #: Epoch lease (:class:`~repro.datalinks.replication.EpochGuard`)
+        #: when this DLFM belongs to a replicated shard; ``None`` otherwise.
+        self.fencing = None
+        self._replica = None
 
     # ---------------------------------------------------------------- wiring -----
     def attach_engine(self, engine) -> None:
@@ -78,14 +82,35 @@ class DataLinksFileManager:
     def _now(self) -> float:
         return self.clock.now() if self.clock is not None else 0.0
 
+    # -------------------------------------------------------------- fencing -----
+    def set_fencing(self, guard) -> None:
+        """Attach an epoch lease; upcalls refuse service once it is revoked."""
+
+        self.fencing = guard
+
+    def is_fenced(self) -> bool:
+        return self.fencing is not None and self.fencing.fenced
+
+    def _check_fencing(self) -> None:
+        if self.fencing is not None:
+            self.fencing.check()
+
     # ------------------------------------------------- engine-facing operations --
+    # Fencing applies to the write path too: a fenced ex-primary must not
+    # take new branches or vote on them, or a link committed there would
+    # split-brain against the serving witness (which is not consuming the
+    # paused WAL stream).  Committing or aborting an *existing* prepared
+    # branch stays allowed -- that only executes the coordinator's durable
+    # decision, which predates the fence.
     def begin_branch(self, host_txn_id: int) -> None:
+        self._check_fencing()
         self.branches.branch_for(host_txn_id)
 
     def has_branch(self, host_txn_id: int) -> bool:
         return self.branches.has_branch(host_txn_id)
 
     def prepare_branch(self, host_txn_id: int) -> bool:
+        self._check_fencing()
         return self.branches.prepare(host_txn_id)
 
     def commit_branch(self, host_txn_id: int) -> None:
@@ -98,12 +123,14 @@ class DataLinksFileManager:
                   options: DatalinkOptions) -> dict:
         """Link *path* as part of the host transaction *host_txn_id*."""
 
+        self._check_fencing()
         branch = self.branches.branch_for(host_txn_id)
         return self.links.link_file(branch.local_txn, path, options)
 
     def unlink_file(self, host_txn_id: int, path: str) -> dict:
         """Unlink *path* as part of the host transaction *host_txn_id*."""
 
+        self._check_fencing()
         branch = self.branches.branch_for(host_txn_id)
         return self.links.unlink_file(branch.local_txn, path)
 
@@ -115,6 +142,7 @@ class DataLinksFileManager:
         reuse cannot leak access, exactly as argued in Section 4.1.
         """
 
+        self._check_fencing()
         row = self.repository.linked_file_by_ino(ino)
         if row is None:
             return {"linked": False}
@@ -133,6 +161,7 @@ class DataLinksFileManager:
         reported as unlinked so DLFS stays out of the data path.
         """
 
+        self._check_fencing()
         row = self.repository.linked_file_by_ino(ino)
         if row is None:
             return {"linked": False}
@@ -156,6 +185,7 @@ class DataLinksFileManager:
         retry (Section 4.2).
         """
 
+        self._check_fencing()
         row = self.repository.linked_file_by_ino(ino)
         if row is None:
             return {"linked": False}
@@ -168,8 +198,14 @@ class DataLinksFileManager:
         return {"linked": True, "open_as_dbms": True, "mode": mode.value}
 
     def upcall_file_closed(self, ino: int, was_write: bool, userid: int) -> dict:
-        """fs_close-time processing: Sync cleanup, metadata update, archiving."""
+        """fs_close-time processing: Sync cleanup, metadata update, archiving.
 
+        Fencing applies here too: a fenced ex-primary must not commit
+        close-time metadata into the host database while the witness serves
+        (its leftover Sync soft state is wiped by the fail-back resync).
+        """
+
+        self._check_fencing()
         row = self.repository.linked_file_by_ino(ino)
         if row is None:
             return {"linked": False, "modified": False}
@@ -327,8 +363,14 @@ class DataLinksFileManager:
         return restored
 
     def restore_last_committed(self, path: str, *, max_state_id: int | None = None,
-                               park_in_flight: bool = False) -> bool:
-        """Overwrite *path* with its most recent committed (archived) version."""
+                               park_in_flight: bool = False,
+                               create_missing: bool = False) -> bool:
+        """Overwrite *path* with its most recent committed (archived) version.
+
+        ``create_missing`` recreates the file (and its directories) when it
+        does not exist locally -- the witness-promotion case, where the
+        mirror may never have received the content.
+        """
 
         version = self.repository.latest_version(path, max_state_id=max_state_id)
         if version is None:
@@ -337,13 +379,27 @@ class DataLinksFileManager:
             current = self.files.read(path)
             self.files.park_in_flight(path, current, suffix=version["version_no"] + 1)
         content = self.archive.retrieve(version["archive_id"])
-        self.files.overwrite(path, content)
+        if create_missing and not self.files.exists(path):
+            directory = path.rsplit("/", 1)[0] or "/"
+            if directory != "/":
+                self.files.lfs.makedirs(directory, self.files.dlfm_cred)
+            self.files.lfs.write_file(path, content, self.files.dlfm_cred,
+                                      create=True)
+        else:
+            self.files.overwrite(path, content)
         return True
 
     # ------------------------------------------------------------------ archiving --
     def process_archive_jobs(self) -> int:
         """Run pending asynchronous archive jobs; returns how many completed."""
 
+        if self._replica is not None:
+            # A witness repository is redo-only: its archive_queue rows are
+            # replicas of the primary's, and the primary runs those jobs.
+            # Acting on them here would archive the (possibly stale) mirror
+            # and write local transactions into heaps that must keep
+            # mirroring the primary's row ids.
+            return 0
         completed = 0
         for job in self.repository.pending_archive_jobs():
             path = job["path"]
@@ -370,6 +426,10 @@ class DataLinksFileManager:
           newest version is always retained because rollback needs it.
         """
 
+        if self._replica is not None:
+            # Redo-only witness: maintenance runs on the primary and
+            # replicates over; see process_archive_jobs.
+            return {"purged_tokens": 0, "pruned_versions": 0}
         purged_tokens = self.repository.purge_expired_tokens(self._now())
         pruned_versions = 0
         if keep_versions is not None and keep_versions >= 1:
@@ -380,6 +440,81 @@ class DataLinksFileManager:
                         "file_versions", {"version_id": stale["version_id"]})
                     pruned_versions += 1
         return {"purged_tokens": purged_tokens, "pruned_versions": pruned_versions}
+
+    # ------------------------------------------------------------- replica mode --
+    def enable_replica_mode(self, failpoints: dict | None = None):
+        """Turn this DLFM into a witness replica consuming a shipped WAL stream.
+
+        Returns the :class:`~repro.datalinks.replication.ReplicaApplier`
+        that :meth:`replica_apply` feeds; the applier rebinds
+        ``linked_files`` inode numbers to this node's file system as rows
+        arrive.
+        """
+
+        from repro.datalinks.replication import ReplicaApplier
+
+        self._replica = ReplicaApplier(self.repository.db, files=self.files,
+                                       failpoints=failpoints)
+        return self._replica
+
+    @property
+    def replica(self):
+        return self._replica
+
+    def replica_apply(self, records: list) -> dict:
+        """Apply one shipped WAL batch (the ``apply_wal`` daemon operation)."""
+
+        if self._replica is None:
+            raise ControlModeError(
+                f"DLFM {self.server_name!r} is not a witness replica")
+        return self._replica.apply(records)
+
+    def replica_status(self) -> dict:
+        if self._replica is None:
+            return {"replica": False}
+        return {"replica": True, **self._replica.status()}
+
+    def replica_catch_up(self, outcomes: dict) -> dict:
+        """Promotion-time catch-up on the witness.
+
+        Resolves the shipped in-doubt transactions against the
+        coordinator's durable ``outcomes``, then walks the linked files to
+        make this node actually able to serve them: missing file content is
+        restored from the shared archive, inode numbers are rebound to the
+        local file system, and full-control / read-only link constraints
+        are re-applied to the local copies (the link ran on the primary, so
+        its ownership changes never touched this node's files).
+        """
+
+        resolved = self._replica.resolve_in_doubt(outcomes) \
+            if self._replica is not None else {"committed": [], "aborted": []}
+        restored, rebound, constrained = [], 0, 0
+        for row in self.repository.linked_files():
+            path = row["path"]
+            if not self.files.exists(path):
+                if not self.restore_last_committed(path, create_missing=True):
+                    # No local content and nothing archived: park the row
+                    # under a collision-free placeholder inode (unique per
+                    # row, never a real inode) until the content shows up.
+                    placeholder = -row["_rid"]
+                    if row["ino"] != placeholder:
+                        self.repository.update_linked_file(
+                            path, {"ino": placeholder})
+                    continue
+                restored.append(path)
+            attrs = self.files.stat(path)
+            if attrs.ino != row["ino"]:
+                self.repository.update_linked_file(path, {"ino": attrs.ino})
+                rebound += 1
+            mode = ControlMode.from_string(row["control_mode"])
+            if mode.takes_over_on_link and attrs.uid != self.dbms_uid:
+                self.files.take_over(path, mode=0o400)
+                constrained += 1
+            elif mode.made_read_only_on_link and attrs.mode & _WRITE_BITS:
+                self.files.chmod(path, attrs.mode & ~_WRITE_BITS)
+                constrained += 1
+        return {"in_doubt": resolved, "restored_files": restored,
+                "rebound_inos": rebound, "constrained_files": constrained}
 
     # --------------------------------------------------------------- crash/recover --
     def crash(self) -> None:

@@ -108,6 +108,28 @@ class DLFMRepository:
         ], ("job_id",)))
         db.create_index("archive_queue_path", "archive_queue", ("path",))
 
+    # ------------------------------------------------------- WAL-shipping hooks --
+    # A shard primary replicates by streaming this repository's durable WAL
+    # suffix to its witness; these helpers are the repository-level surface
+    # the shipper uses (see :mod:`repro.datalinks.replication`).
+    def add_wal_listener(self, listener) -> None:
+        """Call *listener* with the WAL whenever the durable prefix grows."""
+
+        self.db.wal.add_flush_listener(listener)
+
+    def remove_wal_listener(self, listener) -> None:
+        self.db.wal.remove_flush_listener(listener)
+
+    def durable_lsn(self):
+        """LSN of the last durable repository record (the shipping frontier)."""
+
+        return self.db.wal.flushed_lsn
+
+    def wal_records_since(self, lsn) -> list:
+        """Durable WAL records with LSN strictly greater than *lsn*."""
+
+        return self.db.wal.records_from(lsn, durable_only=True)
+
     # ------------------------------------------------------------------ helpers --
     def _next_id(self, table: str, column: str) -> int:
         rows = self.db.select(table, lock=False)

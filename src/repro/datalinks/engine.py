@@ -234,6 +234,17 @@ class DataLinksEngine:
 
         return self.db.txn_outcome(host_txn_id)
 
+    def host_transaction_outcomes(self, host_txn_ids) -> dict:
+        """Durable outcomes for a batch of host transactions.
+
+        One conceptual round trip instead of one per transaction: a
+        promoted witness replica resolves the whole in-doubt portion of its
+        shipped WAL stream with a single call during failover.
+        """
+
+        return {host_txn_id: self.db.txn_outcome(host_txn_id)
+                for host_txn_id in host_txn_ids}
+
     def resolve_in_doubt(self) -> dict:
         """Resolve prepared DLFM branches after a coordinator failure.
 

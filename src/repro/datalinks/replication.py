@@ -1,0 +1,589 @@
+"""Shard replication: WAL-stream shipping, witness replicas and failover.
+
+The paper's architecture leaves every linked file under exactly one DLFM, so
+a file-server crash makes that shard's files unreadable until recovery.
+This module adds a *primary/witness* replication scheme per shard:
+
+* :class:`WalShipper` streams the primary DLFM repository's **durable** WAL
+  records to the witness over a daemon channel
+  (:class:`~repro.datalinks.dlfm.daemons.ReplicaDaemon`), triggered by the
+  repository WAL's flush hook -- only flushed records ship, so the witness
+  can never hold a transaction the primary could lose in a crash;
+* :class:`ReplicaApplier` applies the shipped stream on the witness:
+  committed transactions are redone into the witness repository, aborted
+  ones are dropped, and transactions that shipped a PREPARE vote but no
+  outcome are kept *in doubt* until promotion resolves them from the host
+  database's durable outcome (two-phase commit across a failover);
+* :class:`EpochRegistry` / :class:`EpochGuard` implement fencing: each
+  shard has a monotonically increasing epoch and exactly one serving node;
+  promotion bumps the epoch, so a recovered ex-primary fails every token
+  validation and open upcall with
+  :class:`~repro.errors.FencedNodeError` instead of serving stale tokens;
+* :class:`ReplicatedShard` pairs one primary file server with its witness:
+  file-content mirroring at ingest, promotion (catch-up, in-doubt
+  resolution, inode/ownership rebinding, fencing), fail-back with a full
+  resync, and crash fault injection through ``failpoints``.
+
+Failpoints fire at every replication step so the crash-matrix tests can
+inject a primary crash mid-protocol: ``replicate:ship`` (before a WAL batch
+leaves the primary), ``replicate:apply`` (before the witness applies a
+batch), ``replicate:promote`` / ``replicate:catchup`` / ``replicate:fence``
+(inside promotion, in that order).
+"""
+
+from __future__ import annotations
+
+from repro.datalinks.control_modes import ControlMode
+from repro.errors import (
+    FencedNodeError,
+    FileSystemError,
+    IPCError,
+    ReplicationError,
+)
+from repro.ipc.channel import Channel
+from repro.storage.wal import LogRecordType
+from repro.util.lsn import LSN
+
+
+# ---------------------------------------------------------------------------
+# epochs and fencing
+# ---------------------------------------------------------------------------
+
+class EpochRegistry:
+    """The cluster manager's view: one epoch and one serving node per shard.
+
+    Conceptually this lives beside the host database (the component that
+    survives shard failures); promotions go through it so there is a single
+    source of truth for "who serves shard S" and a recovered ex-primary can
+    be told it no longer does.
+    """
+
+    def __init__(self):
+        self._epochs: dict[str, int] = {}
+        self._serving: dict[str, str] = {}
+
+    def register(self, shard: str, node: str) -> int:
+        """Grant the initial lease for *shard* to *node* (epoch 1)."""
+
+        if shard not in self._epochs:
+            self._epochs[shard] = 1
+            self._serving[shard] = node
+        return self._epochs[shard]
+
+    def current_epoch(self, shard: str) -> int:
+        return self._epochs.get(shard, 0)
+
+    def serving_node(self, shard: str) -> str | None:
+        return self._serving.get(shard)
+
+    def promote(self, shard: str, node: str) -> int:
+        """Make *node* the serving node of *shard*, bumping the epoch.
+
+        Idempotent: promoting the node that already serves does not bump.
+        """
+
+        if shard not in self._epochs:
+            return self.register(shard, node)
+        if self._serving[shard] != node:
+            self._epochs[shard] += 1
+            self._serving[shard] = node
+        return self._epochs[shard]
+
+    def is_current(self, shard: str, node: str) -> bool:
+        return self._serving.get(shard) == node
+
+
+class EpochGuard:
+    """One node's lease on its shard, checked before serving upcalls."""
+
+    def __init__(self, registry: EpochRegistry, shard: str, node: str):
+        self.registry = registry
+        self.shard = shard
+        self.node = node
+
+    @property
+    def fenced(self) -> bool:
+        return not self.registry.is_current(self.shard, self.node)
+
+    def check(self) -> None:
+        if self.fenced:
+            raise FencedNodeError(
+                f"node {self.node!r} was fenced: shard {self.shard!r} is served "
+                f"by {self.registry.serving_node(self.shard)!r} at epoch "
+                f"{self.registry.current_epoch(self.shard)}")
+
+
+# ---------------------------------------------------------------------------
+# witness-side apply
+# ---------------------------------------------------------------------------
+
+_DATA_RECORDS = (LogRecordType.INSERT, LogRecordType.UPDATE,
+                 LogRecordType.DELETE, LogRecordType.CLR)
+
+
+class ReplicaApplier:
+    """Applies the primary's shipped WAL stream to the witness repository.
+
+    Data records are buffered per transaction and redone only once the
+    transaction's COMMIT arrives (the witness never exposes uncommitted
+    primary state).  A transaction whose PREPARE shipped but whose outcome
+    did not is held in doubt; :meth:`resolve_in_doubt` drives it to the
+    coordinator's durable outcome during promotion.
+
+    The witness repository's heaps mirror the primary's row ids exactly, so
+    redo is positional; the one deliberate divergence is the ``ino`` column
+    of ``linked_files``, which is rebound to the witness file system's inode
+    numbers as rows arrive (the primary's inode numbers are meaningless on
+    another node).
+    """
+
+    def __init__(self, database, files=None, failpoints: dict | None = None):
+        self._db = database
+        self._files = files
+        self.failpoints = failpoints if failpoints is not None else {}
+        self._pending: dict[int, list] = {}
+        self._prepared: dict[int, int | None] = {}
+        self.applied_lsn = LSN(0)
+        self.applied_commits = 0
+        self.applied_records = 0
+        self.dropped_txns = 0
+
+    def _fire(self, point: str) -> None:
+        hook = self.failpoints.get(point)
+        if hook is not None:
+            hook()
+
+    # ------------------------------------------------------------------ apply --
+    def apply(self, records: list) -> dict:
+        """Apply one shipped batch; returns counters for the daemon reply."""
+
+        if records:
+            self._fire("replicate:apply")
+        commits = aborts = 0
+        for record in records:
+            if record.type in _DATA_RECORDS:
+                self._pending.setdefault(record.txn_id, []).append(record)
+            elif record.type is LogRecordType.PREPARE:
+                self._prepared[record.txn_id] = record.extra.get("host_txn_id")
+            elif record.type is LogRecordType.COMMIT:
+                self._apply_txn(record.txn_id)
+                commits += 1
+            elif record.type is LogRecordType.ABORT:
+                self._drop_txn(record.txn_id)
+                aborts += 1
+            elif record.type is LogRecordType.CREATE_TABLE:
+                schema = record.extra["schema"]
+                if not self._db.catalog.has_table(schema.name):
+                    self._db.catalog.create_table(schema.copy())
+            elif record.type is LogRecordType.DROP_TABLE:
+                if self._db.catalog.has_table(record.table):
+                    self._db.catalog.drop_table(record.table)
+            if record.lsn > self.applied_lsn:
+                self.applied_lsn = record.lsn
+        return {"commits": commits, "aborts": aborts,
+                "applied_lsn": self.applied_lsn.value,
+                "pending_txns": len(self._pending)}
+
+    def _apply_txn(self, txn_id: int) -> None:
+        for record in self._pending.pop(txn_id, []):
+            self._redo(record)
+        self._prepared.pop(txn_id, None)
+        self.applied_commits += 1
+
+    def _drop_txn(self, txn_id: int) -> None:
+        if self._pending.pop(txn_id, None) is not None:
+            self.dropped_txns += 1
+        self._prepared.pop(txn_id, None)
+
+    def _redo(self, record) -> None:
+        """Redo one data record into the witness heaps, maintaining indexes."""
+
+        db = self._db
+        if record.table is None or not db.catalog.has_table(record.table):
+            return
+        heap = db.catalog.heap(record.table)
+        effective = record.type
+        if record.type is LogRecordType.CLR:
+            effective = LogRecordType(record.extra["redo_as"])
+        after = dict(record.after) if record.after is not None else None
+        is_link_row = record.table == "linked_files" and self._files is not None
+        if after is not None and is_link_row:
+            after["ino"] = self._local_ino(after["path"], record.rid)
+        if effective in (LogRecordType.INSERT, LogRecordType.UPDATE):
+            if heap.exists(record.rid):
+                db.catalog.index_remove(record.table, heap.get(record.rid),
+                                        record.rid)
+                heap.update(record.rid, after)
+            else:
+                heap.insert(after, rid=record.rid)
+            db.catalog.index_insert(record.table, after, record.rid)
+            if is_link_row:
+                self._constrain_local_file(after)
+        elif effective is LogRecordType.DELETE:
+            if heap.exists(record.rid):
+                before = heap.get(record.rid)
+                db.catalog.index_remove(record.table, before, record.rid)
+                heap.delete(record.rid)
+                if is_link_row:
+                    self._release_local_file(before)
+        self.applied_records += 1
+        db._charge("row_write")
+
+    def _constrain_local_file(self, row: dict) -> None:
+        """Apply the link's access constraints to the mirrored copy.
+
+        The link ran on the primary, so its ownership takeover / read-only
+        marking never touched this node's files -- without this, a bare URL
+        read through the witness would bypass the token checks that guard
+        the primary's copy.
+        """
+
+        path = row["path"]
+        if not self._files.exists(path):
+            return
+        mode = ControlMode.from_string(row["control_mode"])
+        if mode.takes_over_on_link:
+            self._files.take_over(path, mode=0o400)
+        elif mode.made_read_only_on_link:
+            attrs = self._files.stat(path)
+            if attrs.mode & 0o222:
+                self._files.chmod(path, attrs.mode & ~0o222)
+
+    def _release_local_file(self, row: dict) -> None:
+        """Undo the local constraints when an unlink replicates over."""
+
+        path = row["path"]
+        if not self._files.exists(path):
+            return
+        if row.get("on_unlink") == "DELETE":
+            self._files.unlink(path)
+            return
+        mode = ControlMode.from_string(row["control_mode"])
+        if mode.takes_over_on_link or mode.made_read_only_on_link:
+            self._files.restore_ownership(path, row["original_uid"],
+                                          row["original_gid"],
+                                          row["original_mode"])
+
+    def _local_ino(self, path: str, rid: int) -> int:
+        """The witness inode for *path*, or a placeholder while it is absent.
+
+        Keeping the primary's inode would eventually collide with a real
+        witness inode in the unique ``linked_files_ino`` index; ``-rid`` is
+        negative (no real inode is) and unique per row.  Promotion rebinds
+        the real inode once the content is restored.
+        """
+
+        try:
+            return self._files.ino_of(path)
+        except FileSystemError:
+            return -rid
+
+    # --------------------------------------------------------------- in doubt --
+    def in_doubt_host_txns(self) -> list[int]:
+        """Host transaction ids whose PREPARE shipped but whose outcome did not."""
+
+        return sorted(host_txn_id for host_txn_id in self._prepared.values()
+                      if host_txn_id is not None)
+
+    def resolve_in_doubt(self, outcomes: dict) -> dict:
+        """Drive shipped in-doubt transactions to the coordinator's outcome.
+
+        ``outcomes`` maps host transaction id to ``"committed"`` /
+        ``"aborted"`` / ``"unknown"``; anything but a durable commit is
+        presumed aborted, exactly like a recovering participant.  Local
+        transactions that never voted cannot have committed and are dropped.
+        """
+
+        committed, aborted = [], []
+        for txn_id, host_txn_id in sorted(self._prepared.items()):
+            if outcomes.get(host_txn_id) == "committed":
+                self._apply_txn(txn_id)
+                committed.append(host_txn_id)
+            else:
+                self._drop_txn(txn_id)
+                aborted.append(host_txn_id if host_txn_id is not None else txn_id)
+        for txn_id in list(self._pending):
+            self._drop_txn(txn_id)
+        return {"committed": committed, "aborted": aborted}
+
+    # ----------------------------------------------------------------- resync --
+    def reset_from_snapshot(self, snapshot: dict, state_lsn: LSN) -> None:
+        """Replace the witness repository with a primary catalog snapshot."""
+
+        self._db.catalog.load_snapshot(snapshot)
+        self._db.catalog.rebuild_indexes()
+        self._pending.clear()
+        self._prepared.clear()
+        self.applied_lsn = state_lsn
+
+    def status(self) -> dict:
+        return {
+            "applied_lsn": self.applied_lsn.value,
+            "applied_commits": self.applied_commits,
+            "applied_records": self.applied_records,
+            "pending_txns": len(self._pending),
+            "in_doubt": self.in_doubt_host_txns(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# primary-side shipping
+# ---------------------------------------------------------------------------
+
+class WalShipper:
+    """Streams the primary repository's durable WAL records to the witness.
+
+    Registered as a flush listener on the primary repository's WAL, so
+    shipping is continuous: every log force (commit, group-commit drain,
+    prepare vote) pushes the newly durable suffix through the replica
+    daemon channel.  A witness that is down does not stall the primary --
+    the cursor simply stops advancing and the records ship on the next
+    successful flush or an explicit :meth:`ship` (the *replica lag* the
+    failover tests exercise).
+    """
+
+    def __init__(self, repository, channel: Channel,
+                 failpoints: dict | None = None):
+        self._repository = repository
+        self._channel = channel
+        self.failpoints = failpoints if failpoints is not None else {}
+        self.cursor: LSN = repository.durable_lsn()
+        self.paused = False
+        self.shipped_records = 0
+        self.ship_errors = 0
+        repository.add_wal_listener(self._on_flush)
+
+    def _fire(self, point: str) -> None:
+        hook = self.failpoints.get(point)
+        if hook is not None:
+            hook()
+
+    def _on_flush(self, wal) -> None:
+        if self.paused:
+            return
+        try:
+            self.ship()
+        except IPCError:
+            # The witness is unreachable; accumulate lag, do not fail the
+            # primary's commit.
+            self.ship_errors += 1
+
+    def ship(self) -> int:
+        """Ship every durable record past the cursor; returns how many."""
+
+        records = self._repository.wal_records_since(self.cursor)
+        if not records:
+            return 0
+        self._fire("replicate:ship")
+        self._channel.request("apply_wal", records=records)
+        self.cursor = records[-1].lsn
+        self.shipped_records += len(records)
+        return len(records)
+
+    def lag(self) -> int:
+        """Durable primary records the witness has not received yet."""
+
+        return len(self._repository.wal_records_since(self.cursor))
+
+    def pause(self) -> None:
+        self.paused = True
+
+    def resume(self) -> None:
+        self.paused = False
+
+    def detach(self) -> None:
+        self._repository.remove_wal_listener(self._on_flush)
+
+
+# ---------------------------------------------------------------------------
+# the replicated shard
+# ---------------------------------------------------------------------------
+
+class ReplicatedShard:
+    """One shard's primary/witness pair plus the machinery between them."""
+
+    def __init__(self, name: str, primary, witness, registry: EpochRegistry,
+                 engine, clock=None):
+        from repro.datalinks.dlfm.daemons import ReplicaDaemon
+
+        self.name = name
+        self.primary = primary
+        self.witness = witness
+        self.registry = registry
+        self.engine = engine
+        self.clock = clock
+        #: Fault-injection hooks shared by shipper, applier and promotion:
+        #: ``replicate:ship``, ``replicate:apply``, ``replicate:promote``,
+        #: ``replicate:catchup``, ``replicate:fence``.
+        self.failpoints: dict = {}
+        registry.register(name, primary.name)
+        primary.dlfm.set_fencing(EpochGuard(registry, name, primary.name))
+        witness.dlfm.set_fencing(EpochGuard(registry, name, witness.name))
+        self.applier = witness.dlfm.enable_replica_mode(failpoints=self.failpoints)
+        self.replica_daemon = ReplicaDaemon(witness.dlfm, clock)
+        channel = Channel(self.replica_daemon, clock,
+                          latency_primitive="db_dlfm_message",
+                          sender=f"wal-ship:{name}")
+        self.shipper = WalShipper(primary.dlfm.repository, channel,
+                                  failpoints=self.failpoints)
+        self.mirror_misses = 0
+        # A witness crash loses its applied state (redo bypasses its own
+        # WAL by design); until a resync completes it must not be promoted.
+        self._witness_synced = True
+
+    def _fire(self, point: str) -> None:
+        hook = self.failpoints.get(point)
+        if hook is not None:
+            hook()
+
+    # -------------------------------------------------------------------- roles --
+    @property
+    def serving_name(self) -> str:
+        return self.registry.serving_node(self.name)
+
+    @property
+    def serving(self):
+        """The file server currently holding the shard's serving lease."""
+
+        if self.serving_name == self.witness.name:
+            return self.witness
+        return self.primary
+
+    @property
+    def failed_over(self) -> bool:
+        return self.serving_name != self.primary.name
+
+    @property
+    def epoch(self) -> int:
+        return self.registry.current_epoch(self.name)
+
+    # ---------------------------------------------------------------- mirroring --
+    def mirror_file(self, path: str, content: bytes, cred) -> None:
+        """Copy a just-ingested file to the witness (same path and owner).
+
+        Runs below DLFS (the DLFM-privileged path) so mirroring never
+        recurses into DataLinks interception on the witness.  A crashed
+        witness misses the mirror (counted, like a missed WAL shipment);
+        promotion later restores what it can from the shared archive.
+        """
+
+        if not self.witness.running:
+            self.mirror_misses += 1
+            return
+        lfs = self.witness.raw_lfs
+        root = self.witness.files.dlfm_cred
+        directory = path.rsplit("/", 1)[0] or "/"
+        if directory != "/":
+            lfs.makedirs(directory, root)
+            lfs.chown(directory, cred.uid, cred.gid, root)
+        lfs.write_file(path, content, root, create=True)
+        lfs.chown(path, cred.uid, cred.gid, root)
+
+    # ----------------------------------------------------------------- failover --
+    def promote(self) -> dict:
+        """Fail the shard over to the witness.
+
+        Steps (each behind a failpoint): stop consuming the dead primary's
+        stream, run witness catch-up -- resolve shipped in-doubt
+        transactions from the host database's durable outcome, rebind
+        inodes/ownership of linked files -- and finally bump the epoch so
+        the ex-primary is fenced.  Idempotent: re-promoting a shard that
+        already failed over only re-runs catch-up.
+        """
+
+        if not self.witness.running:
+            raise ReplicationError(
+                f"cannot promote shard {self.name!r}: witness "
+                f"{self.witness.name!r} is down (recover it first)")
+        if not self._witness_synced:
+            raise ReplicationError(
+                f"cannot promote shard {self.name!r}: witness "
+                f"{self.witness.name!r} lost its replica state and has not "
+                f"resynced from the primary")
+        self._fire("replicate:promote")
+        self.shipper.pause()
+        self._fire("replicate:catchup")
+        outcomes = self.engine.host_transaction_outcomes(
+            self.applier.in_doubt_host_txns())
+        summary = self.witness.dlfm.replica_catch_up(outcomes)
+        self._fire("replicate:fence")
+        epoch = self.registry.promote(self.name, self.witness.name)
+        summary.update({"promoted": True, "epoch": epoch,
+                        "serving": self.witness.name})
+        return summary
+
+    def fail_back(self) -> dict:
+        """Return the shard to a recovered primary after a full resync."""
+
+        if not self.primary.running:
+            raise ReplicationError(
+                f"cannot fail shard {self.name!r} back: primary "
+                f"{self.primary.name!r} has not recovered")
+        summary = self.resync()
+        epoch = self.registry.promote(self.name, self.primary.name)
+        summary.update({"serving": self.primary.name, "epoch": epoch})
+        return summary
+
+    def resync(self) -> dict:
+        """Full witness catch-up: re-seed from the primary repository.
+
+        Used on fail-back and witness recovery, where the witness may hold
+        local soft state (token/sync entries written while it served) or
+        may have missed shipped batches; a snapshot copy plus a cursor
+        reset restores the invariant that witness heaps mirror primary row
+        ids exactly.
+        """
+
+        if not self.primary.running:
+            # A crashed primary's catalog was reset by the crash; copying
+            # it would destroy the witness's (possibly only) replica state.
+            raise ReplicationError(
+                f"cannot resync shard {self.name!r} from crashed primary "
+                f"{self.primary.name!r}; recover it first")
+        db = self.primary.dlfm.repository.db
+        self.shipper.pause()
+        db.wal.flush()
+        self.applier.reset_from_snapshot(db.catalog.snapshot(),
+                                         db.wal.flushed_lsn)
+        rebind = self.witness.dlfm.replica_catch_up({})
+        self.shipper.cursor = db.wal.flushed_lsn
+        self.shipper.resume()
+        self._witness_synced = True
+        return {"resynced": True, **rebind}
+
+    # ------------------------------------------------------------ witness faults --
+    def crash_witness(self) -> None:
+        self.replica_daemon.stop()
+        self.witness.crash()
+        self._witness_synced = False
+
+    def recover_witness(self) -> dict:
+        """Restart the witness and, when the primary is up, resync from it.
+
+        With the primary also down there is nothing safe to resync from;
+        the witness comes back empty-handed (its applied state bypassed its
+        own WAL by design) and catches up once the primary recovers.
+        """
+
+        summary = self.witness.recover()
+        self.replica_daemon.start()
+        if self.primary.running:
+            summary["resync"] = self.resync()
+        else:
+            summary["resync"] = {"resynced": False,
+                                 "deferred": "primary is down"}
+        return summary
+
+    # ------------------------------------------------------------------- status --
+    def status(self) -> dict:
+        return {
+            "serving": self.serving_name,
+            "epoch": self.epoch,
+            "failed_over": self.failed_over,
+            "shipped_records": self.shipper.shipped_records,
+            "ship_errors": self.shipper.ship_errors,
+            "mirror_misses": self.mirror_misses,
+            "witness_synced": self._witness_synced,
+            "lag": self.shipper.lag(),
+            **self.applier.status(),
+        }

@@ -14,6 +14,16 @@ file servers"; this module turns that into an operational scale-out layer:
   with one ``prepare_many``/``commit_many`` message per enlisted shard plus a
   single host log force (:meth:`~repro.datalinks.engine.DataLinksEngine.commit_group`).
 
+With ``replication=True`` every shard additionally gets a **witness
+replica** (``shard0-r`` for ``shard0``): linked-file content is mirrored at
+ingest, the primary's repository WAL stream ships to the witness on every
+log force, and when a primary crashes :meth:`ShardedDataLinksDeployment.fail_over`
+promotes the witness so token validation and read traffic keep flowing for
+that shard's URL prefix.  An epoch/fencing scheme
+(:class:`~repro.datalinks.replication.EpochRegistry`) guarantees a
+recovered ex-primary refuses to serve until the shard fails back to it
+(:meth:`ShardedDataLinksDeployment.fail_back`, which resyncs the witness).
+
 Knobs
 -----
 ``shards``                number of file servers (``shard0`` .. ``shardN-1``)
@@ -23,6 +33,9 @@ Knobs
 ``group_commit_window``   commits buffered before the queue auto-drains;
                           ``1`` disables the queue (classic per-transaction
                           two-phase commit)
+``replication``           add a witness replica per shard, fed by the
+                          primary's repository WAL stream
+``replica_suffix``        witness server name suffix (default ``"-r"``)
 
 Because enqueued transactions stay ACTIVE (locks held) until the batch
 drains, callers that need a transaction's effects visible immediately should
@@ -36,11 +49,12 @@ import hashlib
 
 from repro.api.system import DataLinksSystem, FileServer
 from repro.datalinks.engine import HostTransaction
-from repro.errors import DataLinksError, ReproError
+from repro.datalinks.replication import EpochRegistry, ReplicatedShard
+from repro.errors import DaemonUnavailableError, DataLinksError, ReproError
 from repro.simclock import CostModel, SimClock
 from repro.storage.schema import TableSchema
 from repro.util.lsn import LSN
-from repro.util.urls import format_url
+from repro.util.urls import format_url, parse_url
 
 
 class ShardRouter:
@@ -79,7 +93,9 @@ class ShardedDataLinksDeployment:
                  prefix_depth: int = 1,
                  flush_policy: str = "group",
                  group_commit_window: int = 8,
-                 strict_read_upcalls: bool = False):
+                 strict_read_upcalls: bool = False,
+                 replication: bool = False,
+                 replica_suffix: str = "-r"):
         if shards < 1:
             raise DataLinksError("a sharded deployment needs at least one shard")
         self.system = DataLinksSystem(cost_model, clock,
@@ -92,6 +108,19 @@ class ShardedDataLinksDeployment:
         self.router = ShardRouter(self.shard_names, prefix_depth)
         self.group_commit_window = max(1, int(group_commit_window))
         self._pending: list[HostTransaction] = []
+        self.replicas: dict[str, ReplicatedShard] = {}
+        self.epochs: EpochRegistry | None = None
+        if replication:
+            self.epochs = EpochRegistry()
+            for name in self.shard_names:
+                witness = self.system.add_file_server(
+                    f"{name}{replica_suffix}",
+                    strict_read_upcalls=strict_read_upcalls,
+                    token_secret=self.shard(name).dlfm.token_secret)
+                self.replicas[name] = ReplicatedShard(
+                    name, primary=self.shard(name), witness=witness,
+                    registry=self.epochs, engine=self.engine,
+                    clock=self.clock)
 
     # ----------------------------------------------------------------- accessors --
     @property
@@ -131,9 +160,47 @@ class ShardedDataLinksDeployment:
         return format_url(self.shard_of(path), path)
 
     def put_file(self, session, path: str, content: bytes) -> str:
-        """Create *path* on its responsible shard; returns the DATALINK URL."""
+        """Create *path* on its responsible shard; returns the DATALINK URL.
 
-        return session.put_file(self.shard_of(path), path, content)
+        Under replication the content is also mirrored to the shard's
+        witness, so a later promotion can serve it without the primary.
+        """
+
+        shard = self.shard_of(path)
+        url = session.put_file(shard, path, content)
+        replica = self.replicas.get(shard)
+        if replica is not None:
+            replica.mirror_file(path, content, session.cred)
+        return url
+
+    # ------------------------------------------------------------------- reading --
+    @property
+    def replicated(self) -> bool:
+        return bool(self.replicas)
+
+    def serving_file_server(self, shard: str) -> FileServer:
+        """The node currently holding *shard*'s serving lease.
+
+        Raises :class:`~repro.errors.DaemonUnavailableError` when that node
+        is down -- for an unreplicated shard that means the shard's URL
+        prefix is unreadable until recovery; for a replicated shard it
+        means :meth:`fail_over` has not promoted the witness yet.
+        """
+
+        replica = self.replicas.get(shard)
+        server = replica.serving if replica is not None else self.shard(shard)
+        if not server.running:
+            hint = "; fail_over() promotes the witness" if replica is not None \
+                else ""
+            raise DaemonUnavailableError(
+                f"file server {server.name!r} is down{hint}")
+        return server
+
+    def read_url(self, session, url: str) -> bytes:
+        """Read a (tokenized) DATALINK URL through the shard's serving node."""
+
+        server = self.serving_file_server(parse_url(url).server)
+        return session.read_url(url, server=server.name)
 
     # --------------------------------------------------------- group-commit queue --
     def begin(self) -> HostTransaction:
@@ -199,21 +266,71 @@ class ShardedDataLinksDeployment:
         self.system.crash_file_server(name)
 
     def recover_shard(self, name: str) -> dict:
+        """Restart a crashed primary.
+
+        The recovered node resolves its own in-doubt branches but, on a
+        replicated shard that failed over, stays *fenced* until
+        :meth:`fail_back`.
+        """
+
         return self.system.recover_file_server(name)
+
+    # ------------------------------------------------------------------- failover --
+    def _replica(self, name: str) -> ReplicatedShard:
+        try:
+            return self.replicas[name]
+        except KeyError:
+            raise DataLinksError(
+                f"shard {name!r} has no witness replica "
+                f"(deployment built with replication=False)") from None
+
+    def fail_over(self, name: str) -> dict:
+        """Promote *name*'s witness: reads and token validation move there."""
+
+        return self._replica(name).promote()
+
+    def fail_back(self, name: str) -> dict:
+        """Return *name* to its primary (recovering it first if needed)."""
+
+        replica = self._replica(name)
+        if not replica.primary.running:
+            self.recover_shard(name)
+        return replica.fail_back()
+
+    def crash_witness(self, name: str) -> None:
+        self._replica(name).crash_witness()
+
+    def recover_witness(self, name: str) -> dict:
+        return self._replica(name).recover_witness()
 
     # ------------------------------------------------------------------- statistics --
     def linked_paths(self, shard: str) -> set:
-        repository = self.shard(shard).dlfm.repository
-        return {row["path"] for row in repository.linked_files()}
+        """Linked files of *shard*, read from its current serving node."""
+
+        replica = self.replicas.get(shard)
+        server = replica.serving if replica is not None else self.shard(shard)
+        return {row["path"] for row in server.dlfm.repository.linked_files()}
+
+    def _linked_count(self, name: str) -> int | None:
+        """Linked files on shard *name*, or ``None`` while the node is down."""
+
+        try:
+            return len(self.linked_paths(name))
+        except ReproError:
+            return None
 
     def stats(self) -> dict:
         """Per-shard link counts plus host WAL flush statistics."""
 
-        return {
+        stats = {
             "shards": len(self.shard_names),
             "flush_policy": self.system.flush_policy,
             "pending_commits": self.pending_commits,
             "host_log_flushes": self.system.host_db.wal.flush_count,
             "linked_files_per_shard": {
-                name: len(self.linked_paths(name)) for name in self.shard_names},
+                name: self._linked_count(name) for name in self.shard_names},
         }
+        if self.replicated:
+            stats["replication"] = {
+                name: self.replicas[name].status() for name in self.shard_names}
+        return stats

@@ -203,6 +203,19 @@ class ReferentialIntegrityError(DataLinksError):
     """An operation would leave a dangling DATALINK reference."""
 
 
+class ReplicationError(DataLinksError):
+    """Shard replication failed (shipping, apply, promotion or resync)."""
+
+
+class FencedNodeError(DataLinksError):
+    """A node whose epoch lease was revoked tried to serve traffic.
+
+    Raised by a DLFM that was fenced during a failover: a recovered
+    ex-primary must refuse token validation and open processing so that no
+    stale token is ever accepted by a node that no longer owns the shard.
+    """
+
+
 class CheckoutConflictError(DataLinksError):
     """A CICO check-out conflicts with an existing check-out."""
 

@@ -18,6 +18,12 @@ according to the log's *flush policy*:
 
 Explicit :meth:`WriteAheadLog.flush` calls (checkpoint, backup, prepare)
 always drain the pending group.
+
+The flush point is also the *replication* boundary: listeners registered
+with :meth:`WriteAheadLog.add_flush_listener` are notified whenever the
+durable prefix grows, which is how a shard primary ships its repository WAL
+stream to a witness replica (only durable records are ever shipped, so a
+replica can never hold a transaction the primary could lose in a crash).
 """
 
 from __future__ import annotations
@@ -93,6 +99,7 @@ class WriteAheadLog:
         self.group_window = max(1, int(group_window))
         self._pending_commits = 0
         self.flush_count = 0
+        self._flush_listeners: list = []
 
     # -- flush policy ----------------------------------------------------------
     def set_flush_policy(self, policy: FlushPolicy | str,
@@ -140,12 +147,32 @@ class WriteAheadLog:
             return True
         return False
 
+    # -- replication hooks -----------------------------------------------------
+    def add_flush_listener(self, listener) -> None:
+        """Register *listener* to be called (with this log) after every flush.
+
+        Listeners see the log only once the durable prefix has been
+        extended, so :meth:`records_from` called from a listener returns
+        exactly the newly durable records past the listener's cursor.
+        """
+
+        if listener not in self._flush_listeners:
+            self._flush_listeners.append(listener)
+
+    def remove_flush_listener(self, listener) -> None:
+        if listener in self._flush_listeners:
+            self._flush_listeners.remove(listener)
+
     def flush(self) -> LSN:
         """Make every appended record durable; returns the tail LSN."""
 
+        grew = self._flushed_count < len(self._records)
         self._flushed_count = len(self._records)
         self._pending_commits = 0
         self.flush_count += 1
+        if grew:
+            for listener in list(self._flush_listeners):
+                listener(self)
         return self.tail_lsn()
 
     @property
@@ -172,10 +199,22 @@ class WriteAheadLog:
         return list(self._records)
 
     def records_from(self, lsn: LSN, durable_only: bool = True) -> list[LogRecord]:
-        """Records with LSN strictly greater than *lsn*."""
+        """Records with LSN strictly greater than *lsn*.
 
-        source = self.records(durable_only)
-        return [record for record in source if record.lsn > lsn]
+        LSNs are append-ordered, so the start position is found by binary
+        search -- a WAL shipper polling after every flush stays O(log n +
+        shipped) instead of rescanning the whole log each time.
+        """
+
+        limit = self._flushed_count if durable_only else len(self._records)
+        low, high = 0, limit
+        while low < high:
+            mid = (low + high) // 2
+            if self._records[mid].lsn > lsn:
+                high = mid
+            else:
+                low = mid + 1
+        return list(self._records[low:limit])
 
     def records_of(self, txn_id: int, durable_only: bool = False) -> list[LogRecord]:
         source = self.records(durable_only)

@@ -11,6 +11,7 @@ from repro.workloads.webserver import WebSiteConfig, WebServerWorkload
 from repro.workloads.videostore import VideoStoreConfig, VideoStoreWorkload
 from repro.workloads.editors import EditorConfig, ConcurrentEditorsWorkload
 from repro.workloads.scaleout import ScaleOutConfig, ScaleOutWorkload
+from repro.workloads.failover import FailoverConfig, FailoverWorkload
 
 __all__ = [
     "WorkloadMetrics",
@@ -23,4 +24,6 @@ __all__ = [
     "ConcurrentEditorsWorkload",
     "ScaleOutConfig",
     "ScaleOutWorkload",
+    "FailoverConfig",
+    "FailoverWorkload",
 ]

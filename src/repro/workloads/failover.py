@@ -1,0 +1,175 @@
+"""Read-availability workload under a shard primary crash (experiment E12).
+
+Drives a :class:`~repro.datalinks.sharding.ShardedDataLinksDeployment` --
+with or without witness replication -- through three phases:
+
+1. **ingest**: link ``files`` token-protected files across the shards
+   through the batched pipeline and the group-commit queue (measured, so
+   the replication tax on the write path -- content mirroring plus WAL
+   shipping -- shows up as link throughput);
+2. **reads before**: every file is read through the deployment's serving
+   router with a token handed out by the host database;
+3. **crash + reads after**: the primary of the shard owning the first
+   file's prefix crashes.  Without replication every read of that prefix
+   fails until recovery; with replication the deployment fails over
+   (promotion is timed) and the same reads succeed against the witness.
+
+Counters: ``links``, ``reads_ok``/``reads_failed`` and their
+``victim_*``/``*_after`` variants; ``promotion`` records the simulated
+latency of the failover itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalinks.control_modes import ControlMode
+from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
+from repro.datalinks.sharding import ShardedDataLinksDeployment
+from repro.errors import ReproError
+from repro.storage.schema import Column, TableSchema
+from repro.storage.values import DataType
+from repro.workloads.generator import WorkloadMetrics, make_content
+
+DOCS_TABLE = "replicated_docs"
+READER_UID = 7001
+
+
+@dataclass
+class FailoverConfig:
+    """Parameters of the replica-failover workload."""
+
+    shards: int = 4
+    replication: bool = True
+    files: int = 32
+    rows_per_transaction: int = 8
+    file_size: int = 2048
+    reads_per_phase: int = 48
+    control_mode: ControlMode = ControlMode.RDB   # reads need a valid token
+    flush_policy: str = "group"
+    group_commit_window: int = 4
+    prefix_depth: int = 1
+    token_ttl: float = 1e9
+
+
+class FailoverWorkload:
+    """Token-validated reads across a primary crash, replica on or off."""
+
+    def __init__(self, config: FailoverConfig,
+                 deployment: ShardedDataLinksDeployment | None = None):
+        self.config = config
+        self.deployment = deployment if deployment is not None else \
+            ShardedDataLinksDeployment(
+                config.shards,
+                prefix_depth=config.prefix_depth,
+                flush_policy=config.flush_policy,
+                group_commit_window=config.group_commit_window,
+                replication=config.replication)
+        self._session = None
+        self._paths: list[str] = []
+        self.victim: str | None = None
+
+    # -------------------------------------------------------------------- setup --
+    def setup(self) -> "FailoverWorkload":
+        config = self.config
+        deployment = self.deployment
+        deployment.create_table(TableSchema(DOCS_TABLE, [
+            Column("doc_id", DataType.INTEGER, nullable=False),
+            datalink_column("body",
+                            DatalinkOptions(control_mode=config.control_mode,
+                                            recovery=False)),
+        ], primary_key=("doc_id",)))
+        self._session = deployment.session("reader", uid=READER_UID)
+        self._paths = [f"/area{index % (config.shards * 4)}/doc{index:05d}.dat"
+                       for index in range(config.files)]
+        self.victim = deployment.shard_of(self._paths[0])
+        return self
+
+    # ---------------------------------------------------------------------- run --
+    def run(self) -> WorkloadMetrics:
+        config = self.config
+        deployment = self.deployment
+        clock = deployment.clock
+        metrics = WorkloadMetrics(started_at=clock.now())
+
+        self._ingest(metrics)
+        self._read_phase(metrics, suffix="")
+
+        deployment.crash_shard(self.victim)
+        if deployment.replicated:
+            with clock.measure() as timer:
+                deployment.fail_over(self.victim)
+            metrics.record("promotion", timer.elapsed)
+        self._read_phase(metrics, suffix="_after")
+
+        metrics.finished_at = clock.now()
+        return metrics
+
+    def _ingest(self, metrics: WorkloadMetrics) -> None:
+        config = self.config
+        deployment = self.deployment
+        clock = deployment.clock
+        batch: list[dict] = []
+        for doc_id, path in enumerate(self._paths):
+            content = make_content(config.file_size, tag=f"doc{doc_id}", version=0)
+            with clock.measure() as timer:
+                url = deployment.put_file(self._session, path, content)
+                batch.append({"doc_id": doc_id, "body": url})
+                if len(batch) >= config.rows_per_transaction or \
+                        doc_id == len(self._paths) - 1:
+                    host_txn = deployment.begin()
+                    deployment.engine.insert_many(DOCS_TABLE, batch, host_txn)
+                    deployment.commit(host_txn)
+                    metrics.bump("links", len(batch))
+                    batch = []
+            metrics.record("link_txn", timer.elapsed)
+        with clock.measure() as timer:
+            deployment.drain()
+        if timer.elapsed:
+            metrics.record("final_drain", timer.elapsed)
+
+    def _read_phase(self, metrics: WorkloadMetrics, suffix: str) -> None:
+        config = self.config
+        deployment = self.deployment
+        clock = deployment.clock
+        for read in range(config.reads_per_phase):
+            doc_id = read % len(self._paths)
+            path = self._paths[doc_id]
+            on_victim = deployment.shard_of(path) == self.victim
+            url = self._session.get_datalink(
+                DOCS_TABLE, {"doc_id": doc_id}, "body", access="read",
+                ttl=config.token_ttl)
+            try:
+                with clock.measure() as timer:
+                    deployment.read_url(self._session, url)
+                metrics.record(f"read{suffix}", timer.elapsed)
+                metrics.bump(f"reads_ok{suffix}")
+                if on_victim:
+                    metrics.bump(f"victim_reads_ok{suffix}")
+            except ReproError:
+                metrics.bump(f"reads_failed{suffix}")
+                if on_victim:
+                    metrics.bump(f"victim_reads_failed{suffix}")
+
+    # ------------------------------------------------------------------ derived --
+    def link_throughput(self, metrics: WorkloadMetrics) -> float:
+        """Links per simulated second over the ingest phase."""
+
+        stats = metrics.stats("link_txn")
+        total = stats.total + metrics.stats("final_drain").total
+        if total <= 0:
+            return 0.0
+        return metrics.counters.get("links", 0) / total
+
+    @staticmethod
+    def availability(metrics: WorkloadMetrics, *, victim_only: bool = True,
+                     after: bool = True) -> float:
+        """Fraction of (victim-prefix) reads that succeeded in a phase."""
+
+        scope = "victim_reads" if victim_only else "reads"
+        suffix = "_after" if after else ""
+        ok = metrics.counters.get(f"{scope}_ok{suffix}", 0)
+        failed = metrics.counters.get(f"{scope}_failed{suffix}", 0)
+        if ok + failed == 0:
+            return 0.0
+        return ok / (ok + failed)

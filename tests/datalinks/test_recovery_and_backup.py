@@ -1,9 +1,19 @@
-"""File-server crash recovery, the 2PC crash matrix, and backup/restore."""
+"""File-server crash recovery, the 2PC crash matrix, and backup/restore.
+
+Includes the replication failover matrix: an injected primary crash swept
+through every replication step (ship, apply, promote, catch-up, fence) and
+through every two-phase-commit step with witness replication enabled,
+asserting host/DLFM agreement after recovery in every case.
+"""
 
 import pytest
 
 from repro.datalinks.control_modes import ControlMode
-from repro.errors import FileSystemError
+from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
+from repro.datalinks.sharding import ShardedDataLinksDeployment
+from repro.errors import FileSystemError, ReproError
+from repro.storage.schema import Column, TableSchema
+from repro.storage.values import DataType
 from repro.util.urls import parse_url
 from tests.conftest import FILES_TABLE, build_system
 
@@ -261,6 +271,205 @@ class TestCrashMatrix:
         system.resolve_in_doubt()
         assert_host_dlfm_agreement(system)
         assert system.host_db.select(FILES_TABLE, lock=False) == []
+
+
+REPL_TABLE = "replicated_docs"
+
+
+def _replicated_setup(flush_policy="immediate", group_commit_window=1):
+    """A 2-shard replicated deployment plus one path per shard."""
+
+    deployment = ShardedDataLinksDeployment(
+        2, replication=True, flush_policy=flush_policy,
+        group_commit_window=group_commit_window)
+    deployment.create_table(TableSchema(REPL_TABLE, [
+        Column("doc_id", DataType.INTEGER, nullable=False),
+        datalink_column("body", DatalinkOptions(control_mode=ControlMode.RFF,
+                                                recovery=False)),
+    ], primary_key=("doc_id",)))
+    session = deployment.session("alice", uid=1001)
+    paths = {}
+    for index in range(1000):
+        path = f"/zone{index}/doc.dat"
+        shard = deployment.shard_of(path)
+        if shard not in paths:
+            paths[shard] = path
+        if len(paths) == 2:
+            break
+    return deployment, session, paths
+
+
+def assert_replicated_agreement(deployment):
+    """Host DATALINK contents == the serving repository of every shard.
+
+    When a shard's primary is up and shipping is drained, the witness must
+    agree as well (replica convergence).
+    """
+
+    deployment.system.flush_logs()
+    expected = {name: set() for name in deployment.shard_names}
+    for row in deployment.host_db.select(REPL_TABLE, lock=False):
+        url = row.get("body")
+        if url:
+            parsed = parse_url(url)
+            expected[parsed.server].add(parsed.path)
+    for name in deployment.shard_names:
+        replica = deployment.replicas[name]
+        serving_repo = replica.serving.dlfm.repository
+        linked = {row["path"] for row in serving_repo.linked_files()}
+        assert linked == expected[name], (
+            f"{name} (served by {replica.serving_name}): has {sorted(linked)}, "
+            f"host says {sorted(expected[name])}")
+        if not replica.failed_over and replica.primary.running:
+            witness_linked = {row["path"] for row in
+                              replica.witness.dlfm.repository.linked_files()}
+            assert witness_linked == expected[name], (
+                f"{name} witness diverged: {sorted(witness_linked)} != "
+                f"{sorted(expected[name])}")
+
+
+class TestReplicationFailoverMatrix:
+    """Injected primary crashes at every replication and 2PC step."""
+
+    VICTIM = "shard0"
+
+    def _start_txn(self, deployment, session, paths):
+        host_txn = deployment.begin()
+        rows = [{"doc_id": index, "body": deployment.put_file(
+                    session, paths[shard], b"payload")}
+                for index, shard in enumerate(sorted(paths))]
+        deployment.engine.insert_many(REPL_TABLE, rows, host_txn)
+        return host_txn
+
+    # -- crash during the shipping pipeline -------------------------------------
+    @pytest.mark.parametrize("point", ["replicate:ship", "replicate:apply"])
+    @pytest.mark.parametrize("fail_over", [False, True])
+    def test_primary_crash_mid_shipping(self, point, fail_over):
+        """The primary dies inside a WAL shipment (primary-side hook) or
+        while the witness applies it (witness-side hook); the interrupted
+        transaction aborts and every surviving view agrees."""
+
+        deployment, session, paths = _replicated_setup()
+        replica = deployment.replicas[self.VICTIM]
+
+        def crash_primary():
+            deployment.crash_shard(self.VICTIM)
+            raise InjectedCrash()
+
+        host_txn = self._start_txn(deployment, session, paths)
+        replica.failpoints[point] = crash_primary
+        with pytest.raises(InjectedCrash):
+            deployment.engine.commit(host_txn)
+        replica.failpoints.clear()
+        try:
+            deployment.engine.abort(host_txn)
+        except ReproError:
+            pass
+
+        if fail_over:
+            deployment.fail_over(self.VICTIM)
+            assert_replicated_agreement(deployment)
+            deployment.fail_back(self.VICTIM)
+        else:
+            deployment.recover_shard(self.VICTIM)
+            deployment.system.resolve_in_doubt()
+        assert_replicated_agreement(deployment)
+        assert deployment.host_db.select(REPL_TABLE, lock=False) == []
+
+    # -- crash during promotion ---------------------------------------------------
+    @pytest.mark.parametrize("point", ["replicate:promote", "replicate:catchup",
+                                       "replicate:fence"])
+    def test_interrupted_promotion_retries_to_completion(self, point):
+        """A crash inside promotion leaves a retryable, idempotent failover."""
+
+        deployment, session, paths = _replicated_setup()
+        replica = deployment.replicas[self.VICTIM]
+        for index, shard in enumerate(sorted(paths)):
+            url = deployment.put_file(session, paths[shard], b"stable")
+            session.insert(REPL_TABLE, {"doc_id": index, "body": url})
+
+        deployment.crash_shard(self.VICTIM)
+        replica.failpoints[point] = _boom
+        with pytest.raises(InjectedCrash):
+            deployment.fail_over(self.VICTIM)
+        replica.failpoints.clear()
+
+        summary = deployment.fail_over(self.VICTIM)
+        assert summary["promoted"] and summary["serving"] == "shard0-r"
+        assert_replicated_agreement(deployment)
+        url = session.get_datalink(REPL_TABLE, {"doc_id": 0}, "body",
+                                   access="read", ttl=1e9)
+        assert deployment.read_url(session, url) == b"stable"
+        deployment.fail_back(self.VICTIM)
+        assert_replicated_agreement(deployment)
+
+    # -- crash at every 2PC step with replication enabled -------------------------
+    TWO_PC_POINTS = [
+        ("commit:begin", "aborted"),
+        ("commit:prepared:shard0", "aborted"),
+        ("commit:before_host_commit", "aborted"),
+        ("commit:after_host_commit", "committed"),
+        ("commit:committed:shard0", "committed"),
+    ]
+
+    @pytest.mark.parametrize("point,expected", TWO_PC_POINTS)
+    def test_primary_crash_at_every_2pc_step_with_failover(self, point, expected):
+        """In-doubt resolution works across a failover: whatever 2PC step
+        the primary dies at, the promoted witness converges to the host's
+        durable outcome, and so does the primary after fail-back."""
+
+        deployment, session, paths = _replicated_setup()
+
+        def crash_primary():
+            deployment.crash_shard(self.VICTIM)
+            raise InjectedCrash()
+
+        host_txn = self._start_txn(deployment, session, paths)
+        deployment.engine.failpoints[point] = crash_primary
+        with pytest.raises(InjectedCrash):
+            deployment.engine.commit(host_txn)
+        deployment.engine.failpoints.clear()
+
+        if expected == "aborted":
+            try:
+                deployment.engine.abort(host_txn)
+            except ReproError:
+                pass
+        else:
+            # The host outcome is durable; surviving shards must commit.
+            deployment.engine.redrive_commit(host_txn)
+
+        deployment.fail_over(self.VICTIM)
+        assert_replicated_agreement(deployment)
+        rows = deployment.host_db.select(REPL_TABLE, lock=False)
+        assert bool(rows) == (expected == "committed")
+        if expected == "committed":
+            assert deployment.host_db.txn_outcome(host_txn.txn_id) == "committed"
+
+        deployment.fail_back(self.VICTIM)
+        assert_replicated_agreement(deployment)
+
+    def test_group_commit_drain_failure_resolves_through_witness(self):
+        """A primary crash after the host group commit: the drain redrives
+        the survivors, and the witness resolves the crashed shard's
+        in-doubt branch from the host outcome at promotion."""
+
+        deployment, session, paths = _replicated_setup(
+            flush_policy="group", group_commit_window=4)
+        host_txn = self._start_txn(deployment, session, paths)
+        deployment.engine.failpoints["group:after_host_commit"] = \
+            lambda: deployment.crash_shard(self.VICTIM)
+        deployment.commit(host_txn)
+        with pytest.raises(ReproError):
+            deployment.drain()
+        deployment.engine.failpoints.clear()
+
+        deployment.fail_over(self.VICTIM)
+        assert_replicated_agreement(deployment)
+        assert len(deployment.host_db.select(REPL_TABLE, lock=False)) == 2
+        assert deployment.host_db.txn_outcome(host_txn.txn_id) == "committed"
+        deployment.fail_back(self.VICTIM)
+        assert_replicated_agreement(deployment)
 
 
 class TestCoordinatedBackupRestore:

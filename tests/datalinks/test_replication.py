@@ -1,0 +1,319 @@
+"""Unit tests for the shard-replication subsystem.
+
+Covers the pieces in isolation -- WAL shipping and lag, witness apply
+semantics (commit/abort/in-doubt), epoch fencing, content mirroring and
+archive-based restore at promotion -- while the crash matrix and the seeded
+property test (test_recovery_and_backup.py / test_shard_properties.py)
+cover the composed failure behaviour.
+"""
+
+import pytest
+
+from repro.datalinks.control_modes import ControlMode
+from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
+from repro.datalinks.replication import EpochGuard, EpochRegistry
+from repro.datalinks.sharding import ShardedDataLinksDeployment
+from repro.errors import DaemonUnavailableError, FencedNodeError, ReproError
+from repro.storage.schema import Column, TableSchema
+from repro.storage.values import DataType
+from repro.util.urls import parse_url
+
+TABLE = "replica_docs"
+
+
+def build_deployment(shards=2, mode=ControlMode.RFF, recovery=False,
+                     flush_policy="immediate", group_commit_window=1):
+    deployment = ShardedDataLinksDeployment(
+        shards, replication=True, flush_policy=flush_policy,
+        group_commit_window=group_commit_window)
+    deployment.create_table(TableSchema(TABLE, [
+        Column("doc_id", DataType.INTEGER, nullable=False),
+        datalink_column("body", DatalinkOptions(control_mode=mode,
+                                                recovery=recovery)),
+    ], primary_key=("doc_id",)))
+    return deployment, deployment.session("alice", uid=1001)
+
+
+def path_on(deployment, shard: str, tag: str = "f") -> str:
+    """A fresh path the router places on *shard*."""
+
+    for index in range(1000):
+        path = f"/{tag}{index}/{tag}{index}.dat"
+        if deployment.shard_of(path) == shard:
+            return path
+    raise AssertionError(f"no prefix found for shard {shard}")
+
+
+def link(deployment, session, doc_id, path, content=b"payload"):
+    url = deployment.put_file(session, path, content)
+    session.insert(TABLE, {"doc_id": doc_id, "body": url})
+    return url
+
+
+class TestEpochs:
+    def test_registry_promote_bumps_and_is_idempotent(self):
+        registry = EpochRegistry()
+        assert registry.register("s0", "a") == 1
+        assert registry.promote("s0", "a") == 1       # no-op: already serving
+        assert registry.promote("s0", "b") == 2
+        assert registry.promote("s0", "b") == 2
+        assert registry.promote("s0", "a") == 3
+        assert registry.serving_node("s0") == "a"
+
+    def test_guard_fences_the_non_serving_node(self):
+        registry = EpochRegistry()
+        registry.register("s0", "a")
+        guard_a = EpochGuard(registry, "s0", "a")
+        guard_b = EpochGuard(registry, "s0", "b")
+        guard_a.check()
+        assert guard_b.fenced
+        with pytest.raises(FencedNodeError):
+            guard_b.check()
+        registry.promote("s0", "b")
+        guard_b.check()
+        with pytest.raises(FencedNodeError):
+            guard_a.check()
+
+
+class TestWalShipping:
+    def test_commits_stream_continuously_to_the_witness(self):
+        deployment, session = build_deployment()
+        replica = deployment.replicas["shard0"]
+        link(deployment, session, 0, path_on(deployment, "shard0"))
+        assert replica.shipper.lag() == 0
+        witness_paths = {row["path"] for row in
+                         replica.witness.dlfm.repository.linked_files()}
+        primary_paths = deployment.linked_paths("shard0")
+        assert witness_paths == primary_paths and witness_paths
+
+    def test_group_commit_ships_on_window_drain(self):
+        deployment, session = build_deployment(flush_policy="group",
+                                               group_commit_window=4)
+        replica = deployment.replicas["shard0"]
+        host_txn = deployment.begin()
+        url = deployment.put_file(session, path_on(deployment, "shard0"),
+                                  b"grouped")
+        deployment.engine.insert(TABLE, {"doc_id": 0, "body": url}, host_txn)
+        deployment.commit(host_txn)            # enqueued, not yet durable
+        deployment.drain()
+        # The branch COMMIT sits in the repository's group-commit window:
+        # not durable at the primary, so -- correctly -- not on the witness.
+        witness_repo = replica.witness.dlfm.repository
+        assert {row["path"] for row in witness_repo.linked_files()} == set()
+        deployment.system.flush_logs()         # window drains -> records ship
+        assert replica.shipper.lag() == 0
+        assert {row["path"] for row in
+                replica.witness.dlfm.repository.linked_files()} == \
+            deployment.linked_paths("shard0")
+
+    def test_witness_outage_accumulates_lag_then_resyncs(self):
+        deployment, session = build_deployment()
+        replica = deployment.replicas["shard0"]
+        deployment.crash_witness("shard0")
+        link(deployment, session, 0, path_on(deployment, "shard0", "down"))
+        assert replica.shipper.ship_errors > 0
+        assert replica.shipper.lag() > 0
+        assert replica.mirror_misses == 1   # a down witness misses the mirror
+        # the primary committed regardless of the dead witness
+        assert deployment.linked_paths("shard0")
+        deployment.recover_witness("shard0")
+        assert replica.shipper.lag() == 0
+        assert {row["path"] for row in
+                replica.witness.dlfm.repository.linked_files()} == \
+            deployment.linked_paths("shard0")
+
+    def test_witness_and_primary_both_down_does_not_wipe_witness(self):
+        """Recovering a witness while the primary is also down must not copy
+        the crashed primary's (reset) catalog over the witness; the resync
+        is deferred until the primary is back."""
+
+        deployment, session = build_deployment()
+        link(deployment, session, 0, path_on(deployment, "shard0", "both"))
+        deployment.crash_witness("shard0")
+        deployment.crash_shard("shard0")
+        summary = deployment.recover_witness("shard0")
+        assert summary["resync"] == {"resynced": False,
+                                     "deferred": "primary is down"}
+        deployment.recover_shard("shard0")
+        deployment.replicas["shard0"].resync()
+        assert {row["path"] for row in
+                deployment.replicas["shard0"].witness.dlfm.repository
+                .linked_files()} == deployment.linked_paths("shard0")
+
+    def test_archive_jobs_run_on_the_primary_only(self):
+        """The witness repository is redo-only: its replicated archive_queue
+        rows are executed by the primary, and the completion (plus the
+        file_versions row) replicates over instead of being produced
+        locally from the witness's mirror."""
+
+        deployment, session = build_deployment(recovery=True)
+        replica = deployment.replicas["shard0"]
+        path = path_on(deployment, "shard0", "aj")
+        link(deployment, session, 0, path)
+        assert replica.witness.dlfm.process_archive_jobs() == 0
+        completed = deployment.system.run_archiver()
+        assert completed == 1   # one job system-wide, on the primary
+        deployment.system.flush_logs()
+        primary_versions = deployment.shard("shard0").dlfm.repository.versions(path)
+        witness_versions = replica.witness.dlfm.repository.versions(path)
+        assert [v["archive_id"] for v in witness_versions] == \
+            [v["archive_id"] for v in primary_versions]
+
+    def test_aborted_transactions_never_reach_witness_heaps(self):
+        deployment, session = build_deployment()
+        replica = deployment.replicas["shard0"]
+        path = path_on(deployment, "shard0", "abort")
+        url = deployment.put_file(session, path, b"doomed")
+        session.begin()
+        session.insert(TABLE, {"doc_id": 9, "body": url})
+        session.abort()
+        deployment.system.flush_logs()
+        assert path not in {row["path"] for row in
+                            replica.witness.dlfm.repository.linked_files()}
+
+
+class TestFailover:
+    def test_reads_fail_over_with_token_validation(self):
+        deployment, session = build_deployment(mode=ControlMode.RDB)
+        path = path_on(deployment, "shard0", "rdb")
+        link(deployment, session, 0, path, b"token protected")
+        url = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                   access="read", ttl=1e9)
+        assert deployment.read_url(session, url) == b"token protected"
+        deployment.crash_shard("shard0")
+        with pytest.raises(DaemonUnavailableError):
+            deployment.read_url(session, url)
+        deployment.fail_over("shard0")
+        assert deployment.read_url(session, url) == b"token protected"
+
+    def test_fenced_ex_primary_refuses_token_validation(self):
+        deployment, session = build_deployment(mode=ControlMode.RDB)
+        path = path_on(deployment, "shard0", "fence")
+        link(deployment, session, 0, path)
+        url = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                   access="read", ttl=1e9)
+        deployment.crash_shard("shard0")
+        deployment.fail_over("shard0")
+        deployment.recover_shard("shard0")
+        manager = deployment.shard("shard0").dlfm
+        parsed = parse_url(url)
+        ino = manager.repository.linked_file(parsed.path)["ino"]
+        with pytest.raises(FencedNodeError):
+            manager.upcall_validate_token(ino, parsed.token, 1001)
+        with pytest.raises(FencedNodeError):
+            manager.upcall_check_open(ino, False, 1001)
+        # close processing is fenced too: an ex-primary must not commit
+        # close-time metadata into the host database while the witness serves
+        with pytest.raises(FencedNodeError):
+            manager.upcall_file_closed(ino, True, 1001)
+
+    def test_fenced_ex_primary_refuses_link_writes(self):
+        """Engine-facing ops are fenced too: a link committed against a
+        recovered ex-primary (whose WAL stream is paused) would split-brain
+        against the serving witness."""
+
+        deployment, session = build_deployment()
+        link(deployment, session, 0, path_on(deployment, "shard0", "pre"))
+        deployment.crash_shard("shard0")
+        deployment.fail_over("shard0")
+        deployment.recover_shard("shard0")
+
+        path = path_on(deployment, "shard0", "split")
+        url = deployment.put_file(session, path, b"late write")
+        with pytest.raises(ReproError):
+            session.insert(TABLE, {"doc_id": 77, "body": url})
+        # nothing leaked: the host aborted and the fenced node took no branch
+        assert deployment.host_db.select(TABLE, {"doc_id": 77}, lock=False) == []
+        assert deployment.shard("shard0").dlfm.repository.linked_file(path) is None
+
+    def test_witness_enforces_tokens_during_healthy_operation(self):
+        """The witness applies the link's control-mode constraints as rows
+        replicate: a bare (tokenless) URL read through the witness is
+        refused exactly like on the primary, with no failover involved."""
+
+        deployment, session = build_deployment(mode=ControlMode.RDB)
+        path = path_on(deployment, "shard0", "sec")
+        bare_url = link(deployment, session, 0, path, b"top secret")
+        stranger = deployment.session("stranger", uid=6666)
+        with pytest.raises(ReproError):
+            stranger.read_url(bare_url)
+        with pytest.raises(ReproError):
+            stranger.read_url(bare_url, server="shard0-r")
+
+    def test_promote_refuses_unsynced_witness(self):
+        """A witness that lost its replica state (crash) and could not
+        resync (primary down too) must not be promoted to serve an empty
+        repository; recovery order resolves it."""
+
+        from repro.errors import ReplicationError
+
+        deployment, session = build_deployment()
+        link(deployment, session, 0, path_on(deployment, "shard0", "sync"))
+        deployment.crash_witness("shard0")
+        deployment.crash_shard("shard0")
+        deployment.recover_witness("shard0")      # resync deferred
+        with pytest.raises(ReplicationError):
+            deployment.fail_over("shard0")
+        deployment.recover_shard("shard0")
+        deployment.replicas["shard0"].resync()
+        deployment.crash_shard("shard0")
+        summary = deployment.fail_over("shard0")  # now legitimate
+        assert summary["promoted"]
+        assert deployment.linked_paths("shard0")
+
+    def test_fail_back_returns_service_and_refences_witness(self):
+        deployment, session = build_deployment(mode=ControlMode.RDB)
+        path = path_on(deployment, "shard0", "back")
+        link(deployment, session, 0, path, b"original")
+        deployment.crash_shard("shard0")
+        deployment.fail_over("shard0")
+        summary = deployment.fail_back("shard0")
+        assert summary["serving"] == "shard0"
+        url = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                   access="read", ttl=1e9)
+        assert deployment.read_url(session, url) == b"original"
+        assert deployment.replicas["shard0"].witness.dlfm.is_fenced()
+        assert not deployment.shard("shard0").dlfm.is_fenced()
+
+    def test_promotion_restores_missing_content_from_archive(self):
+        deployment, session = build_deployment(mode=ControlMode.RDB,
+                                               recovery=True)
+        replica = deployment.replicas["shard0"]
+        path = path_on(deployment, "shard0", "arch")
+        link(deployment, session, 0, path, b"archived content")
+        deployment.system.run_archiver()
+        # lose the witness's mirrored copy (e.g. the mirror lagged)
+        replica.witness.raw_lfs.unlink(path, replica.witness.files.dlfm_cred)
+        deployment.crash_shard("shard0")
+        summary = deployment.fail_over("shard0")
+        assert path in summary["restored_files"]
+        url = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                   access="read", ttl=1e9)
+        assert deployment.read_url(session, url) == b"archived content"
+
+    def test_unreplicated_deployment_refuses_failover(self):
+        deployment = ShardedDataLinksDeployment(2)
+        with pytest.raises(Exception):
+            deployment.fail_over("shard0")
+
+    def test_stats_surface_replication_state(self):
+        deployment, session = build_deployment()
+        link(deployment, session, 0, path_on(deployment, "shard0"))
+        stats = deployment.stats()["replication"]
+        assert stats["shard0"]["serving"] == "shard0"
+        assert stats["shard0"]["shipped_records"] > 0
+        deployment.crash_shard("shard0")
+        deployment.fail_over("shard0")
+        stats = deployment.stats()["replication"]
+        assert stats["shard0"]["serving"] == "shard0-r"
+        assert stats["shard0"]["failed_over"]
+        assert stats["shard0"]["epoch"] == 2
+
+
+class TestSessionServerOverride:
+    def test_read_url_accepts_explicit_server(self):
+        deployment, session = build_deployment()
+        path = path_on(deployment, "shard0", "ovr")
+        url = link(deployment, session, 0, path, b"mirrored")
+        assert session.read_url(url) == b"mirrored"
+        assert session.read_url(url, server="shard0-r") == b"mirrored"

@@ -17,7 +17,8 @@ import pytest
 from repro.datalinks.control_modes import ControlMode
 from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
 from repro.datalinks.sharding import ShardedDataLinksDeployment, ShardRouter
-from repro.errors import ReproError
+from repro.datalinks.tokens import TokenType
+from repro.errors import FencedNodeError, ReproError
 from repro.storage.schema import Column, TableSchema
 from repro.storage.values import DataType
 from repro.util.urls import parse_url
@@ -44,10 +45,12 @@ def assert_agreement(deployment):
 class _Driver:
     """Random operation generator over a sharded deployment."""
 
-    def __init__(self, seed: int, shards: int = 4, window: int = 3):
+    def __init__(self, seed: int, shards: int = 4, window: int = 3,
+                 replication: bool = False):
         self.rng = random.Random(seed)
         self.deployment = ShardedDataLinksDeployment(
-            shards, flush_policy="group", group_commit_window=window)
+            shards, flush_policy="group", group_commit_window=window,
+            replication=replication)
         self.deployment.create_table(TableSchema(TABLE, [
             Column("doc_id", DataType.INTEGER, nullable=False),
             datalink_column("body", DatalinkOptions(
@@ -222,6 +225,122 @@ def test_drain_failure_after_host_commit_redrives_participants():
     assert_agreement(deployment)
     assert len(deployment.host_db.select(TABLE, lock=False)) == 12
     assert deployment.host_db.txn_outcome(host_txn.txn_id) == "committed"
+
+
+class _ReplicatedDriver(_Driver):
+    """The random driver over a deployment with witness replication.
+
+    Adds failover cycles (crash primary -> promote witness -> verify the
+    fenced ex-primary refuses a *valid* token -> fail back) and witness
+    outages to the operation mix, and checks replica convergence: after
+    every settle, each witness repository holds exactly the primary's (and
+    therefore the host's) linked-file state.
+    """
+
+    def __init__(self, seed: int, shards: int = 2, window: int = 3):
+        super().__init__(seed, shards, window, replication=True)
+        self.fenced_validations = 0
+        self.failovers = 0
+
+    # ------------------------------------------------------------- operations --
+    def _doom_in_flight(self) -> None:
+        try:
+            self.deployment.drain()
+        except ReproError:
+            pass
+        self.enqueued.clear()
+        while self.open_txns:
+            host_txn, _ = self.open_txns.pop()
+            try:
+                self.deployment.abort(host_txn)
+            except ReproError:
+                pass
+
+    def op_failover_cycle(self) -> None:
+        deployment = self.deployment
+        shard = self.rng.choice(deployment.shard_names)
+        deployment.crash_shard(shard)
+        self._doom_in_flight()
+        deployment.fail_over(shard)
+        self.failovers += 1
+
+        # The witness now serves exactly what the host database says.
+        assert_agreement(deployment)
+
+        # Property: a fenced ex-primary never accepts a token, even a
+        # cryptographically valid, unexpired one.
+        deployment.recover_shard(shard)
+        manager = deployment.shard(shard).dlfm
+        rows = manager.repository.linked_files()
+        if rows:
+            row = self.rng.choice(rows)
+            token = manager.generate_token(row["path"], TokenType.READ, ttl=1e9)
+            with pytest.raises(FencedNodeError):
+                manager.upcall_validate_token(row["ino"], token, 4001)
+            self.fenced_validations += 1
+
+        deployment.fail_back(shard)
+        assert_agreement(deployment)
+
+    def op_witness_outage(self) -> None:
+        deployment = self.deployment
+        shard = self.rng.choice(deployment.shard_names)
+        if deployment.replicas[shard].failed_over:
+            return
+        deployment.crash_witness(shard)
+        # the primary keeps serving and committing while the witness is down
+        self.op_insert_commit()
+        deployment.recover_witness(shard)
+
+    def op_drain(self) -> None:
+        try:
+            self.deployment.drain()
+        except ReproError:
+            pass
+        self.enqueued.clear()
+
+    def step(self) -> None:
+        operation = self.rng.choices(
+            [self.op_insert_commit, self.op_open_txn, self.op_finish_open,
+             self.op_delete, self.op_drain, self.op_failover_cycle,
+             self.op_witness_outage],
+            weights=[8, 3, 4, 4, 2, 2, 1])[0]
+        operation()
+
+    # ------------------------------------------------------------ convergence --
+    def assert_convergence(self) -> None:
+        """Primary and witness repositories hold identical link state."""
+
+        deployment = self.deployment
+        deployment.system.flush_logs()
+        for name in deployment.shard_names:
+            replica = deployment.replicas[name]
+            primary_linked = deployment.linked_paths(name)
+            witness_linked = {row["path"] for row in
+                              replica.witness.dlfm.repository.linked_files()}
+            assert witness_linked == primary_linked, (
+                f"{name}: witness {sorted(witness_linked)} != "
+                f"primary {sorted(primary_linked)}")
+            assert replica.shipper.lag() == 0
+
+
+@pytest.mark.parametrize("seed", [11, 5150])
+def test_random_failovers_converge_primary_and_replica(seed):
+    driver = _ReplicatedDriver(seed)
+    for step in range(60):
+        driver.step()
+        if step % 12 == 11:
+            driver.settle()
+            assert_agreement(driver.deployment)
+            driver.assert_convergence()
+    driver.settle()
+    assert_agreement(driver.deployment)
+    driver.assert_convergence()
+    # the run exercised what it claims to: real links, real failovers, and
+    # at least one refused fenced validation
+    assert driver.next_doc > 20
+    assert driver.failovers > 0
+    assert driver.fenced_validations > 0
 
 
 def test_router_is_stable_and_prefix_local():

@@ -75,6 +75,36 @@ class TestDML:
                                "(10, 'a'), (11, 'b'), (12, 'c')")
         assert count == 3
 
+    def test_multi_row_insert_is_one_batched_statement(self, sql_db):
+        """The VALUES list routes through insert_many: one parse/plan charge
+        for the whole statement, versus one per row-at-a-time statement."""
+
+        clock = sql_db.clock
+        before = clock.stats.count("sql_statement_base")
+        sql_db.execute("INSERT INTO people (person_id, name) VALUES "
+                       "(40, 'a'), (41, 'b'), (42, 'c'), (43, 'd')")
+        batched = clock.stats.count("sql_statement_base") - before
+
+        before = clock.stats.count("sql_statement_base")
+        for person_id in (50, 51, 52, 53):
+            sql_db.execute(f"INSERT INTO people (person_id, name) "
+                           f"VALUES ({person_id}, 'x')")
+        per_row = clock.stats.count("sql_statement_base") - before
+        assert batched < per_row
+        assert len(sql_db.execute("SELECT * FROM people WHERE person_id >= 40")) == 8
+
+    def test_multi_row_insert_rolls_back_atomically(self, sql_db):
+        """A duplicate key in the VALUES list aborts the whole statement."""
+
+        import pytest as _pytest
+
+        from repro.errors import DuplicateKeyError
+
+        with _pytest.raises(DuplicateKeyError):
+            sql_db.execute("INSERT INTO people (person_id, name) VALUES "
+                           "(60, 'ok'), (60, 'dup')")
+        assert sql_db.execute("SELECT * FROM people WHERE person_id = 60") == []
+
     def test_null_literal(self, sql_db):
         sql_db.execute("INSERT INTO people (person_id, name, age) VALUES (20, 'x', NULL)")
         assert sql_db.execute("SELECT age FROM people WHERE person_id = 20")[0]["age"] is None
@@ -120,3 +150,28 @@ class TestDataLinksRouting:
     def test_executor_without_engine_skips_link_processing(self, sql_db):
         executor = SQLExecutor(sql_db)
         assert executor.engine is None
+
+    def test_multi_row_sql_insert_ships_one_link_batch_per_server(self):
+        """SQL multi-row INSERT pays one DBMS-to-DLFM message for its links,
+        the same batched pipeline as the typed insert_many API."""
+
+        system, alice, paths, _ = build_system(ControlMode.RFD, files=6,
+                                               link=False)
+        urls = [system.engine.make_url("fs1", path) for path in paths]
+        clock = system.clock
+
+        values = ", ".join(f"({index}, '{url}')"
+                           for index, url in enumerate(urls[:3]))
+        before = clock.stats.count("db_dlfm_message")
+        alice.sql(f"INSERT INTO docs (doc_id, body) VALUES {values}")
+        batched_messages = clock.stats.count("db_dlfm_message") - before
+
+        before = clock.stats.count("db_dlfm_message")
+        for index, url in enumerate(urls[3:], start=3):
+            alice.sql(f"INSERT INTO docs (doc_id, body) VALUES ({index}, '{url}')")
+        per_row_messages = clock.stats.count("db_dlfm_message") - before
+
+        assert batched_messages < per_row_messages
+        dlfm = system.file_server("fs1").dlfm
+        assert all(dlfm.repository.linked_file(path) is not None
+                   for path in paths)

@@ -13,6 +13,7 @@ from repro.bench.experiments import (
     experiment_e7,
     experiment_e8,
     experiment_e11,
+    experiment_e12,
     run_experiment,
 )
 from repro.bench.metrics import ExperimentResult, format_table
@@ -21,7 +22,7 @@ from repro.workloads.editors import EditorConfig
 
 class TestHarness:
     def test_registry_covers_all_experiments(self):
-        expected = {f"E{i}" for i in range(1, 12)}
+        expected = {f"E{i}" for i in range(1, 13)}
         assert set(ALL_EXPERIMENTS) == expected
 
     def test_smoke_params_cover_every_experiment(self):
@@ -29,7 +30,7 @@ class TestHarness:
 
     @pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
     def test_every_experiment_completes_in_smoke_mode(self, experiment_id):
-        """CI gate: ``python -m repro.bench --smoke`` must cover E1..E11."""
+        """CI gate: ``python -m repro.bench --smoke`` must cover E1..E12."""
 
         result = run_experiment(experiment_id, smoke=True)
         assert isinstance(result, ExperimentResult)
@@ -101,6 +102,25 @@ class TestExperimentClaims:
     def test_e8_sync_semantics_match_paper(self):
         result = experiment_e8()
         assert all(row["matches_paper"] == "yes" for row in result.rows)
+
+    def test_e12_replica_failover_gives_full_read_availability(self):
+        result = experiment_e12(shards=2, files=12, reads_per_phase=12,
+                                file_size=512, rows_per_transaction=4)
+        by_config = {("no replication" in row["configuration"]): row
+                     for row in result.rows}
+        baseline, replicated = by_config[True], by_config[False]
+        # the crashed shard's prefix was actually exercised after the crash
+        assert baseline["victim_reads_after"] > 0
+        assert replicated["victim_reads_after"] > 0
+        # unreplicated: every read of the crashed prefix fails;
+        # replicated: zero failures after promotion
+        assert baseline["victim_availability_pct"] == 0.0
+        assert baseline["victim_failures_after"] == baseline["victim_reads_after"]
+        assert replicated["victim_availability_pct"] == 100.0
+        assert replicated["victim_failures_after"] == 0
+        assert replicated["failover_ms"] > 0
+        # replication taxes the write path
+        assert replicated["links_per_sim_s"] < baseline["links_per_sim_s"]
 
     def test_e11_scaleout_beats_baseline_by_1_5x(self):
         result = experiment_e11(shards=8, clients=4, transactions_per_client=3,
