@@ -16,6 +16,18 @@ This walks through the core loop of the paper:
    repository WAL stream, crash a primary, and keep reading through the
    promoted witness.
 
+How simulated time works (see ``repro/simclock.py`` for the full story):
+every *node* -- the host database, each file server, the archive mover --
+owns its own ``ClockDomain`` and advances it by charging calibrated
+primitive costs.  Domains max-merge at real synchronization points (IPC
+round trips, two-phase-commit barriers, synchronous mirrors), while
+pipelined traffic (link batches, WAL shipping) lets the receiver work on
+its own timeline without blocking the sender, so N shards genuinely
+overlap.  ``system.clock`` is the host node's domain;
+``system.clocks.global_now()`` is the cluster wall clock (the max over all
+domains) that experiments report.  Benchmarks then quote *simulated*
+milliseconds calibrated against the paper's Section 3.2 measurements.
+
 Scale-out knobs (step 7):
 
 * ``ShardedDataLinksDeployment(shards, flush_policy=..., group_commit_window=...)``
@@ -92,7 +104,9 @@ def main() -> None:
           f"mtime={row['body_mtime']:.3f}")
     versions = system.file_server("fs1").dlfm.repository.versions("/docs/welcome.html")
     print(f"archived versions: {[v['version_no'] for v in versions]}")
-    print(f"simulated time spent: {system.clock.now() * 1000:.2f} ms")
+    print(f"simulated time spent: {system.clocks.global_now() * 1000:.2f} ms "
+          f"(cluster wall clock; host domain at "
+          f"{system.clock.now() * 1000:.2f} ms)")
 
     # 7. Scale out: shard files over 4 DLFMs, batch the links, group-commit.
     from repro.datalinks.sharding import ShardedDataLinksDeployment
@@ -118,6 +132,11 @@ def main() -> None:
     stats = deployment.stats()
     print(f"sharded deployment: {stats['linked_files_per_shard']} "
           f"with only {stats['host_log_flushes']} host log flushes")
+    domains = stats["clock_domains"]
+    print(f"clock domains: cluster wall clock "
+          f"{domains['global_now_ms']:.2f} ms while per-shard work overlapped "
+          f"({ {name: round(ms, 2) for name, ms in domains['charged_ms_per_domain'].items()} } "
+          f"ms charged per node)")
 
     # 8. Replicate: witness replicas consume each primary's WAL stream, so a
     #    shard crash no longer makes its URL prefix unreadable.

@@ -43,7 +43,7 @@ Quickstart::
 from repro.api import DataLinksSystem, Session
 from repro.datalinks import ControlMode
 from repro.datalinks.datalink_type import DatalinkOptions, OnUnlink, datalink_column
-from repro.simclock import CostModel, SimClock
+from repro.simclock import ClockDomain, ClockDomainGroup, CostModel, SimClock
 from repro.storage import Column, DataType, Database, TableSchema
 
 __version__ = "1.0.0"
@@ -57,6 +57,8 @@ __all__ = [
     "datalink_column",
     "CostModel",
     "SimClock",
+    "ClockDomain",
+    "ClockDomainGroup",
     "Column",
     "DataType",
     "Database",

@@ -30,6 +30,46 @@ from repro.errors import DataLinksError
 from repro.fs.inode import FileAttributes
 from repro.fs.logical import LogicalFileSystem
 from repro.fs.vfs import Credentials, OpenFlags
+from repro.simclock import synchronized_call
+
+
+class SyncedFileSystem:
+    """A file server's LFS as seen from another clock domain.
+
+    Sessions run beside the host database (the ``host`` clock domain); the
+    file they open lives on a file server with its own domain.  This proxy
+    brackets every file-system call with the merge-at-sync protocol: the
+    server's clock syncs up to the client's send time, the call's work
+    accrues on the server's timeline, and the client's clock merges up to
+    the completion -- so a client-side stopwatch sees the true end-to-end
+    latency, including any queueing behind other work on that server.
+    """
+
+    def __init__(self, lfs: LogicalFileSystem, client_clock, server_clock):
+        self._lfs = lfs
+        self._client_clock = client_clock
+        self._server_clock = server_clock
+
+    def __getattr__(self, name: str):
+        attribute = getattr(self._lfs, name)
+        if not callable(attribute):
+            return attribute
+        client, server = self._client_clock, self._server_clock
+
+        def synced_call(*args, **kwargs):
+            with synchronized_call(client, server):
+                return attribute(*args, **kwargs)
+
+        return synced_call
+
+
+def synced_lfs(system, server_name: str):
+    """The LFS of *server_name*, clock-synchronized to the host domain."""
+
+    file_server = system.file_server(server_name)
+    if file_server.clock is system.clock:
+        return file_server.lfs
+    return SyncedFileSystem(file_server.lfs, system.clock, file_server.clock)
 
 
 class BoundFileSystem:
@@ -184,7 +224,7 @@ class Session:
     def fs(self, server: str) -> BoundFileSystem:
         """The ordinary file-system API of *server*, as this session's user."""
 
-        return BoundFileSystem(self.system.file_server(server).lfs, self.cred)
+        return BoundFileSystem(synced_lfs(self.system, server), self.cred)
 
     def put_file(self, server: str, path: str, content: bytes) -> str:
         """Create *path* on *server* with *content* (before linking it).
@@ -194,13 +234,13 @@ class Session:
         workloads do not need to pre-create a directory tree.
         """
 
-        file_server = self.system.file_server(server)
+        lfs = synced_lfs(self.system, server)
         directory = path.rsplit("/", 1)[0] or "/"
         root_cred = Credentials(uid=0, gid=0, username="root")
         if directory != "/":
-            file_server.lfs.makedirs(directory, root_cred)
-            file_server.lfs.chown(directory, self.cred.uid, self.cred.gid, root_cred)
-        file_server.lfs.write_file(path, content, self.cred)
+            lfs.makedirs(directory, root_cred)
+            lfs.chown(directory, self.cred.uid, self.cred.gid, root_cred)
+        lfs.write_file(path, content, self.cred)
         return self.system.engine.make_url(server, path)
 
     def read_url(self, url: str, *, server: str | None = None) -> bytes:
@@ -213,7 +253,7 @@ class Session:
         primary's signing secret.
         """
 
-        lfs = self.system.file_server(server or self._server_of(url)).lfs
+        lfs = synced_lfs(self.system, server or self._server_of(url))
         fd = open_for_read(lfs, url, self.cred)
         try:
             return lfs.read(fd)
@@ -224,7 +264,7 @@ class Session:
         """Start an update-in-place transaction on a write-tokenized URL."""
 
         server = self._server_of(url)
-        lfs = self.system.file_server(server).lfs
+        lfs = synced_lfs(self.system, server)
         return FileUpdateTransaction(
             lfs, url, self.cred, truncate=truncate,
             abort_callback=lambda srv, path: self.system.abort_file_update(server, path))
@@ -243,7 +283,7 @@ class Session:
     def open_url(self, url: str, flags: OpenFlags) -> int:
         """Open a tokenized URL with explicit flags; returns the fd."""
 
-        lfs = self.system.file_server(self._server_of(url)).lfs
+        lfs = synced_lfs(self.system, self._server_of(url))
         return lfs.open(tokenized_path(url), flags, self.cred)
 
     def _server_of(self, url: str) -> str:

@@ -1,13 +1,24 @@
 """System assembly: host database, DataLinks engine, file servers, archive.
 
 :class:`DataLinksSystem` is the top-level object users construct.  It owns
-the simulated clock, the host database with its DataLinks engine, the shared
-archive server, and any number of file servers, each of which stacks
-physical FS -> DLFS -> logical FS and runs its own DLFM daemons -- the
-architecture of Figure 1 in the paper.
+the simulated clock domains, the host database with its DataLinks engine,
+the shared archive server, and any number of file servers, each of which
+stacks physical FS -> DLFS -> logical FS and runs its own DLFM daemons --
+the architecture of Figure 1 in the paper.
+
+Simulated time is per node: the host database (plus the DataLinks engine
+and co-located clients) runs on the ``host`` clock domain, every file
+server runs on its own domain, and the archive mover on the ``archive``
+domain; domains max-merge at IPC and commit barriers (see
+:mod:`repro.simclock`), so N file servers overlap in time the way the
+paper's real testbed machines did.  ``serial_clock=True`` collapses all of
+them back onto one timeline for A/B comparisons against the old serial
+model.
 """
 
 from __future__ import annotations
+
+import contextlib
 
 from repro.datalinks.backup_coordinator import BackupCoordinator, SystemBackup
 from repro.datalinks.dlfm.archive import ArchiveServer
@@ -21,7 +32,12 @@ from repro.errors import DataLinksError
 from repro.fs.logical import LogicalFileSystem
 from repro.fs.physical import PhysicalFileSystem
 from repro.fs.vfs import Credentials
-from repro.simclock import CostModel, SimClock
+from repro.simclock import (
+    ClockDomainGroup,
+    CostModel,
+    SimClock,
+    synchronized_call,
+)
 from repro.storage.database import Database
 from repro.storage.schema import TableSchema
 
@@ -104,14 +120,23 @@ class DataLinksSystem:
     def __init__(self, cost_model: CostModel | None = None,
                  clock: SimClock | None = None, *,
                  flush_policy: str = "immediate",
-                 group_commit_window: int = 8):
-        self.clock = clock if clock is not None else SimClock(cost_model)
+                 group_commit_window: int = 8,
+                 serial_clock: bool = False):
+        if clock is not None:
+            # An explicitly supplied clock is adopted as the single shared
+            # timeline (legacy behavior / serial-clock studies).
+            self.clocks = ClockDomainGroup(root=clock)
+        else:
+            self.clocks = ClockDomainGroup(cost_model, serial=serial_clock)
+        #: The host database node's clock domain (also where co-located
+        #: clients -- sessions -- experience time).
+        self.clock = self.clocks.domain("host")
         self._flush_policy = flush_policy
         self._group_commit_window = group_commit_window
         self.host_db = Database("host", self.clock, flush_policy=flush_policy,
                                 group_commit_window=group_commit_window)
         self.engine = DataLinksEngine(self.host_db, self.clock)
-        self.archive = ArchiveServer(self.clock)
+        self.archive = ArchiveServer(self.clocks.domain("archive"))
         self.file_servers: dict[str, FileServer] = {}
         self._backup_coordinator = BackupCoordinator(self.host_db, {})
 
@@ -132,9 +157,12 @@ class DataLinksSystem:
 
         if name in self.file_servers:
             raise DataLinksError(f"file server {name!r} already exists")
-        server = FileServer(name, self.clock, self.archive, dbms_uid=dbms_uid,
+        server = FileServer(name, self.clocks.domain(name), self.archive,
+                            dbms_uid=dbms_uid,
                             strict_read_upcalls=strict_read_upcalls,
                             token_secret=token_secret)
+        # A node provisioned now joins the cluster at the current time.
+        server.clock.sync_to(self.clock.now())
         server.dlfm.repository.db.set_flush_policy(self._flush_policy,
                                                    self._group_commit_window)
         self.file_servers[name] = server
@@ -194,11 +222,26 @@ class DataLinksSystem:
             server.dlfm.repository.db.wal.flush()
 
     # ----------------------------------------------------------------- background --
+    @contextlib.contextmanager
+    def _at_server(self, server: FileServer):
+        """Run an administrative request on *server* and wait for it.
+
+        The request departs from the host/console domain and the caller's
+        clock max-merges up to the server's completion -- a synchronous
+        admin round trip between clock domains.
+        """
+
+        with synchronized_call(self.clock, server.clock):
+            yield server
+
     def run_archiver(self) -> int:
         """Process pending asynchronous archive jobs on every file server."""
 
-        return sum(server.process_archive_jobs()
-                   for server in self.file_servers.values())
+        jobs = 0
+        for server in self.file_servers.values():
+            with self._at_server(server):
+                jobs += server.process_archive_jobs()
+        return jobs
 
     def run_housekeeping(self, keep_versions: int | None = None) -> dict:
         """Run DLFM housekeeping on every file server.
@@ -208,24 +251,42 @@ class DataLinksSystem:
         *keep_versions* entries.  Returns per-server counts.
         """
 
-        return {name: server.dlfm.run_housekeeping(keep_versions=keep_versions)
-                for name, server in sorted(self.file_servers.items())}
+        results = {}
+        for name, server in sorted(self.file_servers.items()):
+            with self._at_server(server):
+                results[name] = server.dlfm.run_housekeeping(
+                    keep_versions=keep_versions)
+        return results
 
     def abort_file_update(self, server: str, path: str) -> bool:
         """Administrative rollback of an in-progress file update (Section 4.2)."""
 
-        return self.file_server(server).dlfm.abort_file_update(path)
+        target = self.file_server(server)
+        with self._at_server(target):
+            return target.dlfm.abort_file_update(path)
 
     # ------------------------------------------------------------ backup / restore --
     def backup(self, label: str = "") -> SystemBackup:
-        """Take a coordinated backup of the host database and every file server."""
+        """Take a coordinated backup of the host database and every file server.
 
-        return self._backup_coordinator.backup(label)
+        A coordinated backup is a cluster-wide synchronization point, so
+        every clock domain rendezvouses before and after it.
+        """
+
+        self.clocks.barrier()
+        try:
+            return self._backup_coordinator.backup(label)
+        finally:
+            self.clocks.barrier()
 
     def restore(self, backup: SystemBackup) -> dict:
         """Restore a coordinated backup; returns the per-server restored paths."""
 
-        return self._backup_coordinator.restore(backup)
+        self.clocks.barrier()
+        try:
+            return self._backup_coordinator.restore(backup)
+        finally:
+            self.clocks.barrier()
 
     # ------------------------------------------------------------ fault injection --
     def crash_file_server(self, name: str) -> None:
@@ -242,4 +303,8 @@ class DataLinksSystem:
         their own in-doubt branches during :meth:`recover_file_server`.
         """
 
-        return self.engine.resolve_in_doubt()
+        self.clocks.barrier()
+        try:
+            return self.engine.resolve_in_doubt()
+        finally:
+            self.clocks.barrier()

@@ -76,12 +76,22 @@ def _build_system(mode: ControlMode | None, *, size: int = 64 * 1024,
     return system, owner, paths
 
 
-def _measure(system: DataLinksSystem, operation, repeats: int = 20) -> float:
-    """Mean simulated milliseconds of *operation* over *repeats* runs."""
+def _measure(system: DataLinksSystem, operation, repeats: int = 20,
+             clock=None) -> float:
+    """Mean simulated milliseconds of *operation* over *repeats* runs.
 
+    ``clock`` selects the clock domain the stopwatch runs on -- the domain
+    where the measured operation starts and completes.  Host-side and
+    session-driven operations measure on ``system.clock`` (the host domain;
+    session file calls merge the file server's completion time back into
+    it), while operations driven directly against one file server's file
+    system measure on that server's domain.
+    """
+
+    stopwatch_clock = clock if clock is not None else system.clock
     total = 0.0
     for _ in range(repeats):
-        with system.clock.measure() as timer:
+        with stopwatch_clock.measure() as timer:
             operation()
         total += timer.elapsed_ms
     return total / repeats
@@ -118,6 +128,21 @@ def experiment_e1(repeats: int = 50) -> ExperimentResult:
 
     rows.append({"statement": "SELECT DATALINK with write-token generation",
                  "mean_ms": _measure(system_w, select_write_token, repeats)})
+
+    # Host-side token cache (ROADMAP read-caching, first slice): repeated
+    # retrievals of the same DATALINK reuse the live token and skip the HMAC.
+    system_c, _, _ = _build_system(ControlMode.RDB, size=4096, files=10)
+    cache = system_c.engine.enable_token_cache()
+
+    def select_cached_token():
+        system_c.engine.get_datalink(FILES_TABLE, {"file_id": 3}, "doc",
+                                     access="read", ttl=10_000.0)
+
+    select_cached_token()   # warm the cache outside the measured window
+    cached_ms = _measure(system_c, select_cached_token, repeats)
+    rows.append({"statement": "SELECT DATALINK with token cache "
+                              f"(hit rate {cache.stats()['hit_rate']:.2f})",
+                 "mean_ms": cached_ms})
     for row in rows:
         row["within_3ms"] = "yes" if row["mean_ms"] < 3.0 else "no"
     return ExperimentResult(
@@ -128,6 +153,9 @@ def experiment_e1(repeats: int = 50) -> ExperimentResult:
                     "(Section 3.2).",
         headers=["statement", "mean_ms", "within_3ms"],
         rows=rows,
+        notes="The token-cache row goes beyond the paper: repeated "
+              "retrievals of the same (path, access) reuse a still-live "
+              "token instead of regenerating the HMAC.",
     )
 
 
@@ -146,7 +174,8 @@ def experiment_e2(repeats: int = 20) -> ExperimentResult:
     for label, mode in scenarios:
         system, owner, paths = _build_system(mode, size=4096)
         path = paths[0]
-        lfs = system.file_server("fs1").lfs
+        server = system.file_server("fs1")
+        lfs = server.lfs
         needs_token = mode is not None and mode.requires_read_token
         url = None
         if needs_token:
@@ -162,9 +191,13 @@ def experiment_e2(repeats: int = 20) -> ExperimentResult:
             fd = lfs.open(open_path, OpenFlags.READ, owner.cred)
             lfs.close(fd)
 
-        before_upcalls = system.clock.stats.count("upcall_round_trip")
-        mean_ms = _measure(system, open_close, repeats)
-        upcalls = (system.clock.stats.count("upcall_round_trip") - before_upcalls) / repeats
+        # open/close (and its upcalls) run entirely on the file server's
+        # node, so measure on that clock domain and count upcalls in the
+        # cluster-wide merged statistics.
+        before_upcalls = system.clocks.stats.count("upcall_round_trip")
+        mean_ms = _measure(system, open_close, repeats, clock=server.clock)
+        upcalls = (system.clocks.stats.count("upcall_round_trip")
+                   - before_upcalls) / repeats
         if label == "unlinked":
             baseline_ms = mean_ms
         rows.append({
@@ -195,14 +228,17 @@ def experiment_e3(sizes: tuple = (64 * 1024, 1024 * 1024, 4 * 1024 * 1024),
                   repeats: int = 5) -> ExperimentResult:
     rows = []
     for size in sizes:
-        # plain file system (file not linked)
+        # plain file system (file not linked) -- a node-local read, measured
+        # on the file server's clock domain
         system_plain, owner_plain, paths_plain = _build_system(None, size=size)
-        lfs_plain = system_plain.file_server("fs1").lfs
+        server_plain = system_plain.file_server("fs1")
+        lfs_plain = server_plain.lfs
 
         def read_plain():
             lfs_plain.read_file(paths_plain[0], owner_plain.cred)
 
-        plain_ms = _measure(system_plain, read_plain, repeats)
+        plain_ms = _measure(system_plain, read_plain, repeats,
+                            clock=server_plain.clock)
 
         # DataLinks full control: the DB-side token retrieval and the FS-side
         # tokenized read are measured separately so the paper's "<1 % at the
@@ -266,16 +302,19 @@ def experiment_e3(sizes: tuple = (64 * 1024, 1024 * 1024, 4 * 1024 * 1024),
 def experiment_e4(repeats: int = 20) -> ExperimentResult:
     rows = []
 
-    # Plain file owned by the application: open for write, close.
+    # Plain file owned by the application: open for write, close.  A
+    # node-local operation, measured on the file server's clock domain.
     system_plain, owner_plain, paths_plain = _build_system(None, size=8192)
-    lfs_plain = system_plain.file_server("fs1").lfs
+    server_plain = system_plain.file_server("fs1")
+    lfs_plain = server_plain.lfs
 
     def plain_write_open_close():
         fd = lfs_plain.open(paths_plain[0], OpenFlags.READ | OpenFlags.WRITE,
                             owner_plain.cred)
         lfs_plain.close(fd)
 
-    plain_ms = _measure(system_plain, plain_write_open_close, repeats)
+    plain_ms = _measure(system_plain, plain_write_open_close, repeats,
+                        clock=server_plain.clock)
     rows.append({"case": "plain file, write open/close (no DataLinks)",
                  "mean_ms": plain_ms, "added_ms": 0.0})
 
@@ -680,15 +719,17 @@ def experiment_e10(repeats: int = 20) -> ExperimentResult:
         owner.insert(FILES_TABLE, {"file_id": 0, "doc": url,
                                    "doc_size": 0, "doc_mtime": 0.0})
         system.run_archiver()
-        lfs = system.file_server("fs1").lfs
+        server = system.file_server("fs1")
+        lfs = server.lfs
 
         def open_close():
             fd = lfs.open(path, _OpenFlags.READ, owner.cred)
             lfs.close(fd)
 
-        before_upcalls = system.clock.stats.count("upcall_round_trip")
-        mean_ms = _measure(system, open_close, repeats)
-        upcalls = (system.clock.stats.count("upcall_round_trip") - before_upcalls) / repeats
+        before_upcalls = system.clocks.stats.count("upcall_round_trip")
+        mean_ms = _measure(system, open_close, repeats, clock=server.clock)
+        upcalls = (system.clocks.stats.count("upcall_round_trip")
+                   - before_upcalls) / repeats
 
         # Semantic probe: does a writer get in while a reader holds the file?
         reader = system.session("reader", uid=3002)
@@ -733,15 +774,22 @@ def experiment_e11(shards: int = 8, clients: int = 4,
                    transactions_per_client: int = 3,
                    rows_per_transaction: int = 16,
                    file_size: int = 512) -> ExperimentResult:
-    """Link throughput of the scale-out layer versus the per-row baseline."""
+    """Link throughput of the scale-out layer versus the per-row baseline.
 
+    Links use rdb mode (token-protected reads), so every link drives the
+    full DLFM path -- repository rows plus the link-time ownership takeover
+    on the shard -- the same deployment style E12 replicates.
+    """
+
+    from repro.datalinks.control_modes import ControlMode as _ControlMode
     from repro.workloads.scaleout import ScaleOutConfig, ScaleOutWorkload
 
     def run(label, **overrides):
         config = ScaleOutConfig(clients=clients,
                                 transactions_per_client=transactions_per_client,
                                 rows_per_transaction=rows_per_transaction,
-                                file_size=file_size, **overrides)
+                                file_size=file_size,
+                                control_mode=_ControlMode.RDB, **overrides)
         workload = ScaleOutWorkload(config).setup()
         metrics = workload.run()
         stats = workload.deployment.stats()
@@ -756,6 +804,12 @@ def experiment_e11(shards: int = 8, clients: int = 4,
         }
 
     rows = [
+        run("1 server, per-row links, immediate flush, serial clock",
+            shards=1, batch_links=False, flush_policy="immediate",
+            group_commit_window=1, serial_clock=True),
+        run(f"{shards} shards, per-row links, immediate flush, serial clock",
+            shards=shards, batch_links=False, flush_policy="immediate",
+            group_commit_window=1, serial_clock=True),
         run("1 server, per-row links, immediate flush",
             shards=1, batch_links=False, flush_policy="immediate",
             group_commit_window=1),
@@ -766,26 +820,34 @@ def experiment_e11(shards: int = 8, clients: int = 4,
             shards=shards, batch_links=True, flush_policy="group",
             group_commit_window=8),
     ]
-    baseline = rows[0]["links_per_sim_s"] or 1.0
+    baseline_row = next(
+        row for row in rows
+        if row["configuration"] == "1 server, per-row links, immediate flush")
+    baseline = baseline_row["links_per_sim_s"] or 1.0
     for row in rows:
         row["speedup_vs_baseline"] = round(row["links_per_sim_s"] / baseline, 2)
     return ExperimentResult(
         experiment_id="E11",
         title="Scale-out: sharded DLFMs with group commit and batched pipelines",
         paper_claim="Beyond the paper: hash-sharding linked files over many "
-                    "DLFMs, shipping one batched link message per enlisted "
-                    "shard and resolving commits in groups (one log force and "
-                    "one prepare/commit message per shard per batch) should "
-                    "raise link throughput well above the per-row, "
-                    "per-commit-flush baseline.",
+                    "DLFMs, letting each shard's clock domain progress "
+                    "concurrently, shipping one batched link message per "
+                    "enlisted shard and resolving commits in groups (one log "
+                    "force and one prepare/commit message per shard per "
+                    "batch) should raise link throughput well above the "
+                    "serial one-server, per-row, per-commit-flush baseline.",
         headers=["configuration", "links", "links_per_sim_s", "mean_txn_ms",
                  "host_log_flushes", "max_links_per_shard", "speedup_vs_baseline"],
         rows=rows,
-        notes="The simulated clock is serial, so adding shards *without* "
-              "batching only adds two-phase-commit fan-out cost (the second "
-              "row); the win comes from the batched pipelines and WAL group "
-              "commit, while sharding spreads the linked files "
-              "(max_links_per_shard) and with them the data-path load.",
+        notes="speedup_vs_baseline is relative to the 1-server clock-domain "
+              "row.  The serial-clock rows reproduce the old single-timeline "
+              "model, where adding shards *without* batching only adds "
+              "two-phase-commit fan-out cost; with per-node clock domains "
+              "the same per-row configuration overlaps link work across "
+              "shards (the fourth row's win is parallelism alone), and "
+              "batching plus WAL group commit stack on top of it while "
+              "sharding spreads the linked files (max_links_per_shard) and "
+              "with them the data-path load.",
     )
 
 
@@ -847,7 +909,11 @@ def experiment_e12(shards: int = 4, files: int = 32, reads_per_phase: int = 48,
               "path, not just raw file content.  The witness shares its "
               "primary's token secret, so tokens issued before the crash stay "
               "valid, and an epoch fence keeps the recovered ex-primary from "
-              "validating anything until fail-back.",
+              "validating anything until fail-back.  Under per-node clock "
+              "domains the WAL stream ships without blocking the primary and "
+              "the witness applies it on its own timeline, so the remaining "
+              "ingest tax is the synchronous content mirror -- smaller than "
+              "the serial-clock model charged.",
     )
 
 

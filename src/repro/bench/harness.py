@@ -1,36 +1,78 @@
-"""Run every experiment and render the results (text or markdown)."""
+"""Run every experiment and render the results (text, markdown, JSON).
+
+``python -m repro.bench --smoke`` additionally writes a ``BENCH_smoke.json``
+artifact -- a per-experiment summary of the simulated-millisecond columns --
+so future changes have a perf trajectory to compare against (``--json PATH``
+overrides the location; ``--json`` also works for full, non-smoke runs).
+The default artifact path is relative to the current working directory; run
+the command from the repository root so the checked-in copy there -- the
+trajectory's committed baseline -- is the one refreshed, and commit it
+whenever a change moves the numbers.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.bench.metrics import ExperimentResult
 
+SMOKE_ARTIFACT = "BENCH_smoke.json"
+
+
+def write_artifact(results: list[ExperimentResult], wall_clock: dict,
+                   path: str, smoke: bool) -> None:
+    """Write the JSON perf artifact for *results* to *path*."""
+
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "experiments": {
+            result.experiment_id: {
+                **result.to_dict(),
+                "wall_clock_s": round(wall_clock.get(result.experiment_id, 0.0), 3),
+            }
+            for result in results
+        },
+    }
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True, default=str)
+        stream.write("\n")
+
 
 def run_all(experiment_ids: list[str] | None = None, *,
             markdown: bool = False, smoke: bool = False,
+            json_path: str | None = None,
             stream=None) -> list[ExperimentResult]:
     """Run the selected experiments (all by default), printing each table.
 
     ``smoke=True`` uses the tiny per-experiment configurations -- a fast
-    sanity pass over every experiment's full code path.
+    sanity pass over every experiment's full code path -- and, unless
+    ``json_path`` says otherwise, writes the :data:`SMOKE_ARTIFACT` perf
+    summary next to the current working directory.
     """
 
     stream = stream if stream is not None else sys.stdout
     ids = [identifier.upper() for identifier in (experiment_ids or sorted(ALL_EXPERIMENTS))]
     results = []
+    wall_clock: dict[str, float] = {}
     for identifier in ids:
         started = time.time()
         result = run_experiment(identifier, smoke=smoke)
         elapsed = time.time() - started
+        wall_clock[identifier] = elapsed
         results.append(result)
         rendered = result.as_markdown() if markdown else result.as_text()
         print(rendered, file=stream)
         print(f"(wall clock: {elapsed:.1f} s)", file=stream)
         print("", file=stream)
+    if json_path is None and smoke:
+        json_path = SMOKE_ARTIFACT
+    if json_path:
+        write_artifact(results, wall_clock, json_path, smoke)
+        print(f"wrote {json_path}", file=stream)
     return results
 
 
@@ -46,7 +88,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="emit markdown tables (for EXPERIMENTS.md)")
     parser.add_argument("--smoke", action="store_true",
                         help="run every experiment with a tiny configuration "
-                             "(fast CI sanity mode)")
+                             "(fast CI sanity mode); writes BENCH_smoke.json")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write a JSON perf summary to PATH (default: "
+                             f"{SMOKE_ARTIFACT} in smoke mode, off otherwise)")
     args = parser.parse_args(argv)
-    run_all(args.experiments or None, markdown=args.markdown, smoke=args.smoke)
+    run_all(args.experiments or None, markdown=args.markdown, smoke=args.smoke,
+            json_path=args.json)
     return 0

@@ -1,8 +1,22 @@
-"""Result containers and plain-text/markdown table formatting."""
+"""Result containers, table formatting, and JSON serialization.
+
+:meth:`ExperimentResult.to_dict` feeds the ``BENCH_smoke.json`` artifact
+that ``python -m repro.bench --smoke`` emits: a per-experiment summary of
+the simulated-millisecond columns, so successive changes leave a perf
+trajectory that can be diffed across commits.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+
+def _jsonable(value):
+    """Coerce a cell to a JSON-serializable value (LSNs etc. become str)."""
+
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
 
 
 @dataclass
@@ -16,6 +30,44 @@ class ExperimentResult:
     rows: list
     notes: str = ""
     extra: dict = field(default_factory=dict)
+
+    def _dict_rows(self) -> list[dict]:
+        rows = []
+        for row in self.rows:
+            if isinstance(row, dict):
+                rows.append({str(header): _jsonable(row.get(header))
+                             for header in self.headers})
+            else:
+                rows.append({str(header): _jsonable(value)
+                             for header, value in zip(self.headers, row)})
+        return rows
+
+    def numeric_summary(self) -> dict:
+        """Mean of every numeric column -- the per-experiment perf summary."""
+
+        sums: dict[str, list] = {}
+        for row in self._dict_rows():
+            for key, value in row.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    sums.setdefault(key, []).append(float(value))
+        return {key: sum(values) / len(values) for key, values in sums.items()}
+
+    def sim_ms_summary(self) -> dict:
+        """Mean of the simulated-millisecond columns only (``*_ms`` etc.)."""
+
+        return {key: mean for key, mean in self.numeric_summary().items()
+                if key.endswith("_ms") or key.endswith("_pct")
+                or "per_sim_s" in key or key.startswith("speedup")}
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": [str(header) for header in self.headers],
+            "rows": self._dict_rows(),
+            "sim_ms": self.sim_ms_summary(),
+            "notes": self.notes,
+        }
 
     def as_text(self) -> str:
         lines = [

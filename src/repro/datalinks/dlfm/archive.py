@@ -5,13 +5,18 @@ file has completed and committed ... Any new update request to the file is
 blocked until the archiving completes" (Sections 4.2 and 4.4).  The archive
 server is shared by all file servers of a system (an ADSM-style store); each
 archived object is immutable and addressed by an integer archive id.
+
+The archive mover is its own simulated node: it runs on the ``archive``
+clock domain, and each store/retrieve rendezvouses with the calling file
+server's domain (the transfer occupies both ends), so archive bandwidth is
+attributed to the archive device rather than smeared over the file servers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.simclock import SimClock
+from repro.simclock import SimClock, rendezvous
 
 
 @dataclass
@@ -33,12 +38,19 @@ class ArchiveServer:
     _objects: dict[int, ArchiveObject] = field(default_factory=dict)
     _next_id: int = 1
 
-    def store(self, server: str, path: str, content: bytes) -> int:
-        """Archive *content*; returns the archive id."""
+    def store(self, server: str, path: str, content: bytes,
+              caller_clock: SimClock | None = None) -> int:
+        """Archive *content*; returns the archive id.
+
+        ``caller_clock`` is the storing node's clock domain: the transfer is
+        synchronous, so both domains rendezvous around it.
+        """
 
         if self.clock is not None:
+            rendezvous(self.clock, caller_clock)
             self.clock.charge("archive_job_overhead")
             self.clock.charge("archive_per_byte", nbytes=len(content))
+            rendezvous(self.clock, caller_clock)
         obj = ArchiveObject(
             archive_id=self._next_id,
             server=server,
@@ -50,12 +62,15 @@ class ArchiveServer:
         self._next_id += 1
         return obj.archive_id
 
-    def retrieve(self, archive_id: int) -> bytes:
+    def retrieve(self, archive_id: int,
+                 caller_clock: SimClock | None = None) -> bytes:
         """Fetch the archived content for *archive_id*."""
 
         obj = self._objects[archive_id]
         if self.clock is not None:
+            rendezvous(self.clock, caller_clock)
             self.clock.charge("archive_per_byte", nbytes=len(obj.content))
+            rendezvous(self.clock, caller_clock)
         return obj.content
 
     def exists(self, archive_id: int) -> bool:

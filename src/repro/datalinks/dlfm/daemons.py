@@ -198,8 +198,14 @@ class DLFMConnection:
     """A typed wrapper over the channel between a database agent and its child agent.
 
     The DataLinks engine holds one connection per file server and issues all
-    link/unlink and two-phase-commit traffic through it, paying the simulated
-    DBMS-to-DLFM message latency per request.
+    link/unlink and two-phase-commit traffic through it.  In simulated time
+    the two traffic classes differ: link/unlink work is **pipelined**
+    (:meth:`~repro.ipc.channel.Channel.post` -- the DLFM does the work on
+    its own clock domain while the host keeps executing SQL; completion is
+    acknowledged by the prepare vote), whereas the two-phase-commit calls
+    are **barriers** (:meth:`~repro.ipc.channel.Channel.request` -- the
+    coordinator waits, and fan-outs across shards overlap through the
+    engine's scatter-gather window).
     """
 
     def __init__(self, main_daemon: MainDaemon, clock=None, client_name: str = "engine"):
@@ -212,11 +218,11 @@ class DLFMConnection:
                                 sender=client_name)
 
     def link_file(self, host_txn_id: int, path: str, options: DatalinkOptions) -> dict:
-        return self._channel.request("link_file", host_txn_id=host_txn_id,
-                                     path=path, options=options.to_dict())
+        return self._channel.post("link_file", host_txn_id=host_txn_id,
+                                  path=path, options=options.to_dict())
 
     def unlink_file(self, host_txn_id: int, path: str) -> dict:
-        return self._channel.request("unlink_file", host_txn_id=host_txn_id, path=path)
+        return self._channel.post("unlink_file", host_txn_id=host_txn_id, path=path)
 
     # Batched pipelines: a multi-row statement ships one message per file
     # server instead of one round trip per row.
@@ -227,17 +233,17 @@ class DLFMConnection:
             return [self.link_file(host_txn_id, path, options)]
         payload = [{"path": path, "options": options.to_dict()}
                    for path, options in items]
-        return self._channel.request("link_batch", host_txn_id=host_txn_id,
-                                     items=payload)["results"]
+        return self._channel.post("link_batch", host_txn_id=host_txn_id,
+                                  items=payload)["results"]
 
     def unlink_files(self, host_txn_id: int, paths: list[str]) -> list[dict]:
         if len(paths) == 1:
             return [self.unlink_file(host_txn_id, paths[0])]
-        return self._channel.request("unlink_batch", host_txn_id=host_txn_id,
-                                     paths=list(paths))["results"]
+        return self._channel.post("unlink_batch", host_txn_id=host_txn_id,
+                                  paths=list(paths))["results"]
 
     def begin_branch(self, host_txn_id: int) -> None:
-        self._channel.request("begin_branch", host_txn_id=host_txn_id)
+        self._channel.post("begin_branch", host_txn_id=host_txn_id)
 
     def prepare(self, host_txn_id: int) -> bool:
         return self._channel.request("prepare", host_txn_id=host_txn_id)["prepared"]

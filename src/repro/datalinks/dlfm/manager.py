@@ -27,7 +27,7 @@ from repro.errors import (
     ControlModeError,
     UpdateInProgressError,
 )
-from repro.simclock import SimClock
+from repro.simclock import SimClock, synchronized_call
 from repro.storage.backup import BackupImage
 from repro.storage.database import Database
 from repro.storage.transaction import Transaction
@@ -50,8 +50,12 @@ class DataLinksFileManager:
         self.token_secret = token_secret or f"dlfm-secret-{server_name}"
         self.tokens = TokenManager(self.token_secret, clock)
         repository_scale = clock.costs.dlfm_repository_scale if clock is not None else 1.0
+        # The repository's charges are label-prefixed so its scaled
+        # statements never conflate with host-database charges for the same
+        # primitive in clock statistics.
         self.repository = DLFMRepository(
-            Database(f"dlfm-{server_name}", clock, cost_scale=repository_scale))
+            Database(f"dlfm-{server_name}", clock, cost_scale=repository_scale,
+                     stats_prefix="dlfm."))
         self.branches = BranchManager(self.repository.db)
         self.links = LinkManager(self.repository, files,
                                  state_id_provider=self._host_state_id)
@@ -316,21 +320,28 @@ class DataLinksFileManager:
         """Commit a completed file update: metadata + repository in one transaction."""
 
         if self._engine is not None:
-            host_txn = self._engine.begin()
-            host_txn.servers.add(self.server_name)
-            branch = self.branches.branch_for(host_txn.txn_id)
-            local_txn = branch.local_txn
+            # Close processing runs on this file server's clock domain but
+            # drives a host transaction: the host cannot begin it before the
+            # close happened, and the close does not return before the host
+            # commit (the engine's 2PC back to this server merges the rest).
+            with synchronized_call(self.clock, self._engine.clock):
+                host_txn = self._engine.begin()
+                host_txn.servers.add(self.server_name)
+                branch = self.branches.branch_for(host_txn.txn_id)
+                self.repository.update_linked_file(
+                    path, {"last_size": attrs.size, "last_mtime": attrs.mtime},
+                    branch.local_txn)
+                self.repository.remove_tracking(path, branch.local_txn)
+                self._engine.update_file_metadata(self.server_name, path,
+                                                  attrs.size, attrs.mtime,
+                                                  host_txn)
+                self._engine.commit(host_txn)
         else:
-            host_txn = None
             local_txn = self.repository.db.begin()
-        self.repository.update_linked_file(
-            path, {"last_size": attrs.size, "last_mtime": attrs.mtime}, local_txn)
-        self.repository.remove_tracking(path, local_txn)
-        if self._engine is not None:
-            self._engine.update_file_metadata(self.server_name, path,
-                                              attrs.size, attrs.mtime, host_txn)
-            self._engine.commit(host_txn)
-        else:
+            self.repository.update_linked_file(
+                path, {"last_size": attrs.size, "last_mtime": attrs.mtime},
+                local_txn)
+            self.repository.remove_tracking(path, local_txn)
             self.repository.db.commit(local_txn)
         if row["recovery"]:
             self.repository.enqueue_archive_job(path, self._host_state_id())
@@ -378,7 +389,8 @@ class DataLinksFileManager:
         if park_in_flight:
             current = self.files.read(path)
             self.files.park_in_flight(path, current, suffix=version["version_no"] + 1)
-        content = self.archive.retrieve(version["archive_id"])
+        content = self.archive.retrieve(version["archive_id"],
+                                        caller_clock=self.clock)
         if create_missing and not self.files.exists(path):
             directory = path.rsplit("/", 1)[0] or "/"
             if directory != "/":
@@ -407,7 +419,8 @@ class DataLinksFileManager:
                 self.repository.complete_archive_job(job["job_id"])
                 continue
             content = self.files.read(path)
-            archive_id = self.archive.store(self.server_name, path, content)
+            archive_id = self.archive.store(self.server_name, path, content,
+                                            caller_clock=self.clock)
             self.repository.add_version(path, archive_id, job["state_id"])
             self.repository.complete_archive_job(job["job_id"])
             completed += 1

@@ -9,8 +9,11 @@ class UpcallClient:
     """Typed wrapper over the upcall channel (one per DLFS instance).
 
     Every method is one IPC round trip to the upcall daemon and therefore
-    charges ``upcall_round_trip`` simulated latency.  DataLinks errors raised
-    by the DLFM propagate out of these calls; the DLFS layer translates them
+    charges ``upcall_round_trip`` simulated latency.  DLFS and its upcall
+    daemon live on the same file-server node, so both ends share one clock
+    domain and the round trip is serial on that node's timeline (an upcall
+    never overlaps the open that issued it).  DataLinks errors raised by
+    the DLFM propagate out of these calls; the DLFS layer translates them
     into file-system errors.
     """
 

@@ -24,7 +24,17 @@ Scale-out additions (beyond the paper):
   (:meth:`~repro.storage.database.Database.commit_many`);
 * **failpoints** -- named crash-injection hooks inside the two-phase commit
   so the crash-matrix tests can stop the coordinator at every protocol step
-  (:attr:`DataLinksEngine.failpoints`).
+  (:attr:`DataLinksEngine.failpoints`);
+* **clock-domain awareness** -- link/unlink batches are *pipelined* sends
+  (the enlisted shard does the work on its own clock domain while the host
+  keeps executing SQL), and the prepare/commit fan-outs run inside an
+  overlap window on the host's clock, so a transaction enlisting N shards
+  pays the slowest participant instead of the sum of all participants (see
+  :mod:`repro.simclock`);
+* **host-side token cache** -- :meth:`DataLinksEngine.enable_token_cache`
+  lets repeated ``get_datalink`` calls for the same (path, access) reuse a
+  still-live token instead of regenerating the HMAC, with hit-rate counters
+  (the first slice of the read-caching roadmap item).
 """
 
 from __future__ import annotations
@@ -35,7 +45,7 @@ from dataclasses import dataclass, field
 from repro.datalinks.control_modes import ControlMode
 from repro.datalinks.datalink_type import DatalinkOptions, options_of_column
 from repro.datalinks.dlfm.daemons import DLFMConnection, MainDaemon
-from repro.datalinks.tokens import TokenManager, TokenType
+from repro.datalinks.tokens import TokenCache, TokenManager, TokenType
 from repro.errors import ControlModeError, DataLinksError, IPCError
 from repro.simclock import SimClock
 from repro.storage.database import Database
@@ -91,11 +101,46 @@ class DataLinksEngine:
         #: (``group:*`` equivalents for group commit); a hook that raises
         #: simulates a coordinator crash at that step.
         self.failpoints: dict = {}
+        #: Optional host-side token cache (see :meth:`enable_token_cache`).
+        self.token_cache: TokenCache | None = None
 
     def _fire(self, point: str) -> None:
         hook = self.failpoints.get(point)
         if hook is not None:
             hook()
+
+    @contextlib.contextmanager
+    def _overlap(self):
+        """Scatter-gather window on the host clock for participant fan-outs."""
+
+        if self.clock is None:
+            yield
+            return
+        with self.clock.overlap():
+            yield
+
+    # -------------------------------------------------------------- token cache --
+    def enable_token_cache(self, min_remaining_fraction: float = 0.5) -> TokenCache:
+        """Cache handed-out tokens so repeated ``get_datalink`` calls for the
+        same (path, access) skip HMAC generation while the token is live.
+
+        A cached token is reused only while at least
+        ``min_remaining_fraction`` of the *requested* TTL remains, so a
+        caller never receives a token about to expire.  Returns the cache
+        (its ``hits``/``misses`` counters feed experiment reporting).
+        """
+
+        self.token_cache = TokenCache(
+            self.clock, min_remaining_fraction=min_remaining_fraction)
+        return self.token_cache
+
+    def disable_token_cache(self) -> None:
+        self.token_cache = None
+
+    def token_cache_stats(self) -> dict:
+        if self.token_cache is None:
+            return {"enabled": False}
+        return {"enabled": True, **self.token_cache.stats()}
 
     # ------------------------------------------------------------------ wiring --
     def register_file_server(self, name: str, manager, main_daemon: MainDaemon) -> None:
@@ -137,15 +182,20 @@ class DataLinksEngine:
         if self.clock is not None and host_txn.servers:
             self.clock.charge("datalink_engine_dispatch")
         self._fire("commit:begin")
-        for server in sorted(host_txn.servers):
-            if not self._entry(server).connection.prepare(host_txn.txn_id):
-                # The server is enlisted, so it once held a branch; a missing
-                # branch means the DLFM crashed and lost it.  Refuse to
-                # commit a transaction whose file-side effects are gone.
-                raise DataLinksError(
-                    f"file server {server!r} lost the branch of transaction "
-                    f"{host_txn.txn_id} (restarted?); the transaction must abort")
-            self._fire(f"commit:prepared:{server}")
+        # The prepare fan-out overlaps across participants: every vote
+        # request departs at the window's start and the coordinator waits
+        # for the slowest vote, not the sum of all votes.
+        with self._overlap():
+            for server in sorted(host_txn.servers):
+                if not self._entry(server).connection.prepare(host_txn.txn_id):
+                    # The server is enlisted, so it once held a branch; a
+                    # missing branch means the DLFM crashed and lost it.
+                    # Refuse to commit a transaction whose file-side effects
+                    # are gone.
+                    raise DataLinksError(
+                        f"file server {server!r} lost the branch of transaction "
+                        f"{host_txn.txn_id} (restarted?); the transaction must abort")
+                self._fire(f"commit:prepared:{server}")
         self._fire("commit:before_host_commit")
         state_id = self.db.commit(host_txn.txn)
         self._fire("commit:mid_flush")
@@ -155,9 +205,10 @@ class DataLinksEngine:
             # every pending commit in the window.
             self.db.force_log()
         self._fire("commit:after_host_commit")
-        for server in sorted(host_txn.servers):
-            self._entry(server).connection.commit(host_txn.txn_id)
-            self._fire(f"commit:committed:{server}")
+        with self._overlap():
+            for server in sorted(host_txn.servers):
+                self._entry(server).connection.commit(host_txn.txn_id)
+                self._fire(f"commit:committed:{server}")
         return state_id
 
     def commit_group(self, host_txns: list[HostTransaction]) -> LSN:
@@ -178,21 +229,23 @@ class DataLinksEngine:
             for server in host_txn.servers:
                 by_server.setdefault(server, []).append(host_txn.txn_id)
         self._fire("group:begin")
-        for server in sorted(by_server):
-            votes = self._entry(server).connection.prepare_many(by_server[server])
-            if not all(votes):
-                lost = [txn_id for txn_id, vote in zip(by_server[server], votes)
-                        if not vote]
-                raise DataLinksError(
-                    f"file server {server!r} lost the branches of transactions "
-                    f"{lost} (restarted?); the commit group must abort")
-            self._fire(f"group:prepared:{server}")
+        with self._overlap():
+            for server in sorted(by_server):
+                votes = self._entry(server).connection.prepare_many(by_server[server])
+                if not all(votes):
+                    lost = [txn_id for txn_id, vote in zip(by_server[server], votes)
+                            if not vote]
+                    raise DataLinksError(
+                        f"file server {server!r} lost the branches of transactions "
+                        f"{lost} (restarted?); the commit group must abort")
+                self._fire(f"group:prepared:{server}")
         self._fire("group:before_host_commit")
         state_id = self.db.commit_many([host_txn.txn for host_txn in host_txns])
         self._fire("group:after_host_commit")
-        for server in sorted(by_server):
-            self._entry(server).connection.commit_many(by_server[server])
-            self._fire(f"group:committed:{server}")
+        with self._overlap():
+            for server in sorted(by_server):
+                self._entry(server).connection.commit_many(by_server[server])
+                self._fire(f"group:committed:{server}")
         return state_id
 
     def redrive_commit(self, host_txn: HostTransaction) -> None:
@@ -205,22 +258,24 @@ class DataLinksEngine:
         in-doubt branches from the host outcome during recovery.
         """
 
-        for server in sorted(host_txn.servers):
-            try:
-                self._entry(server).connection.commit(host_txn.txn_id)
-            except IPCError:
-                pass
+        with self._overlap():
+            for server in sorted(host_txn.servers):
+                try:
+                    self._entry(server).connection.commit(host_txn.txn_id)
+                except IPCError:
+                    pass
 
     def abort(self, host_txn: HostTransaction) -> None:
         """Abort everywhere.  Unreachable file servers are tolerated: a
         crashed DLFM lost its volatile branch anyway, and a prepared branch
         it persisted is resolved by presumed abort during its recovery."""
 
-        for server in sorted(host_txn.servers):
-            try:
-                self._entry(server).connection.abort(host_txn.txn_id)
-            except IPCError:
-                pass
+        with self._overlap():
+            for server in sorted(host_txn.servers):
+                try:
+                    self._entry(server).connection.abort(host_txn.txn_id)
+                except IPCError:
+                    pass
         if not host_txn.txn.is_finished:
             self.db.abort(host_txn.txn)
 
@@ -421,12 +476,25 @@ class DataLinksEngine:
                     f"files linked in {mode.value} mode cannot be updated through "
                     f"the database (write access is "
                     f"{'blocked' if mode.write_blocked else 'file-system controlled'})")
-            return entry.tokens.generate(path, TokenType.WRITE, ttl)
+            return self._generate_token(entry, server, path, TokenType.WRITE, ttl)
         if access != "read":
             raise ControlModeError(f"unknown access kind {access!r}")
         if mode.requires_read_token:
-            return entry.tokens.generate(path, TokenType.READ, ttl)
+            return self._generate_token(entry, server, path, TokenType.READ, ttl)
         return None
+
+    def _generate_token(self, entry: _FileServerEntry, server: str, path: str,
+                        token_type: TokenType, ttl: float) -> str:
+        """Generate a token, reusing a cached live one when caching is on."""
+
+        if self.token_cache is not None:
+            cached = self.token_cache.lookup(server, path, token_type, ttl)
+            if cached is not None:
+                return cached
+        token = entry.tokens.generate(path, token_type, ttl)
+        if self.token_cache is not None:
+            self.token_cache.store(server, path, token_type, ttl, token)
+        return token
 
     # ------------------------------------------------------- metadata maintenance --
     def update_file_metadata(self, server: str, path: str, size: int, mtime: float,

@@ -8,7 +8,10 @@ This module adds a *primary/witness* replication scheme per shard:
   records to the witness over a daemon channel
   (:class:`~repro.datalinks.dlfm.daemons.ReplicaDaemon`), triggered by the
   repository WAL's flush hook -- only flushed records ship, so the witness
-  can never hold a transaction the primary could lose in a crash;
+  can never hold a transaction the primary could lose in a crash; shipping
+  is a *pipelined* send in simulated time (the witness applies batches on
+  its own clock domain; the primary pays only the enqueue cost), so
+  replication overlaps the primary's foreground work;
 * :class:`ReplicaApplier` applies the shipped stream on the witness:
   committed transactions are redone into the witness repository, aborted
   ones are dropped, and transactions that shipped a PREPARE vote but no
@@ -41,6 +44,7 @@ from repro.errors import (
     ReplicationError,
 )
 from repro.ipc.channel import Channel
+from repro.simclock import rendezvous, synchronized_call
 from repro.storage.wal import LogRecordType
 from repro.util.lsn import LSN
 
@@ -375,7 +379,8 @@ class WalShipper:
         if not records:
             return 0
         self._fire("replicate:ship")
-        self._channel.request("apply_wal", records=records)
+        # Pipelined: the primary does not wait for the witness to apply.
+        self._channel.post("apply_wal", records=records)
         self.cursor = records[-1].lsn
         self.shipped_records += len(records)
         return len(records)
@@ -420,8 +425,11 @@ class ReplicatedShard:
         primary.dlfm.set_fencing(EpochGuard(registry, name, primary.name))
         witness.dlfm.set_fencing(EpochGuard(registry, name, witness.name))
         self.applier = witness.dlfm.enable_replica_mode(failpoints=self.failpoints)
-        self.replica_daemon = ReplicaDaemon(witness.dlfm, clock)
-        channel = Channel(self.replica_daemon, clock,
+        # The replica daemon runs on the witness node; the shipper sends
+        # from the primary node.  ``clock`` (the deployment/host domain) is
+        # kept for timing control-plane operations like promotion.
+        self.replica_daemon = ReplicaDaemon(witness.dlfm, witness.clock)
+        channel = Channel(self.replica_daemon, primary.clock,
                           latency_primitive="db_dlfm_message",
                           sender=f"wal-ship:{name}")
         self.shipper = WalShipper(primary.dlfm.repository, channel,
@@ -470,14 +478,18 @@ class ReplicatedShard:
         if not self.witness.running:
             self.mirror_misses += 1
             return
-        lfs = self.witness.raw_lfs
-        root = self.witness.files.dlfm_cred
-        directory = path.rsplit("/", 1)[0] or "/"
-        if directory != "/":
-            lfs.makedirs(directory, root)
-            lfs.chown(directory, cred.uid, cred.gid, root)
-        lfs.write_file(path, content, root, create=True)
-        lfs.chown(path, cred.uid, cred.gid, root)
+        # Synchronous mirror: the ingest path waits for the witness copy
+        # (that durability is exactly why promotion can serve the content),
+        # so the witness domain syncs up and the caller merges back after.
+        with synchronized_call(self.clock, self.witness.clock):
+            lfs = self.witness.raw_lfs
+            root = self.witness.files.dlfm_cred
+            directory = path.rsplit("/", 1)[0] or "/"
+            if directory != "/":
+                lfs.makedirs(directory, root)
+                lfs.chown(directory, cred.uid, cred.gid, root)
+            lfs.write_file(path, content, root, create=True)
+            lfs.chown(path, cred.uid, cred.gid, root)
 
     # ----------------------------------------------------------------- failover --
     def promote(self) -> dict:
@@ -501,13 +513,18 @@ class ReplicatedShard:
                 f"{self.witness.name!r} lost its replica state and has not "
                 f"resynced from the primary")
         self._fire("replicate:promote")
-        self.shipper.pause()
-        self._fire("replicate:catchup")
-        outcomes = self.engine.host_transaction_outcomes(
-            self.applier.in_doubt_host_txns())
-        summary = self.witness.dlfm.replica_catch_up(outcomes)
-        self._fire("replicate:fence")
-        epoch = self.registry.promote(self.name, self.witness.name)
+        # Promotion is driven by the cluster manager beside the host
+        # database: the witness syncs up to the order's send time, catch-up
+        # runs on the witness's own clock domain, and the manager waits for
+        # completion (that is the failover latency experiments measure).
+        with synchronized_call(self.clock, self.witness.clock):
+            self.shipper.pause()
+            self._fire("replicate:catchup")
+            outcomes = self.engine.host_transaction_outcomes(
+                self.applier.in_doubt_host_txns())
+            summary = self.witness.dlfm.replica_catch_up(outcomes)
+            self._fire("replicate:fence")
+            epoch = self.registry.promote(self.name, self.witness.name)
         summary.update({"promoted": True, "epoch": epoch,
                         "serving": self.witness.name})
         return summary
@@ -540,6 +557,8 @@ class ReplicatedShard:
             raise ReplicationError(
                 f"cannot resync shard {self.name!r} from crashed primary "
                 f"{self.primary.name!r}; recover it first")
+        # A full resync is a barrier across the pair (and its initiator).
+        rendezvous(self.clock, self.primary.clock, self.witness.clock)
         db = self.primary.dlfm.repository.db
         self.shipper.pause()
         db.wal.flush()
@@ -549,6 +568,7 @@ class ReplicatedShard:
         self.shipper.cursor = db.wal.flushed_lsn
         self.shipper.resume()
         self._witness_synced = True
+        rendezvous(self.clock, self.primary.clock, self.witness.clock)
         return {"resynced": True, **rebind}
 
     # ------------------------------------------------------------ witness faults --

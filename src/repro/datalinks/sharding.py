@@ -36,6 +36,11 @@ Knobs
 ``replication``           add a witness replica per shard, fed by the
                           primary's repository WAL stream
 ``replica_suffix``        witness server name suffix (default ``"-r"``)
+``serial_clock``          collapse every node onto one shared timeline (the
+                          pre-clock-domain serial model, kept for honest A/B
+                          comparisons); by default every shard, witness and
+                          the archive run on their own clock domain and
+                          genuinely overlap (see :mod:`repro.simclock`)
 
 Because enqueued transactions stay ACTIVE (locks held) until the batch
 drains, callers that need a transaction's effects visible immediately should
@@ -95,12 +100,14 @@ class ShardedDataLinksDeployment:
                  group_commit_window: int = 8,
                  strict_read_upcalls: bool = False,
                  replication: bool = False,
-                 replica_suffix: str = "-r"):
+                 replica_suffix: str = "-r",
+                 serial_clock: bool = False):
         if shards < 1:
             raise DataLinksError("a sharded deployment needs at least one shard")
         self.system = DataLinksSystem(cost_model, clock,
                                       flush_policy=flush_policy,
-                                      group_commit_window=group_commit_window)
+                                      group_commit_window=group_commit_window,
+                                      serial_clock=serial_clock)
         self.shard_names = [f"{shard_prefix}{index}" for index in range(shards)]
         for name in self.shard_names:
             self.system.add_file_server(name,
@@ -129,7 +136,20 @@ class ShardedDataLinksDeployment:
 
     @property
     def clock(self) -> SimClock:
+        """The host node's clock domain (where commits are coordinated)."""
+
         return self.system.clock
+
+    @property
+    def clocks(self):
+        """The deployment's clock-domain group."""
+
+        return self.system.clocks
+
+    def global_now(self) -> float:
+        """Cluster wall-clock time: the max over every node's domain."""
+
+        return self.system.clocks.global_now()
 
     @property
     def host_db(self):
@@ -320,8 +340,9 @@ class ShardedDataLinksDeployment:
             return None
 
     def stats(self) -> dict:
-        """Per-shard link counts plus host WAL flush statistics."""
+        """Per-shard link counts, WAL flush and clock-domain statistics."""
 
+        clocks = self.system.clocks
         stats = {
             "shards": len(self.shard_names),
             "flush_policy": self.system.flush_policy,
@@ -329,7 +350,18 @@ class ShardedDataLinksDeployment:
             "host_log_flushes": self.system.host_db.wal.flush_count,
             "linked_files_per_shard": {
                 name: self._linked_count(name) for name in self.shard_names},
+            "clock_domains": {
+                "serial": clocks.serial,
+                "global_now_ms": clocks.global_now() * 1000.0,
+                "now_ms_per_domain": clocks.times_by_domain(),
+                "charged_ms_per_domain": {
+                    name: domain.stats.grand_total() * 1000.0
+                    for name, domain in sorted(clocks.domains.items())},
+            },
         }
+        token_cache = self.engine.token_cache_stats()
+        if token_cache.get("enabled"):
+            stats["token_cache"] = token_cache
         if self.replicated:
             stats["replication"] = {
                 name: self.replicas[name].status() for name in self.shard_names}

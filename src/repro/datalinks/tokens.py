@@ -10,6 +10,22 @@ consistent with the mode in which the file is later opened (Section 4.1).
 Tokens are HMAC-SHA256 signatures over (path, type, expiry) truncated to 16
 hex characters, plus the type letter and the expiry timestamp, e.g.
 ``W-125.000000-1a2b3c...``.
+
+Clock-skew semantics: tokens are stamped with the *issuing* node's clock
+(the host database's domain) but validated against the *validating* node's
+clock (the file server's domain).  The two domains only merge at
+synchronization points, so a token's effective lifetime shifts by the skew
+between the nodes -- exactly as in a real distributed deployment, where
+issuer and validator share a secret but not a clock.  Skew is bounded by
+the work outstanding since the nodes last synchronized (milliseconds here),
+which is negligible against real TTLs (the default is 60 simulated
+seconds); tests that probe exact TTL boundaries use a single clock.
+
+:class:`TokenCache` is the host-side cache in front of token generation:
+tokens are capabilities, not nonces, so a still-live token for the same
+(server, path, access) can be handed out again without recomputing the HMAC
+-- the first slice of the read-caching roadmap item.  Hit/miss counters are
+surfaced through :meth:`repro.datalinks.engine.DataLinksEngine.token_cache_stats`.
 """
 
 from __future__ import annotations
@@ -63,6 +79,66 @@ class AccessToken:
         except ValueError:
             raise InvalidTokenError(f"malformed token {text!r}") from None
         return cls(token_type=token_type, expires_at=expires_at, signature=signature)
+
+
+class TokenCache:
+    """Host-side cache of handed-out tokens, keyed by
+    (server, path, type, requested TTL).
+
+    The requested TTL is part of the key, so a caller asking for a
+    short-lived capability can never receive a longer-lived cached one (and
+    vice versa) -- each TTL class caches its own token.  Within a class a
+    token is reused only while at least ``min_remaining_fraction`` of the
+    TTL remains, so callers never receive a token about to expire out from
+    under them; staler entries are dropped on lookup.
+    """
+
+    def __init__(self, clock: SimClock | None = None,
+                 min_remaining_fraction: float = 0.5):
+        self._clock = clock
+        self.min_remaining_fraction = float(min_remaining_fraction)
+        self._entries: dict[tuple, AccessToken] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _now(self) -> float:
+        return self._clock.now() if self._clock is not None else 0.0
+
+    def lookup(self, server: str, path: str, token_type: TokenType,
+               ttl: float) -> str | None:
+        """A cached token string with enough remaining life, or ``None``."""
+
+        key = (server, path, token_type, float(ttl))
+        token = self._entries.get(key)
+        if token is not None:
+            remaining = token.expires_at - self._now()
+            if remaining >= ttl * self.min_remaining_fraction:
+                self.hits += 1
+                return token.render()
+            del self._entries[key]
+        self.misses += 1
+        return None
+
+    def store(self, server: str, path: str, token_type: TokenType,
+              ttl: float, token_text: str) -> None:
+        self._entries[(server, path, token_type, float(ttl))] = \
+            AccessToken.parse(token_text)
+
+    def invalidate(self, server: str | None = None, path: str | None = None) -> int:
+        """Drop matching entries (all of them by default); returns the count."""
+
+        doomed = [key for key in self._entries
+                  if (server is None or key[0] == server)
+                  and (path is None or key[1] == path)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def stats(self) -> dict:
+        lookups = self.hits + self.misses
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries),
+                "hit_rate": self.hits / lookups if lookups else 0.0}
 
 
 class TokenManager:

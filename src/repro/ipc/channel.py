@@ -1,4 +1,24 @@
-"""Channels: the cost-charging path between two simulated processes."""
+"""Channels: the cost-charging path between two simulated processes.
+
+A channel connects a caller's clock domain to a daemon's clock domain and is
+where simulated time synchronizes (see :mod:`repro.simclock`):
+
+* :meth:`Channel.request` is a synchronous round trip -- the callee's clock
+  max-merges up to the message's send time, the wire latency and the
+  handler's work accrue on the callee's timeline, and the caller's clock
+  max-merges up to the reply.  Inside an overlap window on the caller
+  (:meth:`repro.simclock.SimClock.overlap`) requests to several daemons all
+  depart at the window's start and the caller gathers the max reply time,
+  which is how a two-phase-commit fan-out overlaps across shards.
+* :meth:`Channel.post` is a pipelined send -- the caller pays only the
+  ``message_send`` cost and does *not* wait; the callee still syncs to the
+  send time and does the work on its own timeline.  Link batches and WAL
+  shipping use this, so shard work and replication overlap the sender.
+
+When caller and callee share one clock (an upcall within a file server, or
+a serial-clock deployment) both methods degrade to the classic serial
+behavior: one latency charge plus the handler's work on the shared timeline.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +28,7 @@ from repro.simclock import SimClock
 
 
 class Channel:
-    """A synchronous request/reply channel to one daemon.
+    """A request/reply channel to one daemon.
 
     ``latency_primitive`` names the :class:`~repro.simclock.CostModel` entry
     charged per round trip (``upcall_round_trip`` for DLFS-to-DLFM upcalls,
@@ -23,15 +43,48 @@ class Channel:
         self._sender = sender
 
     def request(self, kind: str, **payload) -> dict:
-        """Send a request and return the reply payload (raising its error)."""
+        """Synchronous round trip: send, wait for the reply, merge clocks."""
 
-        if self._clock is not None:
-            self._clock.charge(self._latency_primitive)
+        return self._exchange(kind, payload, wait=True)
+
+    def post(self, kind: str, **payload) -> dict:
+        """Pipelined send: the caller does not wait for the callee.
+
+        The handler still runs (and its errors still raise -- the simulation
+        executes synchronously), but only the callee's timeline bears the
+        wire latency and the work; the caller pays the ``message_send``
+        enqueue cost and keeps going.  Use for traffic whose completion is
+        acknowledged at a later barrier (link batches before prepare, WAL
+        shipping before promotion).
+        """
+
+        return self._exchange(kind, payload, wait=False)
+
+    def _exchange(self, kind: str, payload: dict, wait: bool) -> dict:
+        caller = self._clock
+        callee = getattr(self._daemon, "clock", None)
+        cross = caller is not None and callee is not None and caller is not callee
         if not self._daemon.running:
+            # The attempt itself takes time on the caller's side (a dead
+            # node's clock must not advance): a synchronous request waits a
+            # full round trip for the failure, a pipelined send only pays
+            # the enqueue cost.
+            if caller is not None:
+                caller.charge(self._latency_primitive if wait or not cross
+                              else "message_send")
             raise DaemonUnavailableError(
                 f"daemon {self._daemon.name!r} is not running")
+        if cross:
+            callee.sync_to(caller.send_time())
+            callee.charge(self._latency_primitive)
+            if not wait:
+                caller.charge("message_send")
+        elif caller is not None:
+            caller.charge(self._latency_primitive)
         message = Message(kind=kind, payload=payload, sender=self._sender)
         reply = self._daemon.handle(message)
+        if cross and wait:
+            caller.receive(callee.now())
         return reply.unwrap()
 
     @property

@@ -1,20 +1,45 @@
-"""Simulated clock and calibrated cost model.
+"""Simulated time: per-node clock domains with merge-at-sync, plus the
+calibrated cost model.
 
 The paper reports latencies measured on a 200 MHz PowerPC 604 testbed with a
 kernel VFS layer (Section 3.2): retrieving a DATALINK column costs less than
 3 ms at the host database, the DLFS layer plus token validation adds roughly
 1 ms to open/read/close, and the end-to-end overhead of reading a 1 MB file
-through DataLinks is below 1 %.
+through DataLinks is below 1 %.  We cannot interpose on a real kernel from
+Python, so every component charges its work to a simulated clock using a
+:class:`CostModel` calibrated from those published figures, and benchmarks
+report *simulated* milliseconds.
 
-We cannot interpose on a real kernel from Python, so every component in this
-reproduction charges its work to a :class:`SimClock` using a
-:class:`CostModel` calibrated from those published figures.  Benchmarks then
-report *simulated* milliseconds, which are directly comparable in shape to the
-paper's numbers, alongside wall-clock numbers from pytest-benchmark.
+Time is **not** one global serial tape.  The paper's testbed had real
+hardware concurrency -- the host database, each file server's DLFM and the
+archive mover are separate machines/processes doing work at the same time --
+so the simulation models one :class:`ClockDomain` per node, grouped in a
+:class:`ClockDomainGroup`:
+
+* every domain advances independently as its node charges work;
+* domains synchronize by **max-merging** their times at real synchronization
+  points: an IPC request/reply is a two-way merge (the callee cannot start
+  before the message was sent, the caller cannot continue before the reply
+  exists), a pipelined send (:meth:`repro.ipc.channel.Channel.post`) is a
+  one-way merge (the sender does not wait), and two-phase-commit barriers
+  merge every participant;
+* a coordinator fanning out to N participants opens an *overlap window*
+  (:meth:`SimClock.overlap`): all requests are timestamped at the window's
+  start and the coordinator advances to the **max** of the replies instead
+  of their sum, which is what lets N shards show genuine latency overlap;
+* :meth:`ClockDomainGroup.global_now` (the max over domains) is the cluster
+  wall clock used for experiment reporting.
+
+:class:`SimClock` remains the single-timeline facade -- a
+:class:`ClockDomain` *is* a :class:`SimClock`, so components keep calling
+``charge()``/``measure()`` and only differ in *which* clock they hold.  A
+bare :class:`SimClock` (no group) behaves exactly like the old serial model,
+which is also what ``serial_clock=True`` deployments use for A/B comparisons.
 """
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field, fields
 
 
@@ -45,6 +70,8 @@ class CostModel:
     upcall_round_trip: float = 0.25e-3      # DLFS -> upcall daemon -> DLFS
     db_dlfm_message: float = 0.60e-3        # DataLinks engine <-> DLFM agent
     daemon_dispatch: float = 0.02e-3        # daemon request demultiplexing
+    message_send: float = 0.05e-3          # sender-side cost of a pipelined
+    #                                        (non-blocking) message enqueue
 
     # --- file system --------------------------------------------------------
     syscall_base: float = 0.05e-3           # LFS entry/exit per system call
@@ -84,7 +111,13 @@ class CostModel:
 
 @dataclass
 class ClockStats:
-    """Aggregated charge counters kept by :class:`SimClock`."""
+    """Aggregated charge counters kept by :class:`SimClock`.
+
+    Charges are keyed by *label* -- normally the primitive name, but callers
+    can supply an explicit label (e.g. the DLFM repository prefixes its
+    database charges with ``dlfm.`` so they never conflate with the host
+    database's charges for the same primitive).
+    """
 
     charges: dict = field(default_factory=dict)
 
@@ -98,6 +131,20 @@ class ClockStats:
     def count(self, label: str) -> int:
         return self.charges.get(label, (0, 0.0))[0]
 
+    def labels(self) -> list[str]:
+        return sorted(self.charges)
+
+    def as_dict(self) -> dict:
+        """``{label: {"count": n, "total_ms": t}}`` for reporting."""
+
+        return {label: {"count": count, "total_ms": total * 1000.0}
+                for label, (count, total) in sorted(self.charges.items())}
+
+    def grand_total(self) -> float:
+        """Total simulated seconds charged across every label."""
+
+        return sum(total for _, total in self.charges.values())
+
 
 class SimClock:
     """A monotonically advancing simulated clock with cost accounting.
@@ -105,12 +152,29 @@ class SimClock:
     Components never sleep; they call :meth:`charge` with the name of a
     primitive from :class:`CostModel` (optionally scaled by a byte count or
     an explicit repeat factor) and the clock advances by the calibrated cost.
+
+    Synchronization protocol (used between :class:`ClockDomain` instances,
+    but defined here so any two clocks can rendezvous):
+
+    * :meth:`send_time` -- the timestamp an outgoing message carries;
+    * :meth:`sync_to` -- one-way merge: a node receiving a message cannot be
+      earlier than the message's send time;
+    * :meth:`receive` -- the caller's side of a reply: advance to the
+      reply's timestamp (max-merge, never backwards);
+    * :meth:`overlap` -- scatter-gather window: every ``send_time`` inside
+      the window is the window's start, and replies accumulate into a
+      pending max applied when the window closes, so a fan-out to N peers
+      costs the *slowest* reply instead of the sum of all replies.
     """
 
-    def __init__(self, cost_model: CostModel | None = None, start: float = 0.0):
+    def __init__(self, cost_model: CostModel | None = None, start: float = 0.0,
+                 name: str = "clock"):
         self.costs = cost_model if cost_model is not None else CostModel()
+        self.name = name
         self._now = float(start)
         self.stats = ClockStats()
+        # Scatter-gather frames: [fork_time, pending_reply_max] per level.
+        self._overlap_frames: list[list[float]] = []
 
     # -- time ----------------------------------------------------------------
     def now(self) -> float:
@@ -126,24 +190,82 @@ class SimClock:
         self._now += seconds
         return self._now
 
+    # -- synchronization ------------------------------------------------------
+    def send_time(self) -> float:
+        """The timestamp an outgoing message carries (the overlap fork time
+        inside a scatter-gather window, the current time otherwise)."""
+
+        if self._overlap_frames:
+            return self._overlap_frames[-1][0]
+        return self._now
+
+    def sync_to(self, instant: float) -> float:
+        """One-way max-merge: jump forward to *instant* if it is later."""
+
+        if instant > self._now:
+            self._now = instant
+        return self._now
+
+    def receive(self, instant: float) -> float:
+        """Merge an incoming reply timestamp.
+
+        Inside an overlap window the reply only raises the window's pending
+        max (the gather happens when the window closes); outside, it
+        max-merges immediately.
+        """
+
+        if self._overlap_frames:
+            frame = self._overlap_frames[-1]
+            frame[1] = max(frame[1], instant)
+            return self._now
+        return self.sync_to(instant)
+
+    def begin_overlap(self) -> None:
+        """Open a scatter-gather window anchored at the current time."""
+
+        self._overlap_frames.append([self._now, self._now])
+
+    def end_overlap(self) -> None:
+        """Close the innermost window: advance to the max gathered reply."""
+
+        fork, pending = self._overlap_frames.pop()
+        del fork
+        self.receive(pending)
+
+    @contextlib.contextmanager
+    def overlap(self):
+        """Context manager around :meth:`begin_overlap`/:meth:`end_overlap`."""
+
+        self.begin_overlap()
+        try:
+            yield self
+        finally:
+            self.end_overlap()
+
     # -- cost charging -------------------------------------------------------
     def charge(self, primitive: str, *, times: int = 1, nbytes: int = 0,
-               scale: float = 1.0) -> float:
+               scale: float = 1.0, label: str | None = None) -> float:
         """Charge the cost of *primitive* and advance the clock.
 
         ``times`` repeats the primitive; ``nbytes`` is used for per-byte
         primitives (``disk_transfer_per_byte``, ``archive_per_byte``) where
         the charged amount is ``cost * nbytes`` instead of ``cost * times``.
         ``scale`` multiplies the final amount (used e.g. for the DLFM's lean
-        repository).  Returns the amount of simulated time charged.
+        repository).  ``label`` overrides the stats key (the charge is
+        recorded under *label* instead of the primitive name, so scaled
+        charges can be attributed separately).  Returns the amount of
+        simulated time charged.
         """
 
         unit = getattr(self.costs, primitive)
         amount = unit * nbytes if nbytes else unit * times
         amount *= scale
         self._now += amount
-        self.stats.record(primitive, amount)
+        self._record(label or primitive, amount)
         return amount
+
+    def _record(self, label: str, amount: float) -> None:
+        self.stats.record(label, amount)
 
     def measure(self) -> "Stopwatch":
         """Return a :class:`Stopwatch` started at the current simulated time."""
@@ -151,10 +273,159 @@ class SimClock:
         return Stopwatch(self)
 
 
-class Stopwatch:
-    """Measures elapsed simulated time; usable as a context manager."""
+@contextlib.contextmanager
+def synchronized_call(caller, callee):
+    """Two-way merge around a synchronous cross-domain call.
 
-    def __init__(self, clock: SimClock):
+    The callee cannot start before the caller's message was sent
+    (``callee.sync_to(caller.send_time())``), and the caller cannot continue
+    before the callee finished (``caller.receive(callee.now())``, applied
+    even when the body raises -- failures take time too).  A no-op when the
+    two clocks are the same object or either is ``None``.
+    """
+
+    if caller is None or callee is None or caller is callee:
+        yield
+        return
+    callee.sync_to(caller.send_time())
+    try:
+        yield
+    finally:
+        caller.receive(callee.now())
+
+
+def rendezvous(*clocks) -> float:
+    """Max-merge the given clocks (``None`` entries ignored): a barrier.
+
+    Commutative and idempotent -- ``rendezvous(a, b)`` and
+    ``rendezvous(b, a)`` leave both clocks at the same instant.  Returns
+    that instant.
+    """
+
+    present = [clock for clock in clocks if clock is not None]
+    if not present:
+        return 0.0
+    instant = max(clock.now() for clock in present)
+    for clock in present:
+        clock.sync_to(instant)
+    return instant
+
+
+class ClockDomain(SimClock):
+    """One simulated node's clock inside a :class:`ClockDomainGroup`.
+
+    A domain is a full :class:`SimClock` (components hold it and call
+    ``charge()``/``measure()`` unchanged) that additionally:
+
+    * mirrors every charge into the group's merged statistics, so
+      cluster-wide counts stay available no matter which node did the work;
+    * treats :meth:`advance` as *cluster* idle time -- explicit waiting
+      (editor think time, TTL expiry in tests) passes for every node, which
+      matches the old serial model; :meth:`advance_local` advances only
+      this domain.
+    """
+
+    def __init__(self, group: "ClockDomainGroup", name: str,
+                 cost_model: CostModel | None = None, start: float = 0.0):
+        super().__init__(cost_model, start=start, name=name)
+        self.group = group
+
+    def _record(self, label: str, amount: float) -> None:
+        self.stats.record(label, amount)
+        self.group.stats.record(label, amount)
+
+    def advance(self, seconds: float) -> float:
+        """Let *seconds* of idle wall time pass for the whole cluster."""
+
+        if seconds < 0:
+            raise ValueError("cannot move the simulated clock backwards")
+        for domain in self.group.domains.values():
+            domain.advance_local(seconds)
+        return self._now
+
+    def advance_local(self, seconds: float) -> float:
+        """Advance only this domain (a node busy on unmodelled local work)."""
+
+        return super().advance(seconds)
+
+
+class ClockDomainGroup:
+    """The set of clock domains of one simulated cluster.
+
+    ``serial=True`` collapses every domain onto a single shared timeline --
+    the old serial-clock model, kept for honest A/B comparisons (e.g. the
+    serial-clock rows of experiment E11).  Passing ``root`` adopts an
+    existing :class:`SimClock` as that single timeline.
+    """
+
+    def __init__(self, cost_model: CostModel | None = None, *,
+                 serial: bool = False, root: SimClock | None = None):
+        self.costs = cost_model if cost_model is not None else \
+            (root.costs if root is not None else CostModel())
+        self.serial = serial or root is not None
+        self.stats = root.stats if root is not None else ClockStats()
+        self.domains: dict[str, SimClock] = {}
+        self._root = root
+        if root is not None:
+            self.domains["serial"] = root
+
+    def domain(self, name: str) -> SimClock:
+        """The clock domain for node *name* (created on first use).
+
+        In serial mode every name resolves to the same shared clock.
+        """
+
+        if self.serial:
+            if self._root is None:
+                self._root = ClockDomain(self, "serial", self.costs)
+                self.domains["serial"] = self._root
+            return self._root
+        if name not in self.domains:
+            self.domains[name] = ClockDomain(self, name, self.costs)
+        return self.domains[name]
+
+    def global_now(self) -> float:
+        """The cluster wall clock: the max over every domain's time."""
+
+        if not self.domains:
+            return self._root.now() if self._root is not None else 0.0
+        return max(domain.now() for domain in self.domains.values())
+
+    # ``now()``/``measure()`` make the group usable wherever a clock-like
+    # object is expected, measuring cluster wall-clock progress.
+    def now(self) -> float:
+        return self.global_now()
+
+    def measure(self) -> "Stopwatch":
+        return Stopwatch(self)
+
+    def barrier(self) -> float:
+        """Rendezvous every domain (a cluster-wide synchronization point)."""
+
+        return rendezvous(*self.domains.values())
+
+    def stats_by_domain(self) -> dict:
+        """``{domain: {label: {"count", "total_ms"}}}`` per-node breakdown."""
+
+        return {name: domain.stats.as_dict()
+                for name, domain in sorted(self.domains.items())}
+
+    def times_by_domain(self) -> dict:
+        """``{domain: now_in_ms}`` -- each node's local time, for reporting."""
+
+        return {name: domain.now() * 1000.0
+                for name, domain in sorted(self.domains.items())}
+
+
+class Stopwatch:
+    """Measures elapsed simulated time; usable as a context manager.
+
+    Works over a single :class:`SimClock`/:class:`ClockDomain` (elapsed time
+    on that node) or a :class:`ClockDomainGroup` (elapsed cluster wall-clock
+    time, i.e. ``global_now`` deltas).
+    """
+
+    def __init__(self, clock):
         self._clock = clock
         self.start = clock.now()
         self.stop: float | None = None

@@ -11,8 +11,11 @@ and of the DLFM's private repository on each file server.  It provides:
 * full backups tagged with the tail LSN -- the *database state identifier*
   the paper uses to coordinate file and database restore.
 
-All costs are charged to the shared :class:`~repro.simclock.SimClock` when
-one is supplied, so benchmarks can attribute latency to SQL work.
+All costs are charged to the node's :class:`~repro.simclock.SimClock`
+(clock domain) when one is supplied, so benchmarks can attribute latency to
+SQL work; ``stats_prefix`` additionally keeps a scaled embedded store's
+charges (the DLFM repository) separate from host-database charges in the
+statistics.
 """
 
 from __future__ import annotations
@@ -52,10 +55,15 @@ class Database:
     def __init__(self, name: str, clock: SimClock | None = None,
                  cost_scale: float = 1.0,
                  flush_policy: FlushPolicy | str = FlushPolicy.IMMEDIATE,
-                 group_commit_window: int = 8):
+                 group_commit_window: int = 8,
+                 stats_prefix: str = ""):
         self.name = name
         self.clock = clock
         self.cost_scale = cost_scale
+        #: Prepended to every primitive name in clock statistics, so a scaled
+        #: embedded store (the DLFM repository) never conflates its charges
+        #: with the host database's charges for the same primitive.
+        self.stats_prefix = stats_prefix
         self.catalog = Catalog()
         self.wal = WriteAheadLog(flush_policy=flush_policy,
                                  group_window=group_commit_window)
@@ -73,8 +81,9 @@ class Database:
 
     def _charge(self, primitive: str, *, times: int = 1, nbytes: int = 0) -> None:
         if self.clock is not None:
+            label = self.stats_prefix + primitive if self.stats_prefix else None
             self.clock.charge(primitive, times=times, nbytes=nbytes,
-                              scale=self.cost_scale)
+                              scale=self.cost_scale, label=label)
 
     def total_rows(self) -> int:
         return sum(len(self.catalog.heap(name)) for name in self.catalog.table_names())

@@ -24,6 +24,9 @@ with :meth:`WriteAheadLog.add_flush_listener` are notified whenever the
 durable prefix grows, which is how a shard primary ships its repository WAL
 stream to a witness replica (only durable records are ever shipped, so a
 replica can never hold a transaction the primary could lose in a crash).
+Shipping is a *pipelined* send in simulated time: the witness applies the
+batch on its own clock domain and the primary does not wait, so replication
+overlaps foreground work (see :mod:`repro.simclock`).
 """
 
 from __future__ import annotations

@@ -52,6 +52,7 @@ class ScaleOutConfig:
     group_commit_window: int = 8
     control_mode: ControlMode = ControlMode.RFF
     prefix_depth: int = 1
+    serial_clock: bool = False
 
 
 class ScaleOutWorkload:
@@ -65,7 +66,8 @@ class ScaleOutWorkload:
                 config.shards,
                 prefix_depth=config.prefix_depth,
                 flush_policy=config.flush_policy,
-                group_commit_window=config.group_commit_window)
+                group_commit_window=config.group_commit_window,
+                serial_clock=config.serial_clock)
         self._sessions = []
         self._staged: list[list[tuple[int, str]]] = []
 

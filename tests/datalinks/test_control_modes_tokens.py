@@ -254,3 +254,73 @@ class TestTokenExpiryEdges:
         fresh = user.get_datalink("vault", {"doc_id": 0}, "body",
                                   access="read", ttl=1000.0)
         assert user.read_url(fresh) == b"secret"
+
+
+class TestTokenCache:
+    """The host-side token cache (read-caching roadmap, first slice)."""
+
+    def _cache(self, default_ttl=60.0):
+        from repro.datalinks.tokens import TokenCache, TokenManager
+
+        clock = SimClock()
+        manager = TokenManager("secret", clock, default_ttl=default_ttl)
+        return TokenCache(clock), manager, clock
+
+    def test_hit_skips_generation_and_returns_same_token(self):
+        cache, manager, clock = self._cache()
+        token = manager.generate("/f", TokenType.READ, 60.0)
+        cache.store("fs1", "/f", TokenType.READ, 60.0, token)
+        generated_before = clock.stats.count("token_generate")
+        assert cache.lookup("fs1", "/f", TokenType.READ, 60.0) == token
+        assert clock.stats.count("token_generate") == generated_before
+        assert cache.stats()["hits"] == 1
+
+    def test_stale_entry_missed_and_dropped(self):
+        cache, manager, clock = self._cache()
+        token = manager.generate("/f", TokenType.READ, 1.0)
+        cache.store("fs1", "/f", TokenType.READ, 1.0, token)
+        clock.advance(0.9)   # 0.1 s of life left < 0.5 * 1.0
+        assert cache.lookup("fs1", "/f", TokenType.READ, 1.0) is None
+        assert cache.stats() == {"hits": 0, "misses": 1, "entries": 0,
+                                 "hit_rate": 0.0}
+
+    def test_short_ttl_request_never_gets_long_lived_token(self):
+        """A caller asking for a short-lived capability must not receive a
+        cached token that outlives the requested TTL (TTL is in the key)."""
+
+        cache, manager, clock = self._cache()
+        long_lived = manager.generate("/f", TokenType.READ, 10_000.0)
+        cache.store("fs1", "/f", TokenType.READ, 10_000.0, long_lived)
+        assert cache.lookup("fs1", "/f", TokenType.READ, 60.0) is None
+        # the long-lived entry stays cached for callers that do want it
+        assert cache.lookup("fs1", "/f", TokenType.READ, 10_000.0) == long_lived
+
+    def test_mixed_ttl_callers_do_not_thrash_each_other(self):
+        """Each requested-TTL class caches independently: alternating long
+        and short requests both hit after their first miss."""
+
+        cache, manager, clock = self._cache()
+        long_lived = manager.generate("/f", TokenType.READ, 10_000.0)
+        short_lived = manager.generate("/f", TokenType.READ, 60.0)
+        cache.store("fs1", "/f", TokenType.READ, 10_000.0, long_lived)
+        cache.store("fs1", "/f", TokenType.READ, 60.0, short_lived)
+        for _ in range(3):
+            assert cache.lookup("fs1", "/f", TokenType.READ,
+                                10_000.0) == long_lived
+            assert cache.lookup("fs1", "/f", TokenType.READ,
+                                60.0) == short_lived
+        assert cache.stats()["hits"] == 6 and cache.stats()["misses"] == 0
+
+    def test_engine_cache_respects_requested_ttl(self):
+        from tests.conftest import FILES_TABLE, build_system
+
+        system, alice, _, _ = build_system(ControlMode.RDB)
+        system.engine.enable_token_cache()
+        long_url = alice.get_datalink(FILES_TABLE, {"doc_id": 0}, "body",
+                                      access="read", ttl=10_000.0)
+        short_url = alice.get_datalink(FILES_TABLE, {"doc_id": 0}, "body",
+                                       access="read", ttl=60.0)
+        assert short_url != long_url   # fresh short-lived token generated
+        # and a repeat of the short request now hits
+        assert alice.get_datalink(FILES_TABLE, {"doc_id": 0}, "body",
+                                  access="read", ttl=60.0) == short_url

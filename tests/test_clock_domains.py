@@ -1,0 +1,220 @@
+"""Clock-domain semantics: monotonicity, merge laws, global time.
+
+Seeded property tests for the per-node simulated-time model
+(:mod:`repro.simclock`): every domain's clock is monotone under any mix of
+charges and merges, max-merge is commutative and idempotent, and the
+cluster wall clock (``global_now``) never regresses -- including across
+random shard interleavings of a real sharded deployment and across a
+replicated shard's failover/fail-back cycle.
+"""
+
+import random
+
+import pytest
+
+from repro.simclock import (
+    ClockDomainGroup,
+    CostModel,
+    SimClock,
+    rendezvous,
+)
+
+PRIMITIVES = ["sql_statement_base", "row_write", "db_dlfm_message",
+              "disk_seek", "token_generate", "log_write"]
+
+
+class TestMergeLaws:
+    def test_sync_to_never_moves_backwards(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.sync_to(1.0)
+        assert clock.now() == pytest.approx(5.0)
+        clock.sync_to(9.0)
+        assert clock.now() == pytest.approx(9.0)
+
+    def test_merge_commutativity(self):
+        """merge(a, b) and merge(b, a) land both clocks on the same instant."""
+
+        for first, second in [(1.0, 7.0), (7.0, 1.0), (3.0, 3.0)]:
+            a1, b1 = SimClock(start=first), SimClock(start=second)
+            a2, b2 = SimClock(start=first), SimClock(start=second)
+            t_ab = rendezvous(a1, b1)
+            t_ba = rendezvous(b2, a2)
+            assert t_ab == pytest.approx(t_ba)
+            assert a1.now() == b1.now() == pytest.approx(max(first, second))
+            assert a2.now() == b2.now() == pytest.approx(max(first, second))
+
+    def test_merge_idempotent_and_associative_to_max(self):
+        rng = random.Random(1234)
+        starts = [rng.uniform(0, 100) for _ in range(5)]
+        clocks = [SimClock(start=value) for value in starts]
+        rng.shuffle(clocks)
+        instant = rendezvous(*clocks)
+        assert instant == pytest.approx(max(starts))
+        # a second merge is a no-op
+        assert rendezvous(*clocks) == pytest.approx(instant)
+
+    def test_rendezvous_ignores_none(self):
+        clock = SimClock(start=2.0)
+        assert rendezvous(None, clock, None) == pytest.approx(2.0)
+        assert rendezvous() == 0.0
+
+    def test_overlap_gathers_max_not_sum(self):
+        clock = SimClock(start=10.0)
+        with clock.overlap():
+            assert clock.send_time() == pytest.approx(10.0)
+            clock.receive(13.0)
+            clock.receive(11.0)
+            # send time stays anchored at the fork
+            assert clock.send_time() == pytest.approx(10.0)
+        assert clock.now() == pytest.approx(13.0)
+
+    def test_nested_overlap_frames(self):
+        clock = SimClock(start=1.0)
+        with clock.overlap():
+            clock.receive(4.0)
+            with clock.overlap():
+                clock.receive(9.0)
+            # the inner gather feeds the outer frame, not now()
+            assert clock.now() == pytest.approx(1.0)
+        assert clock.now() == pytest.approx(9.0)
+
+
+class TestDomainGroupProperties:
+    def test_random_interleaving_keeps_domains_monotone(self):
+        """Charges, one-way syncs and barriers never move any clock back."""
+
+        rng = random.Random(20260730)
+        group = ClockDomainGroup(CostModel())
+        domains = [group.domain(f"node{index}") for index in range(6)]
+        last_seen = {domain.name: domain.now() for domain in domains}
+        last_global = group.global_now()
+        for _ in range(2000):
+            action = rng.randrange(4)
+            if action == 0:
+                domain = rng.choice(domains)
+                domain.charge(rng.choice(PRIMITIVES), times=rng.randrange(1, 4))
+            elif action == 1:
+                sender, receiver = rng.sample(domains, 2)
+                receiver.sync_to(sender.send_time())
+            elif action == 2:
+                rendezvous(*rng.sample(domains, rng.randrange(2, 4)))
+            else:
+                group.barrier()
+            for domain in domains:
+                assert domain.now() >= last_seen[domain.name]
+                last_seen[domain.name] = domain.now()
+            assert group.global_now() >= last_global
+            assert group.global_now() == pytest.approx(
+                max(domain.now() for domain in domains))
+            last_global = group.global_now()
+
+    def test_group_advance_passes_idle_time_cluster_wide(self):
+        group = ClockDomainGroup(CostModel())
+        a, b = group.domain("a"), group.domain("b")
+        b.charge("disk_seek")
+        gap = b.now() - a.now()
+        a.advance(2.0)
+        assert a.now() == pytest.approx(2.0)
+        assert b.now() - a.now() == pytest.approx(gap)
+
+    def test_advance_local_moves_only_one_domain(self):
+        group = ClockDomainGroup(CostModel())
+        a, b = group.domain("a"), group.domain("b")
+        a.advance_local(3.0)
+        assert a.now() == pytest.approx(3.0)
+        assert b.now() == 0.0
+
+    def test_serial_group_collapses_to_one_timeline(self):
+        group = ClockDomainGroup(CostModel(), serial=True)
+        assert group.domain("host") is group.domain("shard0")
+        group.domain("host").charge("disk_seek")
+        assert group.global_now() == pytest.approx(group.domain("x").now())
+
+    def test_merged_stats_mirror_every_domain(self):
+        group = ClockDomainGroup(CostModel())
+        group.domain("a").charge("row_write")
+        group.domain("b").charge("row_write", label="dlfm.row_write")
+        assert group.stats.count("row_write") == 1
+        assert group.stats.count("dlfm.row_write") == 1
+        by_domain = group.stats_by_domain()
+        assert by_domain["a"]["row_write"]["count"] == 1
+        assert by_domain["b"]["dlfm.row_write"]["count"] == 1
+
+
+class TestShardedDeploymentTime:
+    def test_global_now_never_regresses_across_random_shard_interleavings(self):
+        """Random link/read/commit interleavings over a sharded deployment
+        keep every domain monotone and the cluster wall clock non-decreasing."""
+
+        from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
+        from repro.datalinks.sharding import ShardedDataLinksDeployment
+        from repro.storage.schema import Column, TableSchema
+        from repro.storage.values import DataType
+
+        rng = random.Random(99)
+        deployment = ShardedDataLinksDeployment(3, group_commit_window=2)
+        deployment.create_table(TableSchema("docs", [
+            Column("doc_id", DataType.INTEGER, nullable=False),
+            datalink_column("body", DatalinkOptions(recovery=False)),
+        ], primary_key=("doc_id",)))
+        session = deployment.session("user", uid=4001)
+        clocks = deployment.clocks
+        last_global = clocks.global_now()
+        last_local = {name: domain.now()
+                      for name, domain in clocks.domains.items()}
+        urls = []
+        for step in range(40):
+            action = rng.randrange(3) if urls else 0
+            if action == 0:
+                path = f"/dir{rng.randrange(6)}/doc{step:04d}.dat"
+                url = deployment.put_file(session, path, b"x" * 256)
+                host_txn = deployment.begin()
+                deployment.engine.insert(
+                    "docs", {"doc_id": step, "body": url}, host_txn)
+                deployment.commit(host_txn)
+                urls.append(url)
+            elif action == 1:
+                deployment.read_url(session, rng.choice(urls))
+            else:
+                deployment.drain()
+            assert clocks.global_now() >= last_global
+            last_global = clocks.global_now()
+            for name, domain in clocks.domains.items():
+                assert domain.now() >= last_local.get(name, 0.0)
+                last_local[name] = domain.now()
+        # host commits synchronize through every enlisted shard, so the host
+        # domain can never be ahead of the cluster wall clock by definition
+        assert deployment.clock.now() <= clocks.global_now() + 1e-12
+
+    def test_failover_merge_does_not_regress_time(self):
+        """Promotion and fail-back (cross-domain merges) keep time monotone."""
+
+        from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
+        from repro.datalinks.sharding import ShardedDataLinksDeployment
+        from repro.storage.schema import Column, TableSchema
+        from repro.storage.values import DataType
+
+        deployment = ShardedDataLinksDeployment(2, replication=True,
+                                                group_commit_window=1)
+        deployment.create_table(TableSchema("docs", [
+            Column("doc_id", DataType.INTEGER, nullable=False),
+            datalink_column("body", DatalinkOptions(recovery=False)),
+        ], primary_key=("doc_id",)))
+        session = deployment.session("user", uid=4001)
+        url = deployment.put_file(session, "/a/doc.dat", b"payload")
+        host_txn = deployment.begin()
+        deployment.engine.insert("docs", {"doc_id": 1, "body": url}, host_txn)
+        deployment.commit(host_txn)
+        shard = deployment.shard_of("/a/doc.dat")
+        clocks = deployment.clocks
+        before = {name: domain.now() for name, domain in clocks.domains.items()}
+        global_before = clocks.global_now()
+        deployment.crash_shard(shard)
+        deployment.fail_over(shard)
+        assert deployment.read_url(session, url) == b"payload"
+        deployment.fail_back(shard)
+        assert deployment.read_url(session, url) == b"payload"
+        assert clocks.global_now() >= global_before
+        for name, domain in clocks.domains.items():
+            assert domain.now() >= before.get(name, 0.0)

@@ -1,5 +1,8 @@
 """The reproduced experiments must run and reproduce the paper's qualitative claims."""
 
+import io
+import json
+
 import pytest
 
 from repro.bench.experiments import (
@@ -45,6 +48,25 @@ class TestHarness:
     def test_unknown_experiment_id(self):
         with pytest.raises(KeyError):
             run_experiment("E42")
+
+    def test_smoke_mode_emits_perf_artifact(self, tmp_path):
+        """``python -m repro.bench --smoke`` writes BENCH_smoke.json with a
+        per-experiment simulated-ms summary for the perf trajectory."""
+
+        from repro.bench.harness import run_all
+
+        artifact = tmp_path / "BENCH_smoke.json"
+        run_all(["E1", "E11"], smoke=True, json_path=str(artifact),
+                stream=io.StringIO())
+        payload = json.loads(artifact.read_text())
+        assert payload["mode"] == "smoke"
+        assert set(payload["experiments"]) == {"E1", "E11"}
+        e11 = payload["experiments"]["E11"]
+        assert e11["rows"] and e11["wall_clock_s"] >= 0.0
+        assert any(key.endswith("_ms") or "per_sim_s" in key
+                   for key in e11["sim_ms"])
+        # every cell is JSON-round-trippable (LSNs and such become strings)
+        json.dumps(payload)
 
     def test_table_formatting_text_and_markdown(self):
         headers = ["name", "value"]
@@ -133,3 +155,39 @@ class TestExperimentClaims:
         assert scaled["host_log_flushes"] < baseline["host_log_flushes"]
         # sharding spreads the linked files across servers
         assert scaled["max_links_per_shard"] < baseline["max_links_per_shard"]
+
+    def test_e11_clock_domains_beat_serial_clock_from_parallelism_alone(self):
+        """With batching and group commit both disabled, 8 shards must win
+        >=1.5x over 1 shard purely from clock-domain overlap, and the
+        per-node clock must never run slower than the old serial model."""
+
+        result = experiment_e11(shards=8, clients=4, transactions_per_client=3,
+                                rows_per_transaction=16, file_size=512)
+        by_config = {row["configuration"]: row for row in result.rows}
+        parallel = by_config["8 shards, per-row links, immediate flush"]
+        one_server = by_config["1 server, per-row links, immediate flush"]
+        serial_8 = by_config[
+            "8 shards, per-row links, immediate flush, serial clock"]
+        serial_1 = by_config[
+            "1 server, per-row links, immediate flush, serial clock"]
+        # parallelism alone: no batching, no group commit, same shard count
+        assert parallel["links_per_sim_s"] >= 1.5 * one_server["links_per_sim_s"]
+        # the clock-domain model must not be slower than the serial baseline
+        assert parallel["links_per_sim_s"] >= serial_8["links_per_sim_s"]
+        assert one_server["links_per_sim_s"] >= serial_1["links_per_sim_s"]
+        # under the serial clock, extra shards only added 2PC fan-out cost --
+        # the regression E11 used to hide
+        assert serial_8["links_per_sim_s"] <= serial_1["links_per_sim_s"]
+
+    def test_e1_token_cache_row_reports_hits(self):
+        result = experiment_e1(repeats=5)
+        cache_rows = [row for row in result.rows
+                      if "token cache" in row["statement"]]
+        assert len(cache_rows) == 1
+        # the warm-up call misses; every measured retrieval hits
+        assert "hit rate 0." in cache_rows[0]["statement"] or \
+            "hit rate 1.00" in cache_rows[0]["statement"]
+        generated = [row for row in result.rows
+                     if row["statement"].endswith("read-token generation")]
+        # a cache hit skips HMAC generation, so it must be cheaper
+        assert cache_rows[0]["mean_ms"] < generated[0]["mean_ms"]
