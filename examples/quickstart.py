@@ -13,8 +13,12 @@ This walks through the core loop of the paper:
 7. scale out: shard linked files over several DLFMs with WAL group commit
    and batched link pipelines;
 8. replicate: give every shard a witness replica fed by the primary's
-   repository WAL stream, crash a primary, and keep reading through the
-   promoted witness.
+   repository WAL stream.  Healthy witnesses serve *follower reads*
+   (load-balanced by the replication-aware router under a staleness
+   bound); a crashed primary fails over to a witness promoted to a **full
+   primary** -- reads *and* link/unlink writes keep flowing -- and
+   fail-back catches the recovered ex-primary up over a *reversed* WAL
+   stream from its last-applied LSN instead of a full resync.
 
 How simulated time works (see ``repro/simclock.py`` for the full story):
 every *node* -- the host database, each file server, the archive mover --
@@ -38,10 +42,14 @@ Scale-out knobs (step 7):
 * ``Session.set_flush_policy("group", n)`` turns WAL group commit on for an
   existing system (``"immediate"`` restores the classic one-force-per-commit
   protocol);
-* ``ShardedDataLinksDeployment(..., replication=True)`` adds a witness
-  replica per shard; ``fail_over(shard)`` promotes it (epoch-fenced, so the
-  recovered ex-primary cannot serve stale tokens) and ``fail_back(shard)``
-  resyncs and returns service to the primary.
+* ``ShardedDataLinksDeployment(..., replication=True, witnesses=N)`` adds
+  witness replicas per shard and a ``ReplicationRouter`` that owns roles
+  and routes: reads round-robin over the serving node plus every witness
+  within ``max_follower_lag`` shipped records; ``fail_over(shard)``
+  promotes the best witness to a full primary (epoch-fenced, so the
+  deposed ex-primary cannot serve stale tokens -- or take split-brain
+  writes) and ``fail_back(shard)`` rejoins the recovered ex-primary over
+  the reversed WAL stream before rotating the lease back.
 
 Run with:  python examples/quickstart.py
 """
@@ -139,7 +147,8 @@ def main() -> None:
           f"ms charged per node)")
 
     # 8. Replicate: witness replicas consume each primary's WAL stream, so a
-    #    shard crash no longer makes its URL prefix unreadable.
+    #    shard crash no longer stops reads -- or, since failover is
+    #    writable, links and unlinks.
     replicated = ShardedDataLinksDeployment(shards=2, replication=True)
     replicated.create_table(TableSchema("articles", [
         Column("article_id", DataType.INTEGER, nullable=False),
@@ -150,22 +159,46 @@ def main() -> None:
     url = replicated.put_file(carol, path, b"<html>breaking news</html>")
     carol.insert("articles", {"article_id": 1, "body": url})
     replicated.system.run_archiver()
+    replicated.system.flush_logs()   # drain group commit: witness catches up
 
+    # Follower reads: the router round-robins token-validated reads over
+    # the primary and every caught-up witness (staleness bound: shipper lag).
     shard = replicated.shard_of(path)
     read_url = carol.get_datalink("articles", {"article_id": 1}, "body",
                                   access="read", ttl=1e9)
-    print(f"reading {path} from primary {shard}: "
-          f"{replicated.read_url(carol, read_url)!r}")
+    for _ in range(2):
+        replicated.read_url(carol, read_url)
+    roles = replicated.stats()["routing"]
+    print(f"follower reads: {roles['reads_by_role']} over roles "
+          f"{roles['roles'][shard]}")
 
     replicated.crash_shard(shard)            # primary dies mid-traffic...
-    promotion = replicated.fail_over(shard)  # ...witness takes over
+    promotion = replicated.fail_over(shard)  # ...witness becomes full primary
     print(f"primary {shard} crashed; witness {promotion['serving']} promoted "
           f"at epoch {promotion['epoch']}")
     print(f"same token, same URL, read via the witness: "
           f"{replicated.read_url(carol, read_url)!r}")
-    replicated.fail_back(shard)              # recover + resync + fail back
-    print(f"failed back to {shard}: "
+
+    # Writable failover: the promoted witness takes the link branch and the
+    # 2PC vote for a brand-new article while the home primary is still down.
+    url2 = replicated.put_file(carol, "/news/update.html",
+                               b"<html>filed during the outage</html>")
+    carol.insert("articles", {"article_id": 2, "body": url2})
+    print(f"linked {url2} while {shard} was down "
+          f"(served by {promotion['serving']})")
+
+    # Fail-back: the recovered ex-primary rejoins over the *reversed* WAL
+    # stream (catching up from its last-applied LSN -- no full resync),
+    # then the lease rotates home and the outage-era article is there.
+    summary = replicated.fail_back(shard)
+    rejoin = summary.get("rejoin", {})
+    print(f"failed back to {shard} via {rejoin.get('mode', 'rotation')} "
+          f"({rejoin.get('caught_up_records', 0)} records caught up): "
           f"{replicated.read_url(carol, read_url)!r}")
+    read_url2 = carol.get_datalink("articles", {"article_id": 2}, "body",
+                                   access="read", ttl=1e9)
+    print(f"outage-era article served by the home primary: "
+          f"{replicated.read_url(carol, read_url2)!r}")
 
 
 if __name__ == "__main__":

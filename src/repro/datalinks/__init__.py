@@ -17,8 +17,12 @@ Layout mirrors the system architecture (Figure 1 of the paper):
 * :mod:`repro.datalinks.sharding` -- the scale-out layer: hash-partitioned
   multi-DLFM deployments with a group-commit queue and batched link
   pipelines;
+* :mod:`repro.datalinks.routing` -- the replication-aware routing layer:
+  per-prefix placement, per-node roles (serving/witness/fenced) and
+  load-balanced read routes with a follower-read staleness bound;
 * :mod:`repro.datalinks.replication` -- per-shard witness replicas fed by
-  the primary's repository WAL stream, with epoch-fenced failover.
+  the serving node's repository WAL stream, with epoch-fenced *writable*
+  failover and reversed-ship fail-back.
 """
 
 from repro.datalinks.control_modes import AccessControl, ControlMode
@@ -33,10 +37,14 @@ def __getattr__(name: str):
 
         return getattr(sharding, name)
     if name in ("EpochRegistry", "EpochGuard", "ReplicatedShard",
-                "ReplicaApplier", "WalShipper"):
+                "ReplicaApplier", "WalShipper", "WitnessSoftState"):
         from repro.datalinks import replication
 
         return getattr(replication, name)
+    if name in ("ReplicationRouter", "NodeRole"):
+        from repro.datalinks import routing
+
+        return getattr(routing, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -55,4 +63,7 @@ __all__ = [
     "ReplicatedShard",
     "ReplicaApplier",
     "WalShipper",
+    "WitnessSoftState",
+    "ReplicationRouter",
+    "NodeRole",
 ]

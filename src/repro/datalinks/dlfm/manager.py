@@ -65,7 +65,12 @@ class DataLinksFileManager:
         #: Epoch lease (:class:`~repro.datalinks.replication.EpochGuard`)
         #: when this DLFM belongs to a replicated shard; ``None`` otherwise.
         self.fencing = None
+        #: Follower-read gate: a callable that says whether this node may
+        #: serve read-path upcalls *despite* not holding the serving lease
+        #: (a healthy witness within the router's staleness bound).
+        self.read_gate = None
         self._replica = None
+        self._replica_soft = None
 
     # ---------------------------------------------------------------- wiring -----
     def attach_engine(self, engine) -> None:
@@ -92,12 +97,33 @@ class DataLinksFileManager:
 
         self.fencing = guard
 
+    def set_read_gate(self, gate) -> None:
+        """Attach the follower-read gate (see :attr:`read_gate`)."""
+
+        self.read_gate = gate
+
     def is_fenced(self) -> bool:
         return self.fencing is not None and self.fencing.fenced
 
     def _check_fencing(self) -> None:
         if self.fencing is not None:
             self.fencing.check()
+
+    def _check_read_service(self) -> None:
+        """Fencing for the read path: serving nodes and eligible witnesses.
+
+        Write-path operations always require the serving lease, but a
+        healthy witness within the router's staleness bound may serve
+        token validation and read opens -- that is the follower-read path.
+        A deposed node (no lease, not back on the stream) still raises
+        :class:`~repro.errors.FencedNodeError` here.
+        """
+
+        if self.fencing is None or not self.fencing.fenced:
+            return
+        if self.read_gate is not None and self.read_gate():
+            return
+        self.fencing.check()
 
     # ------------------------------------------------- engine-facing operations --
     # Fencing applies to the write path too: a fenced ex-primary must not
@@ -138,21 +164,74 @@ class DataLinksFileManager:
         branch = self.branches.branch_for(host_txn_id)
         return self.links.unlink_file(branch.local_txn, path)
 
+    # ------------------------------------------------- soft-state dispatch ------
+    # Token-registry and Sync entries are node-local soft state.  On a
+    # serving node they live in the repository (and replicate with its WAL
+    # stream); on a witness serving follower reads they go to the ephemeral
+    # WitnessSoftState instead, because the witness repository is redo-only
+    # and its heaps must keep mirroring the serving node's row ids.  Reads
+    # see the union: entries replicated from the serving node plus the
+    # node's own.
+    def _register_token_entry(self, path: str, userid: int, token_type: str,
+                              expires_at: float) -> None:
+        if self._replica_soft is not None:
+            self._replica_soft.add_token_entry(path, userid, token_type,
+                                               expires_at)
+        else:
+            self.repository.add_token_entry(path, userid, token_type,
+                                            expires_at)
+
+    def _find_token_entry(self, path: str, userid: int, *,
+                          for_write: bool) -> dict | None:
+        now = self._now()
+        if self._replica_soft is not None:
+            entry = self._replica_soft.find_token_entry(
+                path, userid, for_write=for_write, now=now)
+            if entry is not None:
+                return entry
+        return self.repository.find_token_entry(path, userid,
+                                                for_write=for_write, now=now)
+
+    def _sync_entries_of(self, path: str) -> list[dict]:
+        entries = list(self.repository.sync_entries(path))
+        if self._replica_soft is not None:
+            entries.extend(self._replica_soft.sync_entries_for(path))
+        return entries
+
+    def _add_sync_entry(self, path: str, access: str, userid: int) -> None:
+        if self._replica_soft is not None:
+            self._replica_soft.add_sync_entry(path, access, userid)
+        else:
+            self.repository.add_sync_entry(path, access, userid)
+
+    def _remove_sync_entry(self, path: str, access: str, userid: int) -> None:
+        if self._replica_soft is not None:
+            # Never fall through to the repository on a witness: its heap
+            # rows are replicas of the serving node's and are removed by
+            # redo when the serving node's own close ships over.  A close
+            # whose soft entry is gone (e.g. wiped by a stream re-source)
+            # has nothing local left to clean up.
+            self._replica_soft.remove_sync_entry(path, access, userid)
+            return
+        self.repository.remove_sync_entry(path, access, userid)
+
     # -------------------------------------------------- upcall-facing operations --
     def upcall_validate_token(self, ino: int, token_text: str, userid: int) -> dict:
         """fs_lookup-time token validation; creates a token registry entry.
 
         The entry is keyed by *user id* (not process id) so that a process-id
-        reuse cannot leak access, exactly as argued in Section 4.1.
+        reuse cannot leak access, exactly as argued in Section 4.1.  Served
+        by the serving node or -- under the follower-read gate -- a healthy
+        witness, whose entry goes to its local soft state.
         """
 
-        self._check_fencing()
+        self._check_read_service()
         row = self.repository.linked_file_by_ino(ino)
         if row is None:
             return {"linked": False}
         token = self.tokens.validate(token_text, row["path"])
-        self.repository.add_token_entry(row["path"], userid, token.token_type.value,
-                                        token.expires_at)
+        self._register_token_entry(row["path"], userid, token.token_type.value,
+                                   token.expires_at)
         return {"linked": True, "token_type": token.token_type.value,
                 "expires_at": token.expires_at}
 
@@ -162,10 +241,14 @@ class DataLinksFileManager:
         Invoked for files under full database control (owned by the DBMS) and,
         when the file server runs with strict read upcalls, for read opens of
         any file.  Non-full-control reads without strict synchronization are
-        reported as unlinked so DLFS stays out of the data path.
+        reported as unlinked so DLFS stays out of the data path.  Write opens
+        require the serving lease; read opens pass the follower-read gate.
         """
 
-        self._check_fencing()
+        if wants_write:
+            self._check_fencing()
+        else:
+            self._check_read_service()
         row = self.repository.linked_file_by_ino(ino)
         if row is None:
             return {"linked": False}
@@ -204,21 +287,24 @@ class DataLinksFileManager:
     def upcall_file_closed(self, ino: int, was_write: bool, userid: int) -> dict:
         """fs_close-time processing: Sync cleanup, metadata update, archiving.
 
-        Fencing applies here too: a fenced ex-primary must not commit
-        close-time metadata into the host database while the witness serves
-        (its leftover Sync soft state is wiped by the fail-back resync).
+        Fencing applies here too: only the serving node may commit
+        close-time metadata into the host database; read closes pass the
+        follower-read gate (a witness only cleans its local Sync entry).
         """
 
-        self._check_fencing()
+        if was_write:
+            self._check_fencing()
+        else:
+            self._check_read_service()
         row = self.repository.linked_file_by_ino(ino)
         if row is None:
             return {"linked": False, "modified": False}
         path = row["path"]
         mode = ControlMode.from_string(row["control_mode"])
         if was_write:
-            self.repository.remove_sync_entry(path, "write", userid)
+            self._remove_sync_entry(path, "write", userid)
         elif mode.full_control or row.get("strict_read_sync"):
-            self.repository.remove_sync_entry(path, "read", userid)
+            self._remove_sync_entry(path, "read", userid)
         if not was_write:
             return {"linked": True, "modified": False}
 
@@ -244,17 +330,19 @@ class DataLinksFileManager:
     def _begin_read(self, row: dict, mode: ControlMode, userid: int) -> None:
         path = row["path"]
         if mode.requires_read_token:
-            entry = self.repository.find_token_entry(path, userid, for_write=False,
-                                                     now=self._now())
+            entry = self._find_token_entry(path, userid, for_write=False)
             if entry is None:
                 raise AccessDeniedError(
                     f"no valid read token registered for user {userid} on {path!r}")
-        writers = [entry for entry in self.repository.sync_entries(path)
+        # Writers are visible on a witness too: the serving node's Sync
+        # entries replicate with the WAL stream, so a follower read is
+        # serialized against an in-progress update exactly like a local one.
+        writers = [entry for entry in self._sync_entries_of(path)
                    if entry["access"] == "write"]
         if writers:
             raise UpdateInProgressError(
                 f"{path!r} is being updated; read access is serialized at open time")
-        self.repository.add_sync_entry(path, "read", userid)
+        self._add_sync_entry(path, "read", userid)
 
     def _begin_strict_read(self, row: dict, userid: int) -> None:
         """Strict read synchronization for non-full-control files.
@@ -266,13 +354,13 @@ class DataLinksFileManager:
         """
 
         path = row["path"]
-        writers = [entry for entry in self.repository.sync_entries(path)
+        writers = [entry for entry in self._sync_entries_of(path)
                    if entry["access"] == "write"]
         if writers:
             raise UpdateInProgressError(
                 f"{path!r} is being updated; strict read synchronization rejects "
                 f"the open")
-        self.repository.add_sync_entry(path, "read", userid)
+        self._add_sync_entry(path, "read", userid)
 
     def _begin_file_update(self, row: dict, mode: ControlMode, userid: int) -> None:
         path = row["path"]
@@ -440,9 +528,12 @@ class DataLinksFileManager:
         """
 
         if self._replica is not None:
-            # Redo-only witness: maintenance runs on the primary and
-            # replicates over; see process_archive_jobs.
-            return {"purged_tokens": 0, "pruned_versions": 0}
+            # Redo-only witness: repository maintenance runs on the serving
+            # node and replicates over (see process_archive_jobs); only the
+            # node-local follower-read soft state is purged here.
+            purged = self._replica_soft.purge_expired_tokens(self._now()) \
+                if self._replica_soft is not None else 0
+            return {"purged_tokens": purged, "pruned_versions": 0}
         purged_tokens = self.repository.purge_expired_tokens(self._now())
         pruned_versions = 0
         if keep_versions is not None and keep_versions >= 1:
@@ -461,14 +552,43 @@ class DataLinksFileManager:
         Returns the :class:`~repro.datalinks.replication.ReplicaApplier`
         that :meth:`replica_apply` feeds; the applier rebinds
         ``linked_files`` inode numbers to this node's file system as rows
-        arrive.
+        arrive.  Follower-read soft state (token-registry and Sync entries)
+        goes to an ephemeral side store while replica mode is on, keeping
+        the repository heaps redo-only.
         """
 
-        from repro.datalinks.replication import ReplicaApplier
+        from repro.datalinks.replication import ReplicaApplier, WitnessSoftState
 
         self._replica = ReplicaApplier(self.repository.db, files=self.files,
                                        failpoints=failpoints)
+        self._replica_soft = WitnessSoftState()
         return self._replica
+
+    def disable_replica_mode(self) -> dict:
+        """Promote this witness DLFM to a full primary.
+
+        Leaves redo-only mode: archive jobs and housekeeping run locally
+        again, link/unlink branches and 2PC votes are accepted (fencing
+        permitting), and the follower-read soft state accrued while serving
+        as a witness is migrated into the repository -- whose writes now go
+        through this node's own WAL and therefore ship to any subscriber.
+        """
+
+        soft = self._replica_soft
+        self._replica = None
+        self._replica_soft = None
+        migrated = {"token_entries": 0, "sync_entries": 0}
+        if soft is not None:
+            for entry in soft.token_entries:
+                self.repository.add_token_entry(entry["path"], entry["userid"],
+                                                entry["token_type"],
+                                                entry["expires_at"])
+                migrated["token_entries"] += 1
+            for entry in soft.sync_entries:
+                self.repository.add_sync_entry(entry["path"], entry["access"],
+                                               entry["userid"])
+                migrated["sync_entries"] += 1
+        return migrated
 
     @property
     def replica(self):
@@ -485,22 +605,37 @@ class DataLinksFileManager:
     def replica_status(self) -> dict:
         if self._replica is None:
             return {"replica": False}
-        return {"replica": True, **self._replica.status()}
+        soft = self._replica_soft
+        return {"replica": True,
+                "soft_token_entries": len(soft.token_entries) if soft else 0,
+                "soft_sync_entries": len(soft.sync_entries) if soft else 0,
+                **self._replica.status()}
 
     def replica_catch_up(self, outcomes: dict) -> dict:
         """Promotion-time catch-up on the witness.
 
         Resolves the shipped in-doubt transactions against the
-        coordinator's durable ``outcomes``, then walks the linked files to
-        make this node actually able to serve them: missing file content is
-        restored from the shared archive, inode numbers are rebound to the
-        local file system, and full-control / read-only link constraints
-        are re-applied to the local copies (the link ran on the primary, so
-        its ownership changes never touched this node's files).
+        coordinator's durable ``outcomes``, then runs
+        :meth:`replica_rebind` so this node can actually serve its
+        replicated link state.
         """
 
         resolved = self._replica.resolve_in_doubt(outcomes) \
             if self._replica is not None else {"committed": [], "aborted": []}
+        return {"in_doubt": resolved, **self.replica_rebind()}
+
+    def replica_rebind(self) -> dict:
+        """Bind the replicated link state to this node's own resources.
+
+        Walks the linked files to make this node able to serve them:
+        missing file content is restored from the shared archive, inode
+        numbers are rebound to the local file system, and full-control /
+        read-only link constraints are re-applied to the local copies (the
+        link ran on another node, so its ownership changes never touched
+        this node's files).  Used by promotion and by the reversed-ship
+        rejoin, which has no in-doubt work to resolve.
+        """
+
         restored, rebound, constrained = [], 0, 0
         for row in self.repository.linked_files():
             path = row["path"]
@@ -526,7 +661,7 @@ class DataLinksFileManager:
             elif mode.made_read_only_on_link and attrs.mode & _WRITE_BITS:
                 self.files.chmod(path, attrs.mode & ~_WRITE_BITS)
                 constrained += 1
-        return {"in_doubt": resolved, "restored_files": restored,
+        return {"restored_files": restored,
                 "rebound_inos": rebound, "constrained_files": constrained}
 
     # --------------------------------------------------------------- crash/recover --
@@ -535,6 +670,9 @@ class DataLinksFileManager:
 
         self.repository.db.crash()
         self.branches.clear()
+        if self._replica_soft is not None:
+            # Follower-read soft state is volatile, like the branch table.
+            self._replica_soft.clear()
         self.running = False
 
     def recover(self) -> dict:

@@ -130,6 +130,18 @@ class DLFMRepository:
 
         return self.db.wal.records_from(lsn, durable_only=True)
 
+    def wal_records_pending(self, lsn) -> list:
+        """*All* records past *lsn*, durable or still buffered.
+
+        The follower-read staleness bound counts these, not just the
+        durable suffix: under group commit a transaction can be committed
+        and visible on the serving node while its records sit in the WAL
+        buffer, and a witness missing them is behind no matter what the
+        durable frontier says.
+        """
+
+        return self.db.wal.records_from(lsn, durable_only=False)
+
     # ------------------------------------------------------------------ helpers --
     def _next_id(self, table: str, column: str) -> int:
         rows = self.db.select(table, lock=False)

@@ -103,6 +103,8 @@ class DataLinksEngine:
         self.failpoints: dict = {}
         #: Optional host-side token cache (see :meth:`enable_token_cache`).
         self.token_cache: TokenCache | None = None
+        #: Optional replication-aware router (see :meth:`set_router`).
+        self.router = None
 
     def _fire(self, point: str) -> None:
         hook = self.failpoints.get(point)
@@ -156,9 +158,26 @@ class DataLinksEngine:
     def file_server_names(self) -> list[str]:
         return sorted(self._servers)
 
+    def set_router(self, router) -> None:
+        """Route DLFM traffic through a replication-aware router.
+
+        DATALINK URLs name the *logical* shard; with a router attached,
+        every connection lookup resolves through
+        :meth:`~repro.datalinks.routing.ReplicationRouter.writable_node`,
+        so link/unlink branches and two-phase-commit traffic for a
+        failed-over shard transparently reach the promoted witness.  A
+        transaction whose branch was taken on a node deposed before the
+        prepare fan-out aborts cleanly: the new serving node has no branch
+        for it and votes no.
+        """
+
+        self.router = router
+
     def _entry(self, server: str) -> _FileServerEntry:
+        name = self.router.writable_node(server) if self.router is not None \
+            else server
         try:
-            return self._servers[server]
+            return self._servers[name]
         except KeyError:
             raise DataLinksError(f"no file server registered under {server!r}") from None
 

@@ -1,42 +1,57 @@
-"""Shard replication: WAL-stream shipping, witness replicas and failover.
+"""Shard replication: WAL shipping, writable failover, reversed-ship fail-back.
 
 The paper's architecture leaves every linked file under exactly one DLFM, so
 a file-server crash makes that shard's files unreadable until recovery.
-This module adds a *primary/witness* replication scheme per shard:
+This module adds a *serving/witness* replication scheme per shard:
 
-* :class:`WalShipper` streams the primary DLFM repository's **durable** WAL
-  records to the witness over a daemon channel
+* :class:`WalShipper` streams the serving DLFM repository's **durable** WAL
+  records to each witness over a daemon channel
   (:class:`~repro.datalinks.dlfm.daemons.ReplicaDaemon`), triggered by the
-  repository WAL's flush hook -- only flushed records ship, so the witness
-  can never hold a transaction the primary could lose in a crash; shipping
-  is a *pipelined* send in simulated time (the witness applies batches on
-  its own clock domain; the primary pays only the enqueue cost), so
-  replication overlaps the primary's foreground work;
-* :class:`ReplicaApplier` applies the shipped stream on the witness:
+  repository WAL's flush hook -- only flushed records ship, so a witness
+  can never hold a transaction the serving node could lose in a crash;
+  shipping is a *pipelined* send in simulated time (the witness applies
+  batches on its own clock domain; the sender pays only the enqueue cost),
+  so replication overlaps the serving node's foreground work;
+* :class:`ReplicaApplier` applies the shipped stream on a witness:
   committed transactions are redone into the witness repository, aborted
   ones are dropped, and transactions that shipped a PREPARE vote but no
   outcome are kept *in doubt* until promotion resolves them from the host
   database's durable outcome (two-phase commit across a failover);
+* :class:`WitnessSoftState` holds the node-local soft state a witness
+  accrues while serving *follower reads* (token-registry and Sync entries):
+  the witness repository is redo-only -- its heaps must keep mirroring the
+  serving node's row ids exactly -- so this state lives beside it and is
+  migrated into the repository when the witness is promoted;
 * :class:`EpochRegistry` / :class:`EpochGuard` implement fencing: each
   shard has a monotonically increasing epoch and exactly one serving node;
-  promotion bumps the epoch, so a recovered ex-primary fails every token
-  validation and open upcall with
-  :class:`~repro.errors.FencedNodeError` instead of serving stale tokens;
-* :class:`ReplicatedShard` pairs one primary file server with its witness:
-  file-content mirroring at ingest, promotion (catch-up, in-doubt
-  resolution, inode/ownership rebinding, fencing), fail-back with a full
-  resync, and crash fault injection through ``failpoints``.
+  promotion bumps the epoch, so a deposed ex-serving node fails every
+  upcall and every engine-facing branch operation with
+  :class:`~repro.errors.FencedNodeError` until it rejoins the stream;
+* :class:`ReplicatedShard` groups one shard's nodes and rotates their
+  roles.  **Failover is writable**: :meth:`ReplicatedShard.promote` turns
+  the best witness into a full primary -- it leaves redo-only mode, accepts
+  link/unlink branches and 2PC enlistment (the engine's connections are
+  re-routed through the deployment's
+  :class:`~repro.datalinks.routing.ReplicationRouter`), and checkpoints its
+  repository so the applied state survives its own crashes.  **Fail-back is
+  a reversed ship**: the recovered ex-serving node rejoins as a witness fed
+  by the *new* primary's WAL stream and catches up from the LSN recorded
+  when it was deposed -- no snapshot resync -- then roles swap back under a
+  fence (:meth:`ReplicatedShard.fail_back`).  A snapshot resync remains the
+  fallback whenever the deposed node's durable state diverged from the
+  serving lineage (it held records that never shipped).
 
 Failpoints fire at every replication step so the crash-matrix tests can
 inject a primary crash mid-protocol: ``replicate:ship`` (before a WAL batch
-leaves the primary), ``replicate:apply`` (before the witness applies a
-batch), ``replicate:promote`` / ``replicate:catchup`` / ``replicate:fence``
+leaves the sender), ``replicate:apply`` (before a witness applies a batch),
+``replicate:promote`` / ``replicate:catchup`` / ``replicate:fence``
 (inside promotion, in that order).
 """
 
 from __future__ import annotations
 
 from repro.datalinks.control_modes import ControlMode
+from repro.datalinks.routing import NodeRole
 from repro.errors import (
     FencedNodeError,
     FileSystemError,
@@ -123,6 +138,14 @@ class EpochGuard:
 
 _DATA_RECORDS = (LogRecordType.INSERT, LogRecordType.UPDATE,
                  LogRecordType.DELETE, LogRecordType.CLR)
+
+#: Repository tables whose rows are node-local soft state: every node keeps
+#: (and enforces against) its own, so a serving-side write to them does not
+#: make a follower stale.
+_SOFT_STATE_TABLES = frozenset({"token_entries", "sync_entries"})
+
+_OUTCOME_RECORDS = (LogRecordType.COMMIT, LogRecordType.ABORT,
+                    LogRecordType.PREPARE)
 
 
 class ReplicaApplier:
@@ -331,7 +354,75 @@ class ReplicaApplier:
 
 
 # ---------------------------------------------------------------------------
-# primary-side shipping
+# witness-local soft state (follower reads)
+# ---------------------------------------------------------------------------
+
+class WitnessSoftState:
+    """Node-local token-registry and Sync entries for follower reads.
+
+    A witness serving reads must register validated tokens (fs_lookup) and
+    Sync entries (open of a full-control file) like any DLFM, but it cannot
+    write them into its repository heaps: those are redo-only and must keep
+    mirroring the serving node's row ids exactly, or positional redo of the
+    shipped stream would corrupt them.  This ephemeral store holds that
+    state beside the repository.  It is volatile -- cleared by a crash,
+    exactly like the branch table -- and migrated into the real repository
+    when the node is promoted to a full primary (whose repository writes go
+    through its own WAL again).
+    """
+
+    def __init__(self):
+        self.token_entries: list[dict] = []
+        self.sync_entries: list[dict] = []
+
+    # ----------------------------------------------------------------- tokens --
+    def add_token_entry(self, path: str, userid: int, token_type: str,
+                        expires_at: float) -> None:
+        self.token_entries.append({"path": path, "userid": userid,
+                                   "token_type": token_type,
+                                   "expires_at": expires_at})
+
+    def find_token_entry(self, path: str, userid: int, *, for_write: bool,
+                         now: float) -> dict | None:
+        for entry in self.token_entries:
+            if entry["path"] != path or entry["userid"] != userid:
+                continue
+            if entry["expires_at"] < now:
+                continue
+            if for_write and entry["token_type"] != "W":
+                continue
+            return entry
+        return None
+
+    def purge_expired_tokens(self, now: float) -> int:
+        before = len(self.token_entries)
+        self.token_entries = [entry for entry in self.token_entries
+                              if entry["expires_at"] >= now]
+        return before - len(self.token_entries)
+
+    # ------------------------------------------------------------ sync entries --
+    def add_sync_entry(self, path: str, access: str, userid: int) -> None:
+        self.sync_entries.append({"path": path, "access": access,
+                                  "userid": userid})
+
+    def remove_sync_entry(self, path: str, access: str, userid: int) -> int:
+        for index, entry in enumerate(self.sync_entries):
+            if (entry["path"], entry["access"], entry["userid"]) == \
+                    (path, access, userid):
+                del self.sync_entries[index]
+                return 1
+        return 0
+
+    def sync_entries_for(self, path: str) -> list[dict]:
+        return [entry for entry in self.sync_entries if entry["path"] == path]
+
+    def clear(self) -> None:
+        self.token_entries.clear()
+        self.sync_entries.clear()
+
+
+# ---------------------------------------------------------------------------
+# serving-side shipping
 # ---------------------------------------------------------------------------
 
 class WalShipper:
@@ -386,9 +477,54 @@ class WalShipper:
         return len(records)
 
     def lag(self) -> int:
-        """Durable primary records the witness has not received yet."""
+        """Durable serving-side records the witness has not received yet."""
 
         return len(self._repository.wal_records_since(self.cursor))
+
+    def pending_lag(self) -> int:
+        """Hard-state records the witness has not applied, durable or not.
+
+        This is the *staleness* measure follower reads are bounded by: a
+        group-commit window can hold committed-and-visible transactions
+        whose records have not been forced (and therefore not shipped), and
+        a witness missing them must not be treated as caught up -- its
+        mirrored file copies have not had the link-time access constraints
+        applied yet, so serving from it would not merely be stale, it would
+        skip token enforcement.
+
+        Node-local soft state is excluded: token-registry and Sync rows are
+        per-node semantics anyway (a witness validates against its own
+        store), so a serving-side token handout must not disqualify the
+        witness.  Outcome markers count exactly when their transaction
+        touched hard state -- the dangerous shape is a link whose data and
+        PREPARE shipped (buffered on the witness, awaiting the outcome)
+        while the COMMIT still sits in the serving node's group-commit
+        window.
+        """
+
+        count = 0
+        hard_txn: dict[int, bool] = {}
+        for record in self._repository.wal_records_pending(self.cursor):
+            if record.table is not None:
+                if record.table not in _SOFT_STATE_TABLES:
+                    count += 1
+                continue
+            if record.type not in _OUTCOME_RECORDS:
+                continue            # checkpoints etc.: nothing to apply
+            txn_id = record.txn_id
+            if txn_id not in hard_txn:
+                hard_txn[txn_id] = self._txn_touches_hard_state(txn_id)
+            if hard_txn[txn_id]:
+                count += 1
+        return count
+
+    def _txn_touches_hard_state(self, txn_id: int) -> bool:
+        for record in self._repository.db.wal.records_of(txn_id,
+                                                         durable_only=False):
+            if record.table is not None and \
+                    record.table not in _SOFT_STATE_TABLES:
+                return True
+        return False
 
     def pause(self) -> None:
         self.paused = True
@@ -405,39 +541,61 @@ class WalShipper:
 # ---------------------------------------------------------------------------
 
 class ReplicatedShard:
-    """One shard's primary/witness pair plus the machinery between them."""
+    """One shard's node group: a serving node plus witness subscribers.
 
-    def __init__(self, name: str, primary, witness, registry: EpochRegistry,
+    Roles are *dynamic*.  The node that created the shard is its **home
+    primary**, but any node can hold the serving lease: promotion rotates
+    the lease to a caught-up witness (which then takes writes -- link and
+    unlink branches, 2PC votes -- like any primary), and fail-back is just a
+    promotion back to the home primary after a reversed-ship catch-up.  The
+    :class:`~repro.datalinks.routing.ReplicationRouter` reads roles from
+    here; the DLFMs enforce them through epoch fencing plus the follower
+    read gate.
+    """
+
+    def __init__(self, name: str, primary, witnesses, registry: EpochRegistry,
                  engine, clock=None):
         from repro.datalinks.dlfm.daemons import ReplicaDaemon
 
         self.name = name
-        self.primary = primary
-        self.witness = witness
         self.registry = registry
         self.engine = engine
         self.clock = clock
-        #: Fault-injection hooks shared by shipper, applier and promotion:
-        #: ``replicate:ship``, ``replicate:apply``, ``replicate:promote``,
-        #: ``replicate:catchup``, ``replicate:fence``.
+        #: Set by :meth:`ReplicationRouter.register_replicated`; provides the
+        #: follower-read policy (on/off switch and staleness bound).
+        self.router = None
+        self.home_primary = primary.name
+        self.nodes = {primary.name: primary}
+        for node in witnesses:
+            self.nodes[node.name] = node
+        #: Fault-injection hooks shared by every shipper, applier and
+        #: promotion: ``replicate:ship``, ``replicate:apply``,
+        #: ``replicate:promote``, ``replicate:catchup``, ``replicate:fence``.
         self.failpoints: dict = {}
         registry.register(name, primary.name)
-        primary.dlfm.set_fencing(EpochGuard(registry, name, primary.name))
-        witness.dlfm.set_fencing(EpochGuard(registry, name, witness.name))
-        self.applier = witness.dlfm.enable_replica_mode(failpoints=self.failpoints)
-        # The replica daemon runs on the witness node; the shipper sends
-        # from the primary node.  ``clock`` (the deployment/host domain) is
-        # kept for timing control-plane operations like promotion.
-        self.replica_daemon = ReplicaDaemon(witness.dlfm, witness.clock)
-        channel = Channel(self.replica_daemon, primary.clock,
-                          latency_primitive="db_dlfm_message",
-                          sender=f"wal-ship:{name}")
-        self.shipper = WalShipper(primary.dlfm.repository, channel,
-                                  failpoints=self.failpoints)
+        self._daemons = {}
+        for node in self.nodes.values():
+            node.dlfm.set_fencing(EpochGuard(registry, name, node.name))
+            node.dlfm.set_read_gate(
+                lambda node_name=node.name: self._read_gate(node_name))
+            # Every node gets a replication endpoint up front: the home
+            # primary needs one the moment it is deposed and rejoins as a
+            # witness fed by the reversed stream.
+            self._daemons[node.name] = ReplicaDaemon(node.dlfm, node.clock)
+        #: Active streams: subscriber node name -> :class:`WalShipper`
+        #: sourced at the current serving node's repository.
+        self._streams: dict[str, WalShipper] = {}
+        self._synced: dict[str, bool] = {}
+        #: Deposed nodes' catch-up points in the *new* serving node's WAL
+        #: sequence; ``None`` forces the snapshot-resync fallback.
+        self._rejoin_base: dict[str, LSN | None] = {}
+        self._retired_shipped = 0
+        self._retired_ship_errors = 0
         self.mirror_misses = 0
-        # A witness crash loses its applied state (redo bypasses its own
-        # WAL by design); until a resync completes it must not be promoted.
-        self._witness_synced = True
+        self.full_resyncs = 0
+        self.reversed_catchups = 0
+        for node in witnesses:
+            self._subscribe(node.name)
 
     def _fire(self, point: str) -> None:
         hook = self.failpoints.get(point)
@@ -453,157 +611,521 @@ class ReplicatedShard:
     def serving(self):
         """The file server currently holding the shard's serving lease."""
 
-        if self.serving_name == self.witness.name:
-            return self.witness
-        return self.primary
+        return self.nodes[self.serving_name]
 
     @property
     def failed_over(self) -> bool:
-        return self.serving_name != self.primary.name
+        return self.serving_name != self.home_primary
 
     @property
     def epoch(self) -> int:
         return self.registry.current_epoch(self.name)
 
+    @property
+    def primary(self):
+        """The shard's home primary (static role; may not be serving)."""
+
+        return self.nodes[self.home_primary]
+
+    @property
+    def witnesses(self) -> list:
+        """The home witnesses, in creation order."""
+
+        return [node for name, node in self.nodes.items()
+                if name != self.home_primary]
+
+    @property
+    def witness(self):
+        """The first home witness (single-witness compatibility surface)."""
+
+        return self.witnesses[0]
+
+    @property
+    def shipper(self) -> WalShipper | None:
+        """The stream feeding the first home witness, while one exists."""
+
+        return self._streams.get(self.witness.name)
+
+    @property
+    def applier(self) -> ReplicaApplier | None:
+        """The first home witness's applier, while it is subscribed."""
+
+        return self.witness.dlfm.replica
+
+    def is_subscribed(self, node_name: str) -> bool:
+        """Is *node_name* a synced subscriber of the serving node's stream?"""
+
+        node = self.nodes.get(node_name)
+        return (node is not None and node_name in self._streams
+                and node.dlfm.replica is not None
+                and bool(self._synced.get(node_name)))
+
+    def subscriber_lag(self, node_name: str) -> int | None:
+        """Staleness of one subscriber in records, or ``None`` off-stream.
+
+        Counts *pending* lag (see :meth:`WalShipper.pending_lag`): records
+        the subscriber has not applied, whether or not they are durable at
+        the serving node yet.
+        """
+
+        shipper = self._streams.get(node_name)
+        return shipper.pending_lag() if shipper is not None else None
+
+    def role_of(self, node_name: str) -> str:
+        node = self.nodes[node_name]
+        if not node.running:
+            return NodeRole.DOWN
+        if node_name == self.serving_name:
+            return NodeRole.SERVING
+        if self.is_subscribed(node_name):
+            return NodeRole.WITNESS
+        return NodeRole.FENCED
+
+    def roles(self) -> dict[str, str]:
+        return {name: self.role_of(name) for name in self.nodes}
+
+    # ---------------------------------------------------------- follower reads --
+    def follower_eligible(self, node_name: str, max_lag: int = 0) -> bool:
+        """May *node_name* serve a bounded-staleness read right now?
+
+        Requires a live stream end to end: the node is a synced subscriber
+        with its daemon up, the serving node is running (the staleness
+        bound is derived from shipper lag, which is only meaningful against
+        a live source), shipping is not paused, and the lag is within
+        *max_lag* records.
+        """
+
+        node = self.nodes.get(node_name)
+        if node is None or not node.running:
+            return False
+        if node_name == self.serving_name:
+            return False
+        if not self.is_subscribed(node_name):
+            return False
+        if not self._daemons[node_name].running:
+            return False
+        if not self.serving.running:
+            return False
+        shipper = self._streams[node_name]
+        if shipper.paused:
+            return False
+        return shipper.pending_lag() <= max_lag
+
+    def _read_gate(self, node_name: str) -> bool:
+        """DLFM-side gate: may this node accept read-path upcalls?"""
+
+        if node_name == self.serving_name:
+            return True
+        if self.router is not None:
+            return self.router.follower_ok(self.name, node_name)
+        return self.follower_eligible(node_name)
+
+    # ------------------------------------------------------- stream management --
+    def _subscribe(self, node_name: str, base: LSN | None = None) -> WalShipper:
+        """Attach *node_name* to the serving node's WAL stream.
+
+        With *base*, shipping and applying pick up at that LSN of the
+        serving repository's sequence (the reversed-ship rejoin path);
+        without it, at the current durable frontier (fresh witnesses, whose
+        bootstrapped repository equals the serving node's).
+        """
+
+        node = self.nodes[node_name]
+        applier = node.dlfm.enable_replica_mode(failpoints=self.failpoints)
+        channel = Channel(self._daemons[node_name], self.serving.clock,
+                          latency_primitive="db_dlfm_message",
+                          sender=f"wal-ship:{self.name}:{node_name}")
+        shipper = WalShipper(self.serving.dlfm.repository, channel,
+                             failpoints=self.failpoints)
+        if base is not None:
+            shipper.cursor = base
+            applier.applied_lsn = base
+        self._streams[node_name] = shipper
+        self._synced[node_name] = True
+        self._rejoin_base.pop(node_name, None)
+        return shipper
+
+    def _detach_stream(self, node_name: str) -> None:
+        shipper = self._streams.pop(node_name, None)
+        if shipper is not None:
+            shipper.detach()
+            self._retired_shipped += shipper.shipped_records
+            self._retired_ship_errors += shipper.ship_errors
+
     # ---------------------------------------------------------------- mirroring --
+    def _copy_below_dlfs(self, node, path: str, content: bytes, uid: int,
+                         gid: int) -> None:
+        """Write *content* on *node* through the DLFM-privileged path."""
+
+        lfs = node.raw_lfs
+        root = node.files.dlfm_cred
+        directory = path.rsplit("/", 1)[0] or "/"
+        if directory != "/":
+            lfs.makedirs(directory, root)
+            lfs.chown(directory, uid, gid, root)
+        lfs.write_file(path, content, root, create=True)
+        lfs.chown(path, uid, gid, root)
+
     def mirror_file(self, path: str, content: bytes, cred) -> None:
-        """Copy a just-ingested file to the witness (same path and owner).
+        """Copy a just-ingested file to every subscriber (same path/owner).
 
         Runs below DLFS (the DLFM-privileged path) so mirroring never
         recurses into DataLinks interception on the witness.  A crashed
         witness misses the mirror (counted, like a missed WAL shipment);
-        promotion later restores what it can from the shared archive.
+        promotion or rejoin later restores what it can from the archive or
+        the serving node's copy.
         """
 
-        if not self.witness.running:
-            self.mirror_misses += 1
-            return
-        # Synchronous mirror: the ingest path waits for the witness copy
-        # (that durability is exactly why promotion can serve the content),
-        # so the witness domain syncs up and the caller merges back after.
-        with synchronized_call(self.clock, self.witness.clock):
-            lfs = self.witness.raw_lfs
-            root = self.witness.files.dlfm_cred
-            directory = path.rsplit("/", 1)[0] or "/"
-            if directory != "/":
-                lfs.makedirs(directory, root)
-                lfs.chown(directory, cred.uid, cred.gid, root)
-            lfs.write_file(path, content, root, create=True)
-            lfs.chown(path, cred.uid, cred.gid, root)
+        for node_name in list(self._streams):
+            node = self.nodes[node_name]
+            if not node.running:
+                self.mirror_misses += 1
+                continue
+            # Synchronous mirror: the ingest path waits for the witness copy
+            # (that durability is exactly why promotion can serve the
+            # content), so the witness domain syncs up and the caller merges
+            # back after.
+            with synchronized_call(self.clock, node.clock):
+                self._copy_below_dlfs(node, path, content, cred.uid, cred.gid)
+
+    def _mirror_missing_content(self, node) -> int:
+        """Copy linked-file content *node* lacks from the serving node.
+
+        Used at rejoin/resync time: files ingested while the node was down
+        (or deposed) exist only on the serving side and in the archive; the
+        repository rows replicate over the stream, the bytes come from
+        here.  Returns how many files were copied.
+        """
+
+        serving = self.serving
+        copied = 0
+        for row in node.dlfm.repository.linked_files():
+            path = row["path"]
+            if node.files.exists(path) or not serving.files.exists(path):
+                continue
+            content = serving.files.read(path)
+            attrs = serving.files.stat(path)
+            self._copy_below_dlfs(node, path, content, attrs.uid, attrs.gid)
+            copied += 1
+        return copied
 
     # ----------------------------------------------------------------- failover --
     def promote(self) -> dict:
-        """Fail the shard over to the witness.
+        """Fail the shard over: promote the best witness to a full primary."""
 
-        Steps (each behind a failpoint): stop consuming the dead primary's
-        stream, run witness catch-up -- resolve shipped in-doubt
-        transactions from the host database's durable outcome, rebind
-        inodes/ownership of linked files -- and finally bump the epoch so
-        the ex-primary is fenced.  Idempotent: re-promoting a shard that
-        already failed over only re-runs catch-up.
+        if self.failed_over and self.serving.running:
+            # Idempotent: the shard already failed over to a live witness.
+            return {"promoted": True, "epoch": self.epoch,
+                    "serving": self.serving_name}
+        return self.promote_to(self._select_promotion_target())
+
+    def _select_promotion_target(self) -> str:
+        eligible = [name for name in self._streams
+                    if name != self.serving_name
+                    and self.nodes[name].running
+                    and self._synced.get(name)]
+        if eligible:
+            # The most caught-up witness loses the least (normally they tie
+            # at lag zero, since shipping rides every log force).
+            return max(eligible,
+                       key=lambda name: self.nodes[name].dlfm.replica
+                       .applied_lsn.value)
+        witness = self.witness
+        if not witness.running:
+            raise ReplicationError(
+                f"cannot promote shard {self.name!r}: witness "
+                f"{witness.name!r} is down (recover it first)")
+        if not self._synced.get(witness.name):
+            raise ReplicationError(
+                f"cannot promote shard {self.name!r}: witness "
+                f"{witness.name!r} lost its replica state and has not "
+                f"resynced from the primary")
+        raise ReplicationError(
+            f"cannot promote shard {self.name!r}: no synced running witness")
+
+    def promote_to(self, target_name: str) -> dict:
+        """Rotate the serving lease to *target_name* (a synced subscriber).
+
+        Steps (each behind a failpoint): quiesce the streams -- when the old
+        serving node is alive (a planned hand-off / fail-back) its WAL is
+        flushed and shipped so nothing is lost -- run catch-up on the target
+        (resolve shipped in-doubt transactions from the host database's
+        durable outcome, restore content, rebind inodes and ownership), bump
+        the epoch so every other node is fenced, then turn the target into a
+        **full primary**: it leaves redo-only replica mode (migrating its
+        follower-read soft state into the repository) and checkpoints, so
+        the redo-applied state survives its own crashes.  Finally the
+        remaining subscribers are re-sourced from the new serving node and
+        the deposed ex-serving node's reversed-ship catch-up point is
+        recorded.
         """
 
-        if not self.witness.running:
+        target = self.nodes[target_name]
+        if target_name == self.serving_name:
+            return {"promoted": True, "epoch": self.epoch,
+                    "serving": target_name}
+        if not target.running:
             raise ReplicationError(
                 f"cannot promote shard {self.name!r}: witness "
-                f"{self.witness.name!r} is down (recover it first)")
-        if not self._witness_synced:
+                f"{target_name!r} is down (recover it first)")
+        if not self._synced.get(target_name):
             raise ReplicationError(
                 f"cannot promote shard {self.name!r}: witness "
-                f"{self.witness.name!r} lost its replica state and has not "
+                f"{target_name!r} lost its replica state and has not "
                 f"resynced from the primary")
         self._fire("replicate:promote")
+        old_serving_name = self.serving_name
+        old_serving = self.nodes[old_serving_name]
         # Promotion is driven by the cluster manager beside the host
-        # database: the witness syncs up to the order's send time, catch-up
-        # runs on the witness's own clock domain, and the manager waits for
+        # database: the target syncs up to the order's send time, catch-up
+        # runs on the target's own clock domain, and the manager waits for
         # completion (that is the failover latency experiments measure).
-        with synchronized_call(self.clock, self.witness.clock):
-            self.shipper.pause()
+        with synchronized_call(self.clock, target.clock):
+            if old_serving.running:
+                old_serving.dlfm.repository.db.wal.flush()
+                for shipper in self._streams.values():
+                    if not shipper.paused:
+                        try:
+                            shipper.ship()
+                        except IPCError:
+                            pass
+            residual_lag = {name: shipper.lag()
+                            for name, shipper in self._streams.items()}
+            for shipper in self._streams.values():
+                shipper.pause()
             self._fire("replicate:catchup")
+            applier = target.dlfm.replica
             outcomes = self.engine.host_transaction_outcomes(
-                self.applier.in_doubt_host_txns())
-            summary = self.witness.dlfm.replica_catch_up(outcomes)
+                applier.in_doubt_host_txns())
+            summary = target.dlfm.replica_catch_up(outcomes)
             self._fire("replicate:fence")
-            epoch = self.registry.promote(self.name, self.witness.name)
+            epoch = self.registry.promote(self.name, target_name)
+            # Past the fence: the target is a full primary now.
+            self._detach_stream(target_name)
+            self._synced.pop(target_name, None)
+            summary["soft_state"] = target.dlfm.disable_replica_mode()
+            target.dlfm.repository.db.checkpoint()
+        target_clean = residual_lag.get(target_name, 0) == 0
+        base = target.dlfm.repository.db.wal.flushed_lsn
+        # Re-source the remaining subscribers from the new serving node.
+        for other_name in list(self._streams):
+            other_clean = (target_clean
+                           and residual_lag.get(other_name, 0) == 0)
+            self._detach_stream(other_name)
+            other = self.nodes[other_name]
+            if not other.running:
+                self._synced[other_name] = False
+                self._rejoin_base[other_name] = None
+                continue
+            other.dlfm.replica.resolve_in_doubt(outcomes)
+            self._subscribe(other_name, base=base)
+            if not other_clean:
+                self._resync_subscriber(other_name)
+        # The deposed ex-serving node: remember where a reversed stream can
+        # pick it up.  Divergence (durable records the target never
+        # received) voids the fast path and forces the snapshot fallback.
+        if old_serving.running:
+            # Planned hand-off (fail-back): the old serving node is alive
+            # and fully shipped; it becomes a witness on the spot.
+            self._subscribe(old_serving_name, base=base)
+        else:
+            self._rejoin_base[old_serving_name] = base if target_clean else None
         summary.update({"promoted": True, "epoch": epoch,
-                        "serving": self.witness.name})
+                        "serving": target_name})
         return summary
 
-    def fail_back(self) -> dict:
-        """Return the shard to a recovered primary after a full resync."""
+    # ------------------------------------------------------------------- rejoin --
+    def rejoin(self, node_name: str) -> dict:
+        """Re-admit a recovered deposed node as a witness subscriber.
 
-        if not self.primary.running:
+        Fast path: the node subscribes to the current serving node's WAL
+        stream at the LSN recorded when it was deposed -- its own
+        last-applied point in the serving lineage -- and catches up by
+        shipping only the records it missed (plus a content delta for files
+        ingested while it was gone).  No snapshot resync.  The fallback
+        snapshot path runs only when the deposed node's durable state
+        diverged from the serving lineage.
+        """
+
+        node = self.nodes[node_name]
+        if node_name == self.serving_name:
+            raise ReplicationError(
+                f"node {node_name!r} is serving shard {self.name!r}; "
+                f"there is nothing to rejoin")
+        if not node.running:
+            raise ReplicationError(
+                f"cannot rejoin {node_name!r} to shard {self.name!r}: "
+                f"the node is down (recover it first)")
+        if node_name in self._streams:
+            return {"rejoined": False, "already_subscribed": True}
+        if not self.serving.running:
+            raise ReplicationError(
+                f"cannot rejoin {node_name!r} to shard {self.name!r}: "
+                f"serving node {self.serving_name!r} is down")
+        base = self._rejoin_base.get(node_name)
+        self._daemons[node_name].start()
+        shipper = self._subscribe(node_name, base=base)
+        if base is None:
+            summary = self._resync_subscriber(node_name)
+            return {"rejoined": True, "mode": "snapshot", **summary}
+        rendezvous(self.clock, self.serving.clock, node.clock)
+        before = shipper.shipped_records
+        # The flush listener ships the whole missed suffix; the explicit
+        # ship() only mops up if nothing needed flushing.
+        self.serving.dlfm.repository.db.wal.flush()
+        shipper.ship()
+        shipped = shipper.shipped_records - before
+        restored_files = self._mirror_missing_content(node)
+        rebind = node.dlfm.replica_rebind()
+        rendezvous(self.clock, self.serving.clock, node.clock)
+        self.reversed_catchups += 1
+        return {"rejoined": True, "mode": "reversed-ship",
+                "from_lsn": base.value, "caught_up_records": shipped,
+                "mirrored_files": restored_files, **rebind}
+
+    # ----------------------------------------------------------------- fail-back --
+    def fail_back(self) -> dict:
+        """Return the serving lease to the home primary.
+
+        The recovered ex-primary first rejoins as a witness (reversed-ship
+        catch-up from its last-applied LSN; snapshot fallback on
+        divergence), then the lease rotates back under a fence and the
+        ex-witness resubscribes to the home primary's stream.
+        """
+
+        primary = self.primary
+        if not primary.running:
             raise ReplicationError(
                 f"cannot fail shard {self.name!r} back: primary "
-                f"{self.primary.name!r} has not recovered")
-        summary = self.resync()
-        epoch = self.registry.promote(self.name, self.primary.name)
-        summary.update({"serving": self.primary.name, "epoch": epoch})
+                f"{primary.name!r} has not recovered")
+        if not self.failed_over:
+            return {"serving": self.home_primary, "epoch": self.epoch,
+                    "failed_back": False}
+        catch_up = None
+        if self.home_primary not in self._streams:
+            catch_up = self.rejoin(self.home_primary)
+        summary = self.promote_to(self.home_primary)
+        summary["failed_back"] = True
+        if catch_up is not None:
+            summary["rejoin"] = catch_up
         return summary
 
-    def resync(self) -> dict:
-        """Full witness catch-up: re-seed from the primary repository.
+    # -------------------------------------------------------------------- resync --
+    def _resync_subscriber(self, node_name: str) -> dict:
+        """Snapshot catch-up of one subscriber from the serving repository.
 
-        Used on fail-back and witness recovery, where the witness may hold
-        local soft state (token/sync entries written while it served) or
-        may have missed shipped batches; a snapshot copy plus a cursor
-        reset restores the invariant that witness heaps mirror primary row
-        ids exactly.
+        The heavyweight fallback: a catalog snapshot copy plus a cursor
+        reset restores the invariant that subscriber heaps mirror the
+        serving node's row ids exactly.  Used when a witness lost its
+        replica state (its redo bypasses its own WAL by design) or a
+        deposed node's durable state diverged from the serving lineage.
         """
 
-        if not self.primary.running:
-            # A crashed primary's catalog was reset by the crash; copying
-            # it would destroy the witness's (possibly only) replica state.
+        serving = self.serving
+        if not serving.running:
+            # A crashed node's catalog was reset by the crash; copying it
+            # would destroy the subscriber's (possibly only) replica state.
             raise ReplicationError(
                 f"cannot resync shard {self.name!r} from crashed primary "
-                f"{self.primary.name!r}; recover it first")
+                f"{serving.name!r}; recover it first")
+        node = self.nodes[node_name]
+        shipper = self._streams[node_name]
         # A full resync is a barrier across the pair (and its initiator).
-        rendezvous(self.clock, self.primary.clock, self.witness.clock)
-        db = self.primary.dlfm.repository.db
-        self.shipper.pause()
+        rendezvous(self.clock, serving.clock, node.clock)
+        db = serving.dlfm.repository.db
+        shipper.pause()
         db.wal.flush()
-        self.applier.reset_from_snapshot(db.catalog.snapshot(),
-                                         db.wal.flushed_lsn)
-        rebind = self.witness.dlfm.replica_catch_up({})
-        self.shipper.cursor = db.wal.flushed_lsn
-        self.shipper.resume()
-        self._witness_synced = True
-        rendezvous(self.clock, self.primary.clock, self.witness.clock)
+        node.dlfm.replica.reset_from_snapshot(db.catalog.snapshot(),
+                                              db.wal.flushed_lsn)
+        self._mirror_missing_content(node)
+        rebind = node.dlfm.replica_catch_up({})
+        shipper.cursor = db.wal.flushed_lsn
+        shipper.resume()
+        self._synced[node_name] = True
+        self.full_resyncs += 1
+        rendezvous(self.clock, serving.clock, node.clock)
         return {"resynced": True, **rebind}
 
+    def resync(self) -> dict:
+        """Snapshot-resync every running subscriber from the serving node."""
+
+        if not self.serving.running:
+            raise ReplicationError(
+                f"cannot resync shard {self.name!r} from crashed primary "
+                f"{self.serving_name!r}; recover it first")
+        results = {}
+        for node_name in list(self._streams):
+            if self.nodes[node_name].running:
+                results[node_name] = self._resync_subscriber(node_name)
+        if len(results) == 1:
+            return next(iter(results.values()))
+        return {"resynced": True, "nodes": results}
+
     # ------------------------------------------------------------ witness faults --
-    def crash_witness(self) -> None:
-        self.replica_daemon.stop()
-        self.witness.crash()
-        self._witness_synced = False
+    def crash_witness(self, witness_name: str | None = None) -> None:
+        name = witness_name or self.witness.name
+        self._daemons[name].stop()
+        self.nodes[name].crash()
+        self._synced[name] = False
 
-    def recover_witness(self) -> dict:
-        """Restart the witness and, when the primary is up, resync from it.
+    def recover_witness(self, witness_name: str | None = None) -> dict:
+        """Restart a witness and, when the serving node is up, resync it.
 
-        With the primary also down there is nothing safe to resync from;
-        the witness comes back empty-handed (its applied state bypassed its
-        own WAL by design) and catches up once the primary recovers.
+        With the serving node also down there is nothing safe to resync
+        from; the witness comes back empty-handed (its applied state
+        bypassed its own WAL by design) and catches up once the serving
+        node recovers.  A crashed *serving* witness recovers like any
+        primary: from its own WAL and the promotion-time checkpoint.
         """
 
-        summary = self.witness.recover()
-        self.replica_daemon.start()
-        if self.primary.running:
-            summary["resync"] = self.resync()
+        name = witness_name or self.witness.name
+        node = self.nodes[name]
+        summary = node.recover()
+        if name == self.serving_name:
+            return summary
+        self._daemons[name].start()
+        if name not in self._streams:
+            if self.serving.running:
+                summary["resync"] = self.rejoin(name)
+            else:
+                summary["resync"] = {"resynced": False,
+                                     "deferred": "primary is down"}
+            return summary
+        if self.serving.running:
+            summary["resync"] = self._resync_subscriber(name)
         else:
             summary["resync"] = {"resynced": False,
                                  "deferred": "primary is down"}
         return summary
 
     # ------------------------------------------------------------------- status --
+    @property
+    def shipped_records(self) -> int:
+        return self._retired_shipped + sum(shipper.shipped_records
+                                           for shipper in self._streams.values())
+
+    @property
+    def ship_errors(self) -> int:
+        return self._retired_ship_errors + sum(shipper.ship_errors
+                                               for shipper in self._streams.values())
+
     def status(self) -> dict:
-        return {
+        home_witness = self.witness.name
+        home_stream = self._streams.get(home_witness)
+        status = {
             "serving": self.serving_name,
             "epoch": self.epoch,
             "failed_over": self.failed_over,
-            "shipped_records": self.shipper.shipped_records,
-            "ship_errors": self.shipper.ship_errors,
+            "roles": self.roles(),
+            "shipped_records": self.shipped_records,
+            "ship_errors": self.ship_errors,
             "mirror_misses": self.mirror_misses,
-            "witness_synced": self._witness_synced,
-            "lag": self.shipper.lag(),
-            **self.applier.status(),
+            "witness_synced": bool(self._synced.get(home_witness)),
+            "lag": home_stream.lag() if home_stream is not None else 0,
+            "full_resyncs": self.full_resyncs,
+            "reversed_catchups": self.reversed_catchups,
         }
+        applier = self.witness.dlfm.replica
+        if applier is not None:
+            status.update(applier.status())
+        return status

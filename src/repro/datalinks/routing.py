@@ -1,0 +1,291 @@
+"""Replication-aware routing: per-prefix placement, per-node roles, read/write routes.
+
+Before this layer existed, read/write routing logic was smeared across
+:class:`~repro.datalinks.sharding.ShardedDataLinksDeployment` (hard-wired
+``replica.serving`` pointers), :class:`~repro.datalinks.replication.ReplicatedShard`
+(role bookkeeping) and the engine's connection plumbing (URLs name the
+*logical* shard, but a failed-over shard's traffic must reach the serving
+node).  This module centralizes all of it:
+
+* :class:`ShardRouter` owns **placement**: stable hash partitioning of URL
+  path prefixes onto logical shard names (moved here from ``sharding.py``;
+  re-exported there for compatibility);
+* :class:`ReplicationRouter` owns **roles and routes** on top of placement.
+  Every node of a shard has a dynamic role -- :data:`NodeRole.SERVING` (holds
+  the epoch lease; the only node that may take link/unlink branches and vote
+  in two-phase commit), :data:`NodeRole.WITNESS` (healthy subscriber of the
+  serving node's WAL stream; may serve bounded-staleness follower reads),
+  :data:`NodeRole.FENCED` (deposed ex-serving node that has not rejoined the
+  stream; refuses everything) and :data:`NodeRole.DOWN` (crashed) -- and the
+  router answers three questions:
+
+  - :meth:`ReplicationRouter.writable_node` -- which physical node takes
+    *write* traffic addressed to a logical shard.  The DataLinks engine
+    resolves every DLFM connection lookup through this, which is what makes
+    failover **writable**: after promotion, link/unlink branches and 2PC
+    prepare/commit for ``shard0`` transparently reach ``shard0-r``;
+  - :meth:`ReplicationRouter.route_read` -- which node serves the next read.
+    Reads are load-balanced round-robin over the serving node plus every
+    *eligible* witness: a witness is eligible only while the serving node is
+    up (the staleness bound is derived from the shipper's lag against the
+    live stream) and its lag is within ``max_follower_lag`` records;
+  - :meth:`ReplicationRouter.route_write` -- the serving node, or a
+    :class:`~repro.errors.DaemonUnavailableError` naming the cure.
+
+  Per-role routing counters (reads served by the serving node vs witnesses,
+  writes, follower rejections) are surfaced through :meth:`ReplicationRouter.stats`
+  and land in ``ShardedDataLinksDeployment.stats()["routing"]``.
+
+The router holds no replication state of its own: roles are derived on
+demand from the :class:`~repro.datalinks.replication.EpochRegistry` (who
+holds the lease) and each :class:`~repro.datalinks.replication.ReplicatedShard`
+(who subscribes to whose stream, and how far behind), so routing decisions
+can never disagree with the fencing checks the DLFMs enforce themselves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import DaemonUnavailableError, DataLinksError
+
+
+class NodeRole:
+    """Dynamic role of one node within a replicated shard."""
+
+    SERVING = "serving"    # holds the epoch lease; takes writes and 2PC
+    WITNESS = "witness"    # healthy stream subscriber; may serve follower reads
+    FENCED = "fenced"      # deposed ex-serving node, not rejoined; serves nothing
+    DOWN = "down"          # crashed
+
+
+class ShardRouter:
+    """Stable hash placement of file paths onto named shards.
+
+    Paths are keyed by their first ``prefix_depth`` components, so files in
+    the same directory subtree land on the same shard (cheap directory
+    listings, one enlisted shard for subtree-local transactions).
+    """
+
+    def __init__(self, shard_names: list[str], prefix_depth: int = 1):
+        if not shard_names:
+            raise DataLinksError("a shard router needs at least one shard")
+        self.shard_names = list(shard_names)
+        self.prefix_depth = max(1, int(prefix_depth))
+
+    def prefix_of(self, path: str) -> str:
+        components = [part for part in path.split("/") if part]
+        return "/" + "/".join(components[: self.prefix_depth])
+
+    def shard_of(self, path: str) -> str:
+        """The shard responsible for *path* (stable across runs/processes)."""
+
+        digest = hashlib.sha1(self.prefix_of(path).encode("utf-8")).digest()
+        index = int.from_bytes(digest[:8], "big") % len(self.shard_names)
+        return self.shard_names[index]
+
+
+class ReplicationRouter:
+    """Roles and routes for every shard of a deployment.
+
+    ``follower_reads`` switches witness read service on or off deployment-wide;
+    ``max_follower_lag`` is the staleness bound, in WAL records the witness
+    has not applied -- **durable or still buffered** (under group commit a
+    transaction can be committed and visible on the serving node before its
+    records are forced; a witness missing them has neither the rows nor the
+    link-time access constraints on its mirrored files, so it must not
+    count as caught up).  Because shipping is pipelined on every log force,
+    a quiesced witness sits at lag 0; a paused stream, an undrained
+    group-commit window or in-flight transactions push it over the bound
+    and the router quietly falls back to the serving node (counted in
+    ``follower_rejects``).
+    """
+
+    def __init__(self, placement: ShardRouter, *, follower_reads: bool = True,
+                 max_follower_lag: int = 0):
+        self.placement = placement
+        self.follower_reads = follower_reads
+        self.max_follower_lag = max(0, int(max_follower_lag))
+        self._singles: dict[str, object] = {}     # shard -> FileServer
+        self._replicas: dict[str, object] = {}    # shard -> ReplicatedShard
+        self._round_robin: dict[str, int] = {}
+        self.reads_by_role = {NodeRole.SERVING: 0, NodeRole.WITNESS: 0}
+        self.writes_routed = 0
+        self.follower_rejects = 0
+        self.failover_rewrites = 0   # writes that reached a non-home serving node
+
+    # -------------------------------------------------------------- registration --
+    def register_shard(self, shard: str, server) -> None:
+        """Register an unreplicated shard: one node, always serving."""
+
+        self._singles[shard] = server
+
+    def register_replicated(self, shard: str, replica) -> None:
+        """Register a replicated shard; roles are derived from *replica*."""
+
+        self._replicas[shard] = replica
+        replica.router = self
+        self._singles.pop(shard, None)
+
+    @property
+    def shards(self) -> list[str]:
+        return sorted(set(self._singles) | set(self._replicas))
+
+    # ----------------------------------------------------------------- placement --
+    def shard_of(self, path: str) -> str:
+        return self.placement.shard_of(path)
+
+    def prefix_of(self, path: str) -> str:
+        return self.placement.prefix_of(path)
+
+    # --------------------------------------------------------------------- roles --
+    def roles(self, shard: str) -> dict[str, str]:
+        """``{node_name: role}`` for every node of *shard*.
+
+        Role derivation lives on the :class:`ReplicatedShard` (it owns the
+        stream state the roles depend on); the router only reads it, so
+        routing decisions can never disagree with the shard's own
+        accounting.
+        """
+
+        replica = self._replicas.get(shard)
+        if replica is not None:
+            return replica.roles()
+        server = self._singles.get(shard)
+        if server is None:
+            raise DataLinksError(f"unknown shard {shard!r}")
+        return {server.name: NodeRole.SERVING if server.running
+                else NodeRole.DOWN}
+
+    def role_of(self, shard: str, node_name: str) -> str:
+        return self.roles(shard)[node_name]
+
+    def serving_node(self, shard: str) -> str:
+        """Name of the node currently holding *shard*'s serving lease."""
+
+        replica = self._replicas.get(shard)
+        if replica is not None:
+            return replica.serving_name
+        server = self._singles.get(shard)
+        if server is None:
+            raise DataLinksError(f"unknown shard {shard!r}")
+        return server.name
+
+    def writable_node(self, name: str) -> str:
+        """Resolve a logical server name to the physical node taking writes.
+
+        Identity for anything that is not a registered shard (plain file
+        servers, or a witness addressed directly), so the DataLinks engine
+        can resolve every connection lookup through this unconditionally.
+        """
+
+        replica = self._replicas.get(name)
+        if replica is None:
+            return name
+        serving = replica.serving_name
+        if serving != name:
+            self.failover_rewrites += 1
+        return serving
+
+    # -------------------------------------------------------------------- routes --
+    def serving_server(self, shard: str):
+        """The serving node of *shard*; raises when it is down."""
+
+        replica = self._replicas.get(shard)
+        if replica is not None:
+            server = replica.serving
+        else:
+            server = self._singles.get(shard)
+            if server is None:
+                raise DataLinksError(f"unknown shard {shard!r}")
+        if not server.running:
+            hint = "; fail_over() promotes a witness" if replica is not None \
+                else ""
+            raise DaemonUnavailableError(
+                f"file server {server.name!r} is down{hint}")
+        return server
+
+    def route_write(self, shard: str):
+        """The node that takes link/unlink traffic for *shard* right now."""
+
+        server = self.serving_server(shard)
+        self.writes_routed += 1
+        return server
+
+    def follower_ok(self, shard: str, node_name: str) -> bool:
+        """May *node_name* serve a follower read of *shard* right now?
+
+        This is also the DLFM-side read gate: a witness only accepts
+        read-path upcalls while the router would have routed a read to it,
+        so routing policy and fencing enforcement cannot drift apart.
+        """
+
+        if not self.follower_reads:
+            return False
+        replica = self._replicas.get(shard)
+        if replica is None:
+            return False
+        return replica.follower_eligible(node_name,
+                                         max_lag=self.max_follower_lag)
+
+    def read_candidates(self, shard: str) -> list:
+        """Read-eligible nodes, serving node first (may be empty)."""
+
+        replica = self._replicas.get(shard)
+        if replica is None:
+            server = self._singles.get(shard)
+            if server is None:
+                raise DataLinksError(f"unknown shard {shard!r}")
+            return [server] if server.running else []
+        candidates = []
+        if replica.serving.running:
+            candidates.append(replica.serving)
+        for name, node in replica.nodes.items():
+            if name == replica.serving_name:
+                continue
+            if self.follower_ok(shard, name):
+                candidates.append(node)
+            elif node.running and replica.is_subscribed(name):
+                # A healthy subscriber skipped only by the staleness bound
+                # (or the policy switch) is a rejected follower read.
+                self.follower_rejects += 1
+        return candidates
+
+    def route_read(self, shard: str):
+        """Pick the node for the next read: round-robin over the candidates."""
+
+        candidates = self.read_candidates(shard)
+        if not candidates:
+            # Same failure surface as the write path: name the cure.
+            self.serving_server(shard)          # raises with the right hint
+            raise DaemonUnavailableError(       # pragma: no cover - defensive
+                f"no read-eligible node for shard {shard!r}")
+        index = self._round_robin.get(shard, 0)
+        self._round_robin[shard] = index + 1
+        chosen = candidates[index % len(candidates)]
+        role = NodeRole.SERVING if chosen.name == self.serving_node(shard) \
+            else NodeRole.WITNESS
+        self.reads_by_role[role] += 1
+        return chosen
+
+    def follower_lag(self, shard: str, node_name: str) -> int | None:
+        """Stream lag (records) of one subscriber, or ``None`` off-stream."""
+
+        replica = self._replicas.get(shard)
+        if replica is None:
+            return None
+        return replica.subscriber_lag(node_name)
+
+    # --------------------------------------------------------------------- stats --
+    def stats(self) -> dict:
+        """Per-role routing counters plus the current role map."""
+
+        return {
+            "follower_reads": self.follower_reads,
+            "max_follower_lag": self.max_follower_lag,
+            "reads_by_role": dict(self.reads_by_role),
+            "writes_routed": self.writes_routed,
+            "follower_rejects": self.follower_rejects,
+            "failover_rewrites": self.failover_rewrites,
+            "roles": {shard: self.roles(shard) for shard in self.shards},
+        }

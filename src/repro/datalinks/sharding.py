@@ -14,15 +14,28 @@ file servers"; this module turns that into an operational scale-out layer:
   with one ``prepare_many``/``commit_many`` message per enlisted shard plus a
   single host log force (:meth:`~repro.datalinks.engine.DataLinksEngine.commit_group`).
 
-With ``replication=True`` every shard additionally gets a **witness
-replica** (``shard0-r`` for ``shard0``): linked-file content is mirrored at
-ingest, the primary's repository WAL stream ships to the witness on every
-log force, and when a primary crashes :meth:`ShardedDataLinksDeployment.fail_over`
-promotes the witness so token validation and read traffic keep flowing for
-that shard's URL prefix.  An epoch/fencing scheme
-(:class:`~repro.datalinks.replication.EpochRegistry`) guarantees a
-recovered ex-primary refuses to serve until the shard fails back to it
-(:meth:`ShardedDataLinksDeployment.fail_back`, which resyncs the witness).
+With ``replication=True`` every shard additionally gets one or more
+**witness replicas** (``shard0-r``, ``shard0-r2``, ... for ``shard0``):
+linked-file content is mirrored at ingest and the serving node's repository
+WAL stream ships to every witness on every log force.  Routing is owned by
+a :class:`~repro.datalinks.routing.ReplicationRouter`:
+
+* **writable failover** -- when a primary crashes,
+  :meth:`ShardedDataLinksDeployment.fail_over` promotes the best witness to
+  a *full primary*: the engine's DLFM connections re-route through the
+  router, so link/unlink branches and two-phase commit for the shard's URL
+  prefix keep flowing (not just reads);
+* **reversed-ship fail-back** -- :meth:`ShardedDataLinksDeployment.fail_back`
+  rejoins the recovered ex-primary as a witness fed by the new primary's
+  WAL stream, catching up from its last-applied LSN instead of a full
+  resync, then rotates the lease back under a fence;
+* **follower reads** -- :meth:`ShardedDataLinksDeployment.read_url`
+  load-balances token-validated reads round-robin over the serving node and
+  every healthy witness within the ``max_follower_lag`` staleness bound.
+
+An epoch/fencing scheme (:class:`~repro.datalinks.replication.EpochRegistry`)
+guarantees a deposed ex-primary refuses to serve until it rejoins the
+stream.
 
 Knobs
 -----
@@ -33,9 +46,13 @@ Knobs
 ``group_commit_window``   commits buffered before the queue auto-drains;
                           ``1`` disables the queue (classic per-transaction
                           two-phase commit)
-``replication``           add a witness replica per shard, fed by the
-                          primary's repository WAL stream
+``replication``           add witness replicas per shard, fed by the
+                          serving node's repository WAL stream
+``witnesses``             witness replicas per shard (default 1)
 ``replica_suffix``        witness server name suffix (default ``"-r"``)
+``follower_reads``        let healthy witnesses serve reads (default on)
+``max_follower_lag``      staleness bound for follower reads, in shipped
+                          WAL records (default 0: fully caught up)
 ``serial_clock``          collapse every node onto one shared timeline (the
                           pre-clock-domain serial model, kept for honest A/B
                           comparisons); by default every shard, witness and
@@ -50,42 +67,17 @@ unaffected).
 
 from __future__ import annotations
 
-import hashlib
-
 from repro.api.system import DataLinksSystem, FileServer
 from repro.datalinks.engine import HostTransaction
 from repro.datalinks.replication import EpochRegistry, ReplicatedShard
-from repro.errors import DaemonUnavailableError, DataLinksError, ReproError
+from repro.datalinks.routing import ReplicationRouter, ShardRouter
+from repro.errors import DataLinksError, ReplicationError, ReproError
 from repro.simclock import CostModel, SimClock
 from repro.storage.schema import TableSchema
 from repro.util.lsn import LSN
 from repro.util.urls import format_url, parse_url
 
-
-class ShardRouter:
-    """Stable hash placement of file paths onto named shards.
-
-    Paths are keyed by their first ``prefix_depth`` components, so files in
-    the same directory subtree land on the same shard (cheap directory
-    listings, one enlisted shard for subtree-local transactions).
-    """
-
-    def __init__(self, shard_names: list[str], prefix_depth: int = 1):
-        if not shard_names:
-            raise DataLinksError("a shard router needs at least one shard")
-        self.shard_names = list(shard_names)
-        self.prefix_depth = max(1, int(prefix_depth))
-
-    def prefix_of(self, path: str) -> str:
-        components = [part for part in path.split("/") if part]
-        return "/" + "/".join(components[: self.prefix_depth])
-
-    def shard_of(self, path: str) -> str:
-        """The shard responsible for *path* (stable across runs/processes)."""
-
-        digest = hashlib.sha1(self.prefix_of(path).encode("utf-8")).digest()
-        index = int.from_bytes(digest[:8], "big") % len(self.shard_names)
-        return self.shard_names[index]
+__all__ = ["ShardRouter", "ShardedDataLinksDeployment"]
 
 
 class ShardedDataLinksDeployment:
@@ -100,7 +92,10 @@ class ShardedDataLinksDeployment:
                  group_commit_window: int = 8,
                  strict_read_upcalls: bool = False,
                  replication: bool = False,
+                 witnesses: int = 1,
                  replica_suffix: str = "-r",
+                 follower_reads: bool = True,
+                 max_follower_lag: int = 0,
                  serial_clock: bool = False):
         if shards < 1:
             raise DataLinksError("a sharded deployment needs at least one shard")
@@ -112,7 +107,10 @@ class ShardedDataLinksDeployment:
         for name in self.shard_names:
             self.system.add_file_server(name,
                                         strict_read_upcalls=strict_read_upcalls)
-        self.router = ShardRouter(self.shard_names, prefix_depth)
+        self.router = ReplicationRouter(
+            ShardRouter(self.shard_names, prefix_depth),
+            follower_reads=follower_reads, max_follower_lag=max_follower_lag)
+        self.engine.set_router(self.router)
         self.group_commit_window = max(1, int(group_commit_window))
         self._pending: list[HostTransaction] = []
         self.replicas: dict[str, ReplicatedShard] = {}
@@ -120,14 +118,23 @@ class ShardedDataLinksDeployment:
         if replication:
             self.epochs = EpochRegistry()
             for name in self.shard_names:
-                witness = self.system.add_file_server(
-                    f"{name}{replica_suffix}",
-                    strict_read_upcalls=strict_read_upcalls,
-                    token_secret=self.shard(name).dlfm.token_secret)
-                self.replicas[name] = ReplicatedShard(
-                    name, primary=self.shard(name), witness=witness,
+                witness_nodes = []
+                for index in range(1, max(1, int(witnesses)) + 1):
+                    suffix = replica_suffix if index == 1 \
+                        else f"{replica_suffix}{index}"
+                    witness_nodes.append(self.system.add_file_server(
+                        f"{name}{suffix}",
+                        strict_read_upcalls=strict_read_upcalls,
+                        token_secret=self.shard(name).dlfm.token_secret))
+                replica = ReplicatedShard(
+                    name, primary=self.shard(name), witnesses=witness_nodes,
                     registry=self.epochs, engine=self.engine,
                     clock=self.clock)
+                self.replicas[name] = replica
+                self.router.register_replicated(name, replica)
+        else:
+            for name in self.shard_names:
+                self.router.register_shard(name, self.shard(name))
 
     # ----------------------------------------------------------------- accessors --
     @property
@@ -182,16 +189,21 @@ class ShardedDataLinksDeployment:
     def put_file(self, session, path: str, content: bytes) -> str:
         """Create *path* on its responsible shard; returns the DATALINK URL.
 
-        Under replication the content is also mirrored to the shard's
-        witness, so a later promotion can serve it without the primary.
+        Content is written through the shard's current *serving* node (the
+        witness, after a failover -- write availability is the point of
+        writable failover) and, under replication, mirrored to every
+        witness so a later promotion can serve it.  The returned URL always
+        names the logical shard, so it stays valid across failover and
+        fail-back.
         """
 
         shard = self.shard_of(path)
-        url = session.put_file(shard, path, content)
+        serving = self.router.route_write(shard)
+        session.put_file(serving.name, path, content)
         replica = self.replicas.get(shard)
         if replica is not None:
             replica.mirror_file(path, content, session.cred)
-        return url
+        return format_url(shard, path)
 
     # ------------------------------------------------------------------- reading --
     @property
@@ -204,22 +216,21 @@ class ShardedDataLinksDeployment:
         Raises :class:`~repro.errors.DaemonUnavailableError` when that node
         is down -- for an unreplicated shard that means the shard's URL
         prefix is unreadable until recovery; for a replicated shard it
-        means :meth:`fail_over` has not promoted the witness yet.
+        means :meth:`fail_over` has not promoted a witness yet.
         """
 
-        replica = self.replicas.get(shard)
-        server = replica.serving if replica is not None else self.shard(shard)
-        if not server.running:
-            hint = "; fail_over() promotes the witness" if replica is not None \
-                else ""
-            raise DaemonUnavailableError(
-                f"file server {server.name!r} is down{hint}")
-        return server
+        return self.router.serving_server(shard)
 
     def read_url(self, session, url: str) -> bytes:
-        """Read a (tokenized) DATALINK URL through the shard's serving node."""
+        """Read a (tokenized) DATALINK URL through the routing layer.
 
-        server = self.serving_file_server(parse_url(url).server)
+        The router load-balances round-robin over the shard's serving node
+        and every healthy witness within the follower-read staleness bound;
+        the token embedded in the URL stays valid on any of them because
+        witnesses share their primary's signing secret.
+        """
+
+        server = self.router.route_read(parse_url(url).server)
         return session.read_url(url, server=server.name)
 
     # --------------------------------------------------------- group-commit queue --
@@ -300,28 +311,51 @@ class ShardedDataLinksDeployment:
         try:
             return self.replicas[name]
         except KeyError:
-            raise DataLinksError(
-                f"shard {name!r} has no witness replica "
-                f"(deployment built with replication=False)") from None
+            if name not in self.shard_names:
+                raise ReplicationError(
+                    f"cannot fail over/back shard {name!r}: no such shard "
+                    f"(known shards: {self.shard_names})") from None
+            raise ReplicationError(
+                f"cannot fail over/back shard {name!r}: it has no witness "
+                f"replica because the deployment was built with "
+                f"replication=False") from None
 
     def fail_over(self, name: str) -> dict:
-        """Promote *name*'s witness: reads and token validation move there."""
+        """Promote *name*'s best witness to a **full primary**.
+
+        Reads, token validation *and* the write path (link/unlink branches,
+        2PC enlistment) move to the promoted node: the engine's DLFM
+        connections resolve through the router, so traffic addressed to the
+        logical shard reaches the new serving node transparently.
+        """
 
         return self._replica(name).promote()
 
     def fail_back(self, name: str) -> dict:
-        """Return *name* to its primary (recovering it first if needed)."""
+        """Return *name* to its primary (recovering it first if needed).
+
+        The recovered ex-primary rejoins as a witness fed by the new
+        primary's reversed WAL stream and catches up from its last-applied
+        LSN (no full resync unless its durable state diverged); then the
+        serving lease rotates back under a fence.
+        """
 
         replica = self._replica(name)
         if not replica.primary.running:
             self.recover_shard(name)
         return replica.fail_back()
 
-    def crash_witness(self, name: str) -> None:
-        self._replica(name).crash_witness()
+    def rejoin_shard(self, name: str) -> dict:
+        """Re-admit *name*'s recovered ex-primary as a read-serving witness
+        without failing back (the witness keeps the serving lease)."""
 
-    def recover_witness(self, name: str) -> dict:
-        return self._replica(name).recover_witness()
+        return self._replica(name).rejoin(self._replica(name).home_primary)
+
+    def crash_witness(self, name: str, witness_name: str | None = None) -> None:
+        self._replica(name).crash_witness(witness_name)
+
+    def recover_witness(self, name: str, witness_name: str | None = None) -> dict:
+        return self._replica(name).recover_witness(witness_name)
 
     # ------------------------------------------------------------------- statistics --
     def linked_paths(self, shard: str) -> set:
@@ -362,6 +396,7 @@ class ShardedDataLinksDeployment:
         token_cache = self.engine.token_cache_stats()
         if token_cache.get("enabled"):
             stats["token_cache"] = token_cache
+        stats["routing"] = self.router.stats()
         if self.replicated:
             stats["replication"] = {
                 name: self.replicas[name].status() for name in self.shard_names}

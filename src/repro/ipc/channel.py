@@ -55,7 +55,10 @@ class Channel:
         wire latency and the work; the caller pays the ``message_send``
         enqueue cost and keeps going.  Use for traffic whose completion is
         acknowledged at a later barrier (link batches before prepare, WAL
-        shipping before promotion).
+        shipping before promotion).  A handler *error* is not free, though:
+        surfacing it at statement time means the caller waited for it, so
+        the caller's clock merges up to the callee's completion exactly
+        like a synchronous round trip.
         """
 
         return self._exchange(kind, payload, wait=False)
@@ -83,7 +86,11 @@ class Channel:
             caller.charge(self._latency_primitive)
         message = Message(kind=kind, payload=payload, sender=self._sender)
         reply = self._daemon.handle(message)
-        if cross and wait:
+        if cross and (wait or not reply.ok):
+            # A pipelined send whose handler failed surfaces the error at
+            # statement time, which in real life means the caller waited for
+            # the failure to come back: charge the round-trip sync instead
+            # of handing the error over for free.
             caller.receive(callee.now())
         return reply.unwrap()
 

@@ -26,7 +26,15 @@ so the simulation models one :class:`ClockDomain` per node, grouped in a
 * a coordinator fanning out to N participants opens an *overlap window*
   (:meth:`SimClock.overlap`): all requests are timestamped at the window's
   start and the coordinator advances to the **max** of the replies instead
-  of their sum, which is what lets N shards show genuine latency overlap;
+  of their sum, which is what lets N shards show genuine latency overlap --
+  and what lets a burst of follower reads, round-robined by the
+  replication router over the serving node and its witnesses, cost the
+  bottleneck node's busy time instead of the serial sum (the E12
+  follower-read throughput measurement);
+* a *pipelined* send whose handler fails is not free: the error surfaces
+  at statement time, so the sender's clock merges up to the receiver's
+  completion exactly like a synchronous round trip (only successful posts
+  stay fire-and-forget);
 * :meth:`ClockDomainGroup.global_now` (the max over domains) is the cluster
   wall clock used for experiment reporting.
 

@@ -1,22 +1,33 @@
-"""Read-availability workload under a shard primary crash (experiment E12).
+"""Availability workload under a shard primary crash (experiment E12).
 
 Drives a :class:`~repro.datalinks.sharding.ShardedDataLinksDeployment` --
-with or without witness replication -- through three phases:
+with or without witness replication -- through five phases:
 
 1. **ingest**: link ``files`` token-protected files across the shards
    through the batched pipeline and the group-commit queue (measured, so
    the replication tax on the write path -- content mirroring plus WAL
    shipping -- shows up as link throughput);
-2. **reads before**: every file is read through the deployment's serving
-   router with a token handed out by the host database;
-3. **crash + reads after**: the primary of the shard owning the first
+2. **reads before**: every file is read through the deployment's routing
+   layer with a token handed out by the host database (round-robin over
+   the serving node and every eligible witness);
+3. **follower-read batch**: a burst of token-validated reads issued inside
+   one scatter-gather window, modelling concurrent visitors.  The batch's
+   wall-clock cost is the *bottleneck node's* busy time, so read capacity
+   scales with the number of nodes the router may use -- the follower-read
+   throughput row of E12;
+4. **crash + reads after**: the primary of the shard owning the first
    file's prefix crashes.  Without replication every read of that prefix
    fails until recovery; with replication the deployment fails over
-   (promotion is timed) and the same reads succeed against the witness.
+   (promotion is timed) and the same reads succeed against the witness;
+5. **writes after**: link transactions targeting the victim prefix.
+   Without replication they all fail (0% write availability); with
+   writable failover the promoted witness takes the branches and the 2PC
+   votes, so they commit (~100%).
 
 Counters: ``links``, ``reads_ok``/``reads_failed`` and their
-``victim_*``/``*_after`` variants; ``promotion`` records the simulated
-latency of the failover itself.
+``victim_*``/``*_after`` variants, ``follower_reads`` with the
+``follower_batch`` timing, ``writes_ok_after``/``writes_failed_after``;
+``promotion`` records the simulated latency of the failover itself.
 """
 
 from __future__ import annotations
@@ -41,10 +52,15 @@ class FailoverConfig:
 
     shards: int = 4
     replication: bool = True
+    witnesses: int = 1
     files: int = 32
     rows_per_transaction: int = 8
     file_size: int = 2048
     reads_per_phase: int = 48
+    follower_read_batch: int = 24
+    writes_per_phase: int = 8
+    follower_reads: bool = True
+    max_follower_lag: int = 0
     control_mode: ControlMode = ControlMode.RDB   # reads need a valid token
     flush_policy: str = "group"
     group_commit_window: int = 4
@@ -53,7 +69,7 @@ class FailoverConfig:
 
 
 class FailoverWorkload:
-    """Token-validated reads across a primary crash, replica on or off."""
+    """Token-validated reads and writes across a primary crash."""
 
     def __init__(self, config: FailoverConfig,
                  deployment: ShardedDataLinksDeployment | None = None):
@@ -64,7 +80,10 @@ class FailoverWorkload:
                 prefix_depth=config.prefix_depth,
                 flush_policy=config.flush_policy,
                 group_commit_window=config.group_commit_window,
-                replication=config.replication)
+                replication=config.replication,
+                witnesses=config.witnesses,
+                follower_reads=config.follower_reads,
+                max_follower_lag=config.max_follower_lag)
         self._session = None
         self._paths: list[str] = []
         self.victim: str | None = None
@@ -93,7 +112,12 @@ class FailoverWorkload:
         metrics = WorkloadMetrics(started_at=clock.now())
 
         self._ingest(metrics)
+        # Drain the group-commit windows so the read phases measure a
+        # settled cluster: witnesses are only read-eligible once every
+        # ingest record -- durable or buffered -- has applied to them.
+        deployment.system.flush_logs()
         self._read_phase(metrics, suffix="")
+        self._follower_batch(metrics)
 
         deployment.crash_shard(self.victim)
         if deployment.replicated:
@@ -101,6 +125,7 @@ class FailoverWorkload:
                 deployment.fail_over(self.victim)
             metrics.record("promotion", timer.elapsed)
         self._read_phase(metrics, suffix="_after")
+        self._write_phase(metrics)
 
         metrics.finished_at = clock.now()
         return metrics
@@ -151,6 +176,72 @@ class FailoverWorkload:
                 if on_victim:
                     metrics.bump(f"victim_reads_failed{suffix}")
 
+    def _follower_batch(self, metrics: WorkloadMetrics) -> None:
+        """A burst of concurrent reads: capacity of the routed read fleet.
+
+        Token handout (host-side SQL) happens before the window; the reads
+        themselves run inside one scatter-gather window on the host clock,
+        so every read departs together, queues on its target node's own
+        timeline, and the batch costs the *slowest node*, not the sum --
+        the way a fleet of concurrent visitors loads the cluster.  With
+        follower reads on, the router spreads the queueing over the serving
+        node plus every witness, so measured throughput scales with the
+        node count.
+        """
+
+        config = self.config
+        if config.follower_read_batch <= 0:
+            return
+        deployment = self.deployment
+        clock = deployment.clock
+        urls = []
+        for read in range(config.follower_read_batch):
+            doc_id = read % len(self._paths)
+            urls.append(self._session.get_datalink(
+                DOCS_TABLE, {"doc_id": doc_id}, "body", access="read",
+                ttl=config.token_ttl))
+        with clock.measure() as timer:
+            with clock.overlap():
+                for url in urls:
+                    try:
+                        deployment.read_url(self._session, url)
+                        metrics.bump("follower_reads")
+                    except ReproError:
+                        metrics.bump("follower_reads_failed")
+        metrics.record("follower_batch", timer.elapsed)
+
+    def _write_phase(self, metrics: WorkloadMetrics) -> None:
+        """Victim-prefix link transactions after the crash (write availability)."""
+
+        config = self.config
+        deployment = self.deployment
+        clock = deployment.clock
+        prefix = deployment.router.prefix_of(self._paths[0])
+        for index in range(config.writes_per_phase):
+            doc_id = 100000 + index
+            path = f"{prefix}/after{index:05d}.dat"
+            content = make_content(config.file_size, tag=f"after{index}",
+                                   version=0)
+            host_txn = None
+            try:
+                with clock.measure() as timer:
+                    url = deployment.put_file(self._session, path, content)
+                    host_txn = deployment.engine.begin()
+                    deployment.engine.insert(DOCS_TABLE,
+                                             {"doc_id": doc_id, "body": url},
+                                             host_txn)
+                    deployment.engine.commit(host_txn)
+                    host_txn = None
+                metrics.record("write_after", timer.elapsed)
+                metrics.bump("writes_ok_after")
+            except ReproError:
+                if host_txn is not None:
+                    try:
+                        deployment.engine.abort(host_txn)
+                    except ReproError:
+                        pass
+                metrics.bump("writes_failed_after")
+
     # ------------------------------------------------------------------ derived --
     def link_throughput(self, metrics: WorkloadMetrics) -> float:
         """Links per simulated second over the ingest phase."""
@@ -161,6 +252,14 @@ class FailoverWorkload:
             return 0.0
         return metrics.counters.get("links", 0) / total
 
+    def follower_read_throughput(self, metrics: WorkloadMetrics) -> float:
+        """Reads per simulated second over the concurrent read burst."""
+
+        elapsed = metrics.stats("follower_batch").total
+        if elapsed <= 0:
+            return 0.0
+        return metrics.counters.get("follower_reads", 0) / elapsed
+
     @staticmethod
     def availability(metrics: WorkloadMetrics, *, victim_only: bool = True,
                      after: bool = True) -> float:
@@ -170,6 +269,16 @@ class FailoverWorkload:
         suffix = "_after" if after else ""
         ok = metrics.counters.get(f"{scope}_ok{suffix}", 0)
         failed = metrics.counters.get(f"{scope}_failed{suffix}", 0)
+        if ok + failed == 0:
+            return 0.0
+        return ok / (ok + failed)
+
+    @staticmethod
+    def write_availability(metrics: WorkloadMetrics) -> float:
+        """Fraction of victim-prefix link transactions that committed."""
+
+        ok = metrics.counters.get("writes_ok_after", 0)
+        failed = metrics.counters.get("writes_failed_after", 0)
         if ok + failed == 0:
             return 0.0
         return ok / (ok + failed)

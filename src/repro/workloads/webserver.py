@@ -41,6 +41,10 @@ class WebSiteConfig:
     file_servers: int = 1
     zipf_theta: float = 0.99
     seed: int = 42
+    #: The host-side token cache is on by default: a web server re-serving
+    #: the same hot (Zipf-skewed) pages re-requests the same capabilities,
+    #: which is exactly the hit pattern the cache exists for.
+    token_cache: bool = True
 
 
 class WebServerWorkload:
@@ -57,6 +61,8 @@ class WebServerWorkload:
         """Create file servers, the pages table, the files and their links."""
 
         config = self.config
+        if config.token_cache and self.system.engine.token_cache is None:
+            self.system.engine.enable_token_cache()
         for index in range(config.file_servers):
             name = f"web{index}"
             if name not in self.system.file_servers:

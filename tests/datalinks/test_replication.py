@@ -208,9 +208,11 @@ class TestFailover:
             manager.upcall_file_closed(ino, True, 1001)
 
     def test_fenced_ex_primary_refuses_link_writes(self):
-        """Engine-facing ops are fenced too: a link committed against a
-        recovered ex-primary (whose WAL stream is paused) would split-brain
-        against the serving witness."""
+        """Engine-facing ops are fenced at the DLFM: a link branch taken on
+        a recovered ex-primary (whose WAL stream is paused) would
+        split-brain against the serving witness.  The *routed* write path
+        succeeds -- that is writable failover -- because the router sends
+        it to the promoted witness, never the fenced node."""
 
         deployment, session = build_deployment()
         link(deployment, session, 0, path_on(deployment, "shard0", "pre"))
@@ -218,12 +220,26 @@ class TestFailover:
         deployment.fail_over("shard0")
         deployment.recover_shard("shard0")
 
+        # Split-brain guard: talking to the fenced ex-primary directly (as
+        # a mis-routed engine would) is refused branch by branch.
+        fenced = deployment.shard("shard0").dlfm
+        with pytest.raises(FencedNodeError):
+            fenced.begin_branch(4242)
+        with pytest.raises(FencedNodeError):
+            fenced.link_file(4242, "/split/x.dat", None)
+        with pytest.raises(FencedNodeError):
+            fenced.prepare_branch(4242)
+
+        # Writable failover: the same logical write routed through the
+        # deployment lands on the promoted witness and commits.
         path = path_on(deployment, "shard0", "split")
         url = deployment.put_file(session, path, b"late write")
-        with pytest.raises(ReproError):
-            session.insert(TABLE, {"doc_id": 77, "body": url})
-        # nothing leaked: the host aborted and the fenced node took no branch
-        assert deployment.host_db.select(TABLE, {"doc_id": 77}, lock=False) == []
+        session.insert(TABLE, {"doc_id": 77, "body": url})
+        assert len(deployment.host_db.select(TABLE, {"doc_id": 77},
+                                             lock=False)) == 1
+        witness_repo = deployment.replicas["shard0"].witness.dlfm.repository
+        assert witness_repo.linked_file(path) is not None
+        # the fenced ex-primary took no branch and holds no such link
         assert deployment.shard("shard0").dlfm.repository.linked_file(path) is None
 
     def test_witness_enforces_tokens_during_healthy_operation(self):
@@ -317,3 +333,362 @@ class TestSessionServerOverride:
         url = link(deployment, session, 0, path, b"mirrored")
         assert session.read_url(url) == b"mirrored"
         assert session.read_url(url, server="shard0-r") == b"mirrored"
+
+
+class TestWritableFailover:
+    def test_promoted_witness_takes_links_and_unlinks(self):
+        """After promotion the witness is a full primary: link and unlink
+        branches plus their 2PC traffic for the failed-over prefix commit
+        through the router-resolved connection."""
+
+        deployment, session = build_deployment(mode=ControlMode.RDB)
+        pre_path = path_on(deployment, "shard0", "pre")
+        link(deployment, session, 0, pre_path, b"before crash")
+        deployment.crash_shard("shard0")
+        deployment.fail_over("shard0")
+
+        # link during failover
+        new_path = path_on(deployment, "shard0", "during")
+        url = deployment.put_file(session, new_path, b"during failover")
+        session.insert(TABLE, {"doc_id": 1, "body": url})
+        witness_repo = deployment.replicas["shard0"].witness.dlfm.repository
+        assert witness_repo.linked_file(new_path) is not None
+
+        # the new link is fully served: token handout + validated read
+        read_url = session.get_datalink(TABLE, {"doc_id": 1}, "body",
+                                        access="read", ttl=1e9)
+        assert deployment.read_url(session, read_url) == b"during failover"
+
+        # unlink during failover
+        session.delete(TABLE, {"doc_id": 0})
+        assert witness_repo.linked_file(pre_path) is None
+
+    def test_write_metrics_roles_in_stats(self):
+        deployment, session = build_deployment()
+        link(deployment, session, 0, path_on(deployment, "shard0"))
+        routing = deployment.stats()["routing"]
+        assert routing["writes_routed"] > 0
+        assert routing["roles"]["shard0"]["shard0"] == "serving"
+        assert routing["roles"]["shard0"]["shard0-r"] == "witness"
+        deployment.crash_shard("shard0")
+        deployment.fail_over("shard0")
+        deployment.recover_shard("shard0")
+        routing = deployment.stats()["routing"]
+        assert routing["roles"]["shard0"]["shard0-r"] == "serving"
+        # recovered but not rejoined: the deposed ex-primary is fenced
+        assert routing["roles"]["shard0"]["shard0"] == "fenced"
+
+    def test_mid_transaction_failover_aborts_cleanly(self):
+        """A transaction whose branch lives on a node deposed before the
+        prepare fan-out must abort: the new serving node has no branch for
+        it and votes no, and nothing leaks on either side."""
+
+        deployment, session = build_deployment()
+        link(deployment, session, 0, path_on(deployment, "shard0", "seed"))
+        path = path_on(deployment, "shard0", "mid")
+        url = deployment.put_file(session, path, b"in flight")
+        host_txn = deployment.begin()
+        deployment.engine.insert(TABLE, {"doc_id": 5, "body": url}, host_txn)
+        deployment.crash_shard("shard0")
+        deployment.fail_over("shard0")
+        with pytest.raises(ReproError):
+            deployment.engine.commit(host_txn)
+        deployment.engine.abort(host_txn)
+        assert deployment.host_db.select(TABLE, {"doc_id": 5}, lock=False) == []
+        witness_repo = deployment.replicas["shard0"].witness.dlfm.repository
+        assert witness_repo.linked_file(path) is None
+
+
+class TestReversedShipFailBack:
+    def test_fail_back_catches_up_from_last_applied_lsn(self):
+        """Fail-back runs the reversed WAL stream from the LSN the deposed
+        primary was caught up to -- no snapshot resync -- and carries the
+        failover-era writes (rows and file content) back to it."""
+
+        deployment, session = build_deployment(mode=ControlMode.RDB)
+        replica = deployment.replicas["shard0"]
+        pre_path = path_on(deployment, "shard0", "pre")
+        link(deployment, session, 0, pre_path, b"original")
+        deployment.crash_shard("shard0")
+        deployment.fail_over("shard0")
+
+        during_path = path_on(deployment, "shard0", "fb")
+        url = deployment.put_file(session, during_path, b"written on witness")
+        session.insert(TABLE, {"doc_id": 9, "body": url})
+
+        resyncs_before = replica.full_resyncs
+        summary = deployment.fail_back("shard0")
+        assert summary["serving"] == "shard0"
+        assert summary["rejoin"]["mode"] == "reversed-ship"
+        assert summary["rejoin"]["caught_up_records"] > 0
+        # the failover-era file content was mirrored back, not resynced
+        assert summary["rejoin"]["mirrored_files"] >= 1
+        assert replica.full_resyncs == resyncs_before
+        assert replica.reversed_catchups == 1
+
+        # the home primary serves the failover-era link, bytes included
+        primary_repo = deployment.shard("shard0").dlfm.repository
+        assert primary_repo.linked_file(during_path) is not None
+        read_url = session.get_datalink(TABLE, {"doc_id": 9}, "body",
+                                        access="read", ttl=1e9)
+        assert deployment.read_url(session, read_url) == b"written on witness"
+        # and the ex-witness is a subscriber again, converged
+        deployment.system.flush_logs()
+        witness_repo = replica.witness.dlfm.repository
+        assert {row["path"] for row in witness_repo.linked_files()} == \
+            deployment.linked_paths("shard0")
+
+    def test_diverged_ex_primary_falls_back_to_snapshot_resync(self):
+        """A primary that crashed with unshipped durable records diverged
+        from the serving lineage: its reversed-ship base is voided and the
+        rejoin runs the snapshot fallback instead."""
+
+        deployment, session = build_deployment()
+        replica = deployment.replicas["shard0"]
+        link(deployment, session, 0, path_on(deployment, "shard0", "seed"))
+
+        # pause shipping, commit a link the witness never sees, crash
+        replica.shipper.pause()
+        url = deployment.put_file(session, path_on(deployment, "shard0", "lost"),
+                                  b"never shipped")
+        session.insert(TABLE, {"doc_id": 3, "body": url})
+        deployment.system.flush_logs()
+        assert replica.shipper.lag() > 0
+        deployment.crash_shard("shard0")
+        deployment.fail_over("shard0")
+
+        summary = deployment.fail_back("shard0")
+        assert summary["rejoin"]["mode"] == "snapshot"
+        assert replica.full_resyncs > 0
+        # converged on the serving lineage (the unshipped link was aborted
+        # at the host? no -- it committed, so the host still references it;
+        # the snapshot resync rebuilt the primary from the witness lineage,
+        # and the host row's file is restored on neither side)
+        deployment.system.flush_logs()
+        witness_repo = replica.witness.dlfm.repository
+        assert {row["path"] for row in witness_repo.linked_files()} == \
+            deployment.linked_paths("shard0")
+
+    def test_serving_witness_survives_its_own_crash(self):
+        """The promotion-time checkpoint makes the promoted witness's
+        redo-applied state durable: a crash while serving recovers from its
+        own WAL, not from a resync."""
+
+        deployment, session = build_deployment(mode=ControlMode.RDB)
+        path = path_on(deployment, "shard0", "ck")
+        link(deployment, session, 0, path, b"checkpointed")
+        deployment.crash_shard("shard0")
+        deployment.fail_over("shard0")
+        during = path_on(deployment, "shard0", "ck2")
+        url = deployment.put_file(session, during, b"post promotion")
+        session.insert(TABLE, {"doc_id": 2, "body": url})
+
+        deployment.crash_witness("shard0")
+        deployment.recover_witness("shard0")
+        witness_repo = deployment.replicas["shard0"].witness.dlfm.repository
+        assert witness_repo.linked_file(path) is not None
+        assert witness_repo.linked_file(during) is not None
+        read_url = session.get_datalink(TABLE, {"doc_id": 2}, "body",
+                                        access="read", ttl=1e9)
+        assert deployment.read_url(session, read_url) == b"post promotion"
+
+
+class TestFollowerReads:
+    def test_reads_load_balance_across_serving_and_witness(self):
+        deployment, session = build_deployment(mode=ControlMode.RDB)
+        link(deployment, session, 0, path_on(deployment, "shard0", "lb"),
+             b"balanced")
+        url = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                   access="read", ttl=1e9)
+        for _ in range(4):
+            assert deployment.read_url(session, url) == b"balanced"
+        routing = deployment.stats()["routing"]
+        assert routing["reads_by_role"]["serving"] >= 2
+        assert routing["reads_by_role"]["witness"] >= 2
+
+    def test_witness_soft_state_stays_out_of_replica_heaps(self):
+        """A follower read registers its token entry in the witness's
+        ephemeral soft state; the redo-only repository heaps keep mirroring
+        the primary's rows exactly."""
+
+        deployment, session = build_deployment(mode=ControlMode.RDB)
+        replica = deployment.replicas["shard0"]
+        link(deployment, session, 0, path_on(deployment, "shard0", "soft"),
+             b"soft state")
+        url = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                   access="read", ttl=1e9)
+        # read through the witness explicitly
+        assert session.read_url(url, server="shard0-r") == b"soft state"
+        status = replica.witness.dlfm.replica_status()
+        assert status["soft_token_entries"] >= 1
+        deployment.system.flush_logs()
+        primary_repo = deployment.shard("shard0").dlfm.repository
+        witness_repo = replica.witness.dlfm.repository
+        assert len(witness_repo.db.select("token_entries", lock=False)) == \
+            len(primary_repo.db.select("token_entries", lock=False))
+
+    def test_stale_follower_is_skipped_and_gated(self):
+        """A witness past the staleness bound is skipped by the router and
+        refuses direct reads through the DLFM gate."""
+
+        deployment, session = build_deployment(mode=ControlMode.RDB)
+        replica = deployment.replicas["shard0"]
+        link(deployment, session, 0, path_on(deployment, "shard0", "st"),
+             b"stale test")
+        url = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                   access="read", ttl=1e9)
+
+        replica.shipper.pause()        # stream stalls; lag will accrue
+        for _ in range(3):             # router falls back to the serving node
+            assert deployment.read_url(session, url) == b"stale test"
+        routing = deployment.stats()["routing"]
+        assert routing["follower_rejects"] > 0
+        assert routing["reads_by_role"]["witness"] == 0
+        with pytest.raises(ReproError):
+            session.read_url(url, server="shard0-r")
+
+        replica.shipper.resume()
+        replica.shipper.ship()
+        assert session.read_url(url, server="shard0-r") == b"stale test"
+
+    def test_follower_reads_can_be_disabled(self):
+        deployment = ShardedDataLinksDeployment(2, replication=True,
+                                                follower_reads=False)
+        deployment.create_table(TableSchema(TABLE, [
+            Column("doc_id", DataType.INTEGER, nullable=False),
+            datalink_column("body", DatalinkOptions(
+                control_mode=ControlMode.RDB, recovery=False)),
+        ], primary_key=("doc_id",)))
+        session = deployment.session("alice", uid=1001)
+        link(deployment, session, 0, path_on(deployment, "shard0", "off"),
+             b"primary only")
+        url = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                   access="read", ttl=1e9)
+        for _ in range(4):
+            deployment.read_url(session, url)
+        routing = deployment.stats()["routing"]
+        assert routing["reads_by_role"]["witness"] == 0
+        with pytest.raises(ReproError):
+            session.read_url(url, server="shard0-r")
+
+
+class TestMultiWitness:
+    def build(self, witnesses=2):
+        deployment = ShardedDataLinksDeployment(2, replication=True,
+                                                witnesses=witnesses,
+                                                flush_policy="immediate",
+                                                group_commit_window=1)
+        deployment.create_table(TableSchema(TABLE, [
+            Column("doc_id", DataType.INTEGER, nullable=False),
+            datalink_column("body", DatalinkOptions(
+                control_mode=ControlMode.RDB, recovery=False)),
+        ], primary_key=("doc_id",)))
+        return deployment, deployment.session("alice", uid=1001)
+
+    def test_reads_spread_over_all_witnesses(self):
+        deployment, session = self.build()
+        replica = deployment.replicas["shard0"]
+        assert [node.name for node in replica.witnesses] == \
+            ["shard0-r", "shard0-r2"]
+        link(deployment, session, 0, path_on(deployment, "shard0", "mw"),
+             b"many witnesses")
+        url = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                   access="read", ttl=1e9)
+        for _ in range(6):
+            assert deployment.read_url(session, url) == b"many witnesses"
+        routing = deployment.stats()["routing"]
+        assert routing["reads_by_role"]["serving"] >= 2
+        assert routing["reads_by_role"]["witness"] >= 4
+
+    def test_failover_rewires_surviving_witness_to_new_serving(self):
+        deployment, session = self.build()
+        replica = deployment.replicas["shard0"]
+        link(deployment, session, 0, path_on(deployment, "shard0", "rw"),
+             b"rewire")
+        deployment.crash_shard("shard0")
+        summary = deployment.fail_over("shard0")
+        new_serving = summary["serving"]
+        assert new_serving in ("shard0-r", "shard0-r2")
+        other = next(node.name for node in replica.witnesses
+                     if node.name != new_serving)
+        assert replica.is_subscribed(other)
+
+        # a failover-era write replicates over the rewired stream
+        path = path_on(deployment, "shard0", "rw2")
+        url = deployment.put_file(session, path, b"over the new stream")
+        session.insert(TABLE, {"doc_id": 1, "body": url})
+        deployment.system.flush_logs()
+        other_repo = replica.nodes[other].dlfm.repository
+        assert other_repo.linked_file(path) is not None
+
+        # and fail-back converges every node on the home primary again
+        deployment.fail_back("shard0")
+        deployment.system.flush_logs()
+        for node in replica.witnesses:
+            assert {row["path"] for row in
+                    node.dlfm.repository.linked_files()} == \
+                deployment.linked_paths("shard0")
+
+
+class TestReplicationErrors:
+    def test_failover_on_unreplicated_deployment_names_the_cause(self):
+        from repro.errors import ReplicationError
+
+        deployment = ShardedDataLinksDeployment(2)
+        with pytest.raises(ReplicationError) as excinfo:
+            deployment.fail_over("shard0")
+        assert "shard0" in str(excinfo.value)
+        assert "replication=False" in str(excinfo.value)
+        with pytest.raises(ReplicationError) as excinfo:
+            deployment.fail_back("shard0")
+        assert "shard0" in str(excinfo.value)
+
+    def test_failover_on_unknown_shard_names_the_shard(self):
+        from repro.errors import ReplicationError
+
+        deployment = ShardedDataLinksDeployment(2, replication=True)
+        with pytest.raises(ReplicationError) as excinfo:
+            deployment.fail_over("shard9")
+        assert "shard9" in str(excinfo.value)
+        assert "no such shard" in str(excinfo.value)
+
+
+class TestStalenessBoundCoversBufferedCommits:
+    def test_follower_never_serves_unconstrained_mirror_under_group_commit(self):
+        """Under group commit a link can be committed and visible on the
+        primary while its records sit in the WAL buffer: the witness has
+        neither the linked_files row nor the link-time access constraints
+        on its mirrored copy.  The staleness bound counts those *pending*
+        records, so the router must keep every read on the primary -- a
+        tokenless read of the rdb file is rejected on every route."""
+
+        deployment = ShardedDataLinksDeployment(
+            2, replication=True, flush_policy="group", group_commit_window=8)
+        deployment.create_table(TableSchema(TABLE, [
+            Column("doc_id", DataType.INTEGER, nullable=False),
+            datalink_column("body", DatalinkOptions(
+                control_mode=ControlMode.RDB, recovery=False)),
+        ], primary_key=("doc_id",)))
+        alice = deployment.session("alice", uid=1001)
+        stranger = deployment.session("stranger", uid=6666)
+        path = path_on(deployment, "shard0", "buf")
+        bare_url = deployment.put_file(alice, path, b"top secret")
+        alice.insert(TABLE, {"doc_id": 0, "body": bare_url})
+
+        replica = deployment.replicas["shard0"]
+        # the branch COMMIT is buffered: witness is behind despite lag()==0
+        assert replica.shipper.pending_lag() > 0
+        assert not replica.follower_eligible("shard0-r")
+        for _ in range(4):
+            with pytest.raises(ReproError):
+                deployment.read_url(stranger, bare_url)
+        assert deployment.router.reads_by_role["witness"] == 0
+
+        # once the window drains the witness is eligible again -- and its
+        # mirrored copy is constrained, so the tokenless read still fails
+        deployment.system.flush_logs()
+        assert replica.shipper.pending_lag() == 0
+        assert replica.follower_eligible("shard0-r")
+        for _ in range(2):
+            with pytest.raises(ReproError):
+                deployment.read_url(stranger, bare_url)

@@ -218,3 +218,77 @@ class TestShardedDeploymentTime:
         assert clocks.global_now() >= global_before
         for name, domain in clocks.domains.items():
             assert domain.now() >= before.get(name, 0.0)
+
+
+class TestPipelinedErrorLatency:
+    """A pipelined (posted) message whose handler fails is not free: the
+    error surfaces at statement time, which means the caller waited for it,
+    so the caller's clock merges up to the callee's completion."""
+
+    def test_posted_error_costs_a_round_trip_sync(self):
+        from repro.errors import ReproError
+        from repro.ipc.channel import Channel
+        from repro.ipc.daemon import Daemon
+
+        group = ClockDomainGroup(CostModel())
+        host, shard = group.domain("host"), group.domain("shard")
+
+        class Worker(Daemon):
+            def __init__(self, clock):
+                super().__init__("worker", clock)
+                self.register("ok", self._ok)
+                self.register("boom", self._boom)
+
+            def _ok(self):
+                self.clock.charge("disk_seek")
+                return {}
+
+            def _boom(self):
+                self.clock.charge("disk_seek")
+                raise ReproError("statement-time failure")
+
+        worker = Worker(shard)
+        channel = Channel(worker, host, latency_primitive="db_dlfm_message")
+
+        # Success post: fire-and-forget -- the host pays only the enqueue
+        # cost while the work accrues on the shard's own timeline.
+        before = host.now()
+        channel.post("ok")
+        assert host.now() - before == pytest.approx(host.costs.message_send)
+        assert shard.now() > host.now()
+
+        # Error post: the host is charged the wait for the failure to come
+        # back, exactly like a synchronous round trip.
+        with pytest.raises(ReproError):
+            channel.post("boom")
+        assert host.now() == pytest.approx(shard.now())
+
+    def test_failed_link_statement_syncs_host_to_shard_domain(self):
+        """A link batch that fails at statement time charges the caller the
+        round trip to the shard's clock domain (it used to be free)."""
+
+        from repro.datalinks.control_modes import ControlMode
+        from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
+        from repro.datalinks.sharding import ShardedDataLinksDeployment
+        from repro.errors import ReproError
+        from repro.storage.schema import Column, TableSchema
+        from repro.storage.values import DataType
+
+        deployment = ShardedDataLinksDeployment(2, group_commit_window=1)
+        deployment.create_table(TableSchema("docs", [
+            Column("doc_id", DataType.INTEGER, nullable=False),
+            datalink_column("body", DatalinkOptions(
+                control_mode=ControlMode.RFF, recovery=False)),
+        ], primary_key=("doc_id",)))
+        missing = "/nowhere/missing.dat"
+        shard_clock = deployment.shard(deployment.shard_of(missing)).clock
+        url = deployment.engine.make_url(deployment.shard_of(missing), missing)
+        host_txn = deployment.begin()
+        with pytest.raises(ReproError):
+            deployment.engine.insert_many(
+                "docs", [{"doc_id": 1, "body": url}], host_txn)
+        # The statement-time error was not free: at the moment it surfaced
+        # (before any abort round trip) the host domain had already merged
+        # up to the shard's completion of the failed link batch.
+        assert deployment.clock.now() >= shard_clock.now()
+        deployment.abort(host_txn)

@@ -125,12 +125,16 @@ class TestExperimentClaims:
         result = experiment_e8()
         assert all(row["matches_paper"] == "yes" for row in result.rows)
 
-    def test_e12_replica_failover_gives_full_read_availability(self):
+    def test_e12_replica_failover_gives_full_availability(self):
         result = experiment_e12(shards=2, files=12, reads_per_phase=12,
-                                file_size=512, rows_per_transaction=4)
-        by_config = {("no replication" in row["configuration"]): row
-                     for row in result.rows}
-        baseline, replicated = by_config[True], by_config[False]
+                                file_size=512, rows_per_transaction=4,
+                                follower_read_batch=12, writes_per_phase=4)
+        baseline = next(row for row in result.rows
+                        if "no replication" in row["configuration"])
+        replicated = next(row for row in result.rows
+                          if "1 witness" in row["configuration"])
+        two_witness = next(row for row in result.rows
+                           if "2 witnesses" in row["configuration"])
         # the crashed shard's prefix was actually exercised after the crash
         assert baseline["victim_reads_after"] > 0
         assert replicated["victim_reads_after"] > 0
@@ -141,8 +145,50 @@ class TestExperimentClaims:
         assert replicated["victim_availability_pct"] == 100.0
         assert replicated["victim_failures_after"] == 0
         assert replicated["failover_ms"] > 0
+        # writable failover: victim-prefix link transactions go from a full
+        # outage to full availability once the witness is a full primary
+        assert baseline["write_availability_pct"] == 0.0
+        assert baseline["writes_ok_after"] == 0
+        assert replicated["write_availability_pct"] == 100.0
+        assert replicated["writes_ok_after"] > 0
+        assert two_witness["write_availability_pct"] == 100.0
+        # follower reads: throughput of the concurrent read burst rises
+        # with every witness the router may load-balance over
+        assert replicated["follower_reads_per_sim_s"] > \
+            baseline["follower_reads_per_sim_s"]
+        assert two_witness["follower_reads_per_sim_s"] > \
+            replicated["follower_reads_per_sim_s"]
         # replication taxes the write path
         assert replicated["links_per_sim_s"] < baseline["links_per_sim_s"]
+
+    def test_e12_smoke_rows_have_availability_shape(self):
+        """CI gate: the smoke-mode E12 rows (what BENCH_smoke.json records)
+        carry the write-availability and follower-read columns."""
+
+        result = run_experiment("E12", smoke=True)
+        required = {"write_availability_pct", "writes_ok_after",
+                    "follower_reads_per_sim_s", "victim_availability_pct",
+                    "failover_ms"}
+        assert required <= set(result.headers)
+        for row in result.rows:
+            assert required <= set(row)
+        baseline = next(row for row in result.rows
+                        if "no replication" in row["configuration"])
+        promoted = [row for row in result.rows
+                    if "writable failover" in row["configuration"]]
+        assert baseline["write_availability_pct"] == 0.0
+        assert promoted and all(row["write_availability_pct"] > 0.0
+                                for row in promoted)
+
+    def test_e9_reports_token_cache_hit_rate(self):
+        """The web workload runs with the host token cache on by default and
+        the rdd row shows the hot-page hit rate."""
+
+        result = run_experiment("E9", smoke=True)
+        assert "token_cache_hit_pct" in result.headers
+        rdd = next(row for row in result.rows
+                   if "rdd" in row["configuration"])
+        assert rdd["token_cache_hit_pct"] > 0.0
 
     def test_e11_scaleout_beats_baseline_by_1_5x(self):
         result = experiment_e11(shards=8, clients=4, transactions_per_client=3,
