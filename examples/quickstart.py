@@ -18,7 +18,15 @@ This walks through the core loop of the paper:
    bound); a crashed primary fails over to a witness promoted to a **full
    primary** -- reads *and* link/unlink writes keep flowing -- and
    fail-back catches the recovered ex-primary up over a *reversed* WAL
-   stream from its last-applied LSN instead of a full resync.
+   stream from its last-applied LSN instead of a full resync;
+9. rebalance *online*: placement is no longer a hash frozen at deployment
+   time but a versioned ``PlacementMap`` with a **placement epoch** --
+   ``rebalance_prefix(prefix, dest)`` moves a hot URL prefix to another
+   shard under a two-phase-commit hand-off (repository rows, archived
+   version chain and file content; the destination's witnesses mirrored
+   in the same step), while old URLs keep resolving: the router maps
+   every URL to the prefix's *current* owner, and the fenced ex-owner
+   answers straggler writes with a ``PlacementEpochError`` redirect.
 
 How simulated time works (see ``repro/simclock.py`` for the full story):
 every *node* -- the host database, each file server, the archive mover --
@@ -49,7 +57,10 @@ Scale-out knobs (step 7):
   promotes the best witness to a full primary (epoch-fenced, so the
   deposed ex-primary cannot serve stale tokens -- or take split-brain
   writes) and ``fail_back(shard)`` rejoins the recovered ex-primary over
-  the reversed WAL stream before rotating the lease back.
+  the reversed WAL stream before rotating the lease back;
+* ``deployment.rebalance_prefix(prefix, dest_shard)`` (step 9) moves a
+  prefix online; ``deployment.stats()["routing"]["placement"]`` shows the
+  placement epoch, the moved-prefix overrides and any hand-off in flight.
 
 Run with:  python examples/quickstart.py
 """
@@ -199,6 +210,31 @@ def main() -> None:
                                    access="read", ttl=1e9)
     print(f"outage-era article served by the home primary: "
           f"{replicated.read_url(carol, read_url2)!r}")
+
+    # 9. Rebalance online: move the hot /news prefix to the other shard
+    #    under a 2PC hand-off -- rows, version chain and content relink to
+    #    the destination DLFM, its witnesses get the mirror in the same
+    #    step, and the placement epoch bumps atomically at commit.
+    replicated.system.run_archiver()
+    other = next(name for name in replicated.shard_names if name != shard)
+    summary = replicated.rebalance_prefix("/news", other)
+    print(f"rebalanced /news: {summary['moved_files']} files + "
+          f"{summary['moved_versions']} archived versions moved "
+          f"{summary['source']} -> {summary['dest']} "
+          f"(placement epoch {summary['epoch']})")
+    # The old URL still names the old shard; the router resolves it to the
+    # new owner, whose token secret signed the fresh read token.
+    read_url = carol.get_datalink("articles", {"article_id": 1}, "body",
+                                  access="read", ttl=1e9)
+    print(f"old URL, new owner: {replicated.read_url(carol, read_url)!r}")
+    placement = replicated.stats()["routing"]["placement"]
+    print(f"placement map: epoch {placement['epoch']}, "
+          f"overrides {placement['overrides']}")
+    # A straggler write addressed to the fenced ex-owner is redirected.
+    try:
+        replicated.shard(shard).dlfm.check_placement("/news/today.html")
+    except Exception as error:
+        print(f"stale write to {shard} refused: {error}")
 
 
 if __name__ == "__main__":

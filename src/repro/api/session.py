@@ -246,14 +246,16 @@ class Session:
     def read_url(self, url: str, *, server: str | None = None) -> bytes:
         """Open a (tokenized) DATALINK URL for read and return its content.
 
-        ``server`` overrides the node the URL names: during a shard
-        failover the URL still points at the (crashed) primary, and the
-        sharded deployment's router passes the serving replica here.  The
-        token embedded in the URL stays valid because a witness shares its
-        primary's signing secret.
+        ``server`` overrides the node the URL names; without it the
+        session resolves the node through the system's replication-aware
+        router when one is attached (the URL stays *logical*): reads are
+        load-balanced over the owner shard's serving node and eligible
+        witnesses, so a URL keeps working across failover and prefix
+        rebalancing.  The token embedded in the URL stays valid because a
+        witness shares its primary's signing secret.
         """
 
-        lfs = synced_lfs(self.system, server or self._server_of(url))
+        lfs = synced_lfs(self.system, server or self._route_url(url, write=False))
         fd = open_for_read(lfs, url, self.cred)
         try:
             return lfs.read(fd)
@@ -261,9 +263,19 @@ class Session:
             lfs.close(fd)
 
     def update_file(self, url: str, truncate: bool = False) -> FileUpdateTransaction:
-        """Start an update-in-place transaction on a write-tokenized URL."""
+        """Start an update-in-place transaction on a write-tokenized URL.
 
-        server = self._server_of(url)
+        The file handle resolves through the replication-aware router when
+        one is attached, so update-in-place keeps working after a failover
+        (the write reaches the promoted witness, not the crashed primary)
+        or a prefix rebalance.  If the serving lease moves *mid-update*,
+        the close-side commit is refused by the fence, the update rolls
+        back to the last committed version and
+        :class:`~repro.errors.LeaseMovedError` asks the caller to retry
+        against the new serving node.
+        """
+
+        server = self._route_url(url, write=True)
         lfs = synced_lfs(self.system, server)
         return FileUpdateTransaction(
             lfs, url, self.cred, truncate=truncate,
@@ -290,3 +302,28 @@ class Session:
         from repro.util.urls import parse_url
 
         return parse_url(url).server
+
+    def _route_url(self, url: str, *, write: bool) -> str:
+        """Resolve a logical URL to the physical node serving it right now.
+
+        Goes through the engine's replication-aware router when one is
+        attached: the URL's ``(server, path)`` maps to the prefix's
+        current owner shard (epoched placement), then to that shard's
+        serving node for writes or a read-eligible node (serving or
+        witness, round-robin) for reads.  Plain systems -- and URLs naming
+        servers the router does not manage -- resolve to the URL's server,
+        the pre-routing behavior.
+        """
+
+        from repro.util.urls import parse_url
+
+        parsed = parse_url(url)
+        router = self.system.engine.router
+        if router is None:
+            return parsed.server
+        shard = router.owner_shard(parsed.server, parsed.path)
+        if shard not in router.shards:
+            return shard
+        if write:
+            return router.route_write(shard).name
+        return router.route_read(shard).name

@@ -80,8 +80,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Reproduce the paper's evaluation claims (experiments "
-                    "E1..E10) plus the scale-out study (E11) and the "
-                    "replica-failover study (E12).")
+                    "E1..E10) plus the scale-out study (E11), the "
+                    "replica-failover study (E12) and the online-"
+                    "rebalancing study (E13).")
     parser.add_argument("experiments", nargs="*",
                         help="experiment ids to run (default: all)")
     parser.add_argument("--markdown", action="store_true",

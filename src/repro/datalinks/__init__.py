@@ -20,6 +20,11 @@ Layout mirrors the system architecture (Figure 1 of the paper):
 * :mod:`repro.datalinks.routing` -- the replication-aware routing layer:
   per-prefix placement, per-node roles (serving/witness/fenced) and
   load-balanced read routes with a follower-read staleness bound;
+* :mod:`repro.datalinks.placement` -- epoched placement: the versioned
+  :class:`~repro.datalinks.placement.PlacementMap` every placement
+  consumer validates an epoch against, and the online
+  ``rebalance_prefix`` hand-off that moves a URL prefix between shards
+  under a two-phase commit (witnesses co-moving with it);
 * :mod:`repro.datalinks.replication` -- per-shard witness replicas fed by
   the serving node's repository WAL stream, with epoch-fenced *writable*
   failover and reversed-ship fail-back.
@@ -45,6 +50,10 @@ def __getattr__(name: str):
         from repro.datalinks import routing
 
         return getattr(routing, name)
+    if name in ("PlacementMap", "PlacementGuard"):
+        from repro.datalinks import placement
+
+        return getattr(placement, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -66,4 +75,6 @@ __all__ = [
     "WitnessSoftState",
     "ReplicationRouter",
     "NodeRole",
+    "PlacementMap",
+    "PlacementGuard",
 ]

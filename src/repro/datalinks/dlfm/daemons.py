@@ -27,6 +27,7 @@ class UpcallDaemon(Daemon):
     def __init__(self, manager, clock=None):
         super().__init__(name=f"dlfm-upcall-{manager.server_name}", clock=clock)
         self._manager = manager
+        self.epoch_gate = manager.check_placement_epoch
         self.register("validate_token", self._validate_token)
         self.register("check_open", self._check_open)
         self.register("write_open_fallback", self._write_open_fallback)
@@ -56,10 +57,13 @@ class ChildAgent(Daemon):
         super().__init__(name=f"dlfm-agent-{manager.server_name}-{connection_id}",
                          clock=clock)
         self._manager = manager
+        self.epoch_gate = manager.check_placement_epoch
         self.register("link_file", self._link_file)
         self.register("unlink_file", self._unlink_file)
         self.register("link_batch", self._link_batch)
         self.register("unlink_batch", self._unlink_batch)
+        self.register("rebalance_export", self._rebalance_export)
+        self.register("rebalance_import", self._rebalance_import)
         self.register("begin_branch", self._begin_branch)
         self.register("prepare", self._prepare)
         self.register("commit", self._commit)
@@ -106,6 +110,18 @@ class ChildAgent(Daemon):
         results = [{"path": self._manager.unlink_file(host_txn_id, path)["path"]}
                    for path in paths]
         return {"results": results}
+
+    def _rebalance_export(self, host_txn_id: int, prefix: str) -> dict:
+        """Source side of a prefix hand-off: delete and return the state."""
+
+        return self._manager.rebalance_export(host_txn_id, prefix)
+
+    def _rebalance_import(self, host_txn_id: int, rows: list,
+                          versions: list) -> dict:
+        """Destination side: adopt the handed-off rows and version chain."""
+
+        self._charge_per_item(len(rows))
+        return self._manager.rebalance_import(host_txn_id, rows, versions)
 
     def _begin_branch(self, host_txn_id: int) -> dict:
         self._manager.begin_branch(host_txn_id)
@@ -157,6 +173,7 @@ class ReplicaDaemon(Daemon):
     def __init__(self, manager, clock=None):
         super().__init__(name=f"dlfm-replica-{manager.server_name}", clock=clock)
         self._manager = manager
+        self.epoch_gate = manager.check_placement_epoch
         self.register("apply_wal", self._apply_wal)
         self.register("replica_status", self._replica_status)
 
@@ -173,6 +190,7 @@ class MainDaemon(Daemon):
     def __init__(self, manager, clock=None):
         super().__init__(name=f"dlfm-main-{manager.server_name}", clock=clock)
         self._manager = manager
+        self.epoch_gate = manager.check_placement_epoch
         self._next_connection = 1
         self.child_agents: list[ChildAgent] = []
         self.register("connect", self._connect)
@@ -208,14 +226,17 @@ class DLFMConnection:
     engine's scatter-gather window).
     """
 
-    def __init__(self, main_daemon: MainDaemon, clock=None, client_name: str = "engine"):
+    def __init__(self, main_daemon: MainDaemon, clock=None,
+                 client_name: str = "engine", epoch_provider=None):
         connect_channel = Channel(main_daemon, clock,
                                   latency_primitive="db_dlfm_message",
-                                  sender=client_name)
+                                  sender=client_name,
+                                  epoch_provider=epoch_provider)
         agent = connect_channel.request("connect", client_name=client_name)["agent"]
         self.agent = agent
         self._channel = Channel(agent, clock, latency_primitive="db_dlfm_message",
-                                sender=client_name)
+                                sender=client_name,
+                                epoch_provider=epoch_provider)
 
     def link_file(self, host_txn_id: int, path: str, options: DatalinkOptions) -> dict:
         return self._channel.post("link_file", host_txn_id=host_txn_id,
@@ -241,6 +262,18 @@ class DLFMConnection:
             return [self.unlink_file(host_txn_id, paths[0])]
         return self._channel.post("unlink_batch", host_txn_id=host_txn_id,
                                   paths=list(paths))["results"]
+
+    # Prefix hand-off: both sides are coordinator-driven barriers (the
+    # rebalance waits for each step before moving to the next).
+    def rebalance_export(self, host_txn_id: int, prefix: str) -> dict:
+        return self._channel.request("rebalance_export",
+                                     host_txn_id=host_txn_id, prefix=prefix)
+
+    def rebalance_import(self, host_txn_id: int, rows: list,
+                         versions: list) -> dict:
+        return self._channel.request("rebalance_import",
+                                     host_txn_id=host_txn_id,
+                                     rows=rows, versions=versions)
 
     def begin_branch(self, host_txn_id: int) -> None:
         self._channel.post("begin_branch", host_txn_id=host_txn_id)

@@ -32,6 +32,42 @@ from repro.storage.transaction import Transaction
 _WRITE_BITS = 0o222
 
 
+def apply_link_constraints(files: FileServerFiles, txn: Transaction,
+                           path: str, attrs, mode: ControlMode, *,
+                           restore_to: tuple | None = None,
+                           only_if_needed: bool = False) -> None:
+    """Apply link-time access constraints to *path*, with abort compensation.
+
+    The one protocol both a fresh link and a prefix-rebalance import
+    follow: full-control modes take the file over (DBMS ownership,
+    read-only), rfb/rfd strip the write bits; either way the transaction's
+    ``on_abort`` restores *restore_to* -- the file's current attributes by
+    default (the fresh-link case), or the pre-link originals recorded in
+    the repository row (the import case, whose copy was created with
+    them).  ``only_if_needed`` skips constraints already in effect, so
+    re-constraining an imported copy is idempotent.
+    """
+
+    if restore_to is None:
+        restore_to = (attrs.uid, attrs.gid, attrs.mode)
+    if mode.takes_over_on_link:
+        # Full-control modes: the DBMS takes over the file by changing its
+        # ownership and marking it read-only (Section 2.2, rdb; extended
+        # to rdd by the paper).
+        if only_if_needed and attrs.uid == files.dbms_uid \
+                and not attrs.mode & _WRITE_BITS:
+            return
+        files.take_over(path, mode=0o400)
+        txn.on_abort.append(lambda: files.restore_ownership(path, *restore_to))
+    elif mode.made_read_only_on_link:
+        # rfb / rfd: ownership is unchanged but write permission is
+        # disabled, "effectively making it read-only".
+        if only_if_needed and not attrs.mode & _WRITE_BITS:
+            return
+        files.chmod(path, attrs.mode & ~_WRITE_BITS)
+        txn.on_abort.append(lambda: files.chmod(path, attrs.mode))
+
+
 class LinkManager:
     """Implements the link/unlink operations of one DLFM."""
 
@@ -84,19 +120,7 @@ class LinkManager:
 
     def _apply_link_constraints(self, txn: Transaction, path: str, attrs,
                                 mode: ControlMode) -> None:
-        files = self._files
-        original = (attrs.uid, attrs.gid, attrs.mode)
-        if mode.takes_over_on_link:
-            # Full-control modes: the DBMS takes over the file by changing its
-            # ownership and marking it read-only (Section 2.2, rdb; extended
-            # to rdd by the paper).
-            files.take_over(path, mode=0o400)
-            txn.on_abort.append(lambda: files.restore_ownership(path, *original))
-        elif mode.made_read_only_on_link:
-            # rfb / rfd: ownership is unchanged but write permission is
-            # disabled, "effectively making it read-only".
-            files.chmod(path, attrs.mode & ~_WRITE_BITS)
-            txn.on_abort.append(lambda: files.chmod(path, attrs.mode))
+        apply_link_constraints(self._files, txn, path, attrs, mode)
 
     # --------------------------------------------------------------------- unlink --
     def unlink_file(self, txn: Transaction, path: str) -> dict:

@@ -19,7 +19,7 @@ from repro.datalinks.datalink_type import DatalinkOptions
 from repro.datalinks.dlfm.archive import ArchiveServer
 from repro.datalinks.dlfm.branches import BranchManager
 from repro.datalinks.dlfm.files import DEFAULT_DBMS_UID, FileServerFiles
-from repro.datalinks.dlfm.link_manager import LinkManager
+from repro.datalinks.dlfm.link_manager import LinkManager, apply_link_constraints
 from repro.datalinks.dlfm.repository import DLFMRepository
 from repro.datalinks.tokens import TokenManager, TokenType
 from repro.errors import (
@@ -65,6 +65,11 @@ class DataLinksFileManager:
         #: Epoch lease (:class:`~repro.datalinks.replication.EpochGuard`)
         #: when this DLFM belongs to a replicated shard; ``None`` otherwise.
         self.fencing = None
+        #: Placement view (:class:`~repro.datalinks.placement.PlacementGuard`)
+        #: when this DLFM belongs to an epoched deployment; link/unlink of a
+        #: prefix this shard no longer owns is refused with a
+        #: :class:`~repro.errors.PlacementEpochError` redirect.
+        self.placement_guard = None
         #: Follower-read gate: a callable that says whether this node may
         #: serve read-path upcalls *despite* not holding the serving lease
         #: (a healthy witness within the router's staleness bound).
@@ -101,6 +106,34 @@ class DataLinksFileManager:
         """Attach the follower-read gate (see :attr:`read_gate`)."""
 
         self.read_gate = gate
+
+    def set_placement(self, guard) -> None:
+        """Attach this node's view of the cluster placement map.
+
+        The guard derives prefix ownership from the shared map on every
+        check (nothing is persisted per node), so a crash cannot lose a
+        placement fence and enforcement cannot drift from routing.
+        """
+
+        self.placement_guard = guard
+
+    def check_placement(self, path: str) -> None:
+        """Refuse write traffic for a prefix this shard does not own.
+
+        Raises :class:`~repro.errors.PlacementEpochError` (naming the
+        current owner -- the redirect) for a moved prefix, and a retryable
+        :class:`~repro.errors.PlacementError` for a prefix whose hand-off
+        is in flight.  A no-op outside epoched deployments.
+        """
+
+        if self.placement_guard is not None:
+            self.placement_guard.check_path(path)
+
+    def check_placement_epoch(self, observed: int) -> None:
+        """Daemon envelope gate: reject requests stamped with a stale epoch."""
+
+        if self.placement_guard is not None:
+            self.placement_guard.check_epoch(observed)
 
     def is_fenced(self) -> bool:
         return self.fencing is not None and self.fencing.fenced
@@ -154,6 +187,7 @@ class DataLinksFileManager:
         """Link *path* as part of the host transaction *host_txn_id*."""
 
         self._check_fencing()
+        self.check_placement(path)
         branch = self.branches.branch_for(host_txn_id)
         return self.links.link_file(branch.local_txn, path, options)
 
@@ -161,8 +195,102 @@ class DataLinksFileManager:
         """Unlink *path* as part of the host transaction *host_txn_id*."""
 
         self._check_fencing()
+        self.check_placement(path)
         branch = self.branches.branch_for(host_txn_id)
         return self.links.unlink_file(branch.local_txn, path)
+
+    # ------------------------------------------------- prefix hand-off ----------
+    # The two participant sides of an online prefix rebalance (see
+    # :mod:`repro.datalinks.placement`).  Both run inside an ordinary
+    # two-phase-commit branch of the coordinating host transaction, so
+    # crash handling (durable PREPARE votes, presumed abort, in-doubt
+    # resolution from the host outcome) is the machinery every other
+    # branch already uses.  Neither side consults the placement guard:
+    # the hand-off is the operation that *changes* the map.
+    def rebalance_export(self, host_txn_id: int, prefix: str) -> dict:
+        """Hand the prefix's repository state off: delete and return it.
+
+        Refuses (with a retryable :class:`~repro.errors.PlacementError`)
+        while any file under the prefix has an open Sync entry, an update
+        in flight or an un-archived job -- the move must not race close
+        processing or strand an archive queue entry on the wrong shard.
+        """
+
+        from repro.datalinks.placement import path_under
+        from repro.errors import PlacementError
+
+        self._check_fencing()
+        branch = self.branches.branch_for(host_txn_id)
+        rows, versions = [], []
+        for row in self.repository.linked_files():
+            path = row["path"]
+            if not path_under(prefix, path):
+                continue
+            if self.repository.sync_entries(path):
+                raise PlacementError(
+                    f"cannot hand {prefix!r} off: {path!r} is open "
+                    f"({len(self.repository.sync_entries(path))} Sync "
+                    f"entries); retry when the opens drain")
+            if self.repository.tracking(path) is not None:
+                raise PlacementError(
+                    f"cannot hand {prefix!r} off: an update of {path!r} is "
+                    f"in progress; retry after it commits or aborts")
+            if self.repository.pending_archive_jobs(path):
+                raise PlacementError(
+                    f"cannot hand {prefix!r} off: {path!r} has pending "
+                    f"archive jobs; run the archiver first")
+            rows.append({key: value for key, value in row.items()
+                         if not key.startswith("_")})
+            versions.extend(
+                {key: value for key, value in version.items()
+                 if not key.startswith("_")}
+                for version in self.repository.versions(path))
+        for row in rows:
+            self.repository.delete_versions(row["path"], branch.local_txn)
+            self.repository.delete_linked_file(row["path"], branch.local_txn)
+        return {"rows": rows, "versions": versions}
+
+    def rebalance_import(self, host_txn_id: int, rows: list,
+                         versions: list) -> dict:
+        """Adopt a handed-off prefix: re-insert rows bound to this node.
+
+        The file content must already have been copied (below DLFS) by the
+        coordinator; inode numbers are rebound to this node's file system,
+        link-time access constraints are re-applied to the local copies
+        (with abort compensation, like a fresh link), and the version
+        chain re-attaches to the same shared-archive objects.
+        """
+
+        from repro.errors import PlacementError
+
+        self._check_fencing()
+        branch = self.branches.branch_for(host_txn_id)
+        imported = 0
+        for row in rows:
+            row = {key: value for key, value in row.items()
+                   if not key.startswith("_")}
+            path = row["path"]
+            if self.repository.linked_file(path) is not None:
+                raise PlacementError(
+                    f"cannot import {path!r}: already linked on "
+                    f"{self.server_name!r}")
+            if not self.files.exists(path):
+                raise PlacementError(
+                    f"content hand-off incomplete: {path!r} has no local "
+                    f"copy on {self.server_name!r}")
+            attrs = self.files.stat(path)
+            row["ino"] = attrs.ino
+            mode = ControlMode.from_string(row["control_mode"])
+            row["taken_over"] = mode.takes_over_on_link
+            self.repository.insert_linked_file(row, branch.local_txn)
+            apply_link_constraints(
+                self.files, branch.local_txn, path, attrs, mode,
+                restore_to=(row["original_uid"], row["original_gid"],
+                            row["original_mode"]),
+                only_if_needed=True)
+            imported += 1
+        self.repository.import_version_rows(versions, branch.local_txn)
+        return {"imported": imported, "versions": len(versions)}
 
     # ------------------------------------------------- soft-state dispatch ------
     # Token-registry and Sync entries are node-local soft state.  On a
@@ -254,6 +382,9 @@ class DataLinksFileManager:
             return {"linked": False}
         mode = ControlMode.from_string(row["control_mode"])
         if wants_write:
+            # A write open of a moved (or moving) prefix must not start an
+            # update this shard can no longer commit.
+            self.check_placement(row["path"])
             self._begin_file_update(row, mode, userid)
             return {"linked": True, "open_as_dbms": True, "mode": mode.value}
         if mode.full_control:
@@ -281,6 +412,7 @@ class DataLinksFileManager:
             raise ControlModeError(
                 f"{row['path']!r} is linked in {mode.value} mode; "
                 f"updates are not managed by the database")
+        self.check_placement(row["path"])
         self._begin_file_update(row, mode, userid)
         return {"linked": True, "open_as_dbms": True, "mode": mode.value}
 
@@ -623,6 +755,52 @@ class DataLinksFileManager:
         resolved = self._replica.resolve_in_doubt(outcomes) \
             if self._replica is not None else {"committed": [], "aborted": []}
         return {"in_doubt": resolved, **self.replica_rebind()}
+
+    def inherited_sync_entry_ids(self) -> list[int]:
+        """Ids of the Sync entries replicated from the deposed serving node.
+
+        Sampled just before promotion migrates this node's own
+        follower-read soft state into the repository, so the two
+        populations stay distinguishable: inherited entries belong to
+        opens against the *old* serving node and must be rolled back,
+        while migrated soft entries are this node's own live reads.
+        """
+
+        return [row["entry_id"]
+                for row in self.repository.db.select("sync_entries", lock=False)]
+
+    def rollback_inherited_updates(self, sync_entry_ids: list[int]) -> list[str]:
+        """Roll back file updates the deposed serving node had open.
+
+        Their Sync "write" entries and update-tracking rows replicated
+        over the WAL stream, but the in-flight bytes never did (writes
+        land on the serving node's file system; this node's mirror was
+        taken at ingest), so the local copy already *is* the last
+        committed version.  Clearing the inherited rows mirrors what
+        crash recovery does on a restarted primary -- without it, every
+        future update of those files would be refused as "already being
+        updated" by a writer that can no longer reach this node.
+
+        Must run *after* this node is a full primary and its surviving
+        subscribers are re-sourced from its stream: the deletes then ship
+        like any other repository write, keeping every witness heap
+        positionally identical.
+        """
+
+        rolled_back = []
+        for tracking in self.repository.all_tracking():
+            path = tracking["path"]
+            self.repository.remove_tracking(path)
+            row = self.repository.linked_file(path)
+            if row is not None and row["taken_over"] and \
+                    ControlMode.from_string(row["control_mode"]) is ControlMode.RFD:
+                self._release_takeover(row)
+            rolled_back.append(path)
+        doomed = set(sync_entry_ids)
+        if doomed:
+            self.repository.db.delete(
+                "sync_entries", lambda row: row["entry_id"] in doomed)
+        return rolled_back
 
     def replica_rebind(self) -> dict:
         """Bind the replicated link state to this node's own resources.

@@ -278,6 +278,24 @@ class DLFMRepository:
     def delete_versions(self, path: str, txn: Transaction | None = None) -> int:
         return self.db.delete("file_versions", {"path": path}, txn)
 
+    def import_version_rows(self, rows: list[dict],
+                            txn: Transaction | None = None) -> int:
+        """Adopt version rows handed off from another DLFM (prefix rebalance).
+
+        Version numbers, archive ids, state ids and creation times are
+        preserved -- the archived objects live on the shared archive server
+        and move with their metadata -- while ``version_id`` is reassigned
+        from this repository's own sequence.
+        """
+
+        next_id = self._next_id("file_versions", "version_id")
+        for offset, row in enumerate(rows):
+            clean = {key: value for key, value in row.items()
+                     if not key.startswith("_")}
+            clean["version_id"] = next_id + offset
+            self.db.insert("file_versions", clean, txn)
+        return len(rows)
+
     # ------------------------------------------------------------ archive queue --
     def enqueue_archive_job(self, path: str, state_id: int,
                             txn: Transaction | None = None) -> int:

@@ -31,9 +31,11 @@ from repro.errors import (
     DaemonUnavailableError,
     DataLinksError,
     Errno,
+    FencedNodeError,
     FileSystemError,
     InvalidTokenError,
     LinkConflictError,
+    PlacementEpochError,
     UpdateInProgressError,
     fs_error,
 )
@@ -52,8 +54,18 @@ LAYER_KEY = "dlfs"
 
 
 def _translate(error: DataLinksError) -> FileSystemError:
-    """Map a DataLinks refusal onto the errno an application would see."""
+    """Map a DataLinks refusal onto the errno an application would see.
 
+    Fencing and placement refusals pass through *untranslated*: they are
+    cluster-routing conditions (the node lost its lease, or the prefix
+    moved to another shard), and the session layer above must see them to
+    drive its redirect/retry -- no errno captures that, and flattening
+    them to EACCES would make a retryable failover indistinguishable from
+    a real permission error.
+    """
+
+    if isinstance(error, (FencedNodeError, PlacementEpochError)):
+        return error
     if isinstance(error, (UpdateInProgressError, LinkConflictError)):
         return fs_error(Errno.EBUSY, str(error))
     if isinstance(error, (AccessDeniedError, InvalidTokenError, ControlModeError)):

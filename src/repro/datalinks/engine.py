@@ -46,7 +46,12 @@ from repro.datalinks.control_modes import ControlMode
 from repro.datalinks.datalink_type import DatalinkOptions, options_of_column
 from repro.datalinks.dlfm.daemons import DLFMConnection, MainDaemon
 from repro.datalinks.tokens import TokenCache, TokenManager, TokenType
-from repro.errors import ControlModeError, DataLinksError, IPCError
+from repro.errors import (
+    ControlModeError,
+    DataLinksError,
+    IPCError,
+    PlacementEpochError,
+)
 from repro.simclock import SimClock
 from repro.storage.database import Database
 from repro.storage.transaction import Transaction
@@ -146,9 +151,16 @@ class DataLinksEngine:
 
     # ------------------------------------------------------------------ wiring --
     def register_file_server(self, name: str, manager, main_daemon: MainDaemon) -> None:
-        """Register a file server: open a connection to its DLFM and share keys."""
+        """Register a file server: open a connection to its DLFM and share keys.
 
-        connection = DLFMConnection(main_daemon, self.clock, client_name=f"engine:{name}")
+        The connection's message envelopes are stamped with the placement
+        epoch the engine routed by, so a DLFM holding a newer map can
+        refuse (and redirect) requests sent under a stale one.
+        """
+
+        connection = DLFMConnection(main_daemon, self.clock,
+                                    client_name=f"engine:{name}",
+                                    epoch_provider=self._placement_epoch)
         tokens = TokenManager(manager.token_secret, self.clock,
                               default_ttl=self.default_token_ttl)
         self._servers[name] = _FileServerEntry(name=name, manager=manager,
@@ -162,16 +174,34 @@ class DataLinksEngine:
         """Route DLFM traffic through a replication-aware router.
 
         DATALINK URLs name the *logical* shard; with a router attached,
-        every connection lookup resolves through
-        :meth:`~repro.datalinks.routing.ReplicationRouter.writable_node`,
-        so link/unlink branches and two-phase-commit traffic for a
-        failed-over shard transparently reach the promoted witness.  A
-        transaction whose branch was taken on a node deposed before the
+        every connection lookup resolves in two steps: the URL's
+        ``(server, path)`` pair maps to the prefix's **current owner
+        shard** (:meth:`~repro.datalinks.routing.ReplicationRouter.owner_shard`
+        -- the epoched placement map, so a rebalanced prefix's traffic
+        follows the move), and the owner maps to its serving node
+        (:meth:`~repro.datalinks.routing.ReplicationRouter.writable_node`
+        -- so a failed-over shard's traffic reaches the promoted witness).
+        A transaction whose branch was taken on a node deposed before the
         prepare fan-out aborts cleanly: the new serving node has no branch
-        for it and votes no.
+        for it and votes no.  Should a DLFM still refuse a dispatch with a
+        :class:`~repro.errors.PlacementEpochError` (the engine's map was
+        stale), the dispatch is redirected once to the owner the error
+        names and counted in the router's ``stale_epoch_redirects``.
         """
 
         self.router = router
+
+    def _placement_epoch(self) -> int | None:
+        """The placement epoch stamped into DLFM message envelopes."""
+
+        return self.router.placement.epoch if self.router is not None else None
+
+    def _owner(self, server: str, path: str) -> str:
+        """The shard currently owning *path* (identity without a router)."""
+
+        if self.router is None:
+            return server
+        return self.router.owner_shard(server, path)
 
     def _entry(self, server: str) -> _FileServerEntry:
         name = self.router.writable_node(server) if self.router is not None \
@@ -284,6 +314,23 @@ class DataLinksEngine:
                 except IPCError:
                     pass
 
+    # ------------------------------------------------------- prefix hand-off --
+    def rebalance_export(self, host_txn: HostTransaction, source: str,
+                         prefix: str) -> dict:
+        """Enlist *source* and hand the prefix's repository state off."""
+
+        host_txn.servers.add(source)
+        return self._entry(source).connection.rebalance_export(
+            host_txn.txn_id, prefix)
+
+    def rebalance_import(self, host_txn: HostTransaction, dest: str,
+                         rows: list, versions: list) -> dict:
+        """Enlist *dest* and adopt handed-off rows and version chains."""
+
+        host_txn.servers.add(dest)
+        return self._entry(dest).connection.rebalance_import(
+            host_txn.txn_id, rows, versions)
+
     def abort(self, host_txn: HostTransaction) -> None:
         """Abort everywhere.  Unreachable file servers are tolerated: a
         crashed DLFM lost its volatile branch anyway, and a prepared branch
@@ -376,7 +423,8 @@ class DataLinksEngine:
                     url = row.get(column.name)
                     if url:
                         parsed = parse_url(url)
-                        links.setdefault(parsed.server, []).append(
+                        owner = self._owner(parsed.server, parsed.path)
+                        links.setdefault(owner, []).append(
                             (parsed.path, options))
             self._ship_batches(active, {}, links)
             return rids
@@ -398,7 +446,8 @@ class DataLinksEngine:
                     url = row.get(column.name)
                     if url:
                         parsed = parse_url(url)
-                        unlinks.setdefault(parsed.server, []).append(parsed.path)
+                        owner = self._owner(parsed.server, parsed.path)
+                        unlinks.setdefault(owner, []).append(parsed.path)
             self._ship_batches(active, unlinks, {})
             return count
 
@@ -430,10 +479,12 @@ class DataLinksEngine:
                         continue
                     if old_url:
                         parsed = parse_url(old_url)
-                        unlinks.setdefault(parsed.server, []).append(parsed.path)
+                        owner = self._owner(parsed.server, parsed.path)
+                        unlinks.setdefault(owner, []).append(parsed.path)
                     if new_url:
                         parsed = parse_url(new_url)
-                        links.setdefault(parsed.server, []).append(
+                        owner = self._owner(parsed.server, parsed.path)
+                        links.setdefault(owner, []).append(
                             (parsed.path, options))
             self._ship_batches(active, unlinks, links)
             return count
@@ -444,12 +495,55 @@ class DataLinksEngine:
         """Enlist each server and ship its unlink batch, then its link batch."""
 
         for server in sorted(set(unlinks) | set(links)):
-            entry = self._entry(server)
+            self._dispatch_links(active, server, unlinks.get(server),
+                                 links.get(server))
+
+    def _dispatch_links(self, active: HostTransaction, server: str,
+                        unlink_paths: list[str] | None,
+                        link_items: list[tuple[str, DatalinkOptions]] | None,
+                        *, redirected: bool = False) -> None:
+        """Ship one server's link/unlink work, redirecting once on a stale map.
+
+        A DLFM that no longer owns the batch's prefix refuses with a
+        :class:`~repro.errors.PlacementEpochError` naming the current
+        owner; when the whole batch belongs to that prefix the dispatch is
+        re-sent there (redirect-and-retry, counted in the router's
+        ``stale_epoch_redirects``).  Mixed-prefix batches re-raise: the
+        statement aborts and the caller retries under the fresh map.
+
+        The refused server is *not* enlisted on a redirect: the DLFM's
+        placement check precedes branch creation, and a uniform-prefix
+        refusal fires on the first item, so no branch exists there -- and
+        an enlisted server without a branch would make the later prepare
+        fan-out abort the whole transaction.  Every other outcome
+        (success, partial failure) enlists, so 2PC resolution reaches any
+        branch the dispatch may have created.
+        """
+
+        entry = self._entry(server)
+        try:
+            if unlink_paths:
+                entry.connection.unlink_files(active.txn_id, unlink_paths)
+            if link_items:
+                entry.connection.link_files(active.txn_id, link_items)
+        except PlacementEpochError as error:
+            owner = error.owner
+            paths = list(unlink_paths or []) + \
+                [path for path, _ in (link_items or [])]
+            if redirected or self.router is None or owner is None \
+                    or owner == server \
+                    or {self.router.prefix_of(path) for path in paths} \
+                    != {error.prefix}:
+                active.servers.add(server)
+                raise
+            self.router.stale_epoch_redirects += 1
+            self._dispatch_links(active, owner, unlink_paths, link_items,
+                                 redirected=True)
+        except Exception:
             active.servers.add(server)
-            if unlinks.get(server):
-                entry.connection.unlink_files(active.txn_id, unlinks[server])
-            if links.get(server):
-                entry.connection.link_files(active.txn_id, links[server])
+            raise
+        else:
+            active.servers.add(server)
 
     def select(self, table: str, where=None, host_txn: HostTransaction | None = None,
                **kwargs) -> list[dict]:
@@ -488,6 +582,11 @@ class DataLinksEngine:
 
     def _token_for(self, server: str, path: str, mode: ControlMode, access: str,
                    ttl: float) -> str | None:
+        # Tokens must be signed with the secret of the node that will
+        # validate them: the prefix's current owner (witnesses share their
+        # primary's secret, so failover needs no re-signing; a rebalanced
+        # prefix validates on the destination shard).
+        server = self._owner(server, path)
         entry = self._entry(server)
         if access == "write":
             if not mode.supports_update:
@@ -518,9 +617,30 @@ class DataLinksEngine:
     # ------------------------------------------------------- metadata maintenance --
     def update_file_metadata(self, server: str, path: str, size: int, mtime: float,
                              host_txn: HostTransaction) -> int:
-        """Update registered size/mtime columns of rows referencing this file."""
+        """Update registered size/mtime columns of rows referencing this file.
 
-        url = format_url(server, path)
+        *server* is the physical node whose close processing drives the
+        update.  The referencing rows' URLs stay logical, so the match
+        goes through the router: a URL names this node directly, or its
+        owner shard's write traffic currently resolves here (a promoted
+        witness after failover, the destination shard after a prefix
+        rebalance).
+        """
+
+        def references(row, column: str) -> bool:
+            url = row.get(column)
+            if not url:
+                return False
+            parsed = parse_url(url)
+            if parsed.path != path:
+                return False
+            if parsed.server == server:
+                return True
+            if self.router is None:
+                return False
+            owner = self.router.owner_shard(parsed.server, parsed.path)
+            return self.router.writable_node(owner) == server
+
         touched = 0
         for rule in self._metadata_rules:
             changes = {}
@@ -530,23 +650,23 @@ class DataLinksEngine:
                 changes[rule.mtime_column] = float(mtime)
             if not changes:
                 continue
-            touched += self.db.update(rule.table, {rule.column: url}, changes,
-                                      host_txn.txn)
+            touched += self.db.update(
+                rule.table,
+                lambda row, column=rule.column: references(row, column),
+                changes, host_txn.txn)
         return touched
 
     # ------------------------------------------------------------- link plumbing --
     def _link(self, host_txn: HostTransaction, column, url: str) -> None:
         parsed = parse_url(url)
-        entry = self._entry(parsed.server)
         options = options_of_column(column)
-        host_txn.servers.add(parsed.server)
-        entry.connection.link_file(host_txn.txn_id, parsed.path, options)
+        owner = self._owner(parsed.server, parsed.path)
+        self._dispatch_links(host_txn, owner, None, [(parsed.path, options)])
 
     def _unlink(self, host_txn: HostTransaction, url: str) -> None:
         parsed = parse_url(url)
-        entry = self._entry(parsed.server)
-        host_txn.servers.add(parsed.server)
-        entry.connection.unlink_file(host_txn.txn_id, parsed.path)
+        owner = self._owner(parsed.server, parsed.path)
+        self._dispatch_links(host_txn, owner, [parsed.path], None)
 
     # --------------------------------------------------------------- convenience --
     def make_url(self, server: str, path: str) -> str:

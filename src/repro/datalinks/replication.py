@@ -766,7 +766,7 @@ class ReplicatedShard:
         lfs.write_file(path, content, root, create=True)
         lfs.chown(path, uid, gid, root)
 
-    def mirror_file(self, path: str, content: bytes, cred) -> None:
+    def mirror_file(self, path: str, content: bytes, uid: int, gid: int) -> None:
         """Copy a just-ingested file to every subscriber (same path/owner).
 
         Runs below DLFS (the DLFM-privileged path) so mirroring never
@@ -786,7 +786,22 @@ class ReplicatedShard:
             # content), so the witness domain syncs up and the caller merges
             # back after.
             with synchronized_call(self.clock, node.clock):
-                self._copy_below_dlfs(node, path, content, cred.uid, cred.gid)
+                self._copy_below_dlfs(node, path, content, uid, gid)
+
+    def receive_file(self, path: str, content: bytes, uid: int, gid: int) -> None:
+        """Ingest a handed-off file: serving-node copy plus witness mirror.
+
+        The content half of a prefix rebalance into this shard -- written
+        below DLFS on the serving node and mirrored to every subscriber in
+        the same step, so witness placement follows the prefix: a
+        promotion *after* the move can serve the moved files from this
+        shard's witness set (the repository rows arrive over the normal
+        WAL stream when the hand-off branch commits).
+        """
+
+        with synchronized_call(self.clock, self.serving.clock):
+            self._copy_below_dlfs(self.serving, path, content, uid, gid)
+        self.mirror_file(path, content, uid, gid)
 
     def _mirror_missing_content(self, node) -> int:
         """Copy linked-file content *node* lacks from the serving node.
@@ -900,7 +915,11 @@ class ReplicatedShard:
             summary = target.dlfm.replica_catch_up(outcomes)
             self._fire("replicate:fence")
             epoch = self.registry.promote(self.name, target_name)
-            # Past the fence: the target is a full primary now.
+            # Past the fence: the target is a full primary now.  Sample the
+            # inherited Sync entries before the soft-state migration so the
+            # post-promotion rollback can tell the deposed node's opens
+            # apart from this node's own live follower reads.
+            inherited_sync = target.dlfm.inherited_sync_entry_ids()
             self._detach_stream(target_name)
             self._synced.pop(target_name, None)
             summary["soft_state"] = target.dlfm.disable_replica_mode()
@@ -930,6 +949,14 @@ class ReplicatedShard:
             self._subscribe(old_serving_name, base=base)
         else:
             self._rejoin_base[old_serving_name] = base if target_clean else None
+        # Roll back the updates the deposed node had in flight -- only now,
+        # with every surviving subscriber re-sourced from the new serving
+        # node, so the rollback's repository deletes ship over the stream
+        # and witness heaps stay positionally identical.
+        with synchronized_call(self.clock, target.clock):
+            summary["rolled_back_updates"] = \
+                target.dlfm.rollback_inherited_updates(inherited_sync)
+            target.dlfm.repository.db.wal.flush()
         summary.update({"promoted": True, "epoch": epoch,
                         "serving": target_name})
         return summary

@@ -1,4 +1,4 @@
-"""Replication-aware routing: per-prefix placement, per-node roles, read/write routes.
+"""Replication-aware routing: epoched placement, per-node roles, read/write routes.
 
 Before this layer existed, read/write routing logic was smeared across
 :class:`~repro.datalinks.sharding.ShardedDataLinksDeployment` (hard-wired
@@ -7,9 +7,21 @@ Before this layer existed, read/write routing logic was smeared across
 *logical* shard, but a failed-over shard's traffic must reach the serving
 node).  This module centralizes all of it:
 
-* :class:`ShardRouter` owns **placement**: stable hash partitioning of URL
-  path prefixes onto logical shard names (moved here from ``sharding.py``;
-  re-exported there for compatibility);
+* :class:`ShardRouter` owns the **base placement**: stable hash
+  partitioning of URL path prefixes onto logical shard names (moved here
+  from ``sharding.py``; re-exported there for compatibility).  Since the
+  epoched-placement refactor it is only the *first layer* of placement:
+  the router wraps it in a versioned
+  :class:`~repro.datalinks.placement.PlacementMap`, which overlays the
+  prefixes that ``rebalance_prefix`` has moved and stamps every placement
+  answer with the current **placement epoch**.  Placement consumers no
+  longer "read a dict" -- they validate an epoch: the engine stamps its
+  DLFM messages with the epoch it routed by, every DLFM checks arriving
+  envelopes and refuses link/unlink work for prefixes it no longer owns
+  with a :class:`~repro.errors.PlacementEpochError` naming the current
+  owner, and the engine redirects and retries
+  (:meth:`ReplicationRouter.owner_shard` is the resolution every consumer
+  goes through);
 * :class:`ReplicationRouter` owns **roles and routes** on top of placement.
   Every node of a shard has a dynamic role -- :data:`NodeRole.SERVING` (holds
   the epoch lease; the only node that may take link/unlink branches and vote
@@ -41,12 +53,22 @@ demand from the :class:`~repro.datalinks.replication.EpochRegistry` (who
 holds the lease) and each :class:`~repro.datalinks.replication.ReplicatedShard`
 (who subscribes to whose stream, and how far behind), so routing decisions
 can never disagree with the fencing checks the DLFMs enforce themselves.
+The same principle holds for placement: the per-node
+:class:`~repro.datalinks.placement.PlacementGuard` derives ownership from
+the *same* :class:`~repro.datalinks.placement.PlacementMap` the router
+reads, so a moved prefix is fenced on its old owner the instant the map's
+epoch bumps -- there is no propagation step a crash could lose.
+
+Two epoch spaces coexist deliberately: the per-shard **lease epoch**
+(who serves a shard; bumped by failover) and the cluster-wide
+**placement epoch** (which shard owns a prefix; bumped by rebalancing).
 """
 
 from __future__ import annotations
 
 import hashlib
 
+from repro.datalinks.placement import PlacementMap
 from repro.errors import DaemonUnavailableError, DataLinksError
 
 
@@ -101,9 +123,12 @@ class ReplicationRouter:
     ``follower_rejects``).
     """
 
-    def __init__(self, placement: ShardRouter, *, follower_reads: bool = True,
+    def __init__(self, placement, *, follower_reads: bool = True,
                  max_follower_lag: int = 0):
-        self.placement = placement
+        #: The versioned placement map.  A bare :class:`ShardRouter` is
+        #: wrapped, so every consumer sees the epoch-stamped overlay.
+        self.placement = placement if isinstance(placement, PlacementMap) \
+            else PlacementMap(placement)
         self.follower_reads = follower_reads
         self.max_follower_lag = max(0, int(max_follower_lag))
         self._singles: dict[str, object] = {}     # shard -> FileServer
@@ -113,6 +138,7 @@ class ReplicationRouter:
         self.writes_routed = 0
         self.follower_rejects = 0
         self.failover_rewrites = 0   # writes that reached a non-home serving node
+        self.stale_epoch_redirects = 0   # writes re-routed after a PlacementEpochError
 
     # -------------------------------------------------------------- registration --
     def register_shard(self, shard: str, server) -> None:
@@ -133,10 +159,31 @@ class ReplicationRouter:
 
     # ----------------------------------------------------------------- placement --
     def shard_of(self, path: str) -> str:
+        """The shard currently owning *path* (override-aware, epoch-stamped)."""
+
         return self.placement.shard_of(path)
 
     def prefix_of(self, path: str) -> str:
         return self.placement.prefix_of(path)
+
+    @property
+    def placement_epoch(self) -> int:
+        return self.placement.epoch
+
+    def owner_shard(self, server: str, path: str) -> str:
+        """Resolve a URL's ``(server, path)`` pair to the current owner shard.
+
+        A DATALINK URL names the shard that owned the path's prefix when
+        the link was made; after a rebalance the current owner differs.
+        The URL's server stays authoritative unless a move overrode it
+        (so manually placed files on plain file servers are untouched),
+        and non-shard servers resolve to themselves.
+        """
+
+        if server not in self._singles and server not in self._replicas:
+            return server
+        return self.placement.owner_of(self.placement.prefix_of(path),
+                                       default=server)
 
     # --------------------------------------------------------------------- roles --
     def roles(self, shard: str) -> dict[str, str]:
@@ -287,5 +334,7 @@ class ReplicationRouter:
             "writes_routed": self.writes_routed,
             "follower_rejects": self.follower_rejects,
             "failover_rewrites": self.failover_rewrites,
+            "stale_epoch_redirects": self.stale_epoch_redirects,
+            "placement": self.placement.stats(),
             "roles": {shard: self.roles(shard) for shard in self.shards},
         }

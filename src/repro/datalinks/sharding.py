@@ -5,8 +5,19 @@ file servers"; this module turns that into an operational scale-out layer:
 
 * :class:`ShardRouter` hash-partitions linked files across N file servers by
   **URL path prefix** (the first ``prefix_depth`` path components), so whole
-  directories co-locate on one shard and placement is stable and
-  deterministic;
+  directories co-locate on one shard.  The hash is only the *initial*
+  placement: the deployment wraps it in a versioned
+  :class:`~repro.datalinks.placement.PlacementMap` whose **placement
+  epoch** stamps every routing decision, and
+  :meth:`ShardedDataLinksDeployment.rebalance_prefix` moves a prefix to
+  another shard online -- a two-phase-commit hand-off of the prefix's
+  linked-file rows, archived version chain and file content, with the
+  destination's witnesses mirrored in the same step.  Every DLFM holds a
+  :class:`~repro.datalinks.placement.PlacementGuard` onto the same map,
+  so after a move the old owner refuses straggler writes with a
+  :class:`~repro.errors.PlacementEpochError` redirect instead of silently
+  taking them, and stale-epoch message envelopes are rejected at the
+  daemon boundary;
 * :class:`ShardedDataLinksDeployment` builds a
   :class:`~repro.api.system.DataLinksSystem` with N file-server shards,
   routes file placement through the router, and runs a **group-commit
@@ -69,6 +80,7 @@ from __future__ import annotations
 
 from repro.api.system import DataLinksSystem, FileServer
 from repro.datalinks.engine import HostTransaction
+from repro.datalinks.placement import PlacementGuard, rebalance_prefix
 from repro.datalinks.replication import EpochRegistry, ReplicatedShard
 from repro.datalinks.routing import ReplicationRouter, ShardRouter
 from repro.errors import DataLinksError, ReplicationError, ReproError
@@ -135,6 +147,23 @@ class ShardedDataLinksDeployment:
         else:
             for name in self.shard_names:
                 self.router.register_shard(name, self.shard(name))
+        # Every DLFM of a shard -- serving node and witnesses alike --
+        # enforces placement against the *same* epoched map the router
+        # reads, so a rebalanced prefix is fenced on its old owner the
+        # instant the map commits (no propagation step to lose).
+        for name in self.shard_names:
+            guard = PlacementGuard(self.router.placement, name)
+            replica = self.replicas.get(name)
+            if replica is not None:
+                for node in replica.nodes.values():
+                    node.dlfm.set_placement(guard)
+            else:
+                self.shard(name).dlfm.set_placement(guard)
+        #: Fault-injection hooks for the rebalance hand-off:
+        #: ``rebalance:prepare`` / ``rebalance:export`` /
+        #: ``rebalance:archive`` / ``rebalance:import`` /
+        #: ``rebalance:fence`` (see :mod:`repro.datalinks.placement`).
+        self.rebalance_failpoints: dict = {}
 
     # ----------------------------------------------------------------- accessors --
     @property
@@ -202,7 +231,8 @@ class ShardedDataLinksDeployment:
         session.put_file(serving.name, path, content)
         replica = self.replicas.get(shard)
         if replica is not None:
-            replica.mirror_file(path, content, session.cred)
+            replica.mirror_file(path, content, session.cred.uid,
+                                session.cred.gid)
         return format_url(shard, path)
 
     # ------------------------------------------------------------------- reading --
@@ -224,13 +254,18 @@ class ShardedDataLinksDeployment:
     def read_url(self, session, url: str) -> bytes:
         """Read a (tokenized) DATALINK URL through the routing layer.
 
-        The router load-balances round-robin over the shard's serving node
-        and every healthy witness within the follower-read staleness bound;
-        the token embedded in the URL stays valid on any of them because
-        witnesses share their primary's signing secret.
+        The URL's ``(server, path)`` pair first resolves to the prefix's
+        *current owner* (old URLs stay valid across a rebalance), then the
+        router load-balances round-robin over that shard's serving node
+        and every healthy witness within the follower-read staleness
+        bound; the token embedded in the URL stays valid on any of them
+        because witnesses share their primary's signing secret (tokens for
+        a moved prefix are signed by the destination shard).
         """
 
-        server = self.router.route_read(parse_url(url).server)
+        parsed = parse_url(url)
+        shard = self.router.owner_shard(parsed.server, parsed.path)
+        server = self.router.route_read(shard)
         return session.read_url(url, server=server.name)
 
     # --------------------------------------------------------- group-commit queue --
@@ -350,6 +385,26 @@ class ShardedDataLinksDeployment:
         without failing back (the witness keeps the serving lease)."""
 
         return self._replica(name).rejoin(self._replica(name).home_primary)
+
+    # ---------------------------------------------------------------- rebalancing --
+    def rebalance_prefix(self, prefix: str, dest_shard: str) -> dict:
+        """Move a URL prefix to *dest_shard* online, under a 2PC hand-off.
+
+        Relinks the prefix's files and re-attaches its archived version
+        chain on the destination DLFM, copies the content to the
+        destination's serving node *and its witnesses* (so a promotion
+        after the move serves from the destination's witness set), fences
+        the source under the old placement epoch and bumps the placement
+        map atomically at the durable commit.  Foreground traffic for
+        every other prefix keeps flowing throughout; link/unlink of the
+        moving prefix is refused with a retryable
+        :class:`~repro.errors.PlacementError` until the hand-off resolves.
+        See :func:`repro.datalinks.placement.rebalance_prefix` for the
+        protocol and its failure handling.
+        """
+
+        return rebalance_prefix(self, prefix, dest_shard,
+                                self.rebalance_failpoints)
 
     def crash_witness(self, name: str, witness_name: str | None = None) -> None:
         self._replica(name).crash_witness(witness_name)

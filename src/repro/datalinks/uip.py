@@ -17,7 +17,13 @@ wraps that boundary as a context manager over the plain file-system API:
 
 from __future__ import annotations
 
-from repro.errors import DataLinksError
+from repro.errors import (
+    DataLinksError,
+    FencedNodeError,
+    LeaseMovedError,
+    PlacementEpochError,
+    ReproError,
+)
 from repro.fs.logical import LogicalFileSystem
 from repro.fs.vfs import Credentials, OpenFlags
 from repro.util.urls import DatalinkURL, embed_token_in_name, parse_url
@@ -73,11 +79,26 @@ class FileUpdateTransaction:
         return self
 
     def commit(self) -> None:
-        """Close the file (end transaction); the DLFM commits the update."""
+        """Close the file (end transaction); the DLFM commits the update.
+
+        If the node holding the file lost its serving lease (failover) or
+        its prefix ownership (rebalance) while the update was open, the
+        close-side commit is refused by the fence: the update rolls back
+        to the last committed version and :class:`~repro.errors.LeaseMovedError`
+        tells the caller to re-fetch a write token and retry against the
+        node now serving the file.
+        """
 
         if self._fd is None or self.committed or self.aborted:
             return
-        self._lfs.close(self._fd)
+        try:
+            self._lfs.close(self._fd)
+        except (FencedNodeError, PlacementEpochError) as error:
+            self.abort()
+            raise LeaseMovedError(
+                f"the node serving {self._url.path!r} was fenced while the "
+                f"update was in flight; the update was rolled back -- "
+                f"re-fetch a write token and retry ({error})") from error
         self._fd = None
         self.committed = True
 
@@ -90,8 +111,13 @@ class FileUpdateTransaction:
             self._abort_callback(self._url.server, self._url.path)
         if self._fd is not None:
             # Closing after the rollback is harmless: the tracking entry is
-            # gone, so close processing sees an unmodified file.
-            self._lfs.close(self._fd)
+            # gone, so close processing sees an unmodified file.  On a node
+            # fenced mid-update even the close upcall is refused -- the
+            # descriptor is abandoned (its DLFM state was volatile anyway).
+            try:
+                self._lfs.close(self._fd)
+            except ReproError:
+                pass
             self._fd = None
         self.aborted = True
 

@@ -207,6 +207,45 @@ class ReplicationError(DataLinksError):
     """Shard replication failed (shipping, apply, promotion or resync)."""
 
 
+class PlacementError(DataLinksError):
+    """A placement operation was invalid or cannot run right now.
+
+    Raised by ``rebalance_prefix`` for unknown prefixes, destinations that
+    cannot take the hand-off (unknown shard, no witness replica) and
+    retryable conditions (in-flight opens or updates under the prefix, a
+    concurrent move of the same prefix)."""
+
+
+class PlacementEpochError(PlacementError):
+    """A request carried (or implied) a stale placement epoch.
+
+    The cure is a redirect-and-retry: refresh the placement map and re-send
+    to the prefix's current owner.  ``owner`` names that owner when the
+    refusing node knows it, ``prefix`` the affected URL prefix, ``epoch``
+    the current map epoch and ``observed`` the stale epoch the request
+    carried (``None`` when the request was rejected by a per-prefix fence
+    rather than an envelope epoch check).
+    """
+
+    def __init__(self, message: str, *, prefix: str | None = None,
+                 owner: str | None = None, epoch: int = 0,
+                 observed: int | None = None):
+        super().__init__(message)
+        self.prefix = prefix
+        self.owner = owner
+        self.epoch = epoch
+        self.observed = observed
+
+
+class LeaseMovedError(ReplicationError):
+    """The serving lease (or prefix placement) moved mid-file-update.
+
+    The in-flight update was rolled back to the last committed version;
+    the caller should re-fetch a write token and retry against the node
+    now serving the file -- a retryable error, not data loss.
+    """
+
+
 class FencedNodeError(DataLinksError):
     """A node whose epoch lease was revoked tried to serve traffic.
 

@@ -33,14 +33,22 @@ class Channel:
     ``latency_primitive`` names the :class:`~repro.simclock.CostModel` entry
     charged per round trip (``upcall_round_trip`` for DLFS-to-DLFM upcalls,
     ``db_dlfm_message`` for DBMS-agent-to-child-agent traffic).
+
+    ``epoch_provider`` (optional) threads the sender's placement epoch
+    through every message envelope: the callable is sampled at send time
+    and stamped into :attr:`Message.placement_epoch`, so the receiving
+    daemon's epoch gate can refuse requests routed by a stale placement
+    map (see :mod:`repro.datalinks.placement`).
     """
 
     def __init__(self, daemon, clock: SimClock | None,
-                 latency_primitive: str = "upcall_round_trip", sender: str = ""):
+                 latency_primitive: str = "upcall_round_trip", sender: str = "",
+                 epoch_provider=None):
         self._daemon = daemon
         self._clock = clock
         self._latency_primitive = latency_primitive
         self._sender = sender
+        self._epoch_provider = epoch_provider
 
     def request(self, kind: str, **payload) -> dict:
         """Synchronous round trip: send, wait for the reply, merge clocks."""
@@ -85,6 +93,8 @@ class Channel:
         elif caller is not None:
             caller.charge(self._latency_primitive)
         message = Message(kind=kind, payload=payload, sender=self._sender)
+        if self._epoch_provider is not None:
+            message.placement_epoch = self._epoch_provider()
         reply = self._daemon.handle(message)
         if cross and (wait or not reply.ok):
             # A pipelined send whose handler failed surfaces the error at

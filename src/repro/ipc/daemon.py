@@ -21,6 +21,12 @@ class Daemon:
         self.running = True
         self._handlers: dict[str, callable] = {}
         self.requests_served = 0
+        #: Optional placement-epoch validator: a callable taking the
+        #: envelope's ``placement_epoch`` and raising
+        #: :class:`~repro.errors.PlacementEpochError` when it is stale.
+        #: DLFM-facing daemons wire this to their manager so a request
+        #: routed by an outdated placement map is redirected, never applied.
+        self.epoch_gate = None
 
     def register(self, kind: str, handler) -> None:
         self._handlers[kind] = handler
@@ -36,6 +42,11 @@ class Daemon:
 
         if self.clock is not None:
             self.clock.charge("daemon_dispatch")
+        if self.epoch_gate is not None and message.placement_epoch is not None:
+            try:
+                self.epoch_gate(message.placement_epoch)
+            except ReproError as error:
+                return Reply.failure(error)
         handler = self._handlers.get(message.kind)
         if handler is None:
             handler = getattr(self, f"handle_{message.kind}", None)

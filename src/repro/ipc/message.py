@@ -7,11 +7,21 @@ from dataclasses import dataclass, field
 
 @dataclass
 class Message:
-    """A request sent to a daemon."""
+    """A request sent to a daemon.
+
+    ``placement_epoch`` is the sender's view of the cluster placement map
+    (see :mod:`repro.datalinks.placement`): channels whose traffic depends
+    on prefix ownership stamp it, and the receiving daemon's epoch gate
+    rejects envelopes carrying a stale epoch with a
+    :class:`~repro.errors.PlacementEpochError` redirect instead of acting
+    on a request routed by an outdated map.  ``None`` means the sender is
+    placement-agnostic (upcalls, WAL shipping) and no check applies.
+    """
 
     kind: str
     payload: dict = field(default_factory=dict)
     sender: str = ""
+    placement_epoch: int | None = None
 
 
 @dataclass

@@ -12,6 +12,7 @@ from repro.workloads.videostore import VideoStoreConfig, VideoStoreWorkload
 from repro.workloads.editors import EditorConfig, ConcurrentEditorsWorkload
 from repro.workloads.scaleout import ScaleOutConfig, ScaleOutWorkload
 from repro.workloads.failover import FailoverConfig, FailoverWorkload
+from repro.workloads.rebalance import RebalanceConfig, RebalanceWorkload
 
 __all__ = [
     "WorkloadMetrics",
@@ -26,4 +27,6 @@ __all__ = [
     "ScaleOutWorkload",
     "FailoverConfig",
     "FailoverWorkload",
+    "RebalanceConfig",
+    "RebalanceWorkload",
 ]

@@ -11,7 +11,7 @@ import pytest
 from repro.datalinks.control_modes import ControlMode
 from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
 from repro.datalinks.sharding import ShardedDataLinksDeployment
-from repro.errors import FileSystemError, ReproError
+from repro.errors import FileSystemError, PlacementEpochError, ReproError
 from repro.storage.schema import Column, TableSchema
 from repro.storage.values import DataType
 from repro.util.urls import parse_url
@@ -470,6 +470,161 @@ class TestReplicationFailoverMatrix:
         assert deployment.host_db.txn_outcome(host_txn.txn_id) == "committed"
         deployment.fail_back(self.VICTIM)
         assert_replicated_agreement(deployment)
+
+
+def _rebalance_setup():
+    """A replicated 2-shard deployment with one linked file per shard.
+
+    Returns ``(deployment, session, paths, prefix)`` where *prefix* is the
+    URL prefix owned by ``shard0`` (the hand-off source of every case).
+    """
+
+    deployment, session, paths = _replicated_setup()
+    for index, shard in enumerate(sorted(paths)):
+        url = deployment.put_file(session, paths[shard], b"payload")
+        session.insert(REPL_TABLE, {"doc_id": index, "body": url})
+    deployment.system.flush_logs()
+    prefix = deployment.router.prefix_of(paths["shard0"])
+    return deployment, session, paths, prefix
+
+
+def assert_placement_agreement(deployment):
+    """Host DATALINK contents == the *owner* shard's serving repository.
+
+    The placement-aware variant of :func:`assert_replicated_agreement`:
+    after a rebalance the owning shard differs from the shard the URL
+    names, so expectations go through the router's owner resolution.
+    """
+
+    deployment.system.flush_logs()
+    expected = {name: set() for name in deployment.shard_names}
+    for row in deployment.host_db.select(REPL_TABLE, lock=False):
+        url = row.get("body")
+        if url:
+            parsed = parse_url(url)
+            owner = deployment.router.owner_shard(parsed.server, parsed.path)
+            expected[owner].add(parsed.path)
+    for name in deployment.shard_names:
+        replica = deployment.replicas[name]
+        if not replica.serving.running:
+            continue
+        linked = {row["path"]
+                  for row in replica.serving.dlfm.repository.linked_files()}
+        assert linked == expected[name], (
+            f"{name} (served by {replica.serving_name}): has {sorted(linked)}, "
+            f"placement says {sorted(expected[name])}")
+
+
+def _read_all(deployment, session):
+    """Every committed DATALINK row must be readable through the router."""
+
+    for row in deployment.host_db.select(REPL_TABLE, lock=False):
+        url = session.get_datalink(REPL_TABLE, {"doc_id": row["doc_id"]},
+                                   "body", access="read", ttl=1e9)
+        assert deployment.read_url(session, url) == b"payload"
+
+
+class TestRebalanceCrashMatrix:
+    """Injected crashes at every step of the prefix hand-off 2PC.
+
+    Source crashes at relink (export), archive hand-off and fence must
+    roll the move back cleanly (map untouched, prefix still served by the
+    source side, retry possible); destination crashes at apply must do the
+    same; a destination crash *mid-commit* -- after the coordinator's
+    durable outcome -- must complete the move anyway, with the crashed
+    side resolving its in-doubt branch from the host outcome during
+    recovery or witness promotion.
+    """
+
+    SOURCE, DEST = "shard0", "shard1"
+
+    def _crash(self, deployment, shard):
+        def hook():
+            deployment.crash_shard(shard)
+            raise InjectedCrash()
+        return hook
+
+    @pytest.mark.parametrize("point", ["rebalance:export",
+                                       "rebalance:archive",
+                                       "rebalance:fence"])
+    @pytest.mark.parametrize("fail_over", [False, True])
+    def test_source_crash_during_handoff_rolls_back(self, point, fail_over):
+        deployment, session, paths, prefix = _rebalance_setup()
+        deployment.rebalance_failpoints[point] = \
+            self._crash(deployment, self.SOURCE)
+        with pytest.raises(InjectedCrash):
+            deployment.rebalance_prefix(prefix, self.DEST)
+        deployment.rebalance_failpoints.clear()
+
+        # the move rolled back: map untouched, no hand-off in flight
+        assert deployment.router.placement.epoch == 1
+        assert not deployment.router.placement.moving
+        if fail_over:
+            deployment.fail_over(self.SOURCE)
+        else:
+            deployment.recover_shard(self.SOURCE)
+            deployment.system.resolve_in_doubt()
+        assert_placement_agreement(deployment)
+        _read_all(deployment, session)
+
+        # the hand-off is retryable once the source side serves again
+        summary = deployment.rebalance_prefix(prefix, self.DEST)
+        assert summary["moved"] and summary["epoch"] == 2
+        assert deployment.shard_of(paths[self.SOURCE]) == self.DEST
+        assert_placement_agreement(deployment)
+        _read_all(deployment, session)
+
+    @pytest.mark.parametrize("point", ["rebalance:import",
+                                       "rebalance:fence"])
+    def test_dest_crash_at_apply_rolls_back(self, point):
+        deployment, session, paths, prefix = _rebalance_setup()
+        deployment.rebalance_failpoints[point] = \
+            self._crash(deployment, self.DEST)
+        with pytest.raises(InjectedCrash):
+            deployment.rebalance_prefix(prefix, self.DEST)
+        deployment.rebalance_failpoints.clear()
+
+        assert deployment.router.placement.epoch == 1
+        deployment.recover_shard(self.DEST)
+        deployment.system.resolve_in_doubt()
+        assert_placement_agreement(deployment)
+        _read_all(deployment, session)
+
+        summary = deployment.rebalance_prefix(prefix, self.DEST)
+        assert summary["moved"]
+        assert_placement_agreement(deployment)
+        _read_all(deployment, session)
+
+    @pytest.mark.parametrize("recovery", ["recover", "fail_over"])
+    def test_dest_crash_mid_commit_completes_the_move(self, recovery):
+        """Past the coordinator's durable outcome the move must finish:
+        the commit is redriven, the map swings, and the crashed
+        destination resolves its in-doubt branch from the host outcome --
+        on restart, or on its witness at promotion (witness placement
+        followed the prefix through the move)."""
+
+        deployment, session, paths, prefix = _rebalance_setup()
+        deployment.engine.failpoints["commit:after_host_commit"] = \
+            lambda: deployment.crash_shard(self.DEST)
+        summary = deployment.rebalance_prefix(prefix, self.DEST)
+        deployment.engine.failpoints.clear()
+
+        assert summary["moved"] and summary["redriven_commit"]
+        assert deployment.router.placement.epoch == 2
+        assert deployment.shard_of(paths[self.SOURCE]) == self.DEST
+
+        if recovery == "recover":
+            recovered = deployment.recover_shard(self.DEST)
+            assert recovered["repository"]["in_doubt_committed"]
+        else:
+            deployment.fail_over(self.DEST)
+        assert_placement_agreement(deployment)
+        _read_all(deployment, session)
+        # the source refuses straggler writes for the moved prefix
+        with pytest.raises(PlacementEpochError) as excinfo:
+            deployment.shard(self.SOURCE).dlfm.check_placement(
+                paths[self.SOURCE])
+        assert excinfo.value.owner == self.DEST
 
 
 class TestCoordinatedBackupRestore:

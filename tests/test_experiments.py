@@ -25,7 +25,7 @@ from repro.workloads.editors import EditorConfig
 
 class TestHarness:
     def test_registry_covers_all_experiments(self):
-        expected = {f"E{i}" for i in range(1, 13)}
+        expected = {f"E{i}" for i in range(1, 14)}
         assert set(ALL_EXPERIMENTS) == expected
 
     def test_smoke_params_cover_every_experiment(self):
@@ -179,6 +179,60 @@ class TestExperimentClaims:
         assert baseline["write_availability_pct"] == 0.0
         assert promoted and all(row["write_availability_pct"] > 0.0
                                 for row in promoted)
+
+    def test_e13_online_rebalance_keeps_foreground_alive(self):
+        """E13: a prefix moves between shards with zero committed-link loss,
+        nonzero foreground link+read throughput *during* the move, and the
+        moved prefix promotable from the destination's witness set."""
+
+        from repro.bench.experiments import experiment_e13
+
+        result = experiment_e13(shards=2, hot_files=6, cold_files=6,
+                                file_size=512, reads_per_phase=12,
+                                links_per_phase=4)
+        by_phase = {row["phase"]: row for row in result.rows}
+        during = next(row for row in result.rows
+                      if row["phase"].startswith("during move"))
+        failover = next(row for row in result.rows
+                        if "after dest failover" in row["phase"])
+        # the move actually moved something, and lost nothing
+        assert during["moved_files"] > 0
+        for row in result.rows:
+            assert row["committed_links_lost"] == 0
+        assert during["move_ms"] > 0
+        # foreground traffic kept flowing inside the 2PC hand-off
+        assert during["reads_ok"] > 0 and during["links_ok"] > 0
+        assert during["read_availability_pct"] > 0
+        assert during["link_availability_pct"] > 0
+        # the moving prefix itself was back-pressured, not failed
+        assert during["links_blocked"] > 0
+        # old URLs resolve on the new owner afterwards
+        after = by_phase["after move (old URLs, new owner)"]
+        assert after["read_availability_pct"] == 100.0
+        assert after["link_availability_pct"] == 100.0
+        # witness placement followed the prefix: promotion on the
+        # destination serves the moved files
+        assert failover["reads_ok"] > 0 and failover["reads_failed"] == 0
+        assert failover["move_ms"] > 0      # the promotion was timed
+
+    def test_e13_smoke_rows_have_rebalance_shape(self):
+        """CI gate: the smoke-mode E13 rows (what BENCH_smoke.json records)
+        carry the availability and loss columns, and foreground
+        availability stays >0% during the move."""
+
+        result = run_experiment("E13", smoke=True)
+        required = {"read_availability_pct", "link_availability_pct",
+                    "committed_links_lost", "moved_files", "links_blocked",
+                    "ops_per_sim_s", "move_ms"}
+        assert required <= set(result.headers)
+        for row in result.rows:
+            assert required <= set(row)
+            assert row["committed_links_lost"] == 0
+        during = next(row for row in result.rows
+                      if row["phase"].startswith("during move"))
+        assert during["read_availability_pct"] > 0
+        assert during["link_availability_pct"] > 0
+        assert during["ops_per_sim_s"] > 0
 
     def test_e9_reports_token_cache_hit_rate(self):
         """The web workload runs with the host token cache on by default and
