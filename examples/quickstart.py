@@ -60,7 +60,12 @@ Scale-out knobs (step 7):
   the reversed WAL stream before rotating the lease back;
 * ``deployment.rebalance_prefix(prefix, dest_shard)`` (step 9) moves a
   prefix online; ``deployment.stats()["routing"]["placement"]`` shows the
-  placement epoch, the moved-prefix overrides and any hand-off in flight.
+  placement epoch, the moved-prefix overrides and any hand-off in flight;
+* ``deployment.enable_balancer(BalancerConfig(...))`` (step 10) attaches
+  the self-driving placement balancer: each ``tick()`` diffs the router's
+  per-prefix traffic counters and issues budgeted, cooldown-governed
+  ``rebalance_prefix`` moves (splitting a prefix deeper when moving it
+  whole cannot help, merging it back once the heat is gone).
 
 Run with:  python examples/quickstart.py
 """
@@ -235,6 +240,45 @@ def main() -> None:
         replicated.shard(shard).dlfm.check_placement("/news/today.html")
     except Exception as error:
         print(f"stale write to {shard} refused: {error}")
+
+    # 10. Self-driving placement: the balancer runs on its own clock
+    #     domain, diffs the router's per-prefix traffic counters each
+    #     tick, and issues budgeted, cooldown-governed rebalance moves on
+    #     its own -- no operator in the loop.
+    from repro.datalinks.balancer import BalancerConfig
+
+    balancer = replicated.enable_balancer(BalancerConfig(
+        window_ops_min=8, move_budget=1, cooldown_ticks=2))
+    for index in range(4):
+        cat_url = replicated.put_file(
+            carol, f"/cat{index}/story.html",
+            f"<html>category {index}</html>".encode())
+        carol.insert("articles", {"article_id": 10 + index, "body": cat_url})
+    replicated.system.run_archiver()
+    replicated.system.flush_logs()
+    # Two of the four /cat prefixes necessarily share a shard; hammer that
+    # pair so the shard runs hot.
+    by_shard: dict = {}
+    for index in range(4):
+        owner = replicated.shard_of(f"/cat{index}/story.html")
+        by_shard.setdefault(owner, []).append(index)
+    crowded = max(by_shard, key=lambda name: len(by_shard[name]))
+    hot, warm = by_shard[crowded][:2]
+    for index, reads in ((hot, 12), (warm, 6)):
+        token = carol.get_datalink("articles", {"article_id": 10 + index},
+                                   "body", access="read", ttl=1e9)
+        for _ in range(reads):
+            replicated.read_url(carol, token)
+    summary = balancer.tick()
+    for move in summary["moves"]:
+        print(f"balancer moved hot prefix {move['prefix']} "
+              f"{move['source']} -> {move['dest']} on its own "
+              f"(tick {summary['tick']}, {summary['window_ops']} window ops)")
+    quiet = balancer.tick()          # no fresh traffic: the balancer idles
+    stats = balancer.stats()
+    print(f"balancer: {stats['moves_issued']} move(s) issued, max "
+          f"{stats['max_moves_per_tick']}/tick within budget "
+          f"{stats['move_budget']}; quiet tick acted={quiet['acted']}")
 
 
 if __name__ == "__main__":

@@ -76,6 +76,14 @@ class DataLinksFileManager:
         self.read_gate = None
         self._replica = None
         self._replica_soft = None
+        #: Dual-serve snapshots for prefix hand-offs in flight:
+        #: ``host_txn_id -> {ino: linked_file row}``.  The export deletes
+        #: the repository rows inside its branch, but reads of the moving
+        #: prefix must keep succeeding on this node until the hand-off
+        #: commits; the read-path upcalls fall back to these rows.
+        #: Volatile by design: a crash aborts the branch (restoring the
+        #: real rows) and loses the snapshot with it.
+        self._moving_exports: dict[int, dict] = {}
 
     # ---------------------------------------------------------------- wiring -----
     def attach_engine(self, engine) -> None:
@@ -178,9 +186,11 @@ class DataLinksFileManager:
 
     def commit_branch(self, host_txn_id: int) -> None:
         self.branches.commit(host_txn_id)
+        self._moving_exports.pop(host_txn_id, None)
 
     def abort_branch(self, host_txn_id: int) -> None:
         self.branches.abort(host_txn_id)
+        self._moving_exports.pop(host_txn_id, None)
 
     def link_file(self, host_txn_id: int, path: str,
                   options: DatalinkOptions) -> dict:
@@ -245,6 +255,12 @@ class DataLinksFileManager:
                 {key: value for key, value in version.items()
                  if not key.startswith("_")}
                 for version in self.repository.versions(path))
+        # Dual-serve: reads of the moving prefix keep resolving on this
+        # node between these deletes and the hand-off commit (the bytes
+        # are still here and the tokens were signed here).  The read-path
+        # upcalls fall back to this snapshot; commit or abort drops it.
+        self._moving_exports[host_txn_id] = {row["ino"]: dict(row)
+                                             for row in rows}
         for row in rows:
             self.repository.delete_versions(row["path"], branch.local_txn)
             self.repository.delete_linked_file(row["path"], branch.local_txn)
@@ -344,6 +360,24 @@ class DataLinksFileManager:
         self.repository.remove_sync_entry(path, access, userid)
 
     # -------------------------------------------------- upcall-facing operations --
+    def _lookup_link_row(self, ino: int) -> dict | None:
+        """A linked-file row by inode, dual-serving hand-offs in flight.
+
+        Falls back to the moving-export snapshots so reads of a prefix
+        whose rows were just deleted inside an open rebalance branch keep
+        resolving until the hand-off commits.  Write paths are unaffected:
+        they run :meth:`check_placement` on the row's path, which refuses
+        moving prefixes with a retryable error.
+        """
+
+        row = self.repository.linked_file_by_ino(ino)
+        if row is not None:
+            return row
+        for snapshot in self._moving_exports.values():
+            if ino in snapshot:
+                return snapshot[ino]
+        return None
+
     def upcall_validate_token(self, ino: int, token_text: str, userid: int) -> dict:
         """fs_lookup-time token validation; creates a token registry entry.
 
@@ -354,7 +388,7 @@ class DataLinksFileManager:
         """
 
         self._check_read_service()
-        row = self.repository.linked_file_by_ino(ino)
+        row = self._lookup_link_row(ino)
         if row is None:
             return {"linked": False}
         token = self.tokens.validate(token_text, row["path"])
@@ -377,7 +411,7 @@ class DataLinksFileManager:
             self._check_fencing()
         else:
             self._check_read_service()
-        row = self.repository.linked_file_by_ino(ino)
+        row = self._lookup_link_row(ino)
         if row is None:
             return {"linked": False}
         mode = ControlMode.from_string(row["control_mode"])
@@ -404,7 +438,7 @@ class DataLinksFileManager:
         """
 
         self._check_fencing()
-        row = self.repository.linked_file_by_ino(ino)
+        row = self._lookup_link_row(ino)
         if row is None:
             return {"linked": False}
         mode = ControlMode.from_string(row["control_mode"])
@@ -428,7 +462,7 @@ class DataLinksFileManager:
             self._check_fencing()
         else:
             self._check_read_service()
-        row = self.repository.linked_file_by_ino(ino)
+        row = self._lookup_link_row(ino)
         if row is None:
             return {"linked": False, "modified": False}
         path = row["path"]
@@ -453,7 +487,7 @@ class DataLinksFileManager:
         return {"linked": True, "modified": modified}
 
     def upcall_is_linked(self, ino: int) -> dict:
-        row = self.repository.linked_file_by_ino(ino)
+        row = self._lookup_link_row(ino)
         if row is None:
             return {"linked": False}
         return {"linked": True, "mode": row["control_mode"], "path": row["path"]}
@@ -815,8 +849,18 @@ class DataLinksFileManager:
         """
 
         restored, rebound, constrained = [], 0, 0
+        stale = self._replica.stale_paths if self._replica is not None \
+            else set()
         for row in self.repository.linked_files():
             path = row["path"]
+            if self.files.exists(path) and path in stale:
+                # The mirrored bytes predate an update-in-place committed
+                # on the old serving node; refresh from the shared archive
+                # (best effort -- an update committed but never archived
+                # only ever lived on the crashed node).
+                if self.restore_last_committed(path):
+                    restored.append(path)
+                stale.discard(path)
             if not self.files.exists(path):
                 if not self.restore_last_committed(path, create_missing=True):
                     # No local content and nothing archived: park the row
@@ -848,6 +892,7 @@ class DataLinksFileManager:
 
         self.repository.db.crash()
         self.branches.clear()
+        self._moving_exports.clear()
         if self._replica_soft is not None:
             # Follower-read soft state is volatile, like the branch table.
             self._replica_soft.clear()

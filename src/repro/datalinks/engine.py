@@ -544,6 +544,10 @@ class DataLinksEngine:
             raise
         else:
             active.servers.add(server)
+            if self.router is not None:
+                for path in list(unlink_paths or []) + \
+                        [path for path, _ in (link_items or [])]:
+                    self.router.note_write(path)
 
     def select(self, table: str, where=None, host_txn: HostTransaction | None = None,
                **kwargs) -> list[dict]:

@@ -82,12 +82,38 @@ both the mirrored content and -- once the destination's branch records
 ship -- the repository rows, which is what makes promotion-after-move
 serve from the destination's witness set.
 
-Known windows (documented, mirrored in ROADMAP follow-ups): between export
-and commit, reads of the *moving* prefix on the source see the rows
-already deleted by the open branch and fail token validation until the
-map swings (dual-serving the hand-off window is future work); the source's
-physical bytes are left in place after the move -- fenced, but not
-garbage-collected.
+Two windows the protocol closes explicitly:
+
+* **dual-serve** -- between export and commit the source's repository rows
+  are deleted inside the open branch, but the source DLFM keeps a
+  pre-export snapshot of them (see ``DLFileManager.rebalance_export``) and
+  answers read-path upcalls (token validation, open checks) from it, so a
+  move is *read-invisible*: hot-prefix reads keep succeeding on the source
+  for the whole hand-off.  Only link/unlink writes are back-pressured
+  (retryable :class:`~repro.errors.PlacementError`).  The snapshot dies
+  with the branch: commit and abort both drop it, and a crash loses it
+  along with the branch it shadowed;
+* **source GC** -- a committed move leaves the prefix's physical bytes on
+  the fenced source (serving node *and* witnesses, whose replicated copies
+  were restored owner-writable when the export's DELETEs applied).  The
+  hand-off records a pending sweep *before* attempting it, verifies the
+  destination holds every moved path (content and repository row) and only
+  then unlinks the source copies; any verification failure defers the
+  sweep, and a crash between commit and sweep leaves the pending entry for
+  recovery to redrive (``ShardedDataLinksDeployment.redrive_sweeps``).
+
+Splits and merges
+-----------------
+A single hot prefix can outgrow any one shard.  :meth:`PlacementMap.split_prefix`
+deepens the *effective* routing depth under one subtree -- ``/hot`` at
+depth 1 splits into ``/hot/a``, ``/hot/b``, ... at depth 2 -- so its
+sub-prefixes can be rebalanced independently.  Every sub-prefix that
+already holds linked files is pinned to the current owner at split time
+(no data teleports on the epoch bump); brand-new sub-prefixes hash freely
+onto the cluster.  :meth:`PlacementMap.merge_prefix` reverses a split once
+the subtree has gone cold and its sub-prefixes are co-located again.  Both
+transitions bump the placement epoch, so stale consumers get the same
+redirect-and-retry treatment as after a move.
 """
 
 from __future__ import annotations
@@ -120,7 +146,11 @@ class PlacementMap:
         self.overrides: dict[str, str] = {}
         #: Prefixes with a hand-off in flight: ``prefix -> destination``.
         self.moving: dict[str, str] = {}
+        #: Split subtrees: ``prefix -> deeper effective routing depth``.
+        self.split_depths: dict[str, int] = {}
         self.moves = 0
+        self.splits = 0
+        self.merges = 0
 
     # --------------------------------------------------------- base passthrough --
     @property
@@ -132,27 +162,50 @@ class PlacementMap:
         return self.base.prefix_depth
 
     def prefix_of(self, path: str) -> str:
-        return self.base.prefix_of(path)
+        """The *effective* routing prefix of *path* (split-aware).
+
+        Starts from the base depth and deepens while the current prefix
+        has a split recorded, so nested splits compose.  A path with fewer
+        components than a split's depth keeps the shallower prefix.
+        """
+
+        prefix = self.base.prefix_of(path)
+        if not self.split_depths:
+            return prefix
+        components = [part for part in path.split("/") if part]
+        depth = self.base.prefix_depth
+        while prefix in self.split_depths:
+            deeper = min(self.split_depths[prefix], len(components))
+            if deeper <= depth:
+                break
+            depth = deeper
+            prefix = "/" + "/".join(components[:depth])
+        return prefix
 
     # ------------------------------------------------------------------ lookups --
     def shard_of(self, path: str) -> str:
-        """The shard currently owning *path* (override-aware)."""
+        """The shard currently owning *path* (override- and split-aware)."""
 
-        override = self.overrides.get(self.prefix_of(path))
-        return override if override is not None else self.base.shard_of(path)
+        prefix = self.prefix_of(path)
+        override = self.overrides.get(prefix)
+        return override if override is not None \
+            else self.base.shard_of_key(prefix)
 
     def owner_of(self, prefix: str, default: str | None = None) -> str:
         """Current owner of *prefix*; *default* overrides the base hash.
 
         The *default* matters for URLs: a DATALINK URL names the shard
         that owned the prefix when the link was made, which is
-        authoritative unless a move overrode it.
+        authoritative unless a move overrode it.  The fallback hashes the
+        prefix *as a key* (not back through ``prefix_of``), so deepened
+        split sub-prefixes resolve without being re-shallowed.
         """
 
         override = self.overrides.get(prefix)
         if override is not None:
             return override
-        return default if default is not None else self.base.shard_of(prefix)
+        return default if default is not None \
+            else self.base.shard_of_key(prefix)
 
     def is_moving(self, prefix: str) -> bool:
         return prefix in self.moving
@@ -184,6 +237,69 @@ class PlacementMap:
         self.moves += 1
         return self.epoch
 
+    def split_prefix(self, prefix: str, depth: int,
+                     pins: dict[str, str]) -> int:
+        """Deepen the effective routing depth under *prefix* (a split).
+
+        *pins* maps every sub-prefix that already holds linked files to
+        its current owner: the split itself moves no data, it only lets
+        subsequent rebalances address the subtree at finer grain.  New
+        sub-prefixes (no pin) hash freely onto the cluster.  Bumps the
+        placement epoch.
+        """
+
+        if self.is_moving(prefix):
+            raise PlacementError(
+                f"cannot split {prefix!r} while it is being rebalanced to "
+                f"{self.moving[prefix]!r}; retry after the hand-off resolves")
+        if prefix in self.split_depths:
+            raise PlacementError(
+                f"prefix {prefix!r} is already split to depth "
+                f"{self.split_depths[prefix]}")
+        own_depth = len([part for part in prefix.split("/") if part])
+        if depth <= own_depth:
+            raise PlacementError(
+                f"split depth {depth} does not deepen {prefix!r} "
+                f"(its own depth is {own_depth})")
+        self.split_depths[prefix] = int(depth)
+        for sub, owner in pins.items():
+            self.overrides[sub] = owner
+        self.epoch += 1
+        self.splits += 1
+        return self.epoch
+
+    def merge_prefix(self, prefix: str, shard: str) -> int:
+        """Reverse a split: route *prefix* shallowly again, owned by *shard*.
+
+        The caller must have co-located every sub-prefix on *shard* first
+        (``ShardedDataLinksDeployment.merge_prefix`` verifies this); the
+        map refuses while any part of the subtree is mid-move or nested
+        splits remain.  Sub-prefix overrides under *prefix* are dropped
+        and replaced by one override for the whole subtree.  Bumps the
+        placement epoch.
+        """
+
+        if prefix not in self.split_depths:
+            raise PlacementError(f"prefix {prefix!r} is not split")
+        for sub in self.moving:
+            if path_under(prefix, sub):
+                raise PlacementError(
+                    f"cannot merge {prefix!r} while {sub!r} is being "
+                    f"rebalanced; retry after the hand-off resolves")
+        for sub in self.split_depths:
+            if sub != prefix and path_under(prefix, sub):
+                raise PlacementError(
+                    f"cannot merge {prefix!r} while nested split {sub!r} "
+                    f"remains; merge it first")
+        del self.split_depths[prefix]
+        for sub in [key for key in self.overrides
+                    if key != prefix and path_under(prefix, key)]:
+            del self.overrides[sub]
+        self.overrides[prefix] = shard
+        self.epoch += 1
+        self.merges += 1
+        return self.epoch
+
     # ---------------------------------------------------------------- validation --
     def check_epoch(self, observed: int) -> None:
         """Reject a request stamped with a placement epoch older than ours."""
@@ -198,8 +314,11 @@ class PlacementMap:
         return {
             "epoch": self.epoch,
             "moves": self.moves,
+            "splits": self.splits,
+            "merges": self.merges,
             "overrides": dict(self.overrides),
             "moving": dict(self.moving),
+            "split_depths": dict(self.split_depths),
         }
 
 
@@ -365,7 +484,68 @@ def rebalance_prefix(deployment, prefix: str, dest: str,
     # the fence under the old epoch -- no per-node state to push, nothing
     # a crash can lose.
     epoch = pmap.commit_move(prefix, dest)
+
+    # Source GC.  The pending entry is recorded *before* the sweep runs
+    # (and before the crash-injection failpoint), so a crash between
+    # commit and sweep leaves a durable to-do that recovery redrives
+    # instead of a silent leak.
+    deployment.pending_sweeps[prefix] = {
+        "prefix": prefix, "source": source, "dest": dest,
+        "paths": [row["path"] for row in rows]}
+    _fire(failpoints, "rebalance:sweep")
+    sweep = sweep_moved_prefix(deployment, prefix)
     return {"moved": True, "prefix": prefix, "source": source, "dest": dest,
             "epoch": epoch, "moved_files": len(rows),
             "moved_versions": len(versions), "copied_files": copied,
-            "redriven_commit": redriven}
+            "redriven_commit": redriven,
+            "swept_files": sweep["swept_files"],
+            "sweep_deferred": sweep["deferred"]}
+
+
+def sweep_moved_prefix(deployment, prefix: str) -> dict:
+    """Delete a moved prefix's physical bytes on the fenced source.
+
+    Destructive, so verification comes first: the destination's serving
+    node must be up and must hold both the physical content and the
+    repository row for every moved path.  Any verification failure or
+    unreachable source node defers the whole sweep -- the pending entry
+    stays and ``redrive_sweeps``/shard recovery retries -- rather than
+    risking the only surviving copy (or leaving one source node swept and
+    another leaking).
+    """
+
+    entry = deployment.pending_sweeps.get(prefix)
+    if entry is None:
+        return {"swept_files": 0, "deferred": False}
+    router = deployment.router
+    try:
+        # The export's DELETEs must reach the source witnesses before the
+        # unlink: DLFS refuses to remove a file its repository still calls
+        # linked, so settle the group-commit queue and ship every WAL.
+        deployment.drain()
+        deployment.system.flush_logs()
+        dst = router.serving_server(entry["dest"])
+        for path in entry["paths"]:
+            if not dst.files.exists(path) or \
+                    dst.dlfm.repository.linked_file(path) is None:
+                raise PlacementError(
+                    f"destination {entry['dest']!r} does not hold {path!r}; "
+                    f"deferring the source sweep for {prefix!r}")
+        replica = deployment.replicas.get(entry["source"])
+        source_nodes = list(replica.nodes.values()) if replica is not None \
+            else [router.serving_server(entry["source"])]
+        if not all(node.running for node in source_nodes):
+            raise PlacementError(
+                f"a source node of {entry['source']!r} is down; deferring "
+                f"the sweep for {prefix!r} until it recovers")
+        swept = 0
+        for node in source_nodes:
+            with synchronized_call(deployment.clock, node.clock):
+                for path in entry["paths"]:
+                    if node.files.exists(path):
+                        node.files.unlink(path)
+                        swept += 1
+    except ReproError:
+        return {"swept_files": 0, "deferred": True}
+    deployment.pending_sweeps.pop(prefix, None)
+    return {"swept_files": swept, "deferred": False}

@@ -174,6 +174,13 @@ class ReplicaApplier:
         self.applied_commits = 0
         self.applied_records = 0
         self.dropped_txns = 0
+        #: Paths whose local bytes predate a committed update-in-place on
+        #: the serving node: the ``linked_files`` row (new ``last_size`` /
+        #: ``last_mtime``) replicated over the stream, but the rewritten
+        #: content did not -- the mirror copy was taken at ingest.  The
+        #: router skips these witnesses for follower reads of the file;
+        #: rejoin/resync/promotion refresh the copy and clear the mark.
+        self.stale_paths: set[str] = set()
 
     def _fire(self, point: str) -> None:
         hook = self.failpoints.get(point)
@@ -238,9 +245,16 @@ class ReplicaApplier:
             after["ino"] = self._local_ino(after["path"], record.rid)
         if effective in (LogRecordType.INSERT, LogRecordType.UPDATE):
             if heap.exists(record.rid):
-                db.catalog.index_remove(record.table, heap.get(record.rid),
-                                        record.rid)
+                before = heap.get(record.rid)
+                db.catalog.index_remove(record.table, before, record.rid)
                 heap.update(record.rid, after)
+                if is_link_row and (
+                        before.get("last_size") != after.get("last_size")
+                        or before.get("last_mtime") != after.get("last_mtime")):
+                    # An update-in-place committed on the serving node; the
+                    # data path is not in the WAL stream, so this node's
+                    # mirrored bytes are now the pre-update content.
+                    self.stale_paths.add(after["path"])
             else:
                 heap.insert(after, rid=record.rid)
             db.catalog.index_insert(record.table, after, record.rid)
@@ -252,6 +266,7 @@ class ReplicaApplier:
                 db.catalog.index_remove(record.table, before, record.rid)
                 heap.delete(record.rid)
                 if is_link_row:
+                    self.stale_paths.discard(before["path"])
                     self._release_local_file(before)
         self.applied_records += 1
         db._charge("row_write")
@@ -804,25 +819,51 @@ class ReplicatedShard:
         self.mirror_file(path, content, uid, gid)
 
     def _mirror_missing_content(self, node) -> int:
-        """Copy linked-file content *node* lacks from the serving node.
+        """Copy linked-file content *node* lacks (or holds stale) from the
+        serving node.
 
         Used at rejoin/resync time: files ingested while the node was down
         (or deposed) exist only on the serving side and in the archive; the
         repository rows replicate over the stream, the bytes come from
-        here.  Returns how many files were copied.
+        here.  A file the node *has* is still refreshed when its copy is
+        marked stale by a replicated update-in-place (overwritten in place
+        so the link-time constraints already applied stay put).  Returns
+        how many files were copied.
         """
 
         serving = self.serving
+        applier = node.dlfm.replica
         copied = 0
         for row in node.dlfm.repository.linked_files():
             path = row["path"]
-            if node.files.exists(path) or not serving.files.exists(path):
+            if not serving.files.exists(path):
                 continue
-            content = serving.files.read(path)
-            attrs = serving.files.stat(path)
-            self._copy_below_dlfs(node, path, content, attrs.uid, attrs.gid)
+            stale = applier is not None and path in applier.stale_paths
+            if node.files.exists(path):
+                if not stale:
+                    continue
+                content = serving.files.read(path)
+                node.raw_lfs.write_file(path, content, node.files.dlfm_cred)
+            else:
+                content = serving.files.read(path)
+                attrs = serving.files.stat(path)
+                self._copy_below_dlfs(node, path, content, attrs.uid,
+                                      attrs.gid)
+            if applier is not None:
+                applier.stale_paths.discard(path)
             copied += 1
         return copied
+
+    def content_stale(self, node_name: str, path: str) -> bool:
+        """Does *node_name*'s copy of *path* predate a committed
+        update-in-place?  Router-facing (see
+        :attr:`ReplicaApplier.stale_paths`)."""
+
+        node = self.nodes.get(node_name)
+        if node is None:
+            return False
+        applier = node.dlfm.replica
+        return applier is not None and path in applier.stale_paths
 
     # ----------------------------------------------------------------- failover --
     def promote(self) -> dict:

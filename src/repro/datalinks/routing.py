@@ -99,12 +99,24 @@ class ShardRouter:
         components = [part for part in path.split("/") if part]
         return "/" + "/".join(components[: self.prefix_depth])
 
+    def shard_of_key(self, key: str) -> str:
+        """Hash an already-derived routing key (a prefix) onto a shard.
+
+        Exposed separately from :meth:`shard_of` so an overlay that deepens
+        the effective prefix of one subtree (a *split* in the
+        :class:`~repro.datalinks.placement.PlacementMap`) can hash the
+        deeper prefix directly -- running it back through
+        :meth:`prefix_of` would re-shallow it.
+        """
+
+        digest = hashlib.sha1(key.encode("utf-8")).digest()
+        index = int.from_bytes(digest[:8], "big") % len(self.shard_names)
+        return self.shard_names[index]
+
     def shard_of(self, path: str) -> str:
         """The shard responsible for *path* (stable across runs/processes)."""
 
-        digest = hashlib.sha1(self.prefix_of(path).encode("utf-8")).digest()
-        index = int.from_bytes(digest[:8], "big") % len(self.shard_names)
-        return self.shard_names[index]
+        return self.shard_of_key(self.prefix_of(path))
 
 
 class ReplicationRouter:
@@ -139,6 +151,13 @@ class ReplicationRouter:
         self.follower_rejects = 0
         self.failover_rewrites = 0   # writes that reached a non-home serving node
         self.stale_epoch_redirects = 0   # writes re-routed after a PlacementEpochError
+        self.stale_content_skips = 0     # witnesses skipped for a stale file copy
+        #: Per-prefix routed traffic, keyed by the *effective* routing
+        #: prefix at the time of the operation.  The balancer control plane
+        #: diffs these between windows to find skew; they are counters, not
+        #: a log, so a prefix split simply starts new (deeper) keys.
+        self.prefix_reads: dict[str, int] = {}
+        self.prefix_writes: dict[str, int] = {}
 
     # -------------------------------------------------------------- registration --
     def register_shard(self, shard: str, server) -> None:
@@ -169,6 +188,19 @@ class ReplicationRouter:
     @property
     def placement_epoch(self) -> int:
         return self.placement.epoch
+
+    # ------------------------------------------------------------ traffic notes --
+    def note_read(self, path: str) -> None:
+        """Count one routed read against *path*'s effective prefix."""
+
+        prefix = self.placement.prefix_of(path)
+        self.prefix_reads[prefix] = self.prefix_reads.get(prefix, 0) + 1
+
+    def note_write(self, path: str) -> None:
+        """Count one routed write (link/unlink/ingest) against *path*'s prefix."""
+
+        prefix = self.placement.prefix_of(path)
+        self.prefix_writes[prefix] = self.prefix_writes.get(prefix, 0) + 1
 
     def owner_shard(self, server: str, path: str) -> str:
         """Resolve a URL's ``(server, path)`` pair to the current owner shard.
@@ -259,12 +291,21 @@ class ReplicationRouter:
         self.writes_routed += 1
         return server
 
-    def follower_ok(self, shard: str, node_name: str) -> bool:
+    def follower_ok(self, shard: str, node_name: str,
+                    path: str | None = None) -> bool:
         """May *node_name* serve a follower read of *shard* right now?
 
         This is also the DLFM-side read gate: a witness only accepts
         read-path upcalls while the router would have routed a read to it,
         so routing policy and fencing enforcement cannot drift apart.
+
+        With *path*, the witness is additionally disqualified when its
+        physical copy of that file is stale: an update-in-place rewrites
+        bytes on the serving node, but the WAL stream carries only the
+        metadata row, so until the witness re-mirrors (rejoin, resync or
+        promotion) its copy is the pre-update content.  Such reads fall
+        back to the serving node and are counted in
+        ``stale_content_skips``.
         """
 
         if not self.follower_reads:
@@ -272,10 +313,15 @@ class ReplicationRouter:
         replica = self._replicas.get(shard)
         if replica is None:
             return False
-        return replica.follower_eligible(node_name,
-                                         max_lag=self.max_follower_lag)
+        if not replica.follower_eligible(node_name,
+                                         max_lag=self.max_follower_lag):
+            return False
+        if path is not None and replica.content_stale(node_name, path):
+            self.stale_content_skips += 1
+            return False
+        return True
 
-    def read_candidates(self, shard: str) -> list:
+    def read_candidates(self, shard: str, path: str | None = None) -> list:
         """Read-eligible nodes, serving node first (may be empty)."""
 
         replica = self._replicas.get(shard)
@@ -290,18 +336,19 @@ class ReplicationRouter:
         for name, node in replica.nodes.items():
             if name == replica.serving_name:
                 continue
-            if self.follower_ok(shard, name):
+            if self.follower_ok(shard, name, path=path):
                 candidates.append(node)
             elif node.running and replica.is_subscribed(name):
                 # A healthy subscriber skipped only by the staleness bound
-                # (or the policy switch) is a rejected follower read.
+                # (stream lag or a stale physical copy, or the policy
+                # switch) is a rejected follower read.
                 self.follower_rejects += 1
         return candidates
 
-    def route_read(self, shard: str):
+    def route_read(self, shard: str, path: str | None = None):
         """Pick the node for the next read: round-robin over the candidates."""
 
-        candidates = self.read_candidates(shard)
+        candidates = self.read_candidates(shard, path=path)
         if not candidates:
             # Same failure surface as the write path: name the cure.
             self.serving_server(shard)          # raises with the right hint
@@ -335,6 +382,9 @@ class ReplicationRouter:
             "follower_rejects": self.follower_rejects,
             "failover_rewrites": self.failover_rewrites,
             "stale_epoch_redirects": self.stale_epoch_redirects,
+            "stale_content_skips": self.stale_content_skips,
+            "prefix_traffic": {"reads": dict(self.prefix_reads),
+                               "writes": dict(self.prefix_writes)},
             "placement": self.placement.stats(),
             "roles": {shard: self.roles(shard) for shard in self.shards},
         }

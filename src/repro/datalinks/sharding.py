@@ -79,11 +79,14 @@ unaffected).
 from __future__ import annotations
 
 from repro.api.system import DataLinksSystem, FileServer
+from repro.datalinks.balancer import BalancerConfig, PlacementBalancer
 from repro.datalinks.engine import HostTransaction
-from repro.datalinks.placement import PlacementGuard, rebalance_prefix
+from repro.datalinks.placement import (PlacementGuard, path_under,
+                                       rebalance_prefix, sweep_moved_prefix)
 from repro.datalinks.replication import EpochRegistry, ReplicatedShard
 from repro.datalinks.routing import ReplicationRouter, ShardRouter
-from repro.errors import DataLinksError, ReplicationError, ReproError
+from repro.errors import DataLinksError, PlacementError, ReplicationError, \
+    ReproError
 from repro.simclock import CostModel, SimClock
 from repro.storage.schema import TableSchema
 from repro.util.lsn import LSN
@@ -162,8 +165,18 @@ class ShardedDataLinksDeployment:
         #: Fault-injection hooks for the rebalance hand-off:
         #: ``rebalance:prepare`` / ``rebalance:export`` /
         #: ``rebalance:archive`` / ``rebalance:import`` /
-        #: ``rebalance:fence`` (see :mod:`repro.datalinks.placement`).
+        #: ``rebalance:fence`` / ``rebalance:sweep`` (the last fires
+        #: between the committed map swing and the source GC sweep --
+        #: see :mod:`repro.datalinks.placement`).
         self.rebalance_failpoints: dict = {}
+        #: Deferred post-move source sweeps: ``prefix -> sweep entry``.
+        #: Entries are recorded before a sweep is attempted and removed
+        #: only when it succeeds, so a crash between commit and sweep is
+        #: redriven by :meth:`redrive_sweeps` / :meth:`recover_shard`.
+        self.pending_sweeps: dict[str, dict] = {}
+        #: The autonomous placement balancer (off until
+        #: :meth:`enable_balancer`).
+        self.balancer: PlacementBalancer | None = None
 
     # ----------------------------------------------------------------- accessors --
     @property
@@ -228,6 +241,7 @@ class ShardedDataLinksDeployment:
 
         shard = self.shard_of(path)
         serving = self.router.route_write(shard)
+        self.router.note_write(path)
         session.put_file(serving.name, path, content)
         replica = self.replicas.get(shard)
         if replica is not None:
@@ -265,7 +279,8 @@ class ShardedDataLinksDeployment:
 
         parsed = parse_url(url)
         shard = self.router.owner_shard(parsed.server, parsed.path)
-        server = self.router.route_read(shard)
+        server = self.router.route_read(shard, path=parsed.path)
+        self.router.note_read(parsed.path)
         return session.read_url(url, server=server.name)
 
     # --------------------------------------------------------- group-commit queue --
@@ -336,10 +351,17 @@ class ShardedDataLinksDeployment:
 
         The recovered node resolves its own in-doubt branches but, on a
         replicated shard that failed over, stays *fenced* until
-        :meth:`fail_back`.
+        :meth:`fail_back`.  Any post-move source sweep deferred by a crash
+        is redriven now that the node is back.
         """
 
-        return self.system.recover_file_server(name)
+        summary = self.system.recover_file_server(name)
+        if self.pending_sweeps:
+            summary["redriven_sweeps"] = {
+                prefix: sweep["swept_files"]
+                for prefix, sweep in self.redrive_sweeps().items()
+                if not sweep["deferred"]}
+        return summary
 
     # ------------------------------------------------------------------- failover --
     def _replica(self, name: str) -> ReplicatedShard:
@@ -406,6 +428,81 @@ class ShardedDataLinksDeployment:
         return rebalance_prefix(self, prefix, dest_shard,
                                 self.rebalance_failpoints)
 
+    def redrive_sweeps(self) -> dict:
+        """Retry every deferred post-move source sweep.
+
+        Returns ``{prefix: sweep summary}``; entries that still cannot be
+        verified (destination down or incomplete, a source node down)
+        stay pending for the next redrive.
+        """
+
+        return {prefix: sweep_moved_prefix(self, prefix)
+                for prefix in list(self.pending_sweeps)}
+
+    def split_prefix(self, prefix: str, depth: int | None = None) -> dict:
+        """Split *prefix* one level deeper (or to *depth*) in the map.
+
+        Every sub-prefix that already holds linked files is pinned to the
+        subtree's current owner, so the split itself moves no data -- it
+        only makes the sub-prefixes independently rebalance-able (how a
+        single hot prefix spreads across shards).  Bumps the placement
+        epoch.
+        """
+
+        pmap = self.router.placement
+        owner = pmap.owner_of(prefix)
+        own_depth = len([part for part in prefix.split("/") if part])
+        depth = own_depth + 1 if depth is None else int(depth)
+        server = self.router.serving_server(owner)
+        pins: dict[str, str] = {}
+        for row in server.dlfm.repository.linked_files():
+            path = row["path"]
+            if not path_under(prefix, path):
+                continue
+            components = [part for part in path.split("/") if part]
+            sub = "/" + "/".join(components[:min(depth, len(components))])
+            pins[sub] = owner
+        epoch = pmap.split_prefix(prefix, depth, pins)
+        return {"prefix": prefix, "depth": depth, "pins": pins,
+                "epoch": epoch}
+
+    def merge_prefix(self, prefix: str) -> dict:
+        """Merge a split *prefix* back to shallow routing.
+
+        Refuses unless every file under the subtree lives on one shard --
+        co-locate the sub-prefixes with :meth:`rebalance_prefix` first.
+        Bumps the placement epoch.
+        """
+
+        pmap = self.router.placement
+        if prefix not in pmap.split_depths:
+            raise PlacementError(f"prefix {prefix!r} is not split")
+        holders = {name for name in self.shard_names
+                   if any(path_under(prefix, path)
+                          for path in self.linked_paths(name))}
+        if len(holders) > 1:
+            raise PlacementError(
+                f"cannot merge {prefix!r}: its files are spread over "
+                f"{sorted(holders)}; co-locate the sub-prefixes with "
+                f"rebalance_prefix first")
+        shard = holders.pop() if holders else pmap.owner_of(prefix)
+        epoch = pmap.merge_prefix(prefix, shard)
+        return {"prefix": prefix, "shard": shard, "epoch": epoch}
+
+    def enable_balancer(self,
+                        config: BalancerConfig | None = None) -> PlacementBalancer:
+        """Attach the autonomous placement balancer (its own clock domain).
+
+        The balancer is caller-ticked like the archiver: each
+        :meth:`~repro.datalinks.balancer.PlacementBalancer.tick` diffs the
+        router's per-prefix traffic counters and issues budgeted
+        ``rebalance_prefix`` moves (and splits/merges) on its own
+        timeline.
+        """
+
+        self.balancer = PlacementBalancer(self, config or BalancerConfig())
+        return self.balancer
+
     def crash_witness(self, name: str, witness_name: str | None = None) -> None:
         self._replica(name).crash_witness(witness_name)
 
@@ -452,6 +549,9 @@ class ShardedDataLinksDeployment:
         if token_cache.get("enabled"):
             stats["token_cache"] = token_cache
         stats["routing"] = self.router.stats()
+        stats["pending_sweeps"] = sorted(self.pending_sweeps)
+        if self.balancer is not None:
+            stats["balancer"] = self.balancer.stats()
         if self.replicated:
             stats["replication"] = {
                 name: self.replicas[name].status() for name in self.shard_names}

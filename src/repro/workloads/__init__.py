@@ -13,6 +13,7 @@ from repro.workloads.editors import EditorConfig, ConcurrentEditorsWorkload
 from repro.workloads.scaleout import ScaleOutConfig, ScaleOutWorkload
 from repro.workloads.failover import FailoverConfig, FailoverWorkload
 from repro.workloads.rebalance import RebalanceConfig, RebalanceWorkload
+from repro.workloads.hotspot import HotspotConfig, HotspotWorkload
 
 __all__ = [
     "WorkloadMetrics",
@@ -29,4 +30,6 @@ __all__ = [
     "FailoverWorkload",
     "RebalanceConfig",
     "RebalanceWorkload",
+    "HotspotConfig",
+    "HotspotWorkload",
 ]

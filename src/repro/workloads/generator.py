@@ -34,6 +34,10 @@ class OperationStats:
         return float(np.percentile(self.samples, 95)) if self.samples else 0.0
 
     @property
+    def p99(self) -> float:
+        return float(np.percentile(self.samples, 99)) if self.samples else 0.0
+
+    @property
     def maximum(self) -> float:
         return float(max(self.samples)) if self.samples else 0.0
 
@@ -83,6 +87,7 @@ class WorkloadMetrics:
                 "count": stats.count,
                 "mean_ms": round(stats.mean * 1000, 3),
                 "p95_ms": round(stats.p95 * 1000, 3),
+                "p99_ms": round(stats.p99 * 1000, 3),
                 "max_ms": round(stats.maximum * 1000, 3),
             })
         return rows

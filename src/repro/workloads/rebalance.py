@@ -15,10 +15,12 @@ through a live prefix move while foreground traffic keeps flowing:
    hooks on the ``rebalance:export`` / ``rebalance:archive`` /
    ``rebalance:import`` / ``rebalance:fence`` failpoints issue reads and
    links mid-protocol, so the during-phase numbers are genuinely
-   concurrent with the move.  Links aimed at the *moving* prefix are
-   expected to be refused with a retryable
-   :class:`~repro.errors.PlacementError` and are counted separately
-   (``links_blocked``) -- they are back-pressure, not unavailability;
+   concurrent with the move.  Reads of the *moving* prefix keep being
+   served on the source from the pre-export snapshot (dual-serve: the
+   move is read-invisible, asserted as 100% during-phase read
+   availability); links aimed at it are refused with a retryable
+   :class:`~repro.errors.PlacementError` and counted separately
+   (``links_blocked``) -- back-pressure, not unavailability;
 4. **after**: the foreground slice repeats with the prefix on its new
    owner; old URLs (which still name the old shard) must keep resolving,
    and new links to the moved prefix must land on the destination;
@@ -183,10 +185,9 @@ class RebalanceWorkload:
         for _ in range(reads):
             if doc_ids:
                 # A persistent rotation, so every phase's reads cover hot
-                # and cold prefixes alike (mid-move, hot reads on the
-                # source fail until the map swings -- that brief blackout
-                # belongs in the during-phase availability, diluted by the
-                # unaffected prefixes exactly as real traffic would be).
+                # and cold prefixes alike (mid-move, hot reads are served
+                # on the source from the pre-export dual-serve snapshot,
+                # so the during-phase availability must stay at 100%).
                 self._read(doc_ids[self._read_cursor % len(doc_ids)],
                            metrics, phase)
                 self._read_cursor += 1
@@ -262,6 +263,7 @@ class RebalanceWorkload:
         metrics.counters["moved_files"] = summary["moved_files"]
         metrics.counters["moved_versions"] = summary["moved_versions"]
         metrics.counters["placement_epoch"] = summary["epoch"]
+        metrics.counters["swept_files"] = summary["swept_files"]
 
         # -- after: old URLs resolve, new hot links land on the destination --
         self._foreground_slice(metrics, "after",

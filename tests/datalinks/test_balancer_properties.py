@@ -1,0 +1,229 @@
+"""Seeded property tests for the autonomous placement balancer.
+
+Four governance properties, each driven by deterministic (seeded)
+traffic so failures replay exactly:
+
+* the per-tick move budget is never exceeded -- co-location moves for a
+  merge count against the same budget;
+* a moved prefix is never moved again inside its cooldown window;
+* on a *uniform* workload the balancer converges: once the load is
+  within tolerance it issues no further moves, however long the traffic
+  keeps running;
+* a split followed by a merge round-trips: every committed link still
+  resolves, and the placement epoch only ever moves forward.
+"""
+
+import pytest
+
+from repro.datalinks.balancer import BalancerConfig
+from repro.datalinks.control_modes import ControlMode
+from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
+from repro.datalinks.sharding import ShardedDataLinksDeployment
+from repro.errors import PlacementError
+from repro.storage.schema import Column, TableSchema
+from repro.storage.values import DataType
+from repro.workloads.generator import UniformChooser, ZipfChooser
+
+TABLE = "balanced_docs"
+
+
+class RoundRobinChooser:
+    """Deterministically equal per-prefix traffic (zero sampling noise)."""
+
+    def __init__(self, count):
+        self.count = count
+        self._next = 0
+
+    def choose(self):
+        index = self._next
+        self._next = (self._next + 1) % self.count
+        return index
+
+
+def build_deployment(shards=3, prefixes=6, docs_per_prefix=2):
+    """A replicated deployment with *docs_per_prefix* links per prefix."""
+
+    deployment = ShardedDataLinksDeployment(
+        shards, replication=True, witnesses=1,
+        flush_policy="immediate", group_commit_window=1)
+    deployment.create_table(TableSchema(TABLE, [
+        Column("doc_id", DataType.INTEGER, nullable=False),
+        datalink_column("body", DatalinkOptions(control_mode=ControlMode.RDB,
+                                                recovery=True)),
+    ], primary_key=("doc_id",)))
+    session = deployment.session("prop", uid=7001)
+    urls = {}
+    doc_id = 0
+    for prefix_index in range(prefixes):
+        for sub in range(docs_per_prefix):
+            path = f"/b{prefix_index:02d}/d{sub}/doc{doc_id:04d}.dat"
+            url = deployment.put_file(session, path, f"doc {doc_id}".encode())
+            session.insert(TABLE, {"doc_id": doc_id, "body": url})
+            urls[doc_id] = url
+            doc_id += 1
+    deployment.system.run_archiver()
+    deployment.system.flush_logs()
+    return deployment, session, urls
+
+
+def drive_reads(deployment, session, chooser, prefixes, count,
+                docs_per_prefix=2):
+    """*count* routed reads whose prefix is picked by *chooser*."""
+
+    for index in range(count):
+        prefix_index = chooser.choose()
+        doc_id = prefix_index * docs_per_prefix + index % docs_per_prefix
+        url = session.get_datalink(TABLE, {"doc_id": doc_id}, "body",
+                                   access="read", ttl=1e9)
+        deployment.read_url(session, url)
+
+
+def assert_all_readable(deployment, session, urls):
+    for doc_id in urls:
+        url = session.get_datalink(TABLE, {"doc_id": doc_id}, "body",
+                                   access="read", ttl=1e9)
+        assert deployment.read_url(session, url) == f"doc {doc_id}".encode()
+
+
+class TestBalancerGovernance:
+    PREFIXES = 6
+
+    def run_skewed(self, move_budget, cooldown_ticks, ticks=8, seed=42):
+        deployment, session, urls = build_deployment(prefixes=self.PREFIXES)
+        balancer = deployment.enable_balancer(BalancerConfig(
+            window_ops_min=6, move_budget=move_budget,
+            cooldown_ticks=cooldown_ticks, imbalance_tolerance=1.05,
+            split_threshold=0.9))
+        chooser = ZipfChooser(self.PREFIXES, theta=1.2, seed=seed)
+        for _ in range(ticks):
+            drive_reads(deployment, session, chooser, self.PREFIXES, 24)
+            balancer.tick()
+        return deployment, session, urls, balancer
+
+    @pytest.mark.parametrize("move_budget", [1, 2])
+    def test_move_budget_never_exceeded(self, move_budget):
+        deployment, session, urls, balancer = self.run_skewed(
+            move_budget=move_budget, cooldown_ticks=1)
+        assert balancer.moves_issued > 0        # the balancer did act
+        for summary in balancer.history:
+            assert len(summary["moves"]) <= move_budget
+        assert balancer.stats()["max_moves_per_tick"] <= move_budget
+        assert_all_readable(deployment, session, urls)
+
+    @pytest.mark.parametrize("cooldown_ticks", [2, 3])
+    def test_cooldown_between_moves_of_one_prefix(self, cooldown_ticks):
+        deployment, session, urls, balancer = self.run_skewed(
+            move_budget=2, cooldown_ticks=cooldown_ticks, ticks=10)
+        last_moved: dict[str, int] = {}
+        for summary in balancer.history:
+            for move in summary["moves"]:
+                prefix = move["prefix"]
+                if prefix in last_moved:
+                    assert summary["tick"] - last_moved[prefix] \
+                        >= cooldown_ticks, (
+                        f"{prefix} moved at tick {last_moved[prefix]} and "
+                        f"again at {summary['tick']} inside the "
+                        f"{cooldown_ticks}-tick cooldown")
+                last_moved[prefix] = summary["tick"]
+        assert_all_readable(deployment, session, urls)
+
+    def test_uniform_workload_converges_to_no_moves(self):
+        """Equal per-prefix traffic: after at most a few corrective moves
+        (hash placement can be lumpy), the strict-improvement rule makes
+        the balancer go quiet -- and stay quiet while traffic continues."""
+
+        deployment, session, urls = build_deployment(prefixes=self.PREFIXES)
+        balancer = deployment.enable_balancer(BalancerConfig(
+            window_ops_min=6, move_budget=2, cooldown_ticks=1,
+            imbalance_tolerance=1.25))
+        chooser = RoundRobinChooser(self.PREFIXES)
+        moves_by_tick = []
+        for _ in range(10):
+            drive_reads(deployment, session, chooser, self.PREFIXES, 24)
+            moves_by_tick.append(len(balancer.tick()["moves"]))
+        # quiet tail: the last ticks issue no moves even though traffic
+        # kept flowing through them
+        assert moves_by_tick[-3:] == [0, 0, 0], moves_by_tick
+        assert balancer.splits == 0
+        assert_all_readable(deployment, session, urls)
+
+    def test_noisy_uniform_workload_does_not_thrash(self):
+        """Randomly-uniform traffic jitters the per-window loads, so the
+        tolerance band has to absorb the noise: with a band wider than
+        the sampling error the balancer settles instead of chasing it."""
+
+        deployment, session, urls = build_deployment(prefixes=self.PREFIXES)
+        balancer = deployment.enable_balancer(BalancerConfig(
+            window_ops_min=6, move_budget=2, cooldown_ticks=1,
+            imbalance_tolerance=2.0))
+        chooser = UniformChooser(self.PREFIXES, seed=7)
+        for _ in range(10):
+            drive_reads(deployment, session, chooser, self.PREFIXES, 24)
+            balancer.tick()
+        assert balancer.moves_issued <= 3, balancer.history
+        assert_all_readable(deployment, session, urls)
+
+    def test_tick_without_traffic_does_nothing(self):
+        deployment, session, urls, balancer = self.run_skewed(
+            move_budget=2, cooldown_ticks=1, ticks=2)
+        before = balancer.moves_issued
+        summary = balancer.tick()       # empty window
+        assert not summary["acted"]
+        assert summary["moves"] == [] and summary["splits"] == []
+        assert balancer.moves_issued == before
+
+
+class TestSplitMergeRoundTrip:
+    def test_split_move_merge_preserves_every_link(self):
+        """Split a prefix, scatter its sub-prefixes, bring them home,
+        merge -- every committed link readable at every step, epoch
+        strictly monotone."""
+
+        deployment, session, urls = build_deployment(prefixes=3,
+                                                     docs_per_prefix=4)
+        pmap = deployment.router.placement
+        prefix = "/b00"
+        owner = pmap.owner_of(prefix)
+        other = next(name for name in deployment.shard_names
+                     if name != owner)
+        epochs = [pmap.epoch]
+
+        split = deployment.split_prefix(prefix)
+        epochs.append(pmap.epoch)
+        assert split["pins"] and all(shard == owner
+                                     for shard in split["pins"].values())
+        assert_all_readable(deployment, session, urls)
+
+        # scatter: one sub-prefix to another shard
+        sub = sorted(split["pins"])[0]
+        assert deployment.rebalance_prefix(sub, other)["moved"]
+        epochs.append(pmap.epoch)
+        assert_all_readable(deployment, session, urls)
+        # a spread subtree refuses to merge
+        with pytest.raises(PlacementError, match="co-locate"):
+            deployment.merge_prefix(prefix)
+
+        # bring it home and merge
+        assert deployment.rebalance_prefix(sub, owner)["moved"]
+        epochs.append(pmap.epoch)
+        merged = deployment.merge_prefix(prefix)
+        epochs.append(pmap.epoch)
+        assert merged["shard"] == owner
+        assert prefix not in pmap.split_depths
+        assert pmap.prefix_of(f"{prefix}/d0/doc0000.dat") == prefix
+        assert_all_readable(deployment, session, urls)
+        assert epochs == sorted(set(epochs)), epochs     # strictly monotone
+
+    def test_merged_prefix_is_movable_again(self):
+        deployment, session, urls = build_deployment(prefixes=2,
+                                                     docs_per_prefix=3)
+        pmap = deployment.router.placement
+        prefix = "/b01"
+        owner = pmap.owner_of(prefix)
+        other = next(name for name in deployment.shard_names
+                     if name != owner)
+        deployment.split_prefix(prefix)
+        deployment.merge_prefix(prefix)
+        assert deployment.rebalance_prefix(prefix, other)["moved"]
+        assert pmap.owner_of(prefix) == other
+        assert_all_readable(deployment, session, urls)

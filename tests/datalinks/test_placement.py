@@ -335,3 +335,121 @@ class TestSessionRouting:
         assert excinfo.value.owner == dest
         assert excinfo.value.prefix == "/p"
         assert excinfo.value.epoch == 2
+
+
+class TestDualServe:
+    """Reads of a moving prefix are served throughout the hand-off window."""
+
+    POINTS = ("rebalance:export", "rebalance:archive",
+              "rebalance:import", "rebalance:fence")
+
+    def test_reads_of_moving_prefix_never_fail_mid_move(self):
+        """Between rebalance_export's in-branch deletes and the commit the
+        source repository has no rows for the moving files; the pre-export
+        dual-serve snapshot must keep resolving their ino upcalls so every
+        read inside the window succeeds (the move is read-invisible)."""
+
+        deployment, session = build_deployment(mode=ControlMode.RDB)
+        link_docs(deployment, session, "/p", 3)
+        source = deployment.shard_of("/p/doc0000.dat")
+        dest = other_shard(deployment, source)
+        tokenized = [session.get_datalink(TABLE, {"doc_id": doc_id}, "body",
+                                          access="read", ttl=1e9)
+                     for doc_id in range(3)]
+        served = {"reads": 0}
+
+        def read_all():
+            for doc_id, url in enumerate(tokenized):
+                assert deployment.read_url(session, url) \
+                    == f"doc {doc_id}".encode()
+                served["reads"] += 1
+
+        for point in self.POINTS:
+            deployment.rebalance_failpoints[point] = read_all
+        try:
+            summary = deployment.rebalance_prefix("/p", dest)
+        finally:
+            deployment.rebalance_failpoints.clear()
+        assert summary["moved"]
+        assert served["reads"] == 3 * len(self.POINTS)
+        # the snapshot is released once the hand-off resolves
+        for node in deployment.replicas[source].nodes.values():
+            assert not node.dlfm._moving_exports
+
+    def test_snapshot_released_when_the_move_aborts(self):
+        deployment, session = build_deployment(mode=ControlMode.RDB)
+        link_docs(deployment, session, "/p", 1)
+        source = deployment.shard_of("/p/doc0000.dat")
+        dest = other_shard(deployment, source)
+
+        def boom():
+            raise PlacementError("injected mid-move failure")
+
+        deployment.rebalance_failpoints["rebalance:import"] = boom
+        try:
+            with pytest.raises(PlacementError, match="injected"):
+                deployment.rebalance_prefix("/p", dest)
+        finally:
+            deployment.rebalance_failpoints.clear()
+        for node in deployment.replicas[source].nodes.values():
+            assert not node.dlfm._moving_exports
+        tokenized = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                         access="read", ttl=1e9)
+        assert deployment.read_url(session, tokenized) == b"doc 0"
+
+
+class TestSourceSweep:
+    """Post-move GC: the moved prefix's bytes leave the fenced source."""
+
+    def test_committed_move_sweeps_source_bytes(self):
+        deployment, session = build_deployment()
+        link_docs(deployment, session, "/p", 2)
+        source = deployment.shard_of("/p/doc0000.dat")
+        dest = other_shard(deployment, source)
+        paths = ["/p/doc0000.dat", "/p/doc0001.dat"]
+        source_nodes = list(deployment.replicas[source].nodes.values())
+        for path in paths:
+            assert any(node.files.exists(path) for node in source_nodes)
+
+        summary = deployment.rebalance_prefix("/p", dest)
+        assert summary["moved"]
+        assert summary["swept_files"] > 0
+        assert not summary["sweep_deferred"]
+        assert not deployment.pending_sweeps
+        # physical bytes are gone from every source node, present on dest
+        for path in paths:
+            for node in source_nodes:
+                assert not node.files.exists(path)
+            assert deployment.router.serving_server(dest).files.exists(path)
+        # and the moved files still read end to end
+        for doc_id in range(2):
+            tokenized = session.get_datalink(TABLE, {"doc_id": doc_id},
+                                             "body", access="read", ttl=1e9)
+            assert deployment.read_url(session, tokenized) \
+                == f"doc {doc_id}".encode()
+
+    def test_sweep_defers_while_a_source_node_is_down(self):
+        """The sweep refuses to delete while any source node is down (a
+        partially swept prefix would leak on the recovering node); the
+        entry stays pending and redrive_sweeps finishes the job."""
+
+        deployment, session = build_deployment()
+        link_docs(deployment, session, "/p", 1)
+        source = deployment.shard_of("/p/doc0000.dat")
+        dest = other_shard(deployment, source)
+        deployment.rebalance_failpoints["rebalance:sweep"] = \
+            lambda: deployment.crash_witness(source)
+        try:
+            summary = deployment.rebalance_prefix("/p", dest)
+        finally:
+            deployment.rebalance_failpoints.clear()
+        assert summary["moved"]
+        assert summary["sweep_deferred"]
+        assert "/p" in deployment.pending_sweeps
+
+        deployment.recover_witness(source)
+        redriven = deployment.redrive_sweeps()
+        assert redriven["/p"]["swept_files"] > 0
+        assert not deployment.pending_sweeps
+        for node in deployment.replicas[source].nodes.values():
+            assert not node.files.exists("/p/doc0000.dat")

@@ -626,6 +626,33 @@ class TestRebalanceCrashMatrix:
                 paths[self.SOURCE])
         assert excinfo.value.owner == self.DEST
 
+    def test_crash_between_commit_and_sweep_redrives_the_sweep(self):
+        """A source crash after the committed map swing but before the
+        source GC sweep: the move stands (it is durable), the sweep entry
+        stays pending, and recovery redrives it -- the moved prefix's
+        physical bytes leave the fenced source then, not never."""
+
+        deployment, session, paths, prefix = _rebalance_setup()
+        moved_path = paths[self.SOURCE]
+        deployment.rebalance_failpoints["rebalance:sweep"] = \
+            self._crash(deployment, self.SOURCE)
+        with pytest.raises(InjectedCrash):
+            deployment.rebalance_prefix(prefix, self.DEST)
+        deployment.rebalance_failpoints.clear()
+
+        # the move committed before the crash: map swung, sweep pending
+        assert deployment.router.placement.epoch == 2
+        assert deployment.shard_of(moved_path) == self.DEST
+        assert prefix in deployment.pending_sweeps
+
+        recovered = deployment.recover_shard(self.SOURCE)
+        assert recovered["redriven_sweeps"].get(prefix, 0) > 0
+        assert prefix not in deployment.pending_sweeps
+        for node in deployment.replicas[self.SOURCE].nodes.values():
+            assert not node.files.exists(moved_path)
+        assert_placement_agreement(deployment)
+        _read_all(deployment, session)
+
 
 class TestCoordinatedBackupRestore:
     def test_restore_brings_metadata_and_content_back_in_sync(self, rfd_system):

@@ -551,6 +551,67 @@ class TestFollowerReads:
         replica.shipper.ship()
         assert session.read_url(url, server="shard0-r") == b"stale test"
 
+    def test_update_in_place_disqualifies_stale_witness_copy(self):
+        """Regression: after an update-in-place commit, the witness's
+        mirrored copy still holds the old bytes (the data path is not in
+        the WAL stream; only the linked_files metadata row ships).  The
+        router must disqualify that witness for reads of that file, so a
+        routed read never returns stale content."""
+
+        deployment, session = build_deployment(mode=ControlMode.RDD,
+                                               recovery=True)
+        replica = deployment.replicas["shard0"]
+        path = path_on(deployment, "shard0", "uip")
+        link(deployment, session, 0, path, b"old bytes v0")
+        deployment.system.run_archiver()
+        deployment.system.flush_logs()
+
+        write_url = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                         access="write", ttl=1e9)
+        with session.update_file(write_url, truncate=True) as update:
+            update.write(b"new bytes v1 - longer")
+        deployment.system.flush_logs()   # ship the metadata UPDATE
+
+        read_url = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                        access="read", ttl=1e9)
+        # the witness's copy is known-stale for exactly this path...
+        assert replica.content_stale("shard0-r", path)
+        assert session.read_url(read_url, server="shard0-r") \
+            == b"old bytes v0"
+        # ...so every *routed* read returns the committed bytes
+        for _ in range(4):
+            assert deployment.read_url(session, read_url) \
+                == b"new bytes v1 - longer"
+        routing = deployment.stats()["routing"]
+        assert routing["stale_content_skips"] > 0
+        assert routing["reads_by_role"]["witness"] == 0
+
+    def test_promotion_refreshes_stale_witness_copy_from_archive(self):
+        """At promotion the witness restores archived versions of its
+        known-stale paths, so a failover right after an archived
+        update-in-place serves the updated bytes, not the stale mirror."""
+
+        deployment, session = build_deployment(mode=ControlMode.RDD,
+                                               recovery=True)
+        replica = deployment.replicas["shard0"]
+        path = path_on(deployment, "shard0", "uipf")
+        link(deployment, session, 0, path, b"old bytes v0")
+        deployment.system.run_archiver()   # drain the link's archive job
+        write_url = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                         access="write", ttl=1e9)
+        with session.update_file(write_url, truncate=True) as update:
+            update.write(b"archived new bytes")
+        deployment.system.run_archiver()   # the updated version is archived
+        deployment.system.flush_logs()
+        assert replica.content_stale("shard0-r", path)
+
+        deployment.crash_shard("shard0")
+        deployment.fail_over("shard0")
+        read_url = session.get_datalink(TABLE, {"doc_id": 0}, "body",
+                                        access="read", ttl=1e9)
+        assert deployment.read_url(session, read_url) == b"archived new bytes"
+        assert not replica.content_stale("shard0-r", path)
+
     def test_follower_reads_can_be_disabled(self):
         deployment = ShardedDataLinksDeployment(2, replication=True,
                                                 follower_reads=False)
