@@ -30,8 +30,6 @@ from repro.errors import DataLinksError
 from repro.fs.inode import FileAttributes
 from repro.fs.logical import LogicalFileSystem
 from repro.fs.vfs import Credentials, OpenFlags
-from repro.simclock import synchronized_call
-
 
 class SyncedFileSystem:
     """A file server's LFS as seen from another clock domain.
@@ -55,21 +53,46 @@ class SyncedFileSystem:
         if not callable(attribute):
             return attribute
         client, server = self._client_clock, self._server_clock
+        if client is None or server is None or client is server:
+            self.__dict__[name] = attribute
+            return attribute
 
         def synced_call(*args, **kwargs):
-            with synchronized_call(client, server):
+            # The body of ``synchronized_call`` without the context-manager
+            # machinery: this wrapper brackets every proxied syscall.
+            server.sync_to(client.send_time())
+            try:
                 return attribute(*args, **kwargs)
+            finally:
+                client.receive(server.now())
 
+        # Cache the bound wrapper so later accesses skip __getattr__.
+        self.__dict__[name] = synced_call
         return synced_call
 
 
 def synced_lfs(system, server_name: str):
-    """The LFS of *server_name*, clock-synchronized to the host domain."""
+    """The LFS of *server_name*, clock-synchronized to the host domain.
 
-    file_server = system.file_server(server_name)
-    if file_server.clock is system.clock:
-        return file_server.lfs
-    return SyncedFileSystem(file_server.lfs, system.clock, file_server.clock)
+    Proxies are cached per server name on the system: a name binds to one
+    :class:`FileServer` for the system's lifetime (``add_file_server``
+    refuses duplicates), so the proxy -- and the per-method wrappers it
+    accumulates -- can be reused across every session call.
+    """
+
+    cache = getattr(system, "_synced_lfs_cache", None)
+    if cache is None:
+        cache = system._synced_lfs_cache = {}
+    proxy = cache.get(server_name)
+    if proxy is None:
+        file_server = system.file_server(server_name)
+        if file_server.clock is system.clock:
+            proxy = file_server.lfs
+        else:
+            proxy = SyncedFileSystem(file_server.lfs, system.clock,
+                                     file_server.clock)
+        cache[server_name] = proxy
+    return proxy
 
 
 class BoundFileSystem:

@@ -8,12 +8,30 @@ The default artifact path is relative to the current working directory; run
 the command from the repository root so the checked-in copy there -- the
 trajectory's committed baseline -- is the one refreshed, and commit it
 whenever a change moves the numbers.
+
+Wall-clock plumbing: each experiment's ``wall_clock_s`` is measured around
+its run, and when a previous artifact exists at the output path its values
+become the *baseline*: the new artifact carries ``wall_clock_delta_s`` per
+experiment plus a top-level ``wall_clock`` summary (new total, baseline
+total, delta and speedup), so every smoke run reports its perf trajectory
+against the committed numbers.  Keys starting with ``wall_clock`` (and the
+``profile`` tables) are the only non-deterministic fields in the artifact;
+everything else is simulated and must be byte-identical across runs of the
+same code (the tier-1 invariant test enforces this).
+
+``--profile`` wraps every experiment in :mod:`cProfile` and attaches the
+top-N cumulative-time rows to the artifact (and prints them), so "what got
+slow" is answered by the artifact itself instead of an ad-hoc rerun.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import gc
 import json
+import os
+import pstats
 import sys
 import time
 
@@ -21,22 +39,94 @@ from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment
 from repro.bench.metrics import ExperimentResult
 
 SMOKE_ARTIFACT = "BENCH_smoke.json"
+PROFILE_TOP_N = 15
+
+
+def _profile_rows(profiler: cProfile.Profile, top_n: int = PROFILE_TOP_N) -> list[dict]:
+    """The top-*top_n* functions by cumulative time, as artifact rows."""
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func in stats.fcn_list[:top_n]:        # (file, line, name), sorted
+        cc, ncalls, tottime, cumtime, _callers = stats.stats[func]
+        filename, line, name = func
+        location = f"{os.path.basename(filename)}:{line}({name})" \
+            if line else name
+        rows.append({
+            "function": location,
+            "ncalls": ncalls,
+            "tottime_s": round(tottime, 4),
+            "cumtime_s": round(cumtime, 4),
+        })
+    return rows
+
+
+def _render_profile(identifier: str, rows: list[dict]) -> str:
+    lines = [f"profile {identifier} (top {len(rows)} by cumulative time):"]
+    lines.append(f"  {'ncalls':>8}  {'tottime_s':>9}  {'cumtime_s':>9}  function")
+    for row in rows:
+        lines.append(f"  {row['ncalls']:>8}  {row['tottime_s']:>9.4f}  "
+                     f"{row['cumtime_s']:>9.4f}  {row['function']}")
+    return "\n".join(lines)
+
+
+def _load_baseline(path: str) -> dict:
+    """Per-experiment ``wall_clock_s`` from the artifact currently at *path*.
+
+    That file is the committed baseline when the bench runs from the
+    repository root; a missing or unreadable file just means no deltas.
+    """
+
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            previous = json.load(stream)
+        return {name: experiment.get("wall_clock_s")
+                for name, experiment in previous.get("experiments", {}).items()}
+    except (OSError, ValueError):
+        return {}
 
 
 def write_artifact(results: list[ExperimentResult], wall_clock: dict,
-                   path: str, smoke: bool) -> None:
-    """Write the JSON perf artifact for *results* to *path*."""
+                   path: str, smoke: bool,
+                   profiles: dict | None = None) -> None:
+    """Write the JSON perf artifact for *results* to *path*.
 
+    A pre-existing artifact at *path* supplies the wall-clock baseline the
+    new numbers are diffed against (``wall_clock_delta_s`` per experiment,
+    totals under the top-level ``wall_clock`` key).
+    """
+
+    baseline = _load_baseline(path)
+    experiments = {}
+    for result in results:
+        identifier = result.experiment_id
+        entry = {
+            **result.to_dict(),
+            "wall_clock_s": round(wall_clock.get(identifier, 0.0), 3),
+        }
+        previous = baseline.get(identifier)
+        if isinstance(previous, (int, float)):
+            entry["wall_clock_delta_s"] = round(
+                entry["wall_clock_s"] - previous, 3)
+        if profiles and identifier in profiles:
+            entry["profile"] = profiles[identifier]
+        experiments[identifier] = entry
     payload = {
         "mode": "smoke" if smoke else "full",
-        "experiments": {
-            result.experiment_id: {
-                **result.to_dict(),
-                "wall_clock_s": round(wall_clock.get(result.experiment_id, 0.0), 3),
-            }
-            for result in results
-        },
+        "experiments": experiments,
     }
+    total = sum(wall_clock.get(result.experiment_id, 0.0) for result in results)
+    summary = {"total_s": round(total, 3)}
+    baseline_totals = [value for value in baseline.values()
+                       if isinstance(value, (int, float))]
+    if baseline_totals and len(baseline_totals) == len(results):
+        baseline_total = sum(baseline_totals)
+        summary["baseline_total_s"] = round(baseline_total, 3)
+        summary["delta_total_s"] = round(total - baseline_total, 3)
+        if total > 0:
+            summary["speedup_vs_baseline"] = round(baseline_total / total, 2)
+    payload["wall_clock"] = summary
     with open(path, "w", encoding="utf-8") as stream:
         json.dump(payload, stream, indent=2, sort_keys=True, default=str)
         stream.write("\n")
@@ -44,34 +134,56 @@ def write_artifact(results: list[ExperimentResult], wall_clock: dict,
 
 def run_all(experiment_ids: list[str] | None = None, *,
             markdown: bool = False, smoke: bool = False,
-            json_path: str | None = None,
+            json_path: str | None = None, profile: bool = False,
             stream=None) -> list[ExperimentResult]:
     """Run the selected experiments (all by default), printing each table.
 
     ``smoke=True`` uses the tiny per-experiment configurations -- a fast
     sanity pass over every experiment's full code path -- and, unless
     ``json_path`` says otherwise, writes the :data:`SMOKE_ARTIFACT` perf
-    summary next to the current working directory.
+    summary next to the current working directory.  ``profile=True``
+    additionally wraps every experiment in :mod:`cProfile` and attaches
+    the top-N cumulative table to its artifact entry.
     """
 
     stream = stream if stream is not None else sys.stdout
     ids = [identifier.upper() for identifier in (experiment_ids or sorted(ALL_EXPERIMENTS))]
     results = []
     wall_clock: dict[str, float] = {}
-    for identifier in ids:
-        started = time.time()
-        result = run_experiment(identifier, smoke=smoke)
-        elapsed = time.time() - started
-        wall_clock[identifier] = elapsed
-        results.append(result)
-        rendered = result.as_markdown() if markdown else result.as_text()
-        print(rendered, file=stream)
-        print(f"(wall clock: {elapsed:.1f} s)", file=stream)
-        print("", file=stream)
+    profiles: dict[str, list] = {}
+    # The experiments allocate heavily but retain almost nothing between
+    # rounds; collector pauses inside the measured window are pure noise,
+    # so the cyclic GC is parked for the duration of the run.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for identifier in ids:
+            profiler = cProfile.Profile() if profile else None
+            started = time.time()
+            if profiler is not None:
+                profiler.enable()
+            result = run_experiment(identifier, smoke=smoke)
+            if profiler is not None:
+                profiler.disable()
+            elapsed = time.time() - started
+            wall_clock[identifier] = elapsed
+            results.append(result)
+            rendered = result.as_markdown() if markdown else result.as_text()
+            print(rendered, file=stream)
+            print(f"(wall clock: {elapsed:.1f} s)", file=stream)
+            if profiler is not None:
+                profiles[identifier] = _profile_rows(profiler)
+                print(_render_profile(identifier, profiles[identifier]),
+                      file=stream)
+            print("", file=stream)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     if json_path is None and smoke:
         json_path = SMOKE_ARTIFACT
     if json_path:
-        write_artifact(results, wall_clock, json_path, smoke)
+        write_artifact(results, wall_clock, json_path, smoke,
+                       profiles=profiles or None)
         print(f"wrote {json_path}", file=stream)
     return results
 
@@ -81,8 +193,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.bench",
         description="Reproduce the paper's evaluation claims (experiments "
                     "E1..E10) plus the scale-out study (E11), the "
-                    "replica-failover study (E12) and the online-"
-                    "rebalancing study (E13).")
+                    "replica-failover study (E12), the online-"
+                    "rebalancing study (E13) and the autonomous-"
+                    "balancer study (E14).")
     parser.add_argument("experiments", nargs="*",
                         help="experiment ids to run (default: all)")
     parser.add_argument("--markdown", action="store_true",
@@ -90,10 +203,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="run every experiment with a tiny configuration "
                              "(fast CI sanity mode); writes BENCH_smoke.json")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap each experiment in cProfile and attach the "
+                             f"top-{PROFILE_TOP_N} cumulative-time table to "
+                             "the artifact (and print it)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write a JSON perf summary to PATH (default: "
                              f"{SMOKE_ARTIFACT} in smoke mode, off otherwise)")
     args = parser.parse_args(argv)
     run_all(args.experiments or None, markdown=args.markdown, smoke=args.smoke,
-            json_path=args.json)
+            json_path=args.json, profile=args.profile)
     return 0

@@ -6,6 +6,10 @@ system, ``b`` blocked, ``d`` DBMS).  The pre-existing technology offers
 ``nff``, ``rff``, ``rfb`` and ``rdb``; the paper's contribution adds ``rfd``
 and ``rdd``, in which the DBMS manages *write* access so files can be updated
 in place under transaction control.
+
+The attribute decomposition (``read_control``, ``supports_update``, ...) is
+precomputed once per member at import time instead of being re-derived on
+every access: the link/open hot paths consult these on every operation.
 """
 
 from __future__ import annotations
@@ -24,7 +28,35 @@ class AccessControl(enum.Enum):
 
 
 class ControlMode(enum.Enum):
-    """The six control modes, named by their three-letter code."""
+    """The six control modes, named by their three-letter code.
+
+    Each member carries precomputed decomposition attributes (assigned right
+    after the class body runs):
+
+    ``referential_integrity``
+        does the DBMS guarantee the reference stays valid (no dangling URL)?
+    ``read_control`` / ``write_control``
+        the :class:`AccessControl` for each access kind;
+    ``full_control``
+        neither read nor write access is left to the FS;
+    ``supports_update``
+        the paper's new modes where the DBMS manages write access;
+    ``write_blocked``
+        writes are permanently refused;
+    ``requires_read_token`` / ``requires_write_token``
+        which operations must present a token;
+    ``takes_over_on_link``
+        full-control files are taken over (ownership change) at link time;
+    ``made_read_only_on_link``
+        modes whose linked file is marked read-only at the file system
+        (``rfb`` blocks writes permanently; ``rfd`` keeps the file read-only
+        between updates so a write open fails and triggers the DLFM
+        take-over path, Section 4.2);
+    ``reads_serialized_with_writes``
+        only full-control modes serialize readers against writers -- the
+        paper accepts that ``rfd`` readers may observe a concurrent update
+        (Section 5).
+    """
 
     NFF = "nff"
     RFF = "rff"
@@ -36,83 +68,28 @@ class ControlMode(enum.Enum):
     # -- parsing -----------------------------------------------------------------
     @classmethod
     def from_string(cls, text: str) -> "ControlMode":
-        try:
-            return cls(text.lower())
-        except ValueError:
-            raise ControlModeError(f"unknown control mode {text!r}") from None
-
-    # -- attribute decomposition ---------------------------------------------------
-    @property
-    def referential_integrity(self) -> bool:
-        """Does the DBMS guarantee the reference stays valid (no dangling URL)?"""
-
-        return self.value[0] == "r"
-
-    @property
-    def read_control(self) -> AccessControl:
-        return AccessControl(self.value[1])
-
-    @property
-    def write_control(self) -> AccessControl:
-        return AccessControl(self.value[2])
-
-    # -- derived predicates -----------------------------------------------------------
-    @property
-    def full_control(self) -> bool:
-        """Under full control, neither read nor write access is left to the FS."""
-
-        return (self.read_control is not AccessControl.FILE_SYSTEM
-                and self.write_control is not AccessControl.FILE_SYSTEM)
-
-    @property
-    def supports_update(self) -> bool:
-        """True for the paper's new modes where the DBMS manages write access."""
-
-        return self.write_control is AccessControl.DBMS
-
-    @property
-    def write_blocked(self) -> bool:
-        return self.write_control is AccessControl.BLOCKED
-
-    @property
-    def requires_read_token(self) -> bool:
-        """Reads need a token only when the DBMS controls read access."""
-
-        return self.read_control is AccessControl.DBMS
-
-    @property
-    def requires_write_token(self) -> bool:
-        """Writes need a token exactly in the update modes (rfd, rdd)."""
-
-        return self.supports_update
-
-    @property
-    def takes_over_on_link(self) -> bool:
-        """Full-control files are taken over (ownership change) at link time."""
-
-        return self.full_control
-
-    @property
-    def made_read_only_on_link(self) -> bool:
-        """Modes whose linked file is marked read-only at the file system.
-
-        ``rfb`` blocks writes permanently; ``rfd`` keeps the file read-only
-        between updates so a write open fails and triggers the DLFM take-over
-        path (Section 4.2); full-control modes rely on the ownership change.
-        """
-
-        return self in (ControlMode.RFB, ControlMode.RFD)
-
-    @property
-    def reads_serialized_with_writes(self) -> bool:
-        """Only full-control modes serialize readers against writers.
-
-        The paper accepts that ``rfd`` readers may observe a concurrent
-        update (Section 5): read opens of files not under full control never
-        reach the DLFM, so no read-write synchronization is possible.
-        """
-
-        return self.full_control
+        mode = _MODES_BY_CODE.get(text.lower())
+        if mode is None:
+            raise ControlModeError(f"unknown control mode {text!r}")
+        return mode
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.value
+
+
+_MODES_BY_CODE = {mode.value: mode for mode in ControlMode}
+
+for _mode in ControlMode:
+    _mode.referential_integrity = _mode.value[0] == "r"
+    _mode.read_control = AccessControl(_mode.value[1])
+    _mode.write_control = AccessControl(_mode.value[2])
+    _mode.full_control = (_mode.read_control is not AccessControl.FILE_SYSTEM
+                          and _mode.write_control is not AccessControl.FILE_SYSTEM)
+    _mode.supports_update = _mode.write_control is AccessControl.DBMS
+    _mode.write_blocked = _mode.write_control is AccessControl.BLOCKED
+    _mode.requires_read_token = _mode.read_control is AccessControl.DBMS
+    _mode.requires_write_token = _mode.supports_update
+    _mode.takes_over_on_link = _mode.full_control
+    _mode.made_read_only_on_link = _mode.value in ("rfb", "rfd")
+    _mode.reads_serialized_with_writes = _mode.full_control
+del _mode

@@ -151,6 +151,9 @@ class PlacementMap:
         self.moves = 0
         self.splits = 0
         self.merges = 0
+        # Memoized effective prefixes; valid until the split set changes
+        # (every router lookup and traffic note funnels through prefix_of).
+        self._prefix_cache: dict[str, str] = {}
 
     # --------------------------------------------------------- base passthrough --
     @property
@@ -172,6 +175,9 @@ class PlacementMap:
         prefix = self.base.prefix_of(path)
         if not self.split_depths:
             return prefix
+        cached = self._prefix_cache.get(path)
+        if cached is not None:
+            return cached
         components = [part for part in path.split("/") if part]
         depth = self.base.prefix_depth
         while prefix in self.split_depths:
@@ -180,6 +186,9 @@ class PlacementMap:
                 break
             depth = deeper
             prefix = "/" + "/".join(components[:depth])
+        if len(self._prefix_cache) > 8192:
+            self._prefix_cache.clear()
+        self._prefix_cache[path] = prefix
         return prefix
 
     # ------------------------------------------------------------------ lookups --
@@ -262,6 +271,7 @@ class PlacementMap:
                 f"split depth {depth} does not deepen {prefix!r} "
                 f"(its own depth is {own_depth})")
         self.split_depths[prefix] = int(depth)
+        self._prefix_cache.clear()
         for sub, owner in pins.items():
             self.overrides[sub] = owner
         self.epoch += 1
@@ -292,6 +302,7 @@ class PlacementMap:
                     f"cannot merge {prefix!r} while nested split {sub!r} "
                     f"remains; merge it first")
         del self.split_depths[prefix]
+        self._prefix_cache.clear()
         for sub in [key for key in self.overrides
                     if key != prefix and path_under(prefix, key)]:
             del self.overrides[sub]

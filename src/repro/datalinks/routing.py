@@ -94,10 +94,22 @@ class ShardRouter:
             raise DataLinksError("a shard router needs at least one shard")
         self.shard_names = list(shard_names)
         self.prefix_depth = max(1, int(prefix_depth))
+        # Both maps memoize pure functions of the (fixed) shard list and
+        # depth; workloads hammer a small set of paths, so hit rates are
+        # high.  Cleared when full rather than evicted -- cheap and bounded.
+        self._prefix_cache: dict[str, str] = {}
+        self._key_cache: dict[str, str] = {}
 
     def prefix_of(self, path: str) -> str:
+        cached = self._prefix_cache.get(path)
+        if cached is not None:
+            return cached
         components = [part for part in path.split("/") if part]
-        return "/" + "/".join(components[: self.prefix_depth])
+        prefix = "/" + "/".join(components[: self.prefix_depth])
+        if len(self._prefix_cache) > 8192:
+            self._prefix_cache.clear()
+        self._prefix_cache[path] = prefix
+        return prefix
 
     def shard_of_key(self, key: str) -> str:
         """Hash an already-derived routing key (a prefix) onto a shard.
@@ -109,9 +121,16 @@ class ShardRouter:
         :meth:`prefix_of` would re-shallow it.
         """
 
+        cached = self._key_cache.get(key)
+        if cached is not None:
+            return cached
         digest = hashlib.sha1(key.encode("utf-8")).digest()
         index = int.from_bytes(digest[:8], "big") % len(self.shard_names)
-        return self.shard_names[index]
+        shard = self.shard_names[index]
+        if len(self._key_cache) > 8192:
+            self._key_cache.clear()
+        self._key_cache[key] = shard
+        return shard
 
     def shard_of(self, path: str) -> str:
         """The shard responsible for *path* (stable across runs/processes)."""
@@ -146,6 +165,11 @@ class ReplicationRouter:
         self._singles: dict[str, object] = {}     # shard -> FileServer
         self._replicas: dict[str, object] = {}    # shard -> ReplicatedShard
         self._round_robin: dict[str, int] = {}
+        #: Candidate membership (node names) the round-robin position was
+        #: advanced against, per shard; a membership change resets the
+        #: position so fairness restarts cleanly instead of inheriting an
+        #: arbitrary phase from the old candidate count.
+        self._round_robin_members: dict[str, tuple] = {}
         self.reads_by_role = {NodeRole.SERVING: 0, NodeRole.WITNESS: 0}
         self.writes_routed = 0
         self.follower_rejects = 0
@@ -354,9 +378,19 @@ class ReplicationRouter:
             self.serving_server(shard)          # raises with the right hint
             raise DaemonUnavailableError(       # pragma: no cover - defensive
                 f"no read-eligible node for shard {shard!r}")
-        index = self._round_robin.get(shard, 0)
-        self._round_robin[shard] = index + 1
-        chosen = candidates[index % len(candidates)]
+        # The position is kept wrapped at the candidate count (it used to
+        # grow without bound) and resets when the candidate set changes:
+        # carrying an old position across a membership change (say a witness
+        # crash shrinking 3 candidates to 2) lands on an arbitrary phase and
+        # skews which nodes absorb the next reads.
+        members = tuple(node.name for node in candidates)
+        if self._round_robin_members.get(shard) != members:
+            self._round_robin_members[shard] = members
+            index = 0
+        else:
+            index = self._round_robin.get(shard, 0)
+        self._round_robin[shard] = (index + 1) % len(candidates)
+        chosen = candidates[index]
         role = NodeRole.SERVING if chosen.name == self.serving_node(shard) \
             else NodeRole.WITNESS
         self.reads_by_role[role] += 1

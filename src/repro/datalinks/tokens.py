@@ -56,7 +56,10 @@ class TokenType(enum.Enum):
         return True
 
 
-@dataclass(frozen=True)
+_TOKEN_TYPES_BY_CODE = {member.value: member for member in TokenType}
+
+
+@dataclass(frozen=True, slots=True)
 class AccessToken:
     """A parsed access token."""
 
@@ -73,8 +76,10 @@ class AccessToken:
         if len(parts) != 3:
             raise InvalidTokenError(f"malformed token {text!r}")
         type_code, expiry_text, signature = parts
+        token_type = _TOKEN_TYPES_BY_CODE.get(type_code)
+        if token_type is None:
+            raise InvalidTokenError(f"malformed token {text!r}")
         try:
-            token_type = TokenType(type_code)
             expires_at = float(expiry_text)
         except ValueError:
             raise InvalidTokenError(f"malformed token {text!r}") from None
@@ -91,15 +96,27 @@ class TokenCache:
     token is reused only while at least ``min_remaining_fraction`` of the
     TTL remains, so callers never receive a token about to expire out from
     under them; staler entries are dropped on lookup.
+
+    The cache is bounded: expired entries are swept whenever the entry count
+    reaches ``max_entries`` on a store, and if the sweep is not enough the
+    oldest entries are dropped FIFO until the new token fits.  Without this
+    the cache grew without bound -- every distinct (server, path, type, ttl)
+    ever asked for stayed resident forever.  Evicting an *expired* entry can
+    never change hit/miss accounting (a lookup of an expired entry was
+    already a miss); evicting a live entry can turn a future hit into a
+    miss, so ``max_entries`` should stay generously above the working set.
     """
 
     def __init__(self, clock: SimClock | None = None,
-                 min_remaining_fraction: float = 0.5):
+                 min_remaining_fraction: float = 0.5,
+                 max_entries: int = 4096):
         self._clock = clock
         self.min_remaining_fraction = float(min_remaining_fraction)
+        self.max_entries = int(max_entries)
         self._entries: dict[tuple, AccessToken] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _now(self) -> float:
         return self._clock.now() if self._clock is not None else 0.0
@@ -116,11 +133,31 @@ class TokenCache:
                 self.hits += 1
                 return token.render()
             del self._entries[key]
+            self.evictions += 1
         self.misses += 1
         return None
 
+    def evict_expired(self) -> int:
+        """Drop every entry whose token has expired; returns the count."""
+
+        now = self._now()
+        doomed = [key for key, token in self._entries.items()
+                  if token.expires_at <= now]
+        for key in doomed:
+            del self._entries[key]
+        self.evictions += len(doomed)
+        return len(doomed)
+
     def store(self, server: str, path: str, token_type: TokenType,
               ttl: float, token_text: str) -> None:
+        if len(self._entries) >= self.max_entries:
+            self.evict_expired()
+            while len(self._entries) >= self.max_entries:
+                # Dicts iterate in insertion order, so this drops the oldest
+                # stored (not most recently used) entry -- FIFO is enough to
+                # bound the cache without per-lookup bookkeeping.
+                del self._entries[next(iter(self._entries))]
+                self.evictions += 1
         self._entries[(server, path, token_type, float(ttl))] = \
             AccessToken.parse(token_text)
 
@@ -138,6 +175,8 @@ class TokenCache:
         lookups = self.hits + self.misses
         return {"hits": self.hits, "misses": self.misses,
                 "entries": len(self._entries),
+                "evictions": self.evictions,
+                "max_entries": self.max_entries,
                 "hit_rate": self.hits / lookups if lookups else 0.0}
 
 

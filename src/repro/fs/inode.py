@@ -20,7 +20,7 @@ DEFAULT_FILE_MODE = 0o644
 DEFAULT_DIR_MODE = 0o755
 
 
-@dataclass
+@dataclass(slots=True)
 class Inode:
     """One on-"disk" inode."""
 
@@ -56,7 +56,7 @@ class Inode:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FileAttributes:
     """An immutable snapshot of an inode's metadata (what ``stat`` returns)."""
 

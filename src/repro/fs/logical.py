@@ -9,6 +9,7 @@ token handling has to work around (Section 4.1 of the paper).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from repro.errors import Errno, FileSystemError, fs_error
@@ -24,7 +25,7 @@ from repro.fs.vfs import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class OpenFile:
     """One entry of the system open-file table."""
 
@@ -38,13 +39,17 @@ class OpenFile:
     offset: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Mount:
     prefix: str
     vfs: VFSOperations
 
 
+@functools.lru_cache(maxsize=8192)
 def _normalize(path: str) -> str:
+    """Normalize an absolute path (memoized -- the same few hundred paths
+    are re-resolved on every operation of a workload)."""
+
     if not path.startswith("/"):
         raise fs_error(Errno.EINVAL, f"path must be absolute: {path!r}")
     parts = [part for part in path.split("/") if part not in ("", ".")]
@@ -69,6 +74,11 @@ class LogicalFileSystem:
         self._mounts: list[_Mount] = []
         self._open_files: dict[int, OpenFile] = {}
         self._next_fd = 3          # 0..2 are conventionally reserved
+        # normalized path -> (vfs, relative); invalidated on mount().  Paths
+        # may embed access tokens (unbounded cardinality), so the cache is
+        # cleared rather than grown past a fixed bound.
+        self._resolve_cache: dict[str, tuple[VFSOperations, str]] = {}
+        self._split_cache: dict[str, list[str]] = {}
 
     # ------------------------------------------------------------------ mounts --
     def mount(self, prefix: str, vfs: VFSOperations) -> None:
@@ -77,11 +87,15 @@ class LogicalFileSystem:
         prefix = _normalize(prefix)
         self._mounts.append(_Mount(prefix=prefix, vfs=vfs))
         self._mounts.sort(key=lambda mount: len(mount.prefix), reverse=True)
+        self._resolve_cache.clear()
 
     def mounted_vfs(self, path: str) -> tuple[VFSOperations, str]:
         """Return ``(vfs, path relative to the mount root)`` for *path*."""
 
         normalized = _normalize(path)
+        cached = self._resolve_cache.get(normalized)
+        if cached is not None:
+            return cached
         for mount in self._mounts:
             if normalized == mount.prefix or normalized.startswith(
                     mount.prefix.rstrip("/") + "/") or mount.prefix == "/":
@@ -89,6 +103,9 @@ class LogicalFileSystem:
                     relative = normalized
                 else:
                     relative = normalized[len(mount.prefix.rstrip("/")):] or "/"
+                if len(self._resolve_cache) > 4096:
+                    self._resolve_cache.clear()
+                self._resolve_cache[normalized] = (mount.vfs, relative)
                 return mount.vfs, relative
         raise fs_error(Errno.ENOENT, f"no file system mounted for {path!r}")
 
@@ -101,7 +118,15 @@ class LogicalFileSystem:
               stop_before_last: bool) -> tuple[Vnode, str | None]:
         """Walk *relative* inside *vfs*; optionally stop at the parent."""
 
-        parts = [part for part in relative.split("/") if part]
+        cache = self._split_cache
+        parts = cache.get(relative)
+        if parts is None:
+            parts = [part for part in relative.split("/") if part]
+            # Token-carrying names give these strings unbounded cardinality,
+            # so the cache is cleared when full rather than grown.
+            if len(cache) > 4096:
+                cache.clear()
+            cache[relative] = parts
         vnode = vfs.root_vnode()
         if not parts:
             return vnode, None

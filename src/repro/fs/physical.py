@@ -87,16 +87,24 @@ class PhysicalFileSystem(VFSOperations):
         return Vnode(fs_id=self.fs_id, ino=ROOT_INO)
 
     def fs_lookup(self, dir_vnode: Vnode, name: str, cred: Credentials) -> Vnode:
-        self._charge("vfs_op")
-        self._charge("directory_lookup")
-        directory = self._inode_of(dir_vnode)
-        self._require_dir(directory)
+        # The hottest VFS entry point (every path component of every
+        # resolution lands here): helpers are inlined into direct checks.
+        clock = self.clock
+        if clock is not None:
+            clock.charge("vfs_op")
+            clock.charge("directory_lookup")
+        directory = self._inodes.get(dir_vnode.ino)
+        if directory is None:
+            raise fs_error(Errno.ENOENT, f"stale inode {dir_vnode.ino}")
+        if directory.ftype is not FileType.DIRECTORY:
+            raise fs_error(Errno.ENOTDIR, f"inode {directory.ino} is not a directory")
         self._check(directory, cred, exec_=True)
         if name in (".", ""):
             return dir_vnode
-        if name not in directory.entries:
+        ino = directory.entries.get(name)
+        if ino is None:
             raise fs_error(Errno.ENOENT, f"no entry {name!r} in inode {directory.ino}")
-        return Vnode(fs_id=self.fs_id, ino=directory.entries[name])
+        return Vnode(fs_id=self.fs_id, ino=ino)
 
     def fs_create(self, dir_vnode: Vnode, name: str, mode: int,
                   cred: Credentials) -> Vnode:
@@ -192,9 +200,10 @@ class PhysicalFileSystem(VFSOperations):
 
     # ------------------------------------------------------------------ file ops --
     def fs_open(self, vnode: Vnode, flags: OpenFlags, cred: Credentials) -> OpenHandle:
-        self._charge("vfs_op")
+        if self.clock is not None:
+            self.clock.charge("vfs_op")
         inode = self._inode_of(vnode)
-        if inode.is_directory and flags.wants_write:
+        if inode.ftype is FileType.DIRECTORY and flags.wants_write:
             raise fs_error(Errno.EISDIR, f"inode {inode.ino} is a directory")
         self._check(inode, cred, read=flags.wants_read, write=flags.wants_write)
         if flags & OpenFlags.TRUNCATE:
@@ -208,9 +217,10 @@ class PhysicalFileSystem(VFSOperations):
 
     def fs_readwrite(self, vnode: Vnode, offset: int, *, data: bytes | None = None,
                      length: int = 0, write: bool, cred: Credentials) -> bytes | int:
-        self._charge("vfs_op")
+        if self.clock is not None:
+            self.clock.charge("vfs_op")
         inode = self._inode_of(vnode)
-        if inode.is_directory:
+        if inode.ftype is FileType.DIRECTORY:
             raise fs_error(Errno.EISDIR, f"inode {inode.ino} is a directory")
         if write:
             if data is None:
@@ -228,7 +238,8 @@ class PhysicalFileSystem(VFSOperations):
         return content
 
     def fs_getattr(self, vnode: Vnode, cred: Credentials):
-        self._charge("vfs_op")
+        if self.clock is not None:
+            self.clock.charge("vfs_op")
         return self._inode_of(vnode).attributes()
 
     def fs_setattr(self, vnode: Vnode, cred: Credentials, **attrs):

@@ -31,14 +31,21 @@ class OpenFlags(enum.Flag):
 
     @property
     def wants_read(self) -> bool:
-        return bool(self & OpenFlags.READ)
+        # Plain int mask tests: flag-enum ``&``/``|`` allocate a new Flag
+        # member per operation, and these predicates run on every open.
+        return (self._value_ & _READ_MASK) != 0
 
     @property
     def wants_write(self) -> bool:
-        return bool(self & (OpenFlags.WRITE | OpenFlags.APPEND | OpenFlags.TRUNCATE))
+        return (self._value_ & _WRITE_MASK) != 0
 
 
-@dataclass(frozen=True)
+_READ_MASK = OpenFlags.READ.value
+_WRITE_MASK = (OpenFlags.WRITE.value | OpenFlags.APPEND.value
+               | OpenFlags.TRUNCATE.value)
+
+
+@dataclass(frozen=True, slots=True)
 class Credentials:
     """The identity a process presents to the file system."""
 
@@ -46,17 +53,19 @@ class Credentials:
     gid: int = 0
     groups: tuple[int, ...] = ()
     username: str = ""
+    # Derived once at construction: the permission check reads this on every
+    # VFS call, and rebuilding the tuple per call was measurable.
+    all_groups: tuple[int, ...] = field(init=False, repr=False, compare=False)
 
-    @property
-    def all_groups(self) -> tuple[int, ...]:
-        return (self.gid, *self.groups)
+    def __post_init__(self):
+        object.__setattr__(self, "all_groups", (self.gid, *self.groups))
 
     @property
     def is_superuser(self) -> bool:
         return self.uid == 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Vnode:
     """A reference to a file object inside one VFS instance.
 
@@ -77,7 +86,7 @@ class LockKind(enum.Enum):
     UNLOCK = "UNLOCK"
 
 
-@dataclass
+@dataclass(slots=True)
 class LockRequest:
     """A whole-file lock request passed to ``fs_lockctl``."""
 
@@ -86,7 +95,7 @@ class LockRequest:
     nonblocking: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class OpenHandle:
     """Opaque per-open state returned by ``fs_open`` and passed to ``fs_close``.
 

@@ -41,6 +41,9 @@ class Channel:
     map (see :mod:`repro.datalinks.placement`).
     """
 
+    __slots__ = ("_daemon", "_clock", "_latency_primitive", "_sender",
+                 "_epoch_provider")
+
     def __init__(self, daemon, clock: SimClock | None,
                  latency_primitive: str = "upcall_round_trip", sender: str = "",
                  epoch_provider=None):
@@ -92,9 +95,10 @@ class Channel:
                 caller.charge("message_send")
         elif caller is not None:
             caller.charge(self._latency_primitive)
-        message = Message(kind=kind, payload=payload, sender=self._sender)
-        if self._epoch_provider is not None:
-            message.placement_epoch = self._epoch_provider()
+        epoch_provider = self._epoch_provider
+        message = Message(
+            kind, payload, self._sender,
+            epoch_provider() if epoch_provider is not None else None)
         reply = self._daemon.handle(message)
         if cross and (wait or not reply.ok):
             # A pipelined send whose handler failed surfaces the error at

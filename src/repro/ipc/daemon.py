@@ -50,9 +50,13 @@ class Daemon:
         handler = self._handlers.get(message.kind)
         if handler is None:
             handler = getattr(self, f"handle_{message.kind}", None)
-        if handler is None:
-            return Reply.failure(ProtocolError(
-                f"daemon {self.name!r} does not understand {message.kind!r}"))
+            if handler is None:
+                return Reply.failure(ProtocolError(
+                    f"daemon {self.name!r} does not understand "
+                    f"{message.kind!r}"))
+            # Cache the method-style handler so repeated dispatches of the
+            # same kind skip the f-string + getattr probe.
+            self._handlers[message.kind] = handler
         self.requests_served += 1
         try:
             payload = handler(**message.payload)

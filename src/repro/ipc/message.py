@@ -1,11 +1,14 @@
-"""Request/response message types for the simulated IPC."""
+"""Request/response message types for the simulated IPC.
+
+Both types are plain ``__slots__`` classes rather than dataclasses: a
+:class:`Message`/:class:`Reply` pair is allocated for every simulated IPC
+exchange, and slotted instances skip the per-object ``__dict__`` that
+dominated the envelope path's allocation cost.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 
-
-@dataclass
 class Message:
     """A request sent to a daemon.
 
@@ -18,27 +21,39 @@ class Message:
     placement-agnostic (upcalls, WAL shipping) and no check applies.
     """
 
-    kind: str
-    payload: dict = field(default_factory=dict)
-    sender: str = ""
-    placement_epoch: int | None = None
+    __slots__ = ("kind", "payload", "sender", "placement_epoch")
+
+    def __init__(self, kind: str, payload: dict | None = None,
+                 sender: str = "", placement_epoch: int | None = None):
+        self.kind = kind
+        self.payload = payload if payload is not None else {}
+        self.sender = sender
+        self.placement_epoch = placement_epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message(kind={self.kind!r}, payload={self.payload!r}, "
+                f"sender={self.sender!r}, "
+                f"placement_epoch={self.placement_epoch!r})")
 
 
-@dataclass
 class Reply:
     """A daemon's response to a :class:`Message`."""
 
-    ok: bool
-    payload: dict = field(default_factory=dict)
-    error: Exception | None = None
+    __slots__ = ("ok", "payload", "error")
+
+    def __init__(self, ok: bool, payload: dict | None = None,
+                 error: Exception | None = None):
+        self.ok = ok
+        self.payload = payload if payload is not None else {}
+        self.error = error
 
     @classmethod
     def success(cls, **payload) -> "Reply":
-        return cls(ok=True, payload=payload)
+        return cls(True, payload)
 
     @classmethod
     def failure(cls, error: Exception) -> "Reply":
-        return cls(ok=False, error=error)
+        return cls(False, None, error)
 
     def unwrap(self) -> dict:
         """Return the payload, re-raising the carried error when not ok."""
@@ -47,3 +62,7 @@ class Reply:
             assert self.error is not None
             raise self.error
         return self.payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Reply(ok={self.ok!r}, payload={self.payload!r}, "
+                f"error={self.error!r})")

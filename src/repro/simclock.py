@@ -48,7 +48,7 @@ which is also what ``serial_clock=True`` deployments use for A/B comparisons.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 
 @dataclass
@@ -117,7 +117,6 @@ class CostModel:
         return CostModel(**values)
 
 
-@dataclass
 class ClockStats:
     """Aggregated charge counters kept by :class:`SimClock`.
 
@@ -125,33 +124,56 @@ class ClockStats:
     can supply an explicit label (e.g. the DLFM repository prefixes its
     database charges with ``dlfm.`` so they never conflate with the host
     database's charges for the same primitive).
+
+    Counts and totals live in one plain dict of ``[count, total]`` cells so
+    the per-charge bookkeeping is a single dict probe plus two in-place
+    updates with no tuple allocation -- this runs on every single
+    ``charge()`` and (for clock domains) twice, so it is the hottest code
+    in the simulator.
     """
 
-    charges: dict = field(default_factory=dict)
+    __slots__ = ("_cells",)
+
+    def __init__(self):
+        #: label -> [count, total] (a mutable cell updated in place).
+        self._cells: dict[str, list] = {}
 
     def record(self, label: str, amount: float) -> None:
-        count, total = self.charges.get(label, (0, 0.0))
-        self.charges[label] = (count + 1, total + amount)
+        try:
+            cell = self._cells[label]
+            cell[0] += 1
+            cell[1] += amount
+        except KeyError:
+            self._cells[label] = [1, amount]
 
     def total(self, label: str) -> float:
-        return self.charges.get(label, (0, 0.0))[1]
+        cell = self._cells.get(label)
+        return cell[1] if cell is not None else 0.0
 
     def count(self, label: str) -> int:
-        return self.charges.get(label, (0, 0.0))[0]
+        cell = self._cells.get(label)
+        return cell[0] if cell is not None else 0
 
     def labels(self) -> list[str]:
-        return sorted(self.charges)
+        return sorted(self._cells)
+
+    @property
+    def charges(self) -> dict:
+        """``{label: (count, total)}`` -- compatibility view."""
+
+        return {label: (cell[0], cell[1])
+                for label, cell in self._cells.items()}
 
     def as_dict(self) -> dict:
         """``{label: {"count": n, "total_ms": t}}`` for reporting."""
 
-        return {label: {"count": count, "total_ms": total * 1000.0}
-                for label, (count, total) in sorted(self.charges.items())}
+        return {label: {"count": cell[0], "total_ms": cell[1] * 1000.0}
+                for label, cell in sorted(self._cells.items())}
 
     def grand_total(self) -> float:
         """Total simulated seconds charged across every label."""
 
-        return sum(total for _, total in self.charges.values())
+        return sum(cell[1] for cell in self._cells.values())
 
 
 class SimClock:
@@ -178,9 +200,16 @@ class SimClock:
     def __init__(self, cost_model: CostModel | None = None, start: float = 0.0,
                  name: str = "clock"):
         self.costs = cost_model if cost_model is not None else CostModel()
+        # Per-primitive unit costs as a plain dict: ``charge()`` looks the
+        # primitive up here instead of getattr() on the dataclass.
+        self._units = {field.name: getattr(self.costs, field.name)
+                       for field in fields(self.costs)}
         self.name = name
         self._now = float(start)
         self.stats = ClockStats()
+        #: Second :class:`ClockStats` every charge is mirrored into (a
+        #: :class:`ClockDomain` points this at its group's merged stats).
+        self._mirror_stats: ClockStats | None = None
         # Scatter-gather frames: [fork_time, pending_reply_max] per level.
         self._overlap_frames: list[list[float]] = []
 
@@ -265,15 +294,43 @@ class SimClock:
         simulated time charged.
         """
 
-        unit = getattr(self.costs, primitive)
+        try:
+            unit = self._units[primitive]
+        except KeyError:
+            unit = getattr(self.costs, primitive)
         amount = unit * nbytes if nbytes else unit * times
         amount *= scale
         self._now += amount
-        self._record(label or primitive, amount)
+        # The stats bookkeeping is inlined (not routed through
+        # ``ClockStats.record``): this path runs hundreds of thousands of
+        # times per experiment and the call overhead dominates.  The
+        # try/except form wins because the key almost always exists after
+        # the first charge.  The float additions happen in exactly the same
+        # order as before (``0.0 + x == x`` for the first charge), which is
+        # what keeps simulated totals bit-identical.
+        key = label or primitive
+        cells = self.stats._cells
+        try:
+            cell = cells[key]
+            cell[0] += 1
+            cell[1] += amount
+        except KeyError:   # first charge under this key
+            cells[key] = [1, amount]
+        mirror = self._mirror_stats
+        if mirror is not None:
+            cells = mirror._cells
+            try:
+                cell = cells[key]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells[key] = [1, amount]
         return amount
 
     def _record(self, label: str, amount: float) -> None:
         self.stats.record(label, amount)
+        if self._mirror_stats is not None:
+            self._mirror_stats.record(label, amount)
 
     def measure(self) -> "Stopwatch":
         """Return a :class:`Stopwatch` started at the current simulated time."""
@@ -337,10 +394,10 @@ class ClockDomain(SimClock):
                  cost_model: CostModel | None = None, start: float = 0.0):
         super().__init__(cost_model, start=start, name=name)
         self.group = group
-
-    def _record(self, label: str, amount: float) -> None:
-        self.stats.record(label, amount)
-        self.group.stats.record(label, amount)
+        # Charges mirror into the group's merged stats via the base-class
+        # fast path instead of a ``_record`` override.
+        if group.stats is not self.stats:
+            self._mirror_stats = group.stats
 
     def advance(self, seconds: float) -> float:
         """Let *seconds* of idle wall time pass for the whole cluster."""

@@ -15,6 +15,10 @@ class Catalog:
         self._schemas: dict[str, TableSchema] = {}
         self._heaps: dict[str, HeapTable] = {}
         self._indexes: dict[str, list] = {}
+        self._index_by_name: dict[tuple[str, str], object] = {}
+        # ``(schema, heap, pk_index, indexes)`` per table, built lazily:
+        # the query planner asks for all four on every statement.
+        self._plan_cache: dict[str, tuple] = {}
 
     # -- tables -----------------------------------------------------------------
     def create_table(self, schema: TableSchema) -> HeapTable:
@@ -33,7 +37,9 @@ class Catalog:
         self._require(name)
         del self._schemas[name]
         del self._heaps[name]
-        del self._indexes[name]
+        self._plan_cache.pop(name, None)
+        for index in self._indexes.pop(name):
+            self._index_by_name.pop((name, index.name), None)
 
     def has_table(self, name: str) -> bool:
         return name in self._schemas
@@ -59,20 +65,40 @@ class Catalog:
         self._require(table)
         index_cls = OrderedIndex if ordered else HashIndex
         index = index_cls(index_name, table, tuple(columns), unique=unique)
-        for rid, row in self._heaps[table].scan():
+        for rid, row in self._heaps[table].scan_live():
             index.insert(row, rid)
         self._indexes[table].append(index)
+        self._index_by_name[(table, index_name)] = index
+        self._plan_cache.pop(table, None)
         return index
 
     def indexes_of(self, table: str) -> list:
         self._require(table)
         return list(self._indexes[table])
 
+    def iter_indexes(self, table: str):
+        """The internal index list for *table* (no copy; do not mutate)."""
+
+        return self._indexes.get(table, ())
+
     def index_by_name(self, table: str, index_name: str):
-        for index in self.indexes_of(table):
-            if index.name == index_name:
-                return index
-        return None
+        return self._index_by_name.get((table, index_name))
+
+    def plan_info(self, table: str) -> tuple:
+        """``(schema, heap, pk_index, indexes)`` for *table*, cached.
+
+        One dict probe replaces the four separate catalog lookups every
+        DML/SELECT statement performs; invalidated on any DDL.
+        """
+
+        info = self._plan_cache.get(table)
+        if info is None:
+            self._require(table)
+            info = (self._schemas[table], self._heaps[table],
+                    self._index_by_name.get((table, f"{table}_pk")),
+                    tuple(self._indexes[table]))
+            self._plan_cache[table] = info
+        return info
 
     # -- maintenance hooks ----------------------------------------------------------
     def index_insert(self, table: str, row: dict, rid: int) -> None:
@@ -90,7 +116,7 @@ class Catalog:
         for name in tables:
             for index in self._indexes.get(name, ()):
                 index.clear()
-                for rid, row in self._heaps[name].scan():
+                for rid, row in self._heaps[name].scan_live():
                     index.insert(row, rid)
 
     # -- checkpoint / backup ------------------------------------------------------
@@ -120,6 +146,8 @@ class Catalog:
         self._schemas = {}
         self._heaps = {}
         self._indexes = {}
+        self._index_by_name = {}
+        self._plan_cache = {}
         for name, schema in snapshot["schemas"].items():
             self._schemas[name] = schema.copy()
             heap = HeapTable(self._schemas[name])

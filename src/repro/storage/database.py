@@ -70,6 +70,9 @@ class Database:
         self.locks = LockManager()
         self.backups = BackupManager(self)
         self._transactions: dict[int, Transaction] = {}
+        self._charge_labels: dict[str, str | None] = {}
+        self._lock_label = stats_prefix + "lock_acquire" if stats_prefix else None
+        self._read_label = stats_prefix + "row_read" if stats_prefix else None
         self._next_txn_id = 1
         self._checkpoint: dict | None = None
         self._restored_to: LSN | None = None
@@ -80,10 +83,17 @@ class Database:
         return self.clock.now() if self.clock is not None else 0.0
 
     def _charge(self, primitive: str, *, times: int = 1, nbytes: int = 0) -> None:
-        if self.clock is not None:
-            label = self.stats_prefix + primitive if self.stats_prefix else None
-            self.clock.charge(primitive, times=times, nbytes=nbytes,
-                              scale=self.cost_scale, label=label)
+        clock = self.clock
+        if clock is None:
+            return
+        labels = self._charge_labels
+        try:
+            label = labels[primitive]
+        except KeyError:
+            label = labels[primitive] = \
+                self.stats_prefix + primitive if self.stats_prefix else None
+        clock.charge(primitive, times=times, nbytes=nbytes,
+                     scale=self.cost_scale, label=label)
 
     def total_rows(self) -> int:
         return sum(len(self.catalog.heap(name)) for name in self.catalog.table_names())
@@ -244,14 +254,7 @@ class Database:
         from the coordinator's log after a crash.
         """
 
-        for record in reversed(self.wal.records(durable_only=True)):
-            if record.txn_id != txn_id:
-                continue
-            if record.type is LogRecordType.COMMIT:
-                return "committed"
-            if record.type is LogRecordType.ABORT:
-                return "aborted"
-        return "unknown"
+        return self.wal.outcome_of(txn_id)
 
     # savepoints -------------------------------------------------------------------
     def savepoint(self, txn: Transaction, name: str) -> None:
@@ -321,9 +324,8 @@ class Database:
             return [self._insert_row(table, row, active) for row in rows]
 
     def _insert_row(self, table: str, row: dict, active: Transaction) -> int:
-        schema = self.catalog.schema(table)
+        schema, heap, _, _ = self.catalog.plan_info(table)
         normalized = schema.validate_row(self._strip_internal(row))
-        heap = self.catalog.heap(table)
         self._check_unique(table, normalized, exclude_rid=None)
         if schema.primary_key:
             key = schema.primary_key_of(normalized)
@@ -351,16 +353,33 @@ class Database:
         self._charge("sql_statement_base")
         predicate, bindings = compile_where(where)
         rows = []
+        # Per-match work is inlined (no ``_charge`` wrapper): the loop body
+        # runs for every candidate row of every SELECT in the simulator.
+        clock = self.clock
+        scale = self.cost_scale
+        lock_label = self._lock_label
+        read_label = self._read_label
+        if txn is not None and lock:
+            mode = LockMode.EXCLUSIVE if for_update else LockMode.SHARED
+            txn_id = txn.txn_id
+        else:
+            mode = None
+            txn_id = 0
+        acquire = self.locks.acquire
+        # Candidates are the *stored* row dicts: the predicate filters them
+        # without a per-candidate copy, and only matches are materialized.
         for rid, row in self._candidate_rows(table, bindings):
             if not predicate(row):
                 continue
-            if txn is not None and lock:
-                mode = LockMode.EXCLUSIVE if for_update else LockMode.SHARED
-                self.locks.acquire(txn.txn_id, ("row", table, rid), mode)
-                self._charge("lock_acquire")
-            self._charge("row_read")
-            row["_rid"] = rid
-            rows.append(row)
+            if mode is not None:
+                acquire(txn_id, ("row", table, rid), mode)
+                if clock is not None:
+                    clock.charge("lock_acquire", scale=scale, label=lock_label)
+            if clock is not None:
+                clock.charge("row_read", scale=scale, label=read_label)
+            matched = dict(row)
+            matched["_rid"] = rid
+            rows.append(matched)
         return rows
 
     def select_one(self, table: str, where=None, txn: Transaction | None = None,
@@ -375,8 +394,7 @@ class Database:
         with self._autotxn(txn) as active:
             active.require_active()
             self._charge("sql_statement_base")
-            schema = self.catalog.schema(table)
-            heap = self.catalog.heap(table)
+            schema, heap, _, _ = self.catalog.plan_info(table)
             predicate, bindings = compile_where(where)
             changes = self._strip_internal(changes)
             touched = 0
@@ -405,7 +423,7 @@ class Database:
         with self._autotxn(txn) as active:
             active.require_active()
             self._charge("sql_statement_base")
-            heap = self.catalog.heap(table)
+            heap = self.catalog.plan_info(table)[1]
             predicate, bindings = compile_where(where)
             removed = 0
             for rid, row in list(self._candidate_rows(table, bindings)):
@@ -431,46 +449,57 @@ class Database:
         return {key: value for key, value in row.items() if not key.startswith("_")}
 
     def _candidate_rows(self, table: str, bindings: dict):
-        """Yield (rid, row) candidates, using the primary-key index when possible."""
+        """(rid, row) candidates, using the primary-key index when possible.
 
-        schema = self.catalog.schema(table)
-        heap = self.catalog.heap(table)
-        if schema.primary_key and bindings and all(c in bindings for c in schema.primary_key):
-            index = self.catalog.index_by_name(table, f"{table}_pk")
-            if index is not None:
-                key = tuple(bindings[c] for c in schema.primary_key)
+        Returns an iterable (a list for the index path, the heap's items
+        view for a full scan) rather than a generator: the callers drive
+        tight loops and the generator resumption cost was measurable.  The
+        rows are the heap's *stored* dicts (no copy): DML callers
+        materialize copies only for rows that actually match, and the heap
+        replaces (never mutates) stored dicts on update, so a reference
+        taken here stays pre-update even while the statement mutates the
+        table.
+        """
+
+        schema, heap, pk_index, indexes = self.catalog.plan_info(table)
+        if bindings:
+            primary_key = schema.primary_key
+            if pk_index is not None and primary_key \
+                    and all(c in bindings for c in primary_key):
+                key = tuple(bindings[c] for c in primary_key)
                 self._charge("index_probe")
-                for rid in sorted(index.lookup(key)):
-                    if heap.exists(rid):
-                        yield rid, heap.get(rid)
-                return
-        yield from heap.scan()
+                exists = heap.exists
+                get_live = heap.get_live
+                return [(rid, get_live(rid))
+                        for rid in sorted(pk_index.bucket(key)) if exists(rid)]
+            # Enumerate through any secondary index whose columns are all
+            # bound by equality.  This is deliberately NOT charged: the
+            # historical cost model full-scanned here without a probe, and
+            # candidate enumeration is free (only *matches* are charged
+            # ``row_read``).  Sorting the bucket reproduces the heap's
+            # stable scan order, so matches, locks and charges come out in
+            # exactly the same sequence as the scan they replace.
+            for index in indexes:
+                if all(column in bindings for column in index.columns):
+                    key = tuple(bindings[column] for column in index.columns)
+                    exists = heap.exists
+                    get_live = heap.get_live
+                    return [(rid, get_live(rid))
+                            for rid in sorted(index.bucket(key)) if exists(rid)]
+        return heap.scan_live()
 
     def _check_unique(self, table: str, row: dict, exclude_rid: int | None) -> None:
-        for index in self.catalog.indexes_of(table):
+        for index in self.catalog.plan_info(table)[3]:
             if not index.unique:
                 continue
             key = index.key_of(row)
-            existing = index.lookup(key)
-            existing.discard(exclude_rid)
-            if existing:
+            bucket = index.bucket(key)
+            if bucket and any(rid != exclude_rid for rid in bucket):
                 raise DuplicateKeyError(
                     f"table {table}: duplicate key {key!r} for index {index.name}")
 
-    @contextlib.contextmanager
-    def _autotxn(self, txn: Transaction | None):
-        if txn is not None:
-            yield txn
-            return
-        auto = self.begin()
-        try:
-            yield auto
-        except Exception:
-            if not auto.is_finished:
-                self.abort(auto)
-            raise
-        else:
-            self.commit(auto)
+    def _autotxn(self, txn: Transaction | None) -> "_AutoTxn":
+        return _AutoTxn(self, txn)
 
     # ---------------------------------------------------------------- undo ----
     def apply_undo(self, record, during_recovery: bool = False) -> None:
@@ -578,3 +607,36 @@ class Database:
         state_id = self.backups.restore(image)
         self.checkpoint()
         return state_id
+
+
+class _AutoTxn:
+    """Plain context manager behind :meth:`Database._autotxn`.
+
+    Hand-rolled instead of ``@contextlib.contextmanager``: auto-transactions
+    wrap every DML statement, and the generator-based manager's frame
+    juggling showed up in profiles.
+    """
+
+    __slots__ = ("_database", "_txn", "_auto")
+
+    def __init__(self, database: Database, txn: Transaction | None):
+        self._database = database
+        self._txn = txn
+        self._auto: Transaction | None = None
+
+    def __enter__(self) -> Transaction:
+        if self._txn is not None:
+            return self._txn
+        self._auto = self._database.begin()
+        return self._auto
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        auto = self._auto
+        if auto is None:
+            return False
+        if exc_type is not None:
+            if not auto.is_finished:
+                self._database.abort(auto)
+            return False
+        self._database.commit(auto)
+        return False

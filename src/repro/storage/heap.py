@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import copy
-
 from repro.errors import NoSuchRowError
 from repro.storage.schema import TableSchema
 
@@ -15,12 +13,22 @@ class HeapTable:
     monotonically increasing integer row ids.  The heap itself is *volatile*:
     durability comes from the write-ahead log and checkpoints managed by the
     database, which call :meth:`snapshot` / :meth:`load_snapshot`.
+
+    Row *values* are always immutable scalars (``validate_value`` normalizes
+    every stored value to int/float/str/bool/bytes/None), so per-row dict
+    copies are as deep as a copy ever needs to be -- snapshots and scans
+    exploit that instead of paying ``copy.deepcopy``.  The scan order
+    (sorted row ids) is cached and invalidated only when the rid *set*
+    changes, so repeated full scans skip the per-call sort.
     """
+
+    __slots__ = ("schema", "_rows", "_next_rid", "_sorted_rids")
 
     def __init__(self, schema: TableSchema):
         self.schema = schema
         self._rows: dict[int, dict] = {}
         self._next_rid = 1
+        self._sorted_rids: list[int] | None = None
 
     # -- basic operations ------------------------------------------------------
     def insert(self, row: dict, rid: int | None = None) -> int:
@@ -33,8 +41,13 @@ class HeapTable:
         if rid is None:
             rid = self._next_rid
             self._next_rid += 1
+            # A fresh rid is always the largest: extend the cached order
+            # in place instead of throwing it away.
+            if self._sorted_rids is not None:
+                self._sorted_rids.append(rid)
         else:
             self._next_rid = max(self._next_rid, rid + 1)
+            self._sorted_rids = None
         self._rows[rid] = dict(row)
         return rid
 
@@ -43,6 +56,14 @@ class HeapTable:
 
         try:
             return dict(self._rows[rid])
+        except KeyError:
+            raise NoSuchRowError(f"table {self.schema.name}: no row {rid}") from None
+
+    def get_live(self, rid: int) -> dict:
+        """The *stored* row dict under *rid* -- callers must not mutate it."""
+
+        try:
+            return self._rows[rid]
         except KeyError:
             raise NoSuchRowError(f"table {self.schema.name}: no row {rid}") from None
 
@@ -60,36 +81,63 @@ class HeapTable:
         """Remove and return the row stored under *rid*."""
 
         try:
-            return self._rows.pop(rid)
+            row = self._rows.pop(rid)
         except KeyError:
             raise NoSuchRowError(f"table {self.schema.name}: no row {rid}") from None
+        self._sorted_rids = None
+        return row
+
+    def _scan_order(self) -> list[int]:
+        order = self._sorted_rids
+        if order is None:
+            order = self._sorted_rids = sorted(self._rows)
+        return order
 
     def scan(self):
         """Iterate ``(rid, row copy)`` over all live rows (stable order)."""
 
-        for rid in sorted(self._rows):
-            yield rid, dict(self._rows[rid])
+        rows = self._rows
+        for rid in self._scan_order():
+            yield rid, dict(rows[rid])
+
+    def scan_live(self):
+        """``(rid, stored row)`` pairs in stable (sorted rid) order -- the
+        fast path for read-only predicate evaluation; callers must not
+        mutate the returned dicts.  Returns a list, not a generator: the
+        comprehension runs at C speed and the callers consume every pair
+        anyway."""
+
+        rows = self._rows
+        order = self._sorted_rids
+        if order is None:
+            order = self._sorted_rids = sorted(rows)
+        return [(rid, rows[rid]) for rid in order]
 
     def __len__(self) -> int:
         return len(self._rows)
 
     # -- checkpoint / backup support -------------------------------------------
     def snapshot(self) -> dict:
-        """A deep copy of the heap contents, for checkpoints and backups."""
+        """An isolated copy of the heap contents, for checkpoints and backups.
+
+        Per-row shallow copies suffice: stored values are immutable scalars.
+        """
 
         return {
-            "rows": copy.deepcopy(self._rows),
+            "rows": {rid: dict(row) for rid, row in self._rows.items()},
             "next_rid": self._next_rid,
         }
 
     def load_snapshot(self, snapshot: dict) -> None:
         """Replace the heap contents with a previously taken snapshot."""
 
-        self._rows = copy.deepcopy(snapshot["rows"])
+        self._rows = {rid: dict(row) for rid, row in snapshot["rows"].items()}
         self._next_rid = snapshot["next_rid"]
+        self._sorted_rids = None
 
     def clear(self) -> None:
         """Drop all rows (used to simulate loss of volatile state)."""
 
         self._rows.clear()
         self._next_rid = 1
+        self._sorted_rids = None

@@ -15,9 +15,13 @@ class HashIndex:
         self.table = table
         self.columns = tuple(columns)
         self.unique = unique
+        self._single = self.columns[0] if len(self.columns) == 1 else None
         self._entries: dict[tuple, set[int]] = {}
 
     def key_of(self, row: dict) -> tuple:
+        single = self._single
+        if single is not None:
+            return (row[single],)
         return tuple(row[column] for column in self.columns)
 
     def insert(self, row: dict, rid: int) -> None:
@@ -39,6 +43,11 @@ class HashIndex:
 
     def lookup(self, key: tuple) -> set[int]:
         return set(self._entries.get(tuple(key), ()))
+
+    def bucket(self, key: tuple):
+        """The rid collection for *key* without copying (read-only view)."""
+
+        return self._entries.get(tuple(key), ())
 
     def contains(self, key: tuple) -> bool:
         return tuple(key) in self._entries
@@ -97,6 +106,11 @@ class OrderedIndex:
             result.add(self._rids[position])
             position += 1
         return result
+
+    def bucket(self, key: tuple):
+        """The rid collection for *key* (same contract as ``HashIndex.bucket``)."""
+
+        return self.lookup(key)
 
     def range_scan(self, low: tuple | None = None, high: tuple | None = None,
                    include_low: bool = True, include_high: bool = True):

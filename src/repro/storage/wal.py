@@ -70,7 +70,7 @@ class LogRecordType(enum.Enum):
     SAVEPOINT = "SAVEPOINT"
 
 
-@dataclass
+@dataclass(slots=True)
 class LogRecord:
     """One WAL record.
 
@@ -96,6 +96,7 @@ class WriteAheadLog:
     def __init__(self, flush_policy: FlushPolicy | str = FlushPolicy.IMMEDIATE,
                  group_window: int = 8):
         self._records: list[LogRecord] = []
+        self._by_txn: dict[int, list[LogRecord]] = {}
         self._next_lsn = 1
         self._flushed_count = 0
         self.flush_policy = FlushPolicy.from_string(flush_policy)
@@ -132,6 +133,12 @@ class WriteAheadLog:
         record = LogRecord(lsn=LSN(self._next_lsn), txn_id=txn_id, type=type, **fields_)
         self._next_lsn += 1
         self._records.append(record)
+        by_txn = self._by_txn
+        bucket = by_txn.get(txn_id)
+        if bucket is None:
+            by_txn[txn_id] = [record]
+        else:
+            bucket.append(record)
         return record
 
     def note_commit(self) -> bool:
@@ -210,24 +217,60 @@ class WriteAheadLog:
         """
 
         limit = self._flushed_count if durable_only else len(self._records)
+        target = lsn.value if isinstance(lsn, LSN) else int(lsn)
+        records = self._records
         low, high = 0, limit
         while low < high:
             mid = (low + high) // 2
-            if self._records[mid].lsn > lsn:
+            if records[mid].lsn.value > target:
                 high = mid
             else:
                 low = mid + 1
-        return list(self._records[low:limit])
+        return records[low:limit]
 
     def records_of(self, txn_id: int, durable_only: bool = False) -> list[LogRecord]:
-        source = self.records(durable_only)
-        return [record for record in source if record.txn_id == txn_id]
+        # Served from a per-transaction index: scanning the whole log here
+        # made replica-staleness checks quadratic in log length.
+        bucket = self._by_txn.get(txn_id)
+        if bucket is None:
+            return []
+        if not durable_only:
+            return list(bucket)
+        if self._flushed_count == 0:
+            return []
+        durable = self._records[self._flushed_count - 1].lsn.value
+        return [record for record in bucket if record.lsn.value <= durable]
+
+    def outcome_of(self, txn_id: int) -> str:
+        """The durable outcome of *txn_id* -- ``"committed"``, ``"aborted"``
+        or ``"unknown"`` -- scanning the durable prefix backwards without
+        copying the log (this runs on every 2PC in-doubt resolution)."""
+
+        records = self._records
+        for position in range(self._flushed_count - 1, -1, -1):
+            record = records[position]
+            if record.txn_id != txn_id:
+                continue
+            if record.type is LogRecordType.COMMIT:
+                return "committed"
+            if record.type is LogRecordType.ABORT:
+                return "aborted"
+        return "unknown"
 
     # -- crash simulation --------------------------------------------------------
     def lose_unflushed(self) -> int:
         """Discard records that were never flushed; returns how many were lost."""
 
         lost = len(self._records) - self._flushed_count
+        durable = self.flushed_lsn.value
+        for record in self._records[self._flushed_count:]:
+            bucket = self._by_txn.get(record.txn_id)
+            if bucket is None:
+                continue
+            while bucket and bucket[-1].lsn.value > durable:
+                bucket.pop()
+            if not bucket:
+                del self._by_txn[record.txn_id]
         del self._records[self._flushed_count:]
         self._next_lsn = (self._records[-1].lsn.value + 1) if self._records else 1
         self._pending_commits = 0

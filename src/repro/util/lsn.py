@@ -9,12 +9,15 @@ engine and those state identifiers.
 
 from __future__ import annotations
 
-import functools
 
-
-@functools.total_ordering
 class LSN:
-    """A totally ordered log sequence number."""
+    """A totally ordered log sequence number.
+
+    All six comparison operators are written out explicitly: LSN
+    comparisons sit on the WAL-shipping hot path, and the wrappers
+    ``functools.total_ordering`` synthesizes cost an extra call (plus a
+    ``NotImplemented`` dance) per comparison.
+    """
 
     __slots__ = ("value",)
 
@@ -38,6 +41,27 @@ class LSN:
             return self.value < other.value
         if isinstance(other, int):
             return self.value < other
+        return NotImplemented
+
+    def __le__(self, other: object) -> bool:
+        if isinstance(other, LSN):
+            return self.value <= other.value
+        if isinstance(other, int):
+            return self.value <= other
+        return NotImplemented
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, LSN):
+            return self.value > other.value
+        if isinstance(other, int):
+            return self.value > other
+        return NotImplemented
+
+    def __ge__(self, other: object) -> bool:
+        if isinstance(other, LSN):
+            return self.value >= other.value
+        if isinstance(other, int):
+            return self.value >= other
         return NotImplemented
 
     def __hash__(self) -> int:

@@ -5,17 +5,23 @@ URL: protocol://server-name/pathname/filename" (Section 2.1).  Access tokens
 handed out by the host database are embedded in the file name so that
 applications keep using the ordinary file-system API; DLFS strips and
 validates the token during ``fs_lookup``.
+
+Parsing and formatting are memoized: the engine re-parses the same URL text
+on every operation (token minting, routing, open, update, unlink all start
+from the URL), and :class:`DatalinkURL` is frozen, so cached instances are
+safely shared between call sites.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 TOKEN_SEPARATOR = ";token="
 DEFAULT_SCHEME = "dlfs"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DatalinkURL:
     """A parsed DATALINK reference.
 
@@ -58,8 +64,15 @@ class DatalinkURL:
         return self.render()
 
 
+@functools.lru_cache(maxsize=8192)
 def parse_url(text: str) -> DatalinkURL:
-    """Parse ``scheme://server/path[;token=...]`` into a :class:`DatalinkURL`."""
+    """Parse ``scheme://server/path[;token=...]`` into a :class:`DatalinkURL`.
+
+    The token marker is only recognized in the *final* path segment, at its
+    *last* occurrence: a directory component that legitimately contains the
+    ``;token=`` substring (e.g. ``/a;token=x/b``) is part of the path, not a
+    token, and must round-trip through :func:`format_url` untouched.
+    """
 
     if "://" not in text:
         raise ValueError(f"not a DATALINK URL: {text!r}")
@@ -69,13 +82,18 @@ def parse_url(text: str) -> DatalinkURL:
     server, path = rest.split("/", 1)
     path = "/" + path
     token = None
-    if TOKEN_SEPARATOR in path:
-        path, token = path.split(TOKEN_SEPARATOR, 1)
+    slash = path.rfind("/")
+    segment = path[slash + 1:]
+    index = segment.rfind(TOKEN_SEPARATOR)
+    if index != -1:
+        token = segment[index + len(TOKEN_SEPARATOR):]
+        path = path[:slash + 1] + segment[:index]
     if not server:
         raise ValueError(f"DATALINK URL is missing a server: {text!r}")
     return DatalinkURL(scheme=scheme, server=server, path=path, token=token)
 
 
+@functools.lru_cache(maxsize=8192)
 def format_url(server: str, path: str, *, scheme: str = DEFAULT_SCHEME,
                token: str | None = None) -> str:
     """Build DATALINK URL text from components."""
@@ -86,11 +104,15 @@ def format_url(server: str, path: str, *, scheme: str = DEFAULT_SCHEME,
 
 
 def split_token_from_name(name: str) -> tuple[str, str | None]:
-    """Split a (possibly token-carrying) file name into (name, token)."""
+    """Split a (possibly token-carrying) file name into (name, token).
 
-    if TOKEN_SEPARATOR in name:
-        bare, token = name.split(TOKEN_SEPARATOR, 1)
-        return bare, token
+    Splits at the *last* occurrence, mirroring :func:`parse_url`: the token
+    is always the suffix the database appended most recently.
+    """
+
+    index = name.rfind(TOKEN_SEPARATOR)
+    if index != -1:
+        return name[:index], name[index + len(TOKEN_SEPARATOR):]
     return name, None
 
 

@@ -103,10 +103,17 @@ class ZipfChooser:
         ranks = np.arange(1, n + 1, dtype=float)
         weights = 1.0 / np.power(ranks, theta)
         self._probabilities = weights / weights.sum()
+        # ``Generator.choice(n, p=...)`` re-validates and re-accumulates the
+        # probability vector on every draw.  Precomputing the CDF and
+        # inverting one uniform sample reproduces choice() exactly (same
+        # searchsorted over the same cumulative weights, same single draw
+        # from the bit stream), so seeded traffic is unchanged.
+        self._cdf = self._probabilities.cumsum()
+        self._cdf /= self._cdf[-1]
         self._rng = np.random.default_rng(seed)
 
     def choose(self) -> int:
-        return int(self._rng.choice(self._n, p=self._probabilities))
+        return int(self._cdf.searchsorted(self._rng.random(), side="right"))
 
     def choose_many(self, count: int) -> list[int]:
         return [self.choose() for _ in range(count)]

@@ -282,7 +282,8 @@ class TestTokenCache:
         clock.advance(0.9)   # 0.1 s of life left < 0.5 * 1.0
         assert cache.lookup("fs1", "/f", TokenType.READ, 1.0) is None
         assert cache.stats() == {"hits": 0, "misses": 1, "entries": 0,
-                                 "hit_rate": 0.0}
+                                 "hit_rate": 0.0, "evictions": 1,
+                                 "max_entries": cache.max_entries}
 
     def test_short_ttl_request_never_gets_long_lived_token(self):
         """A caller asking for a short-lived capability must not receive a

@@ -1,0 +1,115 @@
+"""Tier-1 guards for the bench artifact: sim identity and wall-clock budget.
+
+The simulator fast path is maintained under a strict pure-refactor
+invariant: optimizations may change how fast the simulation *runs*, never
+what it *simulates*.  These tests re-run the full ``--smoke`` suite
+in-process and hold it against the committed ``BENCH_smoke.json``:
+
+* every simulated field (rows, sim_ms columns, notes -- everything except
+  the ``wall_clock*`` measurements and ``profile`` tables) must be
+  byte-identical to the committed artifact;
+* the total wall clock must not regress by more than 25% against the
+  committed baseline (best of three runs, so a noisy neighbor does not
+  fail the build).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import run_all
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+COMMITTED_ARTIFACT = REPO_ROOT / "BENCH_smoke.json"
+
+#: Keys in a per-experiment artifact entry that are *measured*, not
+#: simulated; everything else must be deterministic.
+NON_SIM_KEYS = ("wall_clock", "profile")
+
+
+def _is_sim_key(key: str) -> bool:
+    return not key.startswith(NON_SIM_KEYS)
+
+
+def _run_smoke(tmp_path: Path, tag: str) -> dict:
+    json_path = tmp_path / f"bench_{tag}.json"
+    run_all(smoke=True, json_path=str(json_path), stream=io.StringIO())
+    with open(json_path, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+@pytest.fixture(scope="module")
+def committed() -> dict:
+    if not COMMITTED_ARTIFACT.exists():
+        pytest.skip("no committed BENCH_smoke.json to compare against")
+    with open(COMMITTED_ARTIFACT, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+@pytest.fixture(scope="module")
+def smoke_payload(tmp_path_factory) -> dict:
+    tmp_path = tmp_path_factory.mktemp("bench")
+    return _run_smoke(tmp_path, "fresh")
+
+
+class TestSimulatedResultsInvariant:
+    """Golden-value check: simulated output equals the committed artifact."""
+
+    def test_same_experiments(self, committed, smoke_payload):
+        assert set(smoke_payload["experiments"]) == set(committed["experiments"])
+
+    def test_simulated_fields_are_identical(self, committed, smoke_payload):
+        mismatches = []
+        for name, golden in committed["experiments"].items():
+            fresh = smoke_payload["experiments"][name]
+            for key, value in golden.items():
+                if not _is_sim_key(key):
+                    continue
+                if fresh.get(key) != value:
+                    mismatches.append(f"{name}.{key}")
+            for key in fresh:
+                if _is_sim_key(key) and key not in golden:
+                    mismatches.append(f"{name}.{key} (new field)")
+        assert not mismatches, (
+            "simulated results drifted from the committed BENCH_smoke.json "
+            f"baseline: {mismatches}; if the change is intentional, "
+            "regenerate the artifact with `python -m repro.bench --smoke` "
+            "from the repository root and commit it")
+
+
+class TestWallClockBudget:
+    """The smoke suite must not silently get slower than the baseline."""
+
+    ALLOWED_REGRESSION = 1.25
+    ATTEMPTS = 3
+
+    @staticmethod
+    def _total(payload: dict) -> float:
+        summary = payload.get("wall_clock")
+        if isinstance(summary, dict) and "total_s" in summary:
+            return float(summary["total_s"])
+        return sum(experiment.get("wall_clock_s", 0.0)
+                   for experiment in payload["experiments"].values())
+
+    def test_total_wall_clock_within_budget(self, committed, smoke_payload,
+                                            tmp_path):
+        baseline = self._total(committed)
+        if baseline <= 0:
+            pytest.skip("committed artifact carries no wall-clock baseline")
+        budget = baseline * self.ALLOWED_REGRESSION
+        best = self._total(smoke_payload)
+        attempt = 1
+        # Wall clock is noisy; only repeated misses count as a regression.
+        while best > budget and attempt < self.ATTEMPTS:
+            attempt += 1
+            best = min(best, self._total(_run_smoke(tmp_path, f"retry{attempt}")))
+        assert best <= budget, (
+            f"--smoke total wall clock regressed: best of {attempt} runs was "
+            f"{best:.3f}s against a committed baseline of {baseline:.3f}s "
+            f"(>{self.ALLOWED_REGRESSION:.0%} budget {budget:.3f}s); profile "
+            "with `python -m repro.bench --profile --smoke` and recover the "
+            "loss, or justify and regenerate the committed artifact")

@@ -246,3 +246,62 @@ class TestFileSystemProperties:
         assert pfs.fs_readdir(pfs.root_vnode(), root) == sorted(names)
         with pytest.raises(FileSystemError):
             pfs.fs_create(pfs.root_vnode(), names[0], 0o644, root)
+
+
+# ---------------------------------------------------------------------------
+# Replication router: round-robin read fairness
+# ---------------------------------------------------------------------------
+
+class TestRoundRobinFairness:
+    """The follower-read round-robin must stay fair and bounded.
+
+    The position counter wraps at the candidate count and resets whenever
+    the candidate set changes (e.g. a witness crash shrinking it), so no
+    node is skipped or double-served because of a phase inherited from an
+    older membership.
+    """
+
+    _pool = ["n0", "n1", "n2", "n3"]
+
+    def _router(self):
+        from repro.datalinks.routing import ReplicationRouter, ShardRouter
+
+        return ReplicationRouter(ShardRouter(["shard0"]))
+
+    @SETTINGS
+    @given(phases=st.lists(
+        st.tuples(
+            st.lists(st.sampled_from(["n0", "n1", "n2", "n3"]),
+                     min_size=1, max_size=4, unique=True),
+            st.integers(min_value=1, max_value=12),
+        ),
+        min_size=1, max_size=6))
+    def test_reads_within_a_stable_membership_are_fair(self, phases):
+        from types import SimpleNamespace
+
+        router = self._router()
+        membership: list = []
+        router.read_candidates = lambda shard, path=None: list(membership)
+        router.serving_node = lambda shard: membership[0].name
+
+        previous_names: tuple = ()
+        for names, reads in phases:
+            membership = [SimpleNamespace(name=name) for name in names]
+            counts: dict[str, int] = {}
+            first_pick = None
+            for _ in range(reads):
+                chosen = router.route_read("shard0")
+                if first_pick is None:
+                    first_pick = chosen.name
+                counts[chosen.name] = counts.get(chosen.name, 0) + 1
+                # The stored position always stays wrapped in range.
+                assert 0 <= router._round_robin["shard0"] < len(names)
+            # Fairness: under stable membership the spread between the
+            # most- and least-served candidate is at most one read.
+            served = [counts.get(name, 0) for name in names]
+            assert max(served) - min(served) <= 1
+            # A membership change restarts the rotation at the first
+            # candidate instead of inheriting the old phase.
+            if tuple(names) != previous_names:
+                assert first_pick == names[0]
+            previous_names = tuple(names)
