@@ -67,6 +67,16 @@ Scale-out knobs (step 7):
   ``rebalance_prefix`` moves (splitting a prefix deeper when moving it
   whole cannot help, merging it back once the heat is gone).
 
+Bench scale tiers (``python -m repro.bench``): ``--smoke`` runs every
+experiment on tiny configs in under a second (the tier-1 CI gate and the
+committed ``BENCH_smoke.json`` artifact live there), the default tier runs
+the paper-scale configs, and ``--scale large`` is the capacity tier — E14
+at ~100x smoke op count and E9 with 1,200 reader sessions, budgeted at
+<60s, outside tier-1.  ``--profile`` records a deterministic per-experiment
+function-call count (``profile_calls``) next to the cProfile table, and
+``--best-of N`` records every wall-clock sample so CI can tell a
+regression from a noisy neighbor.
+
 Run with:  python examples/quickstart.py
 """
 

@@ -58,13 +58,24 @@ class SyncedFileSystem:
             return attribute
 
         def synced_call(*args, **kwargs):
-            # The body of ``synchronized_call`` without the context-manager
-            # machinery: this wrapper brackets every proxied syscall.
-            server.sync_to(client.send_time())
+            # The body of ``synchronized_call`` with the four clock calls
+            # (send_time / sync_to / now / receive) written out as direct
+            # attribute work: this wrapper brackets every proxied syscall.
+            frames = client._overlap_frames
+            instant = frames[-1][0] if frames else client._now
+            if instant > server._now:
+                server._now = instant
             try:
                 return attribute(*args, **kwargs)
             finally:
-                client.receive(server.now())
+                instant = server._now
+                frames = client._overlap_frames
+                if frames:
+                    frame = frames[-1]
+                    if instant > frame[1]:
+                        frame[1] = instant
+                elif instant > client._now:
+                    client._now = instant
 
         # Cache the bound wrapper so later accesses skip __getattr__.
         self.__dict__[name] = synced_call
@@ -80,10 +91,14 @@ def synced_lfs(system, server_name: str):
     accumulates -- can be reused across every session call.
     """
 
-    cache = getattr(system, "_synced_lfs_cache", None)
-    if cache is None:
+    try:
+        cache = system._synced_lfs_cache
+    except AttributeError:
         cache = system._synced_lfs_cache = {}
-    proxy = cache.get(server_name)
+    try:
+        proxy = cache[server_name]
+    except KeyError:
+        proxy = None
     if proxy is None:
         file_server = system.file_server(server_name)
         if file_server.clock is system.clock:

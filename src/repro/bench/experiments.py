@@ -645,11 +645,13 @@ def experiment_e8() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 def experiment_e9(pages: int = 24, operations: int = 200,
-                  page_size: int = 64 * 1024) -> ExperimentResult:
+                  page_size: int = 64 * 1024,
+                  clients: int = 1) -> ExperimentResult:
     rows = []
     for servers in (1, 2, 4):
         config = WebSiteConfig(pages=pages, operations=operations, page_size=page_size,
-                               file_servers=servers, control_mode=ControlMode.RFD)
+                               file_servers=servers, control_mode=ControlMode.RFD,
+                               clients=clients)
         workload = WebServerWorkload(config).setup()
         metrics = workload.run()
         per_server_mb = [
@@ -675,7 +677,7 @@ def experiment_e9(pages: int = 24, operations: int = 200,
     # token instead of regenerating the HMAC.
     rdd_config = WebSiteConfig(pages=pages, operations=operations,
                                page_size=page_size, file_servers=1,
-                               control_mode=ControlMode.RDD)
+                               control_mode=ControlMode.RDD, clients=clients)
     rdd = WebServerWorkload(rdd_config).setup()
     metrics = rdd.run()
     cache = rdd.system.engine.token_cache_stats()
@@ -1213,11 +1215,38 @@ SMOKE_PARAMS = {
 }
 
 
-def run_experiment(experiment_id: str, smoke: bool = False) -> ExperimentResult:
+#: Scaled-up overrides for the ``--scale large`` bench tier.  These runs
+#: exist to exercise the vectorized-schedule fast paths at volume -- E14 at
+#: roughly 100x the smoke operation count (12 rounds x (120 links + 1080
+#: reads) = 14,400 burst operations against smoke's 144) and E9 with the
+#: operation mix spread over 1,200 concurrent reader sessions.  The tier
+#: is *not* part of tier-1 CI and writes no artifact by default; the
+#: working budget is that E14 completes in well under a minute.
+LARGE_PARAMS = {
+    "E9": {"pages": 64, "operations": 2400, "page_size": 16 * 1024,
+           "clients": 1200},
+    "E14": {"shards": 4, "prefixes": 12, "rounds": 12,
+            "links_per_round": 120, "reads_per_round": 1080,
+            "file_size": 512},
+}
+
+#: Per-scale parameter overrides; ``"default"`` runs every experiment with
+#: its full (paper-shaped) configuration.
+SCALE_PARAMS = {
+    "smoke": SMOKE_PARAMS,
+    "default": {},
+    "large": LARGE_PARAMS,
+}
+
+
+def run_experiment(experiment_id: str, smoke: bool = False,
+                   scale: str | None = None) -> ExperimentResult:
     """Run one experiment by id (``"E1"`` .. ``"E14"``).
 
     ``smoke=True`` substitutes the tiny :data:`SMOKE_PARAMS` configuration --
-    the fast sanity mode behind ``python -m repro.bench --smoke``.
+    the fast sanity mode behind ``python -m repro.bench --smoke``.  ``scale``
+    names a tier from :data:`SCALE_PARAMS` explicitly (``"smoke"``,
+    ``"default"`` or ``"large"``) and wins over the ``smoke`` flag.
     """
 
     identifier = experiment_id.upper()
@@ -1226,9 +1255,14 @@ def run_experiment(experiment_id: str, smoke: bool = False) -> ExperimentResult:
     except KeyError:
         raise KeyError(f"unknown experiment {experiment_id!r}; "
                        f"known: {sorted(ALL_EXPERIMENTS)}") from None
-    if smoke:
-        return factory(**SMOKE_PARAMS.get(identifier, {}))
-    return factory()
+    if scale is None:
+        scale = "smoke" if smoke else "default"
+    try:
+        params = SCALE_PARAMS[scale]
+    except KeyError:
+        raise KeyError(f"unknown scale {scale!r}; "
+                       f"known: {sorted(SCALE_PARAMS)}") from None
+    return factory(**params.get(identifier, {}))
 
 
 # Public aliases used by the pytest-benchmark wrappers in ``benchmarks/``.

@@ -35,15 +35,23 @@ import pstats
 import sys
 import time
 
-from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.bench.experiments import (ALL_EXPERIMENTS, LARGE_PARAMS,
+                                     run_experiment)
 from repro.bench.metrics import ExperimentResult
 
 SMOKE_ARTIFACT = "BENCH_smoke.json"
 PROFILE_TOP_N = 15
 
 
-def _profile_rows(profiler: cProfile.Profile, top_n: int = PROFILE_TOP_N) -> list[dict]:
-    """The top-*top_n* functions by cumulative time, as artifact rows."""
+def _profile_summary(profiler: cProfile.Profile,
+                     top_n: int = PROFILE_TOP_N) -> dict:
+    """Profile digest: deterministic total call count + top-N rows.
+
+    ``total_calls`` is the profiler's total function-call count across the
+    experiment -- unlike the timing columns it is a *deterministic* measure
+    of how much work the hot paths do (the simulator is single-threaded and
+    seeded), so successive artifacts can be diffed call-for-call.
+    """
 
     stats = pstats.Stats(profiler)
     stats.sort_stats("cumulative")
@@ -59,11 +67,13 @@ def _profile_rows(profiler: cProfile.Profile, top_n: int = PROFILE_TOP_N) -> lis
             "tottime_s": round(tottime, 4),
             "cumtime_s": round(cumtime, 4),
         })
-    return rows
+    return {"total_calls": stats.total_calls, "rows": rows}
 
 
-def _render_profile(identifier: str, rows: list[dict]) -> str:
-    lines = [f"profile {identifier} (top {len(rows)} by cumulative time):"]
+def _render_profile(identifier: str, summary: dict) -> str:
+    rows = summary["rows"]
+    lines = [f"profile {identifier} (total calls: {summary['total_calls']}; "
+             f"top {len(rows)} by cumulative time):"]
     lines.append(f"  {'ncalls':>8}  {'tottime_s':>9}  {'cumtime_s':>9}  function")
     for row in rows:
         lines.append(f"  {row['ncalls']:>8}  {row['tottime_s']:>9.4f}  "
@@ -89,12 +99,17 @@ def _load_baseline(path: str) -> dict:
 
 def write_artifact(results: list[ExperimentResult], wall_clock: dict,
                    path: str, smoke: bool,
-                   profiles: dict | None = None) -> None:
+                   profiles: dict | None = None,
+                   wall_clock_samples: dict | None = None,
+                   mode: str | None = None) -> None:
     """Write the JSON perf artifact for *results* to *path*.
 
     A pre-existing artifact at *path* supplies the wall-clock baseline the
     new numbers are diffed against (``wall_clock_delta_s`` per experiment,
-    totals under the top-level ``wall_clock`` key).
+    totals under the top-level ``wall_clock`` key).  ``wall_clock_samples``
+    records *every* timing sample of a best-of-N run (the per-experiment
+    ``wall_clock_s`` is the winner, but the artifact keeps the full sample
+    list so the measurement's spread is auditable, not just its minimum).
     """
 
     baseline = _load_baseline(path)
@@ -105,15 +120,20 @@ def write_artifact(results: list[ExperimentResult], wall_clock: dict,
             **result.to_dict(),
             "wall_clock_s": round(wall_clock.get(identifier, 0.0), 3),
         }
+        samples = (wall_clock_samples or {}).get(identifier)
+        if samples:
+            entry["wall_clock_samples_s"] = [round(sample, 3)
+                                             for sample in samples]
         previous = baseline.get(identifier)
         if isinstance(previous, (int, float)):
             entry["wall_clock_delta_s"] = round(
                 entry["wall_clock_s"] - previous, 3)
         if profiles and identifier in profiles:
-            entry["profile"] = profiles[identifier]
+            entry["profile"] = profiles[identifier]["rows"]
+            entry["profile_calls"] = profiles[identifier]["total_calls"]
         experiments[identifier] = entry
     payload = {
-        "mode": "smoke" if smoke else "full",
+        "mode": mode if mode is not None else ("smoke" if smoke else "full"),
         "experiments": experiments,
     }
     total = sum(wall_clock.get(result.experiment_id, 0.0) for result in results)
@@ -134,23 +154,41 @@ def write_artifact(results: list[ExperimentResult], wall_clock: dict,
 
 def run_all(experiment_ids: list[str] | None = None, *,
             markdown: bool = False, smoke: bool = False,
-            json_path: str | None = None, profile: bool = False,
+            scale: str | None = None, json_path: str | None = None,
+            profile: bool = False, best_of: int = 1,
             stream=None) -> list[ExperimentResult]:
     """Run the selected experiments (all by default), printing each table.
 
-    ``smoke=True`` uses the tiny per-experiment configurations -- a fast
-    sanity pass over every experiment's full code path -- and, unless
-    ``json_path`` says otherwise, writes the :data:`SMOKE_ARTIFACT` perf
-    summary next to the current working directory.  ``profile=True``
+    ``smoke=True`` (equivalently ``scale="smoke"``) uses the tiny
+    per-experiment configurations -- a fast sanity pass over every
+    experiment's full code path -- and, unless ``json_path`` says
+    otherwise, writes the :data:`SMOKE_ARTIFACT` perf summary next to the
+    current working directory.  ``scale="large"`` runs the scaled-up tier
+    (by default only the experiments with large configurations,
+    :data:`~repro.bench.experiments.LARGE_PARAMS`).  ``profile=True``
     additionally wraps every experiment in :mod:`cProfile` and attaches
-    the top-N cumulative table to its artifact entry.
+    the deterministic total call count plus the top-N cumulative table to
+    its artifact entry.  ``best_of`` re-times each experiment that many
+    times: ``wall_clock_s`` is the fastest sample and the artifact records
+    the full ``wall_clock_samples_s`` list (simulated results come from
+    the first run; reruns are timing-only and discarded).
     """
 
     stream = stream if stream is not None else sys.stdout
-    ids = [identifier.upper() for identifier in (experiment_ids or sorted(ALL_EXPERIMENTS))]
+    if scale is None:
+        scale = "smoke" if smoke else "default"
+    smoke = scale == "smoke"
+    if experiment_ids:
+        ids = [identifier.upper() for identifier in experiment_ids]
+    elif scale == "large":
+        ids = sorted(LARGE_PARAMS)
+    else:
+        ids = sorted(ALL_EXPERIMENTS)
+    best_of = max(1, best_of)
     results = []
     wall_clock: dict[str, float] = {}
-    profiles: dict[str, list] = {}
+    wall_samples: dict[str, list] = {}
+    profiles: dict[str, dict] = {}
     # The experiments allocate heavily but retain almost nothing between
     # rounds; collector pauses inside the measured window are pure noise,
     # so the cyclic GC is parked for the duration of the run.
@@ -159,20 +197,47 @@ def run_all(experiment_ids: list[str] | None = None, *,
     try:
         for identifier in ids:
             profiler = cProfile.Profile() if profile else None
-            started = time.time()
-            if profiler is not None:
+            if profiler is not None and best_of > 1:
+                # Timing and profiling want different passes: the
+                # instrumented pass is not a timing sample, and the
+                # profile should count *steady-state* calls (cold
+                # first-run cache fills depend on what ran earlier in
+                # the process).  So all best-of samples come from clean
+                # passes first, and the profiled pass runs last, warm.
+                samples = []
+                for _ in range(best_of):
+                    started = time.time()
+                    run_experiment(identifier, scale=scale)
+                    samples.append(time.time() - started)
                 profiler.enable()
-            result = run_experiment(identifier, smoke=smoke)
-            if profiler is not None:
+                result = run_experiment(identifier, scale=scale)
                 profiler.disable()
-            elapsed = time.time() - started
+            else:
+                started = time.time()
+                if profiler is not None:
+                    profiler.enable()
+                result = run_experiment(identifier, scale=scale)
+                if profiler is not None:
+                    profiler.disable()
+                samples = [time.time() - started]
+                for _ in range(best_of - 1):
+                    started = time.time()
+                    run_experiment(identifier, scale=scale)
+                    samples.append(time.time() - started)
+            elapsed = min(samples)
             wall_clock[identifier] = elapsed
+            wall_samples[identifier] = samples
             results.append(result)
             rendered = result.as_markdown() if markdown else result.as_text()
             print(rendered, file=stream)
-            print(f"(wall clock: {elapsed:.1f} s)", file=stream)
+            if best_of > 1:
+                rendered_samples = ", ".join(f"{value:.3f}" for value in samples)
+                print(f"(wall clock: {elapsed:.1f} s, best of {best_of}: "
+                      f"[{rendered_samples}])", file=stream)
+            else:
+                print(f"(wall clock: {elapsed:.1f} s)", file=stream)
             if profiler is not None:
-                profiles[identifier] = _profile_rows(profiler)
+                profiles[identifier] = _profile_summary(profiler)
                 print(_render_profile(identifier, profiles[identifier]),
                       file=stream)
             print("", file=stream)
@@ -183,7 +248,9 @@ def run_all(experiment_ids: list[str] | None = None, *,
         json_path = SMOKE_ARTIFACT
     if json_path:
         write_artifact(results, wall_clock, json_path, smoke,
-                       profiles=profiles or None)
+                       profiles=profiles or None,
+                       wall_clock_samples=wall_samples,
+                       mode=scale if scale != "default" else "full")
         print(f"wrote {json_path}", file=stream)
     return results
 
@@ -202,15 +269,31 @@ def main(argv: list[str] | None = None) -> int:
                         help="emit markdown tables (for EXPERIMENTS.md)")
     parser.add_argument("--smoke", action="store_true",
                         help="run every experiment with a tiny configuration "
-                             "(fast CI sanity mode); writes BENCH_smoke.json")
+                             "(fast CI sanity mode); writes BENCH_smoke.json "
+                             "(shorthand for --scale smoke)")
+    parser.add_argument("--scale", choices=("smoke", "default", "large"),
+                        default=None,
+                        help="configuration tier: smoke (tiny CI configs), "
+                             "default (full paper-shaped configs) or large "
+                             "(scaled-up stress tier -- E14 at ~100x the "
+                             "smoke operation count, E9 with thousands of "
+                             "client sessions; not part of tier-1 CI)")
     parser.add_argument("--profile", action="store_true",
                         help="wrap each experiment in cProfile and attach the "
+                             "deterministic total call count plus the "
                              f"top-{PROFILE_TOP_N} cumulative-time table to "
                              "the artifact (and print it)")
+    parser.add_argument("--best-of", type=int, default=1, metavar="N",
+                        help="time each experiment N times, report the "
+                             "fastest run and record every sample in the "
+                             "artifact (simulated results are identical "
+                             "across reruns; default: 1)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write a JSON perf summary to PATH (default: "
                              f"{SMOKE_ARTIFACT} in smoke mode, off otherwise)")
     args = parser.parse_args(argv)
-    run_all(args.experiments or None, markdown=args.markdown, smoke=args.smoke,
-            json_path=args.json, profile=args.profile)
+    scale = args.scale if args.scale is not None else \
+        ("smoke" if args.smoke else "default")
+    run_all(args.experiments or None, markdown=args.markdown, scale=scale,
+            json_path=args.json, profile=args.profile, best_of=args.best_of)
     return 0

@@ -102,7 +102,8 @@ class DataLinksFileManager:
         return self.files.dbms_uid if self.files is not None else DEFAULT_DBMS_UID
 
     def _now(self) -> float:
-        return self.clock.now() if self.clock is not None else 0.0
+        clock = self.clock
+        return clock._now if clock is not None else 0.0
 
     # -------------------------------------------------------------- fencing -----
     def set_fencing(self, guard) -> None:

@@ -147,7 +147,14 @@ class DLFMRepository:
         rows = self.db.select(table, lock=False)
         if not rows:
             return 1
-        return max(row[column] for row in rows) + 1
+        # Explicit loop: a genexpr under ``max`` costs a resumed frame per
+        # row, and this runs on every sync-entry / token-entry registration.
+        best = 0
+        for row in rows:
+            value = row[column]
+            if value > best:
+                best = value
+        return best + 1
 
     # ------------------------------------------------------------ linked files --
     def insert_linked_file(self, row: dict, txn: Transaction | None = None) -> None:
@@ -261,9 +268,12 @@ class DLFMRepository:
 
     def latest_version_no(self, path: str) -> int:
         versions = self.versions(path)
-        if not versions:
-            return 0
-        return max(row["version_no"] for row in versions)
+        best = 0
+        for row in versions:
+            number = row["version_no"]
+            if number > best:
+                best = number
+        return best
 
     def versions(self, path: str) -> list[dict]:
         rows = self.db.select("file_versions", {"path": path}, lock=False)

@@ -109,6 +109,22 @@ class DataLinksFileSystem(FilterVFS):
     def _lock_owner(self, vnode: Vnode, cred: Credentials) -> tuple:
         return ("dlfs", vnode.ino, cred.uid)
 
+    def walk_profile(self):
+        # A token-free lookup through DLFS is the filter charge plus the
+        # lower layer's fixed sequence; token-carrying components make
+        # upcalls, so the logical layer only replays token-free walks
+        # (it checks each component for the ``;token=`` marker).
+        lower = self.lower.walk_profile()
+        if lower is None:
+            return None
+        lower_clock, lower_events, anchor = lower
+        if self.clock is None:
+            return lower
+        if lower_clock is not None and lower_clock is not self.clock:
+            # Split-clock stacks cannot replay as one pattern; resolve live.
+            return None
+        return (self.clock, (("dlfs_filter", 1.0, None), *lower_events), anchor)
+
     # ------------------------------------------------------------------- lookup --
     def fs_lookup(self, dir_vnode, name, cred):
         self._charge()

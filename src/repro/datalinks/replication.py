@@ -80,6 +80,18 @@ class EpochRegistry:
     def __init__(self):
         self._epochs: dict[str, int] = {}
         self._serving: dict[str, str] = {}
+        #: Bumped on every lease change; replica sets refresh their
+        #: serving-node resolution through :meth:`subscribe` (push
+        #: invalidation -- read routing touches the resolved name on every
+        #: request, so polling this counter there was measurable).
+        self.version = 0
+        self._listeners: list = []
+
+    def subscribe(self, listener) -> None:
+        """Call *listener* () after every lease change."""
+
+        if listener not in self._listeners:
+            self._listeners.append(listener)
 
     def register(self, shard: str, node: str) -> int:
         """Grant the initial lease for *shard* to *node* (epoch 1)."""
@@ -87,6 +99,9 @@ class EpochRegistry:
         if shard not in self._epochs:
             self._epochs[shard] = 1
             self._serving[shard] = node
+            self.version += 1
+            for listener in self._listeners:
+                listener()
         return self._epochs[shard]
 
     def current_epoch(self, shard: str) -> int:
@@ -106,10 +121,16 @@ class EpochRegistry:
         if self._serving[shard] != node:
             self._epochs[shard] += 1
             self._serving[shard] = node
+            self.version += 1
+            for listener in self._listeners:
+                listener()
         return self._epochs[shard]
 
     def is_current(self, shard: str, node: str) -> bool:
-        return self._serving.get(shard) == node
+        try:
+            return self._serving[shard] == node
+        except KeyError:
+            return node is None
 
 
 class EpochGuard:
@@ -191,12 +212,16 @@ class ReplicaApplier:
     def apply(self, records: list) -> dict:
         """Apply one shipped batch; returns counters for the daemon reply."""
 
-        if records:
+        if records and self.failpoints:
             self._fire("replicate:apply")
         commits = aborts = 0
+        pending = self._pending
         for record in records:
             if record.type in _DATA_RECORDS:
-                self._pending.setdefault(record.txn_id, []).append(record)
+                try:
+                    pending[record.txn_id].append(record)
+                except KeyError:
+                    pending[record.txn_id] = [record]
             elif record.type is LogRecordType.PREPARE:
                 self._prepared[record.txn_id] = record.extra.get("host_txn_id")
             elif record.type is LogRecordType.COMMIT:
@@ -219,22 +244,82 @@ class ReplicaApplier:
                 "pending_txns": len(self._pending)}
 
     def _apply_txn(self, txn_id: int) -> None:
-        for record in self._pending.pop(txn_id, []):
-            self._redo(record)
-        self._prepared.pop(txn_id, None)
+        pending = self._pending
+        try:
+            records = pending[txn_id]
+            del pending[txn_id]
+        except KeyError:
+            records = None
+        if records:
+            db = self._db
+            redo = self._redo
+            files = self._files
+            applied = 0
+            run = 0
+            for record in records:
+                if files is not None and record.table == "linked_files":
+                    # Redoing a link row can touch the local file system
+                    # (its charges would interleave with deferred
+                    # ``row_write`` charges), so flush the batched run
+                    # first and charge this record's write in place.
+                    if run:
+                        self._charge_row_writes(run)
+                        run = 0
+                    if redo(record):
+                        applied += 1
+                        db._charge("row_write")
+                elif redo(record):
+                    applied += 1
+                    run += 1
+            if run:
+                self._charge_row_writes(run)
+            self.applied_records += applied
+        try:
+            del self._prepared[txn_id]
+        except KeyError:
+            pass
         self.applied_commits += 1
 
-    def _drop_txn(self, txn_id: int) -> None:
-        if self._pending.pop(txn_id, None) is not None:
-            self.dropped_txns += 1
-        self._prepared.pop(txn_id, None)
+    def _charge_row_writes(self, count: int) -> None:
+        """One aggregated ``row_write`` advance for *count* redone records.
 
-    def _redo(self, record) -> None:
-        """Redo one data record into the witness heaps, maintaining indexes."""
+        ``charge_run`` replays the per-record amounts in order, so the
+        simulated clock and stats match *count* scalar charges exactly.
+        """
+
+        db = self._db
+        clock = db.clock
+        if clock is None:
+            return
+        labels = db._charge_labels
+        try:
+            label = labels["row_write"]
+        except KeyError:
+            label = labels["row_write"] = \
+                db.stats_prefix + "row_write" if db.stats_prefix else None
+        clock.charge_run("row_write", count, scale=db.cost_scale, label=label)
+
+    def _drop_txn(self, txn_id: int) -> None:
+        try:
+            del self._pending[txn_id]
+            self.dropped_txns += 1
+        except KeyError:
+            pass
+        try:
+            del self._prepared[txn_id]
+        except KeyError:
+            pass
+
+    def _redo(self, record) -> bool:
+        """Redo one data record into the witness heaps, maintaining indexes.
+
+        Returns whether the record was applied (its ``row_write`` cost is
+        charged by the caller, batched across the transaction).
+        """
 
         db = self._db
         if record.table is None or not db.catalog.has_table(record.table):
-            return
+            return False
         heap = db.catalog.heap(record.table)
         effective = record.type
         if record.type is LogRecordType.CLR:
@@ -268,8 +353,7 @@ class ReplicaApplier:
                 if is_link_row:
                     self.stale_paths.discard(before["path"])
                     self._release_local_file(before)
-        self.applied_records += 1
-        db._charge("row_write")
+        return True
 
     def _constrain_local_file(self, row: dict) -> None:
         """Apply the link's access constraints to the mirrored copy.
@@ -482,14 +566,16 @@ class WalShipper:
         """Ship every durable record past the cursor; returns how many."""
 
         records = self._repository.wal_records_since(self.cursor)
-        if not records:
+        count = len(records)
+        if not count:
             return 0
-        self._fire("replicate:ship")
+        if self.failpoints:
+            self._fire("replicate:ship")
         # Pipelined: the primary does not wait for the witness to apply.
         self._channel.post("apply_wal", records=records)
         self.cursor = records[-1].lsn
-        self.shipped_records += len(records)
-        return len(records)
+        self.shipped_records += count
+        return count
 
     def lag(self) -> int:
         """Durable serving-side records the witness has not received yet."""
@@ -588,6 +674,11 @@ class ReplicatedShard:
         #: ``replicate:promote``, ``replicate:catchup``, ``replicate:fence``.
         self.failpoints: dict = {}
         registry.register(name, primary.name)
+        #: The current lease holder's name, refreshed by registry push
+        #: (``_refresh_serving``): read routing touches this on every
+        #: request and a plain attribute beats re-resolving per read.
+        self.serving_name = registry.serving_node(name)
+        registry.subscribe(self._refresh_serving)
         self._daemons = {}
         for node in self.nodes.values():
             node.dlfm.set_fencing(EpochGuard(registry, name, node.name))
@@ -618,9 +709,10 @@ class ReplicatedShard:
             hook()
 
     # -------------------------------------------------------------------- roles --
-    @property
-    def serving_name(self) -> str:
-        return self.registry.serving_node(self.name)
+    def _refresh_serving(self) -> None:
+        """Registry push hook: re-resolve :attr:`serving_name` on lease change."""
+
+        self.serving_name = self.registry.serving_node(self.name)
 
     @property
     def serving(self):
@@ -670,10 +762,16 @@ class ReplicatedShard:
     def is_subscribed(self, node_name: str) -> bool:
         """Is *node_name* a synced subscriber of the serving node's stream?"""
 
-        node = self.nodes.get(node_name)
-        return (node is not None and node_name in self._streams
-                and node.dlfm.replica is not None
-                and bool(self._synced.get(node_name)))
+        try:
+            node = self.nodes[node_name]
+        except KeyError:
+            return False
+        if node_name not in self._streams or node.dlfm.replica is None:
+            return False
+        try:
+            return self._synced[node_name]
+        except KeyError:
+            return False
 
     def subscriber_lag(self, node_name: str) -> int | None:
         """Staleness of one subscriber in records, or ``None`` off-stream.
@@ -710,16 +808,20 @@ class ReplicatedShard:
         *max_lag* records.
         """
 
-        node = self.nodes.get(node_name)
-        if node is None or not node.running:
+        try:
+            node = self.nodes[node_name]
+        except KeyError:
             return False
-        if node_name == self.serving_name:
+        if not node.running:
+            return False
+        serving_name = self.serving_name
+        if node_name == serving_name:
             return False
         if not self.is_subscribed(node_name):
             return False
         if not self._daemons[node_name].running:
             return False
-        if not self.serving.running:
+        if not self.nodes[serving_name].running:
             return False
         shipper = self._streams[node_name]
         if shipper.paused:

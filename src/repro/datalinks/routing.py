@@ -101,9 +101,10 @@ class ShardRouter:
         self._key_cache: dict[str, str] = {}
 
     def prefix_of(self, path: str) -> str:
-        cached = self._prefix_cache.get(path)
-        if cached is not None:
-            return cached
+        try:
+            return self._prefix_cache[path]
+        except KeyError:
+            pass
         components = [part for part in path.split("/") if part]
         prefix = "/" + "/".join(components[: self.prefix_depth])
         if len(self._prefix_cache) > 8192:
@@ -121,9 +122,10 @@ class ShardRouter:
         :meth:`prefix_of` would re-shallow it.
         """
 
-        cached = self._key_cache.get(key)
-        if cached is not None:
-            return cached
+        try:
+            return self._key_cache[key]
+        except KeyError:
+            pass
         digest = hashlib.sha1(key.encode("utf-8")).digest()
         index = int.from_bytes(digest[:8], "big") % len(self.shard_names)
         shard = self.shard_names[index]
@@ -218,13 +220,21 @@ class ReplicationRouter:
         """Count one routed read against *path*'s effective prefix."""
 
         prefix = self.placement.prefix_of(path)
-        self.prefix_reads[prefix] = self.prefix_reads.get(prefix, 0) + 1
+        reads = self.prefix_reads
+        try:
+            reads[prefix] += 1
+        except KeyError:
+            reads[prefix] = 1
 
     def note_write(self, path: str) -> None:
         """Count one routed write (link/unlink/ingest) against *path*'s prefix."""
 
         prefix = self.placement.prefix_of(path)
-        self.prefix_writes[prefix] = self.prefix_writes.get(prefix, 0) + 1
+        writes = self.prefix_writes
+        try:
+            writes[prefix] += 1
+        except KeyError:
+            writes[prefix] = 1
 
     def owner_shard(self, server: str, path: str) -> str:
         """Resolve a URL's ``(server, path)`` pair to the current owner shard.
@@ -266,9 +276,10 @@ class ReplicationRouter:
     def serving_node(self, shard: str) -> str:
         """Name of the node currently holding *shard*'s serving lease."""
 
-        replica = self._replicas.get(shard)
-        if replica is not None:
-            return replica.serving_name
+        try:
+            return self._replicas[shard].serving_name
+        except KeyError:
+            pass
         server = self._singles.get(shard)
         if server is None:
             raise DataLinksError(f"unknown shard {shard!r}")
@@ -282,8 +293,9 @@ class ReplicationRouter:
         can resolve every connection lookup through this unconditionally.
         """
 
-        replica = self._replicas.get(name)
-        if replica is None:
+        try:
+            replica = self._replicas[name]
+        except KeyError:
             return name
         serving = replica.serving_name
         if serving != name:
@@ -294,9 +306,12 @@ class ReplicationRouter:
     def serving_server(self, shard: str):
         """The serving node of *shard*; raises when it is down."""
 
-        replica = self._replicas.get(shard)
+        try:
+            replica = self._replicas[shard]
+        except KeyError:
+            replica = None
         if replica is not None:
-            server = replica.serving
+            server = replica.nodes[replica.serving_name]
         else:
             server = self._singles.get(shard)
             if server is None:
@@ -334,8 +349,9 @@ class ReplicationRouter:
 
         if not self.follower_reads:
             return False
-        replica = self._replicas.get(shard)
-        if replica is None:
+        try:
+            replica = self._replicas[shard]
+        except KeyError:
             return False
         if not replica.follower_eligible(node_name,
                                          max_lag=self.max_follower_lag):
@@ -348,17 +364,20 @@ class ReplicationRouter:
     def read_candidates(self, shard: str, path: str | None = None) -> list:
         """Read-eligible nodes, serving node first (may be empty)."""
 
-        replica = self._replicas.get(shard)
-        if replica is None:
+        try:
+            replica = self._replicas[shard]
+        except KeyError:
             server = self._singles.get(shard)
             if server is None:
-                raise DataLinksError(f"unknown shard {shard!r}")
+                raise DataLinksError(f"unknown shard {shard!r}") from None
             return [server] if server.running else []
+        serving_name = replica.serving_name
+        serving = replica.nodes[serving_name]
         candidates = []
-        if replica.serving.running:
-            candidates.append(replica.serving)
+        if serving.running:
+            candidates.append(serving)
         for name, node in replica.nodes.items():
-            if name == replica.serving_name:
+            if name == serving_name:
                 continue
             if self.follower_ok(shard, name, path=path):
                 candidates.append(node)
@@ -383,12 +402,19 @@ class ReplicationRouter:
         # carrying an old position across a membership change (say a witness
         # crash shrinking 3 candidates to 2) lands on an arbitrary phase and
         # skews which nodes absorb the next reads.
-        members = tuple(node.name for node in candidates)
-        if self._round_robin_members.get(shard) != members:
+        members = tuple([node.name for node in candidates])
+        try:
+            same = self._round_robin_members[shard] == members
+        except KeyError:
+            same = False
+        if not same:
             self._round_robin_members[shard] = members
             index = 0
         else:
-            index = self._round_robin.get(shard, 0)
+            try:
+                index = self._round_robin[shard]
+            except KeyError:
+                index = 0
         self._round_robin[shard] = (index + 1) % len(candidates)
         chosen = candidates[index]
         role = NodeRole.SERVING if chosen.name == self.serving_node(shard) \

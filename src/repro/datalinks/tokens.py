@@ -41,6 +41,10 @@ from repro.simclock import SimClock
 _SIGNATURE_HEX_CHARS = 16
 DEFAULT_TOKEN_TTL = 60.0
 
+# Shared (secret, path, type, expiry) -> signature memo; see TokenManager._sign.
+_SIGNATURE_CACHE: dict[tuple, str] = {}
+_SIGNATURE_CACHE_LIMIT = 4096
+
 
 class TokenType(enum.Enum):
     READ = "R"
@@ -68,7 +72,7 @@ class AccessToken:
     signature: str
 
     def render(self) -> str:
-        return f"{self.token_type.value}-{self.expires_at:.6f}-{self.signature}"
+        return f"{self.token_type._value_}-{self.expires_at:.6f}-{self.signature}"
 
     @classmethod
     def parse(cls, text: str) -> "AccessToken":
@@ -76,9 +80,10 @@ class AccessToken:
         if len(parts) != 3:
             raise InvalidTokenError(f"malformed token {text!r}")
         type_code, expiry_text, signature = parts
-        token_type = _TOKEN_TYPES_BY_CODE.get(type_code)
-        if token_type is None:
-            raise InvalidTokenError(f"malformed token {text!r}")
+        try:
+            token_type = _TOKEN_TYPES_BY_CODE[type_code]
+        except KeyError:
+            raise InvalidTokenError(f"malformed token {text!r}") from None
         try:
             expires_at = float(expiry_text)
         except ValueError:
@@ -126,9 +131,13 @@ class TokenCache:
         """A cached token string with enough remaining life, or ``None``."""
 
         key = (server, path, token_type, float(ttl))
-        token = self._entries.get(key)
+        try:
+            token = self._entries[key]
+        except KeyError:
+            token = None
         if token is not None:
-            remaining = token.expires_at - self._now()
+            clock = self._clock
+            remaining = token.expires_at - (clock._now if clock is not None else 0.0)
             if remaining >= ttl * self.min_remaining_fraction:
                 self.hits += 1
                 return token.render()
@@ -198,18 +207,33 @@ class TokenManager:
         return self._clock.now() if self._clock is not None else 0.0
 
     def _sign(self, path: str, token_type: TokenType, expires_at: float) -> str:
-        message = f"{path}|{token_type.value}|{expires_at:.6f}".encode("utf-8")
+        # Signatures are pure functions of (secret, path, type, expiry) and
+        # every generate/validate pair computes the same one twice; a small
+        # shared memo keeps the HMAC off the upcall hot path.
+        key = (self._secret, path, token_type._value_, f"{expires_at:.6f}")
+        try:
+            return _SIGNATURE_CACHE[key]
+        except KeyError:
+            pass
+        message = f"{key[1]}|{key[2]}|{key[3]}".encode("utf-8")
         digest = hmac.new(self._secret, message, hashlib.sha256).hexdigest()
-        return digest[:_SIGNATURE_HEX_CHARS]
+        if len(_SIGNATURE_CACHE) >= _SIGNATURE_CACHE_LIMIT:
+            _SIGNATURE_CACHE.clear()
+        signature = _SIGNATURE_CACHE[key] = digest[:_SIGNATURE_HEX_CHARS]
+        return signature
 
     # -- generation -----------------------------------------------------------------
     def generate(self, path: str, token_type: TokenType,
                  ttl: float | None = None) -> str:
         """Create a token string for *path* valid for *ttl* simulated seconds."""
 
-        if self._clock is not None:
-            self._clock.charge("token_generate")
-        expires_at = self._now() + (ttl if ttl is not None else self.default_ttl)
+        clock = self._clock
+        if clock is not None:
+            clock.charge("token_generate")
+            now = clock._now
+        else:
+            now = 0.0
+        expires_at = now + (ttl if ttl is not None else self.default_ttl)
         signature = self._sign(path, token_type, expires_at)
         return AccessToken(token_type, expires_at, signature).render()
 
@@ -217,13 +241,14 @@ class TokenManager:
     def validate(self, token_text: str, path: str) -> AccessToken:
         """Check signature and expiry; returns the parsed token or raises."""
 
-        if self._clock is not None:
-            self._clock.charge("token_validate")
+        clock = self._clock
+        if clock is not None:
+            clock.charge("token_validate")
         token = AccessToken.parse(token_text)
         expected = self._sign(path, token.token_type, token.expires_at)
         if not hmac.compare_digest(expected, token.signature):
             raise InvalidTokenError(f"bad token signature for {path!r}")
-        if self._now() > token.expires_at:
+        if (clock._now if clock is not None else 0.0) > token.expires_at:
             raise TokenExpiredError(
                 f"token for {path!r} expired at {token.expires_at:.3f}")
         return token

@@ -130,7 +130,10 @@ class FileSystemError(ReproError):
     """Base class for simulated file-system errors, carrying an errno."""
 
     def __init__(self, errno: Errno, message: str = ""):
-        detail = f"[{errno.value}] {message}" if message else f"[{errno.value}]"
+        # ``_value_`` is the plain attribute behind the ``value`` property;
+        # reading it skips the enum descriptor (hot: raised per failed open).
+        code = errno._value_
+        detail = f"[{code}] {message}" if message else f"[{code}]"
         super().__init__(detail)
         self.errno = errno
 

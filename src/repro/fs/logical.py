@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from repro.errors import Errno, FileSystemError, fs_error
 from repro.fs.inode import DEFAULT_DIR_MODE, DEFAULT_FILE_MODE, FileAttributes
 from repro.fs.vfs import (
+    APPEND_MASK,
+    CREATE_MASK,
     Credentials,
     LockKind,
     LockRequest,
@@ -23,6 +25,9 @@ from repro.fs.vfs import (
     VFSOperations,
     Vnode,
 )
+
+_WRITE_TRUNC = OpenFlags.WRITE | OpenFlags.TRUNCATE
+_WRITE_TRUNC_CREATE = _WRITE_TRUNC | OpenFlags.CREATE
 
 
 @dataclass(slots=True)
@@ -43,6 +48,10 @@ class OpenFile:
 class _Mount:
     prefix: str
     vfs: VFSOperations
+
+
+#: Sentinel distinguishing "profile not computed yet" from "VFS opted out".
+_PROFILE_UNSET = object()
 
 
 @functools.lru_cache(maxsize=8192)
@@ -79,6 +88,28 @@ class LogicalFileSystem:
         # cleared rather than grown past a fixed bound.
         self._resolve_cache: dict[str, tuple[VFSOperations, str]] = {}
         self._split_cache: dict[str, list[str]] = {}
+        # Parent-resolution cache: (parent directory, cred.uid) ->
+        # everything the resolve produced, plus what a hit must replay
+        # (the walk's whole charge pattern, in one batch) and the
+        # directory version that guards its validity.  Parent resolution
+        # walks only directories, so entries validate against the
+        # anchor's ``dir_version`` and survive file creates/removes/
+        # renames; the final component of every path is always looked up
+        # live, which is also why the key is the parent directory rather
+        # than the full path -- token-carrying names never poison it.
+        # The key uses the uid (an int, so probing never re-hashes the
+        # credential object); the full credential rides in the entry and
+        # is identity-compared on hit.  The per-VFS pattern and anchor
+        # come from ``walk_profile()``.
+        self._parent_cache: dict[tuple, tuple] = {}
+        # Full-resolution cache: (path, cred.uid) -> the final vnode as
+        # well.  Unlike parent entries this also pins the *binding* of the
+        # final component, so it additionally validates against the
+        # anchor's ``bind_version`` (bumped on every create/remove/rename)
+        # and never holds token-carrying paths (their validation upcalls
+        # must stay live).
+        self._lookup_cache: dict[tuple, tuple] = {}
+        self._walk_profiles: dict[VFSOperations, tuple | None] = {}
 
     # ------------------------------------------------------------------ mounts --
     def mount(self, prefix: str, vfs: VFSOperations) -> None:
@@ -88,14 +119,18 @@ class LogicalFileSystem:
         self._mounts.append(_Mount(prefix=prefix, vfs=vfs))
         self._mounts.sort(key=lambda mount: len(mount.prefix), reverse=True)
         self._resolve_cache.clear()
+        self._parent_cache.clear()
+        self._lookup_cache.clear()
+        self._walk_profiles.clear()
 
     def mounted_vfs(self, path: str) -> tuple[VFSOperations, str]:
         """Return ``(vfs, path relative to the mount root)`` for *path*."""
 
         normalized = _normalize(path)
-        cached = self._resolve_cache.get(normalized)
-        if cached is not None:
-            return cached
+        try:
+            return self._resolve_cache[normalized]
+        except KeyError:
+            pass
         for mount in self._mounts:
             if normalized == mount.prefix or normalized.startswith(
                     mount.prefix.rstrip("/") + "/") or mount.prefix == "/":
@@ -119,8 +154,9 @@ class LogicalFileSystem:
         """Walk *relative* inside *vfs*; optionally stop at the parent."""
 
         cache = self._split_cache
-        parts = cache.get(relative)
-        if parts is None:
+        try:
+            parts = cache[relative]
+        except KeyError:
             parts = [part for part in relative.split("/") if part]
             # Token-carrying names give these strings unbounded cardinality,
             # so the cache is cleared when full rather than grown.
@@ -131,21 +167,141 @@ class LogicalFileSystem:
         if not parts:
             return vnode, None
         walk_parts = parts[:-1] if stop_before_last else parts
+        last = parts[-1] if stop_before_last else None
         for part in walk_parts:
             vnode = vfs.fs_lookup(vnode, part, cred)
-        return vnode, (parts[-1] if stop_before_last else None)
+        return vnode, last
+
+    def _compile_walk_profile(self, vfs: VFSOperations) -> tuple | None:
+        """Resolve and memoize *vfs*'s per-lookup charge pattern."""
+
+        raw = vfs.walk_profile()
+        if raw is None:
+            profile = None
+        else:
+            clock, events, anchor = raw
+            compiled = clock.compile_charges(events) \
+                if clock is not None and events else None
+            profile = (clock, compiled, anchor) \
+                if compiled is not None or clock is None else None
+            if clock is not None and not events:
+                # A clocked stack that charges nothing per lookup still
+                # caches; there is just nothing to replay.
+                profile = (clock, None, anchor)
+        self._walk_profiles[vfs] = profile
+        return profile
 
     def _resolve_parent(self, path: str, cred: Credentials):
+        # Tokens ride only in the *final* component, and that component is
+        # always looked up live -- so the cache keys on the parent
+        # directory, not the full path.  (A full-path key would miss on
+        # every freshly minted token even though the walked chain is the
+        # same few directories over and over.)
+        normalized = _normalize(path)
+        parent_dir, _, name = normalized.rpartition("/")
+        if name:
+            try:
+                (anchor, version, vfs, parent, clock, compiled, depth,
+                 owner) = self._parent_cache[(parent_dir or "/", cred.uid)]
+            except KeyError:
+                pass
+            else:
+                if anchor.dir_version == version \
+                        and (owner is cred or owner == cred):
+                    if compiled is not None:
+                        clock.charge_batch(compiled, depth)
+                    return vfs, parent, name
         vfs, relative = self.mounted_vfs(path)
         parent, name = self._walk(vfs, relative, cred, stop_before_last=True)
         if name is None:
             raise fs_error(Errno.EINVAL, f"path {path!r} has no final component")
+        profile = self._walk_profiles.get(vfs, _PROFILE_UNSET)
+        if profile is _PROFILE_UNSET:
+            profile = self._compile_walk_profile(vfs)
+        if profile is not None:
+            parts = self._split_cache[relative]
+            depth = len(parts) - 1
+            # A token anywhere in the walked chain would skip its
+            # validation upcall on replay, so such parents are never
+            # cached (the final component is not part of the key).
+            if ";" not in parent_dir:
+                clock, compiled, anchor = profile
+                if len(self._parent_cache) > 4096:
+                    self._parent_cache.clear()
+                self._parent_cache[(parent_dir or "/", cred.uid)] = (
+                    anchor, anchor.dir_version, vfs, parent,
+                    clock, compiled, depth, cred)
         return vfs, parent, name
 
-    def _resolve(self, path: str, cred: Credentials) -> tuple[VFSOperations, Vnode]:
-        vfs, relative = self.mounted_vfs(path)
-        vnode, _ = self._walk(vfs, relative, cred, stop_before_last=False)
+    def _store_lookup(self, path: str, cred: Credentials, vfs, vnode) -> None:
+        """Store-side of the full-resolution cache (miss path only)."""
+
+        profile = self._walk_profiles.get(vfs, _PROFILE_UNSET)
+        if profile is _PROFILE_UNSET:
+            profile = self._compile_walk_profile(vfs)
+        if profile is None:
+            return
+        clock, compiled, anchor = profile
+        bversion = getattr(anchor, "bind_version", None)
+        if bversion is None:
+            return
+        relative = self.mounted_vfs(path)[1]
+        if ";" in relative:
+            # Token validation upcalls must stay live; never cache a
+            # token-carrying path end to end.
+            return
+        parts = self._split_cache.get(relative)
+        if parts is None:
+            parts = [part for part in relative.split("/") if part]
+        cache = self._lookup_cache
+        if len(cache) > 4096:
+            cache.clear()
+        cache[(path, cred.uid)] = (anchor, anchor.dir_version, bversion, vfs,
+                                   vnode, clock, compiled, len(parts), cred)
+
+    def _lookup(self, path: str, cred: Credentials) -> tuple[VFSOperations, Vnode]:
+        """Resolve *path* to its final vnode through the full cache.
+
+        A hit replays the walk's entire charge pattern (every component
+        including the final lookup) in one batch; it is valid only while
+        the anchor's ``dir_version`` (directory chain) and ``bind_version``
+        (final binding) both stand still.
+        """
+
+        try:
+            (anchor, dversion, bversion, vfs, vnode, clock, compiled,
+             cycles, owner) = self._lookup_cache[(path, cred.uid)]
+        except KeyError:
+            pass
+        else:
+            if (anchor.dir_version == dversion
+                    and anchor.bind_version == bversion
+                    and (owner is cred or owner == cred)):
+                if compiled is not None:
+                    clock.charge_batch(compiled, cycles)
+                return vfs, vnode
+        vfs, parent, name = self._resolve_parent(path, cred)
+        vnode = vfs.fs_lookup(parent, name, cred)
+        self._store_lookup(path, cred, vfs, vnode)
         return vfs, vnode
+
+    def _resolve(self, path: str, cred: Credentials) -> tuple[VFSOperations, Vnode]:
+        # Full resolution is parent resolution plus one live ``fs_lookup``
+        # of the final component: the charge sequence is identical to
+        # walking every component (pattern x (depth-1), then pattern x 1).
+        # Between binding changes the whole resolution replays from the
+        # full-resolution cache; any create/remove/rename on the anchor
+        # falls back to the live path, so token validation upcalls and
+        # ENOENT behavior are exactly those of an uncached walk.
+        try:
+            return self._lookup(path, cred)
+        except FileSystemError as error:
+            if error.errno is not Errno.EINVAL:
+                raise
+            # The mount root itself has no final component; walk it live.
+            vfs, relative = self.mounted_vfs(path)
+            vnode, _ = self._walk(vfs, relative, cred, stop_before_last=False)
+            return vfs, vnode
 
     # ----------------------------------------------------------------- syscalls --
     def open(self, path: str, flags: OpenFlags, cred: Credentials,
@@ -157,14 +313,36 @@ class LogicalFileSystem:
         layer can validate it.
         """
 
-        self._charge("syscall_base")
-        vfs, parent, name = self._resolve_parent(path, cred)
+        clock = self.clock
+        if clock is not None:
+            clock.charge("syscall_base")
+        # Probe the full-resolution cache inline: open() needs the parent
+        # vnode when it has to fall back to fs_create, so it cannot use
+        # the _lookup() wrapper (a second parent resolution would replay
+        # the walk's charges twice).
+        hit = False
         try:
-            vnode = vfs.fs_lookup(parent, name, cred)
-        except FileSystemError as error:
-            if error.errno is not Errno.ENOENT or not (flags & OpenFlags.CREATE):
-                raise
-            vnode = vfs.fs_create(parent, name, mode, cred)
+            (anchor, dversion, bversion, vfs, vnode, cclock, compiled,
+             cycles, owner) = self._lookup_cache[(path, cred.uid)]
+        except KeyError:
+            pass
+        else:
+            if (anchor.dir_version == dversion
+                    and anchor.bind_version == bversion
+                    and (owner is cred or owner == cred)):
+                hit = True
+                if compiled is not None:
+                    cclock.charge_batch(compiled, cycles)
+        if not hit:
+            vfs, parent, name = self._resolve_parent(path, cred)
+            try:
+                vnode = vfs.fs_lookup(parent, name, cred)
+            except FileSystemError as error:
+                if error.errno is not Errno.ENOENT or not (flags._value_ & CREATE_MASK):
+                    raise
+                vnode = vfs.fs_create(parent, name, mode, cred)
+            else:
+                self._store_lookup(path, cred, vfs, vnode)
         handle = vfs.fs_open(vnode, flags, cred)
         fd = self._next_fd
         self._next_fd += 1
@@ -174,19 +352,25 @@ class LogicalFileSystem:
         return fd
 
     def close(self, fd: int) -> None:
-        self._charge("syscall_base")
+        clock = self.clock
+        if clock is not None:
+            clock.charge("syscall_base")
         open_file = self._require_fd(fd)
         open_file.vfs.fs_close(open_file.handle, open_file.cred)
         del self._open_files[fd]
 
     def read(self, fd: int, length: int = -1) -> bytes:
-        self._charge("syscall_base")
+        clock = self.clock
+        if clock is not None:
+            clock.charge("syscall_base")
         open_file = self._require_fd(fd)
         if not open_file.flags.wants_read:
             raise fs_error(Errno.EBADF, f"fd {fd} is not open for reading")
         if length < 0:
             attrs = open_file.vfs.fs_getattr(open_file.vnode, open_file.cred)
-            length = max(0, attrs.size - open_file.offset)
+            length = attrs.size - open_file.offset
+            if length < 0:
+                length = 0
         data = open_file.vfs.fs_readwrite(open_file.vnode, open_file.offset,
                                           length=length, write=False,
                                           cred=open_file.cred)
@@ -194,11 +378,13 @@ class LogicalFileSystem:
         return data
 
     def write(self, fd: int, data: bytes) -> int:
-        self._charge("syscall_base")
+        clock = self.clock
+        if clock is not None:
+            clock.charge("syscall_base")
         open_file = self._require_fd(fd)
         if not open_file.flags.wants_write:
             raise fs_error(Errno.EBADF, f"fd {fd} is not open for writing")
-        if open_file.flags & OpenFlags.APPEND:
+        if open_file.flags._value_ & APPEND_MASK:
             attrs = open_file.vfs.fs_getattr(open_file.vnode, open_file.cred)
             open_file.offset = attrs.size
         written = open_file.vfs.fs_readwrite(open_file.vnode, open_file.offset,
@@ -216,7 +402,9 @@ class LogicalFileSystem:
         return offset
 
     def stat(self, path: str, cred: Credentials) -> FileAttributes:
-        self._charge("syscall_base")
+        clock = self.clock
+        if clock is not None:
+            clock.charge("syscall_base")
         vfs, vnode = self._resolve(path, cred)
         return vfs.fs_getattr(vnode, cred)
 
@@ -274,12 +462,16 @@ class LogicalFileSystem:
         return vfs.fs_readdir(vnode, cred)
 
     def chmod(self, path: str, mode: int, cred: Credentials) -> None:
-        self._charge("syscall_base")
+        clock = self.clock
+        if clock is not None:
+            clock.charge("syscall_base")
         vfs, vnode = self._resolve(path, cred)
         vfs.fs_setattr(vnode, cred, mode=mode)
 
     def chown(self, path: str, uid: int, gid: int, cred: Credentials) -> None:
-        self._charge("syscall_base")
+        clock = self.clock
+        if clock is not None:
+            clock.charge("syscall_base")
         vfs, vnode = self._resolve(path, cred)
         vfs.fs_setattr(vnode, cred, uid=uid, gid=gid)
 
@@ -317,9 +509,7 @@ class LogicalFileSystem:
                    create: bool = True) -> int:
         """Open (creating/truncating), write *data*, and close *path*."""
 
-        flags = OpenFlags.WRITE | OpenFlags.TRUNCATE
-        if create:
-            flags |= OpenFlags.CREATE
+        flags = _WRITE_TRUNC_CREATE if create else _WRITE_TRUNC
         fd = self.open(path, flags, cred)
         try:
             return self.write(fd, data)
@@ -341,6 +531,7 @@ class LogicalFileSystem:
             raise fs_error(Errno.EBADF, f"bad file descriptor {fd}") from None
 
 
+@functools.lru_cache(maxsize=8192)
 def _normalize_path_for_table(path: str) -> str:
     """Strip an embedded token from the final component for bookkeeping."""
 

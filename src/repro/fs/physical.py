@@ -3,6 +3,14 @@
 Implements every VFS entry point over inodes and a block device, with
 standard UNIX permission checks.  This is the layer DLFS sits on top of; it
 knows nothing about DataLinks.
+
+Every entry point charges its fixed primitives straight into the clock's
+stats cells (the body of :meth:`repro.simclock.SimClock.charge` written
+out): the VFS layer is the single hottest surface of the simulator and the
+call overhead of routing each fixed-cost event through the scalar charge
+path dominated whole-experiment profiles.  The inlined bookkeeping performs
+the identical float additions in the identical order, so simulated clocks
+and stats stay bit-identical to the scalar path.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from repro.fs.inode import (
 )
 from repro.fs.locks import FileLockTable
 from repro.fs.vfs import (
+    TRUNCATE_MASK,
     Credentials,
     LockRequest,
     OpenFlags,
@@ -40,20 +49,65 @@ class PhysicalFileSystem(VFSOperations):
         self.locks = FileLockTable()
         self._inodes: dict[int, Inode] = {}
         self._next_ino = ROOT_INO
+        #: Invalidation counter for the logical layer's resolution caches.
+        #: It bumps only when a *directory* binding or a directory's
+        #: permissions change: cached walks resolve directory chains, so
+        #: file creates/removes/renames -- the overwhelmingly common
+        #: mutations on a busy server -- never invalidate parent
+        #: resolutions.
+        self.dir_version = 0
+        #: Companion counter for *final-component* bindings: bumped on
+        #: every create/remove/rename (file or directory).  The logical
+        #: layer's full-resolution cache checks both counters, so a cached
+        #: final vnode never survives its name being rebound.
+        self.bind_version = 0
+        # Per-clock pre-resolved charge amounts (see ``_prime``).
+        self._primed_clock = None
+        self._amt_vfs = 0.0
+        self._amt_lookup = 0.0
+        self._amt_meta = 0.0
+        self._amt_seek = 0.0
+        self._unit_transfer = 0.0
         root = self._new_inode(FileType.DIRECTORY, DEFAULT_DIR_MODE, root_uid, root_gid)
         assert root.ino == ROOT_INO
 
     # ------------------------------------------------------------------ helpers --
+    def _prime(self, clock) -> None:
+        """Resolve this clock's per-event amounts for the fixed primitives.
+
+        The amounts equal exactly what one scalar ``charge(primitive)``
+        would add (``unit * 1 * 1.0``), so replaying them inline is
+        bit-identical to the scalar path.
+        """
+
+        entries = clock.compile_charges(
+            (("vfs_op", 1.0, None), ("directory_lookup", 1.0, None),
+             ("fs_metadata_update", 1.0, None), ("disk_seek", 1.0, None)))[1]
+        self._amt_vfs = entries[0][0]
+        self._amt_lookup = entries[1][0]
+        self._amt_meta = entries[2][0]
+        self._amt_seek = entries[3][0]
+        try:
+            self._unit_transfer = clock._units["disk_transfer_per_byte"]
+        except KeyError:
+            self._unit_transfer = getattr(clock.costs, "disk_transfer_per_byte")
+        self._primed_clock = clock
+
     def _now(self) -> float:
-        return self.clock.now() if self.clock is not None else 0.0
+        clock = self.clock
+        return clock._now if clock is not None else 0.0
 
     def _charge(self, primitive: str, *, times: int = 1, nbytes: int = 0) -> None:
         if self.clock is not None:
             self.clock.charge(primitive, times=times, nbytes=nbytes)
 
     def _new_inode(self, ftype: FileType, mode: int, uid: int, gid: int) -> Inode:
+        # One clock read: birth timestamps are all stamped at the same
+        # instant (no charge can land between the three reads).
+        clock = self.clock
+        born = clock._now if clock is not None else 0.0
         inode = Inode(ino=self._next_ino, ftype=ftype, mode=mode, uid=uid, gid=gid,
-                      atime=self._now(), mtime=self._now(), ctime=self._now())
+                      atime=born, mtime=born, ctime=born)
         self._inodes[inode.ino] = inode
         self._next_ino += 1
         return inode
@@ -79,8 +133,15 @@ class PhysicalFileSystem(VFSOperations):
                            f"(mode {oct(inode.mode)}, owner {inode.uid})")
 
     def _require_dir(self, inode: Inode) -> None:
-        if not inode.is_directory:
+        if inode.ftype is not FileType.DIRECTORY:
             raise fs_error(Errno.ENOTDIR, f"inode {inode.ino} is not a directory")
+
+    def walk_profile(self):
+        events = () if self.clock is None else \
+            (("vfs_op", 1.0, None), ("directory_lookup", 1.0, None))
+        # The anchor is this file system itself: the cache reads the two
+        # version counters straight off it (attribute loads, no calls).
+        return (self.clock, events, self)
 
     # ------------------------------------------------------------ directory ops --
     def root_vnode(self) -> Vnode:
@@ -88,74 +149,182 @@ class PhysicalFileSystem(VFSOperations):
 
     def fs_lookup(self, dir_vnode: Vnode, name: str, cred: Credentials) -> Vnode:
         # The hottest VFS entry point (every path component of every
-        # resolution lands here): helpers are inlined into direct checks.
+        # resolution lands here): helpers *and* the two fixed charges are
+        # inlined into direct loads and float additions.
         clock = self.clock
         if clock is not None:
-            clock.charge("vfs_op")
-            clock.charge("directory_lookup")
-        directory = self._inodes.get(dir_vnode.ino)
-        if directory is None:
-            raise fs_error(Errno.ENOENT, f"stale inode {dir_vnode.ino}")
+            if self._primed_clock is not clock:
+                self._prime(clock)
+            amount = self._amt_vfs
+            second = self._amt_lookup
+            now = clock._now
+            now += amount
+            now += second
+            clock._now = now
+            cells = clock.stats._cells
+            try:
+                cell = cells["vfs_op"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["vfs_op"] = [1, amount]
+            try:
+                cell = cells["directory_lookup"]
+                cell[0] += 1
+                cell[1] += second
+            except KeyError:
+                cells["directory_lookup"] = [1, second]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["vfs_op"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["vfs_op"] = [1, amount]
+                try:
+                    cell = mcells["directory_lookup"]
+                    cell[0] += 1
+                    cell[1] += second
+                except KeyError:
+                    mcells["directory_lookup"] = [1, second]
+        try:
+            directory = self._inodes[dir_vnode.ino]
+        except KeyError:
+            raise fs_error(Errno.ENOENT, f"stale inode {dir_vnode.ino}") from None
         if directory.ftype is not FileType.DIRECTORY:
             raise fs_error(Errno.ENOTDIR, f"inode {directory.ino} is not a directory")
-        self._check(directory, cred, exec_=True)
+        # permission_granted(exec) unrolled: the walk only ever asks for
+        # the execute bit, so the three-way owner/group/other dispatch
+        # collapses to one mask test.
+        uid = cred.uid
+        if uid != 0:
+            if uid == directory.uid:
+                exec_bit = 0o100
+            elif directory.gid in cred.all_groups:
+                exec_bit = 0o010
+            else:
+                exec_bit = 0o001
+            if not directory.mode & exec_bit:
+                raise fs_error(Errno.EACCES,
+                               f"uid {uid} denied on inode {directory.ino} "
+                               f"(mode {oct(directory.mode)}, owner {directory.uid})")
         if name in (".", ""):
             return dir_vnode
-        ino = directory.entries.get(name)
-        if ino is None:
-            raise fs_error(Errno.ENOENT, f"no entry {name!r} in inode {directory.ino}")
+        try:
+            ino = directory.entries[name]
+        except KeyError:
+            raise fs_error(Errno.ENOENT,
+                           f"no entry {name!r} in inode {directory.ino}") from None
         return Vnode(fs_id=self.fs_id, ino=ino)
+
+    def _charge_one(self, clock, key: str, amount: float) -> None:
+        """Inline-helper twin of ``clock.charge(key)`` for cold call sites.
+
+        Kept as a method (one frame) where the caller is not hot enough to
+        justify writing the bookkeeping out; the arithmetic is identical.
+        """
+
+        clock._now += amount
+        cells = clock.stats._cells
+        try:
+            cell = cells[key]
+            cell[0] += 1
+            cell[1] += amount
+        except KeyError:
+            cells[key] = [1, amount]
+        mirror = clock._mirror_stats
+        if mirror is not None:
+            mcells = mirror._cells
+            try:
+                cell = mcells[key]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                mcells[key] = [1, amount]
 
     def fs_create(self, dir_vnode: Vnode, name: str, mode: int,
                   cred: Credentials) -> Vnode:
-        self._charge("vfs_op")
-        directory = self._inode_of(dir_vnode)
-        self._require_dir(directory)
+        clock = self.clock
+        if clock is not None:
+            if self._primed_clock is not clock:
+                self._prime(clock)
+            self._charge_one(clock, "vfs_op", self._amt_vfs)
+        try:
+            directory = self._inodes[dir_vnode.ino]
+        except KeyError:
+            raise fs_error(Errno.ENOENT, f"stale inode {dir_vnode.ino}") from None
+        if directory.ftype is not FileType.DIRECTORY:
+            raise fs_error(Errno.ENOTDIR, f"inode {directory.ino} is not a directory")
         if name in directory.entries:
             # POSIX reports an existing entry before parent write permission.
             raise fs_error(Errno.EEXIST, f"entry {name!r} already exists")
         self._check(directory, cred, write=True, exec_=True)
+        self.bind_version += 1
         inode = self._new_inode(FileType.REGULAR, mode or DEFAULT_FILE_MODE,
                                 cred.uid, cred.gid)
         directory.entries[name] = inode.ino
-        directory.mtime = self._now()
-        self._charge("fs_metadata_update")
-        return self._vnode_of(inode)
+        directory.mtime = clock._now if clock is not None else 0.0
+        if clock is not None:
+            self._charge_one(clock, "fs_metadata_update", self._amt_meta)
+        return Vnode(fs_id=self.fs_id, ino=inode.ino)
 
     def fs_mkdir(self, dir_vnode: Vnode, name: str, mode: int,
                  cred: Credentials) -> Vnode:
-        self._charge("vfs_op")
-        directory = self._inode_of(dir_vnode)
-        self._require_dir(directory)
+        clock = self.clock
+        if clock is not None:
+            if self._primed_clock is not clock:
+                self._prime(clock)
+            self._charge_one(clock, "vfs_op", self._amt_vfs)
+        try:
+            directory = self._inodes[dir_vnode.ino]
+        except KeyError:
+            raise fs_error(Errno.ENOENT, f"stale inode {dir_vnode.ino}") from None
+        if directory.ftype is not FileType.DIRECTORY:
+            raise fs_error(Errno.ENOTDIR, f"inode {directory.ino} is not a directory")
         if name in directory.entries:
             # POSIX reports an existing entry before parent write permission.
             raise fs_error(Errno.EEXIST, f"entry {name!r} already exists")
         self._check(directory, cred, write=True, exec_=True)
+        self.dir_version += 1
+        self.bind_version += 1
         inode = self._new_inode(FileType.DIRECTORY, mode or DEFAULT_DIR_MODE,
                                 cred.uid, cred.gid)
         directory.entries[name] = inode.ino
-        directory.mtime = self._now()
-        self._charge("fs_metadata_update")
-        return self._vnode_of(inode)
+        directory.mtime = clock._now if clock is not None else 0.0
+        if clock is not None:
+            self._charge_one(clock, "fs_metadata_update", self._amt_meta)
+        return Vnode(fs_id=self.fs_id, ino=inode.ino)
 
     def fs_remove(self, dir_vnode: Vnode, name: str, cred: Credentials) -> None:
-        self._charge("vfs_op")
-        directory = self._inode_of(dir_vnode)
-        self._require_dir(directory)
+        clock = self.clock
+        if clock is not None:
+            if self._primed_clock is not clock:
+                self._prime(clock)
+            self._charge_one(clock, "vfs_op", self._amt_vfs)
+        try:
+            directory = self._inodes[dir_vnode.ino]
+        except KeyError:
+            raise fs_error(Errno.ENOENT, f"stale inode {dir_vnode.ino}") from None
+        if directory.ftype is not FileType.DIRECTORY:
+            raise fs_error(Errno.ENOTDIR, f"inode {directory.ino} is not a directory")
         self._check(directory, cred, write=True, exec_=True)
         if name not in directory.entries:
             raise fs_error(Errno.ENOENT, f"no entry {name!r}")
         inode = self.inode(directory.entries[name])
-        if inode.is_directory:
+        if inode.ftype is FileType.DIRECTORY:
             raise fs_error(Errno.EISDIR, f"{name!r} is a directory")
+        self.bind_version += 1
         del directory.entries[name]
-        directory.mtime = self._now()
+        directory.mtime = clock._now if clock is not None else 0.0
         inode.nlink -= 1
         if inode.nlink <= 0:
             for block in inode.blocks:
                 self.device.free_block(block)
             del self._inodes[inode.ino]
-        self._charge("fs_metadata_update")
+        if clock is not None:
+            self._charge_one(clock, "fs_metadata_update", self._amt_meta)
 
     def fs_rmdir(self, dir_vnode: Vnode, name: str, cred: Credentials) -> None:
         self._charge("vfs_op")
@@ -168,6 +337,8 @@ class PhysicalFileSystem(VFSOperations):
         self._require_dir(target)
         if target.entries:
             raise fs_error(Errno.ENOTEMPTY, f"directory {name!r} is not empty")
+        self.dir_version += 1
+        self.bind_version += 1
         del directory.entries[name]
         del self._inodes[target.ino]
         directory.mtime = self._now()
@@ -186,72 +357,132 @@ class PhysicalFileSystem(VFSOperations):
             raise fs_error(Errno.ENOENT, f"no entry {src_name!r}")
         if dst_name in destination.entries:
             raise fs_error(Errno.EEXIST, f"entry {dst_name!r} already exists")
+        if self.inode(source.entries[src_name]).ftype is FileType.DIRECTORY:
+            self.dir_version += 1
+        self.bind_version += 1
         destination.entries[dst_name] = source.entries.pop(src_name)
         source.mtime = self._now()
         destination.mtime = self._now()
         self._charge("fs_metadata_update")
 
     def fs_readdir(self, dir_vnode: Vnode, cred: Credentials) -> list[str]:
-        self._charge("vfs_op")
-        directory = self._inode_of(dir_vnode)
-        self._require_dir(directory)
+        clock = self.clock
+        if clock is not None:
+            if self._primed_clock is not clock:
+                self._prime(clock)
+            self._charge_one(clock, "vfs_op", self._amt_vfs)
+        try:
+            directory = self._inodes[dir_vnode.ino]
+        except KeyError:
+            raise fs_error(Errno.ENOENT, f"stale inode {dir_vnode.ino}") from None
+        if directory.ftype is not FileType.DIRECTORY:
+            raise fs_error(Errno.ENOTDIR, f"inode {directory.ino} is not a directory")
         self._check(directory, cred, read=True)
         return sorted(directory.entries)
 
     # ------------------------------------------------------------------ file ops --
     def fs_open(self, vnode: Vnode, flags: OpenFlags, cred: Credentials) -> OpenHandle:
-        if self.clock is not None:
-            self.clock.charge("vfs_op")
-        inode = self._inode_of(vnode)
+        clock = self.clock
+        if clock is not None:
+            if self._primed_clock is not clock:
+                self._prime(clock)
+            self._charge_one(clock, "vfs_op", self._amt_vfs)
+        try:
+            inode = self._inodes[vnode.ino]
+        except KeyError:
+            raise fs_error(Errno.ENOENT, f"stale inode {vnode.ino}") from None
         if inode.ftype is FileType.DIRECTORY and flags.wants_write:
             raise fs_error(Errno.EISDIR, f"inode {inode.ino} is a directory")
         self._check(inode, cred, read=flags.wants_read, write=flags.wants_write)
-        if flags & OpenFlags.TRUNCATE:
+        if flags._value_ & TRUNCATE_MASK:
             self._truncate(inode, 0)
-        inode.atime = self._now()
+        inode.atime = clock._now if clock is not None else 0.0
         return OpenHandle(vnode=vnode, flags=flags)
 
     def fs_close(self, handle: OpenHandle, cred: Credentials) -> None:
-        self._charge("vfs_op")
+        clock = self.clock
+        if clock is not None:
+            if self._primed_clock is not clock:
+                self._prime(clock)
+            self._charge_one(clock, "vfs_op", self._amt_vfs)
         # The native file system has no per-open state beyond the handle.
 
     def fs_readwrite(self, vnode: Vnode, offset: int, *, data: bytes | None = None,
                      length: int = 0, write: bool, cred: Credentials) -> bytes | int:
-        if self.clock is not None:
-            self.clock.charge("vfs_op")
-        inode = self._inode_of(vnode)
+        clock = self.clock
+        if clock is not None:
+            if self._primed_clock is not clock:
+                self._prime(clock)
+            self._charge_one(clock, "vfs_op", self._amt_vfs)
+        try:
+            inode = self._inodes[vnode.ino]
+        except KeyError:
+            raise fs_error(Errno.ENOENT, f"stale inode {vnode.ino}") from None
         if inode.ftype is FileType.DIRECTORY:
             raise fs_error(Errno.EISDIR, f"inode {inode.ino} is a directory")
         if write:
             if data is None:
                 raise fs_error(Errno.EINVAL, "write without data")
-            self._charge("disk_seek")
-            self._charge("disk_transfer_per_byte", nbytes=len(data))
+            if clock is not None:
+                self._charge_one(clock, "disk_seek", self._amt_seek)
+                # charge(nbytes=...) inlined: ``unit * nbytes``, except that
+                # a zero-byte transfer falls back to one unit (``times=1``),
+                # exactly as the scalar charge path does.
+                nbytes = len(data)
+                self._charge_one(clock, "disk_transfer_per_byte",
+                                 self._unit_transfer * nbytes if nbytes
+                                 else self._unit_transfer * 1)
             self._write_range(inode, offset, data)
-            inode.mtime = self._now()
+            inode.mtime = clock._now if clock is not None else 0.0
             inode.ctime = inode.mtime
             return len(data)
-        self._charge("disk_seek")
+        if clock is not None:
+            self._charge_one(clock, "disk_seek", self._amt_seek)
         content = self._read_range(inode, offset, length)
-        self._charge("disk_transfer_per_byte", nbytes=len(content))
-        inode.atime = self._now()
+        if clock is not None:
+            nbytes = len(content)
+            self._charge_one(clock, "disk_transfer_per_byte",
+                             self._unit_transfer * nbytes if nbytes
+                             else self._unit_transfer * 1)
+        inode.atime = clock._now if clock is not None else 0.0
         return content
 
     def fs_getattr(self, vnode: Vnode, cred: Credentials):
-        if self.clock is not None:
-            self.clock.charge("vfs_op")
-        return self._inode_of(vnode).attributes()
+        clock = self.clock
+        if clock is not None:
+            if self._primed_clock is not clock:
+                self._prime(clock)
+            self._charge_one(clock, "vfs_op", self._amt_vfs)
+        try:
+            return self._inodes[vnode.ino].attributes()
+        except KeyError:
+            raise fs_error(Errno.ENOENT, f"stale inode {vnode.ino}") from None
 
     def fs_setattr(self, vnode: Vnode, cred: Credentials, **attrs):
         """Change inode metadata: mode, uid, gid, size (truncate), mtime, atime.
 
         Only the owner or the superuser may change mode/ownership, matching
         the checks DataLinks relies on when it "takes over" a file.
+
+        The two charges stay *separate* (not folded into one batch): the
+        clock is read between them to stamp ``ctime``, so merging them
+        would shift the stamped timestamp.
         """
 
-        self._charge("vfs_op")
-        inode = self._inode_of(vnode)
-        changing_identity = any(key in attrs for key in ("mode", "uid", "gid"))
+        clock = self.clock
+        if clock is not None:
+            if self._primed_clock is not clock:
+                self._prime(clock)
+            self._charge_one(clock, "vfs_op", self._amt_vfs)
+        try:
+            inode = self._inodes[vnode.ino]
+        except KeyError:
+            raise fs_error(Errno.ENOENT, f"stale inode {vnode.ino}") from None
+        changing_identity = ("mode" in attrs or "uid" in attrs or "gid" in attrs)
+        if changing_identity and inode.ftype is FileType.DIRECTORY:
+            # A walk only permission-checks (and resolves through)
+            # directories, so file-level chmod/chown leaves it valid.
+            self.dir_version += 1
         if changing_identity and not (cred.is_superuser or cred.uid == inode.uid):
             raise fs_error(Errno.EPERM,
                            f"uid {cred.uid} may not change attributes of inode {inode.ino}")
@@ -268,12 +499,17 @@ class PhysicalFileSystem(VFSOperations):
             inode.mtime = float(attrs["mtime"])
         if "atime" in attrs:
             inode.atime = float(attrs["atime"])
-        inode.ctime = self._now()
-        self._charge("fs_metadata_update")
+        inode.ctime = clock._now if clock is not None else 0.0
+        if clock is not None:
+            self._charge_one(clock, "fs_metadata_update", self._amt_meta)
         return inode.attributes()
 
     def fs_lockctl(self, vnode: Vnode, request: LockRequest, cred: Credentials) -> bool:
-        self._charge("vfs_op")
+        clock = self.clock
+        if clock is not None:
+            if self._primed_clock is not clock:
+                self._prime(clock)
+            self._charge_one(clock, "vfs_op", self._amt_vfs)
         return self.locks.apply(vnode.ino, request)
 
     # ------------------------------------------------------------- block helpers --
@@ -297,7 +533,8 @@ class PhysicalFileSystem(VFSOperations):
     def _write_range(self, inode: Inode, offset: int, data: bytes) -> None:
         block_size = self.device.block_size
         end = offset + len(data)
-        needed_blocks = (max(end, inode.size) + block_size - 1) // block_size
+        high = end if end > inode.size else inode.size
+        needed_blocks = (high + block_size - 1) // block_size
         while len(inode.blocks) < needed_blocks:
             inode.blocks.append(self.device.allocate_block())
         position = offset
@@ -312,7 +549,8 @@ class PhysicalFileSystem(VFSOperations):
             self.device.write_block(block_no, bytes(block))
             position += take
             written += take
-        inode.size = max(inode.size, end)
+        if end > inode.size:
+            inode.size = end
 
     def _truncate(self, inode: Inode, size: int) -> None:
         block_size = self.device.block_size

@@ -44,6 +44,13 @@ _READ_MASK = OpenFlags.READ.value
 _WRITE_MASK = (OpenFlags.WRITE.value | OpenFlags.APPEND.value
                | OpenFlags.TRUNCATE.value)
 
+#: Plain int masks for per-open flag tests (``flags._value_ & MASK``):
+#: flag-enum ``&`` allocates a new Flag member per operation, and these
+#: tests sit on the open/read/write hot paths.
+CREATE_MASK = OpenFlags.CREATE.value
+APPEND_MASK = OpenFlags.APPEND.value
+TRUNCATE_MASK = OpenFlags.TRUNCATE.value
+
 
 @dataclass(frozen=True, slots=True)
 class Credentials:
@@ -116,6 +123,30 @@ class VFSOperations:
     """
 
     fs_id: str = "vfs"
+
+    def walk_profile(self):
+        """Support for the logical layer's resolution cache.
+
+        A VFS whose successful ``fs_lookup`` calls charge a *fixed* event
+        sequence to one clock and whose namespace bindings (entries, modes,
+        ownership) change only through its mutating entry points returns a
+        ``(clock, charge_events, anchor)`` triple:
+
+        * ``charge_events`` -- the ``(primitive, scale, label)`` tuples one
+          lookup charges, in order, across every layer of the stack;
+        * ``anchor`` -- an object exposing a monotone ``dir_version``
+          counter that changes whenever a directory binding or a
+          directory's permissions change.  Cached walks resolve directory
+          chains only (the final path component is always looked up
+          live), so ``dir_version`` fully guards their validity and file
+          creates, removes and renames never invalidate anything.
+
+        Returning ``None`` (the default) marks walks through this VFS as
+        non-replayable, and the logical layer resolves every component
+        live.
+        """
+
+        return None
 
     # directory-level operations -------------------------------------------------
     def root_vnode(self) -> Vnode:

@@ -22,9 +22,18 @@ behavior: one latency charge plus the handler's work on the shared timeline.
 
 from __future__ import annotations
 
-from repro.errors import DaemonUnavailableError
+from repro.errors import DaemonUnavailableError, ReproError
 from repro.ipc.message import Message, Reply
 from repro.simclock import SimClock
+
+#: When True (the default) exchanges take the coalesced fast path: the
+#: daemon's :meth:`~repro.ipc.daemon.Daemon.dispatch` is called directly
+#: and no Message/Reply envelope is allocated.  Setting this to False
+#: forces the reference envelope path.  Both paths charge the exact same
+#: costs in the exact same order -- ``tests/test_clock_domains.py``
+#: asserts byte-identical timestamps and statistics across seeded random
+#: interleavings of the two.
+COALESCED = True
 
 
 class Channel:
@@ -42,7 +51,7 @@ class Channel:
     """
 
     __slots__ = ("_daemon", "_clock", "_latency_primitive", "_sender",
-                 "_epoch_provider")
+                 "_epoch_provider", "_dispatch", "_callee_clock", "_cross")
 
     def __init__(self, daemon, clock: SimClock | None,
                  latency_primitive: str = "upcall_round_trip", sender: str = "",
@@ -52,6 +61,15 @@ class Channel:
         self._latency_primitive = latency_primitive
         self._sender = sender
         self._epoch_provider = epoch_provider
+        # Resolved once: the envelope-free dispatch entry point (None for
+        # duck-typed daemons that only implement ``handle``), the callee's
+        # clock, and whether this channel crosses clock domains.  Every
+        # component assigns its clock in ``__init__`` and never rebinds it,
+        # so sampling at channel construction is safe.
+        self._dispatch = getattr(daemon, "dispatch", None)
+        self._callee_clock = getattr(daemon, "clock", None)
+        self._cross = (clock is not None and self._callee_clock is not None
+                       and clock is not self._callee_clock)
 
     def request(self, kind: str, **payload) -> dict:
         """Synchronous round trip: send, wait for the reply, merge clocks."""
@@ -76,8 +94,8 @@ class Channel:
 
     def _exchange(self, kind: str, payload: dict, wait: bool) -> dict:
         caller = self._clock
-        callee = getattr(self._daemon, "clock", None)
-        cross = caller is not None and callee is not None and caller is not callee
+        callee = self._callee_clock
+        cross = self._cross
         if not self._daemon.running:
             # The attempt itself takes time on the caller's side (a dead
             # node's clock must not advance): a synchronous request waits a
@@ -89,24 +107,103 @@ class Channel:
             raise DaemonUnavailableError(
                 f"daemon {self._daemon.name!r} is not running")
         if cross:
-            callee.sync_to(caller.send_time())
+            # sync_to(send_time()) with both sides inlined: this pair runs
+            # once per message and the attribute reads replace two method
+            # frames (semantics identical, see SimClock.sync_to/send_time).
+            frames = caller._overlap_frames
+            sent = frames[-1][0] if frames else caller._now
+            if sent > callee._now:
+                callee._now = sent
             callee.charge(self._latency_primitive)
             if not wait:
                 caller.charge("message_send")
         elif caller is not None:
             caller.charge(self._latency_primitive)
         epoch_provider = self._epoch_provider
-        message = Message(
-            kind, payload, self._sender,
-            epoch_provider() if epoch_provider is not None else None)
-        reply = self._daemon.handle(message)
+        epoch = epoch_provider() if epoch_provider is not None else None
+        dispatch = self._dispatch
+        if dispatch is not None and COALESCED:
+            try:
+                result = dispatch(kind, payload, epoch)
+            except ReproError:
+                # A pipelined send whose handler failed surfaces the error
+                # at statement time, which in real life means the caller
+                # waited for the failure to come back: charge the
+                # round-trip sync instead of handing the error over for
+                # free.
+                if cross:
+                    caller.receive(callee._now)
+                raise
+            if cross and wait:
+                # caller.receive(callee.now()), inlined like the send side.
+                done = callee._now
+                frames = caller._overlap_frames
+                if frames:
+                    frame = frames[-1]
+                    if done > frame[1]:
+                        frame[1] = done
+                elif done > caller._now:
+                    caller._now = done
+            return result
+        reply = self._daemon.handle(Message(kind, payload, self._sender, epoch))
         if cross and (wait or not reply.ok):
-            # A pipelined send whose handler failed surfaces the error at
-            # statement time, which in real life means the caller waited for
-            # the failure to come back: charge the round-trip sync instead
-            # of handing the error over for free.
-            caller.receive(callee.now())
+            # See above: a failed pipelined send costs the caller a full
+            # round trip, exactly like a synchronous request.
+            caller.receive(callee._now)
         return reply.unwrap()
+
+    def post_group(self, kind: str, payloads) -> list[dict]:
+        """Pipelined batch: post every payload dict in *payloads*, in order.
+
+        Semantically identical to calling :meth:`post` once per payload --
+        same per-message charges in the same order, same liveness and error
+        behavior -- but the channel bookkeeping (clock-topology resolution,
+        handler lookup, envelope allocation) is hoisted out of the loop, so
+        a batch of N messages to one destination costs O(1) bookkeeping.
+        Link batches and WAL shipping send through this.
+        """
+
+        caller = self._clock
+        daemon = self._daemon
+        callee = self._callee_clock
+        cross = self._cross
+        latency = self._latency_primitive
+        epoch_provider = self._epoch_provider
+        dispatch = self._dispatch if COALESCED else None
+        results = []
+        for payload in payloads:
+            # Liveness is re-checked per message (a handler may stop its
+            # own daemon mid-batch), but that is an attribute test, not a
+            # per-message channel setup.
+            if not daemon.running:
+                if caller is not None:
+                    caller.charge(latency if not cross else "message_send")
+                raise DaemonUnavailableError(
+                    f"daemon {daemon.name!r} is not running")
+            if cross:
+                frames = caller._overlap_frames
+                sent = frames[-1][0] if frames else caller._now
+                if sent > callee._now:
+                    callee._now = sent
+                callee.charge(latency)
+                caller.charge("message_send")
+            elif caller is not None:
+                caller.charge(latency)
+            epoch = epoch_provider() if epoch_provider is not None else None
+            if dispatch is not None:
+                try:
+                    results.append(dispatch(kind, payload, epoch))
+                except ReproError:
+                    if cross:
+                        caller.receive(callee._now)
+                    raise
+            else:
+                reply = daemon.handle(
+                    Message(kind, payload, self._sender, epoch))
+                if cross and not reply.ok:
+                    caller.receive(callee._now)
+                results.append(reply.unwrap())
+        return results
 
     @property
     def daemon_name(self) -> str:

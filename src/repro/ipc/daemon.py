@@ -40,26 +40,38 @@ class Daemon:
     def handle(self, message: Message) -> Reply:
         """Dispatch *message* to its handler, wrapping errors in the reply."""
 
-        if self.clock is not None:
-            self.clock.charge("daemon_dispatch")
-        if self.epoch_gate is not None and message.placement_epoch is not None:
-            try:
-                self.epoch_gate(message.placement_epoch)
-            except ReproError as error:
-                return Reply.failure(error)
-        handler = self._handlers.get(message.kind)
-        if handler is None:
-            handler = getattr(self, f"handle_{message.kind}", None)
-            if handler is None:
-                return Reply.failure(ProtocolError(
-                    f"daemon {self.name!r} does not understand "
-                    f"{message.kind!r}"))
-            # Cache the method-style handler so repeated dispatches of the
-            # same kind skip the f-string + getattr probe.
-            self._handlers[message.kind] = handler
-        self.requests_served += 1
         try:
-            payload = handler(**message.payload)
+            payload = self.dispatch(message.kind, message.payload,
+                                    message.placement_epoch)
         except ReproError as error:
             return Reply.failure(error)
-        return Reply.success(**(payload or {}))
+        return Reply(True, payload)
+
+    def dispatch(self, kind: str, payload: dict,
+                 placement_epoch: int | None = None) -> dict:
+        """Envelope-free twin of :meth:`handle`.
+
+        Same charge, gate, bookkeeping and handler semantics, but takes the
+        request fields directly and *raises* :class:`ReproError` failures
+        instead of wrapping them in a :class:`Reply`.  Channels use this on
+        their fast path so an exchange allocates no Message/Reply pair.
+        Returns a fresh payload dict (never the handler's own).
+        """
+
+        if self.clock is not None:
+            self.clock.charge("daemon_dispatch")
+        if self.epoch_gate is not None and placement_epoch is not None:
+            self.epoch_gate(placement_epoch)
+        try:
+            handler = self._handlers[kind]
+        except KeyError:
+            handler = getattr(self, f"handle_{kind}", None)
+            if handler is None:
+                raise ProtocolError(
+                    f"daemon {self.name!r} does not understand {kind!r}") from None
+            # Cache the method-style handler so repeated dispatches of the
+            # same kind skip the f-string + getattr probe.
+            self._handlers[kind] = handler
+        self.requests_served += 1
+        result = handler(**payload)
+        return dict(result) if result else {}

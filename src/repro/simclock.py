@@ -49,6 +49,16 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, fields
+from itertools import repeat as _repeat
+
+#: Debug switch for the batched-charge fast path.  When ``False``,
+#: :meth:`SimClock.charge_run` and :meth:`SimClock.charge_batch` replay
+#: every event through the scalar :meth:`SimClock.charge` path -- the
+#: per-record reference implementation the batched ledger is asserted
+#: against (see ``tests/test_batched_charges.py``).  Both modes produce
+#: bit-identical clocks and statistics; the fast path just hoists the
+#: per-event dict probes and call overhead out of the loop.
+BATCHED_CHARGES = True
 
 
 @dataclass
@@ -215,7 +225,12 @@ class SimClock:
 
     # -- time ----------------------------------------------------------------
     def now(self) -> float:
-        """Current simulated time in seconds since the clock was created."""
+        """Current simulated time in seconds since the clock was created.
+
+        Hot paths that stamp thousands of timestamps per run (inode
+        access times, token clocks) may read the backing ``_now``
+        attribute directly; it is always the same float this returns.
+        """
 
         return self._now
 
@@ -253,9 +268,12 @@ class SimClock:
 
         if self._overlap_frames:
             frame = self._overlap_frames[-1]
-            frame[1] = max(frame[1], instant)
+            if instant > frame[1]:
+                frame[1] = instant
             return self._now
-        return self.sync_to(instant)
+        if instant > self._now:
+            self._now = instant
+        return self._now
 
     def begin_overlap(self) -> None:
         """Open a scatter-gather window anchored at the current time."""
@@ -326,6 +344,155 @@ class SimClock:
             except KeyError:
                 cells[key] = [1, amount]
         return amount
+
+    def charge_run(self, primitive: str, times: int, *, scale: float = 1.0,
+                   label: str | None = None) -> float:
+        """Charge *times* back-to-back unit charges of *primitive*.
+
+        Bit-identical to ``times`` scalar :meth:`charge` calls: float
+        addition is order-dependent, so the per-event amount is still added
+        in a loop (a single ``amount * times`` advance would drift), but the
+        loop runs on local accumulators with the unit lookup, stats probes
+        and call overhead hoisted out -- one aggregated ledger write-back
+        instead of one full bookkeeping pass per record.  Returns the total
+        simulated time charged.
+        """
+
+        if times <= 0:
+            return 0.0
+        if not BATCHED_CHARGES:
+            total = 0.0
+            for _ in _repeat(None, times):
+                total += self.charge(primitive, scale=scale, label=label)
+            return total
+        try:
+            unit = self._units[primitive]
+        except KeyError:
+            unit = getattr(self.costs, primitive)
+        # Exactly the scalar path's arithmetic for one event (``times=1``).
+        amount = unit * 1
+        amount *= scale
+        key = label or primitive
+        cells = self.stats._cells
+        try:
+            cell = cells[key]
+        except KeyError:   # ``0.0 + x == x``, so starting empty is exact
+            cell = cells[key] = [0, 0.0]
+        now = self._now
+        total = cell[1]
+        charged = 0.0
+        mirror = self._mirror_stats
+        if mirror is None:
+            for _ in _repeat(None, times):
+                now += amount
+                total += amount
+                charged += amount
+        else:
+            mcells = mirror._cells
+            try:
+                mcell = mcells[key]
+            except KeyError:
+                mcell = mcells[key] = [0, 0.0]
+            mtotal = mcell[1]
+            for _ in _repeat(None, times):
+                now += amount
+                total += amount
+                mtotal += amount
+                charged += amount
+            mcell[0] += times
+            mcell[1] = mtotal
+        self._now = now
+        cell[0] += times
+        cell[1] = total
+        return charged
+
+    def compile_charges(self, events) -> tuple:
+        """Pre-resolve a repeating charge pattern for :meth:`charge_batch`.
+
+        *events* is a sequence of ``(primitive, scale, label)`` triples --
+        one cycle of the pattern, in charge order.  The unit lookups and
+        stats keys are resolved once here instead of once per replayed
+        event.  The compiled pattern is clock-specific (units come from this
+        clock's cost model).
+        """
+
+        events = tuple(events)
+        entries = []
+        for primitive, scale, label in events:
+            try:
+                unit = self._units[primitive]
+            except KeyError:
+                unit = getattr(self.costs, primitive)
+            amount = unit * 1
+            amount *= scale
+            entries.append((amount, label or primitive))
+        return (events, tuple(entries))
+
+    def charge_batch(self, compiled: tuple, cycles: int = 1) -> None:
+        """Replay a compiled charge pattern *cycles* times.
+
+        Bit-identical to charging every event of every cycle through the
+        scalar :meth:`charge` path in order: the clock receives the
+        per-event amounts in exactly the original sequence and each stats
+        cell accumulates its own amounts in arrival order.  All dict probes
+        happen once per distinct label instead of once per event.
+        """
+
+        events, entries = compiled
+        if cycles <= 0 or not entries:
+            return
+        if not BATCHED_CHARGES:
+            for _ in _repeat(None, cycles):
+                for primitive, scale, label in events:
+                    self.charge(primitive, scale=scale, label=label)
+            return
+        cells = self.stats._cells
+        mirror = self._mirror_stats
+        mcells = mirror._cells if mirror is not None else None
+        # label -> [own_total, mirror_total, events_per_cycle, cell, mcell].
+        # Own and mirrored cells receive the same additions in the same
+        # order but start from different bases, so each keeps its own
+        # running accumulator.
+        ledger: dict[str, list] = {}
+        for amount, key in entries:
+            try:
+                ledger[key][2] += 1
+            except KeyError:
+                try:
+                    cell = cells[key]
+                except KeyError:
+                    cell = cells[key] = [0, 0.0]
+                mcell = None
+                if mcells is not None:
+                    try:
+                        mcell = mcells[key]
+                    except KeyError:
+                        mcell = mcells[key] = [0, 0.0]
+                ledger[key] = [
+                    cell[1], mcell[1] if mcell is not None else 0.0,
+                    1, cell, mcell]
+        now = self._now
+        if mcells is None:
+            for _ in _repeat(None, cycles):
+                for amount, key in entries:
+                    now += amount
+                    ledger[key][0] += amount
+        else:
+            for _ in _repeat(None, cycles):
+                for amount, key in entries:
+                    now += amount
+                    slot = ledger[key]
+                    slot[0] += amount
+                    slot[1] += amount
+        self._now = now
+        for slot in ledger.values():
+            total, mtotal, per_cycle, cell, mcell = slot
+            count = per_cycle * cycles
+            cell[0] += count
+            cell[1] = total
+            if mcell is not None:
+                mcell[0] += count
+                mcell[1] = mtotal
 
     def _record(self, label: str, amount: float) -> None:
         self.stats.record(label, amount)

@@ -19,11 +19,17 @@ class Catalog:
         # ``(schema, heap, pk_index, indexes)`` per table, built lazily:
         # the query planner asks for all four on every statement.
         self._plan_cache: dict[str, tuple] = {}
+        #: Bumped on every DDL change (create/drop table, create index,
+        #: snapshot load).  Callers holding derived per-table plans (the
+        #: database's extended plan cache) validate against this counter
+        #: instead of re-probing the catalog per statement.
+        self.version = 0
 
     # -- tables -----------------------------------------------------------------
     def create_table(self, schema: TableSchema) -> HeapTable:
         if schema.name in self._schemas:
             raise TableExistsError(f"table {schema.name!r} already exists")
+        self.version += 1
         self._schemas[schema.name] = schema
         heap = HeapTable(schema)
         self._heaps[schema.name] = heap
@@ -35,6 +41,7 @@ class Catalog:
 
     def drop_table(self, name: str) -> None:
         self._require(name)
+        self.version += 1
         del self._schemas[name]
         del self._heaps[name]
         self._plan_cache.pop(name, None)
@@ -63,6 +70,7 @@ class Catalog:
     def create_index(self, index_name: str, table: str, columns, *,
                      unique: bool = False, ordered: bool = False):
         self._require(table)
+        self.version += 1
         index_cls = OrderedIndex if ordered else HashIndex
         index = index_cls(index_name, table, tuple(columns), unique=unique)
         for rid, row in self._heaps[table].scan_live():
@@ -143,6 +151,7 @@ class Catalog:
     def load_snapshot(self, snapshot: dict) -> None:
         """Replace the whole catalog with *snapshot* (restore / recovery)."""
 
+        self.version += 1
         self._schemas = {}
         self._heaps = {}
         self._indexes = {}

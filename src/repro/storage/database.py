@@ -32,7 +32,7 @@ from repro.simclock import SimClock
 from repro.storage.backup import BackupImage, BackupManager
 from repro.storage.catalog import Catalog
 from repro.storage.lock_manager import LockManager, LockMode
-from repro.storage.query import compile_where
+from repro.storage.query import _match_all, compile_where
 from repro.storage.recovery import RecoveryManager
 from repro.storage.schema import TableSchema
 from repro.storage.transaction import Transaction, TxnState
@@ -40,6 +40,23 @@ from repro.storage.wal import FlushPolicy, LogRecordType, WriteAheadLog
 from repro.util.lsn import LSN
 
 SYSTEM_TXN_ID = 0
+
+
+class _TablePlan:
+    """Pre-resolved per-table execution state for the DML hot paths.
+
+    Everything a statement needs -- schema, heap row store, primary-key
+    index internals, secondary-index enumeration order, unique constraints
+    -- resolved once and validated per use against the owning catalog's
+    ``version`` counter (and catalog identity, which changes on
+    ``reset_catalog``).  ``rows`` aliases the heap's internal dict; the heap
+    only rebinds it in ``load_snapshot``, which always happens on a fresh
+    heap behind a catalog version bump.
+    """
+
+    __slots__ = ("catalog", "version", "schema", "heap", "rows", "pk_index",
+                 "pk_entries", "pk_cols", "pk_single", "indexes",
+                 "index_plans", "unique_plans")
 
 
 class Database:
@@ -73,6 +90,20 @@ class Database:
         self._charge_labels: dict[str, str | None] = {}
         self._lock_label = stats_prefix + "lock_acquire" if stats_prefix else None
         self._read_label = stats_prefix + "row_read" if stats_prefix else None
+        self._write_label = stats_prefix + "row_write" if stats_prefix else None
+        self._stmt_label = stats_prefix + "sql_statement_base" if stats_prefix else None
+        self._log_label = stats_prefix + "log_write" if stats_prefix else None
+        self._probe_label = stats_prefix + "index_probe" if stats_prefix else None
+        # Lazily compiled per-row charge patterns (see SimClock.charge_batch):
+        # DML loops defer their per-match charges and apply them as one
+        # batch replay per statement instead of two clock calls per row.
+        self._pair_lock_read = None
+        self._pair_lock_write = None
+        self._insert_pattern = None          # (lock, lock, row_write)
+        self._insert_pattern_nokey = None    # (lock, row_write)
+        #: Extended per-table plans (:class:`_TablePlan`), validated against
+        #: the catalog's version counter on every probe.
+        self._plans: dict[str, _TablePlan] = {}
         self._next_txn_id = 1
         self._checkpoint: dict | None = None
         self._restored_to: LSN | None = None
@@ -80,7 +111,8 @@ class Database:
 
     # ------------------------------------------------------------------ utils --
     def now(self) -> float:
-        return self.clock.now() if self.clock is not None else 0.0
+        clock = self.clock
+        return clock._now if clock is not None else 0.0
 
     def _charge(self, primitive: str, *, times: int = 1, nbytes: int = 0) -> None:
         clock = self.clock
@@ -94,6 +126,45 @@ class Database:
                 self.stats_prefix + primitive if self.stats_prefix else None
         clock.charge(primitive, times=times, nbytes=nbytes,
                      scale=self.cost_scale, label=label)
+
+    def _build_plan(self, table: str) -> _TablePlan:
+        """Build (and cache) the extended :class:`_TablePlan` for *table*."""
+
+        catalog = self.catalog
+        schema, heap, pk_index, indexes = catalog.plan_info(table)
+        plan = _TablePlan()
+        plan.catalog = catalog
+        plan.version = catalog.version
+        plan.schema = schema
+        plan.heap = heap
+        plan.rows = heap._rows
+        plan.pk_index = pk_index
+        plan.pk_entries = getattr(pk_index, "_entries", None)
+        pk_cols = schema.primary_key
+        plan.pk_cols = pk_cols
+        plan.pk_single = pk_cols[0] if len(pk_cols) == 1 else None
+        plan.indexes = indexes
+        plan.index_plans = tuple(
+            (index, index.columns,
+             index.columns[0] if len(index.columns) == 1 else None,
+             getattr(index, "_entries", None))
+            for index in indexes)
+        plan.unique_plans = tuple(
+            entry for entry in plan.index_plans if entry[0].unique)
+        self._plans[table] = plan
+        return plan
+
+    def _plan(self, table: str) -> _TablePlan:
+        """The cached :class:`_TablePlan` for *table* (rebuilt after DDL)."""
+
+        catalog = self.catalog
+        try:
+            plan = self._plans[table]
+        except KeyError:
+            return self._build_plan(table)
+        if plan.catalog is not catalog or plan.version != catalog.version:
+            return self._build_plan(table)
+        return plan
 
     def total_rows(self) -> int:
         return sum(len(self.catalog.heap(name)) for name in self.catalog.table_names())
@@ -139,7 +210,10 @@ class Database:
         self._next_txn_id += 1
         self._transactions[transaction.txn_id] = transaction
         self.wal.append(transaction.txn_id, LogRecordType.BEGIN)
-        self._charge("sql_statement_base")
+        clock = self.clock
+        if clock is not None:
+            clock.charge("sql_statement_base", scale=self.cost_scale,
+                         label=self._stmt_label)
         return transaction
 
     def transaction(self, txn_id: int) -> Transaction:
@@ -166,12 +240,23 @@ class Database:
         the transaction.
         """
 
-        txn.require_active_or_prepared()
+        state = txn.state
+        if state is not TxnState.ACTIVE and state is not TxnState.PREPARED:
+            txn.require_active_or_prepared()
         self.wal.append(txn.txn_id, LogRecordType.COMMIT)
         if self.wal.note_commit():
-            self._charge("log_write")
+            clock = self.clock
+            if clock is not None:
+                clock.charge("log_write", scale=self.cost_scale,
+                             label=self._log_label)
         txn.state = TxnState.COMMITTED
-        self._finish(txn, txn.on_commit)
+        # ``_finish`` inlined: commit is the per-transaction hot path.
+        self.locks.release_all(txn.txn_id)
+        callbacks = txn.on_commit
+        if callbacks:
+            for callback in callbacks:
+                callback()
+            callbacks.clear()
         return self.wal.tail_lsn()
 
     def commit_many(self, txns: list[Transaction]) -> LSN:
@@ -304,10 +389,16 @@ class Database:
     def insert(self, table: str, row: dict, txn: Transaction | None = None) -> int:
         """Insert *row* into *table*; returns the new row id."""
 
+        if txn is not None and txn.state is TxnState.ACTIVE:
+            clock = self.clock
+            if clock is not None:
+                clock.charge("sql_statement_base", scale=self.cost_scale,
+                             label=self._stmt_label)
+            return self._insert_row(table, row, txn, self._plan(table))
         with self._autotxn(txn) as active:
             active.require_active()
             self._charge("sql_statement_base")
-            return self._insert_row(table, row, active)
+            return self._insert_row(table, row, active, self._plan(table))
 
     def insert_many(self, table: str, rows: list[dict],
                     txn: Transaction | None = None) -> list[int]:
@@ -321,24 +412,63 @@ class Database:
         with self._autotxn(txn) as active:
             active.require_active()
             self._charge("sql_statement_base")
-            return [self._insert_row(table, row, active) for row in rows]
+            plan = self._plan(table)
+            return [self._insert_row(table, row, active, plan) for row in rows]
 
-    def _insert_row(self, table: str, row: dict, active: Transaction) -> int:
-        schema, heap, _, _ = self.catalog.plan_info(table)
-        normalized = schema.validate_row(self._strip_internal(row))
-        self._check_unique(table, normalized, exclude_rid=None)
-        if schema.primary_key:
-            key = schema.primary_key_of(normalized)
-            self.locks.acquire(active.txn_id, ("key", table, key), LockMode.EXCLUSIVE)
-            self._charge("lock_acquire")
-        rid = heap.insert(normalized)
-        self.locks.acquire(active.txn_id, ("row", table, rid), LockMode.EXCLUSIVE)
-        self._charge("lock_acquire")
-        self.catalog.index_insert(table, normalized, rid)
-        record = self.wal.append(active.txn_id, LogRecordType.INSERT, table=table,
-                                 rid=rid, after=dict(normalized))
-        active.note_record(record)
-        self._charge("row_write")
+    def _insert_row(self, table: str, row: dict, active: Transaction,
+                    plan: _TablePlan) -> int:
+        normalized = plan.schema.validate_row(self._strip_internal(row))
+        self._check_unique(table, normalized, None, plan)
+        # The per-row charges -- lock_acquire for the key lock (when the
+        # table has a primary key), lock_acquire for the row lock, and
+        # row_write -- are contiguous in clock time (nothing between them
+        # touches the clock), so they are deferred and replayed as one
+        # compiled batch when the insert completes.  On a partial failure
+        # (a lock conflict, a duplicate secondary key) only the lock
+        # charges actually incurred are replayed, exactly matching the
+        # per-row reference.
+        clock = self.clock
+        txn_id = active.txn_id
+        acquire = self.locks.acquire
+        locks_taken = 0
+        try:
+            pk_single = plan.pk_single
+            if pk_single is not None:
+                acquire(txn_id, ("key", table, (normalized[pk_single],)),
+                        LockMode.EXCLUSIVE)
+                locks_taken = 1
+            elif plan.pk_cols:
+                key = tuple(normalized[name] for name in plan.pk_cols)
+                acquire(txn_id, ("key", table, key), LockMode.EXCLUSIVE)
+                locks_taken = 1
+            rid = plan.heap.insert(normalized)
+            acquire(txn_id, ("row", table, rid), LockMode.EXCLUSIVE)
+            locks_taken += 1
+            for index in plan.indexes:
+                index.insert(normalized, rid)
+            record = self.wal.append(txn_id, LogRecordType.INSERT, table=table,
+                                     rid=rid, after=dict(normalized))
+            active.records.append(record)
+        except BaseException:
+            if clock is not None and locks_taken:
+                clock.charge_run("lock_acquire", locks_taken,
+                                 scale=self.cost_scale, label=self._lock_label)
+            raise
+        if clock is not None:
+            if locks_taken == 2:
+                pattern = self._insert_pattern
+                if pattern is None:
+                    pattern = self._insert_pattern = clock.compile_charges(
+                        (("lock_acquire", self.cost_scale, self._lock_label),
+                         ("lock_acquire", self.cost_scale, self._lock_label),
+                         ("row_write", self.cost_scale, self._write_label)))
+            else:
+                pattern = self._insert_pattern_nokey
+                if pattern is None:
+                    pattern = self._insert_pattern_nokey = clock.compile_charges(
+                        (("lock_acquire", self.cost_scale, self._lock_label),
+                         ("row_write", self.cost_scale, self._write_label)))
+            clock.charge_batch(pattern, 1)
         return rid
 
     def select(self, table: str, where=None, txn: Transaction | None = None, *,
@@ -350,36 +480,63 @@ class Database:
         strict two-phase locking.
         """
 
-        self._charge("sql_statement_base")
-        predicate, bindings = compile_where(where)
-        rows = []
-        # Per-match work is inlined (no ``_charge`` wrapper): the loop body
-        # runs for every candidate row of every SELECT in the simulator.
         clock = self.clock
-        scale = self.cost_scale
-        lock_label = self._lock_label
-        read_label = self._read_label
+        if clock is not None:
+            clock.charge("sql_statement_base", scale=self.cost_scale,
+                         label=self._stmt_label)
+        predicate, bindings = compile_where(where)
+        candidates = self._candidate_rows(self._plan(table), bindings, clock)
+        # Per-match charges are deferred and applied as one batch replay
+        # after the loop: nothing between two matches touches the clock, so
+        # the aggregate is float-identical to charging inside the loop (see
+        # SimClock.charge_batch).  When an acquire raises mid-statement the
+        # ``finally`` still replays the completed matches -- exactly the
+        # charges the per-row reference would have made before the raise.
+        # Candidates are the *stored* row dicts: the predicate filters them
+        # without a per-candidate copy, and only matches are materialized.
         if txn is not None and lock:
             mode = LockMode.EXCLUSIVE if for_update else LockMode.SHARED
             txn_id = txn.txn_id
-        else:
-            mode = None
-            txn_id = 0
-        acquire = self.locks.acquire
-        # Candidates are the *stored* row dicts: the predicate filters them
-        # without a per-candidate copy, and only matches are materialized.
-        for rid, row in self._candidate_rows(table, bindings):
-            if not predicate(row):
-                continue
-            if mode is not None:
-                acquire(txn_id, ("row", table, rid), mode)
-                if clock is not None:
-                    clock.charge("lock_acquire", scale=scale, label=lock_label)
+            acquire = self.locks.acquire
+            rows = []
             if clock is not None:
-                clock.charge("row_read", scale=scale, label=read_label)
-            matched = dict(row)
-            matched["_rid"] = rid
-            rows.append(matched)
+                matched_count = 0
+                try:
+                    if predicate is _match_all:
+                        for rid, row in candidates:
+                            acquire(txn_id, ("row", table, rid), mode)
+                            matched_count += 1
+                            rows.append(dict(row, _rid=rid))
+                    else:
+                        for rid, row in candidates:
+                            if not predicate(row):
+                                continue
+                            acquire(txn_id, ("row", table, rid), mode)
+                            matched_count += 1
+                            rows.append(dict(row, _rid=rid))
+                finally:
+                    if matched_count:
+                        pattern = self._pair_lock_read
+                        if pattern is None:
+                            pattern = self._pair_lock_read = clock.compile_charges(
+                                (("lock_acquire", self.cost_scale, self._lock_label),
+                                 ("row_read", self.cost_scale, self._read_label)))
+                        clock.charge_batch(pattern, matched_count)
+                return rows
+            for rid, row in candidates:
+                if not predicate(row):
+                    continue
+                acquire(txn_id, ("row", table, rid), mode)
+                rows.append(dict(row, _rid=rid))
+            return rows
+        if predicate is _match_all:
+            rows = [dict(row, _rid=rid) for rid, row in candidates]
+        else:
+            rows = [dict(row, _rid=rid) for rid, row in candidates
+                    if predicate(row)]
+        if clock is not None and rows:
+            clock.charge_run("row_read", len(rows), scale=self.cost_scale,
+                             label=self._read_label)
         return rows
 
     def select_one(self, table: str, where=None, txn: Transaction | None = None,
@@ -393,28 +550,47 @@ class Database:
 
         with self._autotxn(txn) as active:
             active.require_active()
-            self._charge("sql_statement_base")
-            schema, heap, _, _ = self.catalog.plan_info(table)
+            clock = self.clock
+            if clock is not None:
+                clock.charge("sql_statement_base", scale=self.cost_scale,
+                             label=self._stmt_label)
+            plan = self._plan(table)
+            schema = plan.schema
+            heap = plan.heap
+            indexes = plan.indexes
             predicate, bindings = compile_where(where)
             changes = self._strip_internal(changes)
             touched = 0
-            for rid, row in list(self._candidate_rows(table, bindings)):
-                if not predicate(row):
-                    continue
-                self.locks.acquire(active.txn_id, ("row", table, rid), LockMode.EXCLUSIVE)
-                self._charge("lock_acquire")
-                new_row = dict(row)
-                new_row.update(changes)
-                normalized = schema.validate_row(new_row)
-                self._check_unique(table, normalized, exclude_rid=rid)
-                self.catalog.index_remove(table, row, rid)
-                heap.update(rid, normalized)
-                self.catalog.index_insert(table, normalized, rid)
-                record = self.wal.append(active.txn_id, LogRecordType.UPDATE, table=table,
-                                         rid=rid, before=dict(row), after=dict(normalized))
-                active.note_record(record)
-                self._charge("row_write")
-                touched += 1
+            # Charges are deferred exactly as in ``select``: each finished
+            # row owes a (lock_acquire, row_write) pair, and a row that got
+            # its lock but failed validation owes the lone lock_acquire the
+            # per-row reference would have charged before raising.
+            acquired = False
+            acquire = self.locks.acquire
+            txn_id = active.txn_id
+            try:
+                for rid, row in self._candidate_rows(plan, bindings, clock):
+                    if not predicate(row):
+                        continue
+                    acquire(txn_id, ("row", table, rid), LockMode.EXCLUSIVE)
+                    acquired = True
+                    new_row = dict(row)
+                    new_row.update(changes)
+                    normalized = schema.validate_row(new_row)
+                    self._check_unique(table, normalized, rid, plan)
+                    for index in indexes:
+                        index.remove(row, rid)
+                    heap.update(rid, normalized)
+                    for index in indexes:
+                        index.insert(normalized, rid)
+                    record = self.wal.append(txn_id, LogRecordType.UPDATE,
+                                             table=table, rid=rid, before=dict(row),
+                                             after=dict(normalized))
+                    active.records.append(record)
+                    acquired = False
+                    touched += 1
+            finally:
+                self._settle_write_charges(touched, acquired)
             return touched
 
     def delete(self, table: str, where, txn: Transaction | None = None) -> int:
@@ -422,56 +598,115 @@ class Database:
 
         with self._autotxn(txn) as active:
             active.require_active()
-            self._charge("sql_statement_base")
-            heap = self.catalog.plan_info(table)[1]
+            clock = self.clock
+            if clock is not None:
+                clock.charge("sql_statement_base", scale=self.cost_scale,
+                             label=self._stmt_label)
+            plan = self._plan(table)
+            heap = plan.heap
+            indexes = plan.indexes
             predicate, bindings = compile_where(where)
             removed = 0
-            for rid, row in list(self._candidate_rows(table, bindings)):
-                if not predicate(row):
-                    continue
-                self.locks.acquire(active.txn_id, ("row", table, rid), LockMode.EXCLUSIVE)
-                self._charge("lock_acquire")
-                self.catalog.index_remove(table, row, rid)
-                heap.delete(rid)
-                record = self.wal.append(active.txn_id, LogRecordType.DELETE, table=table,
-                                         rid=rid, before=dict(row))
-                active.note_record(record)
-                self._charge("row_write")
-                removed += 1
+            acquired = False
+            acquire = self.locks.acquire
+            txn_id = active.txn_id
+            try:
+                for rid, row in self._candidate_rows(plan, bindings, clock):
+                    if not predicate(row):
+                        continue
+                    acquire(txn_id, ("row", table, rid), LockMode.EXCLUSIVE)
+                    acquired = True
+                    for index in indexes:
+                        index.remove(row, rid)
+                    heap.delete(rid)
+                    record = self.wal.append(txn_id, LogRecordType.DELETE,
+                                             table=table, rid=rid, before=dict(row))
+                    active.records.append(record)
+                    acquired = False
+                    removed += 1
+            finally:
+                self._settle_write_charges(removed, acquired)
             return removed
 
     def count(self, table: str, where=None) -> int:
         return len(self.select(table, where, txn=None, lock=False))
 
     # ------------------------------------------------------------ DML helpers --
-    @staticmethod
-    def _strip_internal(row: dict) -> dict:
-        return {key: value for key, value in row.items() if not key.startswith("_")}
+    def _settle_write_charges(self, finished: int, acquired_pending: bool) -> None:
+        """Apply the deferred charges of an update/delete loop.
 
-    def _candidate_rows(self, table: str, bindings: dict):
-        """(rid, row) candidates, using the primary-key index when possible.
-
-        Returns an iterable (a list for the index path, the heap's items
-        view for a full scan) rather than a generator: the callers drive
-        tight loops and the generator resumption cost was measurable.  The
-        rows are the heap's *stored* dicts (no copy): DML callers
-        materialize copies only for rows that actually match, and the heap
-        replaces (never mutates) stored dicts on update, so a reference
-        taken here stays pre-update even while the statement mutates the
-        table.
+        *finished* rows each owe a (lock_acquire, row_write) pair;
+        *acquired_pending* marks a row whose lock was taken but whose write
+        never completed (validation or uniqueness raised), which owes the
+        lone lock_acquire the per-row reference charged before raising.
         """
 
-        schema, heap, pk_index, indexes = self.catalog.plan_info(table)
+        clock = self.clock
+        if clock is None:
+            return
+        if finished:
+            pattern = self._pair_lock_write
+            if pattern is None:
+                pattern = self._pair_lock_write = clock.compile_charges(
+                    (("lock_acquire", self.cost_scale, self._lock_label),
+                     ("row_write", self.cost_scale, self._write_label)))
+            clock.charge_batch(pattern, finished)
+        if acquired_pending:
+            self._charge("lock_acquire")
+
+    @staticmethod
+    def _strip_internal(row: dict) -> dict:
+        # Fast path: rows without internal ("_"-prefixed) keys -- the vast
+        # majority -- are returned as-is (callers only read the result).
+        # ``key[:1]`` is a zero-call prefix test, unlike ``startswith``.
+        for key in row:
+            if key[:1] == "_":
+                return {k: v for k, v in row.items() if k[:1] != "_"}
+        return row
+
+    def _candidate_rows(self, plan: _TablePlan, bindings: dict, clock):
+        """(rid, row) candidates, using the primary-key index when possible.
+
+        Returns a fully materialized list rather than a generator: the
+        callers drive tight loops and the generator resumption cost was
+        measurable.  The rows are the heap's *stored* dicts (no copy): DML
+        callers materialize copies only for rows that actually match, and
+        the heap replaces (never mutates) stored dicts on update, so a
+        reference taken here stays pre-update even while the statement
+        mutates the table.
+        """
+
         if bindings:
-            primary_key = schema.primary_key
-            if pk_index is not None and primary_key \
-                    and all(c in bindings for c in primary_key):
-                key = tuple(bindings[c] for c in primary_key)
-                self._charge("index_probe")
-                exists = heap.exists
-                get_live = heap.get_live
-                return [(rid, get_live(rid))
-                        for rid in sorted(pk_index.bucket(key)) if exists(rid)]
+            rows = plan.rows
+            # Single-column keys dominate; the plan pre-resolves the single
+            # key column so the common probe is two dict tests.
+            key = None
+            pk_single = plan.pk_single
+            if pk_single is not None:
+                if pk_single in bindings:
+                    key = (bindings[pk_single],)
+            elif plan.pk_cols:
+                complete = True
+                for column in plan.pk_cols:
+                    if column not in bindings:
+                        complete = False
+                        break
+                if complete:
+                    key = tuple(bindings[c] for c in plan.pk_cols)
+            if key is not None and plan.pk_index is not None:
+                if clock is not None:
+                    clock.charge("index_probe", scale=self.cost_scale,
+                                 label=self._probe_label)
+                entries = plan.pk_entries
+                if entries is not None:
+                    try:
+                        bucket = entries[key]
+                    except KeyError:
+                        return ()
+                else:
+                    bucket = plan.pk_index.bucket(key)
+                return [(rid, rows[rid])
+                        for rid in sorted(bucket) if rid in rows]
             # Enumerate through any secondary index whose columns are all
             # bound by equality.  This is deliberately NOT charged: the
             # historical cost model full-scanned here without a probe, and
@@ -479,24 +714,56 @@ class Database:
             # ``row_read``).  Sorting the bucket reproduces the heap's
             # stable scan order, so matches, locks and charges come out in
             # exactly the same sequence as the scan they replace.
-            for index in indexes:
-                if all(column in bindings for column in index.columns):
-                    key = tuple(bindings[column] for column in index.columns)
-                    exists = heap.exists
-                    get_live = heap.get_live
-                    return [(rid, get_live(rid))
-                            for rid in sorted(index.bucket(key)) if exists(rid)]
-        return heap.scan_live()
+            for index, columns, single, entries in plan.index_plans:
+                if single is not None:
+                    if single not in bindings:
+                        continue
+                    key = (bindings[single],)
+                else:
+                    complete = True
+                    for column in columns:
+                        if column not in bindings:
+                            complete = False
+                            break
+                    if not complete:
+                        continue
+                    key = tuple(bindings[column] for column in columns)
+                if entries is not None:
+                    try:
+                        bucket = entries[key]
+                    except KeyError:
+                        return ()
+                else:
+                    bucket = index.bucket(key)
+                return [(rid, rows[rid])
+                        for rid in sorted(bucket) if rid in rows]
+        # Full scan (``HeapTable.scan_live`` inlined, including its cached
+        # sorted-rid order maintenance).
+        heap = plan.heap
+        rows = heap._rows
+        order = heap._sorted_rids
+        if order is None:
+            order = heap._sorted_rids = sorted(rows)
+        return [(rid, rows[rid]) for rid in order]
 
-    def _check_unique(self, table: str, row: dict, exclude_rid: int | None) -> None:
-        for index in self.catalog.plan_info(table)[3]:
-            if not index.unique:
-                continue
-            key = index.key_of(row)
-            bucket = index.bucket(key)
-            if bucket and any(rid != exclude_rid for rid in bucket):
-                raise DuplicateKeyError(
-                    f"table {table}: duplicate key {key!r} for index {index.name}")
+    def _check_unique(self, table: str, row: dict, exclude_rid: int | None,
+                      plan: _TablePlan | None = None) -> None:
+        if plan is None:
+            plan = self._plan(table)
+        for index, columns, single, entries in plan.unique_plans:
+            key = (row[single],) if single is not None else \
+                tuple(row[column] for column in columns)
+            if entries is not None:
+                try:
+                    bucket = entries[key]
+                except KeyError:
+                    continue
+            else:
+                bucket = index.bucket(key)
+            for rid in bucket:
+                if rid != exclude_rid:
+                    raise DuplicateKeyError(
+                        f"table {table}: duplicate key {key!r} for index {index.name}")
 
     def _autotxn(self, txn: Transaction | None) -> "_AutoTxn":
         return _AutoTxn(self, txn)

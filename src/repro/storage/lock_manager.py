@@ -12,7 +12,6 @@ reported as :class:`DeadlockError`, mirroring a conventional detector.
 from __future__ import annotations
 
 import enum
-from collections import defaultdict
 
 from repro.errors import DeadlockError, LockConflictError
 
@@ -29,12 +28,15 @@ class LockManager:
     """Tracks which transaction holds which resource in which mode."""
 
     def __init__(self):
+        # Plain dicts (not defaultdicts): the hot paths below use
+        # ``in``/``del``/try-except probes that must not materialize empty
+        # entries as a side effect.
         # resource -> {txn_id: LockMode}
-        self._holders: dict[object, dict[int, LockMode]] = defaultdict(dict)
+        self._holders: dict[object, dict[int, LockMode]] = {}
         # txn_id -> set of resources
-        self._owned: dict[int, set[object]] = defaultdict(set)
+        self._owned: dict[int, set[object]] = {}
         # waits-for edges recorded on conflict: waiter -> set of holders
-        self._waits_for: dict[int, set[int]] = defaultdict(set)
+        self._waits_for: dict[int, set[int]] = {}
 
     # -- acquisition -----------------------------------------------------------
     def acquire(self, txn_id: int, resource: object, mode: LockMode) -> bool:
@@ -45,28 +47,41 @@ class LockManager:
         the lock is simply unavailable.
         """
 
-        holders = self._holders[resource]
-        current = holders.get(txn_id)
-        if current is not None:
-            if current is LockMode.EXCLUSIVE or current is mode:
-                return True
-            # upgrade S -> X: allowed only if we are the sole holder
-            others = [other for other in holders if other != txn_id]
-            if not others:
-                holders[txn_id] = LockMode.EXCLUSIVE
-                return True
-            self._record_wait(txn_id, others)
-            raise LockConflictError(resource, mode, others)
+        holders_map = self._holders
+        try:
+            holders = holders_map[resource]
+        except KeyError:
+            holders = holders_map[resource] = {}
+        if holders:
+            try:
+                current = holders[txn_id]
+            except KeyError:
+                current = None
+            if current is not None:
+                if current is LockMode.EXCLUSIVE or current is mode:
+                    return True
+                # upgrade S -> X: allowed only if we are the sole holder
+                others = [other for other in holders if other != txn_id]
+                if not others:
+                    holders[txn_id] = LockMode.EXCLUSIVE
+                    return True
+                self._record_wait(txn_id, others)
+                raise LockConflictError(resource, mode, others)
 
-        conflicting = [other for other, held in holders.items()
-                       if other != txn_id and not held.compatible_with(mode)]
-        if conflicting:
-            self._record_wait(txn_id, conflicting)
-            raise LockConflictError(resource, mode, conflicting)
+            conflicting = [other for other, held in holders.items()
+                           if other != txn_id and not held.compatible_with(mode)]
+            if conflicting:
+                self._record_wait(txn_id, conflicting)
+                raise LockConflictError(resource, mode, conflicting)
 
         holders[txn_id] = mode
-        self._owned[txn_id].add(resource)
-        self._waits_for.pop(txn_id, None)
+        owned = self._owned
+        try:
+            owned[txn_id].add(resource)
+        except KeyError:
+            owned[txn_id] = {resource}
+        if txn_id in self._waits_for:
+            del self._waits_for[txn_id]
         return True
 
     def try_acquire(self, txn_id: int, resource: object, mode: LockMode) -> bool:
@@ -78,7 +93,11 @@ class LockManager:
             return False
 
     def _record_wait(self, waiter: int, holders: list[int]) -> None:
-        self._waits_for[waiter].update(holders)
+        waits = self._waits_for
+        try:
+            waits[waiter].update(holders)
+        except KeyError:
+            waits[waiter] = set(holders)
         if self._has_cycle(waiter):
             self._waits_for.pop(waiter, None)
             raise DeadlockError(
@@ -99,22 +118,46 @@ class LockManager:
 
     # -- release ----------------------------------------------------------------
     def release(self, txn_id: int, resource: object) -> None:
-        holders = self._holders.get(resource)
+        holders_map = self._holders
+        try:
+            holders = holders_map[resource]
+        except KeyError:
+            holders = None
         if holders and txn_id in holders:
             del holders[txn_id]
             if not holders:
-                self._holders.pop(resource, None)
-        self._owned.get(txn_id, set()).discard(resource)
+                del holders_map[resource]
+        owned = self._owned
+        if txn_id in owned:
+            owned[txn_id].discard(resource)
 
     def release_all(self, txn_id: int) -> None:
-        """Release every lock held by *txn_id* (end of strict 2PL)."""
+        """Release every lock held by *txn_id* (end of strict 2PL).
 
-        for resource in list(self._owned.get(txn_id, ())):
-            self.release(txn_id, resource)
-        self._owned.pop(txn_id, None)
-        self._waits_for.pop(txn_id, None)
-        for waiters in self._waits_for.values():
-            waiters.discard(txn_id)
+        :meth:`release` is inlined into the loop: this runs at the end of
+        every transaction and the per-resource call overhead dominated.
+        ``acquire`` keeps ``_owned`` and ``_holders`` in lockstep, so every
+        owned resource is guarded defensively but normally present.
+        """
+
+        owned = self._owned
+        if txn_id in owned:
+            resources = owned[txn_id]
+            del owned[txn_id]
+            holders_map = self._holders
+            for resource in resources:
+                if resource in holders_map:
+                    holders = holders_map[resource]
+                    if txn_id in holders:
+                        del holders[txn_id]
+                        if not holders:
+                            del holders_map[resource]
+        waits = self._waits_for
+        if txn_id in waits:
+            del waits[txn_id]
+        if waits:
+            for waiters in waits.values():
+                waiters.discard(txn_id)
 
     # -- inspection ---------------------------------------------------------------
     def holders_of(self, resource: object) -> dict[int, LockMode]:

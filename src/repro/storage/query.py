@@ -153,11 +153,14 @@ def compile_where(where) -> tuple:
 
     if where is None:
         return _match_all, {}
-    if isinstance(where, dict):
-        bindings = dict(where)
+    if type(where) is dict or isinstance(where, dict):
+        bindings = where
         # Specialized closures for the 1- and 2-column conjunctions that
         # dominate real traffic: a direct comparison beats a generator
-        # expression per candidate row by a wide margin.
+        # expression per candidate row by a wide margin.  The bindings
+        # alias the caller's dict (no defensive copy): both the planner
+        # and these closures extract what they need before returning to
+        # the caller, and the closures capture values, not the dict.
         if len(bindings) == 1:
             [(column, value)] = bindings.items()
 

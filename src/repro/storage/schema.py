@@ -24,6 +24,21 @@ class Column:
     options: dict = field(default_factory=dict)
 
 
+#: Exact runtime type accepted without coercion per data type: when a value's
+#: ``type()`` matches, ``validate_value`` would return it unchanged, so the
+#: compiled validator below skips the call entirely.  DATALINK always takes
+#: the slow path (URL well-formedness must be checked).  ``bool`` being an
+#: ``int`` subclass is handled naturally: ``type(True) is int`` is False.
+_EXACT_TYPES = {
+    DataType.INTEGER: int,
+    DataType.REAL: float,
+    DataType.TEXT: str,
+    DataType.BOOLEAN: bool,
+    DataType.TIMESTAMP: float,
+    DataType.BLOB: bytes,
+}
+
+
 class TableSchema:
     """An ordered collection of columns plus an optional primary key."""
 
@@ -46,6 +61,12 @@ class TableSchema:
             if key_column not in self._by_name:
                 raise SchemaError(
                     f"table {name}: primary key column {key_column!r} is not defined")
+        # Pre-resolved per-column validation plan: (name, dtype, nullable,
+        # default, exact_type).  Columns are immutable, so this is built once.
+        self._validate_plan = tuple(
+            (column.name, column.dtype, column.nullable, column.default,
+             _EXACT_TYPES.get(column.dtype))
+            for column in self.columns)
 
     # -- lookup ---------------------------------------------------------------
     @property
@@ -75,20 +96,25 @@ class TableSchema:
         Returns a new dict laid out in column order.
         """
 
+        by_name = self._by_name
         for key in row:
-            if key not in self._by_name:
+            if key not in by_name:
                 raise NoSuchColumnError(f"table {self.name}: no column {key!r}")
         normalized: dict = {}
-        for column in self.columns:
-            if column.name in row:
-                value = row[column.name]
-            else:
-                value = column.default
-            value = validate_value(column.dtype, value, column.name)
-            if value is None and not column.nullable:
+        # The compiled plan makes the common case (value already of the
+        # exact storage type) a zero-call check; only coercions, None values
+        # and DATALINK URLs take the ``validate_value`` slow path, which
+        # keeps semantics (and error messages) identical.
+        for name, dtype, nullable, default, exact in self._validate_plan:
+            value = row[name] if name in row else default
+            if type(value) is exact:
+                normalized[name] = value
+                continue
+            value = validate_value(dtype, value, name)
+            if value is None and not nullable:
                 raise NullViolationError(
-                    f"table {self.name}: column {column.name!r} may not be null")
-            normalized[column.name] = value
+                    f"table {self.name}: column {name!r} may not be null")
+            normalized[name] = value
         return normalized
 
     def primary_key_of(self, row: dict) -> tuple:

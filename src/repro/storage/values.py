@@ -37,36 +37,48 @@ def validate_value(dtype: DataType, value: object, column: str = "?") -> object:
     if value is None:
         return None
 
+    # Exact-type tests first: ``type(value) is T`` is a zero-call check
+    # and covers essentially every value the engine sees (this runs once
+    # per column per inserted/updated row).  Subclasses fall through to
+    # the ``isinstance`` slow path, so semantics are unchanged.
+    kind = type(value)
+
     if dtype is DataType.INTEGER:
-        if isinstance(value, bool) or not isinstance(value, int):
-            raise TypeMismatchError(f"column {column}: expected INTEGER, got {value!r}")
-        return value
+        if kind is int or (kind is not bool and isinstance(value, int)):
+            return value
+        raise TypeMismatchError(f"column {column}: expected INTEGER, got {value!r}")
 
     if dtype is DataType.REAL:
-        if isinstance(value, bool) or not isinstance(value, (int, float)):
-            raise TypeMismatchError(f"column {column}: expected REAL, got {value!r}")
-        return float(value)
+        if kind is float:
+            return value
+        if kind is int or (kind is not bool and isinstance(value, (int, float))):
+            return float(value)
+        raise TypeMismatchError(f"column {column}: expected REAL, got {value!r}")
 
     if dtype is DataType.TEXT:
-        if not isinstance(value, str):
-            raise TypeMismatchError(f"column {column}: expected TEXT, got {value!r}")
-        return value
+        if kind is str or isinstance(value, str):
+            return value
+        raise TypeMismatchError(f"column {column}: expected TEXT, got {value!r}")
 
     if dtype is DataType.BOOLEAN:
-        if not isinstance(value, bool):
-            raise TypeMismatchError(f"column {column}: expected BOOLEAN, got {value!r}")
-        return value
+        if kind is bool or isinstance(value, bool):
+            return value
+        raise TypeMismatchError(f"column {column}: expected BOOLEAN, got {value!r}")
 
     if dtype is DataType.TIMESTAMP:
-        if isinstance(value, bool) or not isinstance(value, (int, float)):
-            raise TypeMismatchError(
-                f"column {column}: expected TIMESTAMP (seconds), got {value!r}")
-        return float(value)
+        if kind is float:
+            return value
+        if kind is int or (kind is not bool and isinstance(value, (int, float))):
+            return float(value)
+        raise TypeMismatchError(
+            f"column {column}: expected TIMESTAMP (seconds), got {value!r}")
 
     if dtype is DataType.BLOB:
-        if not isinstance(value, (bytes, bytearray)):
-            raise TypeMismatchError(f"column {column}: expected BLOB, got {value!r}")
-        return bytes(value)
+        if kind is bytes:
+            return value
+        if isinstance(value, (bytes, bytearray)):
+            return bytes(value)
+        raise TypeMismatchError(f"column {column}: expected BLOB, got {value!r}")
 
     if dtype is DataType.DATALINK:
         if not isinstance(value, str):

@@ -134,11 +134,10 @@ class WriteAheadLog:
         self._next_lsn += 1
         self._records.append(record)
         by_txn = self._by_txn
-        bucket = by_txn.get(txn_id)
-        if bucket is None:
+        try:
+            by_txn[txn_id].append(record)
+        except KeyError:
             by_txn[txn_id] = [record]
-        else:
-            bucket.append(record)
         return record
 
     def note_commit(self) -> bool:
@@ -176,14 +175,17 @@ class WriteAheadLog:
     def flush(self) -> LSN:
         """Make every appended record durable; returns the tail LSN."""
 
-        grew = self._flushed_count < len(self._records)
-        self._flushed_count = len(self._records)
+        records = self._records
+        count = len(records)
+        grew = self._flushed_count < count
+        self._flushed_count = count
         self._pending_commits = 0
         self.flush_count += 1
-        if grew:
+        if grew and self._flush_listeners:
             for listener in list(self._flush_listeners):
                 listener(self)
-        return self.tail_lsn()
+        # Tail is re-read after the listeners ran (``tail_lsn`` inlined).
+        return records[-1].lsn if records else LSN(0)
 
     @property
     def flushed_lsn(self) -> LSN:
@@ -217,12 +219,12 @@ class WriteAheadLog:
         """
 
         limit = self._flushed_count if durable_only else len(self._records)
-        target = lsn.value if isinstance(lsn, LSN) else int(lsn)
+        target = int(lsn)
         records = self._records
         low, high = 0, limit
         while low < high:
             mid = (low + high) // 2
-            if records[mid].lsn.value > target:
+            if records[mid].lsn > target:
                 high = mid
             else:
                 low = mid + 1

@@ -10,68 +10,29 @@ engine and those state identifiers.
 from __future__ import annotations
 
 
-class LSN:
+class LSN(int):
     """A totally ordered log sequence number.
 
-    All six comparison operators are written out explicitly: LSN
-    comparisons sit on the WAL-shipping hot path, and the wrappers
-    ``functools.total_ordering`` synthesizes cost an extra call (plus a
-    ``NotImplemented`` dance) per comparison.
+    An ``int`` subclass: comparisons, hashing and arithmetic sit on the
+    WAL-shipping hot path and the C integer implementations are free,
+    whereas Python-level comparison methods cost a frame per compare.
+    ``value`` is kept as a read-only view for callers that still spell
+    ``lsn.value``.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ()
 
-    def __init__(self, value: int = 0):
-        self.value = int(value)
+    # ``int`` as a C-level fget: reading ``lsn.value`` returns the plain
+    # integer without entering a Python frame.
+    value = property(int)
 
     def next(self) -> "LSN":
         """The LSN immediately following this one."""
 
-        return LSN(self.value + 1)
-
-    def __eq__(self, other: object) -> bool:
-        if isinstance(other, LSN):
-            return self.value == other.value
-        if isinstance(other, int):
-            return self.value == other
-        return NotImplemented
-
-    def __lt__(self, other: object) -> bool:
-        if isinstance(other, LSN):
-            return self.value < other.value
-        if isinstance(other, int):
-            return self.value < other
-        return NotImplemented
-
-    def __le__(self, other: object) -> bool:
-        if isinstance(other, LSN):
-            return self.value <= other.value
-        if isinstance(other, int):
-            return self.value <= other
-        return NotImplemented
-
-    def __gt__(self, other: object) -> bool:
-        if isinstance(other, LSN):
-            return self.value > other.value
-        if isinstance(other, int):
-            return self.value > other
-        return NotImplemented
-
-    def __ge__(self, other: object) -> bool:
-        if isinstance(other, LSN):
-            return self.value >= other.value
-        if isinstance(other, int):
-            return self.value >= other
-        return NotImplemented
-
-    def __hash__(self) -> int:
-        return hash(self.value)
-
-    def __int__(self) -> int:
-        return self.value
+        return LSN(self + 1)
 
     def __repr__(self) -> str:
-        return f"LSN({self.value})"
+        return f"LSN({int(self)})"
 
 
 NULL_LSN = LSN(0)

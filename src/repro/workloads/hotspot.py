@@ -249,10 +249,10 @@ class HotspotWorkload:
                 metrics.bump("links_failed")
         self._uploaded = []
 
-    def _choose_read_url(self) -> str | None:
-        """Token handout for one zipf-chosen read (before the window)."""
+    def _tokenized_read_url(self, prefix_index: int) -> str | None:
+        """Token handout for one scheduled read (before the window)."""
 
-        docs = self._docs_by_prefix[self._prefix_chooser.choose()]
+        docs = self._docs_by_prefix[prefix_index]
         if not docs:
             return None
         doc_id = docs[self._read_cursor % len(docs)]
@@ -325,14 +325,19 @@ class HotspotWorkload:
         for round_index in range(config.rounds):
             stage = "steady" if round_index >= steady_from else "early"
             loads: dict[str, int] = {}
-            # Token handout (host-side SQL) before the window, like
-            # E12's follower batches.
+            # The round's zipf schedule is drawn as two vectorized batches
+            # (reads first, then links -- the same chooser order the
+            # per-operation draws used), then replayed.  Token handout
+            # (host-side SQL) happens before the window, like E12's
+            # follower batches.
+            read_plan = self._prefix_chooser.choose_many(
+                config.reads_per_round)
+            link_plan = self._prefix_chooser.choose_many(
+                config.links_per_round)
             read_urls = [url for url in
-                         (self._choose_read_url()
-                          for _ in range(config.reads_per_round))
+                         (self._tokenized_read_url(prefix_index)
+                          for prefix_index in read_plan)
                          if url is not None]
-            link_plan = [self._prefix_chooser.choose()
-                         for _ in range(config.links_per_round)]
             reads_per_link = max(1, len(read_urls) // max(1, len(link_plan)))
             with clock.overlap():
                 # Interleave uploads and reads so node queues build the

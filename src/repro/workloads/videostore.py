@@ -134,9 +134,10 @@ class VideoStoreWorkload:
         clock = self.system.clock
         metrics = WorkloadMetrics(started_at=clock.now())
         chooser = UniformChooser(config.movies, config.seed)
+        movie_schedule = chooser.choose_many(config.operations)
         version = 1
         for op_index in range(config.operations):
-            movie_id = chooser.choose()
+            movie_id = movie_schedule[op_index]
             roll = (op_index % 100) / 100.0
             if roll < config.preview_fraction:
                 with clock.measure() as timer:

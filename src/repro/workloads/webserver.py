@@ -41,6 +41,11 @@ class WebSiteConfig:
     file_servers: int = 1
     zipf_theta: float = 0.99
     seed: int = 42
+    #: Number of reader sessions the operation mix is spread over,
+    #: round-robin.  ``1`` (the default) reproduces the classic
+    #: single-visitor run byte-for-byte; the large bench tier drives
+    #: thousands of concurrent client sessions through the same schedule.
+    clients: int = 1
     #: The host-side token cache is on by default: a web server re-serving
     #: the same hot (Zipf-skewed) pages re-requests the same capabilities,
     #: which is exactly the hit pattern the cache exists for.
@@ -101,13 +106,21 @@ class WebServerWorkload:
         clock = self.system.clock
         metrics = WorkloadMetrics(started_at=clock.now())
         chooser = ZipfChooser(config.pages, config.zipf_theta, config.seed)
-        reader = self.system.session("visitor", uid=3001)
+        # The whole run's zipf page schedule is one vectorized draw,
+        # replayed operation by operation (bit-identical to per-op draws).
+        page_schedule = chooser.choose_many(config.operations)
+        readers = [self.system.session("visitor", uid=3001)]
+        for extra in range(1, config.clients):
+            readers.append(
+                self.system.session(f"visitor{extra}", uid=3001 + extra))
         updates_budget = int(round(config.operations * (1.0 - config.read_fraction)))
         update_every = max(1, config.operations // max(1, updates_budget)) \
             if updates_budget else config.operations + 1
         version = 1
+        client_count = len(readers)
         for op_index in range(config.operations):
-            page_id = chooser.choose()
+            page_id = page_schedule[op_index]
+            reader = readers[op_index % client_count]
             if op_index % update_every == 0 and updates_budget > 0:
                 elapsed = self._update_page(page_id, version)
                 if elapsed is None:
@@ -167,12 +180,13 @@ class BlobWebSiteWorkload:
         clock = self.system.clock
         metrics = WorkloadMetrics(started_at=clock.now())
         chooser = ZipfChooser(config.pages, config.zipf_theta, config.seed)
+        page_schedule = chooser.choose_many(config.operations)
         updates_budget = int(round(config.operations * (1.0 - config.read_fraction)))
         update_every = max(1, config.operations // max(1, updates_budget)) \
             if updates_budget else config.operations + 1
         version = 1
         for op_index in range(config.operations):
-            page_id = chooser.choose()
+            page_id = page_schedule[op_index]
             path = f"/site/page{page_id:05d}.html"
             if op_index % update_every == 0 and updates_budget > 0:
                 content = make_content(config.page_size, tag=f"page{page_id}",

@@ -1,0 +1,73 @@
+"""Tier-1 fail-fast guards: sources must compile, the artifact must parse.
+
+Named ``test_00_*`` so pytest's alphabetical collection runs this module
+first: under ``-x`` a syntax error anywhere beneath ``src/`` or a
+malformed committed ``BENCH_smoke.json`` aborts the run immediately,
+before the functional suites spend minutes re-running workloads against a
+baseline that was never going to load.  This is the test-suite face of the
+CI entrypoint's ``python -m compileall src`` + artifact-shape check.
+"""
+
+from __future__ import annotations
+
+import compileall
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+COMMITTED_ARTIFACT = REPO_ROOT / "BENCH_smoke.json"
+
+#: Fields every per-experiment artifact entry must carry.  ``rows`` and
+#: ``sim_ms`` are the simulated (deterministic) payload; ``wall_clock_s``
+#: is the measured timing the wall-clock budget test diffs against.
+REQUIRED_ENTRY_FIELDS = ("experiment_id", "title", "headers", "rows",
+                        "sim_ms", "wall_clock_s")
+
+
+def test_every_source_file_compiles():
+    """``python -m compileall src``: no syntax error hides behind an
+    untested import path."""
+
+    assert compileall.compile_dir(str(SRC_ROOT), quiet=2, force=False), \
+        "a file under src/ failed to byte-compile (syntax error)"
+
+
+class TestCommittedArtifactShape:
+    """The committed BENCH_smoke.json must be loadable and well-formed
+    *before* the suites that treat it as their golden baseline run."""
+
+    @pytest.fixture(scope="class")
+    def payload(self) -> dict:
+        if not COMMITTED_ARTIFACT.exists():
+            pytest.skip("no committed BENCH_smoke.json in this checkout")
+        with open(COMMITTED_ARTIFACT, "r", encoding="utf-8") as stream:
+            return json.load(stream)
+
+    def test_top_level_shape(self, payload):
+        assert payload.get("mode") == "smoke"
+        assert isinstance(payload.get("experiments"), dict)
+        summary = payload.get("wall_clock")
+        assert isinstance(summary, dict)
+        assert isinstance(summary.get("total_s"), (int, float))
+        assert summary["total_s"] > 0
+
+    def test_covers_every_experiment(self, payload):
+        assert set(payload["experiments"]) == set(ALL_EXPERIMENTS)
+
+    def test_entries_are_well_formed(self, payload):
+        for name, entry in payload["experiments"].items():
+            for field in REQUIRED_ENTRY_FIELDS:
+                assert field in entry, f"{name} entry lacks {field!r}"
+            assert entry["experiment_id"] == name
+            assert isinstance(entry["rows"], list) and entry["rows"], \
+                f"{name} entry carries no result rows"
+            headers = entry["headers"]
+            for row in entry["rows"]:
+                assert set(row) == set(headers), \
+                    f"{name} row keys diverge from its headers"
+            assert isinstance(entry["wall_clock_s"], (int, float))

@@ -220,6 +220,138 @@ class TestShardedDeploymentTime:
             assert domain.now() >= before.get(name, 0.0)
 
 
+class TestCoalescedChannelEquivalence:
+    """The coalesced (envelope-free) exchange fast path vs the reference
+    Message/Reply path, across seeded random batch interleavings.
+
+    :data:`repro.ipc.channel.COALESCED` gates whether an exchange calls the
+    daemon's ``dispatch`` directly or routes through ``handle`` with a full
+    envelope.  Both must charge the exact same costs in the exact same
+    order, so every domain's timestamp, the cluster wall clock, every
+    statistics cell and every returned payload must be identical -- over
+    random mixes of synchronous requests, pipelined posts, coalesced
+    ``post_group`` batches, handler failures, dead-daemon refusals and
+    scatter-gather windows."""
+
+    def _run_traffic(self, seed: int) -> dict:
+        from repro.errors import ReproError
+        from repro.ipc.channel import Channel
+        from repro.ipc.daemon import Daemon
+
+        group = ClockDomainGroup(CostModel())
+        host = group.domain("host")
+
+        class Worker(Daemon):
+            def __init__(self, name, clock):
+                super().__init__(name, clock)
+                self.register("work", self._work)
+                self.register("boom", self._boom)
+
+            def _work(self, cost=1):
+                self.clock.charge("row_write", times=cost)
+                return {"done": cost}
+
+            def _boom(self):
+                self.clock.charge("disk_seek")
+                raise ReproError("statement-time failure")
+
+            def handle_lazy(self, cost=1):
+                # Method-style handler: resolved through the getattr
+                # fallback and cached on first dispatch.
+                self.clock.charge("row_read", times=cost)
+                return {"lazy": cost}
+
+        workers = [Worker(f"shard{index}", group.domain(f"shard{index}"))
+                   for index in range(3)]
+        local = Worker("local", host)     # same-domain channel (no merge)
+        channels = [Channel(worker, host,
+                            latency_primitive="db_dlfm_message")
+                    for worker in workers]
+        channels.append(Channel(local,
+                                host, latency_primitive="upcall_round_trip"))
+        rng = random.Random(seed)
+        outcomes = []
+        for _ in range(250):
+            channel = rng.choice(channels)
+            action = rng.randrange(7)
+            if action == 0:
+                outcomes.append(channel.request("work",
+                                                cost=rng.randrange(1, 3)))
+            elif action == 1:
+                outcomes.append(channel.post("work",
+                                             cost=rng.randrange(1, 3)))
+            elif action == 2:
+                payloads = [{"cost": rng.randrange(1, 3)}
+                            for _ in range(rng.randrange(1, 4))]
+                outcomes.extend(channel.post_group("work", payloads))
+            elif action == 3:
+                exchange = channel.post if rng.randrange(2) else \
+                    channel.request
+                try:
+                    exchange("boom")
+                except ReproError as error:
+                    outcomes.append(type(error).__name__)
+            elif action == 4:
+                outcomes.append(channel.request("lazy",
+                                                cost=rng.randrange(1, 3)))
+            elif action == 5:
+                # A dead daemon refuses both exchange styles; the attempt
+                # still costs the caller time.
+                channel._daemon.stop()
+                try:
+                    channel.request("work")
+                except ReproError as error:
+                    outcomes.append(type(error).__name__)
+                channel._daemon.start()
+            else:
+                with host.overlap():
+                    for fanned in rng.sample(channels, 2):
+                        outcomes.append(fanned.request("work", cost=1))
+        return {
+            "outcomes": outcomes,
+            "global": group.global_now(),
+            "domains": {name: domain.now()
+                        for name, domain in group.domains.items()},
+            "stats": {label: (cell[0], cell[1])
+                      for label, cell in group.stats._cells.items()},
+            "served": {worker.name: worker.requests_served
+                       for worker in workers + [local]},
+        }
+
+    @pytest.mark.parametrize("seed", [11, 20260807, 987654])
+    def test_fast_path_is_byte_identical_to_envelope_path(self, seed,
+                                                          monkeypatch):
+        from repro.ipc import channel as channel_module
+
+        monkeypatch.setattr(channel_module, "COALESCED", True)
+        coalesced = self._run_traffic(seed)
+        monkeypatch.setattr(channel_module, "COALESCED", False)
+        reference = self._run_traffic(seed)
+        assert coalesced == reference
+
+    def test_flag_actually_gates_the_envelope(self, monkeypatch):
+        """Sanity: the reference mode really allocates Message envelopes."""
+
+        from repro.ipc import channel as channel_module
+        from repro.ipc.daemon import Daemon
+
+        group = ClockDomainGroup(CostModel())
+        host, shard = group.domain("host"), group.domain("shard")
+        worker = Daemon("worker", shard)
+        worker.register("noop", lambda: {})
+        handled = []
+        original = worker.handle
+        worker.handle = lambda message: handled.append(message.kind) or \
+            original(message)
+        channel = channel_module.Channel(worker, host)
+        monkeypatch.setattr(channel_module, "COALESCED", True)
+        channel.request("noop")
+        assert handled == []
+        monkeypatch.setattr(channel_module, "COALESCED", False)
+        channel.request("noop")
+        assert handled == ["noop"]
+
+
 class TestPipelinedErrorLatency:
     """A pipelined (posted) message whose handler fails is not free: the
     error surfaces at statement time, which means the caller waited for it,
