@@ -16,9 +16,11 @@ Design
   :func:`~repro.simclock.synchronized_call` against the deployment's
   coordinator domain, so control-plane work genuinely overlaps foreground
   traffic in simulated time and the moves' cost lands on both timelines.
-* **Windows, not history.**  A tick diffs the router's cumulative
-  per-prefix counters against the previous tick's snapshot; the diff is
-  the traffic *window* the decisions are based on.  Ticks whose window is
+* **Windows, not history.**  The router accumulates per-prefix traffic
+  deltas as it notes each routed operation, and a tick drains them
+  (:meth:`~repro.datalinks.routing.ReplicationRouter.take_traffic_window`);
+  the drained delta is the traffic *window* the decisions are based on,
+  and a tick costs O(prefixes touched this window).  Ticks whose window is
   thinner than ``window_ops_min`` make no balancing decisions (too little
   signal), though idle-subtree tracking still advances.
 * **Governed, not greedy.**  At most ``move_budget`` moves per tick, a
@@ -92,8 +94,6 @@ class PlacementBalancer:
         #: and moves overlap foreground traffic instead of serializing
         #: with it.
         self.clock = deployment.clocks.domain("balancer")
-        self._last_reads: dict[str, int] = {}
-        self._last_writes: dict[str, int] = {}
         #: ``prefix -> first tick at which it may move again``.
         self._cooldown_until: dict[str, int] = {}
         #: ``split parent -> consecutive idle ticks`` (merge candidates).
@@ -110,19 +110,16 @@ class PlacementBalancer:
 
     # ------------------------------------------------------------------ window --
     def _window(self) -> dict[str, int]:
-        """Per-prefix routed operations since the previous tick."""
+        """Per-prefix routed operations since the previous tick.
 
-        router = self.deployment.router
-        window: dict[str, int] = {}
-        for current, last in ((router.prefix_reads, self._last_reads),
-                              (router.prefix_writes, self._last_writes)):
-            for prefix, count in current.items():
-                delta = count - last.get(prefix, 0)
-                if delta > 0:
-                    window[prefix] = window.get(prefix, 0) + delta
-        self._last_reads = dict(router.prefix_reads)
-        self._last_writes = dict(router.prefix_writes)
-        return window
+        The router accumulates the per-window deltas as traffic is noted
+        (:meth:`~repro.datalinks.routing.ReplicationRouter.take_traffic_window`),
+        so a tick costs O(prefixes touched this window) -- the balancer
+        used to re-copy and diff the full cumulative counter dicts, which
+        is O(prefixes ever touched) per tick.
+        """
+
+        return self.deployment.router.take_traffic_window()
 
     def _movable(self, prefix: str, tick: int, summary: dict) -> bool:
         pmap = self.deployment.router.placement

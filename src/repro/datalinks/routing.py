@@ -179,11 +179,19 @@ class ReplicationRouter:
         self.stale_epoch_redirects = 0   # writes re-routed after a PlacementEpochError
         self.stale_content_skips = 0     # witnesses skipped for a stale file copy
         #: Per-prefix routed traffic, keyed by the *effective* routing
-        #: prefix at the time of the operation.  The balancer control plane
-        #: diffs these between windows to find skew; they are counters, not
+        #: prefix at the time of the operation.  They are counters, not
         #: a log, so a prefix split simply starts new (deeper) keys.
         self.prefix_reads: dict[str, int] = {}
         self.prefix_writes: dict[str, int] = {}
+        #: Per-*window* deltas of the same traffic, accumulated as each
+        #: operation is noted and drained by
+        #: :meth:`take_traffic_window`.  The balancer control plane used
+        #: to re-copy the full cumulative dicts every tick to diff them;
+        #: keeping the delta incrementally makes a tick cost
+        #: O(prefixes touched since the last tick) instead of
+        #: O(prefixes ever touched).
+        self.window_reads: dict[str, int] = {}
+        self.window_writes: dict[str, int] = {}
 
     # -------------------------------------------------------------- registration --
     def register_shard(self, shard: str, server) -> None:
@@ -225,6 +233,11 @@ class ReplicationRouter:
             reads[prefix] += 1
         except KeyError:
             reads[prefix] = 1
+        window = self.window_reads
+        try:
+            window[prefix] += 1
+        except KeyError:
+            window[prefix] = 1
 
     def note_write(self, path: str) -> None:
         """Count one routed write (link/unlink/ingest) against *path*'s prefix."""
@@ -235,6 +248,33 @@ class ReplicationRouter:
             writes[prefix] += 1
         except KeyError:
             writes[prefix] = 1
+        window = self.window_writes
+        try:
+            window[prefix] += 1
+        except KeyError:
+            window[prefix] = 1
+
+    def take_traffic_window(self) -> dict[str, int]:
+        """Drain and return the per-prefix deltas since the last drain.
+
+        Reads and writes are summed into one ``{prefix: operations}``
+        dict -- the traffic *window* the balancer's decisions are based
+        on.  Draining resets the accumulators, so consecutive windows
+        partition the noted traffic exactly; the first drain covers
+        everything noted since the router was built.
+        """
+
+        window = self.window_reads
+        self.window_reads = {}
+        writes = self.window_writes
+        self.window_writes = {}
+        if writes:
+            if not window:
+                return writes
+            get = window.get
+            for prefix, count in writes.items():
+                window[prefix] = get(prefix, 0) + count
+        return window
 
     def owner_shard(self, server: str, path: str) -> str:
         """Resolve a URL's ``(server, path)`` pair to the current owner shard.

@@ -85,6 +85,53 @@ def assert_all_readable(deployment, session, urls):
         assert deployment.read_url(session, url) == f"doc {doc_id}".encode()
 
 
+class TestIncrementalWindows:
+    """The router's per-window deltas partition the noted traffic.
+
+    ``take_traffic_window`` must agree exactly with the reference the
+    balancer used to compute -- diffing snapshots of the cumulative
+    ``prefix_reads``/``prefix_writes`` dicts -- for any drain schedule.
+    """
+
+    def test_windows_match_cumulative_diffs(self):
+        deployment, session, urls = build_deployment()
+        router = deployment.router
+        chooser = ZipfChooser(self_count := 6, theta=1.2, seed=11)
+        last_reads: dict[str, int] = {}
+        last_writes: dict[str, int] = {}
+        for round_index in range(5):
+            drive_reads(deployment, session, chooser, self_count,
+                        count=7 + round_index)
+            expected: dict[str, int] = {}
+            for current, last in ((router.prefix_reads, last_reads),
+                                  (router.prefix_writes, last_writes)):
+                for prefix, count in current.items():
+                    delta = count - last.get(prefix, 0)
+                    if delta > 0:
+                        expected[prefix] = expected.get(prefix, 0) + delta
+            last_reads = dict(router.prefix_reads)
+            last_writes = dict(router.prefix_writes)
+            assert router.take_traffic_window() == expected
+
+    def test_drained_windows_partition_the_traffic(self):
+        deployment, session, urls = build_deployment()
+        router = deployment.router
+        chooser = RoundRobinChooser(6)
+        drained: dict[str, int] = {}
+        for _ in range(3):
+            drive_reads(deployment, session, chooser, 6, count=9)
+            for prefix, count in router.take_traffic_window().items():
+                drained[prefix] = drained.get(prefix, 0) + count
+        # Nothing noted since the last drain: the window is empty ...
+        assert router.take_traffic_window() == {}
+        # ... and everything ever noted is in exactly one drained window.
+        cumulative: dict[str, int] = {}
+        for counters in (router.prefix_reads, router.prefix_writes):
+            for prefix, count in counters.items():
+                cumulative[prefix] = cumulative.get(prefix, 0) + count
+        assert drained == cumulative
+
+
 class TestBalancerGovernance:
     PREFIXES = 6
 
