@@ -68,9 +68,14 @@ class ControlMode(enum.Enum):
     # -- parsing -----------------------------------------------------------------
     @classmethod
     def from_string(cls, text: str) -> "ControlMode":
-        mode = _MODES_BY_CODE.get(text.lower())
+        # Canonical lowercase codes (the overwhelmingly common case: every
+        # mode stored in the catalog or a Sync reply is already canonical)
+        # hit the dict directly; only a miss pays the ``.lower()`` call.
+        mode = _MODES_BY_CODE.get(text)
         if mode is None:
-            raise ControlModeError(f"unknown control mode {text!r}")
+            mode = _MODES_BY_CODE.get(text.lower())
+            if mode is None:
+                raise ControlModeError(f"unknown control mode {text!r}")
         return mode
 
     def __str__(self) -> str:  # pragma: no cover - convenience

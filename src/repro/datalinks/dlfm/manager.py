@@ -15,6 +15,7 @@ This module is the heart of the paper's Section 4 (update in-place).
 from __future__ import annotations
 
 from repro.datalinks.control_modes import ControlMode
+from repro.datalinks.control_modes import _MODES_BY_CODE as _MODES
 from repro.datalinks.datalink_type import DatalinkOptions
 from repro.datalinks.dlfm.archive import ArchiveServer
 from repro.datalinks.dlfm.branches import BranchManager
@@ -74,8 +75,8 @@ class DataLinksFileManager:
         #: serve read-path upcalls *despite* not holding the serving lease
         #: (a healthy witness within the router's staleness bound).
         self.read_gate = None
-        self._replica = None
-        self._replica_soft = None
+        self.replica = None
+        self.replica_soft = None
         #: Dual-serve snapshots for prefix hand-offs in flight:
         #: ``host_txn_id -> {ino: linked_file row}``.  The export deletes
         #: the repository rows inside its branch, but reads of the moving
@@ -161,11 +162,21 @@ class DataLinksFileManager:
         :class:`~repro.errors.FencedNodeError` here.
         """
 
-        if self.fencing is None or not self.fencing.fenced:
+        fencing = self.fencing
+        if fencing is None:
             return
+        # ``fencing.fenced`` written out inline (two frames per read-path
+        # upcall otherwise): current-serving lookup straight off the
+        # registry, with the property's KeyError convention preserved.
+        try:
+            if fencing.registry._serving[fencing.shard] == fencing.node:
+                return
+        except KeyError:
+            if fencing.node is None:
+                return
         if self.read_gate is not None and self.read_gate():
             return
-        self.fencing.check()
+        fencing.check()
 
     # ------------------------------------------------- engine-facing operations --
     # Fencing applies to the write path too: a fenced ex-primary must not
@@ -319,8 +330,8 @@ class DataLinksFileManager:
     # node's own.
     def _register_token_entry(self, path: str, userid: int, token_type: str,
                               expires_at: float) -> None:
-        if self._replica_soft is not None:
-            self._replica_soft.add_token_entry(path, userid, token_type,
+        if self.replica_soft is not None:
+            self.replica_soft.add_token_entry(path, userid, token_type,
                                                expires_at)
         else:
             self.repository.add_token_entry(path, userid, token_type,
@@ -329,8 +340,8 @@ class DataLinksFileManager:
     def _find_token_entry(self, path: str, userid: int, *,
                           for_write: bool) -> dict | None:
         now = self._now()
-        if self._replica_soft is not None:
-            entry = self._replica_soft.find_token_entry(
+        if self.replica_soft is not None:
+            entry = self.replica_soft.find_token_entry(
                 path, userid, for_write=for_write, now=now)
             if entry is not None:
                 return entry
@@ -339,24 +350,24 @@ class DataLinksFileManager:
 
     def _sync_entries_of(self, path: str) -> list[dict]:
         entries = list(self.repository.sync_entries(path))
-        if self._replica_soft is not None:
-            entries.extend(self._replica_soft.sync_entries_for(path))
+        if self.replica_soft is not None:
+            entries.extend(self.replica_soft.sync_entries_for(path))
         return entries
 
     def _add_sync_entry(self, path: str, access: str, userid: int) -> None:
-        if self._replica_soft is not None:
-            self._replica_soft.add_sync_entry(path, access, userid)
+        if self.replica_soft is not None:
+            self.replica_soft.add_sync_entry(path, access, userid)
         else:
             self.repository.add_sync_entry(path, access, userid)
 
     def _remove_sync_entry(self, path: str, access: str, userid: int) -> None:
-        if self._replica_soft is not None:
+        if self.replica_soft is not None:
             # Never fall through to the repository on a witness: its heap
             # rows are replicas of the serving node's and are removed by
             # redo when the serving node's own close ships over.  A close
             # whose soft entry is gone (e.g. wiped by a stream re-source)
             # has nothing local left to clean up.
-            self._replica_soft.remove_sync_entry(path, access, userid)
+            self.replica_soft.remove_sync_entry(path, access, userid)
             return
         self.repository.remove_sync_entry(path, access, userid)
 
@@ -371,9 +382,12 @@ class DataLinksFileManager:
         moving prefixes with a retryable error.
         """
 
-        row = self.repository.linked_file_by_ino(ino)
-        if row is not None:
-            return row
+        # ``self.repository.linked_file_by_ino(ino)`` with its select_one
+        # wrapper unrolled: this lookup runs once per validated read.
+        rows = self.repository.db.select("linked_files", {"ino": ino},
+                                         lock=False)
+        if rows:
+            return rows[0]
         for snapshot in self._moving_exports.values():
             if ino in snapshot:
                 return snapshot[ino]
@@ -393,9 +407,13 @@ class DataLinksFileManager:
         if row is None:
             return {"linked": False}
         token = self.tokens.validate(token_text, row["path"])
-        self._register_token_entry(row["path"], userid, token.token_type.value,
+        # ``_value_`` reads the member's code as a plain attribute; ``.value``
+        # goes through the enum's DynamicClassAttribute descriptor, two
+        # frames per read on this per-lookup path.
+        token_code = token.token_type._value_
+        self._register_token_entry(row["path"], userid, token_code,
                                    token.expires_at)
-        return {"linked": True, "token_type": token.token_type.value,
+        return {"linked": True, "token_type": token_code,
                 "expires_at": token.expires_at}
 
     def upcall_check_open(self, ino: int, wants_write: bool, userid: int) -> dict:
@@ -415,19 +433,24 @@ class DataLinksFileManager:
         row = self._lookup_link_row(ino)
         if row is None:
             return {"linked": False}
-        mode = ControlMode.from_string(row["control_mode"])
+        code = row["control_mode"]
+        try:
+            # from_string's canonical-code probe, inline (hot upcall path).
+            mode = _MODES[code]
+        except KeyError:
+            mode = ControlMode.from_string(code)
         if wants_write:
             # A write open of a moved (or moving) prefix must not start an
             # update this shard can no longer commit.
             self.check_placement(row["path"])
             self._begin_file_update(row, mode, userid)
-            return {"linked": True, "open_as_dbms": True, "mode": mode.value}
+            return {"linked": True, "open_as_dbms": True, "mode": mode._value_}
         if mode.full_control:
             self._begin_read(row, mode, userid)
-            return {"linked": True, "open_as_dbms": True, "mode": mode.value}
+            return {"linked": True, "open_as_dbms": True, "mode": mode._value_}
         if row.get("strict_read_sync"):
             self._begin_strict_read(row, userid)
-            return {"linked": True, "open_as_dbms": False, "mode": mode.value}
+            return {"linked": True, "open_as_dbms": False, "mode": mode._value_}
         return {"linked": False}
 
     def upcall_write_open_fallback(self, ino: int, userid: int) -> dict:
@@ -449,7 +472,7 @@ class DataLinksFileManager:
                 f"updates are not managed by the database")
         self.check_placement(row["path"])
         self._begin_file_update(row, mode, userid)
-        return {"linked": True, "open_as_dbms": True, "mode": mode.value}
+        return {"linked": True, "open_as_dbms": True, "mode": mode._value_}
 
     def upcall_file_closed(self, ino: int, was_write: bool, userid: int) -> dict:
         """fs_close-time processing: Sync cleanup, metadata update, archiving.
@@ -467,7 +490,12 @@ class DataLinksFileManager:
         if row is None:
             return {"linked": False, "modified": False}
         path = row["path"]
-        mode = ControlMode.from_string(row["control_mode"])
+        code = row["control_mode"]
+        try:
+            # from_string's canonical-code probe, inline (hot upcall path).
+            mode = _MODES[code]
+        except KeyError:
+            mode = ControlMode.from_string(code)
         if was_write:
             self._remove_sync_entry(path, "write", userid)
         elif mode.full_control or row.get("strict_read_sync"):
@@ -660,7 +688,7 @@ class DataLinksFileManager:
     def process_archive_jobs(self) -> int:
         """Run pending asynchronous archive jobs; returns how many completed."""
 
-        if self._replica is not None:
+        if self.replica is not None:
             # A witness repository is redo-only: its archive_queue rows are
             # replicas of the primary's, and the primary runs those jobs.
             # Acting on them here would archive the (possibly stale) mirror
@@ -694,12 +722,12 @@ class DataLinksFileManager:
           newest version is always retained because rollback needs it.
         """
 
-        if self._replica is not None:
+        if self.replica is not None:
             # Redo-only witness: repository maintenance runs on the serving
             # node and replicates over (see process_archive_jobs); only the
             # node-local follower-read soft state is purged here.
-            purged = self._replica_soft.purge_expired_tokens(self._now()) \
-                if self._replica_soft is not None else 0
+            purged = self.replica_soft.purge_expired_tokens(self._now()) \
+                if self.replica_soft is not None else 0
             return {"purged_tokens": purged, "pruned_versions": 0}
         purged_tokens = self.repository.purge_expired_tokens(self._now())
         pruned_versions = 0
@@ -726,10 +754,10 @@ class DataLinksFileManager:
 
         from repro.datalinks.replication import ReplicaApplier, WitnessSoftState
 
-        self._replica = ReplicaApplier(self.repository.db, files=self.files,
+        self.replica = ReplicaApplier(self.repository.db, files=self.files,
                                        failpoints=failpoints)
-        self._replica_soft = WitnessSoftState()
-        return self._replica
+        self.replica_soft = WitnessSoftState()
+        return self.replica
 
     def disable_replica_mode(self) -> dict:
         """Promote this witness DLFM to a full primary.
@@ -741,9 +769,9 @@ class DataLinksFileManager:
         through this node's own WAL and therefore ship to any subscriber.
         """
 
-        soft = self._replica_soft
-        self._replica = None
-        self._replica_soft = None
+        soft = self.replica_soft
+        self.replica = None
+        self.replica_soft = None
         migrated = {"token_entries": 0, "sync_entries": 0}
         if soft is not None:
             for entry in soft.token_entries:
@@ -757,26 +785,22 @@ class DataLinksFileManager:
                 migrated["sync_entries"] += 1
         return migrated
 
-    @property
-    def replica(self):
-        return self._replica
-
     def replica_apply(self, records: list) -> dict:
         """Apply one shipped WAL batch (the ``apply_wal`` daemon operation)."""
 
-        if self._replica is None:
+        if self.replica is None:
             raise ControlModeError(
                 f"DLFM {self.server_name!r} is not a witness replica")
-        return self._replica.apply(records)
+        return self.replica.apply(records)
 
     def replica_status(self) -> dict:
-        if self._replica is None:
+        if self.replica is None:
             return {"replica": False}
-        soft = self._replica_soft
+        soft = self.replica_soft
         return {"replica": True,
                 "soft_token_entries": len(soft.token_entries) if soft else 0,
                 "soft_sync_entries": len(soft.sync_entries) if soft else 0,
-                **self._replica.status()}
+                **self.replica.status()}
 
     def replica_catch_up(self, outcomes: dict) -> dict:
         """Promotion-time catch-up on the witness.
@@ -787,8 +811,8 @@ class DataLinksFileManager:
         replicated link state.
         """
 
-        resolved = self._replica.resolve_in_doubt(outcomes) \
-            if self._replica is not None else {"committed": [], "aborted": []}
+        resolved = self.replica.resolve_in_doubt(outcomes) \
+            if self.replica is not None else {"committed": [], "aborted": []}
         return {"in_doubt": resolved, **self.replica_rebind()}
 
     def inherited_sync_entry_ids(self) -> list[int]:
@@ -850,7 +874,7 @@ class DataLinksFileManager:
         """
 
         restored, rebound, constrained = [], 0, 0
-        stale = self._replica.stale_paths if self._replica is not None \
+        stale = self.replica.stale_paths if self.replica is not None \
             else set()
         for row in self.repository.linked_files():
             path = row["path"]
@@ -894,9 +918,9 @@ class DataLinksFileManager:
         self.repository.db.crash()
         self.branches.clear()
         self._moving_exports.clear()
-        if self._replica_soft is not None:
+        if self.replica_soft is not None:
             # Follower-read soft state is volatile, like the branch table.
-            self._replica_soft.clear()
+            self.replica_soft.clear()
         self.running = False
 
     def recover(self) -> dict:

@@ -25,6 +25,7 @@ Tables
 
 from __future__ import annotations
 
+from repro.storage import database as database_module
 from repro.storage.database import Database
 from repro.storage.schema import Column, TableSchema
 from repro.storage.transaction import Transaction
@@ -144,6 +145,14 @@ class DLFMRepository:
 
     # ------------------------------------------------------------------ helpers --
     def _next_id(self, table: str, column: str) -> int:
+        if database_module.FAST_SCANS:
+            # ``scan_max`` charges exactly what the reference full-table
+            # select below charges, but serves the maximum from a tracker
+            # keyed to the heap's mutation counter -- this runs on every
+            # sync-entry / token-entry registration, over tables that only
+            # ever grow, so the reference path is quadratic in run length.
+            best = self.db.scan_max(table, column)
+            return best + 1 if best is not None and best > 0 else 1
         rows = self.db.select(table, lock=False)
         if not rows:
             return 1

@@ -40,6 +40,7 @@ from repro.errors import (
     fs_error,
 )
 from repro.fs.vfs import (
+    WRITE_MASK,
     Credentials,
     FilterVFS,
     LockKind,
@@ -48,7 +49,10 @@ from repro.fs.vfs import (
     OpenHandle,
     Vnode,
 )
-from repro.util.urls import split_token_from_name
+from repro.util.urls import TOKEN_SEPARATOR, split_token_from_name
+
+_TOKEN_SEPARATOR = TOKEN_SEPARATOR
+_TOKEN_SEPARATOR_LEN = len(TOKEN_SEPARATOR)
 
 LAYER_KEY = "dlfs"
 
@@ -94,6 +98,9 @@ class DataLinksFileSystem(FilterVFS):
         # files linked with strict_read_sync.  Off by default because of the
         # per-open cost (quantified by experiment E10).
         self.strict_read_upcalls = strict_read_upcalls
+        # Primed per-interception charge amount (see fs_lookup).
+        self._primed_clock = None
+        self._amt_filter = 0.0
 
     # ------------------------------------------------------------------ helpers --
     def _charge(self) -> None:
@@ -127,11 +134,51 @@ class DataLinksFileSystem(FilterVFS):
 
     # ------------------------------------------------------------------- lookup --
     def fs_lookup(self, dir_vnode, name, cred):
-        self._charge()
-        bare, token = split_token_from_name(name)
+        # The hot interception points (lookup/open/close) write both the
+        # ``_upcall`` try/except and the ``dlfs_filter`` charge out inline:
+        # the lambda, dispatcher and charge frames per interception were
+        # measurable on the million-link tier.
+        clock = self.clock
+        if clock is not None:
+            if self._primed_clock is not clock:
+                try:
+                    self._amt_filter = clock._units["dlfs_filter"]
+                except KeyError:
+                    self._amt_filter = clock.costs.dlfs_filter
+                self._primed_clock = clock
+            amount = self._amt_filter
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["dlfs_filter"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["dlfs_filter"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["dlfs_filter"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["dlfs_filter"] = [1, amount]
+        # split_token_from_name written out inline -- every pathname
+        # resolution passes through here and most names carry no token.
+        index = name.rfind(_TOKEN_SEPARATOR)
+        if index != -1:
+            bare = name[:index]
+            token = name[index + _TOKEN_SEPARATOR_LEN:]
+        else:
+            bare = name
+            token = None
         vnode = self.lower.fs_lookup(dir_vnode, bare, cred)
         if token is not None:
-            self._upcall(lambda: self.upcall.validate_token(vnode.ino, token, cred.uid))
+            try:
+                self.upcall.validate_token(vnode.ino, token, cred.uid)
+            except DataLinksError as error:
+                raise _translate(error) from error
         return vnode
 
     def fs_create(self, dir_vnode, name, mode, cred):
@@ -141,17 +188,46 @@ class DataLinksFileSystem(FilterVFS):
 
     # --------------------------------------------------------------------- open --
     def fs_open(self, vnode, flags, cred):
-        self._charge()
+        clock = self.clock
+        if clock is not None:
+            if self._primed_clock is not clock:
+                try:
+                    self._amt_filter = clock._units["dlfs_filter"]
+                except KeyError:
+                    self._amt_filter = clock.costs.dlfs_filter
+                self._primed_clock = clock
+            amount = self._amt_filter
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["dlfs_filter"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["dlfs_filter"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["dlfs_filter"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["dlfs_filter"] = [1, amount]
         attrs = self.lower.fs_getattr(vnode, self.dbms_cred)
-        state = {"linked": False, "write": flags.wants_write, "userid": cred.uid}
+        wants_write = (flags._value_ & WRITE_MASK) != 0
+        state = {"linked": False, "write": wants_write, "userid": cred.uid}
 
         if attrs.is_regular and attrs.uid == self.dbms_uid:
-            reply = self._upcall(
-                lambda: self.upcall.check_open(vnode.ino, flags.wants_write, cred.uid))
+            try:
+                reply = self.upcall.check_open(vnode.ino, wants_write,
+                                               cred.uid)
+            except DataLinksError as error:
+                raise _translate(error) from error
             if reply.get("linked"):
                 return self._open_as_dbms(vnode, flags, cred, state, reply)
         elif (self.strict_read_upcalls and attrs.is_regular
-              and not flags.wants_write):
+              and not wants_write):
             reply = self._upcall(
                 lambda: self.upcall.check_open(vnode.ino, False, cred.uid))
             if reply.get("linked"):
@@ -163,10 +239,12 @@ class DataLinksFileSystem(FilterVFS):
         try:
             handle = self.lower.fs_open(vnode, flags, cred)
         except FileSystemError as error:
-            if not flags.wants_write or error.errno not in (Errno.EACCES, Errno.EROFS):
+            if not wants_write or error.errno not in (Errno.EACCES, Errno.EROFS):
                 raise
-            reply = self._upcall(
-                lambda: self.upcall.write_open_fallback(vnode.ino, cred.uid))
+            try:
+                reply = self.upcall.write_open_fallback(vnode.ino, cred.uid)
+            except DataLinksError as fallback_error:
+                raise _translate(fallback_error) from fallback_error
             if not reply.get("linked"):
                 raise
             return self._open_as_dbms(vnode, flags, cred, state, reply)
@@ -188,7 +266,32 @@ class DataLinksFileSystem(FilterVFS):
 
     # --------------------------------------------------------------------- close --
     def fs_close(self, handle, cred):
-        self._charge()
+        clock = self.clock
+        if clock is not None:
+            if self._primed_clock is not clock:
+                try:
+                    self._amt_filter = clock._units["dlfs_filter"]
+                except KeyError:
+                    self._amt_filter = clock.costs.dlfs_filter
+                self._primed_clock = clock
+            amount = self._amt_filter
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["dlfs_filter"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["dlfs_filter"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["dlfs_filter"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["dlfs_filter"] = [1, amount]
         state = handle.layer_state.get(LAYER_KEY, {})
         self.lower.fs_close(handle, cred)
         if not state.get("linked"):
@@ -197,8 +300,11 @@ class DataLinksFileSystem(FilterVFS):
             request = LockRequest(kind=LockKind.UNLOCK,
                                   owner=self._lock_owner(handle.vnode, cred))
             self.lower.fs_lockctl(handle.vnode, request, self.dbms_cred)
-        self._upcall(lambda: self.upcall.file_closed(
-            handle.vnode.ino, state.get("write", False), state.get("userid", cred.uid)))
+        try:
+            self.upcall.file_closed(handle.vnode.ino, state.get("write", False),
+                                    state.get("userid", cred.uid))
+        except DataLinksError as error:
+            raise _translate(error) from error
 
     # ----------------------------------------------------------- remove / rename --
     def _protects_namespace(self, vnode: Vnode) -> bool:

@@ -59,6 +59,13 @@ from repro.storage.values import DataType
 from repro.util.lsn import LSN
 from repro.util.urls import format_url, parse_url
 
+#: Gates the vectorized token-handout fast path
+#: (:meth:`DataLinksEngine.get_datalink_many`).  ``False`` replays the batch
+#: through the scalar :meth:`~DataLinksEngine.get_datalink` per row; both
+#: modes produce bit-identical token streams and simulated charges (see
+#: tests/test_bulk_fastpaths.py).
+BULK_TOKEN_HANDOUT = True
+
 
 @dataclass
 class HostTransaction:
@@ -583,6 +590,100 @@ class DataLinksEngine:
         token = self._token_for(parsed.server, parsed.path, mode, access,
                                 ttl if ttl is not None else options.token_ttl)
         return parsed.with_token(token).render()
+
+    def get_datalink_many(self, table: str, wheres, column: str, *,
+                          access: str = "read",
+                          host_txn: HostTransaction | None = None,
+                          ttl: float | None = None) -> list:
+        """Mint a whole read plan's tokens as one vectorized handout.
+
+        Semantically ``[self.get_datalink(table, where, column, ...) for
+        where in wheres]`` -- and that scalar loop is exactly what runs when
+        :data:`BULK_TOKEN_HANDOUT` is off.  The fast path hoists the
+        per-call machinery out of the loop -- schema and option resolution,
+        the router and server-entry lookups, the token-cache probe -- while
+        keeping every per-row charge in scalar order, so the token stream
+        and all simulated timestamps are bit-identical to the reference:
+        handout is host-side SQL whose rows mint back to back, nothing
+        between two rows touches any clock, which is what makes the hoist
+        safe.
+        """
+
+        if not BULK_TOKEN_HANDOUT:
+            return [self.get_datalink(table, where, column, access=access,
+                                      host_txn=host_txn, ttl=ttl)
+                    for where in wheres]
+        clock = self.clock
+        txn = host_txn.txn if host_txn is not None else None
+        db = self.db
+        router = self.router
+        servers = self._servers
+        token_cache = self.token_cache
+        want_write = access == "write"
+        schema_column = None
+        is_datalink = False
+        mode = None
+        token_ttl = ttl
+        results = []
+        for where in wheres:
+            if clock is not None:
+                clock.charge("datalink_engine_dispatch")
+            rows = db.select(table, where, txn)
+            if not rows:
+                results.append(None)
+                continue
+            if schema_column is None:
+                schema_column = self.db.catalog.schema(table).column(column)
+                is_datalink = schema_column.dtype is DataType.DATALINK
+            if not is_datalink:
+                raise ControlModeError(
+                    f"column {column!r} is not a DATALINK column")
+            url_text = rows[0].get(column)
+            if not url_text:
+                results.append(None)
+                continue
+            if mode is None:
+                options = options_of_column(schema_column)
+                mode = options.control_mode
+                if token_ttl is None:
+                    token_ttl = options.token_ttl
+            parsed = parse_url(url_text)
+            # ``_token_for`` inlined: owner-shard resolution, the server
+            # entry, and the access checks in the scalar's exact order.
+            server = parsed.server if router is None else \
+                router.owner_shard(parsed.server, parsed.path)
+            name = server if router is None else router.writable_node(server)
+            try:
+                entry = servers[name]
+            except KeyError:
+                raise DataLinksError(
+                    f"no file server registered under {server!r}") from None
+            if want_write:
+                if not mode.supports_update:
+                    raise ControlModeError(
+                        f"files linked in {mode.value} mode cannot be updated "
+                        f"through the database (write access is "
+                        f"{'blocked' if mode.write_blocked else 'file-system controlled'})")
+                token_type = TokenType.WRITE
+            elif access != "read":
+                raise ControlModeError(f"unknown access kind {access!r}")
+            elif mode.requires_read_token:
+                token_type = TokenType.READ
+            else:
+                results.append(parsed.with_token(None).render())
+                continue
+            path = parsed.path
+            if token_cache is not None:
+                token = token_cache.lookup(server, path, token_type,
+                                           token_ttl)
+                if token is None:
+                    token = entry.tokens.generate(path, token_type, token_ttl)
+                    token_cache.store(server, path, token_type, token_ttl,
+                                      token)
+            else:
+                token = entry.tokens.generate(path, token_type, token_ttl)
+            results.append(parsed.with_token(token).render())
+        return results
 
     def _token_for(self, server: str, path: str, mode: ControlMode, access: str,
                    ttl: float) -> str | None:

@@ -172,12 +172,26 @@ class PlacementMap:
         components than a split's depth keeps the shallower prefix.
         """
 
-        prefix = self.base.prefix_of(path)
+        # The map's own memo covers the no-split case too, so hot callers
+        # (routing's traffic notes, URL owner resolution) can probe
+        # ``_prefix_cache`` inline and skip this frame entirely on a warm
+        # path; split/merge transitions clear it (see note_split/note_merge).
+        try:
+            return self._prefix_cache[path]
+        except KeyError:
+            pass
+        # Base-router memo hit probed inline as well (its prefix_of is a
+        # pure function of the fixed shard list/depth).
+        base = self.base
+        try:
+            prefix = base._prefix_cache[path]
+        except KeyError:
+            prefix = base.prefix_of(path)
         if not self.split_depths:
+            if len(self._prefix_cache) > 8192:
+                self._prefix_cache.clear()
+            self._prefix_cache[path] = prefix
             return prefix
-        cached = self._prefix_cache.get(path)
-        if cached is not None:
-            return cached
         components = [part for part in path.split("/") if part]
         depth = self.base.prefix_depth
         while prefix in self.split_depths:
@@ -195,7 +209,10 @@ class PlacementMap:
     def shard_of(self, path: str) -> str:
         """The shard currently owning *path* (override- and split-aware)."""
 
-        prefix = self.prefix_of(path)
+        try:
+            prefix = self._prefix_cache[path]
+        except KeyError:
+            prefix = self.prefix_of(path)
         override = self.overrides.get(prefix)
         return override if override is not None \
             else self.base.shard_of_key(prefix)

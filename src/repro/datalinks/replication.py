@@ -143,7 +143,12 @@ class EpochGuard:
 
     @property
     def fenced(self) -> bool:
-        return not self.registry.is_current(self.shard, self.node)
+        # ``not self.registry.is_current(...)`` with the lookup written out
+        # inline -- this gate runs before every served upcall.
+        try:
+            return self.registry._serving[self.shard] != self.node
+        except KeyError:
+            return self.node is not None
 
     def check(self) -> None:
         if self.fenced:
@@ -438,6 +443,9 @@ class ReplicaApplier:
 
         self._db.catalog.load_snapshot(snapshot)
         self._db.catalog.rebuild_indexes()
+        # Fresh heaps, fresh mutation counters: stale scan-max trackers
+        # must not validate against them (see Database.reset_catalog).
+        self._db._max_trackers.clear()
         self._pending.clear()
         self._prepared.clear()
         self.applied_lsn = state_lsn
@@ -817,15 +825,33 @@ class ReplicatedShard:
         serving_name = self.serving_name
         if node_name == serving_name:
             return False
-        if not self.is_subscribed(node_name):
+        # ``is_subscribed`` written out inline (this gate runs per routed
+        # follower read): a synced subscriber has a stream, a live applier
+        # and a True entry in the synced map.
+        try:
+            shipper = self._streams[node_name]
+        except KeyError:
+            return False
+        if node.dlfm.replica is None:
+            return False
+        try:
+            if not self._synced[node_name]:
+                return False
+        except KeyError:
             return False
         if not self._daemons[node_name].running:
             return False
         if not self.nodes[serving_name].running:
             return False
-        shipper = self._streams[node_name]
         if shipper.paused:
             return False
+        # Steady-state shortcut for ``shipper.pending_lag() <= max_lag``:
+        # LSNs are append-ordered, so a ship cursor at (or past) the WAL
+        # tail means nothing is pending and the lag is exactly zero --
+        # no record scan or hard-state classification needed.
+        records = shipper._repository.db.wal._records
+        if not records or records[-1].lsn <= shipper.cursor:
+            return 0 <= max_lag
         return shipper.pending_lag() <= max_lag
 
     def _read_gate(self, node_name: str) -> bool:

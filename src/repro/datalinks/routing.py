@@ -227,7 +227,11 @@ class ReplicationRouter:
     def note_read(self, path: str) -> None:
         """Count one routed read against *path*'s effective prefix."""
 
-        prefix = self.placement.prefix_of(path)
+        placement = self.placement
+        try:
+            prefix = placement._prefix_cache[path]
+        except KeyError:
+            prefix = placement.prefix_of(path)
         reads = self.prefix_reads
         try:
             reads[prefix] += 1
@@ -242,7 +246,11 @@ class ReplicationRouter:
     def note_write(self, path: str) -> None:
         """Count one routed write (link/unlink/ingest) against *path*'s prefix."""
 
-        prefix = self.placement.prefix_of(path)
+        placement = self.placement
+        try:
+            prefix = placement._prefix_cache[path]
+        except KeyError:
+            prefix = placement.prefix_of(path)
         writes = self.prefix_writes
         try:
             writes[prefix] += 1
@@ -288,8 +296,12 @@ class ReplicationRouter:
 
         if server not in self._singles and server not in self._replicas:
             return server
-        return self.placement.owner_of(self.placement.prefix_of(path),
-                                       default=server)
+        placement = self.placement
+        try:
+            prefix = placement._prefix_cache[path]
+        except KeyError:
+            prefix = placement.prefix_of(path)
+        return placement.owner_of(prefix, default=server)
 
     # --------------------------------------------------------------------- roles --
     def roles(self, shard: str) -> dict[str, str]:

@@ -17,6 +17,8 @@ from repro.fs.inode import DEFAULT_DIR_MODE, DEFAULT_FILE_MODE, FileAttributes
 from repro.fs.vfs import (
     APPEND_MASK,
     CREATE_MASK,
+    READ_MASK,
+    WRITE_MASK,
     Credentials,
     LockKind,
     LockRequest,
@@ -80,6 +82,11 @@ class LogicalFileSystem:
 
     def __init__(self, clock=None):
         self.clock = clock
+        # Primed per-syscall charge amount: the hot syscalls (open, close,
+        # read, write) write ``clock.charge("syscall_base")`` out inline
+        # against this cached unit, like the physical layer's fixed charges.
+        self._primed_clock = None
+        self._amt_syscall = 0.0
         self._mounts: list[_Mount] = []
         self._open_files: dict[int, OpenFile] = {}
         self._next_fd = 3          # 0..2 are conventionally reserved
@@ -211,7 +218,10 @@ class LogicalFileSystem:
                     if compiled is not None:
                         clock.charge_batch(compiled, depth)
                     return vfs, parent, name
-        vfs, relative = self.mounted_vfs(path)
+        try:
+            vfs, relative = self._resolve_cache[normalized]
+        except KeyError:
+            vfs, relative = self.mounted_vfs(path)
         parent, name = self._walk(vfs, relative, cred, stop_before_last=True)
         if name is None:
             raise fs_error(Errno.EINVAL, f"path {path!r} has no final component")
@@ -245,7 +255,10 @@ class LogicalFileSystem:
         bversion = getattr(anchor, "bind_version", None)
         if bversion is None:
             return
-        relative = self.mounted_vfs(path)[1]
+        try:
+            relative = self._resolve_cache[path][1]
+        except KeyError:
+            relative = self.mounted_vfs(path)[1]
         if ";" in relative:
             # Token validation upcalls must stay live; never cache a
             # token-carrying path end to end.
@@ -315,7 +328,30 @@ class LogicalFileSystem:
 
         clock = self.clock
         if clock is not None:
-            clock.charge("syscall_base")
+            if self._primed_clock is not clock:
+                try:
+                    self._amt_syscall = clock._units["syscall_base"]
+                except KeyError:
+                    self._amt_syscall = clock.costs.syscall_base
+                self._primed_clock = clock
+            amount = self._amt_syscall
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["syscall_base"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["syscall_base"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["syscall_base"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["syscall_base"] = [1, amount]
         # Probe the full-resolution cache inline: open() needs the parent
         # vnode when it has to fall back to fs_create, so it cannot use
         # the _lookup() wrapper (a second parent resolution would replay
@@ -354,7 +390,30 @@ class LogicalFileSystem:
     def close(self, fd: int) -> None:
         clock = self.clock
         if clock is not None:
-            clock.charge("syscall_base")
+            if self._primed_clock is not clock:
+                try:
+                    self._amt_syscall = clock._units["syscall_base"]
+                except KeyError:
+                    self._amt_syscall = clock.costs.syscall_base
+                self._primed_clock = clock
+            amount = self._amt_syscall
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["syscall_base"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["syscall_base"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["syscall_base"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["syscall_base"] = [1, amount]
         open_file = self._require_fd(fd)
         open_file.vfs.fs_close(open_file.handle, open_file.cred)
         del self._open_files[fd]
@@ -362,9 +421,32 @@ class LogicalFileSystem:
     def read(self, fd: int, length: int = -1) -> bytes:
         clock = self.clock
         if clock is not None:
-            clock.charge("syscall_base")
+            if self._primed_clock is not clock:
+                try:
+                    self._amt_syscall = clock._units["syscall_base"]
+                except KeyError:
+                    self._amt_syscall = clock.costs.syscall_base
+                self._primed_clock = clock
+            amount = self._amt_syscall
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["syscall_base"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["syscall_base"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["syscall_base"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["syscall_base"] = [1, amount]
         open_file = self._require_fd(fd)
-        if not open_file.flags.wants_read:
+        if not (open_file.flags._value_ & READ_MASK):
             raise fs_error(Errno.EBADF, f"fd {fd} is not open for reading")
         if length < 0:
             attrs = open_file.vfs.fs_getattr(open_file.vnode, open_file.cred)
@@ -380,9 +462,32 @@ class LogicalFileSystem:
     def write(self, fd: int, data: bytes) -> int:
         clock = self.clock
         if clock is not None:
-            clock.charge("syscall_base")
+            if self._primed_clock is not clock:
+                try:
+                    self._amt_syscall = clock._units["syscall_base"]
+                except KeyError:
+                    self._amt_syscall = clock.costs.syscall_base
+                self._primed_clock = clock
+            amount = self._amt_syscall
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["syscall_base"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["syscall_base"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["syscall_base"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["syscall_base"] = [1, amount]
         open_file = self._require_fd(fd)
-        if not open_file.flags.wants_write:
+        if not (open_file.flags._value_ & WRITE_MASK):
             raise fs_error(Errno.EBADF, f"fd {fd} is not open for writing")
         if open_file.flags._value_ & APPEND_MASK:
             attrs = open_file.vfs.fs_getattr(open_file.vnode, open_file.cred)
@@ -404,7 +509,30 @@ class LogicalFileSystem:
     def stat(self, path: str, cred: Credentials) -> FileAttributes:
         clock = self.clock
         if clock is not None:
-            clock.charge("syscall_base")
+            if self._primed_clock is not clock:
+                try:
+                    self._amt_syscall = clock._units["syscall_base"]
+                except KeyError:
+                    self._amt_syscall = clock.costs.syscall_base
+                self._primed_clock = clock
+            amount = self._amt_syscall
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["syscall_base"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["syscall_base"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["syscall_base"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["syscall_base"] = [1, amount]
         vfs, vnode = self._resolve(path, cred)
         return vfs.fs_getattr(vnode, cred)
 
@@ -464,14 +592,60 @@ class LogicalFileSystem:
     def chmod(self, path: str, mode: int, cred: Credentials) -> None:
         clock = self.clock
         if clock is not None:
-            clock.charge("syscall_base")
+            if self._primed_clock is not clock:
+                try:
+                    self._amt_syscall = clock._units["syscall_base"]
+                except KeyError:
+                    self._amt_syscall = clock.costs.syscall_base
+                self._primed_clock = clock
+            amount = self._amt_syscall
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["syscall_base"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["syscall_base"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["syscall_base"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["syscall_base"] = [1, amount]
         vfs, vnode = self._resolve(path, cred)
         vfs.fs_setattr(vnode, cred, mode=mode)
 
     def chown(self, path: str, uid: int, gid: int, cred: Credentials) -> None:
         clock = self.clock
         if clock is not None:
-            clock.charge("syscall_base")
+            if self._primed_clock is not clock:
+                try:
+                    self._amt_syscall = clock._units["syscall_base"]
+                except KeyError:
+                    self._amt_syscall = clock.costs.syscall_base
+                self._primed_clock = clock
+            amount = self._amt_syscall
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["syscall_base"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["syscall_base"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["syscall_base"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["syscall_base"] = [1, amount]
         vfs, vnode = self._resolve(path, cred)
         vfs.fs_setattr(vnode, cred, uid=uid, gid=gid)
 

@@ -26,7 +26,9 @@ from repro.fs.inode import (
 )
 from repro.fs.locks import FileLockTable
 from repro.fs.vfs import (
+    READ_MASK,
     TRUNCATE_MASK,
+    WRITE_MASK,
     Credentials,
     LockRequest,
     OpenFlags,
@@ -382,19 +384,42 @@ class PhysicalFileSystem(VFSOperations):
 
     # ------------------------------------------------------------------ file ops --
     def fs_open(self, vnode: Vnode, flags: OpenFlags, cred: Credentials) -> OpenHandle:
+        # open/close/readwrite/getattr sit on the per-operation data path:
+        # their fixed charges are unrolled like ``fs_lookup``'s, one frame
+        # fewer per syscall than the ``_charge_one`` helper.
         clock = self.clock
         if clock is not None:
             if self._primed_clock is not clock:
                 self._prime(clock)
-            self._charge_one(clock, "vfs_op", self._amt_vfs)
+            amount = self._amt_vfs
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["vfs_op"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["vfs_op"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["vfs_op"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["vfs_op"] = [1, amount]
         try:
             inode = self._inodes[vnode.ino]
         except KeyError:
             raise fs_error(Errno.ENOENT, f"stale inode {vnode.ino}") from None
-        if inode.ftype is FileType.DIRECTORY and flags.wants_write:
+        flag_bits = flags._value_
+        wants_write = (flag_bits & WRITE_MASK) != 0
+        if inode.ftype is FileType.DIRECTORY and wants_write:
             raise fs_error(Errno.EISDIR, f"inode {inode.ino} is a directory")
-        self._check(inode, cred, read=flags.wants_read, write=flags.wants_write)
-        if flags._value_ & TRUNCATE_MASK:
+        self._check(inode, cred, read=(flag_bits & READ_MASK) != 0,
+                    write=wants_write)
+        if flag_bits & TRUNCATE_MASK:
             self._truncate(inode, 0)
         inode.atime = clock._now if clock is not None else 0.0
         return OpenHandle(vnode=vnode, flags=flags)
@@ -404,7 +429,24 @@ class PhysicalFileSystem(VFSOperations):
         if clock is not None:
             if self._primed_clock is not clock:
                 self._prime(clock)
-            self._charge_one(clock, "vfs_op", self._amt_vfs)
+            amount = self._amt_vfs
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["vfs_op"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["vfs_op"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["vfs_op"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["vfs_op"] = [1, amount]
         # The native file system has no per-open state beyond the handle.
 
     def fs_readwrite(self, vnode: Vnode, offset: int, *, data: bytes | None = None,
@@ -413,7 +455,24 @@ class PhysicalFileSystem(VFSOperations):
         if clock is not None:
             if self._primed_clock is not clock:
                 self._prime(clock)
-            self._charge_one(clock, "vfs_op", self._amt_vfs)
+            amount = self._amt_vfs
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["vfs_op"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["vfs_op"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["vfs_op"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["vfs_op"] = [1, amount]
         try:
             inode = self._inodes[vnode.ino]
         except KeyError:
@@ -424,26 +483,91 @@ class PhysicalFileSystem(VFSOperations):
             if data is None:
                 raise fs_error(Errno.EINVAL, "write without data")
             if clock is not None:
-                self._charge_one(clock, "disk_seek", self._amt_seek)
                 # charge(nbytes=...) inlined: ``unit * nbytes``, except that
                 # a zero-byte transfer falls back to one unit (``times=1``),
                 # exactly as the scalar charge path does.
                 nbytes = len(data)
-                self._charge_one(clock, "disk_transfer_per_byte",
-                                 self._unit_transfer * nbytes if nbytes
-                                 else self._unit_transfer * 1)
+                transfer = self._unit_transfer * nbytes if nbytes \
+                    else self._unit_transfer * 1
+                amount = self._amt_seek
+                # Two separate ``+=`` steps: float addition is not
+                # associative, and the clock value must stay bit-identical
+                # to the scalar seek-then-transfer charge sequence.
+                clock._now += amount
+                clock._now += transfer
+                cells = clock.stats._cells
+                try:
+                    cell = cells["disk_seek"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    cells["disk_seek"] = [1, amount]
+                try:
+                    cell = cells["disk_transfer_per_byte"]
+                    cell[0] += 1
+                    cell[1] += transfer
+                except KeyError:
+                    cells["disk_transfer_per_byte"] = [1, transfer]
+                mirror = clock._mirror_stats
+                if mirror is not None:
+                    mcells = mirror._cells
+                    try:
+                        cell = mcells["disk_seek"]
+                        cell[0] += 1
+                        cell[1] += amount
+                    except KeyError:
+                        mcells["disk_seek"] = [1, amount]
+                    try:
+                        cell = mcells["disk_transfer_per_byte"]
+                        cell[0] += 1
+                        cell[1] += transfer
+                    except KeyError:
+                        mcells["disk_transfer_per_byte"] = [1, transfer]
             self._write_range(inode, offset, data)
             inode.mtime = clock._now if clock is not None else 0.0
             inode.ctime = inode.mtime
             return len(data)
         if clock is not None:
-            self._charge_one(clock, "disk_seek", self._amt_seek)
+            amount = self._amt_seek
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["disk_seek"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["disk_seek"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["disk_seek"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["disk_seek"] = [1, amount]
         content = self._read_range(inode, offset, length)
         if clock is not None:
             nbytes = len(content)
-            self._charge_one(clock, "disk_transfer_per_byte",
-                             self._unit_transfer * nbytes if nbytes
-                             else self._unit_transfer * 1)
+            transfer = self._unit_transfer * nbytes if nbytes \
+                else self._unit_transfer * 1
+            clock._now += transfer
+            cells = clock.stats._cells
+            try:
+                cell = cells["disk_transfer_per_byte"]
+                cell[0] += 1
+                cell[1] += transfer
+            except KeyError:
+                cells["disk_transfer_per_byte"] = [1, transfer]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["disk_transfer_per_byte"]
+                    cell[0] += 1
+                    cell[1] += transfer
+                except KeyError:
+                    mcells["disk_transfer_per_byte"] = [1, transfer]
         inode.atime = clock._now if clock is not None else 0.0
         return content
 
@@ -452,7 +576,24 @@ class PhysicalFileSystem(VFSOperations):
         if clock is not None:
             if self._primed_clock is not clock:
                 self._prime(clock)
-            self._charge_one(clock, "vfs_op", self._amt_vfs)
+            amount = self._amt_vfs
+            clock._now += amount
+            cells = clock.stats._cells
+            try:
+                cell = cells["vfs_op"]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells["vfs_op"] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells["vfs_op"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells["vfs_op"] = [1, amount]
         try:
             return self._inodes[vnode.ino].attributes()
         except KeyError:

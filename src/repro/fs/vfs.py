@@ -50,6 +50,8 @@ _WRITE_MASK = (OpenFlags.WRITE.value | OpenFlags.APPEND.value
 CREATE_MASK = OpenFlags.CREATE.value
 APPEND_MASK = OpenFlags.APPEND.value
 TRUNCATE_MASK = OpenFlags.TRUNCATE.value
+READ_MASK = _READ_MASK
+WRITE_MASK = _WRITE_MASK
 
 
 @dataclass(frozen=True, slots=True)

@@ -51,7 +51,8 @@ class Channel:
     """
 
     __slots__ = ("_daemon", "_clock", "_latency_primitive", "_sender",
-                 "_epoch_provider", "_dispatch", "_callee_clock", "_cross")
+                 "_epoch_provider", "_dispatch", "_callee_clock", "_cross",
+                 "_amt_caller_lat", "_amt_callee_lat", "_amt_caller_send")
 
     def __init__(self, daemon, clock: SimClock | None,
                  latency_primitive: str = "upcall_round_trip", sender: str = "",
@@ -70,6 +71,19 @@ class Channel:
         self._callee_clock = getattr(daemon, "clock", None)
         self._cross = (clock is not None and self._callee_clock is not None
                        and clock is not self._callee_clock)
+        # Fixed per-message charge amounts, resolved once per channel (the
+        # clocks never rebind, see above): the exchange hot path writes
+        # the latency/message_send charges out inline against these.
+        def _unit(target, primitive):
+            if target is None:
+                return 0.0
+            try:
+                return target._units[primitive]
+            except KeyError:
+                return getattr(target.costs, primitive)
+        self._amt_caller_lat = _unit(clock, latency_primitive)
+        self._amt_callee_lat = _unit(self._callee_clock, latency_primitive)
+        self._amt_caller_send = _unit(clock, "message_send")
 
     def request(self, kind: str, **payload) -> dict:
         """Synchronous round trip: send, wait for the reply, merge clocks."""
@@ -114,11 +128,67 @@ class Channel:
             sent = frames[-1][0] if frames else caller._now
             if sent > callee._now:
                 callee._now = sent
-            callee.charge(self._latency_primitive)
+            # The latency/message_send charges are written out inline too
+            # (amounts precomputed at channel construction): one exchange
+            # is two to three fixed charges, each a frame saved.
+            amount = self._amt_callee_lat
+            callee._now += amount
+            key = self._latency_primitive
+            cells = callee.stats._cells
+            try:
+                cell = cells[key]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells[key] = [1, amount]
+            mirror = callee._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells[key]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells[key] = [1, amount]
             if not wait:
-                caller.charge("message_send")
+                amount = self._amt_caller_send
+                caller._now += amount
+                cells = caller.stats._cells
+                try:
+                    cell = cells["message_send"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    cells["message_send"] = [1, amount]
+                mirror = caller._mirror_stats
+                if mirror is not None:
+                    mcells = mirror._cells
+                    try:
+                        cell = mcells["message_send"]
+                        cell[0] += 1
+                        cell[1] += amount
+                    except KeyError:
+                        mcells["message_send"] = [1, amount]
         elif caller is not None:
-            caller.charge(self._latency_primitive)
+            amount = self._amt_caller_lat
+            caller._now += amount
+            key = self._latency_primitive
+            cells = caller.stats._cells
+            try:
+                cell = cells[key]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells[key] = [1, amount]
+            mirror = caller._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells[key]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells[key] = [1, amount]
         epoch_provider = self._epoch_provider
         epoch = epoch_provider() if epoch_provider is not None else None
         dispatch = self._dispatch
@@ -185,10 +255,61 @@ class Channel:
                 sent = frames[-1][0] if frames else caller._now
                 if sent > callee._now:
                     callee._now = sent
-                callee.charge(latency)
-                caller.charge("message_send")
+                amount = self._amt_callee_lat
+                callee._now += amount
+                cells = callee.stats._cells
+                try:
+                    cell = cells[latency]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    cells[latency] = [1, amount]
+                mirror = callee._mirror_stats
+                if mirror is not None:
+                    mcells = mirror._cells
+                    try:
+                        cell = mcells[latency]
+                        cell[0] += 1
+                        cell[1] += amount
+                    except KeyError:
+                        mcells[latency] = [1, amount]
+                amount = self._amt_caller_send
+                caller._now += amount
+                cells = caller.stats._cells
+                try:
+                    cell = cells["message_send"]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    cells["message_send"] = [1, amount]
+                mirror = caller._mirror_stats
+                if mirror is not None:
+                    mcells = mirror._cells
+                    try:
+                        cell = mcells["message_send"]
+                        cell[0] += 1
+                        cell[1] += amount
+                    except KeyError:
+                        mcells["message_send"] = [1, amount]
             elif caller is not None:
-                caller.charge(latency)
+                amount = self._amt_caller_lat
+                caller._now += amount
+                cells = caller.stats._cells
+                try:
+                    cell = cells[latency]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    cells[latency] = [1, amount]
+                mirror = caller._mirror_stats
+                if mirror is not None:
+                    mcells = mirror._cells
+                    try:
+                        cell = mcells[latency]
+                        cell[0] += 1
+                        cell[1] += amount
+                    except KeyError:
+                        mcells[latency] = [1, amount]
             epoch = epoch_provider() if epoch_provider is not None else None
             if dispatch is not None:
                 try:

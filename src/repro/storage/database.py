@@ -41,6 +41,14 @@ from repro.util.lsn import LSN
 
 SYSTEM_TXN_ID = 0
 
+#: Gates the statement fast paths that bypass the general scan machinery:
+#: the point-SELECT short cut in :meth:`Database.select` and the cached
+#: column-maximum scan behind :meth:`Database.scan_max` callers.  ``False``
+#: routes every statement through the reference implementation; both modes
+#: produce bit-identical rows and simulated charges (see
+#: tests/test_bulk_fastpaths.py).
+FAST_SCANS = True
+
 
 class _TablePlan:
     """Pre-resolved per-table execution state for the DML hot paths.
@@ -104,6 +112,22 @@ class Database:
         #: Extended per-table plans (:class:`_TablePlan`), validated against
         #: the catalog's version counter on every probe.
         self._plans: dict[str, _TablePlan] = {}
+        #: ``{table: {column: (max_value, heap_mutations_seen)}}`` -- the
+        #: cached scan maxima behind :meth:`scan_max`.  A cached entry is
+        #: valid only while its heap's mutation counter is unchanged, so
+        #: writes that bypass this facade (replication redo, recovery,
+        #: rollback) invalidate it implicitly.
+        self._max_trackers: dict[str, dict[str, tuple]] = {}
+        # Primed per-statement charge amounts (see _prime_charges).
+        self._primed_charge_clock = None
+        self._amt_stmt = 0.0
+        self._amt_probe = 0.0
+        self._amt_log = 0.0
+        self._key_stmt = "sql_statement_base"
+        self._key_probe = "index_probe"
+        self._key_log = "log_write"
+        self._key_read = "row_read"
+        self._amt_read = 0.0
         self._next_txn_id = 1
         self._checkpoint: dict | None = None
         self._restored_to: LSN | None = None
@@ -124,8 +148,56 @@ class Database:
         except KeyError:
             label = labels[primitive] = \
                 self.stats_prefix + primitive if self.stats_prefix else None
-        clock.charge(primitive, times=times, nbytes=nbytes,
-                     scale=self.cost_scale, label=label)
+        # ``clock.charge(...)`` written out inline (identical arithmetic,
+        # one frame fewer): _charge sits under every DDL/abort/force path.
+        try:
+            unit = clock._units[primitive]
+        except KeyError:
+            unit = getattr(clock.costs, primitive)
+        amount = unit * nbytes if nbytes else unit * times
+        amount *= self.cost_scale
+        clock._now += amount
+        key = label or primitive
+        cells = clock.stats._cells
+        try:
+            cell = cells[key]
+            cell[0] += 1
+            cell[1] += amount
+        except KeyError:
+            cells[key] = [1, amount]
+        mirror = clock._mirror_stats
+        if mirror is not None:
+            mcells = mirror._cells
+            try:
+                cell = mcells[key]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                mcells[key] = [1, amount]
+
+    def _prime_charges(self, clock) -> None:
+        """Cache the fixed statement-shaped charge amounts for *clock*.
+
+        ``sql_statement_base``, ``index_probe``, ``row_read`` and
+        ``log_write`` amounts are constant products of the clock's unit
+        costs and this database's ``cost_scale``; the per-statement entry
+        points (begin/commit/insert/select/scan_max and the point-select
+        short cut) write the clock advance out inline against these
+        precomputed amounts -- the same unrolling the physical file system
+        applies to its fixed per-syscall charges.
+        """
+
+        units = clock._units
+        scale = self.cost_scale
+        self._amt_stmt = units["sql_statement_base"] * scale
+        self._amt_probe = units["index_probe"] * scale
+        self._amt_log = units["log_write"] * scale
+        self._amt_read = units["row_read"] * scale
+        self._key_stmt = self._stmt_label or "sql_statement_base"
+        self._key_probe = self._probe_label or "index_probe"
+        self._key_log = self._log_label or "log_write"
+        self._key_read = self._read_label or "row_read"
+        self._primed_charge_clock = clock
 
     def _build_plan(self, table: str) -> _TablePlan:
         """Build (and cache) the extended :class:`_TablePlan` for *table*."""
@@ -212,8 +284,27 @@ class Database:
         self.wal.append(transaction.txn_id, LogRecordType.BEGIN)
         clock = self.clock
         if clock is not None:
-            clock.charge("sql_statement_base", scale=self.cost_scale,
-                         label=self._stmt_label)
+            if self._primed_charge_clock is not clock:
+                self._prime_charges(clock)
+            amount = self._amt_stmt
+            clock._now += amount
+            key = self._key_stmt
+            cells = clock.stats._cells
+            try:
+                cell = cells[key]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells[key] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells[key]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells[key] = [1, amount]
         return transaction
 
     def transaction(self, txn_id: int) -> Transaction:
@@ -247,8 +338,27 @@ class Database:
         if self.wal.note_commit():
             clock = self.clock
             if clock is not None:
-                clock.charge("log_write", scale=self.cost_scale,
-                             label=self._log_label)
+                if self._primed_charge_clock is not clock:
+                    self._prime_charges(clock)
+                amount = self._amt_log
+                clock._now += amount
+                key = self._key_log
+                cells = clock.stats._cells
+                try:
+                    cell = cells[key]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    cells[key] = [1, amount]
+                mirror = clock._mirror_stats
+                if mirror is not None:
+                    mcells = mirror._cells
+                    try:
+                        cell = mcells[key]
+                        cell[0] += 1
+                        cell[1] += amount
+                    except KeyError:
+                        mcells[key] = [1, amount]
         txn.state = TxnState.COMMITTED
         # ``_finish`` inlined: commit is the per-transaction hot path.
         self.locks.release_all(txn.txn_id)
@@ -392,9 +502,37 @@ class Database:
         if txn is not None and txn.state is TxnState.ACTIVE:
             clock = self.clock
             if clock is not None:
-                clock.charge("sql_statement_base", scale=self.cost_scale,
-                             label=self._stmt_label)
-            return self._insert_row(table, row, txn, self._plan(table))
+                if self._primed_charge_clock is not clock:
+                    self._prime_charges(clock)
+                amount = self._amt_stmt
+                clock._now += amount
+                key = self._key_stmt
+                cells = clock.stats._cells
+                try:
+                    cell = cells[key]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    cells[key] = [1, amount]
+                mirror = clock._mirror_stats
+                if mirror is not None:
+                    mcells = mirror._cells
+                    try:
+                        cell = mcells[key]
+                        cell[0] += 1
+                        cell[1] += amount
+                    except KeyError:
+                        mcells[key] = [1, amount]
+            try:
+                plan = self._plans[table]
+            except KeyError:
+                plan = self._build_plan(table)
+            else:
+                catalog = self.catalog
+                if plan.catalog is not catalog or \
+                        plan.version != catalog.version:
+                    plan = self._build_plan(table)
+            return self._insert_row(table, row, txn, plan)
         with self._autotxn(txn) as active:
             active.require_active()
             self._charge("sql_statement_base")
@@ -442,6 +580,21 @@ class Database:
                 acquire(txn_id, ("key", table, key), LockMode.EXCLUSIVE)
                 locks_taken = 1
             rid = plan.heap.insert(normalized)
+            trackers = self._max_trackers.get(table)
+            if trackers:
+                # Keep warm scan maxima warm: if nothing else touched the
+                # heap since the tracker was taken, this insert's value is
+                # the only candidate for a new maximum.  Otherwise leave the
+                # tracker stale -- scan_max rescans on the counter mismatch.
+                heap_mutations = plan.heap.mutations
+                for column, cached in trackers.items():
+                    if cached[1] == heap_mutations - 1:
+                        best = cached[0]
+                        value = normalized[column]
+                        if best is None or \
+                                (value is not None and value > best):
+                            best = value
+                        trackers[column] = (best, heap_mutations)
             acquire(txn_id, ("row", table, rid), LockMode.EXCLUSIVE)
             locks_taken += 1
             for index in plan.indexes:
@@ -482,10 +635,45 @@ class Database:
 
         clock = self.clock
         if clock is not None:
-            clock.charge("sql_statement_base", scale=self.cost_scale,
-                         label=self._stmt_label)
+            if self._primed_charge_clock is not clock:
+                self._prime_charges(clock)
+            amount = self._amt_stmt
+            clock._now += amount
+            key = self._key_stmt
+            cells = clock.stats._cells
+            try:
+                cell = cells[key]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells[key] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells[key]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells[key] = [1, amount]
+        # ``self._plan(table)`` written out inline: the cache probe is two
+        # attribute loads on the hot hit path, and select is the single
+        # most-issued statement on the million-link tier.
+        try:
+            plan = self._plans[table]
+        except KeyError:
+            plan = self._build_plan(table)
+        else:
+            catalog = self.catalog
+            if plan.catalog is not catalog or plan.version != catalog.version:
+                plan = self._build_plan(table)
+        if FAST_SCANS and type(where) is dict and where and \
+                (txn is None or not lock):
+            matched = self._point_select(plan, where, clock)
+            if matched is not None:
+                return matched
         predicate, bindings = compile_where(where)
-        candidates = self._candidate_rows(self._plan(table), bindings, clock)
+        candidates = self._candidate_rows(plan, bindings, clock)
         # Per-match charges are deferred and applied as one batch replay
         # after the loop: nothing between two matches touches the clock, so
         # the aggregate is float-identical to charging inside the loop (see
@@ -543,6 +731,214 @@ class Database:
                    **kwargs) -> dict | None:
         rows = self.select(table, where, txn, **kwargs)
         return rows[0] if rows else None
+
+    def _point_select(self, plan: _TablePlan, where: dict, clock):
+        """Unlocked point-SELECT short cut (:data:`FAST_SCANS`).
+
+        Handles the dominant statement shape -- an equality ``where`` dict
+        whose keys are exactly one index's columns -- without compiling a
+        predicate or materializing a candidate list, replaying the general
+        path's charges verbatim: an ``index_probe`` for a complete
+        primary-key probe, nothing for secondary-index enumeration, and a
+        ``row_read`` per match.  Returns ``None``, before any charge beyond
+        the caller's ``sql_statement_base``, when the shape is not covered
+        (the caller falls back to the general path).
+        """
+
+        rows = plan.rows
+        bucket = None
+        pk_single = plan.pk_single
+        if pk_single is not None:
+            if len(where) != 1:
+                return None
+            if pk_single in where and plan.pk_index is not None:
+                if clock is not None:
+                    amount = self._amt_probe
+                    clock._now += amount
+                    key = self._key_probe
+                    cells = clock.stats._cells
+                    try:
+                        cell = cells[key]
+                        cell[0] += 1
+                        cell[1] += amount
+                    except KeyError:
+                        cells[key] = [1, amount]
+                    mirror = clock._mirror_stats
+                    if mirror is not None:
+                        mcells = mirror._cells
+                        try:
+                            cell = mcells[key]
+                            cell[0] += 1
+                            cell[1] += amount
+                        except KeyError:
+                            mcells[key] = [1, amount]
+                entries = plan.pk_entries
+                if entries is None:
+                    bucket = plan.pk_index.bucket((where[pk_single],))
+                else:
+                    try:
+                        bucket = entries[(where[pk_single],)]
+                    except KeyError:
+                        return []
+        elif plan.pk_cols and len(where) == len(plan.pk_cols):
+            complete = True
+            for column in plan.pk_cols:
+                if column not in where:
+                    complete = False
+                    break
+            if complete and plan.pk_index is not None:
+                if clock is not None:
+                    amount = self._amt_probe
+                    clock._now += amount
+                    label = self._key_probe
+                    cells = clock.stats._cells
+                    try:
+                        cell = cells[label]
+                        cell[0] += 1
+                        cell[1] += amount
+                    except KeyError:
+                        cells[label] = [1, amount]
+                    mirror = clock._mirror_stats
+                    if mirror is not None:
+                        mcells = mirror._cells
+                        try:
+                            cell = mcells[label]
+                            cell[0] += 1
+                            cell[1] += amount
+                        except KeyError:
+                            mcells[label] = [1, amount]
+                key = tuple(where[column] for column in plan.pk_cols)
+                entries = plan.pk_entries
+                if entries is None:
+                    bucket = plan.pk_index.bucket(key)
+                else:
+                    try:
+                        bucket = entries[key]
+                    except KeyError:
+                        return []
+        if bucket is None:
+            if len(where) != 1:
+                return None
+            # Single-column secondary probe: the first index on exactly the
+            # bound column, enumeration deliberately uncharged (matching
+            # ``_candidate_rows``).
+            for index, columns, single, entries in plan.index_plans:
+                if single is None or single not in where:
+                    continue
+                if entries is None:
+                    return None
+                try:
+                    bucket = entries[(where[single],)]
+                except KeyError:
+                    return []
+                break
+            if bucket is None:
+                return None
+        if len(bucket) == 1:
+            for rid in bucket:
+                break
+            row = rows.get(rid)
+            if row is None:
+                return []
+            matched = [dict(row, _rid=rid)]
+        else:
+            matched = [dict(rows[rid], _rid=rid)
+                       for rid in sorted(bucket) if rid in rows]
+            if not matched:
+                return []
+        if clock is not None:
+            if len(matched) == 1:
+                # The single-match case dominates; ``charge_run(..., 1)``
+                # written out inline (identical arithmetic either way).
+                amount = self._amt_read
+                clock._now += amount
+                key = self._key_read
+                cells = clock.stats._cells
+                try:
+                    cell = cells[key]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    cells[key] = [1, amount]
+                mirror = clock._mirror_stats
+                if mirror is not None:
+                    mcells = mirror._cells
+                    try:
+                        cell = mcells[key]
+                        cell[0] += 1
+                        cell[1] += amount
+                    except KeyError:
+                        mcells[key] = [1, amount]
+            else:
+                clock.charge_run("row_read", len(matched),
+                                 scale=self.cost_scale,
+                                 label=self._read_label)
+        return matched
+
+    def scan_max(self, table: str, column: str):
+        """Maximum of *column* over *table*'s live rows (``None`` if empty).
+
+        Charged exactly like the unlocked full-table ``select`` a caller
+        would otherwise issue -- one ``sql_statement_base`` plus a
+        ``row_read`` per live row -- but the value comes from a cached
+        per-column maximum validated against the heap's mutation counter,
+        so repeated scans of a monotonically growing table (the DLFM's id
+        allocation) stop re-walking every row.  A mutation that bypassed
+        this facade (replication redo, recovery, rollback, snapshot
+        restore) bumps the counter and forces a rescan, so the cached
+        maximum can never go stale.
+        """
+
+        clock = self.clock
+        if clock is not None:
+            if self._primed_charge_clock is not clock:
+                self._prime_charges(clock)
+            amount = self._amt_stmt
+            clock._now += amount
+            key = self._key_stmt
+            cells = clock.stats._cells
+            try:
+                cell = cells[key]
+                cell[0] += 1
+                cell[1] += amount
+            except KeyError:
+                cells[key] = [1, amount]
+            mirror = clock._mirror_stats
+            if mirror is not None:
+                mcells = mirror._cells
+                try:
+                    cell = mcells[key]
+                    cell[0] += 1
+                    cell[1] += amount
+                except KeyError:
+                    mcells[key] = [1, amount]
+        try:
+            plan = self._plans[table]
+        except KeyError:
+            plan = self._build_plan(table)
+        else:
+            catalog = self.catalog
+            if plan.catalog is not catalog or plan.version != catalog.version:
+                plan = self._build_plan(table)
+        rows = plan.rows
+        if clock is not None and rows:
+            clock.charge_run("row_read", len(rows), scale=self.cost_scale,
+                             label=self._read_label)
+        mutations = plan.heap.mutations
+        trackers = self._max_trackers.get(table)
+        if trackers is None:
+            trackers = self._max_trackers[table] = {}
+        else:
+            cached = trackers.get(column)
+            if cached is not None and cached[1] == mutations:
+                return cached[0]
+        best = None
+        for row in rows.values():
+            value = row[column]
+            if value is not None and (best is None or value > best):
+                best = value
+        trackers[column] = (best, mutations)
+        return best
 
     def update(self, table: str, where, changes: dict,
                txn: Transaction | None = None) -> int:
@@ -705,6 +1101,10 @@ class Database:
                         return ()
                 else:
                     bucket = plan.pk_index.bucket(key)
+                if len(bucket) == 1:
+                    for rid in bucket:
+                        break
+                    return [(rid, rows[rid])] if rid in rows else []
                 return [(rid, rows[rid])
                         for rid in sorted(bucket) if rid in rows]
             # Enumerate through any secondary index whose columns are all
@@ -735,6 +1135,10 @@ class Database:
                         return ()
                 else:
                     bucket = index.bucket(key)
+                if len(bucket) == 1:
+                    for rid in bucket:
+                        break
+                    return [(rid, rows[rid])] if rid in rows else []
                 return [(rid, rows[rid])
                         for rid in sorted(bucket) if rid in rows]
         # Full scan (``HeapTable.scan_live`` inlined, including its cached
@@ -822,6 +1226,10 @@ class Database:
 
     def reset_catalog(self) -> None:
         self.catalog = Catalog()
+        # The rebuilt catalog gets fresh heaps whose mutation counters
+        # restart, so a surviving scan-max tracker could validate against a
+        # coincidentally equal count while holding a pre-crash maximum.
+        self._max_trackers.clear()
 
     def crash(self) -> None:
         """Simulate a crash: volatile state and unflushed log records are lost."""
@@ -835,6 +1243,9 @@ class Database:
     def recover(self) -> dict:
         """Run crash recovery; returns the recovery summary."""
 
+        # Recovery rebuilds the catalog (checkpoint snapshot or reset), so
+        # every heap gets a fresh mutation counter; see reset_catalog.
+        self._max_trackers.clear()
         summary = RecoveryManager(self).recover()
         checkpoint = self._checkpoint
         if checkpoint is not None:
@@ -872,6 +1283,9 @@ class Database:
         """
 
         state_id = self.backups.restore(image)
+        # The snapshot load rebuilt every heap (fresh mutation counters);
+        # surviving scan-max trackers would validate against stale counts.
+        self._max_trackers.clear()
         self.checkpoint()
         return state_id
 

@@ -22,13 +22,20 @@ class HeapTable:
     changes, so repeated full scans skip the per-call sort.
     """
 
-    __slots__ = ("schema", "_rows", "_next_rid", "_sorted_rids")
+    __slots__ = ("schema", "_rows", "_next_rid", "_sorted_rids", "mutations")
 
     def __init__(self, schema: TableSchema):
         self.schema = schema
         self._rows: dict[int, dict] = {}
         self._next_rid = 1
         self._sorted_rids: list[int] | None = None
+        #: Monotone mutation counter.  Every content change -- insert, update,
+        #: delete, snapshot restore, clear -- bumps it, *whoever* the caller
+        #: is (DML, replication redo, recovery, rollback), so derived caches
+        #: such as the database's column-maximum trackers can validate
+        #: against it instead of trusting that all writes funnel through one
+        #: code path.
+        self.mutations = 0
 
     # -- basic operations ------------------------------------------------------
     def insert(self, row: dict, rid: int | None = None) -> int:
@@ -38,6 +45,7 @@ class HeapTable:
         across redo and rollback.
         """
 
+        self.mutations += 1
         if rid is None:
             rid = self._next_rid
             self._next_rid += 1
@@ -75,6 +83,7 @@ class HeapTable:
 
         if rid not in self._rows:
             raise NoSuchRowError(f"table {self.schema.name}: no row {rid}")
+        self.mutations += 1
         self._rows[rid] = dict(row)
 
     def delete(self, rid: int) -> dict:
@@ -84,6 +93,7 @@ class HeapTable:
             row = self._rows.pop(rid)
         except KeyError:
             raise NoSuchRowError(f"table {self.schema.name}: no row {rid}") from None
+        self.mutations += 1
         self._sorted_rids = None
         return row
 
@@ -134,6 +144,7 @@ class HeapTable:
         self._rows = {rid: dict(row) for rid, row in snapshot["rows"].items()}
         self._next_rid = snapshot["next_rid"]
         self._sorted_rids = None
+        self.mutations += 1
 
     def clear(self) -> None:
         """Drop all rows (used to simulate loss of volatile state)."""
@@ -141,3 +152,4 @@ class HeapTable:
         self._rows.clear()
         self._next_rid = 1
         self._sorted_rids = None
+        self.mutations += 1

@@ -59,6 +59,7 @@ from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
 from repro.datalinks.sharding import ShardedDataLinksDeployment
 from repro.errors import PlacementError, ReproError
 from repro.util.urls import parse_url
+from repro.workloads.audit import audit_committed_links
 from repro.workloads.generator import (UniformChooser, WorkloadMetrics,
                                        ZipfChooser, make_content)
 
@@ -249,17 +250,18 @@ class HotspotWorkload:
                 metrics.bump("links_failed")
         self._uploaded = []
 
-    def _tokenized_read_url(self, prefix_index: int) -> str | None:
-        """Token handout for one scheduled read (before the window)."""
+    def _handout_wheres(self, read_plan) -> list[dict]:
+        """The key of each scheduled read that has a target to read."""
 
-        docs = self._docs_by_prefix[prefix_index]
-        if not docs:
-            return None
-        doc_id = docs[self._read_cursor % len(docs)]
-        self._read_cursor += 1
-        return self._session.get_datalink(
-            DOCS_TABLE, {"doc_id": doc_id}, "body", access="read",
-            ttl=self.config.token_ttl)
+        wheres = []
+        docs_by_prefix = self._docs_by_prefix
+        for prefix_index in read_plan:
+            docs = docs_by_prefix[prefix_index]
+            if not docs:
+                continue
+            wheres.append({"doc_id": docs[self._read_cursor % len(docs)]})
+            self._read_cursor += 1
+        return wheres
 
     def _burst_read(self, url: str, metrics: WorkloadMetrics,
                     kind: str, loads: dict[str, int]) -> None:
@@ -290,19 +292,9 @@ class HotspotWorkload:
         metrics.bump("reads_ok")
 
     def _audit_committed_links(self, metrics: WorkloadMetrics) -> None:
-        lost = 0
-        for row in self.deployment.host_db.select(DOCS_TABLE, lock=False):
-            url = row.get("body")
-            if not url:
-                continue
-            try:
-                tokenized = self._session.get_datalink(
-                    DOCS_TABLE, {"doc_id": row["doc_id"]}, "body",
-                    access="read", ttl=self.config.token_ttl)
-                self.deployment.read_url(self._session, tokenized)
-            except ReproError:
-                lost += 1
-        metrics.counters["committed_links_lost"] = lost
+        metrics.counters["committed_links_lost"] = audit_committed_links(
+            self.deployment, self._session, DOCS_TABLE, "doc_id", "body",
+            self.config.token_ttl)
 
     # ---------------------------------------------------------------------- run --
     def run(self) -> WorkloadMetrics:
@@ -334,9 +326,9 @@ class HotspotWorkload:
                 config.reads_per_round)
             link_plan = self._prefix_chooser.choose_many(
                 config.links_per_round)
-            read_urls = [url for url in
-                         (self._tokenized_read_url(prefix_index)
-                          for prefix_index in read_plan)
+            read_urls = [url for url in self._session.get_datalink_many(
+                             DOCS_TABLE, self._handout_wheres(read_plan),
+                             "body", access="read", ttl=config.token_ttl)
                          if url is not None]
             reads_per_link = max(1, len(read_urls) // max(1, len(link_plan)))
             with clock.overlap():

@@ -44,6 +44,7 @@ from repro.errors import PlacementError, ReproError
 from repro.storage.schema import Column, TableSchema
 from repro.storage.values import DataType
 from repro.util.urls import parse_url
+from repro.workloads.audit import audit_committed_links
 from repro.workloads.generator import WorkloadMetrics, make_content
 
 DOCS_TABLE = "rebalanced_docs"
@@ -200,19 +201,9 @@ class RebalanceWorkload:
     def _audit_committed_links(self, metrics: WorkloadMetrics) -> None:
         """Count committed DATALINK rows that can no longer be read."""
 
-        lost = 0
-        for row in self.deployment.host_db.select(DOCS_TABLE, lock=False):
-            url = row.get("body")
-            if not url:
-                continue
-            try:
-                tokenized = self._session.get_datalink(
-                    DOCS_TABLE, {"doc_id": row["doc_id"]}, "body",
-                    access="read", ttl=self.config.token_ttl)
-                self.deployment.read_url(self._session, tokenized)
-            except ReproError:
-                lost += 1
-        metrics.counters["committed_links_lost"] = lost
+        metrics.counters["committed_links_lost"] = audit_committed_links(
+            self.deployment, self._session, DOCS_TABLE, "doc_id", "body",
+            self.config.token_ttl)
 
     # ---------------------------------------------------------------------- run --
     def run(self) -> WorkloadMetrics:
