@@ -70,9 +70,17 @@ Scale-out knobs (step 7):
 Bench scale tiers (``python -m repro.bench``): ``--smoke`` runs every
 experiment on tiny configs in under a second (the tier-1 CI gate and the
 committed ``BENCH_smoke.json`` artifact live there), the default tier runs
-the paper-scale configs, and ``--scale large`` is the capacity tier — E14
-at ~100x smoke op count and E9 with 1,200 reader sessions, budgeted at
-<60s, outside tier-1.  ``--profile`` records a deterministic per-experiment
+the paper-scale configs, and ``--scale large`` is the committed capacity
+tier (``BENCH_large.json``): E14 as a true million-op run (each variant's
+``link_ops`` counts >10^6 charged simulated primitives, <60s wall) and E9
+with 1,200 reader sessions plus a 10 -> 10^4 concurrent-session sweep
+reporting throughput and p50/p99 read latency per step through the bulk
+``get_datalink_many`` token handout.  Regenerate it with
+``python -m repro.bench --scale large --profile --best-of 2`` from the
+repo root and commit the artifact; tier-1 checks its shape and acceptance
+bars cheaply, while ``REPRO_LARGE_BENCH=1 python -m pytest
+tests/test_bench_artifact.py`` re-runs the full identity + budget gates.
+``--profile`` records a deterministic per-experiment
 function-call count (``profile_calls``) next to the cProfile table, and
 ``--best-of N`` records every wall-clock sample so CI can tell a
 regression from a noisy neighbor.

@@ -646,7 +646,8 @@ def experiment_e8() -> ExperimentResult:
 
 def experiment_e9(pages: int = 24, operations: int = 200,
                   page_size: int = 64 * 1024,
-                  clients: int = 1) -> ExperimentResult:
+                  clients: int = 1,
+                  session_sweep: tuple = ()) -> ExperimentResult:
     rows = []
     for servers in (1, 2, 4):
         config = WebSiteConfig(pages=pages, operations=operations, page_size=page_size,
@@ -660,10 +661,13 @@ def experiment_e9(pages: int = 24, operations: int = 200,
             for index in range(servers)
         ]
         cache = workload.system.engine.token_cache_stats()
+        reads = metrics.stats("read_page")
         rows.append({
             "configuration": f"DataLinks rfd, {servers} file server(s)",
-            "reads": metrics.stats("read_page").count,
-            "mean_read_ms": round(metrics.stats("read_page").mean * 1000, 3),
+            "reads": reads.count,
+            "mean_read_ms": round(reads.mean * 1000, 3),
+            "read_p50_ms": round(reads.p50 * 1000, 3),
+            "read_p99_ms": round(reads.p99 * 1000, 3),
             "mean_update_ms": round(metrics.stats("update_page").mean * 1000, 3),
             "ops_per_sim_s": round(metrics.throughput(), 1),
             "max_mb_read_per_server": round(max(per_server_mb), 1),
@@ -683,10 +687,13 @@ def experiment_e9(pages: int = 24, operations: int = 200,
     cache = rdd.system.engine.token_cache_stats()
     rdd_mb = rdd.system.file_server("web0").physical.device.stats.bytes_read \
         / (1024 * 1024)
+    rdd_reads = metrics.stats("read_page")
     rows.append({
         "configuration": "DataLinks rdd (tokenized reads), 1 file server",
-        "reads": metrics.stats("read_page").count,
-        "mean_read_ms": round(metrics.stats("read_page").mean * 1000, 3),
+        "reads": rdd_reads.count,
+        "mean_read_ms": round(rdd_reads.mean * 1000, 3),
+        "read_p50_ms": round(rdd_reads.p50 * 1000, 3),
+        "read_p99_ms": round(rdd_reads.p99 * 1000, 3),
         "mean_update_ms": round(metrics.stats("update_page").mean * 1000, 3),
         "ops_per_sim_s": round(metrics.throughput(), 1),
         "max_mb_read_per_server": round(rdd_mb, 1),
@@ -698,16 +705,43 @@ def experiment_e9(pages: int = 24, operations: int = 200,
     blob = BlobWebSiteWorkload(blob_config).setup()
     metrics = blob.run()
     blob_bytes = sum(stats.count for stats in metrics.operations.values()) * page_size
+    blob_reads = metrics.stats("read_page")
     rows.append({
         "configuration": "BLOB-in-database (iFS/IXFS style)",
-        "reads": metrics.stats("read_page").count,
-        "mean_read_ms": round(metrics.stats("read_page").mean * 1000, 3),
+        "reads": blob_reads.count,
+        "mean_read_ms": round(blob_reads.mean * 1000, 3),
+        "read_p50_ms": round(blob_reads.p50 * 1000, 3),
+        "read_p99_ms": round(blob_reads.p99 * 1000, 3),
         "mean_update_ms": round(metrics.stats("update_page").mean * 1000, 3),
         "ops_per_sim_s": round(metrics.throughput(), 1),
         "max_mb_read_per_server": 0.0,
         "host_db_read_mb": round(blob_bytes / (1024 * 1024), 1),
         "token_cache_hit_pct": 0.0,
     })
+    if session_sweep:
+        # Concurrent-session sweep: tokenized (rdd) reads so every page
+        # retrieval exercises the vectorized bulk token handout.
+        sweep_config = WebSiteConfig(pages=pages, operations=operations,
+                                     page_size=page_size, file_servers=4,
+                                     control_mode=ControlMode.RDD)
+        sweep = WebServerWorkload(sweep_config).setup()
+        for step in sweep.run_session_sweep(tuple(session_sweep)):
+            cache = sweep.system.engine.token_cache_stats()
+            rows.append({
+                "configuration": f"rdd session sweep, "
+                                 f"{step['sessions']} sessions (bulk handout "
+                                 f"{step['handout_ms']} ms)",
+                "reads": step["reads"],
+                "mean_read_ms": step["mean_read_ms"],
+                "read_p50_ms": step["read_p50_ms"],
+                "read_p99_ms": step["read_p99_ms"],
+                "mean_update_ms": 0.0,
+                "ops_per_sim_s": step["ops_per_sim_s"],
+                "max_mb_read_per_server": step["max_mb_read_per_server"],
+                "host_db_read_mb": 0.0,
+                "token_cache_hit_pct": round(100.0 * cache.get("hit_rate", 0.0), 1)
+                if cache.get("enabled") else 0.0,
+            })
     return ExperimentResult(
         experiment_id="E9",
         title="Read-mostly web workload: DataLinks scale-out vs BLOB-in-DB",
@@ -715,8 +749,9 @@ def experiment_e9(pages: int = 24, operations: int = 200,
                     "involvement and lets files be spread over multiple file "
                     "servers, unlike LOB/BLOB storage which funnels every byte "
                     "through the database server (Section 1).",
-        headers=["configuration", "reads", "mean_read_ms", "mean_update_ms",
-                 "ops_per_sim_s", "max_mb_read_per_server", "host_db_read_mb",
+        headers=["configuration", "reads", "mean_read_ms", "read_p50_ms",
+                 "read_p99_ms", "mean_update_ms", "ops_per_sim_s",
+                 "max_mb_read_per_server", "host_db_read_mb",
                  "token_cache_hit_pct"],
         rows=rows,
         notes="max_mb_read_per_server shows how the data-path load spreads as "
@@ -724,7 +759,12 @@ def experiment_e9(pages: int = 24, operations: int = 200,
               "volume through the host database instead.  The host-side token "
               "cache is on by default in the web workload: rfd reads need no "
               "token, so its hit rate reflects the write-token handouts of the "
-              "Zipf-hot page updates.",
+              "Zipf-hot page updates.  Session-sweep rows (large tier) spread "
+              "a tokenized rdd read mix over N concurrent visitor sessions; "
+              "each session's read tokens are minted in one vectorized "
+              "get_datalink_many handout whose cost the row reports "
+              "separately, and throughput counts the handout inside the "
+              "measured window.",
     )
 
 
@@ -1118,6 +1158,7 @@ def experiment_e14(shards: int = 4, prefixes: int = 8, rounds: int = 8,
         counters = metrics.counters
         rows.append({
             "variant": variant,
+            "link_ops": workload.deployment.clocks.stats.total_count(),
             "max_shard_load_share": round(workload.max_shard_load_share(), 3),
             "link_p50_ms": round(metrics.stats("link_steady").p50 * 1000, 3),
             "link_p99_ms": round(metrics.stats("link_steady").p99 * 1000, 3),
@@ -1144,12 +1185,16 @@ def experiment_e14(shards: int = 4, prefixes: int = 8, rounds: int = 8,
                     "static hash placement on both max-shard load share and "
                     "tail latency -- without losing a single committed "
                     "link.",
-        headers=["variant", "max_shard_load_share", "link_p50_ms",
+        headers=["variant", "link_ops", "max_shard_load_share", "link_p50_ms",
                  "link_p99_ms", "read_p99_ms", "moves", "max_moves_per_tick",
                  "move_budget", "splits", "links_blocked",
                  "committed_links_lost", "placement_epoch"],
         rows=rows,
-        notes="Both variants replay the identical zipf traffic (same "
+        notes="link_ops is the variant's total charged simulated primitive "
+              "operations, summed across every clock domain in the cluster "
+              "(host shards, file servers, replicas) -- the honest "
+              "denominator for the large tier's million-op capacity claim.  "
+              "Both variants replay the identical zipf traffic (same "
               "seeds); each round's uploads and token-validated reads run "
               "as one concurrent burst in a scatter-gather window, so an "
               "operation's latency is its completion on the node that "
@@ -1224,7 +1269,7 @@ SMOKE_PARAMS = {
 #: working budget is that E14 completes in well under a minute.
 LARGE_PARAMS = {
     "E9": {"pages": 64, "operations": 2400, "page_size": 16 * 1024,
-           "clients": 1200},
+           "clients": 1200, "session_sweep": (10, 100, 1000, 10000)},
     "E14": {"shards": 4, "prefixes": 12, "rounds": 12,
             "links_per_round": 120, "reads_per_round": 1080,
             "file_size": 512},

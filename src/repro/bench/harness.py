@@ -40,6 +40,7 @@ from repro.bench.experiments import (ALL_EXPERIMENTS, LARGE_PARAMS,
 from repro.bench.metrics import ExperimentResult
 
 SMOKE_ARTIFACT = "BENCH_smoke.json"
+LARGE_ARTIFACT = "BENCH_large.json"
 PROFILE_TOP_N = 15
 
 
@@ -246,6 +247,8 @@ def run_all(experiment_ids: list[str] | None = None, *,
             gc.enable()
     if json_path is None and smoke:
         json_path = SMOKE_ARTIFACT
+    elif json_path is None and scale == "large":
+        json_path = LARGE_ARTIFACT
     if json_path:
         write_artifact(results, wall_clock, json_path, smoke,
                        profiles=profiles or None,

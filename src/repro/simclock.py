@@ -167,6 +167,11 @@ class ClockStats:
     def labels(self) -> list[str]:
         return sorted(self._cells)
 
+    def total_count(self) -> int:
+        """Total charged operations, summed across every label."""
+
+        return sum(cell[0] for cell in self._cells.values())
+
     @property
     def charges(self) -> dict:
         """``{label: (count, total)}`` -- compatibility view."""

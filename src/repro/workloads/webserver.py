@@ -156,6 +156,79 @@ class WebServerWorkload:
         self.system.run_archiver()
         return timer.elapsed
 
+    # -------------------------------------------------------------- session sweep --
+    def run_session_sweep(self, session_counts, *,
+                          operations: int | None = None,
+                          token_ttl: float = 3600.0) -> list[dict]:
+        """Sweep concurrent reader-session counts over the linked site.
+
+        Each step spreads a Zipf read schedule round-robin over
+        ``sessions`` visitor sessions.  A session's page tokens are
+        minted up front in one vectorized :meth:`~repro.api.session.
+        Session.get_datalink_many` handout -- the batch a web tier
+        prefetches for its connection pool -- then every page read
+        replays operation by operation under the measuring clock, so a
+        step reports both the bulk handout cost and the per-read
+        latency distribution.  Steps where ``sessions`` exceeds the
+        schedule length grow the schedule so every session issues at
+        least one read.  Returns one summary dict per step.
+        """
+
+        config = self.config
+        clock = self.system.clock
+        base_operations = config.operations if operations is None else operations
+        steps = []
+        for step_index, sessions in enumerate(session_counts):
+            step_ops = max(base_operations, sessions)
+            chooser = ZipfChooser(config.pages, config.zipf_theta,
+                                  config.seed + 1 + step_index)
+            schedule = chooser.choose_many(step_ops)
+            readers = [
+                self.system.session(f"sweep{step_index}_{index}",
+                                    uid=5001 + index)
+                for index in range(sessions)
+            ]
+            bytes_before = [
+                self.system.file_server(f"web{index}").physical.device
+                    .stats.bytes_read
+                for index in range(config.file_servers)
+            ]
+            metrics = WorkloadMetrics(started_at=clock.now())
+            urls_by_reader = []
+            with clock.measure() as handout_timer:
+                for reader_index, reader in enumerate(readers):
+                    wheres = [{"page_id": page_id}
+                              for page_id in schedule[reader_index::sessions]]
+                    urls_by_reader.append(
+                        reader.get_datalink_many(PAGES_TABLE, wheres, "body",
+                                                 access="read", ttl=token_ttl))
+            cursors = [0] * sessions
+            for op_index in range(step_ops):
+                reader_index = op_index % sessions
+                url = urls_by_reader[reader_index][cursors[reader_index]]
+                cursors[reader_index] += 1
+                with clock.measure() as timer:
+                    readers[reader_index].read_url(url)
+                metrics.record("read_page", timer.elapsed)
+            metrics.finished_at = clock.now()
+            read_stats = metrics.stats("read_page")
+            per_server_mb = [
+                (self.system.file_server(f"web{index}").physical.device
+                     .stats.bytes_read - bytes_before[index]) / (1024 * 1024)
+                for index in range(config.file_servers)
+            ]
+            steps.append({
+                "sessions": sessions,
+                "reads": read_stats.count,
+                "handout_ms": round(handout_timer.elapsed * 1000, 3),
+                "mean_read_ms": round(read_stats.mean * 1000, 3),
+                "read_p50_ms": round(read_stats.p50 * 1000, 3),
+                "read_p99_ms": round(read_stats.p99 * 1000, 3),
+                "ops_per_sim_s": round(metrics.throughput(), 1),
+                "max_mb_read_per_server": round(max(per_server_mb), 1),
+            })
+        return steps
+
     @property
     def urls(self) -> list[str]:
         return list(self._urls)

@@ -16,11 +16,20 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.experiments import ALL_EXPERIMENTS, LARGE_PARAMS
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src"
 COMMITTED_ARTIFACT = REPO_ROOT / "BENCH_smoke.json"
+LARGE_ARTIFACT = REPO_ROOT / "BENCH_large.json"
+
+#: The large tier's capacity acceptance bars, checked against the
+#: *committed* artifact (cheap -- no workload runs here; the gated suite
+#: in ``test_bench_artifact.py`` re-runs the tier for real).
+E14_LARGE_MIN_LINK_OPS = 1_000_000
+E14_LARGE_WALL_BUDGET_S = 60.0
+#: 25% under the pre-optimization steady-state call count (18,520,550).
+E14_LARGE_MAX_PROFILE_CALLS = 13_890_412
 
 #: Fields every per-experiment artifact entry must carry.  ``rows`` and
 #: ``sim_ms`` are the simulated (deterministic) payload; ``wall_clock_s``
@@ -71,3 +80,82 @@ class TestCommittedArtifactShape:
                 assert set(row) == set(headers), \
                     f"{name} row keys diverge from its headers"
             assert isinstance(entry["wall_clock_s"], (int, float))
+
+
+class TestCommittedLargeArtifactShape:
+    """The committed BENCH_large.json (the million-link capacity tier)
+    must be well-formed and must still document its acceptance bars."""
+
+    @pytest.fixture(scope="class")
+    def payload(self) -> dict:
+        if not LARGE_ARTIFACT.exists():
+            pytest.skip("no committed BENCH_large.json in this checkout")
+        with open(LARGE_ARTIFACT, "r", encoding="utf-8") as stream:
+            return json.load(stream)
+
+    def test_top_level_shape(self, payload):
+        assert payload.get("mode") == "large"
+        assert isinstance(payload.get("experiments"), dict)
+        summary = payload.get("wall_clock")
+        assert isinstance(summary, dict)
+        assert isinstance(summary.get("total_s"), (int, float))
+        assert summary["total_s"] > 0
+
+    def test_covers_the_large_tier(self, payload):
+        assert set(payload["experiments"]) == set(LARGE_PARAMS)
+
+    def test_entries_are_well_formed(self, payload):
+        for name, entry in payload["experiments"].items():
+            for field in REQUIRED_ENTRY_FIELDS:
+                assert field in entry, f"{name} entry lacks {field!r}"
+            assert entry["experiment_id"] == name
+            assert isinstance(entry["rows"], list) and entry["rows"], \
+                f"{name} entry carries no result rows"
+            headers = entry["headers"]
+            for row in entry["rows"]:
+                assert set(row) == set(headers), \
+                    f"{name} row keys diverge from its headers"
+            assert isinstance(entry["wall_clock_s"], (int, float))
+
+    def test_e14_million_link_capacity(self, payload):
+        """Every E14-large variant clears the 10^6 charged-op floor and
+        the whole experiment fits the 60 s wall budget (worst committed
+        best-of sample, so re-timing noise is already priced in)."""
+
+        entry = payload["experiments"]["E14"]
+        for row in entry["rows"]:
+            assert row["link_ops"] >= E14_LARGE_MIN_LINK_OPS, \
+                f"E14-large {row['variant']!r} ran only {row['link_ops']} ops"
+        samples = entry.get("wall_clock_samples_s") or [entry["wall_clock_s"]]
+        assert max(samples) < E14_LARGE_WALL_BUDGET_S, \
+            f"E14-large worst sample {max(samples):.1f}s blows the 60s budget"
+
+    def test_e14_profile_calls_hold_the_optimized_line(self, payload):
+        """The committed warm steady-state call count must stay >=25%
+        under the pre-fast-path baseline; regressions must regenerate
+        the artifact and justify the loss."""
+
+        calls = payload["experiments"]["E14"].get("profile_calls")
+        if not calls:
+            pytest.skip("committed BENCH_large.json was written without "
+                        "--profile; no call-count line to hold")
+        assert calls <= E14_LARGE_MAX_PROFILE_CALLS, \
+            (f"E14-large profile_calls {calls} exceeds the optimized "
+             f"ceiling {E14_LARGE_MAX_PROFILE_CALLS}")
+
+    def test_e9_records_the_session_sweep(self, payload):
+        """E9-large must report the concurrent-session sweep steps with
+        throughput and latency percentiles per step."""
+
+        entry = payload["experiments"]["E9"]
+        for column in ("read_p50_ms", "read_p99_ms", "ops_per_sim_s"):
+            assert column in entry["headers"]
+        sweep_rows = [row for row in entry["rows"]
+                      if "session sweep" in row["configuration"]]
+        swept = sorted(int(row["configuration"].split("sweep, ")[1]
+                           .split(" sessions")[0]) for row in sweep_rows)
+        assert swept == [10, 100, 1000, 10000], \
+            f"E9-large swept {swept}, expected [10, 100, 1000, 10000]"
+        for row in sweep_rows:
+            assert row["ops_per_sim_s"] > 0
+            assert row["read_p99_ms"] >= row["read_p50_ms"] > 0

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -26,6 +27,13 @@ from repro.bench.harness import run_all
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 COMMITTED_ARTIFACT = REPO_ROOT / "BENCH_smoke.json"
+LARGE_ARTIFACT = REPO_ROOT / "BENCH_large.json"
+
+#: The large tier re-runs E9-large and E14-large for real (about a
+#: minute of single-threaded work), so its identity and budget guards
+#: only run when explicitly requested; tier-1 CI covers the committed
+#: artifact's shape and acceptance bars cheaply in test_00_ci_guards.
+RUN_LARGE_TIER = os.environ.get("REPRO_LARGE_BENCH") == "1"
 
 #: Keys in a per-experiment artifact entry that are *measured*, not
 #: simulated; everything else must be deterministic.
@@ -186,3 +194,119 @@ class TestCallCountBudget:
             "is deterministic, so a miss is a real hot-path regression — "
             "profile with `python -m repro.bench --profile --smoke`, shed "
             "the per-event work, or justify and regenerate the artifact")
+
+
+# ---------------------------------------------------------------------------
+# Large tier (opt-in): REPRO_LARGE_BENCH=1 re-runs E9/E14 at capacity scale
+# ---------------------------------------------------------------------------
+
+
+def _run_large(tmp_path: Path, tag: str) -> dict:
+    json_path = tmp_path / f"bench_large_{tag}.json"
+    run_all(scale="large", json_path=str(json_path), stream=io.StringIO())
+    with open(json_path, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+@pytest.fixture(scope="module")
+def committed_large() -> dict:
+    if not LARGE_ARTIFACT.exists():
+        pytest.skip("no committed BENCH_large.json to compare against")
+    with open(LARGE_ARTIFACT, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+@pytest.fixture(scope="module")
+def large_payload(tmp_path_factory) -> dict:
+    tmp_path = tmp_path_factory.mktemp("bench_large")
+    return _run_large(tmp_path, "fresh")
+
+
+@pytest.mark.skipif(not RUN_LARGE_TIER,
+                    reason="set REPRO_LARGE_BENCH=1 to re-run the large "
+                           "tier (roughly a minute of workload)")
+class TestLargeTierInvariant:
+    """Golden-value + budget checks for the million-link capacity tier.
+
+    Same contract as the smoke guards above, at capacity scale: the
+    simulated payload of a fresh ``--scale large`` run must be
+    byte-identical to the committed ``BENCH_large.json``, and the wall
+    clock self-calibrates against the committed best-of samples (the
+    baseline is the *worst* sample, the allowance is the same 1.75x the
+    smoke budget uses, so the gate inherits the calibration of whatever
+    machine regenerated the artifact rather than hard-coding seconds).
+    """
+
+    ALLOWED_REGRESSION = 1.75
+    ATTEMPTS = 2
+
+    def test_same_experiments(self, committed_large, large_payload):
+        assert set(large_payload["experiments"]) == \
+            set(committed_large["experiments"])
+
+    def test_simulated_fields_are_identical(self, committed_large,
+                                            large_payload):
+        mismatches = []
+        for name, golden in committed_large["experiments"].items():
+            fresh = large_payload["experiments"][name]
+            for key, value in golden.items():
+                if not _is_sim_key(key):
+                    continue
+                if fresh.get(key) != value:
+                    mismatches.append(f"{name}.{key}")
+            for key in fresh:
+                if _is_sim_key(key) and key not in golden:
+                    mismatches.append(f"{name}.{key} (new field)")
+        assert not mismatches, (
+            "large-tier simulated results drifted from the committed "
+            f"BENCH_large.json baseline: {mismatches}; if the change is "
+            "intentional, regenerate with `python -m repro.bench --scale "
+            "large --profile --best-of 2` from the repository root and "
+            "commit it")
+
+    def test_wall_clock_within_calibrated_budget(self, committed_large,
+                                                 large_payload, tmp_path):
+        baseline = sum(
+            max(entry.get("wall_clock_samples_s")
+                or [entry.get("wall_clock_s", 0.0)])
+            for entry in committed_large["experiments"].values())
+        if baseline <= 0:
+            pytest.skip("committed BENCH_large.json carries no wall-clock "
+                        "baseline")
+        budget = baseline * self.ALLOWED_REGRESSION
+        best = float(large_payload["wall_clock"]["total_s"])
+        attempt = 1
+        while best > budget and attempt < self.ATTEMPTS:
+            attempt += 1
+            retry = _run_large(tmp_path, f"retry{attempt}")
+            best = min(best, float(retry["wall_clock"]["total_s"]))
+        assert best <= budget, (
+            f"--scale large total wall clock regressed: best of {attempt} "
+            f"runs was {best:.1f}s against a committed worst-sample "
+            f"baseline of {baseline:.1f}s (budget {budget:.1f}s)")
+
+    def test_e14_large_call_budget(self, committed_large):
+        """Warm steady-state call count of E14-large, held to the
+        committed ``profile_calls`` with the same 10% headroom the smoke
+        gate uses.  Deterministic, so a miss is a real regression."""
+
+        baseline = committed_large["experiments"]["E14"].get("profile_calls")
+        if not baseline:
+            pytest.skip("committed BENCH_large.json carries no "
+                        "profile_calls baseline; regenerate with --profile")
+        import cProfile
+
+        import pstats
+
+        from repro.bench.experiments import run_experiment
+
+        run_experiment("E14", scale="large")  # warm the caches
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_experiment("E14", scale="large")
+        profiler.disable()
+        fresh = pstats.Stats(profiler).total_calls
+        budget = int(baseline * 1.10)
+        assert fresh <= budget, (
+            f"E14-large now executes {fresh} Python calls against the "
+            f"committed steady-state baseline {baseline} (budget {budget})")
