@@ -19,6 +19,8 @@ policy between ``"immediate"`` (one log force per commit) and ``"group"``
 
 from __future__ import annotations
 
+import contextlib
+
 from repro.datalinks.engine import HostTransaction
 from repro.datalinks.uip import (
     FileUpdateTransaction,
@@ -30,12 +32,15 @@ from repro.errors import DataLinksError
 from repro.fs.inode import FileAttributes
 from repro.fs.logical import LogicalFileSystem
 from repro.fs.vfs import Credentials, OpenFlags
+from repro.simclock import synchronized_call
 
 class SyncedFileSystem:
     """A file server's LFS as seen from another clock domain.
 
-    Sessions run beside the host database (the ``host`` clock domain); the
-    file they open lives on a file server with its own domain.  This proxy
+    Sessions run beside the host database (the ``host`` clock domain) or --
+    when constructed through :meth:`DataLinksSystem.client_domains` -- on
+    their own per-client domain; the file they open lives on a file server
+    with its own domain.  This proxy
     brackets every file-system call with the merge-at-sync protocol: the
     server's clock syncs up to the client's send time, the call's work
     accrues on the server's timeline, and the client's clock merges up to
@@ -82,31 +87,40 @@ class SyncedFileSystem:
         return synced_call
 
 
-def synced_lfs(system, server_name: str):
-    """The LFS of *server_name*, clock-synchronized to the host domain.
+def synced_lfs(system, server_name: str, client_clock=None):
+    """The LFS of *server_name*, clock-synchronized to the caller's domain.
 
-    Proxies are cached per server name on the system: a name binds to one
-    :class:`FileServer` for the system's lifetime (``add_file_server``
-    refuses duplicates), so the proxy -- and the per-method wrappers it
-    accumulates -- can be reused across every session call.
+    ``client_clock`` defaults to the host domain (the classic co-located
+    session); a session riding its own client domain passes that domain so
+    file-system calls sync *its* timeline against the server's.  Proxies
+    are cached on the system -- per server name for host-clock callers (a
+    name binds to one :class:`FileServer` for the system's lifetime;
+    ``add_file_server`` refuses duplicates), per ``(server, client)`` pair
+    otherwise -- so the proxy and the per-method wrappers it accumulates
+    are reused across every session call.
     """
 
     try:
         cache = system._synced_lfs_cache
     except AttributeError:
         cache = system._synced_lfs_cache = {}
+    client = system.clock if client_clock is None else client_clock
+    if client is system.clock:
+        key = server_name
+    else:
+        key = (server_name, id(client))
     try:
-        proxy = cache[server_name]
+        proxy = cache[key]
     except KeyError:
         proxy = None
     if proxy is None:
         file_server = system.file_server(server_name)
-        if file_server.clock is system.clock:
+        if file_server.clock is client:
             proxy = file_server.lfs
         else:
-            proxy = SyncedFileSystem(file_server.lfs, system.clock,
+            proxy = SyncedFileSystem(file_server.lfs, client,
                                      file_server.clock)
-        cache[server_name] = proxy
+        cache[key] = proxy
     return proxy
 
 
@@ -169,30 +183,76 @@ class BoundFileSystem:
 
 
 class Session:
-    """One application's view of the system."""
+    """One application's view of the system.
 
-    def __init__(self, system, cred: Credentials):
+    ``clock`` binds the session to a client clock domain (see
+    :meth:`repro.api.system.DataLinksSystem.client_domains`); it defaults
+    to the host domain, the classic co-located client.  A session on its
+    own domain barriers through the host for SQL-path work
+    (:meth:`_host_barrier`) and syncs file-system calls directly against
+    the serving node's domain, so its timeline measures true end-to-end
+    latency including queueing behind other clients.
+    """
+
+    def __init__(self, system, cred: Credentials, clock=None):
         self.system = system
         self.cred = cred
+        self.clock = system.clock if clock is None else clock
+        #: True when this session rides its own client domain (the SQL
+        #: path must then two-way merge with the host domain per call).
+        self._remote = self.clock is not system.clock
         self._txn: HostTransaction | None = None
+
+    def _host_barrier(self):
+        """Two-way merge with the host domain around SQL-path work.
+
+        A no-op context for host-clock sessions (``synchronized_call``
+        yields immediately when caller and callee are the same clock).
+        """
+
+        return synchronized_call(self.clock, self.system.clock)
+
+    @contextlib.contextmanager
+    def admitted(self):
+        """Hold a host admission slot for the duration of the block.
+
+        Yields the :class:`~repro.api.admission.AdmissionTicket` (``None``
+        when the system runs without admission control).  Queue delay is
+        charged to this session's clock by the controller, so a stopwatch
+        around the whole block measures end-to-end latency including the
+        wait for a connection slot.
+        """
+
+        controller = getattr(self.system, "admission", None)
+        if controller is None:
+            yield None
+            return
+        ticket = controller.acquire(self.clock)
+        try:
+            yield ticket
+        finally:
+            controller.release(ticket, self.clock)
 
     # -------------------------------------------------------------- transactions --
     def begin(self) -> HostTransaction:
         if self._txn is not None:
             raise DataLinksError("a transaction is already active in this session")
-        self._txn = self.system.engine.begin()
+        with self._host_barrier():
+            self._txn = self.system.engine.begin()
         return self._txn
 
     def commit(self) -> None:
         if self._txn is None:
             raise DataLinksError("no active transaction")
-        self.system.engine.commit(self._txn)
+        with self._host_barrier():
+            self.system.engine.commit(self._txn)
         self._txn = None
 
     def abort(self) -> None:
         if self._txn is None:
             raise DataLinksError("no active transaction")
-        self.system.engine.abort(self._txn)
+        with self._host_barrier():
+            self.system.engine.abort(self._txn)
         self._txn = None
 
     @property
@@ -232,31 +292,39 @@ class Session:
         from repro.storage.sql import SQLExecutor
 
         executor = SQLExecutor(self.system.host_db, engine=self.system.engine)
-        return executor.execute(statement, self._txn)
+        with self._host_barrier():
+            return executor.execute(statement, self._txn)
 
     def insert(self, table: str, row: dict) -> int:
-        return self.system.engine.insert(table, row, self._txn)
+        with self._host_barrier():
+            return self.system.engine.insert(table, row, self._txn)
 
     def insert_many(self, table: str, rows: list[dict]) -> list[int]:
         """Multi-row INSERT with batched (pipelined) link processing."""
 
-        return self.system.engine.insert_many(table, rows, self._txn)
+        with self._host_barrier():
+            return self.system.engine.insert_many(table, rows, self._txn)
 
     def update(self, table: str, where, changes: dict) -> int:
-        return self.system.engine.update(table, where, changes, self._txn)
+        with self._host_barrier():
+            return self.system.engine.update(table, where, changes, self._txn)
 
     def delete(self, table: str, where) -> int:
-        return self.system.engine.delete(table, where, self._txn)
+        with self._host_barrier():
+            return self.system.engine.delete(table, where, self._txn)
 
     def select(self, table: str, where=None, **kwargs) -> list[dict]:
-        return self.system.engine.select(table, where, self._txn, **kwargs)
+        with self._host_barrier():
+            return self.system.engine.select(table, where, self._txn, **kwargs)
 
     def get_datalink(self, table: str, where, column: str, *,
                      access: str = "read", ttl: float | None = None) -> str | None:
         """Retrieve a DATALINK URL with an embedded access token."""
 
-        return self.system.engine.get_datalink(table, where, column, access=access,
-                                               host_txn=self._txn, ttl=ttl)
+        with self._host_barrier():
+            return self.system.engine.get_datalink(
+                table, where, column, access=access,
+                host_txn=self._txn, ttl=ttl)
 
     def get_datalink_many(self, table: str, wheres, column: str, *,
                           access: str = "read", ttl: float | None = None) -> list:
@@ -268,14 +336,17 @@ class Session:
         :meth:`repro.datalinks.engine.DataLinksEngine.get_datalink_many`).
         """
 
-        return self.system.engine.get_datalink_many(
-            table, wheres, column, access=access, host_txn=self._txn, ttl=ttl)
+        with self._host_barrier():
+            return self.system.engine.get_datalink_many(
+                table, wheres, column, access=access,
+                host_txn=self._txn, ttl=ttl)
 
     # --------------------------------------------------------------- file path --
     def fs(self, server: str) -> BoundFileSystem:
         """The ordinary file-system API of *server*, as this session's user."""
 
-        return BoundFileSystem(synced_lfs(self.system, server), self.cred)
+        return BoundFileSystem(synced_lfs(self.system, server, self.clock),
+                               self.cred)
 
     def put_file(self, server: str, path: str, content: bytes) -> str:
         """Create *path* on *server* with *content* (before linking it).
@@ -285,7 +356,7 @@ class Session:
         workloads do not need to pre-create a directory tree.
         """
 
-        lfs = synced_lfs(self.system, server)
+        lfs = synced_lfs(self.system, server, self.clock)
         directory = path.rsplit("/", 1)[0] or "/"
         root_cred = Credentials(uid=0, gid=0, username="root")
         if directory != "/":
@@ -306,7 +377,9 @@ class Session:
         witness shares its primary's signing secret.
         """
 
-        lfs = synced_lfs(self.system, server or self._route_url(url, write=False))
+        lfs = synced_lfs(self.system,
+                         server or self._route_url(url, write=False),
+                         self.clock)
         fd = open_for_read(lfs, url, self.cred)
         try:
             return lfs.read(fd)
@@ -327,7 +400,7 @@ class Session:
         """
 
         server = self._route_url(url, write=True)
-        lfs = synced_lfs(self.system, server)
+        lfs = synced_lfs(self.system, server, self.clock)
         return FileUpdateTransaction(
             lfs, url, self.cred, truncate=truncate,
             abort_callback=lambda srv, path: self.system.abort_file_update(server, path))
@@ -346,7 +419,7 @@ class Session:
     def open_url(self, url: str, flags: OpenFlags) -> int:
         """Open a tokenized URL with explicit flags; returns the fd."""
 
-        lfs = synced_lfs(self.system, self._server_of(url))
+        lfs = synced_lfs(self.system, self._server_of(url), self.clock)
         return lfs.open(tokenized_path(url), flags, self.cred)
 
     def _server_of(self, url: str) -> str:

@@ -139,6 +139,9 @@ class DataLinksSystem:
         self.archive = ArchiveServer(self.clocks.domain("archive"))
         self.file_servers: dict[str, FileServer] = {}
         self._backup_coordinator = BackupCoordinator(self.host_db, {})
+        #: Host-side connection gate; ``None`` (the default) admits every
+        #: client instantly.  See :meth:`enable_admission`.
+        self.admission = None
 
     # ------------------------------------------------------------------ topology --
     def add_file_server(self, name: str, dbms_uid: int = DEFAULT_DBMS_UID,
@@ -186,10 +189,54 @@ class DataLinksSystem:
         self.engine.register_metadata_columns(table, column, size_column, mtime_column)
 
     # ------------------------------------------------------------------ sessions --
-    def session(self, username: str, uid: int, gid: int = 100) -> "Session":
+    def session(self, username: str, uid: int, gid: int = 100,
+                clock=None) -> "Session":
+        """A session for *username*; ``clock`` binds it to a client domain.
+
+        Without ``clock`` the session is co-located with the host database
+        (the classic model).  Pass one of :meth:`client_domains`'s clocks
+        to give the session its own timeline that barriers through the
+        host like any IPC.
+        """
+
         from repro.api.session import Session
 
-        return Session(self, Credentials(uid=uid, gid=gid, username=username))
+        return Session(self, Credentials(uid=uid, gid=gid, username=username),
+                       clock=clock)
+
+    def client_domains(self, count: int, *, limit: int | None = None,
+                       prefix: str = "client") -> list:
+        """Clock domains for *count* concurrent clients (pooled at *limit*).
+
+        Delegates to :meth:`repro.simclock.ClockDomainGroup.session_domains`
+        with the host domain as the base: with
+        :data:`repro.simclock.SESSION_DOMAINS` off (or in serial mode)
+        every client shares the host clock, the serialized reference
+        model.
+        """
+
+        return self.clocks.session_domains(count, self.clock, limit=limit,
+                                           prefix=prefix)
+
+    def enable_admission(self, limit: int):
+        """Gate client operations behind *limit* host connection slots.
+
+        Returns the :class:`~repro.api.admission.AdmissionController`.
+        Sessions hold a slot across an operation via
+        :meth:`repro.api.session.Session.admitted`; when every slot is
+        busy the client's clock waits (measured queue delay) until the
+        earliest slot frees, FIFO in simulated arrival order.
+        """
+
+        from repro.api.admission import AdmissionController
+
+        self.admission = AdmissionController(limit)
+        return self.admission
+
+    def disable_admission(self) -> None:
+        """Remove the connection gate (clients admit instantly again)."""
+
+        self.admission = None
 
     # -------------------------------------------------------------- durability knobs --
     @property

@@ -42,6 +42,38 @@ from repro.workloads.webserver import (
 FILES_TABLE = "managed_files"
 OWNER_UID = 1001
 
+#: Set by the bench harness during a ``--profile`` run: a zero-argument
+#: callable returning the profiler's cumulative function-call count so
+#: far.  Sweep experiments use it (via :func:`_profile_step_hook`) to
+#: attribute deterministic ``profile_calls`` deltas to each sweep step
+#: instead of only the per-experiment total.  ``None`` outside profiled
+#: runs.
+PROFILE_SNAPSHOT = None
+
+
+def _profile_step_hook():
+    """A per-step call-count delta hook for sweep loops.
+
+    Returns ``None`` when no profiler is attached; otherwise a
+    zero-argument callable whose each invocation returns the number of
+    profiled function calls since the previous invocation (the first
+    interval starts here, at hook creation -- call this right before
+    entering the sweep).
+    """
+
+    snapshot = PROFILE_SNAPSHOT
+    if snapshot is None:
+        return None
+    state = {"last": snapshot()}
+
+    def hook() -> int:
+        current = snapshot()
+        delta = current - state["last"]
+        state["last"] = current
+        return delta
+
+    return hook
+
 
 # ---------------------------------------------------------------------------
 # shared scaffolding
@@ -647,7 +679,9 @@ def experiment_e8() -> ExperimentResult:
 def experiment_e9(pages: int = 24, operations: int = 200,
                   page_size: int = 64 * 1024,
                   clients: int = 1,
-                  session_sweep: tuple = ()) -> ExperimentResult:
+                  session_sweep: tuple = (),
+                  admission_limit: int | None = None,
+                  client_think_s: float = 0.0) -> ExperimentResult:
     rows = []
     for servers in (1, 2, 4):
         config = WebSiteConfig(pages=pages, operations=operations, page_size=page_size,
@@ -668,6 +702,8 @@ def experiment_e9(pages: int = 24, operations: int = 200,
             "mean_read_ms": round(reads.mean * 1000, 3),
             "read_p50_ms": round(reads.p50 * 1000, 3),
             "read_p99_ms": round(reads.p99 * 1000, 3),
+            "queue_p50_ms": 0.0,
+            "queue_p99_ms": 0.0,
             "mean_update_ms": round(metrics.stats("update_page").mean * 1000, 3),
             "ops_per_sim_s": round(metrics.throughput(), 1),
             "max_mb_read_per_server": round(max(per_server_mb), 1),
@@ -694,6 +730,8 @@ def experiment_e9(pages: int = 24, operations: int = 200,
         "mean_read_ms": round(rdd_reads.mean * 1000, 3),
         "read_p50_ms": round(rdd_reads.p50 * 1000, 3),
         "read_p99_ms": round(rdd_reads.p99 * 1000, 3),
+        "queue_p50_ms": 0.0,
+        "queue_p99_ms": 0.0,
         "mean_update_ms": round(metrics.stats("update_page").mean * 1000, 3),
         "ops_per_sim_s": round(metrics.throughput(), 1),
         "max_mb_read_per_server": round(rdd_mb, 1),
@@ -712,29 +750,41 @@ def experiment_e9(pages: int = 24, operations: int = 200,
         "mean_read_ms": round(blob_reads.mean * 1000, 3),
         "read_p50_ms": round(blob_reads.p50 * 1000, 3),
         "read_p99_ms": round(blob_reads.p99 * 1000, 3),
+        "queue_p50_ms": 0.0,
+        "queue_p99_ms": 0.0,
         "mean_update_ms": round(metrics.stats("update_page").mean * 1000, 3),
         "ops_per_sim_s": round(metrics.throughput(), 1),
         "max_mb_read_per_server": 0.0,
         "host_db_read_mb": round(blob_bytes / (1024 * 1024), 1),
         "token_cache_hit_pct": 0.0,
     })
+    profile_steps = {}
     if session_sweep:
         # Concurrent-session sweep: tokenized (rdd) reads so every page
-        # retrieval exercises the vectorized bulk token handout.
+        # retrieval exercises the vectorized bulk token handout.  Every
+        # swept session rides its own client clock domain through the
+        # host admission gate (see repro.workloads.clients).
         sweep_config = WebSiteConfig(pages=pages, operations=operations,
                                      page_size=page_size, file_servers=4,
-                                     control_mode=ControlMode.RDD)
+                                     control_mode=ControlMode.RDD,
+                                     admission_limit=admission_limit,
+                                     client_think_s=client_think_s)
         sweep = WebServerWorkload(sweep_config).setup()
-        for step in sweep.run_session_sweep(tuple(session_sweep)):
+        gate = f", admission limit {admission_limit}" \
+            if admission_limit is not None else ""
+        for step in sweep.run_session_sweep(tuple(session_sweep),
+                                            step_hook=_profile_step_hook()):
             cache = sweep.system.engine.token_cache_stats()
+            label = (f"rdd session sweep, {step['sessions']} sessions{gate} "
+                     f"(bulk handout {step['handout_ms']} ms)")
             rows.append({
-                "configuration": f"rdd session sweep, "
-                                 f"{step['sessions']} sessions (bulk handout "
-                                 f"{step['handout_ms']} ms)",
+                "configuration": label,
                 "reads": step["reads"],
                 "mean_read_ms": step["mean_read_ms"],
                 "read_p50_ms": step["read_p50_ms"],
                 "read_p99_ms": step["read_p99_ms"],
+                "queue_p50_ms": step["queue_p50_ms"],
+                "queue_p99_ms": step["queue_p99_ms"],
                 "mean_update_ms": 0.0,
                 "ops_per_sim_s": step["ops_per_sim_s"],
                 "max_mb_read_per_server": step["max_mb_read_per_server"],
@@ -742,7 +792,9 @@ def experiment_e9(pages: int = 24, operations: int = 200,
                 "token_cache_hit_pct": round(100.0 * cache.get("hit_rate", 0.0), 1)
                 if cache.get("enabled") else 0.0,
             })
-    return ExperimentResult(
+            if step.get("profile_calls") is not None:
+                profile_steps[label] = step["profile_calls"]
+    result = ExperimentResult(
         experiment_id="E9",
         title="Read-mostly web workload: DataLinks scale-out vs BLOB-in-DB",
         paper_claim="DataLinks keeps the read path almost free of database "
@@ -750,7 +802,8 @@ def experiment_e9(pages: int = 24, operations: int = 200,
                     "servers, unlike LOB/BLOB storage which funnels every byte "
                     "through the database server (Section 1).",
         headers=["configuration", "reads", "mean_read_ms", "read_p50_ms",
-                 "read_p99_ms", "mean_update_ms", "ops_per_sim_s",
+                 "read_p99_ms", "queue_p50_ms", "queue_p99_ms",
+                 "mean_update_ms", "ops_per_sim_s",
                  "max_mb_read_per_server", "host_db_read_mb",
                  "token_cache_hit_pct"],
         rows=rows,
@@ -759,13 +812,22 @@ def experiment_e9(pages: int = 24, operations: int = 200,
               "volume through the host database instead.  The host-side token "
               "cache is on by default in the web workload: rfd reads need no "
               "token, so its hit rate reflects the write-token handouts of the "
-              "Zipf-hot page updates.  Session-sweep rows (large tier) spread "
-              "a tokenized rdd read mix over N concurrent visitor sessions; "
-              "each session's read tokens are minted in one vectorized "
+              "Zipf-hot page updates.  Session-sweep rows spread a tokenized "
+              "rdd read mix over N concurrent visitor sessions, each on its "
+              "own client clock domain behind the host admission gate: a "
+              "session acquires a connection slot (measured queue delay, "
+              "the queue_* columns), thinks while holding it, reads, and "
+              "releases -- so once N exceeds the admission limit, "
+              "ops_per_sim_s flattens at the limit (the saturation knee) "
+              "while read_p99_ms keeps growing with the queue.  Each "
+              "session's read tokens are minted in one vectorized "
               "get_datalink_many handout whose cost the row reports "
               "separately, and throughput counts the handout inside the "
               "measured window.",
     )
+    if profile_steps:
+        result.extra["profile_steps"] = profile_steps
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -850,7 +912,10 @@ def experiment_e10(repeats: int = 20) -> ExperimentResult:
 def experiment_e11(shards: int = 8, clients: int = 4,
                    transactions_per_client: int = 3,
                    rows_per_transaction: int = 16,
-                   file_size: int = 512) -> ExperimentResult:
+                   file_size: int = 512,
+                   client_sweep: tuple = (),
+                   sweep_admission_limit: int | None = None,
+                   sweep_think_s: float = 0.0) -> ExperimentResult:
     """Link throughput of the scale-out layer versus the per-row baseline.
 
     Links use rdb mode (token-protected reads), so every link drives the
@@ -876,6 +941,8 @@ def experiment_e11(shards: int = 8, clients: int = 4,
             "links": metrics.counters.get("links", 0),
             "links_per_sim_s": round(workload.link_throughput(metrics), 1),
             "mean_txn_ms": round(metrics.stats("link_txn").mean * 1000, 3),
+            "txn_p99_ms": round(metrics.stats("link_txn").p99 * 1000, 3),
+            "queue_p99_ms": 0.0,
             "host_log_flushes": stats["host_log_flushes"],
             "max_links_per_shard": max(per_shard) if per_shard else 0,
         }
@@ -897,13 +964,46 @@ def experiment_e11(shards: int = 8, clients: int = 4,
             shards=shards, batch_links=True, flush_policy="group",
             group_commit_window=8),
     ]
+    profile_steps = {}
+    if client_sweep:
+        # Concurrent-writer sweep: every ingest client on its own clock
+        # domain, admitted through the host connection gate, committing
+        # one batched link transaction per operation through its own
+        # session (client <-> host barriers per SQL call).
+        sweep_config = ScaleOutConfig(shards=shards, clients=0,
+                                      transactions_per_client=0,
+                                      rows_per_transaction=rows_per_transaction,
+                                      file_size=file_size,
+                                      control_mode=_ControlMode.RDB,
+                                      batch_links=True, flush_policy="group",
+                                      group_commit_window=8)
+        sweep = ScaleOutWorkload(sweep_config).setup()
+        gate = f", admission limit {sweep_admission_limit}" \
+            if sweep_admission_limit is not None else ""
+        for step in sweep.run_client_sweep(
+                tuple(client_sweep), transactions_per_client=1,
+                admission_limit=sweep_admission_limit,
+                think_s=sweep_think_s, step_hook=_profile_step_hook()):
+            label = f"client sweep, {step['clients']} clients{gate}"
+            rows.append({
+                "configuration": label,
+                "links": step["links"],
+                "links_per_sim_s": step["links_per_sim_s"],
+                "mean_txn_ms": step["txn_mean_ms"],
+                "txn_p99_ms": step["txn_p99_ms"],
+                "queue_p99_ms": step["queue_p99_ms"],
+                "host_log_flushes": step["host_log_flushes"],
+                "max_links_per_shard": step["max_links_per_shard"],
+            })
+            if step.get("profile_calls") is not None:
+                profile_steps[label] = step["profile_calls"]
     baseline_row = next(
         row for row in rows
         if row["configuration"] == "1 server, per-row links, immediate flush")
     baseline = baseline_row["links_per_sim_s"] or 1.0
     for row in rows:
         row["speedup_vs_baseline"] = round(row["links_per_sim_s"] / baseline, 2)
-    return ExperimentResult(
+    result = ExperimentResult(
         experiment_id="E11",
         title="Scale-out: sharded DLFMs with group commit and batched pipelines",
         paper_claim="Beyond the paper: hash-sharding linked files over many "
@@ -914,7 +1014,8 @@ def experiment_e11(shards: int = 8, clients: int = 4,
                     "batch) should raise link throughput well above the "
                     "serial one-server, per-row, per-commit-flush baseline.",
         headers=["configuration", "links", "links_per_sim_s", "mean_txn_ms",
-                 "host_log_flushes", "max_links_per_shard", "speedup_vs_baseline"],
+                 "txn_p99_ms", "queue_p99_ms", "host_log_flushes",
+                 "max_links_per_shard", "speedup_vs_baseline"],
         rows=rows,
         notes="speedup_vs_baseline is relative to the 1-server clock-domain "
               "row.  The serial-clock rows reproduce the old single-timeline "
@@ -924,8 +1025,17 @@ def experiment_e11(shards: int = 8, clients: int = 4,
               "shards (the fourth row's win is parallelism alone), and "
               "batching plus WAL group commit stack on top of it while "
               "sharding spreads the linked files (max_links_per_shard) and "
-              "with them the data-path load.",
+              "with them the data-path load.  Client-sweep rows drive N "
+              "concurrent writers, each on its own client clock domain "
+              "behind the host admission gate, committing one batched link "
+              "transaction apiece: queue_p99_ms is the measured admission "
+              "queue delay and txn latency is end-to-end on the client's "
+              "timeline, so throughput saturates on whichever is tighter -- "
+              "the admission limit or the host commit path.",
     )
+    if profile_steps:
+        result.extra["profile_steps"] = profile_steps
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -936,7 +1046,11 @@ def experiment_e12(shards: int = 4, files: int = 32, reads_per_phase: int = 48,
                    file_size: int = 2048,
                    rows_per_transaction: int = 8,
                    follower_read_batch: int = 24,
-                   writes_per_phase: int = 8) -> ExperimentResult:
+                   writes_per_phase: int = 8,
+                   client_sweep: tuple = (),
+                   sweep_admission_limit: int | None = None,
+                   sweep_think_s: float = 0.0,
+                   sweep_reads_per_client: int = 1) -> ExperimentResult:
     """Availability across a shard primary crash: reads, writes, follower reads."""
 
     from repro.workloads.failover import FailoverConfig, FailoverWorkload
@@ -969,6 +1083,9 @@ def experiment_e12(shards: int = 4, files: int = 32, reads_per_phase: int = 48,
                 workload.follower_read_throughput(metrics), 1),
             "mean_read_ms_after": round(
                 metrics.stats("read_after").mean * 1000, 3),
+            "read_p99_ms": round(
+                metrics.stats("read_after").p99 * 1000, 3),
+            "queue_p99_ms": 0.0,
             "failover_ms": round(metrics.stats("promotion").mean * 1000, 3),
         }
 
@@ -979,7 +1096,46 @@ def experiment_e12(shards: int = 4, files: int = 32, reads_per_phase: int = 48,
         run(f"{shards} shards, 2 witnesses, writable failover + follower reads",
             True, witnesses=2),
     ]
-    return ExperimentResult(
+    profile_steps = {}
+    if client_sweep:
+        # Concurrent-reader sweep over a healthy replicated cluster:
+        # every reader on its own client clock domain behind the host
+        # admission gate, its reads routed over the serving node and its
+        # witnesses.  The per-client replacement for the single
+        # follower-read scatter-gather burst.
+        sweep_config = FailoverConfig(shards=shards, files=files,
+                                      reads_per_phase=reads_per_phase,
+                                      file_size=file_size,
+                                      rows_per_transaction=rows_per_transaction,
+                                      follower_read_batch=follower_read_batch,
+                                      writes_per_phase=writes_per_phase,
+                                      replication=True, witnesses=1)
+        sweep = FailoverWorkload(sweep_config).setup()
+        gate = f", admission limit {sweep_admission_limit}" \
+            if sweep_admission_limit is not None else ""
+        for step in sweep.run_read_sweep(
+                tuple(client_sweep),
+                reads_per_client=sweep_reads_per_client,
+                admission_limit=sweep_admission_limit,
+                think_s=sweep_think_s, step_hook=_profile_step_hook()):
+            label = f"routed read sweep, {step['clients']} clients{gate}"
+            rows.append({
+                "configuration": label,
+                "links_per_sim_s": 0.0,
+                "victim_reads_after": 0,
+                "victim_failures_after": step["reads_failed"],
+                "victim_availability_pct": 0.0,
+                "write_availability_pct": 0.0,
+                "writes_ok_after": 0,
+                "follower_reads_per_sim_s": step["reads_per_sim_s"],
+                "mean_read_ms_after": step["read_mean_ms"],
+                "read_p99_ms": step["read_p99_ms"],
+                "queue_p99_ms": step["queue_p99_ms"],
+                "failover_ms": 0.0,
+            })
+            if step.get("profile_calls") is not None:
+                profile_steps[label] = step["profile_calls"]
+    result = ExperimentResult(
         experiment_id="E12",
         title="Shard replication: writable failover, follower reads, availability",
         paper_claim="Beyond the paper: shipping each shard's repository WAL "
@@ -997,7 +1153,8 @@ def experiment_e12(shards: int = 4, files: int = 32, reads_per_phase: int = 48,
                  "victim_reads_after", "victim_failures_after",
                  "victim_availability_pct", "write_availability_pct",
                  "writes_ok_after", "follower_reads_per_sim_s",
-                 "mean_read_ms_after", "failover_ms"],
+                 "mean_read_ms_after", "read_p99_ms", "queue_p99_ms",
+                 "failover_ms"],
         rows=rows,
         notes="Reads use rdb-linked files, so every read needs its token "
               "validated by the node serving it -- failover and follower "
@@ -1013,8 +1170,17 @@ def experiment_e12(shards: int = 4, files: int = 32, reads_per_phase: int = 48,
               "serving node + witnesses makes it scale with the witness "
               "count.  An epoch fence keeps the deposed ex-primary from "
               "serving anything until it rejoins the (reversed) WAL stream "
-              "at fail-back.",
+              "at fail-back.  Routed-read-sweep rows drive N concurrent "
+              "readers over a healthy 1-witness cluster, each on its own "
+              "client clock domain behind the host admission gate "
+              "(queue_p99_ms is the measured queue delay, and the latency "
+              "columns are end-to-end on the reader's timeline); the "
+              "crash-phase columns are zero for those rows by "
+              "construction.",
     )
+    if profile_steps:
+        result.extra["profile_steps"] = profile_steps
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -1246,13 +1412,19 @@ SMOKE_PARAMS = {
     "E6": {},
     "E7": {},
     "E8": {},
-    "E9": {"pages": 4, "operations": 10, "page_size": 4 * 1024},
+    "E9": {"pages": 4, "operations": 10, "page_size": 4 * 1024,
+           "session_sweep": (2, 4), "admission_limit": 2,
+           "client_think_s": 0.05},
     "E10": {"repeats": 2},
     "E11": {"shards": 2, "clients": 2, "transactions_per_client": 1,
-            "rows_per_transaction": 4, "file_size": 256},
+            "rows_per_transaction": 4, "file_size": 256,
+            "client_sweep": (2, 4), "sweep_admission_limit": 2,
+            "sweep_think_s": 0.02},
     "E12": {"shards": 2, "files": 8, "reads_per_phase": 8, "file_size": 256,
             "rows_per_transaction": 4, "follower_read_batch": 8,
-            "writes_per_phase": 4},
+            "writes_per_phase": 4,
+            "client_sweep": (2, 4), "sweep_admission_limit": 2,
+            "sweep_think_s": 0.02},
     "E13": {"shards": 2, "hot_files": 4, "cold_files": 4, "file_size": 256,
             "reads_per_phase": 8, "links_per_phase": 4},
     "E14": {"shards": 3, "prefixes": 6, "rounds": 6, "links_per_round": 6,
@@ -1263,13 +1435,27 @@ SMOKE_PARAMS = {
 #: Scaled-up overrides for the ``--scale large`` bench tier.  These runs
 #: exist to exercise the vectorized-schedule fast paths at volume -- E14 at
 #: roughly 100x the smoke operation count (12 rounds x (120 links + 1080
-#: reads) = 14,400 burst operations against smoke's 144) and E9 with the
-#: operation mix spread over 1,200 concurrent reader sessions.  The tier
-#: is *not* part of tier-1 CI and writes no artifact by default; the
-#: working budget is that E14 completes in well under a minute.
+#: reads) = 14,400 burst operations against smoke's 144), E9 with the
+#: operation mix spread over 1,200 concurrent reader sessions plus a
+#: 10..10,000-session admission-control sweep (each session on its own
+#: client clock domain; the sweep is where the saturation knee lives),
+#: E11 with a 10..1,000 concurrent-writer sweep and E12 with a
+#: 10..10,000 concurrent routed-reader sweep.  The tier is *not* part of
+#: tier-1 CI and writes no artifact by default; the working budget is
+#: that E14 completes in well under a minute.
 LARGE_PARAMS = {
     "E9": {"pages": 64, "operations": 2400, "page_size": 16 * 1024,
-           "clients": 1200, "session_sweep": (10, 100, 1000, 10000)},
+           "clients": 1200, "session_sweep": (10, 100, 1000, 10000),
+           "admission_limit": 128, "client_think_s": 2.0},
+    "E11": {"shards": 8, "clients": 4, "transactions_per_client": 3,
+            "rows_per_transaction": 8, "file_size": 512,
+            "client_sweep": (10, 100, 1000),
+            "sweep_admission_limit": 64, "sweep_think_s": 0.2},
+    "E12": {"shards": 4, "files": 32, "reads_per_phase": 48,
+            "file_size": 2048, "rows_per_transaction": 8,
+            "follower_read_batch": 24, "writes_per_phase": 8,
+            "client_sweep": (10, 100, 1000, 10000),
+            "sweep_admission_limit": 256, "sweep_think_s": 0.2},
     "E14": {"shards": 4, "prefixes": 12, "rounds": 12,
             "links_per_round": 120, "reads_per_round": 1080,
             "file_size": 512},

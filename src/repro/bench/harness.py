@@ -22,6 +22,12 @@ same code (the tier-1 invariant test enforces this).
 ``--profile`` wraps every experiment in :mod:`cProfile` and attaches the
 top-N cumulative-time rows to the artifact (and prints them), so "what got
 slow" is answered by the artifact itself instead of an ad-hoc rerun.
+Sweep experiments additionally attribute the deterministic call count
+per sweep *step* (``profile_steps`` in the artifact entry, keyed by the
+step's row label): the harness installs a pause-read-resume snapshot of
+the live profiler as
+:data:`repro.bench.experiments.PROFILE_SNAPSHOT`, and the sweep loops
+record the delta each step consumed.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ import pstats
 import sys
 import time
 
+from repro.bench import experiments as experiments_module
 from repro.bench.experiments import (ALL_EXPERIMENTS, LARGE_PARAMS,
                                      run_experiment)
 from repro.bench.metrics import ExperimentResult
@@ -69,6 +76,26 @@ def _profile_summary(profiler: cProfile.Profile,
             "cumtime_s": round(cumtime, 4),
         })
     return {"total_calls": stats.total_calls, "rows": rows}
+
+
+def _snapshot_for(profiler: cProfile.Profile):
+    """A call-count snapshot callable for *profiler* (per-step attribution).
+
+    Installed as :data:`repro.bench.experiments.PROFILE_SNAPSHOT` around
+    a profiled run: sweep experiments invoke it between steps to charge
+    each step its own deterministic slice of the call count.  The
+    profiler is paused for the duration of the read so the snapshot's
+    own bookkeeping never lands in the profile.
+    """
+
+    def snapshot() -> int:
+        profiler.disable()
+        try:
+            return sum(entry.callcount for entry in profiler.getstats())
+        finally:
+            profiler.enable()
+
+    return snapshot
 
 
 def _render_profile(identifier: str, summary: dict) -> str:
@@ -132,6 +159,8 @@ def write_artifact(results: list[ExperimentResult], wall_clock: dict,
         if profiles and identifier in profiles:
             entry["profile"] = profiles[identifier]["rows"]
             entry["profile_calls"] = profiles[identifier]["total_calls"]
+            if result.extra.get("profile_steps"):
+                entry["profile_steps"] = result.extra["profile_steps"]
         experiments[identifier] = entry
     payload = {
         "mode": mode if mode is not None else ("smoke" if smoke else "full"),
@@ -210,16 +239,26 @@ def run_all(experiment_ids: list[str] | None = None, *,
                     started = time.time()
                     run_experiment(identifier, scale=scale)
                     samples.append(time.time() - started)
-                profiler.enable()
-                result = run_experiment(identifier, scale=scale)
-                profiler.disable()
+                experiments_module.PROFILE_SNAPSHOT = _snapshot_for(profiler)
+                try:
+                    profiler.enable()
+                    result = run_experiment(identifier, scale=scale)
+                    profiler.disable()
+                finally:
+                    experiments_module.PROFILE_SNAPSHOT = None
             else:
                 started = time.time()
                 if profiler is not None:
-                    profiler.enable()
-                result = run_experiment(identifier, scale=scale)
-                if profiler is not None:
-                    profiler.disable()
+                    experiments_module.PROFILE_SNAPSHOT = \
+                        _snapshot_for(profiler)
+                try:
+                    if profiler is not None:
+                        profiler.enable()
+                    result = run_experiment(identifier, scale=scale)
+                    if profiler is not None:
+                        profiler.disable()
+                finally:
+                    experiments_module.PROFILE_SNAPSHOT = None
                 samples = [time.time() - started]
                 for _ in range(best_of - 1):
                     started = time.time()

@@ -30,7 +30,12 @@ Scale-out additions (beyond the paper):
   keeps executing SQL), and the prepare/commit fan-outs run inside an
   overlap window on the host's clock, so a transaction enlisting N shards
   pays the slowest participant instead of the sum of all participants (see
-  :mod:`repro.simclock`);
+  :mod:`repro.simclock`).  Every engine entry point executes on the *host*
+  domain: a session bound to a client clock domain barriers with the host
+  (:func:`repro.simclock.synchronized_call`) around each SQL call, so
+  concurrent clients serialize here exactly where a shared coordinator
+  would make them -- their client-side fan-out (reads, uploads, think
+  time) runs un-barriered on their own domains;
 * **host-side token cache** -- :meth:`DataLinksEngine.enable_token_cache`
   lets repeated ``get_datalink`` calls for the same (path, access) reuse a
   still-live token instead of regenerating the HMAC, with hit-rate counters

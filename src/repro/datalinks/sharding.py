@@ -207,8 +207,12 @@ class ShardedDataLinksDeployment:
     def shard(self, name: str) -> FileServer:
         return self.system.file_server(name)
 
-    def session(self, username: str, uid: int, gid: int = 100):
-        return self.system.session(username, uid, gid=gid)
+    def session(self, username: str, uid: int, gid: int = 100, clock=None):
+        """A session against the deployment's host; ``clock`` binds it to
+        a client clock domain (see
+        :meth:`repro.api.system.DataLinksSystem.client_domains`)."""
+
+        return self.system.session(username, uid, gid=gid, clock=clock)
 
     def create_table(self, schema: TableSchema) -> None:
         self.system.create_table(schema)

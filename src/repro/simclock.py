@@ -60,6 +60,18 @@ from itertools import repeat as _repeat
 #: per-event dict probes and call overhead out of the loop.
 BATCHED_CHARGES = True
 
+#: Debug switch for per-client session clock domains.  When ``False``,
+#: :meth:`ClockDomainGroup.session_domains` hands every simulated client
+#: the *base* (host) clock -- the serialized reference model where all
+#: sessions share one timeline -- and the client-pool drivers degrade to
+#: the old round-robin-on-the-host behaviour.  When ``True`` (default),
+#: each client session (or pooled group of sessions) owns a
+#: :class:`ClockDomain` that barriers through the host like any IPC, so
+#: concurrent clients genuinely overlap and queueing delay is measurable.
+#: Single-client runs are byte-identical either way (asserted by
+#: ``tests/test_session_domains.py``).
+SESSION_DOMAINS = True
+
 
 @dataclass
 class CostModel:
@@ -213,12 +225,17 @@ class SimClock:
     """
 
     def __init__(self, cost_model: CostModel | None = None, start: float = 0.0,
-                 name: str = "clock"):
+                 name: str = "clock", units: dict | None = None):
         self.costs = cost_model if cost_model is not None else CostModel()
         # Per-primitive unit costs as a plain dict: ``charge()`` looks the
-        # primitive up here instead of getattr() on the dataclass.
-        self._units = {field.name: getattr(self.costs, field.name)
-                       for field in fields(self.costs)}
+        # primitive up here instead of getattr() on the dataclass.  Clocks
+        # sharing one cost model (every domain of a group) may share the
+        # derived dict via ``units`` -- it is read-only after construction.
+        if units is not None:
+            self._units = units
+        else:
+            self._units = {field.name: getattr(self.costs, field.name)
+                           for field in fields(self.costs)}
         self.name = name
         self._now = float(start)
         self.stats = ClockStats()
@@ -548,6 +565,31 @@ def rendezvous(*clocks) -> float:
     return instant
 
 
+def gather(target, clocks) -> float:
+    """Aggregated barrier: merge *clocks* into *target* with one receive.
+
+    The batched counterpart of ``rendezvous(target, c)`` once per client:
+    N client domains merging through the host cost one ``max()`` scan and
+    a single :meth:`SimClock.receive` on the target, after which every
+    client syncs forward to the merged instant.  ``None`` entries and the
+    target itself are skipped, so the call degenerates to a no-op when
+    every client shares the target clock (the serialized reference path).
+    Returns the merged instant.
+    """
+
+    present = [clock for clock in clocks
+               if clock is not None and clock is not target]
+    instant = target.now()
+    for clock in present:
+        t = clock._now
+        if t > instant:
+            instant = t
+    target.receive(instant)
+    for clock in present:
+        clock.sync_to(instant)
+    return instant
+
+
 class ClockDomain(SimClock):
     """One simulated node's clock inside a :class:`ClockDomainGroup`.
 
@@ -563,8 +605,9 @@ class ClockDomain(SimClock):
     """
 
     def __init__(self, group: "ClockDomainGroup", name: str,
-                 cost_model: CostModel | None = None, start: float = 0.0):
-        super().__init__(cost_model, start=start, name=name)
+                 cost_model: CostModel | None = None, start: float = 0.0,
+                 units: dict | None = None):
+        super().__init__(cost_model, start=start, name=name, units=units)
         self.group = group
         # Charges mirror into the group's merged stats via the base-class
         # fast path instead of a ``_record`` override.
@@ -603,6 +646,11 @@ class ClockDomainGroup:
         self.stats = root.stats if root is not None else ClockStats()
         self.domains: dict[str, SimClock] = {}
         self._root = root
+        #: Per-primitive units dict shared by every domain of this group
+        #: (they all charge against the same ``self.costs``); built by the
+        #: first domain and reused so creating 10^4 client domains does
+        #: not re-derive it 10^4 times.
+        self._shared_units: dict | None = None
         if root is not None:
             self.domains["serial"] = root
 
@@ -618,7 +666,11 @@ class ClockDomainGroup:
                 self.domains["serial"] = self._root
             return self._root
         if name not in self.domains:
-            self.domains[name] = ClockDomain(self, name, self.costs)
+            domain = ClockDomain(self, name, self.costs,
+                                 units=self._shared_units)
+            if self._shared_units is None:
+                self._shared_units = domain._units
+            self.domains[name] = domain
         return self.domains[name]
 
     def global_now(self) -> float:
@@ -640,6 +692,41 @@ class ClockDomainGroup:
         """Rendezvous every domain (a cluster-wide synchronization point)."""
 
         return rendezvous(*self.domains.values())
+
+    def session_domains(self, count: int, base: SimClock | None = None, *,
+                        limit: int | None = None,
+                        prefix: str = "client") -> list:
+        """Clock domains for *count* simulated client sessions.
+
+        Returns a list of *count* clocks, one per client.  With
+        :data:`SESSION_DOMAINS` off (the serialized reference path) or in
+        serial mode every entry is *base* (default: the ``host`` domain),
+        which reproduces the old model where all sessions ride the host
+        timeline.  Otherwise each client gets its own domain, pooled
+        round-robin over at most *limit* distinct domains so wall clock
+        stays flat at 10^4 clients.  Pooled domain names are stable
+        across calls (``client0``, ``client1``, ...) and every pooled
+        domain is synced forward to *base*'s current time, so a new sweep
+        step starts no earlier than the host -- safe because the drivers
+        :func:`gather` all clients back through the host at step end.
+        """
+
+        if base is None:
+            base = self.domain("host")
+        if count <= 0:
+            return []
+        if not SESSION_DOMAINS or self.serial:
+            return [base] * count
+        pool = count if limit is None else max(1, min(count, limit))
+        start = base.now()
+        clocks = []
+        for index in range(pool):
+            domain = self.domain(f"{prefix}{index}")
+            domain.sync_to(start)
+            clocks.append(domain)
+        if pool == count:
+            return clocks
+        return [clocks[index % pool] for index in range(count)]
 
     def stats_by_domain(self) -> dict:
         """``{domain: {label: {"count", "total_ms"}}}`` per-node breakdown."""

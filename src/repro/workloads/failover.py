@@ -40,6 +40,7 @@ from repro.datalinks.sharding import ShardedDataLinksDeployment
 from repro.errors import ReproError
 from repro.storage.schema import Column, TableSchema
 from repro.storage.values import DataType
+from repro.workloads.clients import ClientPool
 from repro.workloads.generator import WorkloadMetrics, make_content
 
 DOCS_TABLE = "replicated_docs"
@@ -86,6 +87,7 @@ class FailoverWorkload:
                 max_follower_lag=config.max_follower_lag)
         self._session = None
         self._paths: list[str] = []
+        self._ingested = False
         self.victim: str | None = None
 
     # -------------------------------------------------------------------- setup --
@@ -152,6 +154,7 @@ class FailoverWorkload:
             deployment.drain()
         if timer.elapsed:
             metrics.record("final_drain", timer.elapsed)
+        self._ingested = True
 
     def _read_phase(self, metrics: WorkloadMetrics, suffix: str) -> None:
         config = self.config
@@ -209,6 +212,85 @@ class FailoverWorkload:
                     except ReproError:
                         metrics.bump("follower_reads_failed")
         metrics.record("follower_batch", timer.elapsed)
+
+    # ------------------------------------------------------------- client sweep --
+    def run_read_sweep(self, client_counts, *, reads_per_client: int = 1,
+                       admission_limit: int | None = None,
+                       think_s: float = 0.0,
+                       domain_pool: int | None = None,
+                       step_hook=None) -> list[dict]:
+        """Sweep concurrent reader clients over the healthy cluster.
+
+        The per-client replacement for the single
+        :meth:`_follower_batch` overlap window: each step drives
+        ``clients`` readers through a
+        :class:`~repro.workloads.clients.ClientPool` -- every reader on
+        its own clock domain, admitted through the host connection gate
+        (``admission_limit``), its reads routed over the serving node and
+        eligible witnesses and synced against the chosen node's domain.
+        Tokens are handed out up front (host-side SQL, unmeasured).
+        Requires :meth:`setup`; ingests the configured files first if no
+        run has.  ``step_hook`` (when given) is called once after each
+        step and its return recorded as the step's ``profile_calls``.
+        Returns one summary dict per step with end-to-end latency and
+        queue-delay percentiles.
+        """
+
+        config = self.config
+        deployment = self.deployment
+        system = deployment.system
+        if not self._ingested:
+            self._ingest(WorkloadMetrics(started_at=deployment.clock.now()))
+            system.flush_logs()
+        admission = None
+        if admission_limit is not None:
+            admission = system.enable_admission(admission_limit)
+        steps = []
+        for step_index, clients in enumerate(client_counts):
+            urls_by_reader = []
+            cursor = 0
+            for _ in range(clients):
+                urls = []
+                for _ in range(reads_per_client):
+                    doc_id = cursor % len(self._paths)
+                    cursor += 1
+                    urls.append(self._session.get_datalink(
+                        DOCS_TABLE, {"doc_id": doc_id}, "body",
+                        access="read", ttl=config.token_ttl))
+                urls_by_reader.append(urls)
+            # The pool is created after the host-side token handout so
+            # its clients arrive at the cluster's current time.
+            pool = ClientPool(system, clients, limit=domain_pool,
+                              think_s=think_s,
+                              username=f"reader{step_index}c",
+                              uid_base=READER_UID + 1000)
+            failures = [0]
+
+            def routed_read(session, reader_index, op_index):
+                try:
+                    deployment.read_url(session,
+                                        urls_by_reader[reader_index][op_index])
+                except ReproError:
+                    failures[0] += 1
+
+            pool.run(reads_per_client, routed_read)
+            summary = pool.summary()
+            steps.append({
+                "clients": clients,
+                "reads": summary["operations"] - failures[0],
+                "reads_failed": failures[0],
+                "read_mean_ms": round(summary["latency_mean_ms"], 3),
+                "read_p50_ms": round(summary["latency_p50_ms"], 3),
+                "read_p99_ms": round(summary["latency_p99_ms"], 3),
+                "queue_p50_ms": round(summary["queue_p50_ms"], 3),
+                "queue_p99_ms": round(summary["queue_p99_ms"], 3),
+                "reads_per_sim_s": round(summary["ops_per_sim_s"], 1),
+            })
+            if step_hook is not None:
+                steps[-1]["profile_calls"] = step_hook()
+        if admission is not None:
+            system.disable_admission()
+        return steps
 
     def _write_phase(self, metrics: WorkloadMetrics) -> None:
         """Victim-prefix link transactions after the crash (write availability)."""

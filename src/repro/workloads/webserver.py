@@ -23,6 +23,7 @@ from repro.datalinks.datalink_type import DatalinkOptions, datalink_column
 from repro.errors import FileSystemError
 from repro.storage.schema import Column, TableSchema
 from repro.storage.values import DataType
+from repro.workloads.clients import ClientPool
 from repro.workloads.generator import WorkloadMetrics, ZipfChooser, make_content
 
 PAGES_TABLE = "web_pages"
@@ -50,6 +51,16 @@ class WebSiteConfig:
     #: the same hot (Zipf-skewed) pages re-requests the same capabilities,
     #: which is exactly the hit pattern the cache exists for.
     token_cache: bool = True
+    #: Admission-control knobs for :meth:`WebServerWorkload.
+    #: run_session_sweep`.  ``admission_limit`` caps concurrent host
+    #: connection slots (``None`` admits instantly -- no saturation
+    #: knee); ``client_think_s`` is per-read client think time spent
+    #: while holding the slot (persistent-connection semantics);
+    #: ``client_domain_pool`` caps distinct client clock domains
+    #: (``None`` gives every swept session its own domain).
+    admission_limit: int | None = None
+    client_think_s: float = 0.0
+    client_domain_pool: int | None = None
 
 
 class WebServerWorkload:
@@ -159,59 +170,68 @@ class WebServerWorkload:
     # -------------------------------------------------------------- session sweep --
     def run_session_sweep(self, session_counts, *,
                           operations: int | None = None,
-                          token_ttl: float = 3600.0) -> list[dict]:
+                          token_ttl: float = 3600.0,
+                          step_hook=None) -> list[dict]:
         """Sweep concurrent reader-session counts over the linked site.
 
         Each step spreads a Zipf read schedule round-robin over
-        ``sessions`` visitor sessions.  A session's page tokens are
-        minted up front in one vectorized :meth:`~repro.api.session.
-        Session.get_datalink_many` handout -- the batch a web tier
-        prefetches for its connection pool -- then every page read
-        replays operation by operation under the measuring clock, so a
-        step reports both the bulk handout cost and the per-read
-        latency distribution.  Steps where ``sessions`` exceeds the
-        schedule length grow the schedule so every session issues at
-        least one read.  Returns one summary dict per step.
+        ``sessions`` visitor sessions driven by a
+        :class:`~repro.workloads.clients.ClientPool`: every session rides
+        its own client clock domain, acquires a host admission slot
+        (``admission_limit``), thinks for ``client_think_s`` while
+        holding it, reads its page against the serving node's domain and
+        releases.  A session's page tokens are minted up front in one
+        vectorized :meth:`~repro.api.session.Session.get_datalink_many`
+        handout -- the batch a web tier prefetches for its connection
+        pool.  Per-read end-to-end latency includes the measured
+        admission queue delay (reported separately as ``queue_*``), so
+        once ``sessions`` exceeds the admission limit the step reports a
+        genuine saturation knee: throughput flattens at the limit while
+        p99 keeps growing with session count.  Steps where ``sessions``
+        exceeds the schedule length grow the schedule so every session
+        issues at least one read.  ``step_hook`` (when given) is called
+        once after each step and its return value recorded as the step's
+        ``profile_calls`` -- the bench harness uses it to attribute
+        deterministic profiler call counts per sweep step.  Returns one
+        summary dict per step.
         """
 
         config = self.config
-        clock = self.system.clock
+        system = self.system
+        clock = system.clock
         base_operations = config.operations if operations is None else operations
+        admission = None
+        if config.admission_limit is not None:
+            admission = system.enable_admission(config.admission_limit)
         steps = []
         for step_index, sessions in enumerate(session_counts):
             step_ops = max(base_operations, sessions)
             chooser = ZipfChooser(config.pages, config.zipf_theta,
                                   config.seed + 1 + step_index)
             schedule = chooser.choose_many(step_ops)
-            readers = [
-                self.system.session(f"sweep{step_index}_{index}",
-                                    uid=5001 + index)
-                for index in range(sessions)
-            ]
+            pool = ClientPool(system, sessions,
+                              limit=config.client_domain_pool,
+                              think_s=config.client_think_s,
+                              username=f"sweep{step_index}_", uid_base=5001)
             bytes_before = [
                 self.system.file_server(f"web{index}").physical.device
                     .stats.bytes_read
                 for index in range(config.file_servers)
             ]
-            metrics = WorkloadMetrics(started_at=clock.now())
             urls_by_reader = []
             with clock.measure() as handout_timer:
-                for reader_index, reader in enumerate(readers):
+                for reader_index, reader in enumerate(pool.sessions):
                     wheres = [{"page_id": page_id}
                               for page_id in schedule[reader_index::sessions]]
                     urls_by_reader.append(
                         reader.get_datalink_many(PAGES_TABLE, wheres, "body",
                                                  access="read", ttl=token_ttl))
-            cursors = [0] * sessions
-            for op_index in range(step_ops):
-                reader_index = op_index % sessions
-                url = urls_by_reader[reader_index][cursors[reader_index]]
-                cursors[reader_index] += 1
-                with clock.measure() as timer:
-                    readers[reader_index].read_url(url)
-                metrics.record("read_page", timer.elapsed)
-            metrics.finished_at = clock.now()
-            read_stats = metrics.stats("read_page")
+
+            def read_page(session, reader_index, op_index):
+                session.read_url(urls_by_reader[reader_index][op_index])
+
+            pool.run([len(urls) for urls in urls_by_reader], read_page)
+            summary = pool.summary()
             per_server_mb = [
                 (self.system.file_server(f"web{index}").physical.device
                      .stats.bytes_read - bytes_before[index]) / (1024 * 1024)
@@ -219,14 +239,20 @@ class WebServerWorkload:
             ]
             steps.append({
                 "sessions": sessions,
-                "reads": read_stats.count,
+                "reads": summary["operations"],
                 "handout_ms": round(handout_timer.elapsed * 1000, 3),
-                "mean_read_ms": round(read_stats.mean * 1000, 3),
-                "read_p50_ms": round(read_stats.p50 * 1000, 3),
-                "read_p99_ms": round(read_stats.p99 * 1000, 3),
-                "ops_per_sim_s": round(metrics.throughput(), 1),
+                "mean_read_ms": round(summary["latency_mean_ms"], 3),
+                "read_p50_ms": round(summary["latency_p50_ms"], 3),
+                "read_p99_ms": round(summary["latency_p99_ms"], 3),
+                "queue_p50_ms": round(summary["queue_p50_ms"], 3),
+                "queue_p99_ms": round(summary["queue_p99_ms"], 3),
+                "ops_per_sim_s": round(summary["ops_per_sim_s"], 1),
                 "max_mb_read_per_server": round(max(per_server_mb), 1),
             })
+            if step_hook is not None:
+                steps[-1]["profile_calls"] = step_hook()
+        if admission is not None:
+            system.disable_admission()
         return steps
 
     @property

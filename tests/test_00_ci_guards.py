@@ -159,3 +159,44 @@ class TestCommittedLargeArtifactShape:
         for row in sweep_rows:
             assert row["ops_per_sim_s"] > 0
             assert row["read_p99_ms"] >= row["read_p50_ms"] > 0
+
+    def test_e9_sweep_saturates_at_the_admission_limit(self, payload):
+        """The committed E9-large sweep must show an honest saturation
+        curve: throughput non-decreasing while the session count is
+        under the admission limit, flat (within tolerance) past the
+        knee, and a p99 that keeps growing with queued sessions --
+        queueing, not Python-side table effects, is what saturates."""
+
+        limit = LARGE_PARAMS["E9"].get("admission_limit")
+        if not limit:
+            pytest.skip("E9-large runs without an admission limit")
+        entry = payload["experiments"]["E9"]
+        for column in ("queue_p50_ms", "queue_p99_ms"):
+            assert column in entry["headers"]
+        sweep = sorted(
+            (int(row["configuration"].split("sweep, ")[1]
+                 .split(" sessions")[0]), row)
+            for row in entry["rows"]
+            if "session sweep" in row["configuration"])
+        assert sweep, "no session-sweep rows in the committed E9-large"
+        below = [row for sessions, row in sweep if sessions <= limit]
+        above = [row for sessions, row in sweep if sessions > limit]
+        assert below and above, \
+            "the sweep must straddle the admission limit to show a knee"
+        rates = [row["ops_per_sim_s"] for row in below]
+        assert all(later >= earlier
+                   for earlier, later in zip(rates, rates[1:])), \
+            f"throughput fell below the admission limit: {rates}"
+        knee_rate = max(row["ops_per_sim_s"] for _, row in sweep)
+        for row in above:
+            assert 0.85 * knee_rate <= row["ops_per_sim_s"] \
+                <= 1.15 * knee_rate, \
+                (f"past the knee throughput should be flat near "
+                 f"{knee_rate}, got {row['ops_per_sim_s']}")
+        p99_floor = sweep[0][1]["read_p99_ms"]
+        p99_peak = sweep[-1][1]["read_p99_ms"]
+        assert p99_peak >= 5.0 * p99_floor, \
+            (f"p99 shows no queueing knee: {p99_floor} ms at the bottom "
+             f"vs {p99_peak} ms at the top of the sweep")
+        assert sweep[-1][1]["queue_p99_ms"] > sweep[0][1]["queue_p99_ms"], \
+            "queue delay must be what grows past the admission limit"
